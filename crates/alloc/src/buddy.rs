@@ -1,0 +1,214 @@
+//! Two-dimensional buddy-system allocation (Li & Cheng).
+//!
+//! The 2-D buddy system partitions the machine into aligned square blocks of
+//! side `2^j`. A request for `k` processors is rounded up to the smallest
+//! block that can hold it, and the allocator searches for a free block of
+//! that size; blocks are aligned, so a block of side `2^j` always starts at
+//! coordinates that are multiples of `2^j`. Rounding the request up to a
+//! power-of-four block causes *internal fragmentation* (processors inside
+//! the block but beyond the request go unused only if the caller insists on
+//! exclusive blocks; here the unused remainder of the block stays free, like
+//! the MC footprint), and alignment causes *external fragmentation* — both
+//! effects the later non-contiguous strategies (Paging, MBS, MC) were
+//! designed to remove.
+//!
+//! On meshes that are not power-of-two squares (the paper's 16 × 22 machine)
+//! blocks are still aligned to the power-of-two lattice of the enclosing
+//! square and simply must lie entirely inside the mesh.
+
+use crate::allocator::Allocator;
+use crate::machine::MachineState;
+use crate::request::{AllocRequest, Allocation};
+use commalloc_mesh::{Coord, Mesh2D, NodeId};
+
+/// Buddy-system allocator over aligned power-of-two square blocks.
+///
+/// The allocator is stateless with respect to occupancy (it rescans
+/// [`MachineState`] on every call), so "splitting" and "coalescing" are
+/// implicit: a block is available exactly when all of its processors are
+/// free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuddyAllocator;
+
+impl BuddyAllocator {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        BuddyAllocator
+    }
+
+    /// The block order used for a request of `size` processors: the smallest
+    /// `j` such that a `2^j × 2^j` block holds `size`.
+    pub fn order_for(size: usize) -> u32 {
+        let mut order = 0u32;
+        while (1usize << order) * (1usize << order) < size {
+            order += 1;
+        }
+        order
+    }
+
+    /// All aligned free blocks of side `2^order` that lie entirely inside the
+    /// mesh, as their origin coordinates in row-major order.
+    pub fn free_blocks(machine: &MachineState, order: u32) -> Vec<Coord> {
+        let mesh = machine.mesh();
+        let side = 1u16 << order;
+        if side > mesh.width() || side > mesh.height() {
+            return Vec::new();
+        }
+        let mut blocks = Vec::new();
+        let mut y = 0u16;
+        while y + side <= mesh.height() {
+            let mut x = 0u16;
+            while x + side <= mesh.width() {
+                let origin = Coord::new(x, y);
+                if Self::block_is_free(machine, origin, side) {
+                    blocks.push(origin);
+                }
+                x += side;
+            }
+            y += side;
+        }
+        blocks
+    }
+
+    fn block_is_free(machine: &MachineState, origin: Coord, side: u16) -> bool {
+        let mesh = machine.mesh();
+        for dy in 0..side {
+            for dx in 0..side {
+                let c = Coord::new(origin.x + dx, origin.y + dy);
+                if !mesh.contains(c) || !machine.is_free(mesh.id_of(c)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The nodes of the block at `origin`, row-major, truncated to `size`.
+    fn take_block(mesh: Mesh2D, origin: Coord, side: u16, size: usize) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(size);
+        'outer: for dy in 0..side {
+            for dx in 0..side {
+                if nodes.len() == size {
+                    break 'outer;
+                }
+                nodes.push(mesh.id_of(Coord::new(origin.x + dx, origin.y + dy)));
+            }
+        }
+        nodes
+    }
+}
+
+impl Allocator for BuddyAllocator {
+    fn name(&self) -> String {
+        "2-D buddy".to_string()
+    }
+
+    fn allocate(&mut self, req: &AllocRequest, machine: &MachineState) -> Option<Allocation> {
+        if req.size == 0 || req.size > machine.num_free() {
+            return None;
+        }
+        let mesh = machine.mesh();
+        let order = Self::order_for(req.size);
+        let blocks = Self::free_blocks(machine, order);
+        let origin = blocks.first().copied()?;
+        let nodes = Self::take_block(mesh, origin, 1u16 << order, req.size);
+        debug_assert_eq!(nodes.len(), req.size);
+        Some(Allocation::new(req.job_id, nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_for_rounds_up_to_power_of_four_areas() {
+        assert_eq!(BuddyAllocator::order_for(1), 0);
+        assert_eq!(BuddyAllocator::order_for(2), 1);
+        assert_eq!(BuddyAllocator::order_for(4), 1);
+        assert_eq!(BuddyAllocator::order_for(5), 2);
+        assert_eq!(BuddyAllocator::order_for(16), 2);
+        assert_eq!(BuddyAllocator::order_for(17), 3);
+        assert_eq!(BuddyAllocator::order_for(64), 3);
+        assert_eq!(BuddyAllocator::order_for(65), 4);
+    }
+
+    #[test]
+    fn empty_mesh_allocations_are_contiguous_and_aligned() {
+        let mesh = Mesh2D::square_16x16();
+        let machine = MachineState::new(mesh);
+        let mut buddy = BuddyAllocator::new();
+        for size in [1usize, 3, 4, 14, 16, 60, 64] {
+            let alloc = buddy
+                .allocate(&AllocRequest::new(1, size), &machine)
+                .unwrap();
+            assert_eq!(alloc.nodes.len(), size);
+            assert_eq!(mesh.components(&alloc.nodes), 1, "size {size}");
+            // The block origin is aligned to its side.
+            let side = 1u16 << BuddyAllocator::order_for(size);
+            let origin = mesh.coord_of(alloc.nodes[0]);
+            assert_eq!(origin.x % side, 0);
+            assert_eq!(origin.y % side, 0);
+        }
+    }
+
+    #[test]
+    fn alignment_causes_external_fragmentation() {
+        // Occupy one processor in each aligned 4x4 block of an 8x8 mesh: 60
+        // processors remain free, but no 4x4 block is free, so a 16-processor
+        // request fails.
+        let mesh = Mesh2D::new(8, 8);
+        let busy: Vec<NodeId> = [(0u16, 0u16), (4, 0), (0, 4), (4, 4)]
+            .iter()
+            .map(|&(x, y)| mesh.id_of(Coord::new(x, y)))
+            .collect();
+        let mut machine = MachineState::new(mesh);
+        machine.occupy(&busy);
+        let mut buddy = BuddyAllocator::new();
+        assert!(buddy
+            .allocate(&AllocRequest::new(1, 16), &machine)
+            .is_none());
+        // Smaller requests that fit a free aligned 2x2 block still succeed.
+        assert!(buddy
+            .allocate(&AllocRequest::new(1, 4), &machine)
+            .is_some());
+    }
+
+    #[test]
+    fn blocks_never_cross_the_mesh_boundary_on_16x22() {
+        let mesh = Mesh2D::paragon_16x22();
+        let machine = MachineState::new(mesh);
+        // Order-4 blocks are 16x16: exactly one fits in x, one in y (rows
+        // 0..16); the strip y in 16..22 can never hold one.
+        let blocks = BuddyAllocator::free_blocks(&machine, 4);
+        assert_eq!(blocks, vec![Coord::new(0, 0)]);
+        // Order-5 blocks (32x32) do not fit at all.
+        assert!(BuddyAllocator::free_blocks(&machine, 5).is_empty());
+    }
+
+    #[test]
+    fn request_larger_than_any_block_fails_even_on_an_empty_mesh() {
+        // A 17-processor request needs an 8x8 block; an 8x4 mesh has 32 free
+        // processors but can never hold one, so the buddy system refuses.
+        let mesh = Mesh2D::new(8, 4);
+        let machine = MachineState::new(mesh);
+        let mut buddy = BuddyAllocator::new();
+        assert!(buddy
+            .allocate(&AllocRequest::new(1, 16), &machine)
+            .is_some());
+        assert!(buddy
+            .allocate(&AllocRequest::new(1, 17), &machine)
+            .is_none());
+    }
+
+    #[test]
+    fn zero_and_oversized_requests_are_rejected() {
+        let mesh = Mesh2D::new(4, 4);
+        let machine = MachineState::new(mesh);
+        let mut buddy = BuddyAllocator::new();
+        assert!(buddy.allocate(&AllocRequest::new(1, 0), &machine).is_none());
+        assert!(buddy
+            .allocate(&AllocRequest::new(1, 17), &machine)
+            .is_none());
+    }
+}

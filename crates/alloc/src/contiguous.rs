@@ -1,0 +1,357 @@
+//! Contiguous (submesh-only) allocation, the historical baseline.
+//!
+//! The paper's survey opens with the first generation of allocators, which
+//! "allocated only convex sets of processors to a job" (Bhattacharya & Tsai,
+//! Chuang & Tzeng, Li & Cheng, Zhu). Such allocators eliminate inter-job
+//! contention when routing stays inside the allocation, but they refuse to
+//! start a job unless a whole free submesh of the right shape exists — which
+//! is exactly why "requiring that jobs be allocated to convex sets of
+//! processors reduces system utilization to levels unacceptable for any
+//! government-audited system".
+//!
+//! This module implements that baseline so the benches can reproduce the
+//! trade-off quantitatively: a [`ContiguousAllocator`] derives a near-square
+//! shape from the requested processor count (CPlant requests are shapeless,
+//! as for MC), scans the mesh for a fully-free placement of that shape in
+//! either orientation, and **fails** (returns `None`) when none exists even
+//! if enough scattered processors are free. The simulation engine keeps the
+//! job queued in that case, so the utilization loss shows up directly in the
+//! response-time results.
+
+use crate::allocator::Allocator;
+use crate::machine::MachineState;
+use crate::request::{AllocRequest, Allocation};
+use commalloc_mesh::{Coord, Mesh2D, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// How a placement is chosen among all fully-free submeshes of the shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubmeshStrategy {
+    /// The first free placement in row-major scan order (frame sliding /
+    /// first fit of Zhu).
+    FirstFit,
+    /// The free placement touching the largest number of busy or boundary
+    /// cells, which packs jobs against existing allocations and the mesh
+    /// edge to keep the remaining free area as unfragmented as possible
+    /// (best fit of Zhu).
+    BestFit,
+}
+
+impl SubmeshStrategy {
+    /// Short human-readable name.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            SubmeshStrategy::FirstFit => "FF",
+            SubmeshStrategy::BestFit => "BF",
+        }
+    }
+}
+
+/// Submesh-only allocator: every job gets a free `w × h` rectangle or waits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContiguousAllocator {
+    strategy: SubmeshStrategy,
+}
+
+impl ContiguousAllocator {
+    /// First-fit submesh allocation.
+    pub fn first_fit() -> Self {
+        ContiguousAllocator {
+            strategy: SubmeshStrategy::FirstFit,
+        }
+    }
+
+    /// Best-fit submesh allocation.
+    pub fn best_fit() -> Self {
+        ContiguousAllocator {
+            strategy: SubmeshStrategy::BestFit,
+        }
+    }
+
+    /// The placement strategy.
+    pub fn strategy(&self) -> SubmeshStrategy {
+        self.strategy
+    }
+
+    /// The near-square shape derived from a processor count, identical to the
+    /// rule MC uses so the contiguous baseline and MC look for the same
+    /// footprint.
+    pub fn shape_for(size: usize) -> (u16, u16) {
+        let w = (size as f64).sqrt().ceil() as u16;
+        let w = w.max(1);
+        let h = size.div_ceil(w as usize) as u16;
+        (w, h.max(1))
+    }
+
+    /// The candidate shapes tried, in order: the near-square shape, its
+    /// transpose, and (for requests that do not factor nicely) a final
+    /// `1 × size` strip so small jobs can still slot into narrow free
+    /// corridors.
+    pub fn candidate_shapes(size: usize, mesh: Mesh2D) -> Vec<(u16, u16)> {
+        let (w, h) = Self::shape_for(size);
+        let mut shapes = vec![(w, h)];
+        if w != h {
+            shapes.push((h, w));
+        }
+        if size <= mesh.width() as usize && w != 1 {
+            shapes.push((size as u16, 1));
+        }
+        if size <= mesh.height() as usize && h != 1 {
+            shapes.push((1, size as u16));
+        }
+        shapes.retain(|&(sw, sh)| sw <= mesh.width() && sh <= mesh.height());
+        shapes
+    }
+
+    /// Whether the `w × h` submesh at `origin` lies inside the mesh and is
+    /// entirely free.
+    fn placement_is_free(
+        machine: &MachineState,
+        origin: Coord,
+        w: u16,
+        h: u16,
+    ) -> bool {
+        let mesh = machine.mesh();
+        if origin.x + w > mesh.width() || origin.y + h > mesh.height() {
+            return false;
+        }
+        for dy in 0..h {
+            for dx in 0..w {
+                let c = Coord::new(origin.x + dx, origin.y + dy);
+                if !machine.is_free(mesh.id_of(c)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of cells bordering the `w × h` placement that are busy or
+    /// outside the mesh. Higher scores mean the placement is tucked against
+    /// existing allocations or the machine boundary.
+    fn boundary_pressure(machine: &MachineState, origin: Coord, w: u16, h: u16) -> usize {
+        let mesh = machine.mesh();
+        let mut pressure = 0usize;
+        let x0 = origin.x as i32 - 1;
+        let y0 = origin.y as i32 - 1;
+        let x1 = origin.x as i32 + w as i32;
+        let y1 = origin.y as i32 + h as i32;
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let on_ring = x == x0 || x == x1 || y == y0 || y == y1;
+                if !on_ring {
+                    continue;
+                }
+                if x < 0 || y < 0 || x >= mesh.width() as i32 || y >= mesh.height() as i32 {
+                    pressure += 1;
+                    continue;
+                }
+                let c = Coord::new(x as u16, y as u16);
+                if !machine.is_free(mesh.id_of(c)) {
+                    pressure += 1;
+                }
+            }
+        }
+        pressure
+    }
+
+    /// Finds a placement of the `w × h` shape according to the strategy.
+    fn find_placement(
+        &self,
+        machine: &MachineState,
+        w: u16,
+        h: u16,
+    ) -> Option<Coord> {
+        let mesh = machine.mesh();
+        let mut best: Option<(usize, Coord)> = None;
+        for y in 0..=(mesh.height().saturating_sub(h)) {
+            for x in 0..=(mesh.width().saturating_sub(w)) {
+                let origin = Coord::new(x, y);
+                if !Self::placement_is_free(machine, origin, w, h) {
+                    continue;
+                }
+                match self.strategy {
+                    SubmeshStrategy::FirstFit => return Some(origin),
+                    SubmeshStrategy::BestFit => {
+                        let pressure = Self::boundary_pressure(machine, origin, w, h);
+                        let better = match best {
+                            None => true,
+                            Some((best_pressure, _)) => pressure > best_pressure,
+                        };
+                        if better {
+                            best = Some((pressure, origin));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(_, origin)| origin)
+    }
+
+    /// The nodes of a `w × h` placement in row-major order, truncated to the
+    /// requested count (a 14-processor job in a 4 × 4 footprint leaves the
+    /// last two cells of the rectangle free).
+    fn take_nodes(mesh: Mesh2D, origin: Coord, w: u16, h: u16, size: usize) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(size);
+        'outer: for dy in 0..h {
+            for dx in 0..w {
+                if nodes.len() == size {
+                    break 'outer;
+                }
+                nodes.push(mesh.id_of(Coord::new(origin.x + dx, origin.y + dy)));
+            }
+        }
+        nodes
+    }
+}
+
+impl Allocator for ContiguousAllocator {
+    fn name(&self) -> String {
+        format!("contiguous {}", self.strategy.short_name())
+    }
+
+    fn allocate(&mut self, req: &AllocRequest, machine: &MachineState) -> Option<Allocation> {
+        if req.size == 0 || req.size > machine.num_free() {
+            return None;
+        }
+        let mesh = machine.mesh();
+        for (w, h) in Self::candidate_shapes(req.size, mesh) {
+            if let Some(origin) = self.find_placement(machine, w, h) {
+                let nodes = Self::take_nodes(mesh, origin, w, h, req.size);
+                debug_assert_eq!(nodes.len(), req.size);
+                return Some(Allocation::new(req.job_id, nodes));
+            }
+        }
+        // Enough processors are free but no rectangle fits: the job waits.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_with_busy(mesh: Mesh2D, busy: &[NodeId]) -> MachineState {
+        let mut m = MachineState::new(mesh);
+        m.occupy(busy);
+        m
+    }
+
+    #[test]
+    fn shape_for_is_near_square() {
+        assert_eq!(ContiguousAllocator::shape_for(1), (1, 1));
+        assert_eq!(ContiguousAllocator::shape_for(4), (2, 2));
+        assert_eq!(ContiguousAllocator::shape_for(14), (4, 4));
+        assert_eq!(ContiguousAllocator::shape_for(30), (6, 5));
+        assert_eq!(ContiguousAllocator::shape_for(128), (12, 11));
+    }
+
+    #[test]
+    fn allocation_on_an_empty_mesh_is_contiguous() {
+        let mesh = Mesh2D::square_16x16();
+        let machine = MachineState::new(mesh);
+        for strategy in [ContiguousAllocator::first_fit(), ContiguousAllocator::best_fit()] {
+            let mut a = strategy;
+            for size in [1usize, 4, 14, 30, 64, 128] {
+                let alloc = a.allocate(&AllocRequest::new(1, size), &machine).unwrap();
+                assert_eq!(alloc.nodes.len(), size);
+                assert_eq!(mesh.components(&alloc.nodes), 1, "size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn fails_when_no_rectangle_exists_despite_free_processors() {
+        // A 4x4 mesh with a busy column down the middle: 12 processors are
+        // free, but no 2x2 submesh is fully free on the left half ... wait,
+        // the left 1-wide and right 2-wide strips remain. Make it tighter:
+        // occupy a checkerboard so no 2x2 rectangle is free.
+        let mesh = Mesh2D::new(4, 4);
+        let busy: Vec<NodeId> = mesh
+            .nodes()
+            .filter(|n| {
+                let c = mesh.coord_of(*n);
+                (c.x + c.y) % 2 == 0
+            })
+            .collect();
+        let machine = machine_with_busy(mesh, &busy);
+        assert_eq!(machine.num_free(), 8);
+        let mut a = ContiguousAllocator::first_fit();
+        // 4 processors would need a 2x2 (or 4x1 / 1x4) free rectangle; the
+        // checkerboard has none.
+        assert!(a.allocate(&AllocRequest::new(1, 4), &machine).is_none());
+        // A single processor still fits.
+        assert!(a.allocate(&AllocRequest::new(1, 1), &machine).is_some());
+    }
+
+    #[test]
+    fn strip_shapes_let_small_jobs_use_corridors() {
+        // Only row y == 3 is free: a 3-processor job fits as a 3x1 strip even
+        // though the 2x2 near-square shape does not.
+        let mesh = Mesh2D::new(8, 8);
+        let busy: Vec<NodeId> = mesh
+            .nodes()
+            .filter(|n| mesh.coord_of(*n).y != 3)
+            .collect();
+        let machine = machine_with_busy(mesh, &busy);
+        let mut a = ContiguousAllocator::first_fit();
+        let alloc = a.allocate(&AllocRequest::new(1, 3), &machine).unwrap();
+        assert_eq!(alloc.nodes.len(), 3);
+        assert!(alloc.nodes.iter().all(|&n| mesh.coord_of(n).y == 3));
+    }
+
+    #[test]
+    fn first_fit_takes_the_lowest_placement() {
+        let mesh = Mesh2D::new(8, 8);
+        let machine = MachineState::new(mesh);
+        let mut a = ContiguousAllocator::first_fit();
+        let alloc = a.allocate(&AllocRequest::new(1, 4), &machine).unwrap();
+        let coords: Vec<Coord> = alloc.nodes.iter().map(|&n| mesh.coord_of(n)).collect();
+        assert!(coords.contains(&Coord::new(0, 0)));
+        assert!(coords.contains(&Coord::new(1, 1)));
+    }
+
+    #[test]
+    fn best_fit_packs_against_existing_allocations() {
+        let mesh = Mesh2D::new(8, 8);
+        // Occupy the left 2 columns; best fit should place the next 2x2 job
+        // against that block (or the mesh boundary), not float it mid-mesh.
+        let busy: Vec<NodeId> = mesh
+            .nodes()
+            .filter(|n| mesh.coord_of(*n).x < 2)
+            .collect();
+        let machine = machine_with_busy(mesh, &busy);
+        let mut bf = ContiguousAllocator::best_fit();
+        let alloc = bf.allocate(&AllocRequest::new(1, 4), &machine).unwrap();
+        let touches_busy_or_border = alloc.nodes.iter().any(|&n| {
+            let c = mesh.coord_of(n);
+            c.x == 2 || c.x == 7 || c.y == 0 || c.y == 7
+        });
+        assert!(
+            touches_busy_or_border,
+            "best fit should pack against the busy block or the boundary"
+        );
+        assert_eq!(mesh.components(&alloc.nodes), 1);
+    }
+
+    #[test]
+    fn oversized_and_zero_requests_are_rejected() {
+        let mesh = Mesh2D::new(4, 4);
+        let machine = MachineState::new(mesh);
+        let mut a = ContiguousAllocator::best_fit();
+        assert!(a.allocate(&AllocRequest::new(1, 0), &machine).is_none());
+        assert!(a.allocate(&AllocRequest::new(1, 17), &machine).is_none());
+        assert!(a.allocate(&AllocRequest::new(1, 16), &machine).is_some());
+    }
+
+    #[test]
+    fn candidate_shapes_respect_mesh_bounds() {
+        let mesh = Mesh2D::new(4, 4);
+        for size in 1..=16usize {
+            for (w, h) in ContiguousAllocator::candidate_shapes(size, mesh) {
+                assert!(w <= 4 && h <= 4, "size {size} shape {w}x{h}");
+                assert!(w as usize * h as usize >= size || w as usize * h as usize >= size);
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! One-dimensional-reduction allocators (Section 2.1 of the paper).
+//!
+//! The machine's processors are ordered along a curve; the free processors
+//! then form maximal intervals of consecutive ranks ("bins"), and a
+//! bin-packing heuristic decides which interval serves an incoming request:
+//!
+//! * **Sorted free list** — the original Paging behaviour with page size one:
+//!   the job simply receives the first `size` free processors in curve order,
+//!   regardless of interval structure.
+//! * **First Fit** — the first interval large enough.
+//! * **Best Fit** — the interval that will have the fewest processors left.
+//! * **Sum of Squares** — the interval whose use minimises the sum of squared
+//!   remaining interval lengths (the Csirik et al. heuristic adapted by Leung
+//!   et al.; the paper mentions it performed less well and omits it from the
+//!   plots — we keep it for ablation).
+//!
+//! When no interval is large enough, all strategies fall back to the rule of
+//! Leung et al.: allocate the set of free processors spanning the *smallest
+//! range of ranks* along the curve.
+
+use crate::allocator::Allocator;
+use crate::machine::MachineState;
+use crate::request::{AllocRequest, Allocation};
+use commalloc_mesh::curve::{CurveKind, CurveOrder};
+use commalloc_mesh::{Mesh2D, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// How an interval (bin) of free curve ranks is chosen for a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Sorted free list: first `size` free processors in curve order.
+    FreeList,
+    /// First interval that fits.
+    FirstFit,
+    /// Interval that fits with the fewest processors remaining.
+    BestFit,
+    /// Interval that minimises the sum of squared remaining interval lengths.
+    SumOfSquares,
+}
+
+impl SelectionStrategy {
+    /// Short name used in reports ("free list", "FF", "BF", "SS").
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            SelectionStrategy::FreeList => "free list",
+            SelectionStrategy::FirstFit => "FF",
+            SelectionStrategy::BestFit => "BF",
+            SelectionStrategy::SumOfSquares => "SS",
+        }
+    }
+}
+
+/// A maximal run of free processors with consecutive curve ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreeInterval {
+    /// Rank of the first free processor in the run.
+    pub start: usize,
+    /// Number of free processors in the run.
+    pub len: usize,
+}
+
+/// Computes the maximal free intervals of `machine` along `curve`, in
+/// increasing rank order.
+pub fn free_intervals(curve: &CurveOrder, machine: &MachineState) -> Vec<FreeInterval> {
+    let mut intervals = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for rank in 0..curve.len() {
+        let free = machine.is_free(curve.node_at(rank));
+        match (free, run_start) {
+            (true, None) => run_start = Some(rank),
+            (false, Some(start)) => {
+                intervals.push(FreeInterval {
+                    start,
+                    len: rank - start,
+                });
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(start) = run_start {
+        intervals.push(FreeInterval {
+            start,
+            len: curve.len() - start,
+        });
+    }
+    intervals
+}
+
+/// A one-dimensional-reduction allocator: a curve plus a selection strategy.
+#[derive(Debug, Clone)]
+pub struct CurveAllocator {
+    curve: CurveOrder,
+    strategy: SelectionStrategy,
+}
+
+impl CurveAllocator {
+    /// Builds the allocator for `kind` over `mesh` using `strategy`.
+    pub fn new(kind: CurveKind, mesh: Mesh2D, strategy: SelectionStrategy) -> Self {
+        CurveAllocator {
+            curve: CurveOrder::build(kind, mesh),
+            strategy,
+        }
+    }
+
+    /// Builds the allocator over an explicit curve.
+    pub fn with_curve(curve: CurveOrder, strategy: SelectionStrategy) -> Self {
+        CurveAllocator { curve, strategy }
+    }
+
+    /// The curve this allocator orders processors along.
+    pub fn curve(&self) -> &CurveOrder {
+        &self.curve
+    }
+
+    /// The selection strategy in use.
+    pub fn strategy(&self) -> SelectionStrategy {
+        self.strategy
+    }
+
+    /// First `size` free processors in curve order (sorted-free-list rule).
+    fn free_list_take(&self, machine: &MachineState, size: usize) -> Vec<NodeId> {
+        (0..self.curve.len())
+            .map(|rank| self.curve.node_at(rank))
+            .filter(|&n| machine.is_free(n))
+            .take(size)
+            .collect()
+    }
+
+    /// Takes the first `size` processors of an interval.
+    fn take_from_interval(&self, interval: FreeInterval, size: usize) -> Vec<NodeId> {
+        (interval.start..interval.start + size)
+            .map(|rank| self.curve.node_at(rank))
+            .collect()
+    }
+
+    /// Minimum-span fallback: the window of `size` free processors whose curve
+    /// ranks span the smallest range.
+    fn min_span_take(&self, machine: &MachineState, size: usize) -> Vec<NodeId> {
+        let free_ranks: Vec<usize> = (0..self.curve.len())
+            .filter(|&rank| machine.is_free(self.curve.node_at(rank)))
+            .collect();
+        debug_assert!(free_ranks.len() >= size);
+        let mut best_start = 0usize;
+        let mut best_span = usize::MAX;
+        for i in 0..=free_ranks.len() - size {
+            let span = free_ranks[i + size - 1] - free_ranks[i];
+            if span < best_span {
+                best_span = span;
+                best_start = i;
+            }
+        }
+        free_ranks[best_start..best_start + size]
+            .iter()
+            .map(|&rank| self.curve.node_at(rank))
+            .collect()
+    }
+
+    /// Selects an interval according to the strategy, or `None` if no interval
+    /// fits (triggering the minimum-span fallback).
+    fn select_interval(
+        &self,
+        intervals: &[FreeInterval],
+        size: usize,
+    ) -> Option<FreeInterval> {
+        let fitting = intervals.iter().copied().filter(|iv| iv.len >= size);
+        match self.strategy {
+            SelectionStrategy::FreeList => None, // handled separately
+            SelectionStrategy::FirstFit => fitting.min_by_key(|iv| iv.start),
+            SelectionStrategy::BestFit => {
+                // Fewest processors remaining; ties broken towards the lowest
+                // rank so results are deterministic.
+                fitting.min_by_key(|iv| (iv.len - size, iv.start))
+            }
+            SelectionStrategy::SumOfSquares => {
+                let total_sq: i64 = intervals.iter().map(|iv| (iv.len * iv.len) as i64).sum();
+                fitting.min_by_key(|iv| {
+                    let remaining = iv.len - size;
+                    let delta =
+                        (remaining * remaining) as i64 - (iv.len * iv.len) as i64;
+                    (total_sq + delta, iv.start as i64)
+                })
+            }
+        }
+    }
+}
+
+impl Allocator for CurveAllocator {
+    fn name(&self) -> String {
+        format!("{} w/{}", self.curve.kind(), self.strategy.short_name())
+    }
+
+    fn allocate(&mut self, req: &AllocRequest, machine: &MachineState) -> Option<Allocation> {
+        if req.size == 0 || req.size > machine.num_free() {
+            return None;
+        }
+        let nodes = match self.strategy {
+            SelectionStrategy::FreeList => self.free_list_take(machine, req.size),
+            _ => {
+                let intervals = free_intervals(&self.curve, machine);
+                match self.select_interval(&intervals, req.size) {
+                    Some(interval) => self.take_from_interval(interval, req.size),
+                    None => self.min_span_take(machine, req.size),
+                }
+            }
+        };
+        debug_assert_eq!(nodes.len(), req.size);
+        Some(Allocation::new(req.job_id, nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commalloc_mesh::Coord;
+
+    fn machine_with_busy(mesh: Mesh2D, busy: &[NodeId]) -> MachineState {
+        let mut m = MachineState::new(mesh);
+        m.occupy(busy);
+        m
+    }
+
+    #[test]
+    fn free_intervals_on_partially_busy_machine() {
+        let mesh = Mesh2D::new(4, 1);
+        let curve = CurveOrder::build(CurveKind::RowMajor, mesh);
+        let machine = machine_with_busy(mesh, &[mesh.id_of(Coord::new(1, 0))]);
+        let intervals = free_intervals(&curve, &machine);
+        assert_eq!(
+            intervals,
+            vec![
+                FreeInterval { start: 0, len: 1 },
+                FreeInterval { start: 2, len: 2 }
+            ]
+        );
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_interval() {
+        // Row-major on an 8x1 mesh; make intervals of length 2 and 4.
+        let mesh = Mesh2D::new(8, 1);
+        let busy = vec![mesh.id_of(Coord::new(2, 0)), mesh.id_of(Coord::new(7, 0))];
+        let machine = machine_with_busy(mesh, &busy);
+        // Free: ranks 0-1 (len 2), 3-6 (len 4).
+        let mut bf = CurveAllocator::new(CurveKind::RowMajor, mesh, SelectionStrategy::BestFit);
+        let alloc = bf.allocate(&AllocRequest::new(1, 2), &machine).unwrap();
+        assert_eq!(alloc.nodes, vec![NodeId(0), NodeId(1)]);
+
+        let mut ff = CurveAllocator::new(CurveKind::RowMajor, mesh, SelectionStrategy::FirstFit);
+        let alloc_ff = ff.allocate(&AllocRequest::new(1, 2), &machine).unwrap();
+        assert_eq!(alloc_ff.nodes, vec![NodeId(0), NodeId(1)]);
+
+        // For a request of 3, First Fit and Best Fit must both use the second
+        // interval (the only one that fits).
+        let alloc3 = bf.allocate(&AllocRequest::new(2, 3), &machine).unwrap();
+        assert_eq!(alloc3.nodes, vec![NodeId(3), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn best_fit_differs_from_first_fit_when_later_interval_is_tighter() {
+        let mesh = Mesh2D::new(8, 1);
+        // Busy: node 3 -> free intervals: 0-2 (len 3), 4-7 (len 4).
+        let machine = machine_with_busy(mesh, &[NodeId(3)]);
+        // Request 4: only the second interval fits; request 2: FF takes the
+        // first interval, BF prefers... the first (len 3 leaves 1) vs second
+        // (len 4 leaves 2) -> BF takes first. Make the later interval tighter:
+        let machine2 = machine_with_busy(
+            mesh,
+            &[NodeId(2), NodeId(6)], // free: 0-1 (2), 3-5 (3), 7 (1)
+        );
+        let mut ff = CurveAllocator::new(CurveKind::RowMajor, mesh, SelectionStrategy::FirstFit);
+        let mut bf = CurveAllocator::new(CurveKind::RowMajor, mesh, SelectionStrategy::BestFit);
+        // Request 1: FF takes rank 0; BF takes the singleton interval at rank 7.
+        let a_ff = ff.allocate(&AllocRequest::new(1, 1), &machine2).unwrap();
+        let a_bf = bf.allocate(&AllocRequest::new(1, 1), &machine2).unwrap();
+        assert_eq!(a_ff.nodes, vec![NodeId(0)]);
+        assert_eq!(a_bf.nodes, vec![NodeId(7)]);
+        drop(machine);
+    }
+
+    #[test]
+    fn free_list_spans_busy_gaps() {
+        let mesh = Mesh2D::new(4, 1);
+        let machine = machine_with_busy(mesh, &[NodeId(1)]);
+        let mut fl = CurveAllocator::new(CurveKind::RowMajor, mesh, SelectionStrategy::FreeList);
+        let alloc = fl.allocate(&AllocRequest::new(1, 2), &machine).unwrap();
+        assert_eq!(alloc.nodes, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn min_span_fallback_when_fragmented() {
+        let mesh = Mesh2D::new(8, 1);
+        // Busy nodes 1, 4: free intervals 0 (1), 2-3 (2), 5-7 (3); request 4
+        // cannot fit in any interval. The tightest window of 4 free
+        // processors is ranks {2,3,5,6} (span 4) rather than {0,2,3,5} (span 5).
+        let machine = machine_with_busy(mesh, &[NodeId(1), NodeId(4)]);
+        let mut bf = CurveAllocator::new(CurveKind::RowMajor, mesh, SelectionStrategy::BestFit);
+        let alloc = bf.allocate(&AllocRequest::new(1, 4), &machine).unwrap();
+        assert_eq!(
+            alloc.nodes,
+            vec![NodeId(2), NodeId(3), NodeId(5), NodeId(6)]
+        );
+    }
+
+    #[test]
+    fn oversized_and_zero_requests_are_rejected() {
+        let mesh = Mesh2D::new(2, 2);
+        let machine = MachineState::new(mesh);
+        let mut a = CurveAllocator::new(CurveKind::Hilbert, mesh, SelectionStrategy::BestFit);
+        assert!(a.allocate(&AllocRequest::new(1, 5), &machine).is_none());
+        assert!(a.allocate(&AllocRequest::new(1, 0), &machine).is_none());
+        assert!(a.allocate(&AllocRequest::new(1, 4), &machine).is_some());
+    }
+
+    #[test]
+    fn hilbert_best_fit_on_empty_square_mesh_is_contiguous() {
+        let mesh = Mesh2D::square_16x16();
+        let machine = MachineState::new(mesh);
+        let mut a = CurveAllocator::new(CurveKind::Hilbert, mesh, SelectionStrategy::BestFit);
+        for size in [4usize, 16, 30, 64, 128] {
+            let alloc = a
+                .allocate(&AllocRequest::new(size as u64, size), &machine)
+                .unwrap();
+            assert_eq!(mesh.components(&alloc.nodes), 1, "size {size}");
+        }
+    }
+
+    #[test]
+    fn sum_of_squares_allocates_requested_count() {
+        let mesh = Mesh2D::new(8, 8);
+        let machine = machine_with_busy(mesh, &[NodeId(10), NodeId(30), NodeId(31)]);
+        let mut a =
+            CurveAllocator::new(CurveKind::Hilbert, mesh, SelectionStrategy::SumOfSquares);
+        let alloc = a.allocate(&AllocRequest::new(1, 12), &machine).unwrap();
+        assert_eq!(alloc.nodes.len(), 12);
+        assert!(alloc.nodes.iter().all(|&n| machine.is_free(n)));
+    }
+}

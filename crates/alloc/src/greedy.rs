@@ -1,0 +1,210 @@
+//! Greedy incremental dispersion minimisation.
+//!
+//! Gen-Alg (Section 2.2 of the paper) evaluates *every* free processor as a
+//! potential centre and, for each, gathers the `k − 1` nearest free
+//! processors — an `O(F² log F)` decision for `F` free processors. This
+//! module provides the natural cheaper relative: grow the allocation one
+//! processor at a time, always adding the free processor that increases the
+//! total pairwise distance the least. The greedy rule needs only the sum of
+//! distances from each free processor to the already-chosen set, which can be
+//! maintained incrementally, giving an `O(k · F)` decision.
+//!
+//! The greedy allocator is an extension (the paper does not evaluate it); it
+//! exists so the benches can ask whether Gen-Alg's extra work buys anything
+//! over the obvious cheap heuristic targeting the *same* metric, and so the
+//! allocator-cost microbenchmarks have a like-for-like comparison point.
+
+use crate::allocator::Allocator;
+use crate::machine::MachineState;
+use crate::request::{AllocRequest, Allocation};
+use commalloc_mesh::NodeId;
+
+/// Greedy incremental minimiser of total pairwise distance.
+///
+/// The first processor is chosen as the free processor whose total distance
+/// to all other free processors is smallest (the "most central" free
+/// processor), which keeps the greedy process from starting in a sparse
+/// corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GreedyAllocator;
+
+impl GreedyAllocator {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        GreedyAllocator
+    }
+}
+
+impl Allocator for GreedyAllocator {
+    fn name(&self) -> String {
+        "greedy".to_string()
+    }
+
+    fn allocate(&mut self, req: &AllocRequest, machine: &MachineState) -> Option<Allocation> {
+        let k = req.size;
+        if k == 0 || k > machine.num_free() {
+            return None;
+        }
+        let mesh = machine.mesh();
+        let free: Vec<NodeId> = machine.free_nodes().collect();
+        if k == free.len() {
+            return Some(Allocation::new(req.job_id, free));
+        }
+
+        // Seed: the most central free processor (smallest total distance to
+        // the rest of the free set).
+        let mut best_seed = 0usize;
+        let mut best_total = u64::MAX;
+        for (i, &a) in free.iter().enumerate() {
+            let total: u64 = free.iter().map(|&b| mesh.distance(a, b) as u64).sum();
+            if total < best_total {
+                best_total = total;
+                best_seed = i;
+            }
+        }
+
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
+        let mut chosen_mask = vec![false; free.len()];
+        // dist_to_chosen[i] = Σ distance(free[i], c) over chosen c.
+        let mut dist_to_chosen = vec![0u64; free.len()];
+
+        let add = |idx: usize,
+                       chosen: &mut Vec<NodeId>,
+                       chosen_mask: &mut Vec<bool>,
+                       dist_to_chosen: &mut Vec<u64>| {
+            chosen.push(free[idx]);
+            chosen_mask[idx] = true;
+            for (i, &node) in free.iter().enumerate() {
+                if !chosen_mask[i] {
+                    dist_to_chosen[i] += mesh.distance(node, free[idx]) as u64;
+                }
+            }
+        };
+        add(best_seed, &mut chosen, &mut chosen_mask, &mut dist_to_chosen);
+
+        while chosen.len() < k {
+            let mut best_idx = usize::MAX;
+            let mut best_cost = u64::MAX;
+            for (i, &cost) in dist_to_chosen.iter().enumerate() {
+                if !chosen_mask[i] && cost < best_cost {
+                    best_cost = cost;
+                    best_idx = i;
+                }
+            }
+            debug_assert_ne!(best_idx, usize::MAX, "free processors remain");
+            add(best_idx, &mut chosen, &mut chosen_mask, &mut dist_to_chosen);
+        }
+
+        Some(Allocation::new(req.job_id, chosen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen_alg::GenAlgAllocator;
+    use crate::metrics::quality;
+    use commalloc_mesh::{Coord, Mesh2D};
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn fragmented(mesh: Mesh2D, busy: usize, seed: u64) -> MachineState {
+        let mut machine = MachineState::new(mesh);
+        let mut nodes: Vec<NodeId> = mesh.nodes().collect();
+        nodes.shuffle(&mut StdRng::seed_from_u64(seed));
+        nodes.truncate(busy);
+        machine.occupy(&nodes);
+        machine
+    }
+
+    #[test]
+    fn allocates_exactly_the_requested_count_of_free_processors() {
+        let mesh = Mesh2D::square_16x16();
+        let machine = fragmented(mesh, 100, 3);
+        let mut greedy = GreedyAllocator::new();
+        for size in [1usize, 5, 14, 40] {
+            let a = greedy
+                .allocate(&AllocRequest::new(1, size), &machine)
+                .unwrap();
+            assert_eq!(a.nodes.len(), size);
+            let unique: std::collections::HashSet<_> = a.nodes.iter().collect();
+            assert_eq!(unique.len(), size);
+            assert!(a.nodes.iter().all(|&n| machine.is_free(n)));
+        }
+    }
+
+    #[test]
+    fn empty_machine_allocations_are_compact() {
+        let mesh = Mesh2D::square_16x16();
+        let machine = MachineState::new(mesh);
+        let mut greedy = GreedyAllocator::new();
+        for size in [4usize, 9, 16, 30] {
+            let a = greedy
+                .allocate(&AllocRequest::new(1, size), &machine)
+                .unwrap();
+            let q = quality(mesh, &a.nodes);
+            assert_eq!(q.components, 1, "size {size} should be one blob");
+            // A compact blob of k processors has average pairwise distance
+            // well below the random expectation (~10.6 on a 16x16 mesh).
+            assert!(q.avg_pairwise_distance < 5.0, "size {size}: {q:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_tracks_gen_alg_quality_closely() {
+        // The greedy heuristic targets the same metric as Gen-Alg; on
+        // moderately fragmented machines its dispersion should be within a
+        // small factor of Gen-Alg's (it need not match it exactly).
+        let mesh = Mesh2D::square_16x16();
+        for seed in 0..5u64 {
+            let machine = fragmented(mesh, 120, seed);
+            let req = AllocRequest::new(seed, 16);
+            let greedy = GreedyAllocator::new().allocate(&req, &machine).unwrap();
+            let gen_alg = GenAlgAllocator::new().allocate(&req, &machine).unwrap();
+            let dg = mesh.avg_pairwise_distance(&greedy.nodes);
+            let da = mesh.avg_pairwise_distance(&gen_alg.nodes);
+            assert!(
+                dg <= da * 1.5 + 1e-9,
+                "seed {seed}: greedy dispersion {dg:.2} too far above Gen-Alg {da:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_zero_and_oversized_requests() {
+        let mesh = Mesh2D::new(4, 4);
+        let machine = MachineState::new(mesh);
+        let mut greedy = GreedyAllocator::new();
+        assert!(greedy.allocate(&AllocRequest::new(1, 0), &machine).is_none());
+        assert!(greedy
+            .allocate(&AllocRequest::new(1, 17), &machine)
+            .is_none());
+        // Taking the whole machine is the trivial case.
+        let all = greedy
+            .allocate(&AllocRequest::new(1, 16), &machine)
+            .unwrap();
+        assert_eq!(all.nodes.len(), 16);
+    }
+
+    #[test]
+    fn seed_is_the_most_central_free_processor() {
+        // Free processors form an L shape; the corner of the L is the most
+        // central and must be chosen first.
+        let mesh = Mesh2D::new(8, 8);
+        let free_coords = [
+            Coord::new(0, 0),
+            Coord::new(1, 0),
+            Coord::new(2, 0),
+            Coord::new(0, 1),
+            Coord::new(0, 2),
+        ];
+        let free_ids: Vec<NodeId> = free_coords.iter().map(|&c| mesh.id_of(c)).collect();
+        let busy: Vec<NodeId> = mesh.nodes().filter(|n| !free_ids.contains(n)).collect();
+        let mut machine = MachineState::new(mesh);
+        machine.occupy(&busy);
+        let mut greedy = GreedyAllocator::new();
+        let a = greedy.allocate(&AllocRequest::new(1, 1), &machine).unwrap();
+        assert_eq!(mesh.coord_of(a.nodes[0]), Coord::new(0, 0));
+    }
+}

@@ -1,0 +1,190 @@
+//! Best-of-several meta-allocation.
+//!
+//! The paper's discussion closes with: "Obviously, the ideal is to find a
+//! general purpose allocation algorithm that works reasonably well for all
+//! types of problems, but a strategy to harness the strengths of different
+//! algorithms would also be useful." This module implements the simplest
+//! such strategy: run several candidate allocators on the same request and
+//! keep the allocation with the best *static* quality — fewest rectilinear
+//! components, then lowest average pairwise distance. The static metrics do
+//! not capture everything (that is the message of Figures 9–11), but they
+//! are the only information available at allocation time, and picking the
+//! better of MC-style and curve-style placements already hedges the
+//! pattern-dependence the paper documents.
+
+use crate::allocator::Allocator;
+use crate::machine::MachineState;
+use crate::metrics::quality;
+use crate::request::{AllocRequest, Allocation};
+
+/// A meta-allocator that evaluates every candidate and keeps the best
+/// allocation by (components, average pairwise distance).
+pub struct HybridAllocator {
+    name: String,
+    candidates: Vec<Box<dyn Allocator>>,
+}
+
+impl HybridAllocator {
+    /// Creates a hybrid over the given candidate allocators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn new(name: impl Into<String>, candidates: Vec<Box<dyn Allocator>>) -> Self {
+        assert!(
+            !candidates.is_empty(),
+            "hybrid allocator needs at least one candidate"
+        );
+        HybridAllocator {
+            name: name.into(),
+            candidates,
+        }
+    }
+
+    /// Number of candidate allocators consulted per request.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+impl Allocator for HybridAllocator {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn allocate(&mut self, req: &AllocRequest, machine: &MachineState) -> Option<Allocation> {
+        let mesh = machine.mesh();
+        let mut best: Option<(usize, f64, Allocation)> = None;
+        for candidate in &mut self.candidates {
+            let Some(allocation) = candidate.allocate(req, machine) else {
+                continue;
+            };
+            let q = quality(mesh, &allocation.nodes);
+            let better = match &best {
+                None => true,
+                Some((components, distance, _)) => {
+                    q.components < *components
+                        || (q.components == *components && q.avg_pairwise_distance < *distance)
+                }
+            };
+            if better {
+                best = Some((q.components, q.avg_pairwise_distance, allocation));
+            }
+        }
+        best.map(|(_, _, allocation)| allocation)
+    }
+
+    fn release(&mut self, allocation: &Allocation, machine: &MachineState) {
+        for candidate in &mut self.candidates {
+            candidate.release(allocation, machine);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve_alloc::{CurveAllocator, SelectionStrategy};
+    use crate::mc::McAllocator;
+    use crate::random_alloc::RandomAllocator;
+    use commalloc_mesh::curve::CurveKind;
+    use commalloc_mesh::{Mesh2D, NodeId};
+
+    fn hybrid(mesh: Mesh2D) -> HybridAllocator {
+        HybridAllocator::new(
+            "hybrid",
+            vec![
+                Box::new(CurveAllocator::new(
+                    CurveKind::Hilbert,
+                    mesh,
+                    SelectionStrategy::BestFit,
+                )),
+                Box::new(McAllocator::mc()),
+            ],
+        )
+    }
+
+    #[test]
+    fn hybrid_allocates_and_matches_request_size() {
+        let mesh = Mesh2D::square_16x16();
+        let machine = MachineState::new(mesh);
+        let mut h = hybrid(mesh);
+        assert_eq!(h.num_candidates(), 2);
+        for size in [1usize, 14, 30, 64] {
+            let alloc = h.allocate(&AllocRequest::new(1, size), &machine).unwrap();
+            assert_eq!(alloc.nodes.len(), size);
+            let unique: std::collections::HashSet<_> = alloc.nodes.iter().collect();
+            assert_eq!(unique.len(), size);
+        }
+    }
+
+    #[test]
+    fn hybrid_is_never_worse_than_either_candidate_alone() {
+        let mesh = Mesh2D::square_16x16();
+        let mut machine = MachineState::new(mesh);
+        // Fragment the machine a little so the candidates disagree.
+        let busy: Vec<NodeId> = (0..48u32).step_by(3).map(NodeId).collect();
+        machine.occupy(&busy);
+
+        let req = AllocRequest::new(7, 24);
+        let mut hilbert = CurveAllocator::new(mesh_curve(), mesh, SelectionStrategy::BestFit);
+        let mut mc = McAllocator::mc();
+        let mut h = hybrid(mesh);
+
+        let q = |alloc: &Allocation| {
+            let q = quality(mesh, &alloc.nodes);
+            (q.components, q.avg_pairwise_distance)
+        };
+        let qa = q(&hilbert.allocate(&req, &machine).unwrap());
+        let qb = q(&mc.allocate(&req, &machine).unwrap());
+        let qh = q(&h.allocate(&req, &machine).unwrap());
+        let best = if qa <= qb { qa } else { qb };
+        assert!(
+            qh.0 < best.0 || (qh.0 == best.0 && qh.1 <= best.1 + 1e-12),
+            "hybrid {qh:?} must match or beat the better candidate {best:?}"
+        );
+    }
+
+    fn mesh_curve() -> CurveKind {
+        CurveKind::Hilbert
+    }
+
+    #[test]
+    fn hybrid_skips_candidates_that_fail() {
+        // The random allocator succeeds everywhere; a contiguous candidate
+        // that fails is simply skipped.
+        let mesh = Mesh2D::new(4, 4);
+        let busy: Vec<NodeId> = mesh
+            .nodes()
+            .filter(|n| {
+                let c = mesh.coord_of(*n);
+                (c.x + c.y) % 2 == 0
+            })
+            .collect();
+        let mut machine = MachineState::new(mesh);
+        machine.occupy(&busy);
+        let mut h = HybridAllocator::new(
+            "hybrid",
+            vec![
+                Box::new(crate::contiguous::ContiguousAllocator::first_fit()),
+                Box::new(RandomAllocator::new(3)),
+            ],
+        );
+        let alloc = h.allocate(&AllocRequest::new(1, 4), &machine).unwrap();
+        assert_eq!(alloc.nodes.len(), 4);
+    }
+
+    #[test]
+    fn hybrid_fails_only_when_every_candidate_fails() {
+        let mesh = Mesh2D::new(2, 2);
+        let machine = MachineState::new(mesh);
+        let mut h = hybrid(mesh);
+        assert!(h.allocate(&AllocRequest::new(1, 5), &machine).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidate_list_is_rejected() {
+        HybridAllocator::new("empty", Vec::new());
+    }
+}

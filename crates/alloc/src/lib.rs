@@ -1,0 +1,79 @@
+//! # commalloc-alloc
+//!
+//! Processor-allocation algorithms for space-shared 2-D mesh machines, as
+//! evaluated by *Communication Patterns and Allocation Strategies* (Leung,
+//! Bunde & Mache, SAND2003-4522 / IPPS 2004).
+//!
+//! On CPlant-class machines the scheduler decides *which* job runs next and
+//! the allocator decides *where* it runs; this crate implements the
+//! allocator side:
+//!
+//! * [`curve_alloc::CurveAllocator`] — the one-dimensional-reduction family
+//!   (Section 2.1): processors are ordered along a space-filling curve and a
+//!   bin-packing heuristic ([`curve_alloc::SelectionStrategy`]: sorted free
+//!   list, First Fit, Best Fit, Sum-of-Squares) picks an interval of free
+//!   ranks.
+//! * [`paging::PagingAllocator`] — the original Paging algorithm of Lo et al.
+//!   with `2^s × 2^s` pages (the paper uses `s = 0`, a special case of the
+//!   curve allocator; larger pages are kept for ablation).
+//! * [`gen_alg::GenAlgAllocator`] — the (2 − 2/k)-approximation of Krumke et
+//!   al. for minimising average pairwise distance (Section 2.2).
+//! * [`mc::McAllocator`] — MC and MC1x1, the shell-based free-processor
+//!   scoring of Mache et al. (Section 2.3).
+//! * [`random_alloc::RandomAllocator`] — a dispersion-oblivious baseline.
+//! * [`contiguous::ContiguousAllocator`] — the historical submesh-only
+//!   baseline the paper's survey opens with (jobs wait until a free
+//!   rectangle exists).
+//! * [`buddy::BuddyAllocator`] and [`mbs::MbsAllocator`] — the 2-D buddy
+//!   system of Li & Cheng and the Multiple Buddy Strategy of Lo et al.,
+//!   the contiguous and non-contiguous block-structured relatives of Paging.
+//! * [`hybrid::HybridAllocator`] — a best-of-several meta-strategy answering
+//!   the paper's closing call for "a strategy to harness the strengths of
+//!   different algorithms".
+//! * [`metrics`] — allocation-quality measures: average pairwise distance,
+//!   rectilinear components and contiguity (Section 4.3, Figure 11), plus
+//!   the wider dispersal-metric family of Mache & Lo.
+//!
+//! All allocators implement the [`Allocator`] trait and operate on a
+//! [`MachineState`] occupancy view; [`AllocatorKind`] names every
+//! configuration the paper plots and builds it via [`AllocatorKind::build`].
+//!
+//! # Example
+//!
+//! ```
+//! use commalloc_alloc::{AllocRequest, Allocator, AllocatorKind, MachineState};
+//! use commalloc_mesh::Mesh2D;
+//!
+//! let mesh = Mesh2D::square_16x16();
+//! let mut machine = MachineState::new(mesh);
+//! let mut allocator = AllocatorKind::HilbertBestFit.build(mesh);
+//!
+//! let first = allocator
+//!     .allocate(&AllocRequest::new(1, 17), &machine)
+//!     .expect("empty machine can host 17 processors");
+//! machine.occupy(&first.nodes);
+//! assert_eq!(first.nodes.len(), 17);
+//!
+//! // On an empty mesh a Best Fit Hilbert allocation is contiguous.
+//! assert_eq!(mesh.components(&first.nodes), 1);
+//! ```
+
+pub mod allocator;
+pub mod buddy;
+pub mod contiguous;
+pub mod curve_alloc;
+pub mod gen_alg;
+pub mod greedy;
+pub mod hybrid;
+pub mod machine;
+pub mod mbs;
+pub mod mc;
+pub mod metrics;
+pub mod paging;
+pub mod random_alloc;
+pub mod request;
+
+pub use allocator::{Allocator, AllocatorKind};
+pub use machine::MachineState;
+pub use metrics::{AllocationQuality, DispersionMetrics};
+pub use request::{AllocRequest, Allocation};

@@ -1,0 +1,147 @@
+//! Machine occupancy state shared by scheduler, allocator and simulator.
+
+use commalloc_mesh::{Mesh2D, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The free/busy state of every processor of a mesh machine.
+///
+/// Processors are exclusively dedicated to a job from allocation until the
+/// job terminates (space sharing), so the state is a simple bitmap plus a
+/// free-count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineState {
+    mesh: Mesh2D,
+    free: Vec<bool>,
+    num_free: usize,
+}
+
+impl MachineState {
+    /// Creates a fully-free machine over `mesh`.
+    pub fn new(mesh: Mesh2D) -> Self {
+        MachineState {
+            mesh,
+            free: vec![true; mesh.num_nodes()],
+            num_free: mesh.num_nodes(),
+        }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> Mesh2D {
+        self.mesh
+    }
+
+    /// Total number of processors.
+    pub fn num_nodes(&self) -> usize {
+        self.mesh.num_nodes()
+    }
+
+    /// Number of currently free processors.
+    pub fn num_free(&self) -> usize {
+        self.num_free
+    }
+
+    /// Number of currently busy processors.
+    pub fn num_busy(&self) -> usize {
+        self.num_nodes() - self.num_free
+    }
+
+    /// True if `node` is free.
+    pub fn is_free(&self, node: NodeId) -> bool {
+        self.free[node.index()]
+    }
+
+    /// Iterator over the free processors in row-major order.
+    pub fn free_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.free
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Marks `nodes` busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the nodes is already busy — double allocation is a
+    /// simulator bug, never a recoverable condition.
+    pub fn occupy(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            assert!(
+                self.free[n.index()],
+                "processor {n} allocated twice"
+            );
+            self.free[n.index()] = false;
+        }
+        self.num_free -= nodes.len();
+    }
+
+    /// Marks `nodes` free again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the nodes is already free.
+    pub fn release(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            assert!(
+                !self.free[n.index()],
+                "processor {n} released while free"
+            );
+            self.free[n.index()] = true;
+        }
+        self.num_free += nodes.len();
+    }
+
+    /// System utilisation in `[0, 1]`: fraction of processors busy.
+    pub fn utilization(&self) -> f64 {
+        self.num_busy() as f64 / self.num_nodes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commalloc_mesh::Coord;
+
+    #[test]
+    fn occupy_release_round_trip() {
+        let mesh = Mesh2D::new(4, 4);
+        let mut m = MachineState::new(mesh);
+        assert_eq!(m.num_free(), 16);
+        let nodes = vec![mesh.id_of(Coord::new(0, 0)), mesh.id_of(Coord::new(1, 0))];
+        m.occupy(&nodes);
+        assert_eq!(m.num_free(), 14);
+        assert_eq!(m.num_busy(), 2);
+        assert!(!m.is_free(nodes[0]));
+        assert!((m.utilization() - 2.0 / 16.0).abs() < 1e-12);
+        m.release(&nodes);
+        assert_eq!(m.num_free(), 16);
+        assert!(m.is_free(nodes[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated twice")]
+    fn double_occupy_panics() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut m = MachineState::new(mesh);
+        m.occupy(&[NodeId(0)]);
+        m.occupy(&[NodeId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "released while free")]
+    fn double_release_panics() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut m = MachineState::new(mesh);
+        m.release(&[NodeId(0)]);
+    }
+
+    #[test]
+    fn free_nodes_iterates_only_free() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut m = MachineState::new(mesh);
+        m.occupy(&[NodeId(1), NodeId(3)]);
+        let free: Vec<_> = m.free_nodes().collect();
+        assert_eq!(free, vec![NodeId(0), NodeId(2)]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Multiple Buddy Strategy (MBS) allocation (Lo, Windisch, Liu & Nitzberg).
+//!
+//! MBS is the non-contiguous relative of the 2-D buddy system, proposed in
+//! the same paper as Paging (reference [19] of the paper reproduced here).
+//! The request for `k` processors is factored by its base-4 representation
+//! into a collection of square blocks — `k = Σ dᵢ · 4^i` asks for `dᵢ`
+//! blocks of side `2^i` — and each block is satisfied from the free aligned
+//! block of exactly that size if one exists, or by breaking the sub-request
+//! into four blocks of the next smaller size otherwise. Because a request
+//! can always be broken all the way down to single processors, MBS succeeds
+//! whenever enough processors are free (no external-fragmentation failures),
+//! while still preferring large square chunks that keep the allocation
+//! compact.
+//!
+//! The implementation is stateless with respect to occupancy: the free-block
+//! structure is recomputed from [`MachineState`] on each call, which keeps
+//! the allocator trivially consistent with the simulator's single source of
+//! truth (the paper's simulator owns occupancy the same way).
+
+use crate::allocator::Allocator;
+use crate::buddy::BuddyAllocator;
+use crate::machine::MachineState;
+use crate::request::{AllocRequest, Allocation};
+use commalloc_mesh::{Coord, Mesh2D, NodeId};
+
+/// Multiple Buddy Strategy allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MbsAllocator;
+
+impl MbsAllocator {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        MbsAllocator
+    }
+
+    /// The base-4 factorisation of a request: `factorize(k)[i]` is the
+    /// number of blocks of side `2^i` requested. The factorisation is
+    /// truncated at the largest block that fits the mesh.
+    pub fn factorize(size: usize, max_order: u32) -> Vec<usize> {
+        let mut digits = Vec::new();
+        let mut rest = size;
+        while rest > 0 {
+            digits.push(rest % 4);
+            rest /= 4;
+        }
+        // Blocks larger than the machine's largest aligned block are broken
+        // into four blocks of the next order down.
+        while digits.len() as u32 > max_order + 1 {
+            let top = digits.pop().expect("len checked above");
+            let next = digits.len() - 1;
+            digits[next] += top * 4;
+        }
+        digits
+    }
+
+    /// The largest block order whose `2^o × 2^o` footprint fits inside the
+    /// mesh (`⌊log₂ min(width, height)⌋`).
+    pub fn max_order(mesh: Mesh2D) -> u32 {
+        let side = mesh.width().min(mesh.height());
+        debug_assert!(side > 0);
+        15 - side.leading_zeros()
+    }
+
+    /// Nodes of the aligned block at `origin` with side `2^order`, row-major.
+    fn block_nodes(mesh: Mesh2D, origin: Coord, order: u32) -> Vec<NodeId> {
+        let side = 1u16 << order;
+        let mut nodes = Vec::with_capacity((side as usize) * (side as usize));
+        for dy in 0..side {
+            for dx in 0..side {
+                nodes.push(mesh.id_of(Coord::new(origin.x + dx, origin.y + dy)));
+            }
+        }
+        nodes
+    }
+}
+
+impl Allocator for MbsAllocator {
+    fn name(&self) -> String {
+        "MBS".to_string()
+    }
+
+    fn allocate(&mut self, req: &AllocRequest, machine: &MachineState) -> Option<Allocation> {
+        if req.size == 0 || req.size > machine.num_free() {
+            return None;
+        }
+        let mesh = machine.mesh();
+        let max_order = Self::max_order(mesh);
+        let mut wanted = Self::factorize(req.size, max_order);
+
+        // Track which processors this allocation has already claimed so a
+        // later block does not reuse them (the machine state itself is
+        // immutable during one call).
+        let mut claimed = vec![false; mesh.num_nodes()];
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(req.size);
+
+        // Serve block requests from the largest order down; an unsatisfiable
+        // block request is broken into four of the next smaller order.
+        let mut order = wanted.len().saturating_sub(1) as i32;
+        while order >= 0 {
+            let o = order as u32;
+            let mut remaining = wanted[o as usize];
+            if remaining == 0 {
+                order -= 1;
+                continue;
+            }
+            let candidates: Vec<Coord> = BuddyAllocator::free_blocks(machine, o)
+                .into_iter()
+                .filter(|&origin| {
+                    Self::block_nodes(mesh, origin, o)
+                        .iter()
+                        .all(|n| !claimed[n.index()])
+                })
+                .collect();
+            for origin in candidates {
+                if remaining == 0 {
+                    break;
+                }
+                for n in Self::block_nodes(mesh, origin, o) {
+                    claimed[n.index()] = true;
+                    nodes.push(n);
+                }
+                remaining -= 1;
+            }
+            if remaining > 0 {
+                if o == 0 {
+                    // Fall back to arbitrary free processors for the
+                    // leftovers (MBS's final break-down step).
+                    for n in machine.free_nodes() {
+                        if remaining == 0 {
+                            break;
+                        }
+                        if !claimed[n.index()] {
+                            claimed[n.index()] = true;
+                            nodes.push(n);
+                            remaining -= 1;
+                        }
+                    }
+                    debug_assert_eq!(remaining, 0, "enough free processors were guaranteed");
+                } else {
+                    // Break each missing block into four of the next order.
+                    wanted[(o - 1) as usize] += remaining * 4;
+                }
+            }
+            wanted[o as usize] = 0;
+            order -= 1;
+        }
+
+        // The factorisation may have over-claimed (a broken-down block can
+        // only be filled in units of smaller blocks); trim to the request.
+        nodes.truncate(req.size);
+        debug_assert_eq!(nodes.len(), req.size);
+        Some(Allocation::new(req.job_id, nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorize_is_base_four() {
+        assert_eq!(MbsAllocator::factorize(1, 4), vec![1]);
+        assert_eq!(MbsAllocator::factorize(5, 4), vec![1, 1]);
+        assert_eq!(MbsAllocator::factorize(14, 4), vec![2, 3]);
+        assert_eq!(MbsAllocator::factorize(64, 4), vec![0, 0, 0, 1]);
+        assert_eq!(MbsAllocator::factorize(30, 4), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn factorize_respects_the_maximum_order() {
+        // 64 processors = one order-3 block, but if the machine only holds
+        // order-2 blocks the request becomes four of them.
+        assert_eq!(MbsAllocator::factorize(64, 2), vec![0, 0, 4]);
+        assert_eq!(MbsAllocator::factorize(80, 1), vec![0, 20]);
+    }
+
+    #[test]
+    fn max_order_matches_mesh_dimensions() {
+        assert_eq!(MbsAllocator::max_order(Mesh2D::new(16, 16)), 4);
+        assert_eq!(MbsAllocator::max_order(Mesh2D::new(16, 22)), 4);
+        assert_eq!(MbsAllocator::max_order(Mesh2D::new(8, 22)), 3);
+        assert_eq!(MbsAllocator::max_order(Mesh2D::new(1, 9)), 0);
+    }
+
+    #[test]
+    fn empty_mesh_allocations_are_compact() {
+        let mesh = Mesh2D::square_16x16();
+        let machine = MachineState::new(mesh);
+        let mut mbs = MbsAllocator::new();
+        for size in [1usize, 4, 14, 16, 30, 64, 100, 128] {
+            let alloc = mbs.allocate(&AllocRequest::new(1, size), &machine).unwrap();
+            assert_eq!(alloc.nodes.len(), size, "size {size}");
+            let unique: std::collections::HashSet<_> = alloc.nodes.iter().collect();
+            assert_eq!(unique.len(), size, "size {size} must not repeat processors");
+            // Power-of-four requests on an empty mesh come back as a single
+            // aligned square block.
+            if size.is_power_of_two() && size.trailing_zeros() % 2 == 0 {
+                assert_eq!(mesh.components(&alloc.nodes), 1, "size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_fails_when_enough_processors_are_free() {
+        // Fragment the machine heavily (checkerboard) and allocate half of
+        // it: MBS must still succeed, unlike the contiguous strategies.
+        let mesh = Mesh2D::new(8, 8);
+        let busy: Vec<NodeId> = mesh
+            .nodes()
+            .filter(|n| {
+                let c = mesh.coord_of(*n);
+                (c.x + c.y) % 2 == 0
+            })
+            .collect();
+        let mut machine = MachineState::new(mesh);
+        machine.occupy(&busy);
+        let mut mbs = MbsAllocator::new();
+        let alloc = mbs.allocate(&AllocRequest::new(1, 32), &machine).unwrap();
+        assert_eq!(alloc.nodes.len(), 32);
+        assert!(alloc.nodes.iter().all(|&n| machine.is_free(n)));
+    }
+
+    #[test]
+    fn prefers_whole_blocks_when_available() {
+        // With the left half busy, a 16-processor request should come back as
+        // the free aligned 4x4 block in the right half.
+        let mesh = Mesh2D::new(8, 4);
+        let busy: Vec<NodeId> = mesh
+            .nodes()
+            .filter(|n| mesh.coord_of(*n).x < 4)
+            .collect();
+        let mut machine = MachineState::new(mesh);
+        machine.occupy(&busy);
+        let mut mbs = MbsAllocator::new();
+        let alloc = mbs.allocate(&AllocRequest::new(1, 16), &machine).unwrap();
+        assert_eq!(alloc.nodes.len(), 16);
+        assert_eq!(mesh.components(&alloc.nodes), 1);
+        assert!(alloc
+            .nodes
+            .iter()
+            .all(|&n| mesh.coord_of(n).x >= 4));
+    }
+
+    #[test]
+    fn zero_and_oversized_requests_are_rejected() {
+        let mesh = Mesh2D::new(4, 4);
+        let machine = MachineState::new(mesh);
+        let mut mbs = MbsAllocator::new();
+        assert!(mbs.allocate(&AllocRequest::new(1, 0), &machine).is_none());
+        assert!(mbs.allocate(&AllocRequest::new(1, 17), &machine).is_none());
+        assert!(mbs.allocate(&AllocRequest::new(1, 16), &machine).is_some());
+    }
+}

@@ -1,0 +1,299 @@
+//! Allocation-quality metrics (Section 4.3 of the paper).
+//!
+//! Three measures are used to characterise an allocation independently of the
+//! network simulation:
+//!
+//! * **average pairwise distance** — the dispersion metric of Mache & Lo that
+//!   MC1x1 and Gen-Alg explicitly minimise (Figures 1 and 9);
+//! * **number of rectilinear components** and **contiguity** — how many
+//!   connected pieces the allocation splits into (Figure 11);
+//! * **curve span** — the range of curve ranks covered, a cheap proxy used by
+//!   the one-dimensional strategies' fallback rule;
+//! * **dispersal metrics** ([`DispersionMetrics`]) — the wider family studied
+//!   by Mache & Lo: maximum pairwise distance (diameter), bounding-box area
+//!   and the fraction of the bounding box actually used.
+
+use commalloc_mesh::curve::CurveOrder;
+use commalloc_mesh::{Coord, Mesh2D, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Quality summary of a single allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocationQuality {
+    /// Number of processors in the allocation.
+    pub size: usize,
+    /// Average pairwise Manhattan distance between the processors.
+    pub avg_pairwise_distance: f64,
+    /// Number of rectilinear connected components.
+    pub components: usize,
+    /// True when the allocation forms a single component.
+    pub contiguous: bool,
+}
+
+/// Computes the quality summary of an allocation on `mesh`.
+pub fn quality(mesh: Mesh2D, nodes: &[NodeId]) -> AllocationQuality {
+    let components = mesh.components(nodes);
+    AllocationQuality {
+        size: nodes.len(),
+        avg_pairwise_distance: mesh.avg_pairwise_distance(nodes),
+        components,
+        contiguous: components == 1,
+    }
+}
+
+/// The dispersal-metric family of Mache & Lo, computed for one allocation.
+///
+/// The paper's Section 4.3 investigates which static metric best predicts
+/// running time; these are the companions of the average-pairwise-distance
+/// metric reported there, exposed so the correlation experiment (Figures 9
+/// and 10) can be repeated against any of them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DispersionMetrics {
+    /// Number of processors in the allocation.
+    pub size: usize,
+    /// Average pairwise Manhattan distance (the metric MC1x1 and Gen-Alg
+    /// minimise).
+    pub avg_pairwise_distance: f64,
+    /// Maximum pairwise Manhattan distance (the allocation's diameter).
+    pub max_pairwise_distance: u32,
+    /// Width of the axis-aligned bounding box.
+    pub bbox_width: u16,
+    /// Height of the axis-aligned bounding box.
+    pub bbox_height: u16,
+    /// Fraction of the bounding box occupied by the allocation, in `(0, 1]`.
+    /// A perfect rectangle scores 1; scattered allocations score low.
+    pub bbox_utilization: f64,
+}
+
+impl DispersionMetrics {
+    /// Semi-perimeter of the bounding box, a cheap upper bound on the hop
+    /// count of any intra-job message under x-y routing.
+    pub fn bbox_semiperimeter(&self) -> u32 {
+        (self.bbox_width as u32 - 1) + (self.bbox_height as u32 - 1)
+    }
+}
+
+/// Computes the dispersal metrics of an allocation on `mesh`.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty: dispersal of an empty allocation is
+/// meaningless and always indicates a caller bug.
+pub fn dispersion(mesh: Mesh2D, nodes: &[NodeId]) -> DispersionMetrics {
+    assert!(!nodes.is_empty(), "dispersal of an empty allocation");
+    let coords: Vec<Coord> = nodes.iter().map(|&n| mesh.coord_of(n)).collect();
+    let min_x = coords.iter().map(|c| c.x).min().expect("non-empty");
+    let max_x = coords.iter().map(|c| c.x).max().expect("non-empty");
+    let min_y = coords.iter().map(|c| c.y).min().expect("non-empty");
+    let max_y = coords.iter().map(|c| c.y).max().expect("non-empty");
+    let bbox_width = max_x - min_x + 1;
+    let bbox_height = max_y - min_y + 1;
+    let bbox_area = bbox_width as f64 * bbox_height as f64;
+
+    let mut max_pairwise = 0u32;
+    for (i, &a) in coords.iter().enumerate() {
+        for &b in &coords[i + 1..] {
+            max_pairwise = max_pairwise.max(a.manhattan(b));
+        }
+    }
+
+    DispersionMetrics {
+        size: nodes.len(),
+        avg_pairwise_distance: mesh.avg_pairwise_distance(nodes),
+        max_pairwise_distance: max_pairwise,
+        bbox_width,
+        bbox_height,
+        bbox_utilization: nodes.len() as f64 / bbox_area,
+    }
+}
+
+/// The span of curve ranks covered by an allocation: the difference between
+/// the largest and smallest rank of its processors. A perfectly packed
+/// interval of `k` processors has span `k − 1`.
+pub fn curve_span(curve: &CurveOrder, nodes: &[NodeId]) -> usize {
+    if nodes.is_empty() {
+        return 0;
+    }
+    let ranks: Vec<usize> = nodes.iter().map(|&n| curve.rank_of(n)).collect();
+    let min = *ranks.iter().min().expect("non-empty");
+    let max = *ranks.iter().max().expect("non-empty");
+    max - min
+}
+
+/// Aggregates allocation qualities across many jobs, producing the two
+/// columns of the paper's Figure 11: the percentage of jobs allocated
+/// contiguously and the average number of components per job.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ContiguityStats {
+    jobs: usize,
+    contiguous_jobs: usize,
+    total_components: usize,
+}
+
+impl ContiguityStats {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one job's allocation quality.
+    pub fn record(&mut self, q: &AllocationQuality) {
+        self.jobs += 1;
+        if q.contiguous {
+            self.contiguous_jobs += 1;
+        }
+        self.total_components += q.components;
+    }
+
+    /// Number of jobs recorded.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Percentage of jobs allocated contiguously (0–100).
+    pub fn percent_contiguous(&self) -> f64 {
+        if self.jobs == 0 {
+            return 0.0;
+        }
+        100.0 * self.contiguous_jobs as f64 / self.jobs as f64
+    }
+
+    /// Average number of components per job.
+    pub fn avg_components(&self) -> f64 {
+        if self.jobs == 0 {
+            return 0.0;
+        }
+        self.total_components as f64 / self.jobs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commalloc_mesh::curve::CurveKind;
+    use commalloc_mesh::Coord;
+
+    #[test]
+    fn quality_of_a_square_block() {
+        let mesh = Mesh2D::new(8, 8);
+        let nodes: Vec<NodeId> = mesh
+            .submesh(Coord::new(2, 2), 2, 2)
+            .into_iter()
+            .map(|c| mesh.id_of(c))
+            .collect();
+        let q = quality(mesh, &nodes);
+        assert_eq!(q.size, 4);
+        assert!(q.contiguous);
+        assert_eq!(q.components, 1);
+        // 2x2 block: pairs at distance 1 (4 of them) and 2 (2 of them) -> 8/6.
+        assert!((q.avg_pairwise_distance - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_of_a_split_allocation() {
+        let mesh = Mesh2D::new(8, 8);
+        let nodes = vec![mesh.id_of(Coord::new(0, 0)), mesh.id_of(Coord::new(7, 7))];
+        let q = quality(mesh, &nodes);
+        assert!(!q.contiguous);
+        assert_eq!(q.components, 2);
+    }
+
+    #[test]
+    fn curve_span_of_a_packed_interval() {
+        let mesh = Mesh2D::new(8, 8);
+        let curve = CurveOrder::build(CurveKind::Hilbert, mesh);
+        let nodes: Vec<NodeId> = (10..20).map(|r| curve.node_at(r)).collect();
+        assert_eq!(curve_span(&curve, &nodes), 9);
+        assert_eq!(curve_span(&curve, &[]), 0);
+    }
+
+    #[test]
+    fn contiguity_stats_match_hand_computation() {
+        let mesh = Mesh2D::new(8, 8);
+        let mut stats = ContiguityStats::new();
+        let contiguous = quality(
+            mesh,
+            &[mesh.id_of(Coord::new(0, 0)), mesh.id_of(Coord::new(1, 0))],
+        );
+        let split = quality(
+            mesh,
+            &[mesh.id_of(Coord::new(0, 0)), mesh.id_of(Coord::new(5, 5))],
+        );
+        stats.record(&contiguous);
+        stats.record(&split);
+        stats.record(&split);
+        assert_eq!(stats.jobs(), 3);
+        assert!((stats.percent_contiguous() - 100.0 / 3.0).abs() < 1e-9);
+        assert!((stats.avg_components() - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let stats = ContiguityStats::new();
+        assert_eq!(stats.percent_contiguous(), 0.0);
+        assert_eq!(stats.avg_components(), 0.0);
+    }
+
+    #[test]
+    fn dispersion_of_a_perfect_rectangle() {
+        let mesh = Mesh2D::new(8, 8);
+        let nodes: Vec<NodeId> = mesh
+            .submesh(Coord::new(1, 2), 3, 2)
+            .into_iter()
+            .map(|c| mesh.id_of(c))
+            .collect();
+        let d = dispersion(mesh, &nodes);
+        assert_eq!(d.size, 6);
+        assert_eq!(d.bbox_width, 3);
+        assert_eq!(d.bbox_height, 2);
+        assert!((d.bbox_utilization - 1.0).abs() < 1e-12);
+        assert_eq!(d.max_pairwise_distance, 3);
+        assert_eq!(d.bbox_semiperimeter(), 3);
+    }
+
+    #[test]
+    fn dispersion_of_scattered_corners() {
+        let mesh = Mesh2D::new(8, 8);
+        let nodes = vec![mesh.id_of(Coord::new(0, 0)), mesh.id_of(Coord::new(7, 7))];
+        let d = dispersion(mesh, &nodes);
+        assert_eq!(d.max_pairwise_distance, 14);
+        assert_eq!(d.bbox_width, 8);
+        assert_eq!(d.bbox_height, 8);
+        assert!((d.bbox_utilization - 2.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispersion_of_a_single_processor() {
+        let mesh = Mesh2D::new(4, 4);
+        let d = dispersion(mesh, &[mesh.id_of(Coord::new(2, 3))]);
+        assert_eq!(d.size, 1);
+        assert_eq!(d.max_pairwise_distance, 0);
+        assert_eq!(d.bbox_width, 1);
+        assert_eq!(d.bbox_height, 1);
+        assert!((d.bbox_utilization - 1.0).abs() < 1e-12);
+        assert_eq!(d.avg_pairwise_distance, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty allocation")]
+    fn dispersion_of_nothing_panics() {
+        let mesh = Mesh2D::new(4, 4);
+        dispersion(mesh, &[]);
+    }
+
+    #[test]
+    fn compact_allocations_dominate_dispersed_ones_on_every_metric() {
+        let mesh = Mesh2D::new(16, 16);
+        let compact: Vec<NodeId> = mesh
+            .submesh(Coord::new(4, 4), 4, 4)
+            .into_iter()
+            .map(|c| mesh.id_of(c))
+            .collect();
+        let dispersed: Vec<NodeId> = (0..16u32).map(|i| NodeId(i * 16 + (i * 7) % 16)).collect();
+        let dc = dispersion(mesh, &compact);
+        let dd = dispersion(mesh, &dispersed);
+        assert!(dc.avg_pairwise_distance < dd.avg_pairwise_distance);
+        assert!(dc.max_pairwise_distance < dd.max_pairwise_distance);
+        assert!(dc.bbox_utilization > dd.bbox_utilization);
+    }
+}

@@ -1,0 +1,163 @@
+//! The original Paging algorithm of Lo et al. with `2^s × 2^s` pages.
+//!
+//! Paging subdivides the mesh into square pages, keeps a sorted free list of
+//! pages (sorted by the page's position along a page-level curve) and assigns
+//! an incoming job a prefix of the free list large enough to cover its
+//! request. With `s = 0` every page is a single processor and Paging with a
+//! sorted free list coincides with
+//! [`crate::curve_alloc::CurveAllocator`] using
+//! [`crate::curve_alloc::SelectionStrategy::FreeList`]; the paper evaluates
+//! only that case to avoid internal fragmentation, but larger pages are
+//! implemented here for the fragmentation ablation.
+//!
+//! A page is *free* only when **all** of its processors are free; pages that
+//! are partially busy are unusable, which is exactly the internal
+//! fragmentation the paper avoids by setting `s = 0`.
+
+use crate::allocator::Allocator;
+use crate::machine::MachineState;
+use crate::request::{AllocRequest, Allocation};
+use commalloc_mesh::curve::{CurveKind, CurveOrder};
+use commalloc_mesh::{Coord, Mesh2D, NodeId};
+
+/// Paging allocator with configurable page size.
+#[derive(Debug, Clone)]
+pub struct PagingAllocator {
+    mesh: Mesh2D,
+    /// Page side length (2^s).
+    page_side: u16,
+    /// Pages in curve order; each page is the list of its member processors.
+    pages: Vec<Vec<NodeId>>,
+}
+
+impl PagingAllocator {
+    /// Creates a Paging allocator with pages of side `2^s`, ordered by `kind`
+    /// over the page grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh dimensions are not multiples of the page side.
+    pub fn new(kind: CurveKind, mesh: Mesh2D, s: u32) -> Self {
+        let page_side = 1u16 << s;
+        assert!(
+            mesh.width() % page_side == 0 && mesh.height() % page_side == 0,
+            "mesh {}x{} not divisible into {page_side}x{page_side} pages",
+            mesh.width(),
+            mesh.height()
+        );
+        let pages_w = mesh.width() / page_side;
+        let pages_h = mesh.height() / page_side;
+        let page_mesh = Mesh2D::new(pages_w, pages_h);
+        let page_curve = CurveOrder::build(kind, page_mesh);
+        let mut pages = Vec::with_capacity(page_mesh.num_nodes());
+        for rank in 0..page_curve.len() {
+            let pc = page_mesh.coord_of(page_curve.node_at(rank));
+            let origin = Coord::new(pc.x * page_side, pc.y * page_side);
+            let members: Vec<NodeId> = mesh
+                .submesh(origin, page_side, page_side)
+                .into_iter()
+                .map(|c| mesh.id_of(c))
+                .collect();
+            pages.push(members);
+        }
+        PagingAllocator {
+            mesh,
+            page_side,
+            pages,
+        }
+    }
+
+    /// The page side length (`2^s`).
+    pub fn page_side(&self) -> u16 {
+        self.page_side
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of pages that are currently entirely free.
+    pub fn free_pages(&self, machine: &MachineState) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| p.iter().all(|&n| machine.is_free(n)))
+            .count()
+    }
+}
+
+impl Allocator for PagingAllocator {
+    fn name(&self) -> String {
+        format!("Paging({0}x{0} pages)", self.page_side)
+    }
+
+    fn allocate(&mut self, req: &AllocRequest, machine: &MachineState) -> Option<Allocation> {
+        if req.size == 0 {
+            return None;
+        }
+        let page_area = self.page_side as usize * self.page_side as usize;
+        let pages_needed = req.size.div_ceil(page_area);
+        let free_pages: Vec<&Vec<NodeId>> = self
+            .pages
+            .iter()
+            .filter(|p| p.iter().all(|&n| machine.is_free(n)))
+            .collect();
+        if free_pages.len() < pages_needed {
+            return None;
+        }
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(req.size);
+        for page in free_pages.into_iter().take(pages_needed) {
+            for &n in page {
+                if nodes.len() < req.size {
+                    nodes.push(n);
+                }
+            }
+        }
+        debug_assert_eq!(nodes.len(), req.size);
+        let _ = self.mesh;
+        Some(Allocation::new(req.job_id, nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_side_zero_equals_free_list_curve_allocator() {
+        use crate::curve_alloc::{CurveAllocator, SelectionStrategy};
+        let mesh = Mesh2D::new(8, 8);
+        let mut machine = MachineState::new(mesh);
+        machine.occupy(&[NodeId(3), NodeId(17), NodeId(40)]);
+        let mut paging = PagingAllocator::new(CurveKind::Hilbert, mesh, 0);
+        let mut curve = CurveAllocator::new(CurveKind::Hilbert, mesh, SelectionStrategy::FreeList);
+        let req = AllocRequest::new(1, 13);
+        assert_eq!(
+            paging.allocate(&req, &machine).unwrap().nodes,
+            curve.allocate(&req, &machine).unwrap().nodes
+        );
+    }
+
+    #[test]
+    fn larger_pages_cause_internal_fragmentation() {
+        let mesh = Mesh2D::new(8, 8);
+        let mut machine = MachineState::new(mesh);
+        // One busy processor poisons its whole 2x2 page.
+        machine.occupy(&[NodeId(0)]);
+        let mut paging = PagingAllocator::new(CurveKind::Hilbert, mesh, 1);
+        assert_eq!(paging.num_pages(), 16);
+        assert_eq!(paging.free_pages(&machine), 15);
+        // 61 processors requested but only 15*4 = 60 are in free pages.
+        assert!(paging.allocate(&AllocRequest::new(1, 61), &machine).is_none());
+        // A request of 6 takes two pages (8 processors' worth of pages).
+        let alloc = paging.allocate(&AllocRequest::new(1, 6), &machine).unwrap();
+        assert_eq!(alloc.nodes.len(), 6);
+        assert!(alloc.nodes.iter().all(|&n| machine.is_free(n)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_mesh_panics() {
+        PagingAllocator::new(CurveKind::Hilbert, Mesh2D::new(6, 8), 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Random allocation: a dispersion-oblivious baseline.
+//!
+//! Not one of the paper's plotted algorithms, but the natural "no locality
+//! effort at all" control used in the ablation benchmarks: it draws the
+//! requested number of free processors uniformly at random.
+
+use crate::allocator::Allocator;
+use crate::machine::MachineState;
+use crate::request::{AllocRequest, Allocation};
+use commalloc_mesh::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Uniformly random selection of free processors.
+#[derive(Debug, Clone)]
+pub struct RandomAllocator {
+    rng: StdRng,
+}
+
+impl RandomAllocator {
+    /// Creates the allocator with a deterministic seed so simulations are
+    /// reproducible.
+    pub fn new(seed: u64) -> Self {
+        RandomAllocator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Allocator for RandomAllocator {
+    fn name(&self) -> String {
+        "Random".to_string()
+    }
+
+    fn allocate(&mut self, req: &AllocRequest, machine: &MachineState) -> Option<Allocation> {
+        if req.size == 0 || req.size > machine.num_free() {
+            return None;
+        }
+        let mut free: Vec<NodeId> = machine.free_nodes().collect();
+        free.shuffle(&mut self.rng);
+        free.truncate(req.size);
+        Some(Allocation::new(req.job_id, free))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commalloc_mesh::Mesh2D;
+
+    #[test]
+    fn random_allocation_is_valid_and_seed_deterministic() {
+        let mesh = Mesh2D::new(8, 8);
+        let mut machine = MachineState::new(mesh);
+        machine.occupy(&[NodeId(0), NodeId(1), NodeId(2)]);
+
+        let mut a1 = RandomAllocator::new(7);
+        let mut a2 = RandomAllocator::new(7);
+        let r1 = a1.allocate(&AllocRequest::new(1, 10), &machine).unwrap();
+        let r2 = a2.allocate(&AllocRequest::new(1, 10), &machine).unwrap();
+        assert_eq!(r1, r2, "same seed must give the same allocation");
+        assert_eq!(r1.nodes.len(), 10);
+        assert!(r1.nodes.iter().all(|&n| machine.is_free(n)));
+        let unique: std::collections::HashSet<_> = r1.nodes.iter().collect();
+        assert_eq!(unique.len(), 10);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let mesh = Mesh2D::new(8, 8);
+        let machine = MachineState::new(mesh);
+        let r1 = RandomAllocator::new(1)
+            .allocate(&AllocRequest::new(1, 10), &machine)
+            .unwrap();
+        let r2 = RandomAllocator::new(2)
+            .allocate(&AllocRequest::new(1, 10), &machine)
+            .unwrap();
+        assert_ne!(r1, r2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Allocation requests and grants.
+
+use commalloc_mesh::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A request for a number of processors on behalf of a job.
+///
+/// CPlant users request only a *count* of processors (not a shape), which is
+/// why the paper introduces MC1x1; allocators that want a shape (MC) derive a
+/// near-square one from the count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocRequest {
+    /// Identifier of the requesting job (used for deterministic tie-breaking
+    /// and by stateful allocators).
+    pub job_id: u64,
+    /// Number of processors requested.
+    pub size: usize,
+}
+
+impl AllocRequest {
+    /// Creates a request for `size` processors for job `job_id`.
+    pub fn new(job_id: u64, size: usize) -> Self {
+        AllocRequest { job_id, size }
+    }
+}
+
+/// A granted allocation: an *ordered* list of processors.
+///
+/// The order matters: it defines the mapping from the job's logical ranks
+/// (0, 1, …) to physical processors, which is what the ring-structured n-body
+/// pattern communicates over. Curve allocators list processors in curve
+/// order, MC lists them centre-outward, and the random baseline lists them in
+/// the (random) order they were drawn.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// The job this allocation belongs to.
+    pub job_id: u64,
+    /// Processors granted, in rank order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Allocation {
+    /// Creates an allocation for `job_id` over `nodes` (rank order).
+    pub fn new(job_id: u64, nodes: Vec<NodeId>) -> Self {
+        Allocation { job_id, nodes }
+    }
+
+    /// Number of processors in the allocation.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the allocation holds no processors.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_len() {
+        let a = Allocation::new(3, vec![NodeId(0), NodeId(5)]);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(Allocation::new(1, vec![]).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the extension allocators: contiguous submesh
+//! allocation, the 2-D buddy system, MBS and the hybrid meta-allocator.
+
+use commalloc_alloc::buddy::BuddyAllocator;
+use commalloc_alloc::contiguous::ContiguousAllocator;
+use commalloc_alloc::mbs::MbsAllocator;
+use commalloc_alloc::metrics::dispersion;
+use commalloc_alloc::{AllocRequest, Allocator, AllocatorKind, MachineState};
+use commalloc_mesh::{Mesh2D, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn machine_with_random_busy(mesh: Mesh2D, busy: usize, seed: u64) -> MachineState {
+    let mut machine = MachineState::new(mesh);
+    let mut nodes: Vec<NodeId> = mesh.nodes().collect();
+    nodes.shuffle(&mut StdRng::seed_from_u64(seed));
+    nodes.truncate(busy.min(mesh.num_nodes() - 1));
+    machine.occupy(&nodes);
+    machine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever a contiguous allocator grants is a single rectilinear
+    /// component made of free processors, of exactly the requested size.
+    #[test]
+    fn contiguous_grants_are_single_components(
+        busy in 0usize..180,
+        size in 1usize..40,
+        seed in any::<u64>(),
+        best_fit in any::<bool>(),
+    ) {
+        let mesh = Mesh2D::square_16x16();
+        let machine = machine_with_random_busy(mesh, busy, seed);
+        let mut alloc = if best_fit {
+            ContiguousAllocator::best_fit()
+        } else {
+            ContiguousAllocator::first_fit()
+        };
+        if let Some(a) = alloc.allocate(&AllocRequest::new(1, size), &machine) {
+            prop_assert_eq!(a.nodes.len(), size);
+            prop_assert_eq!(mesh.components(&a.nodes), 1);
+            prop_assert!(a.nodes.iter().all(|&n| machine.is_free(n)));
+            // A contiguous grant taken from a rectangle never spans a
+            // bounding box larger than the candidate shapes allow.
+            let d = dispersion(mesh, &a.nodes);
+            prop_assert!(d.bbox_width as usize * d.bbox_height as usize <= size.max(4) * 2);
+        }
+    }
+
+    /// The buddy system only ever grants aligned square blocks: the bounding
+    /// box of a grant fits inside one `2^order` square whose origin is a
+    /// multiple of the block side.
+    #[test]
+    fn buddy_grants_are_aligned_blocks(
+        busy in 0usize..150,
+        size in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mesh = Mesh2D::square_16x16();
+        let machine = machine_with_random_busy(mesh, busy, seed);
+        let mut alloc = BuddyAllocator::new();
+        if let Some(a) = alloc.allocate(&AllocRequest::new(1, size), &machine) {
+            prop_assert_eq!(a.nodes.len(), size);
+            let side = 1u16 << BuddyAllocator::order_for(size);
+            let coords: Vec<_> = a.nodes.iter().map(|&n| mesh.coord_of(n)).collect();
+            let min_x = coords.iter().map(|c| c.x).min().unwrap();
+            let min_y = coords.iter().map(|c| c.y).min().unwrap();
+            let max_x = coords.iter().map(|c| c.x).max().unwrap();
+            let max_y = coords.iter().map(|c| c.y).max().unwrap();
+            // All inside one aligned block.
+            let block_x = (min_x / side) * side;
+            let block_y = (min_y / side) * side;
+            prop_assert!(max_x < block_x + side, "grant crosses block boundary in x");
+            prop_assert!(max_y < block_y + side, "grant crosses block boundary in y");
+        }
+    }
+
+    /// MBS always succeeds when enough processors are free and never hands
+    /// out a busy or duplicate processor.
+    #[test]
+    fn mbs_always_succeeds_with_enough_free_processors(
+        busy in 0usize..220,
+        size in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mesh = Mesh2D::square_16x16();
+        let machine = machine_with_random_busy(mesh, busy, seed);
+        let mut alloc = MbsAllocator::new();
+        let result = alloc.allocate(&AllocRequest::new(1, size), &machine);
+        if size <= machine.num_free() {
+            let a = result.expect("MBS must not refuse");
+            prop_assert_eq!(a.nodes.len(), size);
+            let unique: std::collections::HashSet<_> = a.nodes.iter().collect();
+            prop_assert_eq!(unique.len(), size);
+            prop_assert!(a.nodes.iter().all(|&n| machine.is_free(n)));
+        } else {
+            prop_assert!(result.is_none());
+        }
+    }
+
+    /// On the non-square 16 × 22 machine the extension allocators obey the
+    /// same soundness rules as on the square machine.
+    #[test]
+    fn extension_allocators_are_sound_on_the_paragon_mesh(
+        kind in prop::sample::select(vec![
+            AllocatorKind::Mbs,
+            AllocatorKind::Hybrid,
+            AllocatorKind::MortonBestFit,
+            AllocatorKind::PeanoBestFit,
+        ]),
+        busy in 0usize..250,
+        size in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mesh = Mesh2D::paragon_16x22();
+        let machine = machine_with_random_busy(mesh, busy, seed);
+        let mut alloc = kind.build(mesh);
+        let result = alloc.allocate(&AllocRequest::new(1, size), &machine);
+        if size <= machine.num_free() {
+            let a = result.expect("non-contiguous extension allocators must not refuse");
+            prop_assert_eq!(a.nodes.len(), size);
+            prop_assert!(a.nodes.iter().all(|&n| machine.is_free(n)));
+        } else {
+            prop_assert!(result.is_none());
+        }
+    }
+
+    /// Dispersal metrics are internally consistent for any allocation any
+    /// extension allocator produces.
+    #[test]
+    fn dispersal_metrics_are_consistent(
+        kind in prop::sample::select(AllocatorKind::extended_set().to_vec()),
+        busy in 0usize..120,
+        size in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mesh = Mesh2D::square_16x16();
+        let machine = machine_with_random_busy(mesh, busy, seed);
+        let mut alloc = kind.build(mesh);
+        if let Some(a) = alloc.allocate(&AllocRequest::new(1, size), &machine) {
+            let d = dispersion(mesh, &a.nodes);
+            prop_assert_eq!(d.size, size);
+            prop_assert!(d.avg_pairwise_distance <= d.max_pairwise_distance as f64 + 1e-12);
+            prop_assert!(d.max_pairwise_distance <= d.bbox_semiperimeter());
+            prop_assert!(d.bbox_utilization > 0.0 && d.bbox_utilization <= 1.0 + 1e-12);
+            prop_assert!(d.bbox_width as usize * d.bbox_height as usize >= size);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Microbenchmarks of the allocation algorithms themselves: how long one
+//! allocation decision takes on a realistically fragmented machine. The
+//! paper's allocators must run "immediately" when the scheduler dispatches a
+//! job, so per-decision latency matters operationally even though it is not
+//! one of the paper's plotted metrics.
+
+use commalloc_alloc::{AllocRequest, AllocatorKind, MachineState};
+use commalloc_mesh::{Mesh2D, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// A machine with 40% of its processors busy in a scattered pattern, the
+/// regime where allocator quality and cost both matter.
+fn fragmented_machine(mesh: Mesh2D, seed: u64) -> MachineState {
+    let mut machine = MachineState::new(mesh);
+    let mut nodes: Vec<NodeId> = mesh.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    nodes.shuffle(&mut rng);
+    nodes.truncate(mesh.num_nodes() * 2 / 5);
+    machine.occupy(&nodes);
+    machine
+}
+
+fn bench_allocation_decision(c: &mut Criterion) {
+    let mesh = Mesh2D::paragon_16x22();
+    let machine = fragmented_machine(mesh, 7);
+    let mut group = c.benchmark_group("allocation_decision_16x22");
+    for kind in [
+        AllocatorKind::HilbertBestFit,
+        AllocatorKind::HilbertFreeList,
+        AllocatorKind::SCurveBestFit,
+        AllocatorKind::Mc,
+        AllocatorKind::Mc1x1,
+        AllocatorKind::GenAlg,
+        AllocatorKind::Random,
+    ] {
+        group.bench_with_input(BenchmarkId::new(kind.name(), 16), &kind, |b, &kind| {
+            let mut allocator = kind.build(mesh);
+            b.iter(|| {
+                let alloc = allocator
+                    .allocate(&AllocRequest::new(1, 16), black_box(&machine))
+                    .expect("allocation fits");
+                black_box(alloc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocation_by_size(c: &mut Criterion) {
+    let mesh = Mesh2D::square_16x16();
+    let machine = fragmented_machine(mesh, 11);
+    let mut group = c.benchmark_group("hilbert_bestfit_by_request_size");
+    for size in [4usize, 16, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut allocator = AllocatorKind::HilbertBestFit.build(mesh);
+            b.iter(|| {
+                allocator
+                    .allocate(&AllocRequest::new(1, size), black_box(&machine))
+                    .map(black_box)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation_decision, bench_allocation_by_size);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benchmarks and ablation measurements for the space-filling curves: curve
+//! construction cost and window locality (the property the paper credits for
+//! the curve allocators' quality — "the choice of curve seems to have the
+//! dominant effect on performance").
+
+use commalloc_mesh::curve::{CurveKind, CurveOrder};
+use commalloc_mesh::locality::window_locality;
+use commalloc_mesh::Mesh2D;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_curve_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve_construction");
+    for mesh in [Mesh2D::square_16x16(), Mesh2D::paragon_16x22(), Mesh2D::new(64, 64)] {
+        for kind in [CurveKind::SCurve, CurveKind::Hilbert, CurveKind::HIndexing] {
+            let label = format!("{}x{}/{}", mesh.width(), mesh.height(), kind);
+            group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+                b.iter(|| black_box(CurveOrder::build(kind, mesh)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_window_locality(c: &mut Criterion) {
+    let mesh = Mesh2D::square_16x16();
+    let mut group = c.benchmark_group("window_locality_w32");
+    for kind in CurveKind::all() {
+        let curve = CurveOrder::build(kind, mesh);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &curve, |b, curve| {
+            b.iter(|| black_box(window_locality(curve, 32)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curve_construction, bench_window_locality);
+criterion_main!(benches);

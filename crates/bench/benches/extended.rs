@@ -1,0 +1,104 @@
+//! Microbenchmarks of the extension components: the historical baseline
+//! allocators (contiguous, buddy, MBS), the hybrid meta-allocator, the
+//! ablation curves and the 3-D curve constructions.
+//!
+//! These complement `allocators.rs` (which covers the paper's own
+//! configurations): the extension table binary relies on these allocators
+//! being fast enough to sweep, and the curve benches document the cost of
+//! building the orderings the one-dimensional strategies depend on.
+
+use commalloc_alloc::{AllocRequest, AllocatorKind, MachineState};
+use commalloc_mesh::curve::optimizer::{optimize_order, OptimizerConfig};
+use commalloc_mesh::curve3d::{Curve3Kind, Curve3Order};
+use commalloc_mesh::{CurveKind, CurveOrder, Mesh2D, Mesh3D, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fragmented_machine(mesh: Mesh2D, seed: u64) -> MachineState {
+    let mut machine = MachineState::new(mesh);
+    let mut nodes: Vec<NodeId> = mesh.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    nodes.shuffle(&mut rng);
+    nodes.truncate(mesh.num_nodes() * 2 / 5);
+    machine.occupy(&nodes);
+    machine
+}
+
+fn bench_extended_allocators(c: &mut Criterion) {
+    let mesh = Mesh2D::square_16x16();
+    let machine = fragmented_machine(mesh, 3);
+    let mut group = c.benchmark_group("extended_allocation_decision_16x16");
+    for kind in [
+        AllocatorKind::ContiguousFirstFit,
+        AllocatorKind::ContiguousBestFit,
+        AllocatorKind::Buddy2D,
+        AllocatorKind::Mbs,
+        AllocatorKind::Hybrid,
+        AllocatorKind::MortonBestFit,
+        AllocatorKind::PeanoBestFit,
+    ] {
+        group.bench_with_input(BenchmarkId::new(kind.name(), 9), &kind, |b, &kind| {
+            let mut allocator = kind.build(mesh);
+            b.iter(|| {
+                // A 9-processor request (3x3) so even the contiguous
+                // strategies usually succeed on the 40%-busy machine; a
+                // refusal is still a valid (and cheap) decision to measure.
+                let alloc = allocator.allocate(&AllocRequest::new(1, 9), black_box(&machine));
+                black_box(alloc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_curve_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve_construction");
+    let mesh = Mesh2D::paragon_16x22();
+    for kind in [CurveKind::Hilbert, CurveKind::Morton, CurveKind::Peano] {
+        group.bench_with_input(
+            BenchmarkId::new("2d_16x22", kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| black_box(CurveOrder::build(kind, mesh))),
+        );
+    }
+    let mesh3 = Mesh3D::new(8, 8, 8);
+    for kind in Curve3Kind::all() {
+        group.bench_with_input(
+            BenchmarkId::new("3d_8x8x8", kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| black_box(Curve3Order::build(kind, mesh3))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_curve_optimizer(c: &mut Criterion) {
+    let mesh = Mesh2D::new(8, 8);
+    let nodes: Vec<NodeId> = mesh.nodes().collect();
+    let mut group = c.benchmark_group("curve_optimizer");
+    for iterations in [500usize, 2_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iterations),
+            &iterations,
+            |b, &iterations| {
+                let config = OptimizerConfig {
+                    iterations,
+                    ..OptimizerConfig::default()
+                };
+                b.iter(|| black_box(optimize_order(mesh, &nodes, &config)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extended_allocators,
+    bench_curve_construction,
+    bench_curve_optimizer
+);
+criterion_main!(benches);

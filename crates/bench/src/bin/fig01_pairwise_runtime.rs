@@ -1,0 +1,81 @@
+//! Figure 1: running time of the CPlant communication test suite versus the
+//! average pairwise distance of the 30-processor allocation.
+//!
+//! ```text
+//! cargo run --release -p commalloc-bench --bin fig01_pairwise_runtime
+//! ```
+//!
+//! The paper's Figure 1 plots measured CPlant running times of a 30-processor
+//! communication test (all-to-all broadcast, all-pairs ping-pong and ring,
+//! each repeated one hundred times) against the allocation's average number
+//! of hops, motivating pairwise distance as an allocation-quality metric.
+//! CPlant hardware is unavailable, so this binary reproduces the experiment
+//! on the flit-level wormhole simulator: allocations of increasing dispersion
+//! are generated on the 16 × 22 mesh and the same test suite is replayed on
+//! each (a reduced iteration count keeps the default run short; the trend,
+//! not the absolute seconds, is the result).
+
+use commalloc::report;
+use commalloc::stats::pearson_correlation;
+use commalloc_bench::{cli, dispersion_allocations};
+use commalloc_mesh::Mesh2D;
+use commalloc_net::flit::{FlitMessage, FlitNetwork};
+use commalloc_workload::CommPattern;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig1Point {
+    avg_pairwise_distance: f64,
+    runtime_cycles: u64,
+}
+
+fn main() {
+    let cli = cli();
+    let mesh = Mesh2D::paragon_16x22();
+    let allocations = dispersion_allocations(mesh, 30, 20, cli.seed);
+    let net = FlitNetwork::new(mesh);
+    let iterations = 3usize;
+
+    println!("Figure 1 reproduction: test-suite runtime vs. allocation dispersion");
+    println!("(30-processor jobs on a {}x{} mesh, {iterations} test-suite iterations, flit-level)", mesh.width(), mesh.height());
+    println!("{:>22} {:>18}", "avg pairwise hops", "runtime (cycles)");
+
+    let mut points = Vec::new();
+    for (i, (nodes, dispersion)) in allocations.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(cli.seed ^ i as u64);
+        let mut total_cycles = 0u64;
+        for _ in 0..iterations {
+            let messages: Vec<FlitMessage> = CommPattern::TestSuite
+                .iteration_messages(nodes.len(), &mut rng)
+                .into_iter()
+                .enumerate()
+                .map(|(m, (src, dst))| FlitMessage {
+                    id: m as u64,
+                    src: nodes[src],
+                    dst: nodes[dst],
+                    inject_at: 0,
+                    flits: 16,
+                })
+                .collect();
+            total_cycles += net.simulate(&messages).makespan;
+        }
+        println!("{:>22.2} {:>18}", dispersion, total_cycles);
+        points.push(Fig1Point {
+            avg_pairwise_distance: *dispersion,
+            runtime_cycles: total_cycles,
+        });
+    }
+
+    let xs: Vec<f64> = points.iter().map(|p| p.avg_pairwise_distance).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.runtime_cycles as f64).collect();
+    println!(
+        "\nPearson correlation (dispersion vs runtime): {:.3}  (the paper's Figure 1 shows a clear positive trend)",
+        pearson_correlation(&xs, &ys)
+    );
+    match report::write_json("fig01_pairwise_runtime", &points) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write JSON: {e}"),
+    }
+}

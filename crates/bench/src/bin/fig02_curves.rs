@@ -1,0 +1,32 @@
+//! Figure 2: the S-curve, Hilbert curve and H-indexing on a small square mesh.
+//!
+//! ```text
+//! cargo run -p commalloc-bench --bin fig02_curves
+//! ```
+//!
+//! Prints the rank of every processor under each ordering on an 8 × 8 mesh —
+//! the same information as the paper's Figure 2 — plus the gap count
+//! (consecutive ranks that are not mesh neighbours), which is zero for all
+//! three curves on a power-of-two square.
+
+use commalloc_mesh::curve::{CurveKind, CurveOrder};
+use commalloc_mesh::Mesh2D;
+
+fn main() {
+    let mesh = Mesh2D::new(8, 8);
+    println!("Figure 2 reproduction: curve orderings on an 8x8 mesh\n");
+    for kind in [CurveKind::SCurve, CurveKind::Hilbert, CurveKind::HIndexing] {
+        let curve = CurveOrder::build(kind, mesh);
+        println!(
+            "({}) {} — {} gaps",
+            match kind {
+                CurveKind::SCurve => "a",
+                CurveKind::Hilbert => "b",
+                _ => "c",
+            },
+            kind,
+            curve.discontinuities()
+        );
+        println!("{}", curve.render_ascii());
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 4: the shells MC evaluates around a candidate processor.
+//!
+//! ```text
+//! cargo run --release -p commalloc-bench --bin fig04_mc_shells
+//! ```
+//!
+//! The paper's Figure 4 illustrates MC for a 3 × 1 request: shell 0 is the
+//! requested submesh centred on the candidate processor, and successive
+//! shells ring it outward, with free processors weighted by their shell
+//! number. This binary renders the same picture in ASCII for both MC (which
+//! derives a near-square shape from the request) and MC1x1 (whose shell 0 is
+//! a single processor), and shows the resulting cost-driven choice on a
+//! partially busy mesh.
+
+use commalloc_alloc::{AllocRequest, AllocatorKind, MachineState};
+use commalloc_mesh::{Coord, Mesh2D, NodeId};
+
+/// Renders the shell index of every processor around `centre` for a `w × h`
+/// shell-0 footprint on `mesh` (up to shell 3), with `#` marking busy
+/// processors.
+fn render_shells(mesh: Mesh2D, machine: &MachineState, centre: Coord, w: i32, h: i32) -> String {
+    let origin = (
+        centre.x as i32 - (w - 1) / 2,
+        centre.y as i32 - (h - 1) / 2,
+    );
+    let mut out = String::new();
+    for y in (0..mesh.height() as i32).rev() {
+        for x in 0..mesh.width() as i32 {
+            let id = mesh.id_of(Coord::new(x as u16, y as u16));
+            let shell = {
+                let dx = if x < origin.0 {
+                    origin.0 - x
+                } else if x > origin.0 + w - 1 {
+                    x - (origin.0 + w - 1)
+                } else {
+                    0
+                };
+                let dy = if y < origin.1 {
+                    origin.1 - y
+                } else if y > origin.1 + h - 1 {
+                    y - (origin.1 + h - 1)
+                } else {
+                    0
+                };
+                dx.max(dy)
+            };
+            if !machine.is_free(id) {
+                out.push_str("  #");
+            } else if shell <= 3 {
+                out.push_str(&format!("{shell:>3}"));
+            } else {
+                out.push_str("  .");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let mesh = Mesh2D::new(10, 8);
+    let mut machine = MachineState::new(mesh);
+    // A busy block in the upper-left and a busy column on the right, so the
+    // cost landscape is not symmetric.
+    let busy: Vec<NodeId> = mesh
+        .nodes()
+        .filter(|&n| {
+            let c = mesh.coord_of(n);
+            (c.x < 3 && c.y >= 5) || c.x == 9
+        })
+        .collect();
+    machine.occupy(&busy);
+
+    println!("Figure 4 reproduction: MC shells around a candidate processor");
+    println!("(numbers are shell indices; # marks busy processors; . is beyond shell 3)\n");
+
+    let centre = Coord::new(4, 3);
+    println!("MC with a 3 x 1 request centred on {centre} (the paper's example):");
+    println!("{}", render_shells(mesh, &machine, centre, 3, 1));
+    println!("MC1x1 (shell 0 is the single processor {centre}):");
+    println!("{}", render_shells(mesh, &machine, centre, 1, 1));
+
+    // Show the actual choices made by MC and MC1x1 for a small request.
+    for kind in [AllocatorKind::Mc, AllocatorKind::Mc1x1] {
+        let alloc = kind
+            .build(mesh)
+            .allocate(&AllocRequest::new(1, 6), &machine)
+            .expect("6 free processors exist");
+        let coords: Vec<String> = alloc
+            .nodes
+            .iter()
+            .map(|&n| mesh.coord_of(n).to_string())
+            .collect();
+        println!(
+            "{} chooses: {} (avg pairwise distance {:.2}, {} component(s))",
+            kind.name(),
+            coords.join(" "),
+            mesh.avg_pairwise_distance(&alloc.nodes),
+            mesh.components(&alloc.nodes)
+        );
+    }
+    println!("\nMC's shape bias (near-square shell 0) is what the paper credits for its edge");
+    println!("over MC1x1: \"Looking for a specific shape seems to yield an advantage to MC\".");
+}

@@ -1,0 +1,60 @@
+//! Figure 5: the message structure of the n-body pattern (and its
+//! companions).
+//!
+//! ```text
+//! cargo run --release -p commalloc-bench --bin fig05_patterns -- [--jobs P]
+//! ```
+//!
+//! The paper's Figure 5 illustrates the messages of an n-body calculation on
+//! 15 processors: ring subphases, then a single chordal subphase. This binary
+//! prints that structure (and the per-iteration message counts of every
+//! implemented pattern) so the workload model can be inspected directly.
+
+use commalloc::prelude::*;
+use commalloc_bench::cli;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cli = cli();
+    // Reuse --jobs as the processor count of the illustrated job, defaulting
+    // to the paper's 15.
+    let p = if cli.jobs == commalloc_bench::DEFAULT_JOBS {
+        15
+    } else {
+        cli.jobs.max(2)
+    };
+    let mut rng = StdRng::seed_from_u64(cli.seed);
+
+    println!("Figure 5 reproduction: n-body messages on {p} processors\n");
+    let msgs = CommPattern::NBody.iteration_messages(p, &mut rng);
+    let ring_phases = p / 2;
+    println!("(a) ring subphases ({ring_phases} of them, {p} messages each):");
+    println!("    first subphase: {:?}", &msgs[..p]);
+    println!("(b) chordal subphase ({p} messages):");
+    println!("    {:?}", &msgs[ring_phases * p..]);
+    println!(
+        "\ntotal messages per iteration: {} = p*floor(p/2) + p",
+        CommPattern::NBody.messages_per_iteration(p)
+    );
+
+    println!("\nper-iteration message counts of every pattern on {p} processors:");
+    println!("{:<16} {:>12} {:>24}", "pattern", "messages", "distinct (src,dst) pairs");
+    for pattern in CommPattern::all() {
+        let msgs = pattern.iteration_messages(p, &mut rng);
+        let unique: std::collections::HashSet<_> = msgs.iter().collect();
+        println!(
+            "{:<16} {:>12} {:>24}",
+            pattern.name(),
+            pattern.messages_per_iteration(p),
+            unique.len()
+        );
+    }
+
+    println!("\ntraffic-matrix mass per pattern (weights always sum to 1):");
+    for pattern in CommPattern::all() {
+        let entries = pattern.traffic(p, 10_000, &mut rng);
+        let total: f64 = entries.iter().map(|e| e.weight).sum();
+        println!("  {:<16} {:>4} entries, total weight {:.6}", pattern.name(), entries.len(), total);
+    }
+}

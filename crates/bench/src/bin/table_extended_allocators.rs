@@ -1,0 +1,113 @@
+//! Extension table: the paper's allocators versus the historical baselines
+//! and the hybrid meta-strategy.
+//!
+//! ```text
+//! cargo run --release -p commalloc-bench --bin table_extended_allocators -- [--jobs N] [--pattern P]
+//! ```
+//!
+//! The paper's survey (Section 2) motivates non-contiguous allocation by the
+//! utilization cost of the earlier convex-only strategies, and its discussion
+//! (Section 5) asks for "a strategy to harness the strengths of different
+//! algorithms". This binary puts numbers on both: it runs the paper's nine
+//! plotted allocators next to the contiguous first/best-fit baselines, the
+//! 2-D buddy system, MBS and the hybrid meta-allocator, and reports response
+//! time, contiguity and time-weighted utilization for each.
+
+use commalloc::experiment::LoadSweep;
+use commalloc::prelude::*;
+use commalloc::report;
+use commalloc_bench::{cli, standard_trace};
+
+fn main() {
+    let cli = cli();
+    let mesh = Mesh2D::square_16x16();
+    let trace = standard_trace(cli.jobs.min(600), cli.seed);
+    let pattern = cli.pattern.unwrap_or(CommPattern::AllToAll);
+
+    let mut allocators = AllocatorKind::paper_set().to_vec();
+    allocators.extend([
+        AllocatorKind::ContiguousFirstFit,
+        AllocatorKind::ContiguousBestFit,
+        AllocatorKind::Buddy2D,
+        AllocatorKind::Mbs,
+        AllocatorKind::Hybrid,
+        AllocatorKind::MortonBestFit,
+        AllocatorKind::PeanoBestFit,
+    ]);
+
+    eprintln!(
+        "extended allocator table: {} jobs, {pattern}, load 0.6, {} allocators...",
+        trace.len(),
+        allocators.len()
+    );
+
+    // A single mid-range load keeps the table readable; the load sweep is
+    // covered by the Figure 7/8 binaries.
+    let load = 0.6;
+    let sweep = LoadSweep {
+        mesh,
+        patterns: vec![pattern],
+        allocators: allocators.clone(),
+        load_factors: vec![load],
+        ..LoadSweep::paper_figure(mesh)
+    };
+    let result = sweep.run(&trace);
+
+    // Utilization needs the per-job records, so re-simulate per allocator
+    // (cheap at this scale) and derive the profile.
+    let scaled = trace.filter_fitting(mesh.num_nodes()).with_load_factor(load);
+    println!(
+        "extension table: pattern = {pattern}, 16x16 mesh, load {load}\n"
+    );
+    println!(
+        "{:<16} {:>14} {:>14} {:>12} {:>12}",
+        "allocator", "mean resp (s)", "% contiguous", "avg comps", "mean util"
+    );
+    let mut rows: Vec<(AllocatorKind, f64, f64, f64, f64)> = allocators
+        .iter()
+        .map(|&allocator| {
+            let point = result
+                .points
+                .iter()
+                .find(|p| p.allocator == allocator)
+                .expect("sweep covered every allocator");
+            let config = SimConfig::new(mesh, pattern, allocator);
+            let run = simulate(&scaled, &config);
+            let profile =
+                UtilizationProfile::from_records(&run.records, mesh.num_nodes());
+            (
+                allocator,
+                point.mean_response_time,
+                point.percent_contiguous,
+                point.avg_components,
+                profile.mean_utilization(),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (allocator, resp, contig, comps, util) in &rows {
+        println!(
+            "{:<16} {:>14.0} {:>13.1}% {:>12.2} {:>11.1}%",
+            allocator.name(),
+            resp,
+            contig,
+            comps,
+            100.0 * util
+        );
+    }
+
+    println!("\nobservations to check against the paper's narrative:");
+    println!("  * contiguous FF/BF and the 2-D buddy reach 100% contiguity but pay for it in");
+    println!("    response time and utilization (jobs wait for free rectangles/blocks),");
+    println!("    reproducing the utilization argument of Section 2;");
+    println!("  * MBS never refuses a request, but its block alignment disperses jobs more than");
+    println!("    the curve strategies, so it lands mid-table;");
+    println!("  * the hybrid's *static* allocation quality is never worse than the better of its");
+    println!("    constituents (property-tested); its response time usually tracks the better of");
+    println!("    Hilbert w/BF and MC, though interleaving effects can move it a few places.");
+
+    match report::write_json("table_extended_allocators", &result) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write JSON: {e}"),
+    }
+}

@@ -1,0 +1,198 @@
+//! Shared harness code for the figure-regeneration binaries and Criterion
+//! benchmarks.
+//!
+//! Every binary under `src/bin/` regenerates one figure or table of the
+//! paper (see DESIGN.md §3 for the index). They share:
+//!
+//! * [`cli`] — a tiny argument parser (`--jobs N`, `--full`, `--seed S`,
+//!   `--pattern P`) so the binaries stay dependency-free;
+//! * [`standard_trace`] — the synthetic SDSC-Paragon-like trace used by
+//!   default, subsampled so the default run finishes in minutes; `--full`
+//!   switches to the full 6087-job workload the paper uses;
+//! * [`dispersion_allocations`] — machine states of varying fragmentation
+//!   used by the Figure 1 and Figure 9/10 experiments;
+//! * [`probe_jobs`] — the 128-processor probe jobs that reproduce the
+//!   Figure 9/10 job population.
+
+use commalloc::prelude::*;
+use commalloc_alloc::AllocRequest;
+use commalloc_mesh::NodeId;
+use commalloc_workload::Job;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Default number of trace jobs for the figure binaries; chosen so a full
+/// figure sweep finishes in a few minutes on a laptop while preserving the
+/// qualitative allocator ordering. `--full` restores the paper's 6087 jobs.
+pub const DEFAULT_JOBS: usize = 800;
+
+/// Parsed command-line options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Number of synthetic trace jobs.
+    pub jobs: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Restrict to one communication pattern (where applicable).
+    pub pattern: Option<CommPattern>,
+    /// Include the First Fit configurations the paper measured but omitted
+    /// from its graphs.
+    pub include_first_fit: bool,
+}
+
+/// Parses the common flags from `std::env::args`.
+pub fn cli() -> Cli {
+    let args: Vec<String> = std::env::args().collect();
+    let mut jobs = DEFAULT_JOBS;
+    let mut seed = 1996u64;
+    let mut pattern = None;
+    let mut include_first_fit = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    jobs = v;
+                }
+                i += 1;
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    seed = v;
+                }
+                i += 1;
+            }
+            "--pattern" => {
+                pattern = args.get(i + 1).and_then(|s| CommPattern::parse(s));
+                i += 1;
+            }
+            "--full" => jobs = 6087,
+            "--include-first-fit" => include_first_fit = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: [--jobs N] [--full] [--seed S] [--pattern all-to-all|n-body|random] [--include-first-fit]"
+                );
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    Cli {
+        jobs,
+        seed,
+        pattern,
+        include_first_fit,
+    }
+}
+
+/// The synthetic SDSC-Paragon-like trace used by the figure binaries.
+pub fn standard_trace(jobs: usize, seed: u64) -> Trace {
+    if jobs >= 6087 {
+        ParagonTraceModel::default().generate(seed)
+    } else {
+        ParagonTraceModel::scaled(jobs).generate(seed)
+    }
+}
+
+/// Produces `count` allocations of `size` processors with varying dispersion
+/// on `mesh`: the machine is pre-occupied with increasing fractions of
+/// randomly chosen busy processors before a Hilbert/Best-Fit allocation is
+/// made, so later allocations are progressively more fragmented. Returns the
+/// allocations in rank order together with their average pairwise distance.
+pub fn dispersion_allocations(
+    mesh: Mesh2D,
+    size: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<(Vec<NodeId>, f64)> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+        let busy_fraction = 0.75 * i as f64 / count.max(1) as f64;
+        let mut machine = MachineState::new(mesh);
+        let mut nodes: Vec<NodeId> = mesh.nodes().collect();
+        nodes.shuffle(&mut rng);
+        let busy_count = ((mesh.num_nodes() as f64 * busy_fraction) as usize)
+            .min(mesh.num_nodes() - size);
+        machine.occupy(&nodes[..busy_count]);
+        let mut allocator = AllocatorKind::HilbertBestFit.build(mesh);
+        let alloc = allocator
+            .allocate(&AllocRequest::new(i as u64, size), &machine)
+            .expect("enough processors remain free");
+        let dispersion = mesh.avg_pairwise_distance(&alloc.nodes);
+        out.push((alloc.nodes, dispersion));
+    }
+    out
+}
+
+/// Inserts `count` probe jobs of `size` processors into `trace`, evenly
+/// spread over its timeline, each with a message quota drawn uniformly from
+/// `quota_range`. This reproduces the Figure 9/10 population: "instances of
+/// the largest jobs (128 processors) sending between 39,900 and 44,000
+/// messages ... 24 jobs in each simulation".
+pub fn probe_jobs(
+    trace: &Trace,
+    count: usize,
+    size: usize,
+    quota_range: (u64, u64),
+    seed: u64,
+) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = trace
+        .jobs()
+        .last()
+        .map(|j| j.arrival)
+        .unwrap_or(1.0)
+        .max(1.0);
+    let mut jobs: Vec<Job> = trace.jobs().to_vec();
+    let base_id = jobs.len() as u64;
+    for i in 0..count {
+        let arrival = span * (i as f64 + 0.5) / count as f64;
+        let quota = rng.gen_range(quota_range.0..=quota_range.1);
+        jobs.push(Job::new(base_id + i as u64, arrival, size, quota as f64));
+    }
+    Trace::new(jobs)
+}
+
+/// True if a record belongs to one of the probe jobs inserted by
+/// [`probe_jobs`] (matched by size and quota band).
+pub fn is_probe_record(record: &commalloc::JobRecord, size: usize, quota_range: (u64, u64)) -> bool {
+    record.size == size && record.messages >= quota_range.0 && record.messages <= quota_range.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispersion_allocations_span_a_range() {
+        let allocs = dispersion_allocations(Mesh2D::square_16x16(), 30, 10, 3);
+        assert_eq!(allocs.len(), 10);
+        let min = allocs.iter().map(|(_, d)| *d).fold(f64::INFINITY, f64::min);
+        let max = allocs.iter().map(|(_, d)| *d).fold(0.0, f64::max);
+        assert!(max > min, "dispersion should vary across allocations");
+        for (nodes, _) in &allocs {
+            assert_eq!(nodes.len(), 30);
+        }
+    }
+
+    #[test]
+    fn probe_jobs_are_inserted_with_requested_parameters() {
+        let base = standard_trace(50, 1);
+        let with_probes = probe_jobs(&base, 24, 128, (39_900, 44_000), 9);
+        assert_eq!(with_probes.len(), 74);
+        let probes: Vec<_> = with_probes
+            .jobs()
+            .iter()
+            .filter(|j| j.size == 128 && j.runtime >= 39_900.0)
+            .collect();
+        assert_eq!(probes.len(), 24);
+    }
+
+    #[test]
+    fn standard_trace_scales() {
+        assert_eq!(standard_trace(100, 7).len(), 100);
+    }
+}

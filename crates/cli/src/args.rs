@@ -1,0 +1,548 @@
+//! Command-line parsing for the `commalloc` driver.
+//!
+//! The parser is hand-rolled (no external argument-parsing dependency) and
+//! pure: it maps an argument vector to a [`Command`] value or a
+//! [`ParseError`], which keeps every flag combination unit-testable.
+
+use commalloc::prelude::*;
+use commalloc::scheduler::SchedulerKind as Scheduler;
+use std::fmt;
+
+/// Errors produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// The subcommand is not one of the known ones.
+    UnknownCommand(String),
+    /// A flag is not recognised by the chosen subcommand.
+    UnknownFlag(String),
+    /// A flag was given without its required value.
+    MissingValue(String),
+    /// A flag value could not be interpreted.
+    InvalidValue { flag: String, value: String },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCommand => write!(f, "missing subcommand; try `commalloc help`"),
+            ParseError::UnknownCommand(c) => write!(f, "unknown subcommand {c:?}"),
+            ParseError::UnknownFlag(flag) => write!(f, "unknown flag {flag:?}"),
+            ParseError::MissingValue(flag) => write!(f, "flag {flag:?} needs a value"),
+            ParseError::InvalidValue { flag, value } => {
+                write!(f, "invalid value {value:?} for flag {flag:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Options shared by the simulation-driving subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateOptions {
+    /// The machine.
+    pub mesh: Mesh2D,
+    /// Communication pattern.
+    pub pattern: CommPattern,
+    /// Allocation algorithm.
+    pub allocator: AllocatorKind,
+    /// Scheduling policy.
+    pub scheduler: Scheduler,
+    /// Load factor applied to the trace arrivals.
+    pub load: f64,
+    /// Number of synthetic jobs (6087 reproduces the full trace length).
+    pub jobs: usize,
+    /// RNG seed for trace generation and pattern realisation.
+    pub seed: u64,
+    /// Optional SWF file to replay instead of the synthetic trace.
+    pub swf: Option<String>,
+    /// Emit machine-readable JSON instead of the human-readable summary.
+    pub json: bool,
+}
+
+impl Default for SimulateOptions {
+    fn default() -> Self {
+        SimulateOptions {
+            mesh: Mesh2D::square_16x16(),
+            pattern: CommPattern::AllToAll,
+            allocator: AllocatorKind::HilbertBestFit,
+            scheduler: Scheduler::Fcfs,
+            load: 1.0,
+            jobs: 400,
+            seed: 1996,
+            swf: None,
+            json: false,
+        }
+    }
+}
+
+/// Options of the `sweep` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOptions {
+    /// The machine.
+    pub mesh: Mesh2D,
+    /// Patterns to sweep (defaults to the paper's three).
+    pub patterns: Vec<CommPattern>,
+    /// Allocators to sweep (defaults to the paper's nine).
+    pub allocators: Vec<AllocatorKind>,
+    /// Load factors to sweep.
+    pub loads: Vec<f64>,
+    /// Number of synthetic jobs.
+    pub jobs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Emit JSON.
+    pub json: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            mesh: Mesh2D::square_16x16(),
+            patterns: CommPattern::paper_patterns().to_vec(),
+            allocators: AllocatorKind::paper_set().to_vec(),
+            loads: vec![1.0, 0.8, 0.6, 0.4, 0.2],
+            jobs: 400,
+            seed: 1996,
+            json: false,
+        }
+    }
+}
+
+/// Options of the `curves` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurvesOptions {
+    /// The machine.
+    pub mesh: Mesh2D,
+    /// Curve to render; `None` renders all of them.
+    pub curve: Option<CurveKind>,
+    /// Window size for the locality statistics.
+    pub window: usize,
+}
+
+impl Default for CurvesOptions {
+    fn default() -> Self {
+        CurvesOptions {
+            mesh: Mesh2D::square_16x16(),
+            curve: None,
+            window: 16,
+        }
+    }
+}
+
+/// Options of the `trace` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOptions {
+    /// Number of synthetic jobs.
+    pub jobs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional SWF file to analyse instead of the synthetic trace.
+    pub swf: Option<String>,
+    /// Emit JSON.
+    pub json: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            jobs: 6087,
+            seed: 1996,
+            swf: None,
+            json: false,
+        }
+    }
+}
+
+/// A fully parsed invocation of the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one simulation and print its summary.
+    Simulate(SimulateOptions),
+    /// Run a (pattern × allocator × load) sweep and print the tables.
+    Sweep(SweepOptions),
+    /// Render a curve and its locality statistics.
+    Curves(CurvesOptions),
+    /// Generate (or load) a trace and print its statistics.
+    Trace(TraceOptions),
+    /// List the implemented allocators, patterns, curves and schedulers.
+    List,
+    /// Print usage.
+    Help,
+}
+
+/// Parses a mesh specification: `16x16`, `16x22`, or `WxH`.
+pub fn parse_mesh(value: &str) -> Option<Mesh2D> {
+    let (w, h) = value.split_once(['x', 'X'])?;
+    let w: u16 = w.trim().parse().ok()?;
+    let h: u16 = h.trim().parse().ok()?;
+    if w == 0 || h == 0 {
+        return None;
+    }
+    Some(Mesh2D::new(w, h))
+}
+
+/// Parses a comma-separated list of load factors.
+fn parse_loads(value: &str) -> Option<Vec<f64>> {
+    let loads: Option<Vec<f64>> = value
+        .split(',')
+        .map(|s| s.trim().parse::<f64>().ok())
+        .collect();
+    let loads = loads?;
+    if loads.is_empty() || loads.iter().any(|&l| l <= 0.0 || l > 1.0) {
+        None
+    } else {
+        Some(loads)
+    }
+}
+
+/// Parses a curve name.
+fn parse_curve(value: &str) -> Option<CurveKind> {
+    CurveKind::all()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(value.trim()))
+}
+
+/// Parses a scheduler name.
+fn parse_scheduler(value: &str) -> Option<Scheduler> {
+    Scheduler::all()
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(value.trim()))
+        .or(match value.trim().to_ascii_lowercase().as_str() {
+            "fcfs" => Some(Scheduler::Fcfs),
+            "backfill" => Some(Scheduler::FirstFitBackfill),
+            "easy" => Some(Scheduler::EasyBackfill),
+            _ => None,
+        })
+}
+
+/// Splits the argument list into `(flag, value)` pairs, treating `--json`
+/// as a boolean flag.
+fn flag_pairs(args: &[String]) -> Result<Vec<(String, Option<String>)>, ParseError> {
+    let mut pairs = Vec::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        let flag = args[i].clone();
+        if !flag.starts_with("--") {
+            return Err(ParseError::UnknownFlag(flag));
+        }
+        if flag == "--json" {
+            pairs.push((flag, None));
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .cloned()
+            .ok_or_else(|| ParseError::MissingValue(flag.clone()))?;
+        pairs.push((flag, Some(value)));
+        i += 2;
+    }
+    Ok(pairs)
+}
+
+fn invalid(flag: &str, value: &str) -> ParseError {
+    ParseError::InvalidValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+    }
+}
+
+/// Parses a complete argument vector (without the program name).
+pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
+    let Some(subcommand) = args.first() else {
+        return Err(ParseError::MissingCommand);
+    };
+    let rest = &args[1..];
+    match subcommand.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "allocators" | "list" => Ok(Command::List),
+        "simulate" => {
+            let mut opts = SimulateOptions::default();
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--mesh" => {
+                        opts.mesh = parse_mesh(&value).ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--pattern" => {
+                        opts.pattern =
+                            CommPattern::parse(&value).ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--allocator" => {
+                        opts.allocator =
+                            AllocatorKind::parse(&value).ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--scheduler" => {
+                        opts.scheduler =
+                            parse_scheduler(&value).ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--load" => {
+                        opts.load = value
+                            .parse()
+                            .ok()
+                            .filter(|&l| l > 0.0 && l <= 1.0)
+                            .ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--jobs" => {
+                        opts.jobs = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--seed" => {
+                        opts.seed = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--swf" => opts.swf = Some(value),
+                    "--json" => opts.json = true,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Simulate(opts))
+        }
+        "sweep" => {
+            let mut opts = SweepOptions::default();
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--mesh" => {
+                        opts.mesh = parse_mesh(&value).ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--pattern" => {
+                        opts.patterns = vec![
+                            CommPattern::parse(&value).ok_or_else(|| invalid(&flag, &value))?
+                        ]
+                    }
+                    "--allocator" => {
+                        opts.allocators = vec![
+                            AllocatorKind::parse(&value).ok_or_else(|| invalid(&flag, &value))?
+                        ]
+                    }
+                    "--extended" => {
+                        // `--extended true` adds the extension allocators.
+                        if value.parse::<bool>().map_err(|_| invalid(&flag, &value))? {
+                            opts.allocators.extend(AllocatorKind::extended_set());
+                        }
+                    }
+                    "--loads" => {
+                        opts.loads = parse_loads(&value).ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--jobs" => {
+                        opts.jobs = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--seed" => {
+                        opts.seed = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--json" => opts.json = true,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Sweep(opts))
+        }
+        "curves" => {
+            let mut opts = CurvesOptions::default();
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--mesh" => {
+                        opts.mesh = parse_mesh(&value).ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--curve" => {
+                        opts.curve =
+                            Some(parse_curve(&value).ok_or_else(|| invalid(&flag, &value))?)
+                    }
+                    "--window" => {
+                        opts.window = value
+                            .parse()
+                            .ok()
+                            .filter(|&w: &usize| w > 0)
+                            .ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Curves(opts))
+        }
+        "trace" => {
+            let mut opts = TraceOptions::default();
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--jobs" => {
+                        opts.jobs = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--seed" => {
+                        opts.seed = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--swf" => opts.swf = Some(value),
+                    "--json" => opts.json = true,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Trace(opts))
+        }
+        other => Err(ParseError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// The usage text printed by `commalloc help`.
+pub const USAGE: &str = "\
+commalloc — trace-driven processor-allocation simulator (Leung, Bunde & Mache 2004 reproduction)
+
+USAGE:
+  commalloc <SUBCOMMAND> [FLAGS]
+
+SUBCOMMANDS:
+  simulate    run one simulation and print its summary
+              --mesh WxH --pattern P --allocator A --scheduler S --load L
+              --jobs N --seed S [--swf FILE] [--json]
+  sweep       run a (pattern x allocator x load) sweep and print tables
+              --mesh WxH [--pattern P] [--allocator A] [--extended true]
+              [--loads 1.0,0.6,0.2] --jobs N --seed S [--json]
+  curves      render a processor ordering and its locality statistics
+              --mesh WxH [--curve NAME] [--window K]
+  trace       generate (or load) a trace and print its statistics
+              --jobs N --seed S [--swf FILE] [--json]
+  allocators  list allocators, patterns, curves and schedulers
+  help        print this message
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn missing_and_unknown_commands_are_rejected() {
+        assert_eq!(parse_command(&[]), Err(ParseError::MissingCommand));
+        assert_eq!(
+            parse_command(&args(&["frobnicate"])),
+            Err(ParseError::UnknownCommand("frobnicate".into()))
+        );
+        assert_eq!(parse_command(&args(&["help"])), Ok(Command::Help));
+        assert_eq!(parse_command(&args(&["allocators"])), Ok(Command::List));
+    }
+
+    #[test]
+    fn simulate_flags_round_trip() {
+        let cmd = parse_command(&args(&[
+            "simulate",
+            "--mesh",
+            "16x22",
+            "--pattern",
+            "n-body",
+            "--allocator",
+            "MC1x1",
+            "--scheduler",
+            "easy",
+            "--load",
+            "0.4",
+            "--jobs",
+            "123",
+            "--seed",
+            "9",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate(opts) => {
+                assert_eq!(opts.mesh, Mesh2D::paragon_16x22());
+                assert_eq!(opts.pattern, CommPattern::NBody);
+                assert_eq!(opts.allocator, AllocatorKind::Mc1x1);
+                assert_eq!(opts.scheduler, Scheduler::EasyBackfill);
+                assert_eq!(opts.load, 0.4);
+                assert_eq!(opts.jobs, 123);
+                assert_eq!(opts.seed, 9);
+                assert!(opts.json);
+                assert!(opts.swf.is_none());
+            }
+            other => panic!("expected Simulate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_values_name_the_flag() {
+        let err = parse_command(&args(&["simulate", "--load", "3.0"])).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::InvalidValue {
+                flag: "--load".into(),
+                value: "3.0".into()
+            }
+        );
+        let err = parse_command(&args(&["simulate", "--allocator", "nonsense"])).unwrap_err();
+        assert!(matches!(err, ParseError::InvalidValue { .. }));
+        let err = parse_command(&args(&["simulate", "--jobs"])).unwrap_err();
+        assert_eq!(err, ParseError::MissingValue("--jobs".into()));
+        let err = parse_command(&args(&["simulate", "--bogus", "1"])).unwrap_err();
+        assert_eq!(err, ParseError::UnknownFlag("--bogus".into()));
+    }
+
+    #[test]
+    fn sweep_defaults_match_the_paper() {
+        let cmd = parse_command(&args(&["sweep"])).unwrap();
+        match cmd {
+            Command::Sweep(opts) => {
+                assert_eq!(opts.patterns, CommPattern::paper_patterns().to_vec());
+                assert_eq!(opts.allocators.len(), 9);
+                assert_eq!(opts.loads, vec![1.0, 0.8, 0.6, 0.4, 0.2]);
+            }
+            other => panic!("expected Sweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_extended_adds_the_extension_allocators() {
+        let cmd = parse_command(&args(&["sweep", "--extended", "true", "--loads", "0.5"]))
+            .unwrap();
+        match cmd {
+            Command::Sweep(opts) => {
+                assert!(opts.allocators.len() > 9);
+                assert!(opts.allocators.contains(&AllocatorKind::Mbs));
+                assert_eq!(opts.loads, vec![0.5]);
+            }
+            other => panic!("expected Sweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn curves_and_trace_parse() {
+        let cmd = parse_command(&args(&["curves", "--mesh", "8x8", "--curve", "hilbert"]))
+            .unwrap();
+        match cmd {
+            Command::Curves(opts) => {
+                assert_eq!(opts.mesh, Mesh2D::new(8, 8));
+                assert_eq!(opts.curve, Some(CurveKind::Hilbert));
+            }
+            other => panic!("expected Curves, got {other:?}"),
+        }
+        let cmd = parse_command(&args(&["trace", "--jobs", "50", "--seed", "3"])).unwrap();
+        match cmd {
+            Command::Trace(opts) => {
+                assert_eq!(opts.jobs, 50);
+                assert_eq!(opts.seed, 3);
+            }
+            other => panic!("expected Trace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mesh_and_loads_parsers() {
+        assert_eq!(parse_mesh("16x22"), Some(Mesh2D::paragon_16x22()));
+        assert_eq!(parse_mesh("4X8"), Some(Mesh2D::new(4, 8)));
+        assert_eq!(parse_mesh("0x4"), None);
+        assert_eq!(parse_mesh("16"), None);
+        assert_eq!(parse_loads("1.0, 0.5"), Some(vec![1.0, 0.5]));
+        assert_eq!(parse_loads("1.5"), None);
+        assert_eq!(parse_loads(""), None);
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        for sub in ["simulate", "sweep", "curves", "trace", "allocators", "help"] {
+            assert!(USAGE.contains(sub), "usage must mention {sub}");
+        }
+    }
+}

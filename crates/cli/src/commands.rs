@@ -1,0 +1,314 @@
+//! Execution of the parsed CLI commands.
+//!
+//! Each command renders to a `String` (so the output is unit-testable) and
+//! the binary simply prints it.
+
+use crate::args::{Command, CurvesOptions, SimulateOptions, SweepOptions, TraceOptions, USAGE};
+use commalloc::experiment::LoadSweep;
+use commalloc::prelude::*;
+use commalloc::report;
+use commalloc_mesh::locality::window_locality;
+use commalloc_workload::analysis::TraceAnalysis;
+use commalloc_workload::swf;
+use std::fmt::Write as _;
+
+/// Errors surfaced to the user by command execution.
+#[derive(Debug)]
+pub enum RunError {
+    /// An SWF trace file could not be read or parsed.
+    Swf(String),
+    /// Results could not be serialised to JSON.
+    Json(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Swf(e) => write!(f, "could not load SWF trace: {e}"),
+            RunError::Json(e) => write!(f, "could not serialise results: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl Command {
+    /// Executes the command and returns its rendered output.
+    pub fn run(&self) -> Result<String, RunError> {
+        match self {
+            Command::Help => Ok(USAGE.to_string()),
+            Command::List => Ok(render_list()),
+            Command::Simulate(opts) => run_simulate(opts),
+            Command::Sweep(opts) => run_sweep(opts),
+            Command::Curves(opts) => Ok(run_curves(opts)),
+            Command::Trace(opts) => run_trace(opts),
+        }
+    }
+}
+
+fn load_trace(jobs: usize, seed: u64, swf_path: &Option<String>) -> Result<Trace, RunError> {
+    match swf_path {
+        Some(path) => swf::parse_file(path).map_err(|e| RunError::Swf(format!("{path}: {e:?}"))),
+        None => Ok(if jobs >= 6087 {
+            ParagonTraceModel::default().generate(seed)
+        } else {
+            ParagonTraceModel::scaled(jobs).generate(seed)
+        }),
+    }
+}
+
+fn render_list() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "allocators (paper set marked *):");
+    for kind in AllocatorKind::all() {
+        let marker = if AllocatorKind::paper_set().contains(&kind) {
+            "*"
+        } else {
+            " "
+        };
+        let _ = writeln!(out, "  {marker} {}", kind.name());
+    }
+    let _ = writeln!(out, "\ncommunication patterns (paper set marked *):");
+    for pattern in CommPattern::all() {
+        let marker = if CommPattern::paper_patterns().contains(&pattern) {
+            "*"
+        } else {
+            " "
+        };
+        let _ = writeln!(out, "  {marker} {}", pattern.name());
+    }
+    let _ = writeln!(out, "\ncurves:");
+    for curve in CurveKind::all() {
+        let _ = writeln!(out, "    {}", curve.name());
+    }
+    let _ = writeln!(out, "\nschedulers:");
+    for scheduler in SchedulerKind::all() {
+        let _ = writeln!(out, "    {}", scheduler.name());
+    }
+    out
+}
+
+fn run_simulate(opts: &SimulateOptions) -> Result<String, RunError> {
+    let trace = load_trace(opts.jobs, opts.seed, &opts.swf)?
+        .filter_fitting(opts.mesh.num_nodes())
+        .with_load_factor(opts.load);
+    let config = SimConfig::new(opts.mesh, opts.pattern, opts.allocator)
+        .with_scheduler(opts.scheduler)
+        .with_seed(opts.seed);
+    let result = simulate(&trace, &config);
+    if opts.json {
+        return serde_json::to_string_pretty(&result.summary)
+            .map_err(|e| RunError::Json(e.to_string()));
+    }
+    let profile = UtilizationProfile::from_records(&result.records, opts.mesh.num_nodes());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "simulated {} jobs on {}x{} | pattern {} | allocator {} | scheduler {} | load {}",
+        result.records.len(),
+        opts.mesh.width(),
+        opts.mesh.height(),
+        opts.pattern,
+        opts.allocator,
+        opts.scheduler.name(),
+        opts.load
+    );
+    let s = &result.summary;
+    let _ = writeln!(out, "  mean response time   {:>12.0} s", s.mean_response_time);
+    let _ = writeln!(out, "  mean waiting time    {:>12.0} s", s.mean_wait_time);
+    let _ = writeln!(out, "  mean running time    {:>12.0} s", s.mean_running_time);
+    let _ = writeln!(out, "  makespan             {:>12.0} s", s.makespan);
+    let _ = writeln!(out, "  contiguous jobs      {:>11.1} %", s.percent_contiguous);
+    let _ = writeln!(out, "  components per job   {:>12.2}", s.avg_components);
+    let _ = writeln!(out, "  mean pairwise dist.  {:>12.2}", s.mean_pairwise_distance);
+    let _ = writeln!(out, "  mean message dist.   {:>12.2}", s.mean_message_distance);
+    let _ = writeln!(
+        out,
+        "  mean utilization     {:>11.1} %",
+        100.0 * profile.mean_utilization()
+    );
+    let _ = writeln!(
+        out,
+        "  mean queue length    {:>12.2}",
+        profile.mean_queue_length()
+    );
+    Ok(out)
+}
+
+fn run_sweep(opts: &SweepOptions) -> Result<String, RunError> {
+    let trace = load_trace(opts.jobs, opts.seed, &None)?;
+    let sweep = LoadSweep {
+        mesh: opts.mesh,
+        patterns: opts.patterns.clone(),
+        allocators: opts.allocators.clone(),
+        load_factors: opts.loads.clone(),
+        ..LoadSweep::paper_figure(opts.mesh)
+    };
+    let result = sweep.run(&trace);
+    if opts.json {
+        return serde_json::to_string_pretty(&result).map_err(|e| RunError::Json(e.to_string()));
+    }
+    let mut out = String::new();
+    for &pattern in &opts.patterns {
+        let _ = writeln!(out, "{}", report::response_time_table(&result, pattern));
+    }
+    Ok(out)
+}
+
+fn run_curves(opts: &CurvesOptions) -> String {
+    let kinds: Vec<CurveKind> = match opts.curve {
+        Some(kind) => vec![kind],
+        None => CurveKind::all().to_vec(),
+    };
+    let mut out = String::new();
+    for kind in kinds {
+        let curve = CurveOrder::build(kind, opts.mesh);
+        let window = opts.window.min(curve.len());
+        let locality = window_locality(&curve, window);
+        let _ = writeln!(
+            out,
+            "{} on {}x{}: {} gaps, window-{} avg pairwise distance {:.2}, {:.1}% of windows contiguous",
+            kind.name(),
+            opts.mesh.width(),
+            opts.mesh.height(),
+            curve.discontinuities(),
+            window,
+            locality.mean_pairwise_distance,
+            100.0 * locality.contiguous_fraction
+        );
+        // Rendering a big mesh is still readable (ranks are padded), but keep
+        // the gallery output bounded.
+        if opts.mesh.num_nodes() <= 1024 {
+            let _ = writeln!(out, "{}", curve.render_ascii());
+        }
+    }
+    out
+}
+
+fn run_trace(opts: &TraceOptions) -> Result<String, RunError> {
+    let trace = load_trace(opts.jobs, opts.seed, &opts.swf)?;
+    let summary = trace.summary();
+    let analysis = TraceAnalysis::of(&trace, 12);
+    if opts.json {
+        return serde_json::to_string_pretty(&(summary, &analysis))
+            .map_err(|e| RunError::Json(e.to_string()));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "trace: {} jobs", summary.jobs);
+    let _ = writeln!(
+        out,
+        "  interarrival  mean {:>9.0} s   CV {:>5.2}   (paper: 1301 s, CV 3.7)",
+        summary.mean_interarrival, summary.cv_interarrival
+    );
+    let _ = writeln!(
+        out,
+        "  size          mean {:>9.1}     CV {:>5.2}   (paper: 14.5, CV 1.5)",
+        summary.mean_size, summary.cv_size
+    );
+    let _ = writeln!(
+        out,
+        "  runtime       mean {:>9.0} s   CV {:>5.2}   (paper: 10944 s, CV 1.13)",
+        summary.mean_runtime, summary.cv_runtime
+    );
+    let _ = writeln!(
+        out,
+        "  power-of-two sizes: {:.0}% of jobs",
+        100.0 * summary.power_of_two_fraction
+    );
+    let _ = writeln!(out, "\npower-of-two size spectrum (size: fraction of jobs):");
+    for (size, fraction) in &analysis.power_of_two_spectrum {
+        let _ = writeln!(out, "  {size:>4}: {:>5.1}%", 100.0 * fraction);
+    }
+    let _ = writeln!(out, "\noffered load per window (processors kept busy by arriving work):");
+    for (start, load) in &analysis.offered_load {
+        let _ = writeln!(out, "  t = {start:>12.0} s: {load:>8.1}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_command;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_list_render() {
+        assert!(Command::Help.run().unwrap().contains("simulate"));
+        let listing = Command::List.run().unwrap();
+        assert!(listing.contains("Hilbert w/BF"));
+        assert!(listing.contains("n-body"));
+        assert!(listing.contains("EASY backfill"));
+    }
+
+    #[test]
+    fn simulate_runs_a_tiny_workload() {
+        let cmd = parse_command(&args(&[
+            "simulate", "--jobs", "20", "--load", "0.8", "--seed", "5",
+        ]))
+        .unwrap();
+        let out = cmd.run().unwrap();
+        assert!(out.contains("mean response time"));
+        assert!(out.contains("simulated 20 jobs"));
+    }
+
+    #[test]
+    fn simulate_json_output_is_parseable() {
+        let cmd = parse_command(&args(&["simulate", "--jobs", "10", "--json"])).unwrap();
+        let out = cmd.run().unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(value.get("mean_response_time").is_some());
+    }
+
+    #[test]
+    fn sweep_renders_a_table_per_pattern() {
+        let cmd = parse_command(&args(&[
+            "sweep",
+            "--jobs",
+            "15",
+            "--loads",
+            "1.0",
+            "--pattern",
+            "all-to-all",
+            "--allocator",
+            "MC",
+        ]))
+        .unwrap();
+        let out = cmd.run().unwrap();
+        assert!(out.contains("mean response time"));
+        assert!(out.contains("MC"));
+    }
+
+    #[test]
+    fn curves_render_ascii_and_stats() {
+        let cmd = parse_command(&args(&["curves", "--mesh", "8x8", "--curve", "hilbert"]))
+            .unwrap();
+        let out = cmd.run().unwrap();
+        assert!(out.contains("Hilbert on 8x8: 0 gaps"));
+        assert!(out.lines().count() > 8, "ASCII grid expected");
+    }
+
+    #[test]
+    fn trace_statistics_match_the_model() {
+        let cmd = parse_command(&args(&["trace", "--jobs", "500", "--seed", "1"])).unwrap();
+        let out = cmd.run().unwrap();
+        assert!(out.contains("trace: 500 jobs"));
+        assert!(out.contains("power-of-two size spectrum"));
+    }
+
+    #[test]
+    fn missing_swf_file_is_a_clean_error() {
+        let cmd = parse_command(&args(&[
+            "trace",
+            "--swf",
+            "/definitely/not/a/real/file.swf",
+        ]))
+        .unwrap();
+        let err = cmd.run().unwrap_err();
+        assert!(matches!(err, RunError::Swf(_)));
+        assert!(err.to_string().contains("SWF"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # commalloc-cli
+//!
+//! Argument parsing and command dispatch for the `commalloc` command-line
+//! driver. The binary (`src/main.rs`) is a thin wrapper around
+//! [`parse_command`] and [`Command::run`], so every code path is testable
+//! without spawning a process.
+//!
+//! ```text
+//! commalloc simulate --mesh 16x16 --pattern all-to-all --allocator "Hilbert w/BF" --jobs 400
+//! commalloc sweep    --mesh 16x22 --jobs 800 --loads 1.0,0.6,0.2
+//! commalloc curves   --mesh 16x22 --curve Hilbert
+//! commalloc trace    --jobs 2000 --seed 7
+//! commalloc allocators
+//! ```
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_command, Command, ParseError};

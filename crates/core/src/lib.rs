@@ -1,0 +1,64 @@
+//! # commalloc
+//!
+//! A trace-driven microsimulator for studying how processor-allocation
+//! strategies interact with job communication patterns on space-shared mesh
+//! machines — a Rust reproduction of *Communication Patterns and Allocation
+//! Strategies* (Leung, Bunde & Mache, SAND2003-4522 / IPPS 2004).
+//!
+//! The crate ties together the substrates of the workspace:
+//!
+//! * [`commalloc_mesh`] — mesh topology and space-filling curves;
+//! * [`commalloc_alloc`] — the allocation algorithms the paper evaluates
+//!   (curve-based one-dimensional reduction, Gen-Alg, MC, MC1x1);
+//! * [`commalloc_workload`] — the SDSC-Paragon-like trace and the
+//!   communication patterns (all-to-all, n-body, random);
+//! * [`commalloc_net`] — the contention models (flit-level wormhole,
+//!   message-level, fluid max-min fair).
+//!
+//! and adds the pieces the experiments need on top: a First-Come-First-Serve
+//! [`scheduler`], the event-driven [`engine`] that replays a trace against a
+//! chosen allocator/pattern/fidelity, per-job [`stats`], and an
+//! [`experiment`] layer that runs the paper's parameter sweeps in parallel
+//! and renders their tables ([`report`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use commalloc::prelude::*;
+//!
+//! // A small synthetic trace, the square machine, all-to-all traffic,
+//! // allocated with Hilbert + Best Fit.
+//! let trace = ParagonTraceModel::scaled(60).generate(7);
+//! let config = SimConfig::new(Mesh2D::square_16x16(), CommPattern::AllToAll,
+//!                             AllocatorKind::HilbertBestFit);
+//! let result = simulate(&trace, &config);
+//! assert_eq!(result.records.len(), 60);
+//! println!("mean response time: {:.0} s", result.summary.mean_response_time);
+//! ```
+
+pub mod engine;
+pub mod experiment;
+pub mod report;
+pub mod scheduler;
+pub mod sensitivity;
+pub mod stats;
+pub mod utilization;
+
+/// Convenience re-exports for examples and binaries.
+pub mod prelude {
+    pub use crate::engine::{simulate, Fidelity, SimConfig, SimResult};
+    pub use crate::experiment::{ExperimentPoint, LoadSweep, SweepResult};
+    pub use crate::scheduler::SchedulerKind;
+    pub use crate::sensitivity::{kendall_tau, Knob, SensitivityStudy};
+    pub use crate::stats::{JobRecord, SimSummary};
+    pub use crate::utilization::UtilizationProfile;
+    pub use commalloc_alloc::{AllocatorKind, MachineState};
+    pub use commalloc_mesh::{curve::CurveKind, curve::CurveOrder, Mesh2D};
+    pub use commalloc_workload::synthetic::ParagonTraceModel;
+    pub use commalloc_workload::{CommPattern, Trace};
+}
+
+pub use engine::{simulate, Fidelity, SimConfig, SimResult};
+pub use scheduler::SchedulerKind;
+pub use stats::{JobRecord, SimSummary};
+pub use utilization::UtilizationProfile;

@@ -1,0 +1,306 @@
+//! Job scheduling policies.
+//!
+//! The paper deliberately fixes the scheduler: "Since our focus is on
+//! allocation rather than scheduling, we scheduled using First Come, First
+//! Serve (FCFS) in all our simulations." FCFS is therefore the default and
+//! the policy used by every figure reproduction; an aggressive-backfill
+//! variant is provided as an extension to test whether the allocator ranking
+//! is sensitive to the scheduling policy (see DESIGN.md §5).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A job waiting in the scheduler queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueuedJob {
+    /// Trace identifier of the job.
+    pub job_id: u64,
+    /// Processors requested.
+    pub size: usize,
+    /// Arrival time (for bookkeeping; FCFS keeps the queue in arrival order).
+    pub arrival: f64,
+    /// The job's runtime estimate in seconds, used only by the EASY
+    /// backfilling extension (FCFS ignores it). The simulator supplies the
+    /// trace runtime, i.e. a perfect estimate.
+    pub estimate: f64,
+}
+
+/// A snapshot of one running job, as seen by the reservation-based
+/// schedulers: when it is expected to finish and how many processors it will
+/// release.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunningSnapshot {
+    /// Predicted completion time given current network rates.
+    pub completion: f64,
+    /// Processors the job will release.
+    pub size: usize,
+}
+
+/// Scheduling policies available to the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SchedulerKind {
+    /// Strict First Come, First Serve: the head of the queue blocks all jobs
+    /// behind it until enough processors are free (the paper's policy).
+    #[default]
+    Fcfs,
+    /// Aggressive backfilling: the first queued job that fits starts, even if
+    /// earlier jobs are still waiting (extension, not used by the paper).
+    FirstFitBackfill,
+    /// EASY backfilling: the head of the queue holds a reservation at the
+    /// earliest time enough processors will be free; later jobs may only
+    /// start if they fit now *and* do not delay that reservation (extension,
+    /// not used by the paper).
+    EasyBackfill,
+}
+
+impl SchedulerKind {
+    /// The scheduling policies implemented.
+    pub fn all() -> [SchedulerKind; 3] {
+        [
+            SchedulerKind::Fcfs,
+            SchedulerKind::FirstFitBackfill,
+            SchedulerKind::EasyBackfill,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "FCFS",
+            SchedulerKind::FirstFitBackfill => "first-fit backfill",
+            SchedulerKind::EasyBackfill => "EASY backfill",
+        }
+    }
+
+    /// Selects the index of the next queued job to start given `free`
+    /// processors, or `None` if nothing may start.
+    ///
+    /// EASY backfilling needs the running-job snapshots and the current time
+    /// to compute its reservation; use [`SchedulerKind::select_with_context`]
+    /// for it. Calling `select` on EASY falls back to the conservative FCFS
+    /// decision (only the head may start).
+    pub fn select(&self, queue: &[QueuedJob], free: usize) -> Option<usize> {
+        match self {
+            SchedulerKind::Fcfs | SchedulerKind::EasyBackfill => match queue.first() {
+                Some(head) if head.size <= free => Some(0),
+                _ => None,
+            },
+            SchedulerKind::FirstFitBackfill => {
+                queue.iter().position(|j| j.size <= free)
+            }
+        }
+    }
+
+    /// Selects the index of the next queued job to start, given the current
+    /// time and the predicted completions of the running jobs.
+    ///
+    /// For FCFS and aggressive backfilling this is identical to
+    /// [`SchedulerKind::select`]; EASY backfilling uses the extra context to
+    /// compute the head job's reservation (shadow time) and backfills only
+    /// jobs that cannot delay it.
+    pub fn select_with_context(
+        &self,
+        queue: &[QueuedJob],
+        free: usize,
+        running: &[RunningSnapshot],
+        now: f64,
+    ) -> Option<usize> {
+        match self {
+            SchedulerKind::Fcfs | SchedulerKind::FirstFitBackfill => self.select(queue, free),
+            SchedulerKind::EasyBackfill => {
+                let head = queue.first()?;
+                if head.size <= free {
+                    return Some(0);
+                }
+                let (shadow_time, extra) = Self::reservation(head.size, free, running)?;
+                queue.iter().skip(1).position(|candidate| {
+                    candidate.size <= free
+                        && (now + candidate.estimate <= shadow_time || candidate.size <= extra)
+                })
+                // `position` on the skipped iterator is relative to index 1.
+                .map(|i| i + 1)
+            }
+        }
+    }
+
+    /// Computes the EASY reservation for a head job of `head_size`
+    /// processors: the *shadow time* at which enough processors will have
+    /// been released for it to start, and the number of `extra` processors
+    /// that remain free at that moment (backfill jobs no larger than `extra`
+    /// can never delay the reservation, whatever their runtime).
+    ///
+    /// Returns `None` when even draining every running job would not free
+    /// enough processors (the head job can then only start thanks to future
+    /// arrivals terminating, which EASY treats as an unbounded reservation —
+    /// no backfill is allowed).
+    fn reservation(
+        head_size: usize,
+        free: usize,
+        running: &[RunningSnapshot],
+    ) -> Option<(f64, usize)> {
+        let mut releases: Vec<RunningSnapshot> = running.to_vec();
+        releases.sort_by(|a, b| a.completion.total_cmp(&b.completion));
+        let mut available = free;
+        for release in &releases {
+            available += release.size;
+            if available >= head_size {
+                return Some((release.completion, available - head_size));
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queued(job_id: u64, size: usize, arrival: f64, estimate: f64) -> QueuedJob {
+        QueuedJob {
+            job_id,
+            size,
+            arrival,
+            estimate,
+        }
+    }
+
+    fn queue() -> Vec<QueuedJob> {
+        vec![
+            queued(1, 10, 0.0, 100.0),
+            queued(2, 2, 1.0, 50.0),
+            queued(3, 4, 2.0, 500.0),
+        ]
+    }
+
+    #[test]
+    fn fcfs_blocks_behind_large_head() {
+        let q = queue();
+        assert_eq!(SchedulerKind::Fcfs.select(&q, 12), Some(0));
+        assert_eq!(SchedulerKind::Fcfs.select(&q, 8), None);
+        assert_eq!(SchedulerKind::Fcfs.select(&[], 100), None);
+    }
+
+    #[test]
+    fn backfill_skips_the_blocked_head() {
+        let q = queue();
+        assert_eq!(SchedulerKind::FirstFitBackfill.select(&q, 8), Some(1));
+        assert_eq!(SchedulerKind::FirstFitBackfill.select(&q, 3), Some(1));
+        assert_eq!(SchedulerKind::FirstFitBackfill.select(&q, 1), None);
+    }
+
+    #[test]
+    fn default_is_fcfs() {
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Fcfs);
+        assert_eq!(SchedulerKind::Fcfs.to_string(), "FCFS");
+        assert_eq!(SchedulerKind::all().len(), 3);
+    }
+
+    #[test]
+    fn easy_starts_the_head_when_it_fits() {
+        let q = queue();
+        let running = [RunningSnapshot {
+            completion: 40.0,
+            size: 6,
+        }];
+        assert_eq!(
+            SchedulerKind::EasyBackfill.select_with_context(&q, 12, &running, 0.0),
+            Some(0)
+        );
+        assert_eq!(
+            SchedulerKind::EasyBackfill.select_with_context(&[], 12, &running, 0.0),
+            None
+        );
+    }
+
+    #[test]
+    fn easy_backfills_short_jobs_that_finish_before_the_reservation() {
+        // Head needs 10, only 4 free; the running job releases 6 at t = 100,
+        // so the reservation (shadow time) is 100. Job 2 (size 2, estimate
+        // 50) finishes by t = 50 < 100 and may backfill; job 3 (size 4,
+        // estimate 500) would run past the reservation, but it also fits in
+        // the `extra` processors (4 free + 6 released − 10 = 0 extra), so it
+        // may not.
+        let q = queue();
+        let running = [RunningSnapshot {
+            completion: 100.0,
+            size: 6,
+        }];
+        assert_eq!(
+            SchedulerKind::EasyBackfill.select_with_context(&q, 4, &running, 0.0),
+            Some(1)
+        );
+        // Remove job 2: job 3 is too long and too big to backfill.
+        let q2 = vec![q[0], q[2]];
+        assert_eq!(
+            SchedulerKind::EasyBackfill.select_with_context(&q2, 4, &running, 0.0),
+            None
+        );
+    }
+
+    #[test]
+    fn easy_allows_long_backfill_into_extra_processors() {
+        // Head needs 10; the running job releases 12 at t = 100, leaving 2
+        // extra processors at the shadow time. Job 3 (size 4) does not fit in
+        // the extras, but a size-2 job does — even with a huge estimate.
+        let q = vec![queued(1, 10, 0.0, 100.0), queued(5, 2, 1.0, 1.0e9)];
+        let running = [RunningSnapshot {
+            completion: 100.0,
+            size: 12,
+        }];
+        assert_eq!(
+            SchedulerKind::EasyBackfill.select_with_context(&q, 0, &running, 0.0),
+            None,
+            "nothing free: even the backfill candidate cannot start"
+        );
+        assert_eq!(
+            SchedulerKind::EasyBackfill.select_with_context(&q, 2, &running, 0.0),
+            Some(1),
+            "size-2 job fits in the extra processors at the shadow time"
+        );
+    }
+
+    #[test]
+    fn easy_denies_backfill_when_the_reservation_is_unbounded() {
+        // Even draining the running jobs cannot free enough processors for
+        // the head, so EASY refuses to backfill anything.
+        let q = vec![queued(1, 100, 0.0, 10.0), queued(2, 1, 1.0, 1.0)];
+        let running = [RunningSnapshot {
+            completion: 10.0,
+            size: 5,
+        }];
+        assert_eq!(
+            SchedulerKind::EasyBackfill.select_with_context(&q, 3, &running, 0.0),
+            None
+        );
+    }
+
+    #[test]
+    fn plain_select_on_easy_is_conservative_fcfs() {
+        let q = queue();
+        assert_eq!(SchedulerKind::EasyBackfill.select(&q, 12), Some(0));
+        assert_eq!(SchedulerKind::EasyBackfill.select(&q, 8), None);
+    }
+
+    #[test]
+    fn select_with_context_matches_select_for_fcfs_and_backfill() {
+        let q = queue();
+        let running = [RunningSnapshot {
+            completion: 7.0,
+            size: 3,
+        }];
+        for kind in [SchedulerKind::Fcfs, SchedulerKind::FirstFitBackfill] {
+            for free in [0usize, 3, 8, 12] {
+                assert_eq!(
+                    kind.select_with_context(&q, free, &running, 5.0),
+                    kind.select(&q, free)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! System-utilization and queue-length accounting.
+//!
+//! The paper judges allocators by mean response time, but its motivation is
+//! machine *throughput*: "The quality of an allocator is ultimately judged by
+//! the throughput of the managed system." This module derives the
+//! throughput-side view from the per-job records a simulation produces — the
+//! time-weighted processor utilization, the queue-length profile, and the
+//! loss of utilization caused by allocators that make jobs wait (the
+//! contiguous baselines) — without requiring any extra instrumentation in
+//! the engine.
+
+use crate::stats::JobRecord;
+use serde::{Deserialize, Serialize};
+
+/// One breakpoint of a right-continuous step function over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepPoint {
+    /// Time of the change.
+    pub time: f64,
+    /// Value from this time (inclusive) until the next breakpoint.
+    pub value: f64,
+}
+
+/// A piecewise-constant time series (utilization or queue length).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepSeries {
+    points: Vec<StepPoint>,
+    end: f64,
+}
+
+impl StepSeries {
+    /// Builds a step series from `(time, delta)` events: the value starts at
+    /// zero and changes by `delta` at each event time. `end` bounds the
+    /// series (events after `end` are still applied at their time but the
+    /// integral stops at `end`).
+    fn from_deltas(mut deltas: Vec<(f64, f64)>, end: f64) -> Self {
+        deltas.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut points = Vec::with_capacity(deltas.len() + 1);
+        let mut value = 0.0;
+        let mut i = 0usize;
+        points.push(StepPoint { time: 0.0, value });
+        while i < deltas.len() {
+            let t = deltas[i].0;
+            while i < deltas.len() && deltas[i].0 == t {
+                value += deltas[i].1;
+                i += 1;
+            }
+            points.push(StepPoint { time: t, value });
+        }
+        StepSeries { points, end }
+    }
+
+    /// The breakpoints of the series.
+    pub fn points(&self) -> &[StepPoint] {
+        &self.points
+    }
+
+    /// The end of the observation window.
+    pub fn end(&self) -> f64 {
+        self.end
+    }
+
+    /// The value at time `t` (right-continuous).
+    pub fn value_at(&self, t: f64) -> f64 {
+        let mut value = 0.0;
+        for p in &self.points {
+            if p.time <= t {
+                value = p.value;
+            } else {
+                break;
+            }
+        }
+        value
+    }
+
+    /// The time-weighted mean of the series over `[0, end]`.
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.end <= 0.0 {
+            return 0.0;
+        }
+        let mut integral = 0.0;
+        for pair in self.points.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let to = b.time.min(self.end);
+            if to > a.time {
+                integral += a.value * (to - a.time);
+            }
+        }
+        if let Some(last) = self.points.last() {
+            if self.end > last.time {
+                integral += last.value * (self.end - last.time);
+            }
+        }
+        integral / self.end
+    }
+
+    /// The maximum value attained over the window.
+    pub fn peak(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.time <= self.end)
+            .map(|p| p.value)
+            .fold(0.0f64, f64::max)
+    }
+}
+
+/// Utilization and queueing profile of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationProfile {
+    /// Number of processors of the machine.
+    pub num_nodes: usize,
+    /// Busy-processor count over time.
+    pub busy: StepSeries,
+    /// Number of queued (arrived but not yet started) jobs over time.
+    pub queued: StepSeries,
+}
+
+impl UtilizationProfile {
+    /// Builds the profile from per-job records. The observation window ends
+    /// at the last completion (the makespan); an empty record set yields an
+    /// all-zero profile.
+    pub fn from_records(records: &[JobRecord], num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "machine must have at least one processor");
+        let makespan = records
+            .iter()
+            .map(|r| r.completion)
+            .fold(0.0f64, f64::max);
+        let mut busy_deltas = Vec::with_capacity(records.len() * 2);
+        let mut queue_deltas = Vec::with_capacity(records.len() * 2);
+        for r in records {
+            busy_deltas.push((r.start, r.size as f64));
+            busy_deltas.push((r.completion, -(r.size as f64)));
+            queue_deltas.push((r.arrival, 1.0));
+            queue_deltas.push((r.start, -1.0));
+        }
+        UtilizationProfile {
+            num_nodes,
+            busy: StepSeries::from_deltas(busy_deltas, makespan),
+            queued: StepSeries::from_deltas(queue_deltas, makespan),
+        }
+    }
+
+    /// Time-weighted mean utilization in `[0, 1]` over the makespan.
+    pub fn mean_utilization(&self) -> f64 {
+        self.busy.time_weighted_mean() / self.num_nodes as f64
+    }
+
+    /// Peak utilization in `[0, 1]`.
+    pub fn peak_utilization(&self) -> f64 {
+        self.busy.peak() / self.num_nodes as f64
+    }
+
+    /// Time-weighted mean number of queued jobs.
+    pub fn mean_queue_length(&self) -> f64 {
+        self.queued.time_weighted_mean()
+    }
+
+    /// Peak number of queued jobs.
+    pub fn peak_queue_length(&self) -> f64 {
+        self.queued.peak()
+    }
+
+    /// Total processor-seconds of demand (Σ size · running time) divided by
+    /// the machine's capacity over the makespan — identical to
+    /// [`UtilizationProfile::mean_utilization`] up to floating-point error,
+    /// exposed as a cross-check for tests.
+    pub fn demand_fraction(&self, records: &[JobRecord]) -> f64 {
+        let demand: f64 = records
+            .iter()
+            .map(|r| r.size as f64 * r.running_time())
+            .sum();
+        let capacity = self.num_nodes as f64 * self.busy.end();
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            demand / capacity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        id: u64,
+        arrival: f64,
+        start: f64,
+        completion: f64,
+        size: usize,
+    ) -> JobRecord {
+        JobRecord {
+            job_id: id,
+            size,
+            messages: 10,
+            arrival,
+            start,
+            completion,
+            avg_pairwise_distance: 1.0,
+            avg_message_distance: 1.0,
+            components: 1,
+        }
+    }
+
+    #[test]
+    fn single_job_profile() {
+        // One 8-processor job busy from t=10 to t=110 on a 16-node machine;
+        // makespan 110.
+        let records = vec![record(0, 0.0, 10.0, 110.0, 8)];
+        let profile = UtilizationProfile::from_records(&records, 16);
+        assert_eq!(profile.busy.value_at(5.0), 0.0);
+        assert_eq!(profile.busy.value_at(10.0), 8.0);
+        assert_eq!(profile.busy.value_at(109.9), 8.0);
+        assert_eq!(profile.busy.value_at(110.0), 0.0);
+        // 8 busy processors for 100 of 110 seconds.
+        let expected = 8.0 * 100.0 / (16.0 * 110.0);
+        assert!((profile.mean_utilization() - expected).abs() < 1e-9);
+        assert!((profile.peak_utilization() - 0.5).abs() < 1e-12);
+        // The job queued from t=0 to t=10.
+        assert!((profile.mean_queue_length() - 10.0 / 110.0).abs() < 1e-9);
+        assert_eq!(profile.peak_queue_length(), 1.0);
+        // Cross-check against direct demand accounting.
+        assert!(
+            (profile.demand_fraction(&records) - profile.mean_utilization()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn overlapping_jobs_stack() {
+        let records = vec![
+            record(0, 0.0, 0.0, 100.0, 4),
+            record(1, 0.0, 50.0, 150.0, 4),
+        ];
+        let profile = UtilizationProfile::from_records(&records, 8);
+        assert_eq!(profile.busy.value_at(25.0), 4.0);
+        assert_eq!(profile.busy.value_at(75.0), 8.0);
+        assert_eq!(profile.busy.value_at(125.0), 4.0);
+        assert!((profile.peak_utilization() - 1.0).abs() < 1e-12);
+        // Integral: 4*50 + 8*50 + 4*50 = 800 over 8 * 150 capacity.
+        assert!((profile.mean_utilization() - 800.0 / 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_records_give_a_zero_profile() {
+        let profile = UtilizationProfile::from_records(&[], 64);
+        assert_eq!(profile.mean_utilization(), 0.0);
+        assert_eq!(profile.peak_utilization(), 0.0);
+        assert_eq!(profile.mean_queue_length(), 0.0);
+        assert_eq!(profile.demand_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_node_machine_is_rejected() {
+        UtilizationProfile::from_records(&[], 0);
+    }
+
+    #[test]
+    fn queue_length_counts_simultaneous_waiters() {
+        // Three jobs arrive at t=0 but start back-to-back.
+        let records = vec![
+            record(0, 0.0, 0.0, 10.0, 8),
+            record(1, 0.0, 10.0, 20.0, 8),
+            record(2, 0.0, 20.0, 30.0, 8),
+        ];
+        let profile = UtilizationProfile::from_records(&records, 8);
+        assert_eq!(profile.peak_queue_length(), 2.0);
+        assert_eq!(profile.queued.value_at(5.0), 2.0);
+        assert_eq!(profile.queued.value_at(15.0), 1.0);
+        assert_eq!(profile.queued.value_at(25.0), 0.0);
+        assert!((profile.mean_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_series_value_and_peak_are_consistent() {
+        let s = StepSeries::from_deltas(vec![(1.0, 2.0), (3.0, -1.0), (5.0, 4.0)], 6.0);
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert_eq!(s.value_at(1.0), 2.0);
+        assert_eq!(s.value_at(4.0), 1.0);
+        assert_eq!(s.value_at(5.5), 5.0);
+        assert_eq!(s.peak(), 5.0);
+        // Integral 0*1 + 2*2 + 1*2 + 5*1 = 11 over 6.
+        assert!((s.time_weighted_mean() - 11.0 / 6.0).abs() < 1e-9);
+        assert_eq!(s.end(), 6.0);
+        assert!(!s.points().is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Processor coordinates and identifiers on a 2-D mesh.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A processor coordinate on a 2-D mesh.
+///
+/// `x` is the column (0 at the left) and `y` is the row (0 at the bottom).
+/// The paper's meshes are described as `16 × 22` and `16 × 16`; we follow the
+/// convention `width × height`, i.e. `x ∈ [0, width)` and `y ∈ [0, height)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column index.
+    pub x: u16,
+    /// Row index.
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate from column `x` and row `y`.
+    pub const fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan (hop) distance to `other`, the routing distance on a mesh
+    /// with dimension-ordered routing and no wraparound links.
+    pub fn manhattan(&self, other: Coord) -> u32 {
+        let dx = (self.x as i32 - other.x as i32).unsigned_abs();
+        let dy = (self.y as i32 - other.y as i32).unsigned_abs();
+        dx + dy
+    }
+
+    /// Returns true if `other` is a mesh neighbour (distance exactly one).
+    pub fn is_adjacent(&self, other: Coord) -> bool {
+        self.manhattan(other) == 1
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// Dense identifier of a processor within a specific [`crate::Mesh2D`].
+///
+/// Identifiers are row-major: `id = y * width + x`. They are only meaningful
+/// relative to the mesh that produced them.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_is_symmetric_and_zero_on_self() {
+        let a = Coord::new(3, 7);
+        let b = Coord::new(10, 2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(b), 7 + 5);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn adjacency_is_distance_one() {
+        let a = Coord::new(4, 4);
+        assert!(a.is_adjacent(Coord::new(5, 4)));
+        assert!(a.is_adjacent(Coord::new(4, 3)));
+        assert!(!a.is_adjacent(Coord::new(5, 5)));
+        assert!(!a.is_adjacent(a));
+    }
+
+    #[test]
+    fn node_id_conversions_round_trip() {
+        let id: NodeId = 42usize.into();
+        assert_eq!(id.index(), 42);
+        assert_eq!(NodeId::from(42u32), id);
+        assert_eq!(format!("{id}"), "n42");
+    }
+}

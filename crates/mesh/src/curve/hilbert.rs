@@ -1,0 +1,132 @@
+//! Hilbert space-filling curve on `2^k × 2^k` grids.
+//!
+//! The Hilbert curve (Figure 2(b) of the paper) is the canonical
+//! locality-preserving fractal curve: consecutive indices are always mesh
+//! neighbours, and small index windows map to compact mesh regions. The
+//! one-dimensional-reduction allocators of Leung et al. order processors
+//! along this curve.
+
+use crate::coord::Coord;
+
+/// Generates the order-`k` Hilbert curve covering an `n × n` grid where `n`
+/// is the smallest power of two that is at least `side`.
+///
+/// The returned sequence starts at `(0, 0)` and ends at `(n - 1, 0)`.
+///
+/// # Panics
+///
+/// Panics if `side` is zero.
+pub fn generate(side: u16) -> Vec<Coord> {
+    let n = side_to_pow2(side);
+    let cells = (n as usize) * (n as usize);
+    (0..cells).map(|d| d_to_xy(n as usize, d)).collect()
+}
+
+/// Smallest power of two `>= side`.
+pub fn side_to_pow2(side: u16) -> u16 {
+    assert!(side > 0, "grid side must be positive");
+    side.next_power_of_two()
+}
+
+/// Converts a Hilbert index `d` to a coordinate on an `n × n` grid
+/// (`n` a power of two). Classic iterative bit-twiddling formulation.
+pub fn d_to_xy(n: usize, d: usize) -> Coord {
+    debug_assert!(n.is_power_of_two());
+    debug_assert!(d < n * n);
+    let (mut x, mut y) = (0usize, 0usize);
+    let mut t = d;
+    let mut s = 1usize;
+    while s < n {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    Coord::new(x as u16, y as u16)
+}
+
+/// Converts a coordinate on an `n × n` grid (`n` a power of two) to its
+/// Hilbert index. Inverse of [`d_to_xy`].
+pub fn xy_to_d(n: usize, c: Coord) -> usize {
+    debug_assert!(n.is_power_of_two());
+    let (mut x, mut y) = (c.x as usize, c.y as usize);
+    let mut d = 0usize;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = usize::from((x & s) > 0);
+        let ry = usize::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate (note: the inverse transform reflects within the full grid).
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_one_curve() {
+        let coords = generate(2);
+        assert_eq!(
+            coords,
+            vec![
+                Coord::new(0, 0),
+                Coord::new(0, 1),
+                Coord::new(1, 1),
+                Coord::new(1, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn endpoints_are_bottom_corners() {
+        for side in [2u16, 4, 8, 16, 32] {
+            let coords = generate(side);
+            let n = side as usize;
+            assert_eq!(coords[0], Coord::new(0, 0));
+            assert_eq!(coords[n * n - 1], Coord::new(side - 1, 0));
+        }
+    }
+
+    #[test]
+    fn consecutive_cells_are_adjacent() {
+        let coords = generate(16);
+        for pair in coords.windows(2) {
+            assert!(pair[0].is_adjacent(pair[1]));
+        }
+    }
+
+    #[test]
+    fn d_to_xy_and_back() {
+        let n = 32usize;
+        for d in 0..n * n {
+            let c = d_to_xy(n, d);
+            assert_eq!(xy_to_d(n, c), d);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_side_rounds_up() {
+        assert_eq!(side_to_pow2(22), 32);
+        assert_eq!(side_to_pow2(16), 16);
+        assert_eq!(generate(3).len(), 16);
+    }
+}

@@ -1,0 +1,324 @@
+//! One-dimensional orderings ("curves") of a 2-D mesh.
+//!
+//! The one-dimensional-reduction allocators of Section 2.1 of the paper order
+//! the processors of the machine along a curve and then solve a 1-D interval
+//! selection problem. The quality of the resulting allocations depends on how
+//! well the curve preserves locality: processors that are close in curve rank
+//! should be close in the mesh.
+//!
+//! This module provides the curves the paper evaluates:
+//!
+//! * [`CurveKind::RowMajor`] — plain row-major order (the weakest baseline
+//!   considered by Lo et al.).
+//! * [`CurveKind::SCurve`] — boustrophedon ("snake") order. On non-square
+//!   meshes the long straight segments run along the *shorter* dimension, the
+//!   convention the paper selected after quick simulations.
+//! * [`CurveKind::SCurveLongDirection`] — the rejected alternative, kept for
+//!   ablation experiments.
+//! * [`CurveKind::Hilbert`] — the Hilbert space-filling curve.
+//! * [`CurveKind::HIndexing`] — a closed (cyclic) locality-preserving
+//!   indexing standing in for the H-indexing of Niedermeier, Reinhardt &
+//!   Sanders; see [`h_index`] for the exact construction and the documented
+//!   substitution.
+//!
+//! Hilbert and H-indexing curves are defined on `2^k × 2^k` grids. Following
+//! Section 4 of the paper, curves for other mesh shapes (e.g. the 16 × 22
+//! CPlant-like machine) are obtained by *truncating* the curve of the
+//! smallest enclosing power-of-two square to the actual mesh, which introduces
+//! "gaps" (rank-consecutive processors that are not mesh neighbours), exactly
+//! as illustrated by the paper's Figure 6.
+
+pub mod h_index;
+pub mod hilbert;
+pub mod morton;
+pub mod optimizer;
+pub mod peano;
+pub mod row_major;
+pub mod s_curve;
+pub mod truncate;
+
+use crate::coord::{Coord, NodeId};
+use crate::mesh::Mesh2D;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The curve families evaluated in the paper (plus the rejected long-direction
+/// S-curve variant, kept for ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CurveKind {
+    /// Row-major order.
+    RowMajor,
+    /// Boustrophedon order with long segments along the shorter dimension.
+    SCurve,
+    /// Boustrophedon order with long segments along the longer dimension.
+    SCurveLongDirection,
+    /// Hilbert space-filling curve (truncated on non-power-of-two meshes).
+    Hilbert,
+    /// Closed locality-preserving indexing (H-indexing stand-in).
+    HIndexing,
+    /// Morton (Z-order) bit-interleaving order (ablation only: clusters on
+    /// average but has long jumps between consecutive ranks).
+    Morton,
+    /// Peano curve on powers of three (ablation only: an edge-connected
+    /// fractal curve that is *not* the Hilbert curve).
+    Peano,
+}
+
+impl CurveKind {
+    /// The curves the paper evaluates in its figures.
+    pub fn paper_curves() -> [CurveKind; 3] {
+        [CurveKind::SCurve, CurveKind::Hilbert, CurveKind::HIndexing]
+    }
+
+    /// Every curve kind the crate implements.
+    pub fn all() -> [CurveKind; 7] {
+        [
+            CurveKind::RowMajor,
+            CurveKind::SCurve,
+            CurveKind::SCurveLongDirection,
+            CurveKind::Hilbert,
+            CurveKind::HIndexing,
+            CurveKind::Morton,
+            CurveKind::Peano,
+        ]
+    }
+
+    /// Short human-readable name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CurveKind::RowMajor => "row-major",
+            CurveKind::SCurve => "S-curve",
+            CurveKind::SCurveLongDirection => "S-curve (long direction)",
+            CurveKind::Hilbert => "Hilbert",
+            CurveKind::HIndexing => "H-indexing",
+            CurveKind::Morton => "Morton",
+            CurveKind::Peano => "Peano",
+        }
+    }
+}
+
+impl fmt::Display for CurveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A total ordering of the processors of a mesh along a curve.
+///
+/// A `CurveOrder` is a bijection between curve ranks `0..mesh.num_nodes()` and
+/// [`NodeId`]s. Allocation algorithms use [`CurveOrder::rank_of`] to map a
+/// processor to its rank and [`CurveOrder::node_at`] to map ranks back to
+/// processors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CurveOrder {
+    kind: CurveKind,
+    mesh: Mesh2D,
+    /// rank -> node
+    order: Vec<NodeId>,
+    /// node index -> rank
+    rank_of: Vec<u32>,
+}
+
+impl CurveOrder {
+    /// Builds the ordering of `kind` over `mesh`.
+    pub fn build(kind: CurveKind, mesh: Mesh2D) -> Self {
+        let coords: Vec<Coord> = match kind {
+            CurveKind::RowMajor => row_major::generate(mesh),
+            CurveKind::SCurve => s_curve::generate(mesh, s_curve::Orientation::ShortDirection),
+            CurveKind::SCurveLongDirection => {
+                s_curve::generate(mesh, s_curve::Orientation::LongDirection)
+            }
+            CurveKind::Hilbert => truncate::truncate_to_mesh(mesh, |n| hilbert::generate(n)),
+            CurveKind::HIndexing => truncate::truncate_to_mesh(mesh, |n| h_index::generate(n)),
+            CurveKind::Morton => truncate::truncate_to_mesh(mesh, |n| morton::generate(n)),
+            CurveKind::Peano => truncate::truncate_to_mesh(mesh, |n| peano::generate(n)),
+        };
+        Self::from_coords(kind, mesh, &coords)
+    }
+
+    /// Builds an ordering from an explicit coordinate sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` is not a permutation of the mesh's coordinates.
+    pub fn from_coords(kind: CurveKind, mesh: Mesh2D, coords: &[Coord]) -> Self {
+        assert_eq!(
+            coords.len(),
+            mesh.num_nodes(),
+            "curve must visit every processor exactly once"
+        );
+        let mut order = Vec::with_capacity(coords.len());
+        let mut rank_of = vec![u32::MAX; mesh.num_nodes()];
+        for (rank, &c) in coords.iter().enumerate() {
+            let id = mesh.id_of(c);
+            assert_eq!(
+                rank_of[id.index()],
+                u32::MAX,
+                "curve visits {c} more than once"
+            );
+            rank_of[id.index()] = rank as u32;
+            order.push(id);
+        }
+        CurveOrder {
+            kind,
+            mesh,
+            order,
+            rank_of,
+        }
+    }
+
+    /// The curve family this ordering was built from.
+    pub fn kind(&self) -> CurveKind {
+        self.kind
+    }
+
+    /// The mesh this ordering covers.
+    pub fn mesh(&self) -> Mesh2D {
+        self.mesh
+    }
+
+    /// Number of processors in the ordering.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the ordering is empty (never the case for a valid mesh).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The processor at curve rank `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= len()`.
+    pub fn node_at(&self, rank: usize) -> NodeId {
+        self.order[rank]
+    }
+
+    /// The curve rank of processor `node`.
+    pub fn rank_of(&self, node: NodeId) -> usize {
+        self.rank_of[node.index()] as usize
+    }
+
+    /// Iterator over processors in curve order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Iterator over coordinates in curve order.
+    pub fn iter_coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.order.iter().map(move |&id| self.mesh.coord_of(id))
+    }
+
+    /// Number of *gaps*: consecutive ranks whose processors are not mesh
+    /// neighbours. Untruncated Hilbert, H-indexing and S-curve orderings have
+    /// zero gaps; truncation to a non-power-of-two mesh introduces some
+    /// (Figure 6 of the paper).
+    pub fn discontinuities(&self) -> usize {
+        self.order
+            .windows(2)
+            .filter(|w| self.mesh.distance(w[0], w[1]) != 1)
+            .count()
+    }
+
+    /// Renders the ordering as an ASCII grid of ranks, top row first, for
+    /// quick visual inspection (used by the Figure 2 / Figure 6 binaries).
+    pub fn render_ascii(&self) -> String {
+        let mesh = self.mesh;
+        let width_digits = (mesh.num_nodes().max(1) as f64).log10() as usize + 1;
+        let mut out = String::new();
+        for y in (0..mesh.height()).rev() {
+            for x in 0..mesh.width() {
+                let id = mesh.id_of(Coord::new(x, y));
+                let rank = self.rank_of(id);
+                out.push_str(&format!("{rank:>width$} ", width = width_digits));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_is_permutation(c: &CurveOrder) {
+        let mut seen = vec![false; c.mesh().num_nodes()];
+        for node in c.iter() {
+            assert!(!seen[node.index()], "node visited twice");
+            seen[node.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "node never visited");
+        for rank in 0..c.len() {
+            assert_eq!(c.rank_of(c.node_at(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn every_kind_is_a_permutation_on_square_and_rect_meshes() {
+        for mesh in [
+            Mesh2D::new(16, 16),
+            Mesh2D::new(16, 22),
+            Mesh2D::new(7, 5),
+            Mesh2D::new(1, 9),
+        ] {
+            for kind in CurveKind::all() {
+                let c = CurveOrder::build(kind, mesh);
+                assert_is_permutation(&c);
+            }
+        }
+    }
+
+    #[test]
+    fn locality_curves_have_no_gaps_on_power_of_two_squares() {
+        let mesh = Mesh2D::new(16, 16);
+        for kind in [CurveKind::SCurve, CurveKind::Hilbert, CurveKind::HIndexing] {
+            let c = CurveOrder::build(kind, mesh);
+            assert_eq!(c.discontinuities(), 0, "{kind} should have no gaps");
+        }
+        // Row-major jumps at the end of every row.
+        let rm = CurveOrder::build(CurveKind::RowMajor, mesh);
+        assert_eq!(rm.discontinuities(), 15);
+    }
+
+    #[test]
+    fn truncated_curves_have_gaps_on_16x22() {
+        let mesh = Mesh2D::paragon_16x22();
+        for kind in [CurveKind::Hilbert, CurveKind::HIndexing] {
+            let c = CurveOrder::build(kind, mesh);
+            assert!(
+                c.discontinuities() > 0,
+                "{kind} truncated to 16x22 must have gaps (paper Fig. 6)"
+            );
+        }
+        // The S-curve stays continuous on any rectangle.
+        let s = CurveOrder::build(CurveKind::SCurve, mesh);
+        assert_eq!(s.discontinuities(), 0);
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(CurveKind::Hilbert.to_string(), "Hilbert");
+        assert_eq!(CurveKind::SCurve.to_string(), "S-curve");
+        assert_eq!(CurveKind::HIndexing.to_string(), "H-indexing");
+        assert_eq!(CurveKind::paper_curves().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than once")]
+    fn from_coords_rejects_duplicates() {
+        let mesh = Mesh2D::new(2, 1);
+        let coords = vec![Coord::new(0, 0), Coord::new(0, 0)];
+        CurveOrder::from_coords(CurveKind::RowMajor, mesh, &coords);
+    }
+
+    #[test]
+    fn render_ascii_has_one_line_per_row() {
+        let mesh = Mesh2D::new(4, 3);
+        let c = CurveOrder::build(CurveKind::SCurve, mesh);
+        let art = c.render_ascii();
+        assert_eq!(art.lines().count(), 3);
+    }
+}

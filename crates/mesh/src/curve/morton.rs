@@ -1,0 +1,134 @@
+//! Morton (Z-order) curve on `2^k × 2^k` grids.
+//!
+//! The Morton order interleaves the bits of the x and y coordinates. It is a
+//! classic page ordering that clusters well *on average* but, unlike the
+//! Hilbert curve, consecutive indices are frequently not mesh neighbours (the
+//! "Z" jumps). Lo et al. considered simple orderings of this family; we keep
+//! it as an ablation curve so the benches can quantify how much the jumps
+//! cost relative to Hilbert-class curves.
+
+use crate::coord::Coord;
+
+/// Generates the Morton (Z-order) curve covering the `n × n` grid where `n`
+/// is the smallest power of two that is at least `side`.
+///
+/// # Panics
+///
+/// Panics if `side` is zero.
+pub fn generate(side: u16) -> Vec<Coord> {
+    let n = crate::curve::hilbert::side_to_pow2(side);
+    let cells = (n as usize) * (n as usize);
+    (0..cells).map(d_to_xy).collect()
+}
+
+/// Converts a Morton index to a coordinate by de-interleaving its bits:
+/// even bit positions hold x, odd bit positions hold y.
+pub fn d_to_xy(d: usize) -> Coord {
+    Coord::new(compact_bits(d as u32), compact_bits((d >> 1) as u32))
+}
+
+/// Converts a coordinate to its Morton index by interleaving the bits of the
+/// two coordinates. Inverse of [`d_to_xy`].
+pub fn xy_to_d(c: Coord) -> usize {
+    (spread_bits(c.x) | (spread_bits(c.y) << 1)) as usize
+}
+
+/// Spreads the 16 bits of `v` so they occupy the even bit positions of the
+/// result (`b15 … b1 b0` becomes `0 b15 … 0 b1 0 b0`).
+fn spread_bits(v: u16) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Collects the even bits of `v` into a contiguous 16-bit value. Inverse of
+/// [`spread_bits`] restricted to even positions.
+fn compact_bits(v: u32) -> u16 {
+    let mut x = (v as u64) & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x >> 16)) & 0x0000_0000_ffff_ffff;
+    x as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn order_one_z() {
+        // The 2x2 Morton order is the "Z": (0,0), (1,0), (0,1), (1,1).
+        let coords = generate(2);
+        assert_eq!(
+            coords,
+            vec![
+                Coord::new(0, 0),
+                Coord::new(1, 0),
+                Coord::new(0, 1),
+                Coord::new(1, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn covers_every_cell_exactly_once() {
+        for side in [2u16, 4, 8, 16, 32] {
+            let coords = generate(side);
+            let n = side as usize;
+            assert_eq!(coords.len(), n * n);
+            let unique: HashSet<_> = coords.iter().collect();
+            assert_eq!(unique.len(), n * n);
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for d in 0..32 * 32 {
+            let c = d_to_xy(d);
+            assert_eq!(xy_to_d(c), d, "index {d} -> {c}");
+        }
+    }
+
+    #[test]
+    fn spread_and_compact_are_inverse() {
+        for v in [0u16, 1, 2, 3, 255, 256, 1023, u16::MAX] {
+            assert_eq!(compact_bits(spread_bits(v) as u32), v & 0xffff);
+        }
+    }
+
+    #[test]
+    fn morton_has_jumps_unlike_hilbert() {
+        // The Z-order curve on a 16x16 grid is *not* edge-connected: some
+        // consecutive indices are far apart, which is exactly why it is kept
+        // only as an ablation curve.
+        let coords = generate(16);
+        let jumps = coords
+            .windows(2)
+            .filter(|w| !w[0].is_adjacent(w[1]))
+            .count();
+        assert!(jumps > 0, "Morton order should have non-adjacent steps");
+    }
+
+    #[test]
+    fn non_power_of_two_side_rounds_up() {
+        assert_eq!(generate(3).len(), 16);
+        assert_eq!(generate(22).len(), 1024);
+    }
+
+    #[test]
+    fn quadrant_structure() {
+        // The first quarter of the indices covers the lower-left quadrant.
+        let n = 8usize;
+        let coords = generate(n as u16);
+        for &c in &coords[..n * n / 4] {
+            assert!(c.x < (n / 2) as u16 && c.y < (n / 2) as u16);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Peano space-filling curve on `3^k × 3^k` grids.
+//!
+//! The Peano curve is the original space-filling curve (1890), defined on
+//! powers of *three* rather than two. Like the Hilbert curve it is
+//! edge-connected — consecutive indices are always mesh neighbours — but its
+//! 3×3 building block gives it slightly different clustering constants. The
+//! paper's allocators only need *some* locality-preserving total order, so
+//! the Peano curve is included as an additional ablation point alongside
+//! Hilbert, H-indexing and the S-curve: it lets the benches separate "any
+//! fractal curve" from "specifically the Hilbert curve".
+//!
+//! On meshes that are not `3^k × 3^k` the curve of the smallest enclosing
+//! power-of-three square is truncated to the mesh, exactly as the paper
+//! truncates the 32 × 32 Hilbert curve to 16 × 22 (Figure 6).
+
+use crate::coord::Coord;
+
+/// Generates the Peano curve covering the `n × n` grid where `n` is the
+/// smallest power of three that is at least `side`.
+///
+/// # Panics
+///
+/// Panics if `side` is zero.
+pub fn generate(side: u16) -> Vec<Coord> {
+    let n = side_to_pow3(side);
+    let cells = (n as usize) * (n as usize);
+    (0..cells).map(|d| d_to_xy(n as usize, d)).collect()
+}
+
+/// Smallest power of three `>= side`.
+pub fn side_to_pow3(side: u16) -> u16 {
+    assert!(side > 0, "grid side must be positive");
+    let mut n: u32 = 1;
+    while n < side as u32 {
+        n *= 3;
+    }
+    n as u16
+}
+
+/// Converts a Peano index `d` to a coordinate on an `n × n` grid where `n`
+/// is a power of three.
+///
+/// The construction is the classic switch-back Peano curve: each base-9
+/// digit of the index selects one of the nine sub-squares in boustrophedon
+/// column order, and the orientation (whether the sub-curve is flipped in x
+/// and/or y) is tracked so that consecutive cells always touch.
+pub fn d_to_xy(n: usize, d: usize) -> Coord {
+    debug_assert!(is_power_of_three(n), "{n} must be a power of three");
+    debug_assert!(d < n * n);
+
+    // Number of base-3 levels.
+    let mut levels = 0usize;
+    let mut m = n;
+    while m > 1 {
+        m /= 3;
+        levels += 1;
+    }
+
+    // Extract base-9 digits, most-significant first.
+    let mut digits = vec![0usize; levels];
+    let mut rest = d;
+    for slot in (0..levels).rev() {
+        digits[slot] = rest % 9;
+        rest /= 9;
+    }
+
+    let mut x = 0usize;
+    let mut y = 0usize;
+    // Orientation state: whether x / y are mirrored inside the current cell.
+    let mut flip_x = false;
+    let mut flip_y = false;
+    let mut size = n;
+    for &digit in &digits {
+        size /= 3;
+        // The Peano block visits its nine children in column-boustrophedon
+        // order: column 0 bottom-to-top, column 1 top-to-bottom, column 2
+        // bottom-to-top. Local coordinates before applying the orientation:
+        let col = digit / 3;
+        let row_in_col = digit % 3;
+        let row = if col % 2 == 0 { row_in_col } else { 2 - row_in_col };
+
+        // Apply the current orientation of this cell.
+        let (lx, ly) = (
+            if flip_x { 2 - col } else { col },
+            if flip_y { 2 - row } else { row },
+        );
+        x += lx * size;
+        y += ly * size;
+
+        // Children in odd columns are traversed upside-down, and children in
+        // odd rows are traversed right-to-left; compose with the parent
+        // orientation. (This is the standard orientation bookkeeping that
+        // keeps the switch-back curve edge-connected.)
+        if row % 2 == 1 {
+            flip_x = !flip_x;
+        }
+        if col % 2 == 1 {
+            flip_y = !flip_y;
+        }
+    }
+    Coord::new(x as u16, y as u16)
+}
+
+fn is_power_of_three(mut n: usize) -> bool {
+    if n == 0 {
+        return false;
+    }
+    while n % 3 == 0 {
+        n /= 3;
+    }
+    n == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn side_to_pow3_rounds_up() {
+        assert_eq!(side_to_pow3(1), 1);
+        assert_eq!(side_to_pow3(2), 3);
+        assert_eq!(side_to_pow3(3), 3);
+        assert_eq!(side_to_pow3(4), 9);
+        assert_eq!(side_to_pow3(9), 9);
+        assert_eq!(side_to_pow3(16), 27);
+        assert_eq!(side_to_pow3(22), 27);
+    }
+
+    #[test]
+    fn order_one_curve_is_the_3x3_switchback() {
+        let coords = generate(3);
+        let expect = vec![
+            Coord::new(0, 0),
+            Coord::new(0, 1),
+            Coord::new(0, 2),
+            Coord::new(1, 2),
+            Coord::new(1, 1),
+            Coord::new(1, 0),
+            Coord::new(2, 0),
+            Coord::new(2, 1),
+            Coord::new(2, 2),
+        ];
+        assert_eq!(coords, expect);
+    }
+
+    #[test]
+    fn covers_every_cell_exactly_once() {
+        for side in [1u16, 3, 9, 27] {
+            let coords = generate(side);
+            let n = side_to_pow3(side) as usize;
+            assert_eq!(coords.len(), n * n);
+            let unique: HashSet<_> = coords.iter().collect();
+            assert_eq!(unique.len(), n * n);
+            assert!(coords
+                .iter()
+                .all(|c| (c.x as usize) < n && (c.y as usize) < n));
+        }
+    }
+
+    #[test]
+    fn consecutive_cells_are_adjacent() {
+        for side in [3u16, 9, 27] {
+            let coords = generate(side);
+            for pair in coords.windows(2) {
+                assert!(
+                    pair[0].is_adjacent(pair[1]),
+                    "Peano curve must be edge-connected: {} -> {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_are_opposite_corners() {
+        for side in [3u16, 9, 27] {
+            let n = side_to_pow3(side);
+            let coords = generate(side);
+            assert_eq!(coords[0], Coord::new(0, 0));
+            assert_eq!(*coords.last().unwrap(), Coord::new(n - 1, n - 1));
+        }
+    }
+
+    #[test]
+    fn is_power_of_three_detects_correctly() {
+        assert!(is_power_of_three(1));
+        assert!(is_power_of_three(3));
+        assert!(is_power_of_three(27));
+        assert!(!is_power_of_three(0));
+        assert!(!is_power_of_three(2));
+        assert!(!is_power_of_three(6));
+    }
+}

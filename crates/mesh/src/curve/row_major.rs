@@ -1,0 +1,29 @@
+//! Row-major ordering: the simplest page ordering considered by Lo et al.
+
+use crate::coord::Coord;
+use crate::mesh::Mesh2D;
+
+/// Generates the row-major ordering of `mesh`: row 0 left-to-right, then row
+/// 1 left-to-right, and so on.
+pub fn generate(mesh: Mesh2D) -> Vec<Coord> {
+    mesh.coords().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_order_of_3x2() {
+        let coords = generate(Mesh2D::new(3, 2));
+        let expect: Vec<Coord> = vec![
+            Coord::new(0, 0),
+            Coord::new(1, 0),
+            Coord::new(2, 0),
+            Coord::new(0, 1),
+            Coord::new(1, 1),
+            Coord::new(2, 1),
+        ];
+        assert_eq!(coords, expect);
+    }
+}

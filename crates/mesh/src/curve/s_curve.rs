@@ -1,0 +1,109 @@
+//! S-curve (boustrophedon / "snake") ordering.
+//!
+//! The S-curve sweeps back and forth across the mesh, reversing direction at
+//! the end of each pass so consecutive processors are always mesh neighbours
+//! (Figure 2(a) of the paper). On a non-square mesh there is a choice of
+//! whether the long straight segments run along the longer or the shorter
+//! dimension; the paper found the *shorter* direction slightly better and
+//! used that convention, which is the default here.
+
+use crate::coord::Coord;
+use crate::mesh::Mesh2D;
+
+/// Which dimension the long straight segments of the snake run along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Segments run along the shorter mesh dimension (the paper's choice).
+    ShortDirection,
+    /// Segments run along the longer mesh dimension.
+    LongDirection,
+}
+
+/// Generates the S-curve ordering of `mesh` with the given orientation.
+///
+/// Ties (square meshes) sweep along x, advancing in y.
+pub fn generate(mesh: Mesh2D, orientation: Orientation) -> Vec<Coord> {
+    let w = mesh.width();
+    let h = mesh.height();
+    // Decide whether the sweeps run along x (width) or along y (height).
+    let sweep_along_x = match orientation {
+        Orientation::ShortDirection => w <= h,
+        Orientation::LongDirection => w > h,
+    };
+    let mut out = Vec::with_capacity(mesh.num_nodes());
+    if sweep_along_x {
+        for y in 0..h {
+            if y % 2 == 0 {
+                for x in 0..w {
+                    out.push(Coord::new(x, y));
+                }
+            } else {
+                for x in (0..w).rev() {
+                    out.push(Coord::new(x, y));
+                }
+            }
+        }
+    } else {
+        for x in 0..w {
+            if x % 2 == 0 {
+                for y in 0..h {
+                    out.push(Coord::new(x, y));
+                }
+            } else {
+                for y in (0..h).rev() {
+                    out.push(Coord::new(x, y));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_is_continuous_on_rectangles() {
+        for (w, h) in [(4, 4), (16, 22), (22, 16), (5, 3), (1, 7)] {
+            for orientation in [Orientation::ShortDirection, Orientation::LongDirection] {
+                let mesh = Mesh2D::new(w, h);
+                let coords = generate(mesh, orientation);
+                assert_eq!(coords.len(), mesh.num_nodes());
+                for pair in coords.windows(2) {
+                    assert!(
+                        pair[0].is_adjacent(pair[1]),
+                        "S-curve must be gap-free: {} -> {}",
+                        pair[0],
+                        pair[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_direction_sweeps_along_width_on_16x22() {
+        // Width 16 < height 22, so sweeps run along x: the first 16 entries
+        // stay in row 0.
+        let coords = generate(Mesh2D::new(16, 22), Orientation::ShortDirection);
+        assert!(coords[..16].iter().all(|c| c.y == 0));
+        assert_eq!(coords[16], Coord::new(15, 1));
+    }
+
+    #[test]
+    fn long_direction_sweeps_along_height_on_16x22() {
+        let coords = generate(Mesh2D::new(16, 22), Orientation::LongDirection);
+        assert!(coords[..22].iter().all(|c| c.x == 0));
+        assert_eq!(coords[22], Coord::new(1, 21));
+    }
+
+    #[test]
+    fn square_mesh_sweeps_along_x() {
+        let coords = generate(Mesh2D::new(4, 4), Orientation::ShortDirection);
+        assert_eq!(coords[0], Coord::new(0, 0));
+        assert_eq!(coords[3], Coord::new(3, 0));
+        assert_eq!(coords[4], Coord::new(3, 1));
+        assert_eq!(coords[7], Coord::new(0, 1));
+    }
+}

@@ -1,0 +1,79 @@
+//! Truncation of power-of-two square curves to arbitrary meshes.
+//!
+//! The Hilbert and H-indexing curves are defined on `2^k × 2^k` grids. To use
+//! them on the 16 × 22 CPlant-like machine, the paper truncates a 32 × 32
+//! curve "to the appropriate size. The result is 'curves' with gaps along the
+//! top edge" (Section 4, Figure 6). This module implements that truncation:
+//! the enclosing curve is walked in order and only the cells that fall inside
+//! the target mesh are kept.
+
+use crate::coord::Coord;
+use crate::mesh::Mesh2D;
+
+/// Truncates a power-of-two square curve to `mesh`.
+///
+/// `generator` is called with the side of the smallest enclosing power-of-two
+/// square (e.g. 32 for a 16 × 22 mesh) and must return a curve covering that
+/// square; the cells outside `mesh` are dropped, preserving order.
+pub fn truncate_to_mesh<F>(mesh: Mesh2D, generator: F) -> Vec<Coord>
+where
+    F: Fn(u16) -> Vec<Coord>,
+{
+    let side = mesh.width().max(mesh.height());
+    let full = generator(side);
+    let filtered: Vec<Coord> = full.into_iter().filter(|&c| mesh.contains(c)).collect();
+    assert_eq!(
+        filtered.len(),
+        mesh.num_nodes(),
+        "enclosing curve must cover the whole target mesh"
+    );
+    filtered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{h_index, hilbert};
+
+    #[test]
+    fn truncation_is_identity_on_power_of_two_square() {
+        let mesh = Mesh2D::new(16, 16);
+        let full = hilbert::generate(16);
+        let truncated = truncate_to_mesh(mesh, hilbert::generate);
+        assert_eq!(full, truncated);
+    }
+
+    #[test]
+    fn truncation_keeps_every_mesh_cell_once() {
+        let mesh = Mesh2D::paragon_16x22();
+        for generator in [hilbert::generate as fn(u16) -> Vec<Coord>, h_index::generate] {
+            let coords = truncate_to_mesh(mesh, generator);
+            assert_eq!(coords.len(), 352);
+            let unique: std::collections::HashSet<_> = coords.iter().collect();
+            assert_eq!(unique.len(), 352);
+            assert!(coords.iter().all(|&c| mesh.contains(c)));
+        }
+    }
+
+    #[test]
+    fn truncated_hilbert_gaps_are_on_the_top_part_of_16x22() {
+        // The paper's Figure 6 shows the gaps appearing in the top rows of the
+        // 16 x 22 mesh (the region where the 32 x 32 curve wanders outside the
+        // kept columns). Verify every gap involves a processor in the top
+        // section (y >= 16).
+        let mesh = Mesh2D::paragon_16x22();
+        let coords = truncate_to_mesh(mesh, hilbert::generate);
+        let gaps: Vec<(Coord, Coord)> = coords
+            .windows(2)
+            .filter(|w| !w[0].is_adjacent(w[1]))
+            .map(|w| (w[0], w[1]))
+            .collect();
+        assert!(!gaps.is_empty());
+        for (a, b) in gaps {
+            assert!(
+                a.y >= 16 || b.y >= 16,
+                "gap {a} -> {b} should involve the truncated top region"
+            );
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! One-dimensional orderings of a 3-D mesh (extension).
+//!
+//! The 3-D analogue of [`crate::curve`]: the paper cites Alber & Niedermeier
+//! on multidimensional Hilbert indexings as the way to carry the
+//! one-dimensional-reduction idea to higher-dimensional machines. This
+//! module provides
+//!
+//! * plain **row-major** order,
+//! * a gap-free **snake** (boustrophedon in all three dimensions),
+//! * the **Morton** (Z-order) interleaving, and
+//! * the **Hilbert** curve via the compact transposition algorithm of
+//!   Skilling, which generalises the 2-D bit-twiddling construction to any
+//!   dimension.
+//!
+//! Orderings for meshes that are not power-of-two cubes are obtained by
+//! truncating the curve of the smallest enclosing cube, mirroring how the
+//! paper truncates the 32 × 32 Hilbert curve to the 16 × 22 machine.
+
+use crate::coord::NodeId;
+use crate::mesh3d::{Coord3, Mesh3D};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The curve families available in three dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Curve3Kind {
+    /// Row-major (x fastest, then y, then z).
+    RowMajor,
+    /// Gap-free boustrophedon order.
+    Snake,
+    /// Morton (Z-order) bit interleaving.
+    Morton,
+    /// Hilbert curve via Skilling's transposition algorithm.
+    Hilbert,
+}
+
+impl Curve3Kind {
+    /// Every 3-D curve kind.
+    pub fn all() -> [Curve3Kind; 4] {
+        [
+            Curve3Kind::RowMajor,
+            Curve3Kind::Snake,
+            Curve3Kind::Morton,
+            Curve3Kind::Hilbert,
+        ]
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Curve3Kind::RowMajor => "row-major-3d",
+            Curve3Kind::Snake => "snake-3d",
+            Curve3Kind::Morton => "Morton-3d",
+            Curve3Kind::Hilbert => "Hilbert-3d",
+        }
+    }
+}
+
+impl fmt::Display for Curve3Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A total ordering of the processors of a 3-D mesh along a curve.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Curve3Order {
+    kind: Curve3Kind,
+    mesh: Mesh3D,
+    order: Vec<NodeId>,
+    rank_of: Vec<u32>,
+}
+
+impl Curve3Order {
+    /// Builds the ordering of `kind` over `mesh`.
+    pub fn build(kind: Curve3Kind, mesh: Mesh3D) -> Self {
+        let coords: Vec<Coord3> = match kind {
+            Curve3Kind::RowMajor => mesh.coords().collect(),
+            Curve3Kind::Snake => snake(mesh),
+            Curve3Kind::Morton => truncate_to_mesh(mesh, morton_cube),
+            Curve3Kind::Hilbert => truncate_to_mesh(mesh, hilbert_cube),
+        };
+        Self::from_coords(kind, mesh, &coords)
+    }
+
+    /// Builds an ordering from an explicit coordinate sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` is not a permutation of the mesh's coordinates.
+    pub fn from_coords(kind: Curve3Kind, mesh: Mesh3D, coords: &[Coord3]) -> Self {
+        assert_eq!(
+            coords.len(),
+            mesh.num_nodes(),
+            "curve must visit every processor exactly once"
+        );
+        let mut order = Vec::with_capacity(coords.len());
+        let mut rank_of = vec![u32::MAX; mesh.num_nodes()];
+        for (rank, &c) in coords.iter().enumerate() {
+            let id = mesh.id_of(c);
+            assert_eq!(
+                rank_of[id.index()],
+                u32::MAX,
+                "curve visits {c} more than once"
+            );
+            rank_of[id.index()] = rank as u32;
+            order.push(id);
+        }
+        Curve3Order {
+            kind,
+            mesh,
+            order,
+            rank_of,
+        }
+    }
+
+    /// The curve family this ordering was built from.
+    pub fn kind(&self) -> Curve3Kind {
+        self.kind
+    }
+
+    /// The mesh this ordering covers.
+    pub fn mesh(&self) -> Mesh3D {
+        self.mesh
+    }
+
+    /// Number of processors in the ordering.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the ordering is empty (never the case for a valid mesh).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The processor at curve rank `rank`.
+    pub fn node_at(&self, rank: usize) -> NodeId {
+        self.order[rank]
+    }
+
+    /// The curve rank of processor `node`.
+    pub fn rank_of(&self, node: NodeId) -> usize {
+        self.rank_of[node.index()] as usize
+    }
+
+    /// Iterator over processors in curve order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Number of gaps: consecutive ranks whose processors are not mesh
+    /// neighbours.
+    pub fn discontinuities(&self) -> usize {
+        self.order
+            .windows(2)
+            .filter(|w| self.mesh.distance(w[0], w[1]) != 1)
+            .count()
+    }
+
+    /// Mean pairwise distance of sliding rank windows of size `window`; the
+    /// 3-D analogue of [`crate::locality::window_locality`].
+    pub fn window_locality(&self, window: usize) -> f64 {
+        assert!(window > 0 && window <= self.len());
+        let nodes: Vec<NodeId> = self.iter().collect();
+        let num_windows = self.len() - window + 1;
+        let mut sum = 0.0;
+        for start in 0..num_windows {
+            sum += self.mesh.avg_pairwise_distance(&nodes[start..start + window]);
+        }
+        sum / num_windows as f64
+    }
+}
+
+/// Gap-free boustrophedon order: sweep x back and forth within each row,
+/// sweep rows back and forth within each plane, sweep planes upward.
+fn snake(mesh: Mesh3D) -> Vec<Coord3> {
+    let (w, h, d) = (mesh.width(), mesh.height(), mesh.depth());
+    let mut out = Vec::with_capacity(mesh.num_nodes());
+    for z in 0..d {
+        let ys: Vec<u16> = if z % 2 == 0 {
+            (0..h).collect()
+        } else {
+            (0..h).rev().collect()
+        };
+        for (yi, &y) in ys.iter().enumerate() {
+            // Direction alternates with the *global* row parity so the snake
+            // stays gap-free across plane boundaries too.
+            let global_row = z as usize * h as usize + yi;
+            if global_row % 2 == 0 {
+                for x in 0..w {
+                    out.push(Coord3::new(x, y, z));
+                }
+            } else {
+                for x in (0..w).rev() {
+                    out.push(Coord3::new(x, y, z));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Truncates a power-of-two cube curve to `mesh`: the generator is called
+/// with the side of the smallest enclosing power-of-two cube and cells
+/// outside the mesh are dropped, preserving order.
+fn truncate_to_mesh<F>(mesh: Mesh3D, generator: F) -> Vec<Coord3>
+where
+    F: Fn(u16) -> Vec<Coord3>,
+{
+    let side = mesh.width().max(mesh.height()).max(mesh.depth());
+    let full = generator(side.next_power_of_two());
+    let filtered: Vec<Coord3> = full.into_iter().filter(|&c| mesh.contains(c)).collect();
+    assert_eq!(
+        filtered.len(),
+        mesh.num_nodes(),
+        "enclosing curve must cover the whole target mesh"
+    );
+    filtered
+}
+
+/// Morton order of the `n × n × n` cube (`n` a power of two): interleave the
+/// bits of x, y and z.
+fn morton_cube(n: u16) -> Vec<Coord3> {
+    debug_assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    let cells = (n as usize).pow(3);
+    (0..cells)
+        .map(|d| {
+            let mut x = 0u16;
+            let mut y = 0u16;
+            let mut z = 0u16;
+            for bit in 0..bits {
+                x |= (((d >> (3 * bit)) & 1) as u16) << bit;
+                y |= (((d >> (3 * bit + 1)) & 1) as u16) << bit;
+                z |= (((d >> (3 * bit + 2)) & 1) as u16) << bit;
+            }
+            Coord3::new(x, y, z)
+        })
+        .collect()
+}
+
+/// Hilbert order of the `n × n × n` cube (`n` a power of two) via Skilling's
+/// transposition algorithm.
+fn hilbert_cube(n: u16) -> Vec<Coord3> {
+    debug_assert!(n.is_power_of_two());
+    if n == 1 {
+        return vec![Coord3::new(0, 0, 0)];
+    }
+    let bits = n.trailing_zeros() as usize;
+    let cells = (n as usize).pow(3);
+    (0..cells)
+        .map(|d| {
+            let axes = hilbert3_d_to_axes(d, bits);
+            Coord3::new(axes[0] as u16, axes[1] as u16, axes[2] as u16)
+        })
+        .collect()
+}
+
+/// Converts a 3-D Hilbert index to axis coordinates (`bits` bits per axis).
+///
+/// This is Skilling's `TransposetoAxes` preceded by de-interleaving the index
+/// into its transposed representation.
+pub fn hilbert3_d_to_axes(d: usize, bits: usize) -> [u32; 3] {
+    const N: usize = 3;
+    if bits == 0 {
+        return [0, 0, 0];
+    }
+    // De-interleave: the index's bits, most significant first, go to
+    // axis 0, 1, 2, 0, 1, 2, ...
+    let mut x = [0u32; N];
+    for j in 0..N * bits {
+        let bit = (d >> (N * bits - 1 - j)) & 1;
+        if bit == 1 {
+            x[j % N] |= 1 << (bits - 1 - j / N);
+        }
+    }
+    // Skilling: transpose -> axes.
+    let n_mask = 2u32 << (bits - 1);
+    // Gray decode by H ^ (H/2).
+    let mut t = x[N - 1] >> 1;
+    for i in (1..N).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2u32;
+    while q != n_mask {
+        let p = q - 1;
+        for i in (0..N).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+    x
+}
+
+/// Converts axis coordinates to the 3-D Hilbert index. Inverse of
+/// [`hilbert3_d_to_axes`].
+pub fn hilbert3_axes_to_d(axes: [u32; 3], bits: usize) -> usize {
+    const N: usize = 3;
+    if bits == 0 {
+        return 0;
+    }
+    let mut x = axes;
+    let m = 1u32 << (bits - 1);
+    // Skilling: axes -> transpose. Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..N {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..N {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    q = m;
+    while q > 1 {
+        if x[N - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+    // Re-interleave the transposed representation into a single index.
+    let mut d = 0usize;
+    for j in 0..N * bits {
+        let axis = j % N;
+        let bit_pos = bits - 1 - j / N;
+        let bit = (x[axis] >> bit_pos) & 1;
+        d = (d << 1) | bit as usize;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn assert_is_permutation(c: &Curve3Order) {
+        let mut seen = vec![false; c.mesh().num_nodes()];
+        for node in c.iter() {
+            assert!(!seen[node.index()], "node visited twice");
+            seen[node.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "node never visited");
+        for rank in 0..c.len() {
+            assert_eq!(c.rank_of(c.node_at(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn every_kind_is_a_permutation_on_cubes_and_boxes() {
+        for mesh in [
+            Mesh3D::new(4, 4, 4),
+            Mesh3D::new(8, 8, 8),
+            Mesh3D::new(4, 6, 3),
+            Mesh3D::new(1, 1, 9),
+        ] {
+            for kind in Curve3Kind::all() {
+                let c = Curve3Order::build(kind, mesh);
+                assert_is_permutation(&c);
+            }
+        }
+    }
+
+    #[test]
+    fn snake_is_gap_free_on_any_box() {
+        for mesh in [
+            Mesh3D::new(4, 4, 4),
+            Mesh3D::new(3, 5, 2),
+            Mesh3D::new(2, 2, 7),
+        ] {
+            let c = Curve3Order::build(Curve3Kind::Snake, mesh);
+            assert_eq!(c.discontinuities(), 0, "snake must be gap-free on {mesh:?}");
+        }
+    }
+
+    #[test]
+    fn hilbert_is_gap_free_on_power_of_two_cubes() {
+        for side in [2u16, 4, 8] {
+            let mesh = Mesh3D::new(side, side, side);
+            let c = Curve3Order::build(Curve3Kind::Hilbert, mesh);
+            assert_eq!(
+                c.discontinuities(),
+                0,
+                "3-D Hilbert must be gap-free on {side}^3"
+            );
+        }
+    }
+
+    #[test]
+    fn hilbert_index_round_trips() {
+        let bits = 3usize;
+        let n = 1usize << bits;
+        let mut seen = HashSet::new();
+        for d in 0..n * n * n {
+            let axes = hilbert3_d_to_axes(d, bits);
+            assert!(axes.iter().all(|&a| (a as usize) < n));
+            assert_eq!(hilbert3_axes_to_d(axes, bits), d);
+            assert!(seen.insert(axes), "axes {axes:?} repeated");
+        }
+    }
+
+    #[test]
+    fn morton_has_jumps_but_covers_cube() {
+        let mesh = Mesh3D::new(8, 8, 8);
+        let c = Curve3Order::build(Curve3Kind::Morton, mesh);
+        assert_eq!(c.len(), 512);
+        assert!(c.discontinuities() > 0);
+    }
+
+    #[test]
+    fn hilbert_windows_beat_row_major() {
+        let mesh = Mesh3D::new(8, 8, 8);
+        let hilbert = Curve3Order::build(Curve3Kind::Hilbert, mesh);
+        let row_major = Curve3Order::build(Curve3Kind::RowMajor, mesh);
+        for window in [8usize, 27, 64] {
+            assert!(
+                hilbert.window_locality(window) < row_major.window_locality(window),
+                "window {window}: 3-D Hilbert should cluster better than row-major"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_to_a_box_keeps_every_cell() {
+        let mesh = Mesh3D::new(5, 6, 3);
+        let c = Curve3Order::build(Curve3Kind::Hilbert, mesh);
+        assert_eq!(c.len(), 90);
+        // Truncation introduces gaps on a non-cube box.
+        assert!(c.discontinuities() > 0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: HashSet<_> = Curve3Kind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 4);
+        assert_eq!(Curve3Kind::Hilbert.to_string(), "Hilbert-3d");
+    }
+}

@@ -1,0 +1,133 @@
+//! Locality measures of a curve ordering.
+//!
+//! The paper's Section 5 observes that "the choice of curve seems to have the
+//! dominant effect on performance for Paging algorithms". These metrics
+//! quantify what "a good curve" means so that claim can be tested directly
+//! (ablation bench `curves` in `commalloc-bench`): a curve with good locality
+//! maps any window of consecutive ranks to a mesh region with small average
+//! pairwise distance and few connected components.
+
+use crate::curve::CurveOrder;
+use crate::coord::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Summary of how well a rank window of a given size preserves locality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowLocality {
+    /// The window (allocation) size measured.
+    pub window: usize,
+    /// Average over all windows of the average pairwise Manhattan distance of
+    /// the window's processors.
+    pub mean_pairwise_distance: f64,
+    /// Worst window's average pairwise distance.
+    pub max_pairwise_distance: f64,
+    /// Average number of rectilinear components the window splits into.
+    pub mean_components: f64,
+    /// Fraction of windows that form a single component.
+    pub contiguous_fraction: f64,
+}
+
+/// Computes [`WindowLocality`] for every window of `window` consecutive ranks
+/// of `curve` (sliding by one).
+///
+/// This models the best case for a one-dimensional-reduction allocator: the
+/// machine is empty and the job receives a contiguous range of ranks.
+///
+/// # Panics
+///
+/// Panics if `window` is zero or larger than the curve.
+pub fn window_locality(curve: &CurveOrder, window: usize) -> WindowLocality {
+    assert!(window > 0, "window must be positive");
+    assert!(
+        window <= curve.len(),
+        "window {window} larger than curve of length {}",
+        curve.len()
+    );
+    let mesh = curve.mesh();
+    let nodes: Vec<NodeId> = curve.iter().collect();
+    let num_windows = curve.len() - window + 1;
+    let mut sum_pd = 0.0;
+    let mut max_pd: f64 = 0.0;
+    let mut sum_components = 0.0;
+    let mut contiguous = 0usize;
+    for start in 0..num_windows {
+        let slice = &nodes[start..start + window];
+        let pd = mesh.avg_pairwise_distance(slice);
+        sum_pd += pd;
+        max_pd = max_pd.max(pd);
+        let comps = mesh.components(slice);
+        sum_components += comps as f64;
+        if comps == 1 {
+            contiguous += 1;
+        }
+    }
+    WindowLocality {
+        window,
+        mean_pairwise_distance: sum_pd / num_windows as f64,
+        max_pairwise_distance: max_pd,
+        mean_components: sum_components / num_windows as f64,
+        contiguous_fraction: contiguous as f64 / num_windows as f64,
+    }
+}
+
+/// The average Manhattan distance between processors at rank distance
+/// exactly `lag` along the curve. `lag = 1` with value 1.0 means the curve is
+/// gap-free; larger lags probe how quickly the curve disperses.
+pub fn mean_distance_at_lag(curve: &CurveOrder, lag: usize) -> f64 {
+    assert!(lag >= 1 && lag < curve.len());
+    let mesh = curve.mesh();
+    let nodes: Vec<NodeId> = curve.iter().collect();
+    let mut sum = 0u64;
+    for i in 0..nodes.len() - lag {
+        sum += mesh.distance(nodes[i], nodes[i + lag]) as u64;
+    }
+    sum as f64 / (nodes.len() - lag) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{CurveKind, CurveOrder};
+    use crate::mesh::Mesh2D;
+
+    #[test]
+    fn hilbert_windows_beat_row_major_on_square_mesh() {
+        let mesh = Mesh2D::new(16, 16);
+        let hilbert = CurveOrder::build(CurveKind::Hilbert, mesh);
+        let row_major = CurveOrder::build(CurveKind::RowMajor, mesh);
+        for window in [8usize, 32, 64] {
+            let h = window_locality(&hilbert, window);
+            let r = window_locality(&row_major, window);
+            assert!(
+                h.mean_pairwise_distance < r.mean_pairwise_distance,
+                "window {window}: Hilbert {h:?} should beat row-major {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_free_curve_has_unit_lag_one_distance() {
+        let mesh = Mesh2D::new(16, 16);
+        let hilbert = CurveOrder::build(CurveKind::Hilbert, mesh);
+        assert!((mean_distance_at_lag(&hilbert, 1) - 1.0).abs() < 1e-12);
+        let s = CurveOrder::build(CurveKind::SCurve, mesh);
+        assert!((mean_distance_at_lag(&s, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_window_of_a_gap_free_curve_is_contiguous_at_small_sizes() {
+        let mesh = Mesh2D::new(8, 8);
+        let hilbert = CurveOrder::build(CurveKind::Hilbert, mesh);
+        let l = window_locality(&hilbert, 4);
+        assert_eq!(l.contiguous_fraction, 1.0);
+        assert_eq!(l.mean_components, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let mesh = Mesh2D::new(4, 4);
+        let c = CurveOrder::build(CurveKind::Hilbert, mesh);
+        window_locality(&c, 0);
+    }
+}

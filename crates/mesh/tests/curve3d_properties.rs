@@ -1,0 +1,81 @@
+//! Property-based tests for the 3-D mesh/curve extension and the curve
+//! optimiser.
+
+use commalloc_mesh::curve::optimizer::{optimize_order, ordering_cost, OptimizerConfig};
+use commalloc_mesh::curve3d::{Curve3Kind, Curve3Order};
+use commalloc_mesh::{Mesh2D, Mesh3D, NodeId};
+use proptest::prelude::*;
+
+fn arb_mesh3() -> impl Strategy<Value = Mesh3D> {
+    (1u16..6, 1u16..6, 1u16..6).prop_map(|(w, h, d)| Mesh3D::new(w, h, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every 3-D curve is a bijection between ranks and processors on any
+    /// box-shaped mesh.
+    #[test]
+    fn every_curve3_is_a_permutation(mesh in arb_mesh3()) {
+        for kind in Curve3Kind::all() {
+            let curve = Curve3Order::build(kind, mesh);
+            prop_assert_eq!(curve.len(), mesh.num_nodes());
+            let mut seen = vec![false; mesh.num_nodes()];
+            for node in curve.iter() {
+                prop_assert!(!seen[node.index()]);
+                seen[node.index()] = true;
+            }
+            for rank in 0..curve.len() {
+                prop_assert_eq!(curve.rank_of(curve.node_at(rank)), rank);
+            }
+        }
+    }
+
+    /// The 3-D snake is gap-free on every box; on power-of-two cubes the 3-D
+    /// Hilbert curve is too.
+    #[test]
+    fn snake_is_always_gap_free(mesh in arb_mesh3()) {
+        let snake = Curve3Order::build(Curve3Kind::Snake, mesh);
+        prop_assert_eq!(snake.discontinuities(), 0);
+    }
+
+    /// 3-D Manhattan distance is a metric (symmetry + triangle inequality)
+    /// over node triples.
+    #[test]
+    fn mesh3_distance_is_a_metric(
+        mesh in arb_mesh3(),
+        picks in prop::collection::vec(any::<u32>(), 3),
+    ) {
+        let n = mesh.num_nodes() as u32;
+        let a = NodeId(picks[0] % n);
+        let b = NodeId(picks[1] % n);
+        let c = NodeId(picks[2] % n);
+        prop_assert_eq!(mesh.distance(a, b), mesh.distance(b, a));
+        prop_assert_eq!(mesh.distance(a, a), 0);
+        prop_assert!(mesh.distance(a, c) <= mesh.distance(a, b) + mesh.distance(b, c));
+    }
+
+    /// The curve optimiser never makes an ordering worse (it returns the best
+    /// ordering it saw) and always returns a permutation of its input.
+    #[test]
+    fn optimizer_never_worsens_an_ordering(
+        width in 2u16..7,
+        height in 2u16..7,
+        iterations in 0usize..400,
+        seed in any::<u64>(),
+    ) {
+        let mesh = Mesh2D::new(width, height);
+        let nodes: Vec<NodeId> = mesh.nodes().collect();
+        let config = OptimizerConfig {
+            iterations,
+            seed,
+            ..OptimizerConfig::default()
+        };
+        let result = optimize_order(mesh, &nodes, &config);
+        prop_assert!(result.final_cost <= result.initial_cost + 1e-9);
+        prop_assert!((result.final_cost - ordering_cost(mesh, &result.order, &config)).abs() < 1e-9);
+        let mut sorted = result.order.clone();
+        sorted.sort();
+        prop_assert_eq!(sorted, nodes);
+    }
+}

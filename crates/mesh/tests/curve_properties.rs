@@ -1,0 +1,96 @@
+//! Property-based tests for the mesh and curve substrate.
+
+use commalloc_mesh::curve::{CurveKind, CurveOrder};
+use commalloc_mesh::{Coord, Mesh2D};
+use proptest::prelude::*;
+
+fn arb_mesh() -> impl Strategy<Value = Mesh2D> {
+    (1u16..=24, 1u16..=24).prop_map(|(w, h)| Mesh2D::new(w, h))
+}
+
+fn arb_kind() -> impl Strategy<Value = CurveKind> {
+    prop_oneof![
+        Just(CurveKind::RowMajor),
+        Just(CurveKind::SCurve),
+        Just(CurveKind::SCurveLongDirection),
+        Just(CurveKind::Hilbert),
+        Just(CurveKind::HIndexing),
+    ]
+}
+
+proptest! {
+    /// Every curve kind yields a bijection between ranks and processors on
+    /// any mesh shape.
+    #[test]
+    fn curve_is_a_permutation(mesh in arb_mesh(), kind in arb_kind()) {
+        let curve = CurveOrder::build(kind, mesh);
+        prop_assert_eq!(curve.len(), mesh.num_nodes());
+        let mut seen = vec![false; mesh.num_nodes()];
+        for rank in 0..curve.len() {
+            let node = curve.node_at(rank);
+            prop_assert!(!seen[node.index()]);
+            seen[node.index()] = true;
+            prop_assert_eq!(curve.rank_of(node), rank);
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Manhattan distance is a metric: symmetric, zero only on identity, and
+    /// satisfies the triangle inequality (the property Gen-Alg's approximation
+    /// guarantee relies on).
+    #[test]
+    fn manhattan_is_a_metric(
+        (x1, y1, x2, y2, x3, y3) in (0u16..64, 0u16..64, 0u16..64, 0u16..64, 0u16..64, 0u16..64)
+    ) {
+        let a = Coord::new(x1, y1);
+        let b = Coord::new(x2, y2);
+        let c = Coord::new(x3, y3);
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert_eq!(a.manhattan(b) == 0, a == b);
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    /// x-y routing produces a path of length exactly the Manhattan distance,
+    /// stepping one hop at a time.
+    #[test]
+    fn xy_route_length_matches_distance(
+        mesh in arb_mesh(),
+        s in 0usize..1024,
+        d in 0usize..1024,
+    ) {
+        let src = commalloc_mesh::NodeId((s % mesh.num_nodes()) as u32);
+        let dst = commalloc_mesh::NodeId((d % mesh.num_nodes()) as u32);
+        let path = mesh.xy_route(src, dst);
+        prop_assert_eq!(path.len() as u32, mesh.distance(src, dst) + 1);
+        for w in path.windows(2) {
+            prop_assert_eq!(w[0].manhattan(w[1]), 1);
+        }
+        prop_assert_eq!(path[0], mesh.coord_of(src));
+        prop_assert_eq!(*path.last().unwrap(), mesh.coord_of(dst));
+    }
+
+    /// On power-of-two square meshes the locality curves are gap-free, and on
+    /// all meshes the number of gaps is bounded by the mesh height (gaps only
+    /// happen where the truncated curve leaves the mesh).
+    #[test]
+    fn locality_curves_have_few_gaps(k in 1u32..5) {
+        let side = 1u16 << k;
+        let mesh = Mesh2D::new(side, side);
+        for kind in [CurveKind::SCurve, CurveKind::Hilbert, CurveKind::HIndexing] {
+            let curve = CurveOrder::build(kind, mesh);
+            prop_assert_eq!(curve.discontinuities(), 0);
+        }
+    }
+
+    /// Rectilinear component counting never exceeds the set size and is 1 for
+    /// a full row of the mesh.
+    #[test]
+    fn components_bounds(mesh in arb_mesh()) {
+        let row: Vec<_> = (0..mesh.width())
+            .map(|x| mesh.id_of(Coord::new(x, 0)))
+            .collect();
+        prop_assert_eq!(mesh.components(&row), 1);
+        let all: Vec<_> = mesh.nodes().collect();
+        prop_assert_eq!(mesh.components(&all), 1);
+    }
+}

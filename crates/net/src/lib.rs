@@ -1,0 +1,39 @@
+//! # commalloc-net
+//!
+//! Interconnect models for the `commalloc` allocation-strategy simulator.
+//!
+//! The paper evaluates allocators with ProcSimity, a simulator that "models
+//! communication at the flit level, allowing it to measure how network
+//! contention affects machine throughput". This crate rebuilds that substrate
+//! at three fidelity levels that share the same mesh, x-y routing and
+//! traffic descriptions (see DESIGN.md for the substitution rationale):
+//!
+//! * [`flit::FlitNetwork`] — a cycle-driven wormhole simulator: messages are
+//!   worms of flits that acquire the directed links of their x-y route one
+//!   per cycle and block behind each other. Used for microbenchmarks
+//!   (Figure 1) and for validating the coarser models.
+//! * [`msglevel::MessageLevelNetwork`] — an event-driven store-and-forward
+//!   approximation where every link is a FIFO server; useful middle ground
+//!   when whole-trace flit simulation is infeasible.
+//! * [`fluid::FluidNetwork`] — a contention-rate ("fluid") model: each
+//!   running job is described by its expected per-link demand and the model
+//!   computes max-min fair message rates under per-link capacities. This is
+//!   the model the trace-driven experiments (Figures 7, 8, 11) use.
+//!   [`fluid::ProportionalShareModel`] is a simpler non-max-min variant kept
+//!   as an ablation of the fairness discipline itself.
+//!
+//! Traffic descriptions are built with [`traffic::JobTraffic`], which maps a
+//! job's rank-level communication pattern onto the physical processors of its
+//! allocation and pre-computes per-link demands and the average message
+//! distance (the metric of the paper's Figure 10).
+
+pub mod flit;
+pub mod fluid;
+pub mod latency;
+pub mod link;
+pub mod msglevel;
+pub mod traffic;
+
+pub use fluid::{FluidNetwork, ProportionalShareModel, RateModel, ZeroContentionModel};
+pub use link::{LinkId, LinkTable};
+pub use traffic::JobTraffic;

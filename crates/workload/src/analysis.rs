@@ -1,0 +1,266 @@
+//! Trace analysis: the distributional view of a workload.
+//!
+//! Section 3.1 of the paper characterises its trace by a handful of summary
+//! statistics (mean interarrival and its CV, mean size and its CV biased
+//! toward powers of two, mean runtime and its CV). [`crate::TraceSummary`]
+//! reports exactly those. This module goes one level deeper so the synthetic
+//! generator can be *validated*, not just parameterised: histograms of the
+//! three distributions, the offered load over time, and a quantitative
+//! comparison between two traces (e.g. the synthetic model vs. an SWF file
+//! of the real machine, if one is available).
+
+use crate::job::Job;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over `[0, bound)` with an overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Lower edge of each regular bucket.
+    pub edges: Vec<f64>,
+    /// Counts per regular bucket, plus one final overflow bucket.
+    pub counts: Vec<usize>,
+    /// Total number of samples.
+    pub total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram with `buckets` equal-width buckets over
+    /// `[0, bound)`; samples at or above `bound` land in the overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or `bound` is not positive.
+    pub fn new(samples: &[f64], buckets: usize, bound: f64) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(bound > 0.0, "histogram bound must be positive");
+        let width = bound / buckets as f64;
+        let edges: Vec<f64> = (0..buckets).map(|i| i as f64 * width).collect();
+        let mut counts = vec![0usize; buckets + 1];
+        for &s in samples {
+            let idx = if s >= bound || s < 0.0 {
+                buckets
+            } else {
+                ((s / width) as usize).min(buckets - 1)
+            };
+            counts[idx] += 1;
+        }
+        Histogram {
+            edges,
+            counts,
+            total: samples.len(),
+        }
+    }
+
+    /// Fraction of samples in the overflow bucket.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.last().expect("overflow bucket exists") as f64 / self.total as f64
+    }
+
+    /// The normalised bucket frequencies (including the overflow bucket).
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+}
+
+/// Distributional view of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceAnalysis {
+    /// Interarrival-time histogram (seconds).
+    pub interarrival: Histogram,
+    /// Job-size histogram (processors).
+    pub sizes: Histogram,
+    /// Runtime histogram (seconds).
+    pub runtimes: Histogram,
+    /// Fraction of jobs at each power-of-two size present in the trace, as
+    /// `(size, fraction)` sorted by size.
+    pub power_of_two_spectrum: Vec<(usize, f64)>,
+    /// Offered load per window: requested processor-seconds arriving in each
+    /// time window, divided by the window length, as `(window_start, load)`.
+    pub offered_load: Vec<(f64, f64)>,
+}
+
+impl TraceAnalysis {
+    /// Analyses a trace. `windows` controls the resolution of the
+    /// offered-load profile.
+    pub fn of(trace: &Trace, windows: usize) -> Self {
+        let jobs = trace.jobs();
+        let interarrivals: Vec<f64> = jobs
+            .windows(2)
+            .map(|w| w[1].arrival - w[0].arrival)
+            .collect();
+        let sizes: Vec<f64> = jobs.iter().map(|j| j.size as f64).collect();
+        let runtimes: Vec<f64> = jobs.iter().map(|j| j.runtime).collect();
+
+        let max_size = sizes.iter().fold(1.0f64, |a, &b| a.max(b));
+        let interarrival_bound = percentile(&interarrivals, 0.95).max(1.0) * 2.0;
+        let runtime_bound = percentile(&runtimes, 0.95).max(1.0) * 2.0;
+
+        let mut pow2_counts: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
+        for job in jobs {
+            if job.size.is_power_of_two() {
+                *pow2_counts.entry(job.size).or_insert(0) += 1;
+            }
+        }
+        let total = jobs.len().max(1);
+        let power_of_two_spectrum = pow2_counts
+            .into_iter()
+            .map(|(size, count)| (size, count as f64 / total as f64))
+            .collect();
+
+        TraceAnalysis {
+            interarrival: Histogram::new(&interarrivals, 20, interarrival_bound),
+            sizes: Histogram::new(&sizes, 20, max_size + 1.0),
+            runtimes: Histogram::new(&runtimes, 20, runtime_bound),
+            power_of_two_spectrum,
+            offered_load: offered_load(jobs, windows.max(1)),
+        }
+    }
+
+    /// A scalar dissimilarity between this trace's distributions and
+    /// another's: the mean total-variation distance of the three histograms
+    /// (0 = identical bucket frequencies, 1 = disjoint).
+    pub fn distance(&self, other: &TraceAnalysis) -> f64 {
+        let tv = |a: &Histogram, b: &Histogram| -> f64 {
+            let fa = a.frequencies();
+            let fb = b.frequencies();
+            let n = fa.len().min(fb.len());
+            0.5 * fa
+                .iter()
+                .take(n)
+                .zip(fb.iter().take(n))
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f64>()
+        };
+        (tv(&self.interarrival, &other.interarrival)
+            + tv(&self.sizes, &other.sizes)
+            + tv(&self.runtimes, &other.runtimes))
+            / 3.0
+    }
+}
+
+/// Offered load per window: Σ (size · runtime) of the jobs arriving in each
+/// window, divided by the window length. Expressed in processors (i.e. the
+/// average number of processors the arriving work would keep busy if served
+/// immediately).
+fn offered_load(jobs: &[Job], windows: usize) -> Vec<(f64, f64)> {
+    let span = jobs.last().map(|j| j.arrival).unwrap_or(0.0).max(1e-9);
+    let width = span / windows as f64;
+    let mut load = vec![0.0f64; windows];
+    for job in jobs {
+        let idx = ((job.arrival / width) as usize).min(windows - 1);
+        load[idx] += job.size as f64 * job.runtime;
+    }
+    load.into_iter()
+        .enumerate()
+        .map(|(i, work)| (i as f64 * width, work / width))
+        .collect()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by sorting. Returns 0.0 for an
+/// empty sample.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::ParagonTraceModel;
+
+    #[test]
+    fn histogram_counts_and_overflow() {
+        let h = Histogram::new(&[0.5, 1.5, 2.5, 9.0, 100.0], 4, 8.0);
+        assert_eq!(h.counts.len(), 5);
+        assert_eq!(h.total, 5);
+        assert_eq!(h.counts[0], 2); // 0.5 and 1.5 fall in [0, 2)
+        assert_eq!(h.counts[1], 1); // 2.5 in [2, 4)
+        assert_eq!(*h.counts.last().unwrap(), 2); // 9.0 and 100.0 overflow
+        assert!((h.overflow_fraction() - 0.4).abs() < 1e-12);
+        let freqs = h.frequencies();
+        assert!((freqs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_bucket_histogram_panics() {
+        Histogram::new(&[1.0], 0, 1.0);
+    }
+
+    #[test]
+    fn percentile_of_known_sample() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 0.5), 3.0);
+        assert_eq!(percentile(&samples, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn analysis_of_a_synthetic_trace_matches_its_own_statistics() {
+        let trace = ParagonTraceModel::scaled(800).generate(42);
+        let analysis = TraceAnalysis::of(&trace, 10);
+        assert_eq!(analysis.offered_load.len(), 10);
+        // Power-of-two sizes dominate the spectrum (the paper's observation).
+        let pow2_total: f64 = analysis
+            .power_of_two_spectrum
+            .iter()
+            .map(|(_, f)| f)
+            .sum();
+        assert!(
+            pow2_total > 0.5,
+            "power-of-two sizes should dominate, got {pow2_total}"
+        );
+        // Offered load is non-negative everywhere and positive somewhere.
+        assert!(analysis.offered_load.iter().all(|&(_, l)| l >= 0.0));
+        assert!(analysis.offered_load.iter().any(|&(_, l)| l > 0.0));
+    }
+
+    #[test]
+    fn identical_traces_have_zero_distance_and_different_seeds_small_distance() {
+        let a = TraceAnalysis::of(&ParagonTraceModel::scaled(500).generate(1), 8);
+        let b = TraceAnalysis::of(&ParagonTraceModel::scaled(500).generate(1), 8);
+        assert_eq!(a.distance(&b), 0.0);
+        let c = TraceAnalysis::of(&ParagonTraceModel::scaled(500).generate(2), 8);
+        let d = a.distance(&c);
+        assert!(d > 0.0, "different realisations differ slightly");
+        assert!(
+            d < 0.5,
+            "two draws from the same model should stay distributionally close, got {d}"
+        );
+    }
+
+    #[test]
+    fn load_factor_scales_offered_load() {
+        let trace = ParagonTraceModel::scaled(300).generate(9);
+        let contracted = trace.with_load_factor(0.5);
+        let base = TraceAnalysis::of(&trace, 5);
+        let heavy = TraceAnalysis::of(&contracted, 5);
+        let mean = |a: &TraceAnalysis| {
+            a.offered_load.iter().map(|&(_, l)| l).sum::<f64>() / a.offered_load.len() as f64
+        };
+        // Halving arrival times doubles the offered load (same work over half
+        // the span).
+        let ratio = mean(&heavy) / mean(&base);
+        assert!(
+            (ratio - 2.0).abs() < 0.2,
+            "contracting arrivals by 0.5 should about double offered load, ratio {ratio}"
+        );
+    }
+}

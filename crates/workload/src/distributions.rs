@@ -1,0 +1,186 @@
+//! Samplers for the distributions the synthetic trace generator needs.
+//!
+//! Implemented on top of `rand` rather than pulling an extra dependency: the
+//! generator only needs an exponential, a two-phase hyperexponential (to hit
+//! a coefficient of variation above one for interarrival times) and a
+//! lognormal (runtimes and sizes).
+
+use rand::Rng;
+
+/// Exponential distribution with the given mean.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        Exponential { mean }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; guard against ln(0).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -self.mean * u.ln()
+    }
+}
+
+/// Two-phase hyperexponential distribution with balanced means, parameterised
+/// by mean and coefficient of variation (CV must be >= 1).
+///
+/// With probability `p` the sample is exponential with mean `m1`, otherwise
+/// exponential with mean `m2`; the balanced-means fit sets
+/// `p = (1 + sqrt((cv² − 1)/(cv² + 1))) / 2`, `m1 = mean/(2p)` and
+/// `m2 = mean/(2(1 − p))`.
+#[derive(Debug, Clone, Copy)]
+pub struct Hyperexponential {
+    p: f64,
+    e1: Exponential,
+    e2: Exponential,
+}
+
+impl Hyperexponential {
+    /// Creates a hyperexponential sampler with the given mean and CV.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and `cv >= 1`.
+    pub fn new(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        assert!(cv >= 1.0, "hyperexponential requires cv >= 1");
+        let cv2 = cv * cv;
+        let p = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt());
+        Hyperexponential {
+            p,
+            e1: Exponential::new(mean / (2.0 * p)),
+            e2: Exponential::new(mean / (2.0 * (1.0 - p))),
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if rng.gen::<f64>() < self.p {
+            self.e1.sample(rng)
+        } else {
+            self.e2.sample(rng)
+        }
+    }
+}
+
+/// Lognormal distribution parameterised by the desired mean and coefficient
+/// of variation of the *resulting* (linear-scale) variable.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal sampler with the given linear-scale mean and CV.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are strictly positive.
+    pub fn new(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0 && cv > 0.0, "mean and cv must be positive");
+        let sigma2 = (1.0 + cv * cv).ln();
+        LogNormal {
+            mu: mean.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        }
+    }
+
+    /// Draws one sample using the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Sample mean and coefficient of variation of a slice (used by tests and by
+/// [`crate::trace::TraceSummary`]).
+pub fn mean_and_cv(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return (0.0, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt() / mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draw<F: Fn(&mut StdRng) -> f64>(n: usize, f: F) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(12345);
+        (0..n).map(|_| f(&mut rng)).collect()
+    }
+
+    #[test]
+    fn exponential_matches_mean_and_cv() {
+        let e = Exponential::new(1301.0);
+        let samples = draw(200_000, |rng| e.sample(rng));
+        let (mean, cv) = mean_and_cv(&samples);
+        assert!((mean - 1301.0).abs() / 1301.0 < 0.02, "mean {mean}");
+        assert!((cv - 1.0).abs() < 0.02, "cv {cv}");
+    }
+
+    #[test]
+    fn hyperexponential_matches_mean_and_cv() {
+        let h = Hyperexponential::new(1301.0, 3.7);
+        let samples = draw(400_000, |rng| h.sample(rng));
+        let (mean, cv) = mean_and_cv(&samples);
+        assert!((mean - 1301.0).abs() / 1301.0 < 0.05, "mean {mean}");
+        assert!((cv - 3.7).abs() / 3.7 < 0.1, "cv {cv}");
+    }
+
+    #[test]
+    fn lognormal_matches_mean_and_cv() {
+        let l = LogNormal::new(10944.0, 1.13);
+        let samples = draw(400_000, |rng| l.sample(rng));
+        let (mean, cv) = mean_and_cv(&samples);
+        assert!((mean - 10944.0).abs() / 10944.0 < 0.05, "mean {mean}");
+        assert!((cv - 1.13).abs() / 1.13 < 0.1, "cv {cv}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let h = Hyperexponential::new(10.0, 2.0);
+        let l = LogNormal::new(10.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(h.sample(&mut rng) > 0.0);
+            assert!(l.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cv >= 1")]
+    fn hyperexponential_rejects_low_cv() {
+        Hyperexponential::new(10.0, 0.5);
+    }
+
+    #[test]
+    fn mean_and_cv_edge_cases() {
+        assert_eq!(mean_and_cv(&[]), (0.0, 0.0));
+        let (m, cv) = mean_and_cv(&[5.0, 5.0, 5.0]);
+        assert_eq!(m, 5.0);
+        assert_eq!(cv, 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The job model.
+
+use serde::{Deserialize, Serialize};
+
+/// One job of a trace.
+///
+/// Following Section 3.2 of the paper, a job's "runtime" from the trace is
+/// converted into a *message quota*: the job sends one message per second of
+/// trace runtime and terminates when they have all arrived. The simulated
+/// duration therefore equals the trace runtime when the network keeps up and
+/// stretches when contention slows message delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Stable identifier (position in the trace).
+    pub id: u64,
+    /// Arrival (submission) time in seconds from the start of the trace.
+    pub arrival: f64,
+    /// Number of processors requested.
+    pub size: usize,
+    /// Trace runtime in seconds.
+    pub runtime: f64,
+}
+
+impl Job {
+    /// Creates a job.
+    pub fn new(id: u64, arrival: f64, size: usize, runtime: f64) -> Self {
+        debug_assert!(arrival >= 0.0 && runtime >= 0.0 && size > 0);
+        Job {
+            id,
+            arrival,
+            size,
+            runtime,
+        }
+    }
+
+    /// The job's message quota: one message per second of trace runtime,
+    /// with a minimum of one message so zero-length jobs still exercise the
+    /// allocator.
+    pub fn message_quota(&self) -> u64 {
+        (self.runtime.round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_quota_is_one_per_second() {
+        assert_eq!(Job::new(0, 0.0, 4, 3600.0).message_quota(), 3600);
+        assert_eq!(Job::new(0, 0.0, 4, 0.4).message_quota(), 1);
+        assert_eq!(Job::new(0, 0.0, 4, 0.0).message_quota(), 1);
+    }
+}

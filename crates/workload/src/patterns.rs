@@ -1,0 +1,634 @@
+//! Per-job communication patterns (Section 3.2, Figure 5).
+//!
+//! A job's processors are numbered by *rank* `0..p` in the order the
+//! allocator granted them; a pattern describes which ranks exchange messages.
+//! Patterns are consumed in two forms:
+//!
+//! * a **traffic matrix** ([`CommPattern::traffic`]) — the long-run fraction
+//!   of the job's messages on each ordered rank pair, used by the fluid
+//!   contention model;
+//! * an **explicit message list** ([`CommPattern::iteration_messages`]) — the
+//!   messages of one pattern iteration in order, used by the flit-level and
+//!   message-level simulators. Iterations are repeated until a job's message
+//!   quota is met, exactly as in the paper.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One entry of a job's traffic matrix: ranks `src → dst` carry `weight`
+/// fraction of the job's messages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficEntry {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Fraction of the job's messages on this pair (entries sum to 1).
+    pub weight: f64,
+}
+
+/// The communication patterns used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommPattern {
+    /// Every processor sends to every other processor of the job.
+    AllToAll,
+    /// The n-body pattern: `⌊p/2⌋` ring subphases (each processor to its ring
+    /// successor) followed by one chordal subphase (each processor to the
+    /// processor halfway across the ring).
+    NBody,
+    /// Each message goes between a uniformly random pair of the job's
+    /// processors.
+    Random,
+    /// Ring communication only (used in the CPlant test suite of Figure 1).
+    Ring,
+    /// All-pairs ping-pong: a message in each direction for every pair.
+    AllPairsPingPong,
+    /// The CPlant communication test suite of Leung et al.: all-to-all
+    /// broadcast, all-pairs ping-pong and ring, in equal iteration counts.
+    TestSuite,
+    /// Five-point stencil on a near-square virtual grid of ranks: each rank
+    /// exchanges with its up/down/left/right virtual neighbours (the halo
+    /// exchange of structured-grid solvers; extension beyond the paper).
+    Stencil2D,
+    /// Butterfly / hypercube exchange: in dimension `d`, rank `i` sends to
+    /// `i XOR 2^d` (the pattern of FFTs and recursive-doubling collectives;
+    /// extension beyond the paper).
+    Butterfly,
+    /// Binomial-tree broadcast from rank 0: in round `k`, every rank below
+    /// `2^k` forwards to its partner `2^k` above it (extension beyond the
+    /// paper).
+    BroadcastTree,
+}
+
+impl CommPattern {
+    /// The three patterns of the paper's trace-driven experiments
+    /// (Figures 7 and 8).
+    pub fn paper_patterns() -> [CommPattern; 3] {
+        [CommPattern::AllToAll, CommPattern::NBody, CommPattern::Random]
+    }
+
+    /// Every pattern implemented.
+    pub fn all() -> [CommPattern; 9] {
+        [
+            CommPattern::AllToAll,
+            CommPattern::NBody,
+            CommPattern::Random,
+            CommPattern::Ring,
+            CommPattern::AllPairsPingPong,
+            CommPattern::TestSuite,
+            CommPattern::Stencil2D,
+            CommPattern::Butterfly,
+            CommPattern::BroadcastTree,
+        ]
+    }
+
+    /// The extension patterns not evaluated in the paper, used by the
+    /// pattern-sensitivity benches.
+    pub fn extension_patterns() -> [CommPattern; 3] {
+        [
+            CommPattern::Stencil2D,
+            CommPattern::Butterfly,
+            CommPattern::BroadcastTree,
+        ]
+    }
+
+    /// Side lengths `(columns, rows)` of the near-square virtual grid the
+    /// stencil pattern arranges `p` ranks into (row-major, last row possibly
+    /// ragged).
+    pub fn stencil_grid(p: usize) -> (usize, usize) {
+        let cols = (p as f64).sqrt().ceil() as usize;
+        let cols = cols.max(1);
+        let rows = p.div_ceil(cols);
+        (cols, rows)
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommPattern::AllToAll => "all-to-all",
+            CommPattern::NBody => "n-body",
+            CommPattern::Random => "random",
+            CommPattern::Ring => "ring",
+            CommPattern::AllPairsPingPong => "ping-pong",
+            CommPattern::TestSuite => "test-suite",
+            CommPattern::Stencil2D => "stencil",
+            CommPattern::Butterfly => "butterfly",
+            CommPattern::BroadcastTree => "broadcast-tree",
+        }
+    }
+
+    /// Parses a pattern name (used by the figure binaries' CLIs).
+    pub fn parse(name: &str) -> Option<CommPattern> {
+        Self::all()
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name.trim()))
+    }
+
+    /// Number of messages sent in one iteration of the pattern on `p`
+    /// processors. Single-processor jobs do not communicate.
+    pub fn messages_per_iteration(&self, p: usize) -> u64 {
+        if p < 2 {
+            return 0;
+        }
+        let p64 = p as u64;
+        match self {
+            CommPattern::AllToAll | CommPattern::AllPairsPingPong => p64 * (p64 - 1),
+            CommPattern::NBody => p64 * (p64 / 2) + p64,
+            CommPattern::Random => 1,
+            CommPattern::Ring => p64,
+            CommPattern::TestSuite => {
+                CommPattern::AllToAll.messages_per_iteration(p)
+                    + CommPattern::AllPairsPingPong.messages_per_iteration(p)
+                    + CommPattern::Ring.messages_per_iteration(p)
+            }
+            CommPattern::Stencil2D => stencil_messages(p).len() as u64,
+            CommPattern::Butterfly => butterfly_messages(p).len() as u64,
+            CommPattern::BroadcastTree => broadcast_tree_messages(p).len() as u64,
+        }
+    }
+
+    /// The messages (ordered `(src_rank, dst_rank)` pairs) of one iteration.
+    ///
+    /// The random pattern draws a single random pair per iteration using
+    /// `rng`; all other patterns are deterministic and ignore it.
+    pub fn iteration_messages<R: Rng + ?Sized>(&self, p: usize, rng: &mut R) -> Vec<(usize, usize)> {
+        if p < 2 {
+            return Vec::new();
+        }
+        match self {
+            CommPattern::AllToAll => {
+                let mut msgs = Vec::with_capacity(p * (p - 1));
+                for i in 0..p {
+                    for j in 0..p {
+                        if i != j {
+                            msgs.push((i, j));
+                        }
+                    }
+                }
+                msgs
+            }
+            CommPattern::NBody => {
+                let mut msgs = Vec::with_capacity(p * (p / 2) + p);
+                for _phase in 0..p / 2 {
+                    for i in 0..p {
+                        msgs.push((i, (i + 1) % p));
+                    }
+                }
+                for i in 0..p {
+                    msgs.push((i, (i + p / 2) % p));
+                }
+                msgs
+            }
+            CommPattern::Random => {
+                let src = rng.gen_range(0..p);
+                let mut dst = rng.gen_range(0..p - 1);
+                if dst >= src {
+                    dst += 1;
+                }
+                vec![(src, dst)]
+            }
+            CommPattern::Ring => (0..p).map(|i| (i, (i + 1) % p)).collect(),
+            CommPattern::Stencil2D => stencil_messages(p),
+            CommPattern::Butterfly => butterfly_messages(p),
+            CommPattern::BroadcastTree => broadcast_tree_messages(p),
+            CommPattern::AllPairsPingPong => {
+                let mut msgs = Vec::with_capacity(p * (p - 1));
+                for i in 0..p {
+                    for j in i + 1..p {
+                        msgs.push((i, j));
+                        msgs.push((j, i));
+                    }
+                }
+                msgs
+            }
+            CommPattern::TestSuite => {
+                let mut msgs = CommPattern::AllToAll.iteration_messages(p, rng);
+                msgs.extend(CommPattern::AllPairsPingPong.iteration_messages(p, rng));
+                msgs.extend(CommPattern::Ring.iteration_messages(p, rng));
+                msgs
+            }
+        }
+    }
+
+    /// The job's traffic matrix: the fraction of its `quota` messages sent on
+    /// each ordered rank pair. Deterministic patterns ignore `quota` and
+    /// `rng`; the random pattern samples an empirical matrix (multinomial
+    /// over all ordered pairs) so that different jobs see different — and for
+    /// small quotas, lumpy — realisations, mirroring its behaviour in a
+    /// message-level simulation.
+    ///
+    /// Weights always sum to 1 (up to floating-point rounding); the result is
+    /// empty for single-processor jobs.
+    pub fn traffic<R: Rng + ?Sized>(&self, p: usize, quota: u64, rng: &mut R) -> Vec<TrafficEntry> {
+        if p < 2 {
+            return Vec::new();
+        }
+        match self {
+            CommPattern::AllToAll | CommPattern::AllPairsPingPong => {
+                let w = 1.0 / (p * (p - 1)) as f64;
+                let mut entries = Vec::with_capacity(p * (p - 1));
+                for i in 0..p {
+                    for j in 0..p {
+                        if i != j {
+                            entries.push(TrafficEntry {
+                                src: i,
+                                dst: j,
+                                weight: w,
+                            });
+                        }
+                    }
+                }
+                entries
+            }
+            CommPattern::NBody => {
+                let total = (p * (p / 2) + p) as f64;
+                let ring_w = (p / 2) as f64 / total;
+                let chord_w = 1.0 / total;
+                let mut entries = Vec::new();
+                for i in 0..p {
+                    let succ = (i + 1) % p;
+                    let chord = (i + p / 2) % p;
+                    if succ == chord {
+                        // p == 2: the successor and the chordal partner
+                        // coincide; merge the weights on a single entry.
+                        entries.push(TrafficEntry {
+                            src: i,
+                            dst: succ,
+                            weight: ring_w + chord_w,
+                        });
+                    } else {
+                        entries.push(TrafficEntry {
+                            src: i,
+                            dst: succ,
+                            weight: ring_w,
+                        });
+                        entries.push(TrafficEntry {
+                            src: i,
+                            dst: chord,
+                            weight: chord_w,
+                        });
+                    }
+                }
+                entries
+            }
+            CommPattern::Random => {
+                // Empirical multinomial over ordered pairs. Cap the number of
+                // draws: beyond ~10^4 the empirical matrix is statistically
+                // indistinguishable from uniform for the job sizes in the
+                // trace.
+                let pairs = p * (p - 1);
+                let draws = quota.clamp(1, 10_000) as usize;
+                let mut counts = vec![0u32; pairs];
+                for _ in 0..draws {
+                    counts[rng.gen_range(0..pairs)] += 1;
+                }
+                let mut entries = Vec::with_capacity(pairs);
+                let mut idx = 0usize;
+                for i in 0..p {
+                    for j in 0..p {
+                        if i != j {
+                            if counts[idx] > 0 {
+                                entries.push(TrafficEntry {
+                                    src: i,
+                                    dst: j,
+                                    weight: counts[idx] as f64 / draws as f64,
+                                });
+                            }
+                            idx += 1;
+                        }
+                    }
+                }
+                entries
+            }
+            CommPattern::Ring => (0..p)
+                .map(|i| TrafficEntry {
+                    src: i,
+                    dst: (i + 1) % p,
+                    weight: 1.0 / p as f64,
+                })
+                .collect(),
+            CommPattern::TestSuite => {
+                // Combine the three sub-patterns weighted by their share of
+                // one test-suite iteration.
+                let total = self.messages_per_iteration(p) as f64;
+                let mut entries: Vec<TrafficEntry> = Vec::new();
+                for sub in [
+                    CommPattern::AllToAll,
+                    CommPattern::AllPairsPingPong,
+                    CommPattern::Ring,
+                ] {
+                    let share = sub.messages_per_iteration(p) as f64 / total;
+                    for e in sub.traffic(p, quota, rng) {
+                        entries.push(TrafficEntry {
+                            weight: e.weight * share,
+                            ..e
+                        });
+                    }
+                }
+                merge_entries(entries)
+            }
+            CommPattern::Stencil2D | CommPattern::Butterfly | CommPattern::BroadcastTree => {
+                // Deterministic extension patterns: every message of one
+                // iteration carries an equal share of the job's traffic.
+                let msgs = match self {
+                    CommPattern::Stencil2D => stencil_messages(p),
+                    CommPattern::Butterfly => butterfly_messages(p),
+                    _ => broadcast_tree_messages(p),
+                };
+                let w = 1.0 / msgs.len() as f64;
+                merge_entries(
+                    msgs.into_iter()
+                        .map(|(src, dst)| TrafficEntry { src, dst, weight: w })
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+/// Messages of one five-point-stencil halo exchange: ranks are laid out
+/// row-major on the near-square grid of [`CommPattern::stencil_grid`] and
+/// each rank sends to every existing up/down/left/right neighbour.
+fn stencil_messages(p: usize) -> Vec<(usize, usize)> {
+    let (cols, _rows) = CommPattern::stencil_grid(p);
+    let mut msgs = Vec::with_capacity(4 * p);
+    for rank in 0..p {
+        let (col, row) = (rank % cols, rank / cols);
+        let mut push_if_valid = |c: isize, r: isize| {
+            if c < 0 || r < 0 {
+                return;
+            }
+            let (c, r) = (c as usize, r as usize);
+            if c >= cols {
+                return;
+            }
+            let neighbour = r * cols + c;
+            if neighbour < p && neighbour != rank {
+                msgs.push((rank, neighbour));
+            }
+        };
+        push_if_valid(col as isize - 1, row as isize);
+        push_if_valid(col as isize + 1, row as isize);
+        push_if_valid(col as isize, row as isize - 1);
+        push_if_valid(col as isize, row as isize + 1);
+    }
+    msgs
+}
+
+/// Messages of one butterfly (recursive-doubling) exchange: for every
+/// dimension `d`, rank `i` sends to `i XOR 2^d` when that partner exists.
+fn butterfly_messages(p: usize) -> Vec<(usize, usize)> {
+    let dims = usize::BITS - (p - 1).leading_zeros();
+    let mut msgs = Vec::new();
+    for d in 0..dims {
+        let bit = 1usize << d;
+        for i in 0..p {
+            let partner = i ^ bit;
+            if partner < p {
+                msgs.push((i, partner));
+            }
+        }
+    }
+    msgs
+}
+
+/// Messages of one binomial-tree broadcast from rank 0: in round `k`, every
+/// rank below `2^k` forwards to the rank `2^k` above it (if it exists).
+fn broadcast_tree_messages(p: usize) -> Vec<(usize, usize)> {
+    let mut msgs = Vec::with_capacity(p.saturating_sub(1));
+    let mut span = 1usize;
+    while span < p {
+        for i in 0..span {
+            let dst = i + span;
+            if dst < p {
+                msgs.push((i, dst));
+            }
+        }
+        span *= 2;
+    }
+    msgs
+}
+
+impl fmt::Display for CommPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Merges duplicate (src, dst) entries by summing their weights.
+fn merge_entries(entries: Vec<TrafficEntry>) -> Vec<TrafficEntry> {
+    use std::collections::BTreeMap;
+    let mut map: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for e in entries {
+        *map.entry((e.src, e.dst)).or_insert(0.0) += e.weight;
+    }
+    map.into_iter()
+        .map(|((src, dst), weight)| TrafficEntry { src, dst, weight })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn assert_valid_traffic(pattern: CommPattern, p: usize) {
+        let entries = pattern.traffic(p, 5000, &mut rng());
+        let total: f64 = entries.iter().map(|e| e.weight).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "{pattern} weights must sum to 1, got {total}"
+        );
+        for e in &entries {
+            assert!(e.src < p && e.dst < p && e.src != e.dst);
+            assert!(e.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn traffic_matrices_are_normalised_for_all_patterns() {
+        for pattern in CommPattern::all() {
+            for p in [2usize, 3, 8, 15, 30] {
+                assert_valid_traffic(pattern, p);
+            }
+        }
+    }
+
+    #[test]
+    fn single_processor_jobs_do_not_communicate() {
+        for pattern in CommPattern::all() {
+            assert!(pattern.traffic(1, 100, &mut rng()).is_empty());
+            assert!(pattern.iteration_messages(1, &mut rng()).is_empty());
+            assert_eq!(pattern.messages_per_iteration(1), 0);
+        }
+    }
+
+    #[test]
+    fn nbody_iteration_structure_matches_figure_5() {
+        // 15 processors: 7 ring subphases of 15 messages, then 15 chordal
+        // messages (Figure 5 of the paper).
+        let msgs = CommPattern::NBody.iteration_messages(15, &mut rng());
+        assert_eq!(msgs.len(), 15 * 7 + 15);
+        assert_eq!(CommPattern::NBody.messages_per_iteration(15), 120);
+        // First subphase: every processor to its ring successor.
+        for i in 0..15 {
+            assert_eq!(msgs[i], (i, (i + 1) % 15));
+        }
+        // Chordal subphase: processor i to i + 7 (mod 15).
+        for i in 0..15 {
+            assert_eq!(msgs[7 * 15 + i], (i, (i + 7) % 15));
+        }
+    }
+
+    #[test]
+    fn all_to_all_counts() {
+        let msgs = CommPattern::AllToAll.iteration_messages(8, &mut rng());
+        assert_eq!(msgs.len(), 8 * 7);
+        let unique: std::collections::HashSet<_> = msgs.iter().collect();
+        assert_eq!(unique.len(), 56, "all ordered pairs, no repeats");
+    }
+
+    #[test]
+    fn ping_pong_has_both_directions() {
+        let msgs = CommPattern::AllPairsPingPong.iteration_messages(4, &mut rng());
+        assert_eq!(msgs.len(), 12);
+        assert!(msgs.contains(&(0, 3)) && msgs.contains(&(3, 0)));
+    }
+
+    #[test]
+    fn random_traffic_varies_by_rng_but_is_seed_deterministic() {
+        let a = CommPattern::Random.traffic(8, 200, &mut StdRng::seed_from_u64(1));
+        let b = CommPattern::Random.traffic(8, 200, &mut StdRng::seed_from_u64(1));
+        let c = CommPattern::Random.traffic(8, 200, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_messages_are_valid_pairs() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let msgs = CommPattern::Random.iteration_messages(5, &mut r);
+            assert_eq!(msgs.len(), 1);
+            let (s, d) = msgs[0];
+            assert!(s < 5 && d < 5 && s != d);
+        }
+    }
+
+    #[test]
+    fn nbody_p2_merges_ring_and_chord() {
+        let entries = CommPattern::NBody.traffic(2, 100, &mut rng());
+        // Only two ordered pairs exist; weights still sum to one.
+        assert_eq!(entries.len(), 2);
+        let total: f64 = entries.iter().map(|e| e.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn test_suite_combines_three_patterns() {
+        let p = 6;
+        let expected = 2 * 6 * 5 + 6;
+        assert_eq!(
+            CommPattern::TestSuite.messages_per_iteration(p),
+            expected as u64
+        );
+        let msgs = CommPattern::TestSuite.iteration_messages(p, &mut rng());
+        assert_eq!(msgs.len(), expected);
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for pattern in CommPattern::all() {
+            assert_eq!(CommPattern::parse(pattern.name()), Some(pattern));
+        }
+        assert_eq!(CommPattern::parse("nope"), None);
+    }
+
+    #[test]
+    fn stencil_grid_is_near_square() {
+        assert_eq!(CommPattern::stencil_grid(1), (1, 1));
+        assert_eq!(CommPattern::stencil_grid(4), (2, 2));
+        assert_eq!(CommPattern::stencil_grid(12), (4, 3));
+        assert_eq!(CommPattern::stencil_grid(16), (4, 4));
+        assert_eq!(CommPattern::stencil_grid(30), (6, 5));
+    }
+
+    #[test]
+    fn stencil_messages_match_a_full_grid() {
+        // 4x4 grid: interior/edge/corner ranks send 4/3/2 messages; total
+        // directed halo edges = 2 * (2 * 4 * 3) = 48.
+        let msgs = CommPattern::Stencil2D.iteration_messages(16, &mut rng());
+        assert_eq!(msgs.len(), 48);
+        assert_eq!(CommPattern::Stencil2D.messages_per_iteration(16), 48);
+        // Every message is between ranks whose virtual-grid distance is 1.
+        for (s, d) in msgs {
+            let (cols, _) = CommPattern::stencil_grid(16);
+            let (sc, sr) = (s % cols, s / cols);
+            let (dc, dr) = (d % cols, d / cols);
+            assert_eq!(sc.abs_diff(dc) + sr.abs_diff(dr), 1, "{s} -> {d}");
+        }
+    }
+
+    #[test]
+    fn stencil_handles_ragged_last_rows() {
+        // 7 ranks on a 3-wide grid: ranks 6.. are missing; no message may
+        // reference a rank >= 7.
+        let msgs = CommPattern::Stencil2D.iteration_messages(7, &mut rng());
+        assert!(!msgs.is_empty());
+        assert!(msgs.iter().all(|&(s, d)| s < 7 && d < 7 && s != d));
+        // Symmetry: if (a, b) is present so is (b, a).
+        for &(s, d) in &msgs {
+            assert!(msgs.contains(&(d, s)), "stencil halo must be symmetric");
+        }
+    }
+
+    #[test]
+    fn butterfly_covers_every_dimension() {
+        // p = 8: 3 dimensions, 8 messages each.
+        let msgs = CommPattern::Butterfly.iteration_messages(8, &mut rng());
+        assert_eq!(msgs.len(), 24);
+        assert_eq!(CommPattern::Butterfly.messages_per_iteration(8), 24);
+        // Every message connects ranks differing in exactly one bit.
+        for (s, d) in msgs {
+            assert_eq!((s ^ d).count_ones(), 1);
+        }
+        // Non-power-of-two sizes drop the partners that do not exist.
+        let msgs5 = CommPattern::Butterfly.iteration_messages(5, &mut rng());
+        assert!(msgs5.iter().all(|&(s, d)| s < 5 && d < 5));
+        assert!(!msgs5.is_empty());
+    }
+
+    #[test]
+    fn broadcast_tree_reaches_every_rank_once() {
+        for p in [2usize, 3, 8, 15, 16, 30] {
+            let msgs = CommPattern::BroadcastTree.iteration_messages(p, &mut rng());
+            assert_eq!(msgs.len(), p - 1, "p = {p}");
+            // Every rank other than 0 receives exactly one message, and only
+            // from a lower-numbered rank (the binomial-tree invariant).
+            let mut received = vec![0usize; p];
+            for (s, d) in msgs {
+                assert!(s < d, "binomial tree sends upward in rank: {s} -> {d}");
+                received[d] += 1;
+            }
+            assert_eq!(received[0], 0);
+            assert!(received[1..].iter().all(|&r| r == 1));
+        }
+    }
+
+    #[test]
+    fn extension_patterns_have_normalised_traffic() {
+        for pattern in CommPattern::extension_patterns() {
+            for p in [2usize, 5, 16, 31] {
+                let entries = pattern.traffic(p, 1000, &mut rng());
+                let total: f64 = entries.iter().map(|e| e.weight).sum();
+                assert!((total - 1.0).abs() < 1e-9, "{pattern} p={p}");
+            }
+        }
+    }
+}

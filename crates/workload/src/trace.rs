@@ -1,0 +1,204 @@
+//! Trace representation and the paper's load-factor transformation.
+
+use crate::distributions::mean_and_cv;
+use crate::job::Job;
+use serde::{Deserialize, Serialize};
+
+/// A job trace: jobs sorted by arrival time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Creates a trace, sorting the jobs by arrival time and reassigning ids
+    /// in arrival order so downstream bookkeeping can index by id.
+    pub fn new(mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        for (i, job) in jobs.iter_mut().enumerate() {
+            job.id = i as u64;
+        }
+        Trace { jobs }
+    }
+
+    /// The jobs in arrival order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the trace holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The paper's load transformation: "we varied the message intensity by
+    /// contracting all job arrival times by a load factor, taking values 1,
+    /// 0.8, 0.6, 0.4, and 0.2 so that effective system load increases by up
+    /// to a factor of 5." Multiplies every arrival time by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn with_load_factor(&self, factor: f64) -> Trace {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "load factor must be in (0, 1], got {factor}"
+        );
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| Job {
+                arrival: j.arrival * factor,
+                ..*j
+            })
+            .collect();
+        Trace::new(jobs)
+    }
+
+    /// Removes jobs larger than `max_size` processors. The paper removes the
+    /// three 320-node jobs when simulating the 16 × 16 (256-processor)
+    /// machine.
+    pub fn filter_fitting(&self, max_size: usize) -> Trace {
+        let jobs = self
+            .jobs
+            .iter()
+            .copied()
+            .filter(|j| j.size <= max_size)
+            .collect();
+        Trace::new(jobs)
+    }
+
+    /// Keeps only the first `n` jobs (used to subsample the trace for quick
+    /// experiments and benchmarks).
+    pub fn truncate(&self, n: usize) -> Trace {
+        Trace::new(self.jobs.iter().copied().take(n).collect())
+    }
+
+    /// Statistical summary matching the quantities the paper reports for the
+    /// SDSC Paragon trace.
+    pub fn summary(&self) -> TraceSummary {
+        let interarrivals: Vec<f64> = self
+            .jobs
+            .windows(2)
+            .map(|w| w[1].arrival - w[0].arrival)
+            .collect();
+        let sizes: Vec<f64> = self.jobs.iter().map(|j| j.size as f64).collect();
+        let runtimes: Vec<f64> = self.jobs.iter().map(|j| j.runtime).collect();
+        let (mean_interarrival, cv_interarrival) = mean_and_cv(&interarrivals);
+        let (mean_size, cv_size) = mean_and_cv(&sizes);
+        let (mean_runtime, cv_runtime) = mean_and_cv(&runtimes);
+        let power_of_two_jobs = self
+            .jobs
+            .iter()
+            .filter(|j| j.size.is_power_of_two())
+            .count();
+        TraceSummary {
+            jobs: self.jobs.len(),
+            mean_interarrival,
+            cv_interarrival,
+            mean_size,
+            cv_size,
+            mean_runtime,
+            cv_runtime,
+            power_of_two_fraction: if self.jobs.is_empty() {
+                0.0
+            } else {
+                power_of_two_jobs as f64 / self.jobs.len() as f64
+            },
+        }
+    }
+}
+
+/// The summary statistics the paper reports for its trace (Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mean interarrival time in seconds (paper: 1301 s).
+    pub mean_interarrival: f64,
+    /// Coefficient of variation of interarrival times (paper: 3.7).
+    pub cv_interarrival: f64,
+    /// Mean job size in processors (paper: 14.5).
+    pub mean_size: f64,
+    /// Coefficient of variation of job sizes (paper: 1.5).
+    pub cv_size: f64,
+    /// Mean runtime in seconds (paper: 3.04 h = 10 944 s).
+    pub mean_runtime: f64,
+    /// Coefficient of variation of runtimes (paper: 1.13).
+    pub cv_runtime: f64,
+    /// Fraction of jobs whose size is a power of two (the paper notes the
+    /// distribution "heavily favors" powers of two).
+    pub power_of_two_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trace() -> Trace {
+        Trace::new(vec![
+            Job::new(0, 0.0, 4, 100.0),
+            Job::new(1, 10.0, 320, 50.0),
+            Job::new(2, 30.0, 8, 200.0),
+            Job::new(3, 60.0, 3, 400.0),
+        ])
+    }
+
+    #[test]
+    fn trace_sorts_by_arrival_and_reassigns_ids() {
+        let t = Trace::new(vec![
+            Job::new(7, 50.0, 1, 1.0),
+            Job::new(9, 10.0, 2, 1.0),
+        ]);
+        assert_eq!(t.jobs()[0].arrival, 10.0);
+        assert_eq!(t.jobs()[0].id, 0);
+        assert_eq!(t.jobs()[1].id, 1);
+    }
+
+    #[test]
+    fn load_factor_contracts_arrivals() {
+        let t = toy_trace();
+        let loaded = t.with_load_factor(0.2);
+        assert_eq!(loaded.jobs()[1].arrival, 2.0);
+        assert_eq!(loaded.jobs()[3].arrival, 12.0);
+        // Sizes and runtimes are untouched.
+        assert_eq!(loaded.jobs()[1].size, 320);
+        assert_eq!(loaded.summary().mean_runtime, t.summary().mean_runtime);
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor")]
+    fn invalid_load_factor_panics() {
+        toy_trace().with_load_factor(0.0);
+    }
+
+    #[test]
+    fn filter_fitting_drops_oversized_jobs() {
+        let t = toy_trace();
+        let filtered = t.filter_fitting(256);
+        assert_eq!(filtered.len(), 3);
+        assert!(filtered.jobs().iter().all(|j| j.size <= 256));
+    }
+
+    #[test]
+    fn summary_of_toy_trace() {
+        let s = toy_trace().summary();
+        assert_eq!(s.jobs, 4);
+        assert!((s.mean_interarrival - 20.0).abs() < 1e-9);
+        assert!((s.mean_size - (4.0 + 320.0 + 8.0 + 3.0) / 4.0).abs() < 1e-9);
+        // Sizes 4 and 8 are powers of two; 320 and 3 are not.
+        assert!((s.power_of_two_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let t = toy_trace().truncate(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.jobs()[1].size, 320);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the workload crate.
+
+use commalloc_workload::patterns::CommPattern;
+use commalloc_workload::synthetic::ParagonTraceModel;
+use commalloc_workload::trace::Trace;
+use commalloc_workload::Job;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_pattern() -> impl Strategy<Value = CommPattern> {
+    proptest::sample::select(CommPattern::all().to_vec())
+}
+
+proptest! {
+    /// Traffic matrices are always normalised probability distributions over
+    /// valid ordered rank pairs.
+    #[test]
+    fn traffic_is_a_distribution(
+        pattern in arb_pattern(),
+        p in 2usize..64,
+        quota in 1u64..100_000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = pattern.traffic(p, quota, &mut rng);
+        let total: f64 = entries.iter().map(|e| e.weight).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for e in &entries {
+            prop_assert!(e.src < p);
+            prop_assert!(e.dst < p);
+            prop_assert_ne!(e.src, e.dst);
+            prop_assert!(e.weight > 0.0);
+        }
+        // No duplicate pairs.
+        let mut pairs: Vec<_> = entries.iter().map(|e| (e.src, e.dst)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        prop_assert_eq!(pairs.len(), entries.len());
+    }
+
+    /// One iteration's message list length always equals
+    /// `messages_per_iteration` (random draws exactly one message).
+    #[test]
+    fn iteration_length_matches_declaration(
+        pattern in arb_pattern(),
+        p in 2usize..48,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msgs = pattern.iteration_messages(p, &mut rng);
+        prop_assert_eq!(msgs.len() as u64, pattern.messages_per_iteration(p));
+        for (s, d) in msgs {
+            prop_assert!(s < p && d < p && s != d);
+        }
+    }
+
+    /// The load-factor transformation preserves ordering and scales every
+    /// interarrival gap by exactly the factor.
+    #[test]
+    fn load_factor_scales_interarrivals(
+        factor in 0.1f64..1.0,
+        arrivals in proptest::collection::vec(0.0f64..1e6, 2..50),
+    ) {
+        let jobs: Vec<Job> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Job::new(i as u64, a, 4, 100.0))
+            .collect();
+        let trace = Trace::new(jobs);
+        let scaled = trace.with_load_factor(factor);
+        prop_assert_eq!(scaled.len(), trace.len());
+        for (orig, new) in trace.jobs().iter().zip(scaled.jobs()) {
+            prop_assert!((new.arrival - orig.arrival * factor).abs() < 1e-9);
+        }
+    }
+
+    /// Synthetic traces always produce sizes the target machine can hold and
+    /// strictly increasing arrival times.
+    #[test]
+    fn synthetic_trace_is_well_formed(seed in any::<u64>()) {
+        let trace = ParagonTraceModel::scaled(300).generate(seed);
+        prop_assert_eq!(trace.len(), 300);
+        for w in trace.jobs().windows(2) {
+            prop_assert!(w[1].arrival >= w[0].arrival);
+        }
+        for j in trace.jobs() {
+            prop_assert!(j.size >= 1 && j.size <= 352);
+            prop_assert!(j.runtime >= 1.0);
+            prop_assert!(j.message_quota() >= 1);
+        }
+    }
+}

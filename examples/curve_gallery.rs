@@ -1,0 +1,57 @@
+//! Render the space-filling curves the allocators are built on.
+//!
+//! ```text
+//! cargo run --example curve_gallery
+//! ```
+//!
+//! Prints the rank of every processor under each curve ordering on an 8 x 8
+//! mesh (the shapes of the paper's Figure 2), the truncated curves on the
+//! 16 x 22 CPlant-like mesh (Figure 6), and a locality comparison table that
+//! quantifies why the choice of curve matters more than the packing
+//! heuristic (the paper's Section 5 observation).
+
+use commalloc::prelude::*;
+use commalloc_mesh::locality::window_locality;
+
+fn main() {
+    let small = Mesh2D::new(8, 8);
+    println!("=== Figure 2: curve shapes on an 8 x 8 mesh ===\n");
+    for kind in [CurveKind::SCurve, CurveKind::Hilbert, CurveKind::HIndexing] {
+        let curve = CurveOrder::build(kind, small);
+        println!("{kind} (gaps: {}):\n{}", curve.discontinuities(), curve.render_ascii());
+    }
+
+    println!("=== Figure 6: truncated curves on the 16 x 22 mesh (top rows) ===\n");
+    let paragon = Mesh2D::paragon_16x22();
+    for kind in [CurveKind::Hilbert, CurveKind::HIndexing] {
+        let curve = CurveOrder::build(kind, paragon);
+        let art = curve.render_ascii();
+        // Show only the top 6 rows, as the paper's figure does.
+        let top: Vec<&str> = art.lines().take(6).collect();
+        println!(
+            "{kind} truncated to 16x22 — {} gaps along the curve:\n{}\n",
+            curve.discontinuities(),
+            top.join("\n")
+        );
+    }
+
+    println!("=== locality of rank windows (lower is better) ===\n");
+    println!(
+        "{:<26} {:>10} {:>14} {:>16}",
+        "curve", "window", "avg pair dist", "% windows contig"
+    );
+    let mesh = Mesh2D::square_16x16();
+    for kind in CurveKind::all() {
+        let curve = CurveOrder::build(kind, mesh);
+        for window in [16usize, 64] {
+            let l = window_locality(&curve, window);
+            println!(
+                "{:<26} {:>10} {:>14.2} {:>15.1}%",
+                kind.name(),
+                window,
+                l.mean_pairwise_distance,
+                100.0 * l.contiguous_fraction
+            );
+        }
+    }
+}

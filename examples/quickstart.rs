@@ -1,0 +1,58 @@
+//! Quickstart: simulate a small trace with two allocators and compare them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This walks through the full pipeline of the paper in miniature: generate
+//! an SDSC-Paragon-like trace, pick a machine and a communication pattern,
+//! run the trace-driven simulation under two allocation strategies, and look
+//! at mean response time and allocation contiguity.
+
+use commalloc::prelude::*;
+
+fn main() {
+    // 1. A workload: 300 synthetic jobs with the statistics the paper reports
+    //    for the SDSC Paragon trace (mean size 14.5 processors, mean runtime
+    //    3.04 h, bursty arrivals).
+    let trace = ParagonTraceModel::scaled(300).generate(42);
+    let summary = trace.summary();
+    println!(
+        "trace: {} jobs, mean size {:.1}, mean runtime {:.0} s, mean interarrival {:.0} s",
+        summary.jobs, summary.mean_size, summary.mean_runtime, summary.mean_interarrival
+    );
+
+    // 2. A machine: the paper's square 16 x 16 mesh, and a heavier load
+    //    (interarrival times contracted by 0.4, i.e. 2.5x the offered load).
+    let mesh = Mesh2D::square_16x16();
+    let loaded = trace.with_load_factor(0.4);
+
+    // 3. Two allocators on the same workload and pattern.
+    println!("\nall-to-all communication, load factor 0.4:");
+    for allocator in [AllocatorKind::HilbertBestFit, AllocatorKind::SCurveFreeList] {
+        let config = SimConfig::new(mesh, CommPattern::AllToAll, allocator);
+        let result = simulate(&loaded, &config);
+        println!(
+            "  {:<14} mean response {:>10.0} s | mean running {:>9.0} s | {:>5.1}% contiguous | {:.2} components/job",
+            allocator.name(),
+            result.summary.mean_response_time,
+            result.summary.mean_running_time,
+            result.summary.percent_contiguous,
+            result.summary.avg_components,
+        );
+    }
+
+    // 4. The same comparison under the n-body pattern — the paper's point is
+    //    that the ranking of allocators depends on the communication pattern.
+    println!("\nn-body communication, load factor 0.4:");
+    for allocator in [AllocatorKind::HilbertBestFit, AllocatorKind::Mc] {
+        let config = SimConfig::new(mesh, CommPattern::NBody, allocator);
+        let result = simulate(&loaded, &config);
+        println!(
+            "  {:<14} mean response {:>10.0} s | mean running {:>9.0} s",
+            allocator.name(),
+            result.summary.mean_response_time,
+            result.summary.mean_running_time,
+        );
+    }
+}

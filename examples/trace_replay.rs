@@ -1,0 +1,74 @@
+//! Replay a real Standard Workload Format trace (or the synthetic fallback).
+//!
+//! ```text
+//! cargo run --release --example trace_replay -- /path/to/SDSC-Par-1996.swf
+//! cargo run --release --example trace_replay            # synthetic fallback
+//! ```
+//!
+//! The paper's simulations replay the SDSC Intel Paragon trace
+//! (October–December 1996). If you have that trace in Standard Workload
+//! Format (e.g. from the Parallel Workloads Archive), pass its path and this
+//! example will reproduce the paper's exact workload; otherwise it falls back
+//! to the calibrated synthetic generator and tells you so.
+
+use commalloc::prelude::*;
+use commalloc_workload::swf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (trace, source) = match args.get(1) {
+        Some(path) => match swf::parse_file(path) {
+            Ok(t) => (t, format!("SWF file {path}")),
+            Err(e) => {
+                eprintln!("could not read {path}: {e}; falling back to the synthetic trace");
+                (
+                    ParagonTraceModel::default().generate(1996),
+                    "synthetic Paragon model".to_string(),
+                )
+            }
+        },
+        None => (
+            // Keep the default replay quick: a 1200-job prefix. Pass an SWF
+            // path or edit this to `ParagonTraceModel::default()` for the
+            // full 6087-job workload.
+            ParagonTraceModel::scaled(1200).generate(1996),
+            "synthetic Paragon model (1200-job prefix)".to_string(),
+        ),
+    };
+
+    let s = trace.summary();
+    println!("workload source: {source}");
+    println!(
+        "  {} jobs | mean interarrival {:.0} s (cv {:.2}) | mean size {:.1} (cv {:.2}) | mean runtime {:.0} s (cv {:.2})",
+        s.jobs, s.mean_interarrival, s.cv_interarrival, s.mean_size, s.cv_size, s.mean_runtime, s.cv_runtime
+    );
+    println!(
+        "  {:.0}% of jobs request a power-of-two number of processors\n",
+        100.0 * s.power_of_two_fraction
+    );
+
+    // Replay on the machine that matches the trace (16 x 22 = 352 nodes), at
+    // the paper's heaviest load, under the two allocators CPlant actually
+    // switched between (the 1-D scheme and MC1x1) plus the paper's overall
+    // winner.
+    let mesh = Mesh2D::paragon_16x22();
+    let loaded = trace.with_load_factor(0.6);
+    for pattern in [CommPattern::AllToAll, CommPattern::NBody] {
+        println!("pattern {pattern}:");
+        for allocator in [
+            AllocatorKind::SCurveFreeList,
+            AllocatorKind::Mc1x1,
+            AllocatorKind::HilbertBestFit,
+        ] {
+            let result = simulate(&loaded, &SimConfig::new(mesh, pattern, allocator));
+            println!(
+                "  {:<14} mean response {:>12.0} s | mean wait {:>12.0} s | makespan {:>12.0} s",
+                allocator.name(),
+                result.summary.mean_response_time,
+                result.summary.mean_wait_time,
+                result.summary.makespan
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,69 @@
+//! # commalloc-suite
+//!
+//! Workspace-level glue for the `commalloc` reproduction of *Communication
+//! Patterns and Allocation Strategies* (Leung, Bunde & Mache, 2004): shared
+//! helpers used by the runnable examples under `examples/` and the
+//! cross-crate integration tests under `tests/`.
+//!
+//! The real functionality lives in the member crates:
+//! `commalloc-mesh`, `commalloc-alloc`, `commalloc-workload`,
+//! `commalloc-net`, `commalloc` (the simulator core) and `commalloc-bench`
+//! (figure regeneration). See the workspace README for the map.
+
+use commalloc::prelude::*;
+
+/// A small, deterministic demo trace used by the examples and integration
+/// tests: `jobs` synthetic SDSC-Paragon-like jobs with the paper's
+/// distributional parameters.
+pub fn demo_trace(jobs: usize, seed: u64) -> Trace {
+    ParagonTraceModel::scaled(jobs).generate(seed)
+}
+
+/// Runs one simulation with the paper's default settings (FCFS scheduler,
+/// fluid contention model) and returns its result.
+pub fn run_demo(
+    trace: &Trace,
+    mesh: Mesh2D,
+    pattern: CommPattern,
+    allocator: AllocatorKind,
+) -> SimResult {
+    simulate(trace, &SimConfig::new(mesh, pattern, allocator))
+}
+
+/// Formats a compact one-line summary of a simulation result, used by the
+/// example binaries for their progress output.
+pub fn one_line_summary(result: &SimResult) -> String {
+    format!(
+        "{:<14} {:<10} mean response {:>12.0} s   mean running {:>10.0} s   {:>5.1}% contiguous",
+        result.config.allocator.name(),
+        result.config.pattern.name(),
+        result.summary.mean_response_time,
+        result.summary.mean_running_time,
+        result.summary.percent_contiguous,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_trace_is_deterministic() {
+        assert_eq!(demo_trace(25, 1), demo_trace(25, 1));
+        assert_eq!(demo_trace(25, 1).len(), 25);
+    }
+
+    #[test]
+    fn run_demo_and_summarise() {
+        let trace = demo_trace(20, 2);
+        let result = run_demo(
+            &trace,
+            Mesh2D::square_16x16(),
+            CommPattern::AllToAll,
+            AllocatorKind::HilbertBestFit,
+        );
+        let line = one_line_summary(&result);
+        assert!(line.contains("Hilbert w/BF"));
+        assert!(line.contains("all-to-all"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Cross-crate integration tests for the extension allocators (contiguous,
+//! buddy, MBS, hybrid) and the extension metrics, exercised through the
+//! public simulation API exactly as a downstream user would.
+
+use commalloc::prelude::*;
+use commalloc_alloc::metrics::{dispersion, quality};
+use commalloc_alloc::{AllocRequest, MachineState};
+use commalloc_mesh::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn small_trace(seed: u64) -> Trace {
+    ParagonTraceModel::scaled(40).generate(seed).filter_fitting(256)
+}
+
+/// A machine with `busy` random processors occupied (deterministic in seed).
+fn fragmented_machine(mesh: Mesh2D, busy: usize, seed: u64) -> MachineState {
+    let mut machine = MachineState::new(mesh);
+    let mut nodes: Vec<NodeId> = mesh.nodes().collect();
+    nodes.shuffle(&mut StdRng::seed_from_u64(seed));
+    nodes.truncate(busy);
+    machine.occupy(&nodes);
+    machine
+}
+
+#[test]
+fn contiguous_strategies_allocate_every_job_into_one_component() {
+    // Whatever they cost in waiting time, the contiguous strategies must
+    // never produce a fragmented allocation.
+    let trace = small_trace(5);
+    for allocator in [
+        AllocatorKind::ContiguousFirstFit,
+        AllocatorKind::ContiguousBestFit,
+        AllocatorKind::Buddy2D,
+    ] {
+        let config = SimConfig::new(Mesh2D::square_16x16(), CommPattern::AllToAll, allocator);
+        let result = simulate(&trace, &config);
+        assert_eq!(result.records.len(), trace.len(), "{allocator} lost jobs");
+        for record in &result.records {
+            assert_eq!(
+                record.components, 1,
+                "{allocator} fragmented job {}",
+                record.job_id
+            );
+        }
+        assert!((result.summary.percent_contiguous - 100.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn contiguity_costs_response_time_at_load() {
+    // The utilization argument of the paper's Section 2: at a non-trivial
+    // load the submesh-only strategy cannot beat Hilbert Best Fit on mean
+    // response time, because it holds jobs back waiting for rectangles.
+    let trace = ParagonTraceModel::scaled(120)
+        .generate(9)
+        .filter_fitting(256)
+        .with_load_factor(0.6);
+    let mesh = Mesh2D::square_16x16();
+    let contiguous = simulate(
+        &trace,
+        &SimConfig::new(mesh, CommPattern::AllToAll, AllocatorKind::ContiguousFirstFit),
+    );
+    let hilbert = simulate(
+        &trace,
+        &SimConfig::new(mesh, CommPattern::AllToAll, AllocatorKind::HilbertBestFit),
+    );
+    assert!(
+        contiguous.summary.mean_wait_time + 1e-9 >= hilbert.summary.mean_wait_time,
+        "contiguous-only allocation should not reduce queueing delay ({} vs {})",
+        contiguous.summary.mean_wait_time,
+        hilbert.summary.mean_wait_time
+    );
+}
+
+#[test]
+fn mbs_never_refuses_what_the_buddy_system_refuses_only_for_alignment() {
+    // On a fragmented machine the strict buddy system fails once no aligned
+    // block is free, while MBS decomposes the request and succeeds.
+    let mesh = Mesh2D::square_16x16();
+    let mut refusals_witnessed = 0usize;
+    for seed in 0..20u64 {
+        let machine = fragmented_machine(mesh, 140, seed);
+        let req = AllocRequest::new(seed, 32);
+        let buddy = AllocatorKind::Buddy2D.build(mesh).allocate(&req, &machine);
+        let mbs = AllocatorKind::Mbs.build(mesh).allocate(&req, &machine);
+        assert!(
+            mbs.is_some(),
+            "MBS must place 32 processors when {} are free",
+            machine.num_free()
+        );
+        if buddy.is_none() {
+            refusals_witnessed += 1;
+        }
+    }
+    assert!(
+        refusals_witnessed > 0,
+        "expected at least one buddy refusal on heavily fragmented machines"
+    );
+}
+
+#[test]
+fn hybrid_static_quality_matches_or_beats_both_parents() {
+    let mesh = Mesh2D::square_16x16();
+    for seed in 0..15u64 {
+        let machine = fragmented_machine(mesh, 100, seed);
+        let req = AllocRequest::new(seed, 20);
+        let score = |kind: AllocatorKind| {
+            let alloc = kind
+                .build(mesh)
+                .allocate(&req, &machine)
+                .expect("non-contiguous allocators always place 20 of 156 free");
+            let q = quality(mesh, &alloc.nodes);
+            (q.components, q.avg_pairwise_distance)
+        };
+        let hilbert = score(AllocatorKind::HilbertBestFit);
+        let mc = score(AllocatorKind::Mc);
+        let hybrid = score(AllocatorKind::Hybrid);
+        let best = if hilbert <= mc { hilbert } else { mc };
+        assert!(
+            hybrid.0 < best.0 || (hybrid.0 == best.0 && hybrid.1 <= best.1 + 1e-9),
+            "seed {seed}: hybrid {hybrid:?} worse than best parent {best:?}"
+        );
+    }
+}
+
+#[test]
+fn extended_allocators_keep_the_simulation_conservation_invariants() {
+    // Processors released equal processors allocated; every record has
+    // sensible timestamps; dispersal metrics are internally consistent.
+    let trace = small_trace(13);
+    let mesh = Mesh2D::square_16x16();
+    for allocator in [
+        AllocatorKind::Mbs,
+        AllocatorKind::Hybrid,
+        AllocatorKind::MortonBestFit,
+        AllocatorKind::PeanoBestFit,
+    ] {
+        let result = simulate(
+            &trace,
+            &SimConfig::new(mesh, CommPattern::Random, allocator),
+        );
+        assert_eq!(result.records.len(), trace.len());
+        for record in &result.records {
+            assert!(record.arrival <= record.start);
+            assert!(record.start < record.completion);
+            assert!(record.components >= 1);
+            assert!(record.avg_pairwise_distance >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn dispersal_metrics_agree_with_contiguity_for_simulated_allocations() {
+    // For allocations produced by a real allocator on a fragmented machine,
+    // the bounding-box utilization of a contiguous allocation is always at
+    // least as high as that of an equally-sized scattered one, and the
+    // maximum pairwise distance never exceeds the bounding-box semiperimeter.
+    let mesh = Mesh2D::square_16x16();
+    for seed in 0..10u64 {
+        let machine = fragmented_machine(mesh, 96, seed);
+        for kind in [AllocatorKind::HilbertBestFit, AllocatorKind::Random] {
+            let alloc = kind
+                .build(mesh)
+                .allocate(&AllocRequest::new(seed, 16), &machine)
+                .expect("16 of 160 free processors");
+            let d = dispersion(mesh, &alloc.nodes);
+            assert!(d.max_pairwise_distance <= d.bbox_semiperimeter());
+            assert!(d.bbox_utilization > 0.0 && d.bbox_utilization <= 1.0 + 1e-12);
+            assert!(d.avg_pairwise_distance <= d.max_pairwise_distance as f64 + 1e-12);
+        }
+    }
+}
+
+#[test]
+fn utilization_profile_tracks_the_contiguity_penalty() {
+    // Under the contiguous allocator the machine spends more time with jobs
+    // queued than under MBS for the same workload.
+    let trace = ParagonTraceModel::scaled(100)
+        .generate(21)
+        .filter_fitting(256)
+        .with_load_factor(0.6);
+    let mesh = Mesh2D::square_16x16();
+    let profile = |allocator: AllocatorKind| {
+        let result = simulate(&trace, &SimConfig::new(mesh, CommPattern::AllToAll, allocator));
+        UtilizationProfile::from_records(&result.records, mesh.num_nodes())
+    };
+    let contiguous = profile(AllocatorKind::ContiguousFirstFit);
+    let mbs = profile(AllocatorKind::Mbs);
+    assert!(
+        contiguous.mean_queue_length() + 1e-9 >= mbs.mean_queue_length(),
+        "contiguous-only allocation should not shorten the queue ({} vs {})",
+        contiguous.mean_queue_length(),
+        mbs.mean_queue_length()
+    );
+}

@@ -1,0 +1,66 @@
+//! Property-based integration tests across crates: invariants that must hold
+//! for any trace, allocator and pattern combination.
+
+use commalloc::prelude::*;
+use proptest::prelude::*;
+
+fn arb_allocator() -> impl Strategy<Value = AllocatorKind> {
+    proptest::sample::select(AllocatorKind::paper_set().to_vec())
+}
+
+fn arb_pattern() -> impl Strategy<Value = CommPattern> {
+    proptest::sample::select(CommPattern::paper_patterns().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conservation and ordering invariants of the end-to-end simulation.
+    #[test]
+    fn simulation_invariants(
+        allocator in arb_allocator(),
+        pattern in arb_pattern(),
+        jobs in 10usize..40,
+        seed in any::<u64>(),
+        load in prop_oneof![Just(1.0f64), Just(0.6), Just(0.3)],
+    ) {
+        let trace = ParagonTraceModel::scaled(jobs).generate(seed).with_load_factor(load);
+        let mesh = Mesh2D::square_16x16();
+        let config = SimConfig::new(mesh, pattern, allocator).with_seed(seed);
+        let result = simulate(&trace, &config);
+        let fitting = trace.filter_fitting(mesh.num_nodes());
+        prop_assert_eq!(result.records.len(), fitting.len());
+
+        for r in &result.records {
+            // Timing sanity.
+            prop_assert!(r.start >= r.arrival - 1e-9);
+            prop_assert!(r.completion > r.start);
+            // A job can never run faster than its message quota allows
+            // (nominal rate is one message per second).
+            prop_assert!(r.running_time() >= r.messages as f64 - 1e-6);
+            // Metric sanity.
+            prop_assert!(r.components >= 1 && r.components <= r.size);
+            prop_assert!(r.avg_pairwise_distance >= 0.0);
+            prop_assert!(r.avg_message_distance <= 2.0 * (mesh.width() + mesh.height()) as f64);
+        }
+        // Summary consistency.
+        let recomputed = commalloc::SimSummary::from_records(&result.records);
+        prop_assert_eq!(recomputed, result.summary);
+    }
+
+    /// Determinism of the whole pipeline: identical configuration, identical
+    /// results.
+    #[test]
+    fn end_to_end_determinism(
+        allocator in arb_allocator(),
+        pattern in arb_pattern(),
+        seed in any::<u64>(),
+    ) {
+        let trace = ParagonTraceModel::scaled(25).generate(seed);
+        let config = SimConfig::new(Mesh2D::paragon_16x22(), pattern, allocator).with_seed(seed);
+        let a = simulate(&trace, &config);
+        let b = simulate(&trace, &config);
+        prop_assert_eq!(a.records, b.records);
+        prop_assert_eq!(a.summary, b.summary);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based integration tests of the scheduling policies driven
+//! through the full simulation engine.
+
+use commalloc::prelude::*;
+use proptest::prelude::*;
+
+fn sim(trace: &Trace, scheduler: SchedulerKind, allocator: AllocatorKind) -> SimResult {
+    let config = SimConfig::new(Mesh2D::square_16x16(), CommPattern::AllToAll, allocator)
+        .with_scheduler(scheduler);
+    simulate(trace, &config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every scheduling policy completes every job that fits the machine,
+    /// never starts a job before it arrives, and never starts it before the
+    /// FCFS arrival of capacity (start >= arrival).
+    #[test]
+    fn schedulers_preserve_basic_sanity(
+        jobs in 5usize..40,
+        seed in 0u64..1_000,
+        load in prop::sample::select(vec![1.0f64, 0.6, 0.2]),
+    ) {
+        let trace = ParagonTraceModel::scaled(jobs)
+            .generate(seed)
+            .filter_fitting(256)
+            .with_load_factor(load);
+        for scheduler in SchedulerKind::all() {
+            let result = sim(&trace, scheduler, AllocatorKind::HilbertBestFit);
+            prop_assert_eq!(result.records.len(), trace.len());
+            for r in &result.records {
+                prop_assert!(r.start >= r.arrival - 1e-9, "{} started early", r.job_id);
+                prop_assert!(r.completion > r.start);
+            }
+        }
+    }
+
+    /// Under strict FCFS, jobs start in arrival order (the head of the queue
+    /// blocks everything behind it).
+    #[test]
+    fn fcfs_starts_jobs_in_arrival_order(
+        jobs in 5usize..30,
+        seed in 0u64..1_000,
+    ) {
+        let trace = ParagonTraceModel::scaled(jobs)
+            .generate(seed)
+            .filter_fitting(256)
+            .with_load_factor(0.4);
+        let result = sim(&trace, SchedulerKind::Fcfs, AllocatorKind::HilbertBestFit);
+        let mut by_arrival = result.records.clone();
+        by_arrival.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        let mut last_start = f64::NEG_INFINITY;
+        for r in &by_arrival {
+            prop_assert!(
+                r.start + 1e-9 >= last_start,
+                "job {} (arrival {}) started at {} before an earlier arrival's {}",
+                r.job_id, r.arrival, r.start, last_start
+            );
+            last_start = r.start;
+        }
+    }
+
+    /// The scheduler decides only *when* jobs start: under the
+    /// zero-contention control every job's running time equals its message
+    /// quota regardless of the scheduling policy, so schedulers can differ
+    /// only in waiting time.
+    #[test]
+    fn schedulers_change_waiting_not_service(
+        jobs in 5usize..30,
+        seed in 0u64..500,
+    ) {
+        let trace = ParagonTraceModel::scaled(jobs)
+            .generate(seed)
+            .filter_fitting(256)
+            .with_load_factor(0.4);
+        for scheduler in SchedulerKind::all() {
+            let config = SimConfig::new(
+                Mesh2D::square_16x16(),
+                CommPattern::AllToAll,
+                AllocatorKind::HilbertBestFit,
+            )
+            .with_scheduler(scheduler)
+            .with_fidelity(Fidelity::ZeroContention);
+            let result = simulate(&trace, &config);
+            prop_assert_eq!(result.records.len(), trace.len());
+            for r in &result.records {
+                prop_assert!(
+                    (r.running_time() - r.messages as f64).abs() < 1e-6,
+                    "{}: job {} service time {} differs from quota {}",
+                    scheduler.name(), r.job_id, r.running_time(), r.messages
+                );
+            }
+        }
+    }
+}
