@@ -220,19 +220,16 @@ impl AllocatorKind {
     /// Builds the allocator over `mesh`. The random baseline is seeded from
     /// the kind so repeated builds are deterministic.
     pub fn build(&self, mesh: Mesh2D) -> Box<dyn Allocator> {
-        let curve =
-            |kind: CurveKind, strategy: SelectionStrategy| -> Box<dyn Allocator> {
-                Box::new(CurveAllocator::new(kind, mesh, strategy))
-            };
+        let curve = |kind: CurveKind, strategy: SelectionStrategy| -> Box<dyn Allocator> {
+            Box::new(CurveAllocator::new(kind, mesh, strategy))
+        };
         match self {
             AllocatorKind::SCurveBestFit => curve(CurveKind::SCurve, SelectionStrategy::BestFit),
             AllocatorKind::HilbertBestFit => curve(CurveKind::Hilbert, SelectionStrategy::BestFit),
             AllocatorKind::HilbertFirstFit => {
                 curve(CurveKind::Hilbert, SelectionStrategy::FirstFit)
             }
-            AllocatorKind::HIndexBestFit => {
-                curve(CurveKind::HIndexing, SelectionStrategy::BestFit)
-            }
+            AllocatorKind::HIndexBestFit => curve(CurveKind::HIndexing, SelectionStrategy::BestFit),
             AllocatorKind::SCurveFirstFit => curve(CurveKind::SCurve, SelectionStrategy::FirstFit),
             AllocatorKind::HIndexFirstFit => {
                 curve(CurveKind::HIndexing, SelectionStrategy::FirstFit)

@@ -169,9 +169,7 @@ mod tests {
             .allocate(&AllocRequest::new(1, 16), &machine)
             .is_none());
         // Smaller requests that fit a free aligned 2x2 block still succeed.
-        assert!(buddy
-            .allocate(&AllocRequest::new(1, 4), &machine)
-            .is_some());
+        assert!(buddy.allocate(&AllocRequest::new(1, 4), &machine).is_some());
     }
 
     #[test]

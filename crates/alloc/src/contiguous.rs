@@ -105,12 +105,7 @@ impl ContiguousAllocator {
 
     /// Whether the `w × h` submesh at `origin` lies inside the mesh and is
     /// entirely free.
-    fn placement_is_free(
-        machine: &MachineState,
-        origin: Coord,
-        w: u16,
-        h: u16,
-    ) -> bool {
+    fn placement_is_free(machine: &MachineState, origin: Coord, w: u16, h: u16) -> bool {
         let mesh = machine.mesh();
         if origin.x + w > mesh.width() || origin.y + h > mesh.height() {
             return false;
@@ -156,12 +151,7 @@ impl ContiguousAllocator {
     }
 
     /// Finds a placement of the `w × h` shape according to the strategy.
-    fn find_placement(
-        &self,
-        machine: &MachineState,
-        w: u16,
-        h: u16,
-    ) -> Option<Coord> {
+    fn find_placement(&self, machine: &MachineState, w: u16, h: u16) -> Option<Coord> {
         let mesh = machine.mesh();
         let mut best: Option<(usize, Coord)> = None;
         for y in 0..=(mesh.height().saturating_sub(h)) {
@@ -250,7 +240,10 @@ mod tests {
     fn allocation_on_an_empty_mesh_is_contiguous() {
         let mesh = Mesh2D::square_16x16();
         let machine = MachineState::new(mesh);
-        for strategy in [ContiguousAllocator::first_fit(), ContiguousAllocator::best_fit()] {
+        for strategy in [
+            ContiguousAllocator::first_fit(),
+            ContiguousAllocator::best_fit(),
+        ] {
             let mut a = strategy;
             for size in [1usize, 4, 14, 30, 64, 128] {
                 let alloc = a.allocate(&AllocRequest::new(1, size), &machine).unwrap();
@@ -271,7 +264,7 @@ mod tests {
             .nodes()
             .filter(|n| {
                 let c = mesh.coord_of(*n);
-                (c.x + c.y) % 2 == 0
+                (c.x + c.y).is_multiple_of(2)
             })
             .collect();
         let machine = machine_with_busy(mesh, &busy);
@@ -289,10 +282,7 @@ mod tests {
         // Only row y == 3 is free: a 3-processor job fits as a 3x1 strip even
         // though the 2x2 near-square shape does not.
         let mesh = Mesh2D::new(8, 8);
-        let busy: Vec<NodeId> = mesh
-            .nodes()
-            .filter(|n| mesh.coord_of(*n).y != 3)
-            .collect();
+        let busy: Vec<NodeId> = mesh.nodes().filter(|n| mesh.coord_of(*n).y != 3).collect();
         let machine = machine_with_busy(mesh, &busy);
         let mut a = ContiguousAllocator::first_fit();
         let alloc = a.allocate(&AllocRequest::new(1, 3), &machine).unwrap();
@@ -316,10 +306,7 @@ mod tests {
         let mesh = Mesh2D::new(8, 8);
         // Occupy the left 2 columns; best fit should place the next 2x2 job
         // against that block (or the mesh boundary), not float it mid-mesh.
-        let busy: Vec<NodeId> = mesh
-            .nodes()
-            .filter(|n| mesh.coord_of(*n).x < 2)
-            .collect();
+        let busy: Vec<NodeId> = mesh.nodes().filter(|n| mesh.coord_of(*n).x < 2).collect();
         let machine = machine_with_busy(mesh, &busy);
         let mut bf = ContiguousAllocator::best_fit();
         let alloc = bf.allocate(&AllocRequest::new(1, 4), &machine).unwrap();
@@ -350,7 +337,7 @@ mod tests {
         for size in 1..=16usize {
             for (w, h) in ContiguousAllocator::candidate_shapes(size, mesh) {
                 assert!(w <= 4 && h <= 4, "size {size} shape {w}x{h}");
-                assert!(w as usize * h as usize >= size || w as usize * h as usize >= size);
+                assert!(w as usize * h as usize >= size);
             }
         }
     }

@@ -17,8 +17,21 @@
 //! When no interval is large enough, all strategies fall back to the rule of
 //! Leung et al.: allocate the set of free processors spanning the *smallest
 //! range of ranks* along the curve.
+//!
+//! # Incremental operation
+//!
+//! By default the allocator consults a [`FreeIntervalIndex`] — a BTree of
+//! maximal free runs updated in O(log n) as processors are occupied and
+//! released — instead of rescanning the occupancy bitmap on every request.
+//! The index resynchronises automatically (via
+//! [`MachineState::generation`]) whenever the machine changed in a way the
+//! allocator did not observe, so the indexed path is decision-identical to
+//! the rescan path in all circumstances; [`CurveAllocator::with_rescan`]
+//! keeps the original O(n)-per-call behaviour for comparison benchmarks and
+//! equivalence tests.
 
 use crate::allocator::Allocator;
+use crate::interval_index::FreeIntervalIndex;
 use crate::machine::MachineState;
 use crate::request::{AllocRequest, Allocation};
 use commalloc_mesh::curve::{CurveKind, CurveOrder};
@@ -87,25 +100,172 @@ pub fn free_intervals(curve: &CurveOrder, machine: &MachineState) -> Vec<FreeInt
     intervals
 }
 
+/// The incremental index state of an indexed [`CurveAllocator`].
+#[derive(Debug, Clone)]
+struct IndexedState {
+    index: FreeIntervalIndex,
+    /// The `(state_id, generation)` pair the index is synchronised with —
+    /// both components must match for the cached intervals to be trusted,
+    /// since generation counters of distinct machines (or diverged clones)
+    /// can coincide. `None` when the index is known stale.
+    synced: Option<(u64, u64)>,
+    /// A grant handed out at the `synced` point whose commit (the
+    /// caller's `machine.occupy`) has not been observed yet. Rank runs in
+    /// ascending order plus the total size.
+    pending: Option<PendingGrant>,
+}
+
+/// A not-yet-committed grant: the index is NOT updated at grant time,
+/// because the caller may discard the grant (e.g. a hybrid allocator
+/// probing several inner allocators, or a backfill feasibility check).
+/// The grant is applied at the next call, once its commit is *proven*:
+///
+/// * the machine advanced by exactly the expected number of mutations,
+/// * every granted node is busy in the machine, and
+/// * the free counts agree exactly.
+///
+/// Each mutation occupies an all-free set or frees an all-busy set, so
+/// "granted nodes ⊆ busy" plus the exact count pins the committed set to
+/// be exactly this grant; anything else rebuilds the index from scratch.
+#[derive(Debug, Clone)]
+struct PendingGrant {
+    /// Maximal consecutive rank runs of the grant, ascending.
+    runs: PendingRuns,
+    /// Total ranks granted.
+    size: usize,
+}
+
+/// Rank runs of a pending grant. Interval-selected grants — the hot path —
+/// are a single contiguous run, stored inline so recording a grant does not
+/// allocate; only the scattered fallback paths (sorted free list, minimum
+/// span) heap-allocate.
+#[derive(Debug, Clone)]
+enum PendingRuns {
+    Single(usize, usize),
+    Many(Vec<(usize, usize)>),
+}
+
+impl PendingRuns {
+    /// Applies `f` to every `(start, len)` run, stopping at the first
+    /// `false`.
+    fn all(&self, mut f: impl FnMut(usize, usize) -> bool) -> bool {
+        match self {
+            PendingRuns::Single(start, len) => f(*start, *len),
+            PendingRuns::Many(runs) => runs.iter().all(|&(start, len)| f(start, len)),
+        }
+    }
+}
+
+impl IndexedState {
+    fn stale() -> Self {
+        IndexedState {
+            index: FreeIntervalIndex::default(),
+            synced: None,
+            pending: None,
+        }
+    }
+
+    fn rebuild(&mut self, curve: &CurveOrder, machine: &MachineState) {
+        self.index = FreeIntervalIndex::from_machine(curve, machine);
+        self.synced = Some((machine.state_id(), machine.generation()));
+        self.pending = None;
+    }
+
+    /// Brings the index up to date with `machine`: a no-op when nothing
+    /// changed (any pending grant was discarded), a validated incremental
+    /// update when exactly the pending grant was committed, and a full
+    /// rebuild otherwise.
+    fn sync(&mut self, curve: &CurveOrder, machine: &MachineState) {
+        let identity = machine.state_id();
+        let generation = machine.generation();
+        match self.synced {
+            // Unchanged machine: a pending grant, if any, was discarded —
+            // the index is still exact.
+            Some((id, synced)) if id == identity && generation == synced => {
+                self.pending = None;
+            }
+            // Exactly one mutation since the grant: prove it was the
+            // grant, then apply it incrementally.
+            Some((id, synced)) if id == identity && generation == synced + 1 => {
+                match self.pending.take() {
+                    Some(grant) if self.commit_pending(curve, machine, &grant, 0) => {
+                        self.synced = Some((identity, generation));
+                    }
+                    _ => self.rebuild(curve, machine),
+                }
+            }
+            _ => self.rebuild(curve, machine),
+        }
+    }
+
+    /// Proves the pending `grant` is what the machine committed and
+    /// applies it to the index. `extra_freed` accounts for ranks released
+    /// by the machine but not yet applied to the index (the release-hook
+    /// path). Returns `false` without guarantees about partial index
+    /// state — the caller must rebuild.
+    fn commit_pending(
+        &mut self,
+        curve: &CurveOrder,
+        machine: &MachineState,
+        grant: &PendingGrant,
+        extra_freed: usize,
+    ) -> bool {
+        // Exact-count check: the committed set has the grant's size.
+        if machine.num_free() + grant.size != self.index.num_free() + extra_freed {
+            return false;
+        }
+        // Subset check: every granted node is busy. Together with the
+        // count this pins the committed set to the grant exactly.
+        let all_busy = grant.runs.all(|start, len| {
+            (start..start + len).all(|rank| !machine.is_free(curve.node_at(rank)))
+        });
+        all_busy
+            && grant
+                .runs
+                .all(|start, len| self.index.occupy_run(start, len))
+    }
+}
+
 /// A one-dimensional-reduction allocator: a curve plus a selection strategy.
 #[derive(Debug, Clone)]
 pub struct CurveAllocator {
     curve: CurveOrder,
     strategy: SelectionStrategy,
+    /// `Some` = incremental free-interval index; `None` = rescan per call.
+    indexed: Option<IndexedState>,
 }
 
 impl CurveAllocator {
-    /// Builds the allocator for `kind` over `mesh` using `strategy`.
+    /// Builds the allocator for `kind` over `mesh` using `strategy`, with
+    /// the incremental free-interval index enabled.
     pub fn new(kind: CurveKind, mesh: Mesh2D, strategy: SelectionStrategy) -> Self {
+        Self::with_curve(CurveOrder::build(kind, mesh), strategy)
+    }
+
+    /// Builds the allocator over an explicit curve (indexed).
+    pub fn with_curve(curve: CurveOrder, strategy: SelectionStrategy) -> Self {
         CurveAllocator {
-            curve: CurveOrder::build(kind, mesh),
+            curve,
             strategy,
+            indexed: Some(IndexedState::stale()),
         }
     }
 
-    /// Builds the allocator over an explicit curve.
-    pub fn with_curve(curve: CurveOrder, strategy: SelectionStrategy) -> Self {
-        CurveAllocator { curve, strategy }
+    /// Builds the allocator with the original rescan-per-call behaviour:
+    /// the free-interval list is recomputed from the occupancy bitmap on
+    /// every request. Used by the index-equivalence tests and the
+    /// index-vs-rescan benchmarks.
+    pub fn with_rescan(kind: CurveKind, mesh: Mesh2D, strategy: SelectionStrategy) -> Self {
+        CurveAllocator {
+            curve: CurveOrder::build(kind, mesh),
+            strategy,
+            indexed: None,
+        }
+    }
+
+    /// True when the incremental index is enabled.
+    pub fn is_indexed(&self) -> bool {
+        self.indexed.is_some()
     }
 
     /// The curve this allocator orders processors along.
@@ -156,13 +316,70 @@ impl CurveAllocator {
             .collect()
     }
 
+    /// The rescan decision path: recompute the interval list from the
+    /// occupancy bitmap, then select.
+    fn allocate_rescan(&self, machine: &MachineState, size: usize) -> Vec<NodeId> {
+        match self.strategy {
+            SelectionStrategy::FreeList => self.free_list_take(machine, size),
+            _ => {
+                let intervals = free_intervals(&self.curve, machine);
+                match self.select_interval(&intervals, size) {
+                    Some(interval) => self.take_from_interval(interval, size),
+                    None => self.min_span_take(machine, size),
+                }
+            }
+        }
+    }
+
+    /// The indexed decision path: synchronise the incremental index with
+    /// the machine (a no-op unless the machine changed behind our back),
+    /// query it, and optimistically apply the grant.
+    fn allocate_indexed(&mut self, machine: &MachineState, size: usize) -> Vec<NodeId> {
+        let state = self
+            .indexed
+            .as_mut()
+            .expect("allocate_indexed requires the index");
+        state.sync(&self.curve, machine);
+        // The grant is recorded as *pending*, not applied: callers may
+        // discard it (hybrid probing, backfill checks). The next sync()
+        // proves whether it was committed and applies it then.
+        let interval = match self.strategy {
+            SelectionStrategy::FreeList => None,
+            _ => state.index.select(self.strategy, size),
+        };
+        let (nodes, runs) = match interval {
+            // Fast path: the grant is one contiguous rank run.
+            Some(interval) => {
+                let nodes = (interval.start..interval.start + size)
+                    .map(|rank| self.curve.node_at(rank))
+                    .collect();
+                (nodes, PendingRuns::Single(interval.start, size))
+            }
+            // Fallback paths produce scattered ranks; group them into
+            // maximal runs.
+            None => {
+                let ranks = match self.strategy {
+                    SelectionStrategy::FreeList => state.index.free_list_ranks(size),
+                    _ => state.index.min_span_ranks(size),
+                };
+                let mut runs: Vec<(usize, usize)> = Vec::new();
+                for &rank in &ranks {
+                    match runs.last_mut() {
+                        Some((start, len)) if *start + *len == rank => *len += 1,
+                        _ => runs.push((rank, 1)),
+                    }
+                }
+                let nodes = ranks.iter().map(|&rank| self.curve.node_at(rank)).collect();
+                (nodes, PendingRuns::Many(runs))
+            }
+        };
+        state.pending = Some(PendingGrant { runs, size });
+        nodes
+    }
+
     /// Selects an interval according to the strategy, or `None` if no interval
     /// fits (triggering the minimum-span fallback).
-    fn select_interval(
-        &self,
-        intervals: &[FreeInterval],
-        size: usize,
-    ) -> Option<FreeInterval> {
+    fn select_interval(&self, intervals: &[FreeInterval], size: usize) -> Option<FreeInterval> {
         let fitting = intervals.iter().copied().filter(|iv| iv.len >= size);
         match self.strategy {
             SelectionStrategy::FreeList => None, // handled separately
@@ -176,8 +393,7 @@ impl CurveAllocator {
                 let total_sq: i64 = intervals.iter().map(|iv| (iv.len * iv.len) as i64).sum();
                 fitting.min_by_key(|iv| {
                     let remaining = iv.len - size;
-                    let delta =
-                        (remaining * remaining) as i64 - (iv.len * iv.len) as i64;
+                    let delta = (remaining * remaining) as i64 - (iv.len * iv.len) as i64;
                     (total_sq + delta, iv.start as i64)
                 })
             }
@@ -194,18 +410,64 @@ impl Allocator for CurveAllocator {
         if req.size == 0 || req.size > machine.num_free() {
             return None;
         }
-        let nodes = match self.strategy {
-            SelectionStrategy::FreeList => self.free_list_take(machine, req.size),
-            _ => {
-                let intervals = free_intervals(&self.curve, machine);
-                match self.select_interval(&intervals, req.size) {
-                    Some(interval) => self.take_from_interval(interval, req.size),
-                    None => self.min_span_take(machine, req.size),
-                }
-            }
+        let nodes = if self.indexed.is_some() {
+            self.allocate_indexed(machine, req.size)
+        } else {
+            self.allocate_rescan(machine, req.size)
         };
         debug_assert_eq!(nodes.len(), req.size);
         Some(Allocation::new(req.job_id, nodes))
+    }
+
+    fn release(&mut self, allocation: &Allocation, machine: &MachineState) {
+        let Some(state) = &mut self.indexed else {
+            return;
+        };
+        // The hook runs right after `machine.release(...)`. Expected
+        // generation distance from the synced point: 1 (just the release)
+        // or 2 (an unobserved grant commit plus the release). Resolve any
+        // pending grant first — released nodes are disjoint from a still-
+        // held grant, so the commit proof remains valid — then apply the
+        // release. Any surprise marks the index stale for the next
+        // allocate to rebuild.
+        let identity = machine.state_id();
+        let generation = machine.generation();
+        let in_step = match (state.synced, state.pending.take()) {
+            (Some((id, synced)), None) => id == identity && generation == synced + 1,
+            (Some((id, synced)), Some(grant)) => {
+                id == identity
+                    && generation == synced + 2
+                    && state.commit_pending(&self.curve, machine, &grant, allocation.nodes.len())
+            }
+            (None, _) => false,
+        };
+        if !in_step {
+            state.synced = None;
+            return;
+        }
+        // Curve allocations list nodes in ascending rank order, so the
+        // ranks group into maximal runs in one pass with no intermediate
+        // allocation.
+        let mut ok = true;
+        let mut ranks = allocation.nodes.iter().map(|&n| self.curve.rank_of(n));
+        if let Some(first) = ranks.next() {
+            let mut run_start = first;
+            let mut prev = first;
+            for rank in ranks {
+                if rank == prev + 1 {
+                    prev = rank;
+                } else if rank > prev {
+                    ok &= state.index.release_run(run_start, prev - run_start + 1);
+                    run_start = rank;
+                    prev = rank;
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+            ok = ok && state.index.release_run(run_start, prev - run_start + 1);
+        }
+        state.synced = ok.then_some((identity, generation));
     }
 }
 
@@ -329,8 +591,7 @@ mod tests {
     fn sum_of_squares_allocates_requested_count() {
         let mesh = Mesh2D::new(8, 8);
         let machine = machine_with_busy(mesh, &[NodeId(10), NodeId(30), NodeId(31)]);
-        let mut a =
-            CurveAllocator::new(CurveKind::Hilbert, mesh, SelectionStrategy::SumOfSquares);
+        let mut a = CurveAllocator::new(CurveKind::Hilbert, mesh, SelectionStrategy::SumOfSquares);
         let alloc = a.allocate(&AllocRequest::new(1, 12), &machine).unwrap();
         assert_eq!(alloc.nodes.len(), 12);
         assert!(alloc.nodes.iter().all(|&n| machine.is_free(n)));

@@ -69,9 +69,9 @@ impl Allocator for GreedyAllocator {
         let mut dist_to_chosen = vec![0u64; free.len()];
 
         let add = |idx: usize,
-                       chosen: &mut Vec<NodeId>,
-                       chosen_mask: &mut Vec<bool>,
-                       dist_to_chosen: &mut Vec<u64>| {
+                   chosen: &mut Vec<NodeId>,
+                   chosen_mask: &mut Vec<bool>,
+                   dist_to_chosen: &mut Vec<u64>| {
             chosen.push(free[idx]);
             chosen_mask[idx] = true;
             for (i, &node) in free.iter().enumerate() {
@@ -80,7 +80,12 @@ impl Allocator for GreedyAllocator {
                 }
             }
         };
-        add(best_seed, &mut chosen, &mut chosen_mask, &mut dist_to_chosen);
+        add(
+            best_seed,
+            &mut chosen,
+            &mut chosen_mask,
+            &mut dist_to_chosen,
+        );
 
         while chosen.len() < k {
             let mut best_idx = usize::MAX;
@@ -176,7 +181,9 @@ mod tests {
         let mesh = Mesh2D::new(4, 4);
         let machine = MachineState::new(mesh);
         let mut greedy = GreedyAllocator::new();
-        assert!(greedy.allocate(&AllocRequest::new(1, 0), &machine).is_none());
+        assert!(greedy
+            .allocate(&AllocRequest::new(1, 0), &machine)
+            .is_none());
         assert!(greedy
             .allocate(&AllocRequest::new(1, 17), &machine)
             .is_none());

@@ -158,7 +158,7 @@ mod tests {
             .nodes()
             .filter(|n| {
                 let c = mesh.coord_of(*n);
-                (c.x + c.y) % 2 == 0
+                (c.x + c.y).is_multiple_of(2)
             })
             .collect();
         let mut machine = MachineState::new(mesh);

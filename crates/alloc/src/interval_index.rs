@@ -1,0 +1,509 @@
+//! Incremental index of maximal free intervals along a curve.
+//!
+//! The one-dimensional-reduction allocators of Section 2.1 repeatedly need
+//! the maximal runs of free processors in curve-rank order. The original
+//! implementation ([`crate::curve_alloc::free_intervals`]) rebuilds that
+//! list by scanning the whole occupancy bitmap on every allocation — O(n)
+//! per decision even when only a handful of processors changed state.
+//!
+//! [`FreeIntervalIndex`] maintains the same information incrementally:
+//!
+//! * `by_start` — a `BTreeMap` from interval start rank to interval length,
+//!   i.e. the maximal free runs in increasing rank order, split and merged
+//!   in O(log n) tree operations per occupy/release run;
+//! * a rank-indexed free bitmap used to validate splits and merges.
+//!
+//! Selection queries iterate the interval list; its length is bounded by
+//! the number of live jobs plus one, so at realistic machine sizes the
+//! scan is a few cache lines. (A secondary by-length set would make
+//! best-fit O(log n) but doubles the update cost of every occupy and
+//! release, which measured slower at every scale we benchmark.)
+//!
+//! The selection queries are written to be **decision-identical** to the
+//! rescan path for every [`SelectionStrategy`] — the
+//! `index_equivalence` property tests in `crates/alloc/tests` assert
+//! byte-identical allocations over random occupy/release histories.
+
+use crate::curve_alloc::{FreeInterval, SelectionStrategy};
+use crate::machine::MachineState;
+use commalloc_mesh::curve::CurveOrder;
+use std::collections::BTreeMap;
+
+/// Incrementally maintained maximal free intervals over curve ranks
+/// `0..len`.
+#[derive(Debug, Clone, Default)]
+pub struct FreeIntervalIndex {
+    /// rank -> currently free?
+    free: Vec<bool>,
+    num_free: usize,
+    /// start rank -> run length, for every maximal free run.
+    by_start: BTreeMap<usize, usize>,
+}
+
+impl FreeIntervalIndex {
+    /// An index over `len` ranks, all free.
+    pub fn all_free(len: usize) -> Self {
+        let mut index = FreeIntervalIndex {
+            free: vec![true; len],
+            num_free: len,
+            by_start: BTreeMap::new(),
+        };
+        if len > 0 {
+            index.insert_interval(0, len);
+        }
+        index
+    }
+
+    /// Builds the index for the current occupancy of `machine` along
+    /// `curve` (O(n) scan; used for initial construction and resync).
+    pub fn from_machine(curve: &CurveOrder, machine: &MachineState) -> Self {
+        let len = curve.len();
+        let mut index = FreeIntervalIndex {
+            free: vec![false; len],
+            num_free: 0,
+            by_start: BTreeMap::new(),
+        };
+        let mut run_start: Option<usize> = None;
+        for rank in 0..len {
+            let free = machine.is_free(curve.node_at(rank));
+            index.free[rank] = free;
+            if free {
+                index.num_free += 1;
+                if run_start.is_none() {
+                    run_start = Some(rank);
+                }
+            } else if let Some(start) = run_start.take() {
+                index.insert_interval(start, rank - start);
+            }
+        }
+        if let Some(start) = run_start {
+            index.insert_interval(start, len - start);
+        }
+        index
+    }
+
+    /// Total number of ranks covered.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when the index covers no ranks.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Number of currently free ranks.
+    pub fn num_free(&self) -> usize {
+        self.num_free
+    }
+
+    /// Number of maximal free intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.by_start.len()
+    }
+
+    /// True if `rank` is free.
+    pub fn is_free(&self, rank: usize) -> bool {
+        self.free[rank]
+    }
+
+    fn insert_interval(&mut self, start: usize, len: usize) {
+        debug_assert!(len > 0);
+        self.by_start.insert(start, len);
+    }
+
+    fn remove_interval(&mut self, start: usize, _len: usize) {
+        self.by_start.remove(&start);
+    }
+
+    /// The interval containing `rank`, if `rank` is free.
+    fn interval_containing(&self, rank: usize) -> Option<(usize, usize)> {
+        let (&start, &len) = self.by_start.range(..=rank).next_back()?;
+        (rank < start + len).then_some((start, len))
+    }
+
+    /// Marks the `run_len` consecutive ranks starting at `run_start`
+    /// busy, splitting their containing interval with O(log n) tree
+    /// operations **total** (consecutive free ranks always lie in one
+    /// maximal interval, so one split suffices for any grant chunk).
+    ///
+    /// Returns `false` (leaving the index unchanged) when the run is not
+    /// entirely free — the caller treats that as drift and resyncs.
+    pub fn occupy_run(&mut self, run_start: usize, run_len: usize) -> bool {
+        if run_len == 0 {
+            return true;
+        }
+        if run_start + run_len > self.free.len() {
+            return false;
+        }
+        let Some((start, len)) = self.interval_containing(run_start) else {
+            return false;
+        };
+        if run_start + run_len > start + len {
+            return false; // spills past the containing interval => not all free
+        }
+        self.remove_interval(start, len);
+        if run_start > start {
+            self.insert_interval(start, run_start - start);
+        }
+        if run_start + run_len < start + len {
+            self.insert_interval(run_start + run_len, start + len - run_start - run_len);
+        }
+        self.free[run_start..run_start + run_len].fill(false);
+        self.num_free -= run_len;
+        true
+    }
+
+    /// Marks `rank` busy (single-rank form of
+    /// [`FreeIntervalIndex::occupy_run`]).
+    pub fn occupy_rank(&mut self, rank: usize) -> bool {
+        self.occupy_run(rank, 1)
+    }
+
+    /// Marks the `run_len` consecutive ranks starting at `run_start`
+    /// free, merging with the adjacent intervals with O(log n) tree
+    /// operations total.
+    ///
+    /// Returns `false` (leaving the index unchanged) when the run is not
+    /// entirely busy.
+    pub fn release_run(&mut self, run_start: usize, run_len: usize) -> bool {
+        if run_len == 0 {
+            return true;
+        }
+        if run_start + run_len > self.free.len()
+            || self.free[run_start..run_start + run_len].iter().any(|&f| f)
+        {
+            return false;
+        }
+        let mut start = run_start;
+        let mut len = run_len;
+        // Merge with a run ending exactly at `run_start`.
+        if let Some((&left_start, &left_len)) = self.by_start.range(..run_start).next_back() {
+            if left_start + left_len == run_start {
+                self.remove_interval(left_start, left_len);
+                start = left_start;
+                len += left_len;
+            }
+        }
+        // Merge with a run starting exactly past the released span.
+        if let Some(&right_len) = self.by_start.get(&(run_start + run_len)) {
+            self.remove_interval(run_start + run_len, right_len);
+            len += right_len;
+        }
+        self.insert_interval(start, len);
+        self.free[run_start..run_start + run_len].fill(true);
+        self.num_free += run_len;
+        true
+    }
+
+    /// Marks `rank` free (single-rank form of
+    /// [`FreeIntervalIndex::release_run`]).
+    pub fn release_rank(&mut self, rank: usize) -> bool {
+        self.release_run(rank, 1)
+    }
+
+    /// Applies `op` to `ranks` grouped into maximal consecutive runs (the
+    /// common case — a whole allocation — is one or a few runs, each one
+    /// tree operation). `ranks` may be in any order; a sorted copy is
+    /// made only when needed. Returns `false` on the first failing run,
+    /// leaving earlier runs applied — callers treat `false` as drift and
+    /// rebuild.
+    fn apply_grouped(
+        &mut self,
+        ranks: &[usize],
+        mut op: impl FnMut(&mut Self, usize, usize) -> bool,
+    ) -> bool {
+        let sorted_storage;
+        let sorted: &[usize] = if ranks.windows(2).all(|w| w[0] < w[1]) {
+            ranks
+        } else {
+            let mut copy = ranks.to_vec();
+            copy.sort_unstable();
+            sorted_storage = copy;
+            &sorted_storage
+        };
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let start = sorted[i];
+            let mut len = 1usize;
+            while i + len < sorted.len() && sorted[i + len] == start + len {
+                len += 1;
+            }
+            if !op(self, start, len) {
+                return false;
+            }
+            i += len;
+        }
+        true
+    }
+
+    /// Marks every rank in `ranks` busy (run-grouped; see
+    /// [`FreeIntervalIndex::occupy_run`] for the failure contract).
+    pub fn occupy_ranks(&mut self, ranks: &[usize]) -> bool {
+        self.apply_grouped(ranks, |index, start, len| index.occupy_run(start, len))
+    }
+
+    /// Marks every rank in `ranks` free (run-grouped; see
+    /// [`FreeIntervalIndex::release_run`] for the failure contract).
+    pub fn release_ranks(&mut self, ranks: &[usize]) -> bool {
+        self.apply_grouped(ranks, |index, start, len| index.release_run(start, len))
+    }
+
+    /// The maximal free intervals in increasing rank order (same order and
+    /// contents as [`crate::curve_alloc::free_intervals`]).
+    pub fn intervals(&self) -> impl Iterator<Item = FreeInterval> + '_ {
+        self.by_start
+            .iter()
+            .map(|(&start, &len)| FreeInterval { start, len })
+    }
+
+    /// The interval the given strategy picks for a request of `size`, or
+    /// `None` when no interval fits (the caller then applies the
+    /// minimum-span fallback). Decision-identical to running the strategy
+    /// over the rescan-produced interval list.
+    pub fn select(&self, strategy: SelectionStrategy, size: usize) -> Option<FreeInterval> {
+        match strategy {
+            // The sorted-free-list rule does not pick an interval.
+            SelectionStrategy::FreeList => None,
+            SelectionStrategy::FirstFit => self
+                .by_start
+                .iter()
+                .find(|(_, &len)| len >= size)
+                .map(|(&start, &len)| FreeInterval { start, len }),
+            SelectionStrategy::BestFit => {
+                // Smallest fitting length; iterating in start order with a
+                // strict `<` keeps the lowest start on length ties.
+                let mut best: Option<FreeInterval> = None;
+                for (&start, &len) in &self.by_start {
+                    if len >= size && best.is_none_or(|b| len < b.len) {
+                        best = Some(FreeInterval { start, len });
+                    }
+                }
+                best
+            }
+            SelectionStrategy::SumOfSquares => {
+                // The naive path minimises (total_sq + delta, start) where
+                // total_sq is the same for every candidate, so the argmin
+                // reduces to (delta, start).
+                self.by_start
+                    .iter()
+                    .filter(|(_, &len)| len >= size)
+                    .min_by_key(|(&start, &len)| {
+                        let remaining = len - size;
+                        (
+                            (remaining * remaining) as i64 - (len * len) as i64,
+                            start as i64,
+                        )
+                    })
+                    .map(|(&start, &len)| FreeInterval { start, len })
+            }
+        }
+    }
+
+    /// The first `size` free ranks in curve order (sorted-free-list rule).
+    pub fn free_list_ranks(&self, size: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(size);
+        for (&start, &len) in &self.by_start {
+            for rank in start..start + len {
+                out.push(rank);
+                if out.len() == size {
+                    return out;
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimum-span fallback: the window of `size` free ranks spanning the
+    /// smallest rank range (ties towards the lowest start, matching the
+    /// rescan path).
+    pub fn min_span_ranks(&self, size: usize) -> Vec<usize> {
+        let free_ranks: Vec<usize> = self
+            .by_start
+            .iter()
+            .flat_map(|(&start, &len)| start..start + len)
+            .collect();
+        debug_assert!(free_ranks.len() >= size);
+        let mut best_start = 0usize;
+        let mut best_span = usize::MAX;
+        for i in 0..=free_ranks.len() - size {
+            let span = free_ranks[i + size - 1] - free_ranks[i];
+            if span < best_span {
+                best_span = span;
+                best_start = i;
+            }
+        }
+        free_ranks[best_start..best_start + size].to_vec()
+    }
+
+    /// Exhaustive structural validation against a machine state (test and
+    /// debug helper; O(n)).
+    pub fn is_consistent_with(&self, curve: &CurveOrder, machine: &MachineState) -> bool {
+        if self.free.len() != curve.len() {
+            return false;
+        }
+        // Bitmap must match the machine.
+        for rank in 0..curve.len() {
+            if self.free[rank] != machine.is_free(curve.node_at(rank)) {
+                return false;
+            }
+        }
+        // The interval map must describe exactly the bitmap's runs.
+        let mut covered = 0usize;
+        let mut prev_end: Option<usize> = None;
+        for (&start, &len) in &self.by_start {
+            if len == 0 {
+                return false;
+            }
+            // Maximality: the run must be surrounded by busy ranks.
+            if prev_end == Some(start) {
+                return false;
+            }
+            if start > 0 && self.free[start - 1] {
+                return false;
+            }
+            if start + len < self.free.len() && self.free[start + len] {
+                return false;
+            }
+            if !(start..start + len).all(|r| self.free[r]) {
+                return false;
+            }
+            covered += len;
+            prev_end = Some(start + len);
+        }
+        covered == self.num_free && self.num_free == machine.num_free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve_alloc::free_intervals;
+    use commalloc_mesh::curve::CurveKind;
+    use commalloc_mesh::Mesh2D;
+
+    fn naive_intervals(index_len: usize, free: &[bool]) -> Vec<FreeInterval> {
+        let mut out = Vec::new();
+        let mut run_start = None;
+        for (rank, &rank_free) in free.iter().enumerate().take(index_len) {
+            match (rank_free, run_start) {
+                (true, None) => run_start = Some(rank),
+                (false, Some(start)) => {
+                    out.push(FreeInterval {
+                        start,
+                        len: rank - start,
+                    });
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = run_start {
+            out.push(FreeInterval {
+                start,
+                len: index_len - start,
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn occupy_and_release_maintain_maximal_runs() {
+        let mut index = FreeIntervalIndex::all_free(10);
+        let mut shadow = vec![true; 10];
+        // A deterministic occupy/release script with splits and merges.
+        let script: &[(bool, usize)] = &[
+            (true, 4),
+            (true, 5),
+            (true, 0),
+            (true, 9),
+            (false, 4),
+            (true, 2),
+            (false, 5),
+            (false, 0),
+            (true, 4),
+            (false, 9),
+            (false, 2),
+            (false, 4),
+        ];
+        for &(occupy, rank) in script {
+            if occupy {
+                assert!(index.occupy_rank(rank));
+                shadow[rank] = false;
+            } else {
+                assert!(index.release_rank(rank));
+                shadow[rank] = true;
+            }
+            let expected = naive_intervals(10, &shadow);
+            let got: Vec<FreeInterval> = index.intervals().collect();
+            assert_eq!(got, expected, "after {:?} rank {rank}", occupy);
+            assert_eq!(index.num_free(), shadow.iter().filter(|&&f| f).count());
+        }
+    }
+
+    #[test]
+    fn double_occupy_and_double_release_are_rejected() {
+        let mut index = FreeIntervalIndex::all_free(4);
+        assert!(index.occupy_rank(1));
+        assert!(!index.occupy_rank(1), "second occupy must report drift");
+        assert!(index.release_rank(1));
+        assert!(!index.release_rank(1), "second release must report drift");
+        assert_eq!(index.num_free(), 4);
+    }
+
+    #[test]
+    fn from_machine_matches_rescan() {
+        let mesh = Mesh2D::new(8, 8);
+        let curve = CurveOrder::build(CurveKind::Hilbert, mesh);
+        let mut machine = MachineState::new(mesh);
+        let busy: Vec<_> = (0..64)
+            .filter(|i| i % 3 == 0)
+            .map(|i| curve.node_at(i))
+            .collect();
+        machine.occupy(&busy);
+        let index = FreeIntervalIndex::from_machine(&curve, &machine);
+        let expected = free_intervals(&curve, &machine);
+        let got: Vec<FreeInterval> = index.intervals().collect();
+        assert_eq!(got, expected);
+        assert!(index.is_consistent_with(&curve, &machine));
+    }
+
+    #[test]
+    fn best_fit_lookup_matches_linear_scan() {
+        let mut index = FreeIntervalIndex::all_free(20);
+        // Carve intervals of lengths 3, 5, 2, 4 (and several busy gaps).
+        for rank in [3, 9, 12, 17, 18, 19] {
+            index.occupy_rank(rank);
+        }
+        // Intervals now: [0,3) len 3, [4,9) len 5, [10,12) len 2, [13,17) len 4.
+        for size in 1..=6 {
+            let scan = index
+                .intervals()
+                .filter(|iv| iv.len >= size)
+                .min_by_key(|iv| (iv.len - size, iv.start));
+            assert_eq!(
+                index.select(SelectionStrategy::BestFit, size),
+                scan,
+                "size {size}"
+            );
+            let first = index.intervals().find(|iv| iv.len >= size);
+            assert_eq!(
+                index.select(SelectionStrategy::FirstFit, size),
+                first,
+                "size {size}"
+            );
+        }
+        assert_eq!(index.select(SelectionStrategy::BestFit, 7), None);
+    }
+
+    #[test]
+    fn free_list_and_min_span_walk_intervals_in_rank_order() {
+        let mut index = FreeIntervalIndex::all_free(8);
+        index.occupy_rank(1);
+        index.occupy_rank(4);
+        // Free ranks: 0, 2, 3, 5, 6, 7.
+        assert_eq!(index.free_list_ranks(4), vec![0, 2, 3, 5]);
+        // Tightest window of 4: {2,3,5,6} (span 4) beats {0,2,3,5} (span 5).
+        assert_eq!(index.min_span_ranks(4), vec![2, 3, 5, 6]);
+    }
+}

@@ -65,6 +65,7 @@ pub mod curve_alloc;
 pub mod gen_alg;
 pub mod greedy;
 pub mod hybrid;
+pub mod interval_index;
 pub mod machine;
 pub mod mbs;
 pub mod mc;
@@ -74,6 +75,7 @@ pub mod random_alloc;
 pub mod request;
 
 pub use allocator::{Allocator, AllocatorKind};
+pub use interval_index::FreeIntervalIndex;
 pub use machine::MachineState;
 pub use metrics::{AllocationQuality, DispersionMetrics};
 pub use request::{AllocRequest, Allocation};

@@ -2,18 +2,78 @@
 
 use commalloc_mesh::{Mesh2D, NodeId};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of unique machine identities (see [`MachineState::state_id`]).
+static NEXT_MACHINE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_machine_id() -> u64 {
+    NEXT_MACHINE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The free/busy state of every processor of a mesh machine.
 ///
 /// Processors are exclusively dedicated to a job from allocation until the
 /// job terminates (space sharing), so the state is a simple bitmap plus a
 /// free-count.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Serialize)]
 pub struct MachineState {
     mesh: Mesh2D,
     free: Vec<bool>,
     num_free: usize,
+    /// Counter of state-mutating calls ([`MachineState::occupy`] /
+    /// [`MachineState::release`]), used by incremental observers (e.g.
+    /// `FreeIntervalIndex`-backed allocators) to detect that the occupancy
+    /// changed underneath them and resynchronise.
+    generation: u64,
+    /// Process-unique identity of this state's mutation history (see
+    /// [`MachineState::state_id`]).
+    id: u64,
 }
+
+/// Clones receive a **fresh identity**: the clone's occupancy equals the
+/// original's, but the two histories diverge from here, so incremental
+/// observers keyed on `(state_id, generation)` must not confuse them.
+impl Clone for MachineState {
+    fn clone(&self) -> Self {
+        MachineState {
+            mesh: self.mesh,
+            free: self.free.clone(),
+            num_free: self.num_free,
+            generation: self.generation,
+            id: fresh_machine_id(),
+        }
+    }
+}
+
+/// Deserialised machines likewise get a fresh identity — the serialised
+/// form is a snapshot, not a live mutation history.
+impl Deserialize for MachineState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("expected object for MachineState"))?;
+        let null = serde::Value::Null;
+        Ok(MachineState {
+            mesh: Deserialize::from_value(obj.get("mesh").unwrap_or(&null))?,
+            free: Deserialize::from_value(obj.get("free").unwrap_or(&null))?,
+            num_free: Deserialize::from_value(obj.get("num_free").unwrap_or(&null))?,
+            generation: Deserialize::from_value(obj.get("generation").unwrap_or(&null))?,
+            id: fresh_machine_id(),
+        })
+    }
+}
+
+/// Occupancy equality ignores [`MachineState::generation`]: two machines
+/// with the same free set are interchangeable for allocation decisions even
+/// if they arrived there through different histories.
+impl PartialEq for MachineState {
+    fn eq(&self, other: &Self) -> bool {
+        self.mesh == other.mesh && self.free == other.free && self.num_free == other.num_free
+    }
+}
+
+impl Eq for MachineState {}
 
 impl MachineState {
     /// Creates a fully-free machine over `mesh`.
@@ -22,7 +82,25 @@ impl MachineState {
             mesh,
             free: vec![true; mesh.num_nodes()],
             num_free: mesh.num_nodes(),
+            generation: 0,
+            id: fresh_machine_id(),
         }
+    }
+
+    /// Number of mutations applied so far; increments on every
+    /// [`MachineState::occupy`] and [`MachineState::release`] call.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Process-unique identity of this state's mutation history. Two
+    /// `MachineState` values never share an id unless one is a move of the
+    /// other — clones and deserialised copies get fresh ids — so
+    /// `(state_id, generation)` pins an exact occupancy: an incremental
+    /// observer that cached state under one pair can trust it only while
+    /// both components match.
+    pub fn state_id(&self) -> u64 {
+        self.id
     }
 
     /// The underlying mesh.
@@ -67,13 +145,11 @@ impl MachineState {
     /// simulator bug, never a recoverable condition.
     pub fn occupy(&mut self, nodes: &[NodeId]) {
         for &n in nodes {
-            assert!(
-                self.free[n.index()],
-                "processor {n} allocated twice"
-            );
+            assert!(self.free[n.index()], "processor {n} allocated twice");
             self.free[n.index()] = false;
         }
         self.num_free -= nodes.len();
+        self.generation += 1;
     }
 
     /// Marks `nodes` free again.
@@ -83,13 +159,11 @@ impl MachineState {
     /// Panics if any of the nodes is already free.
     pub fn release(&mut self, nodes: &[NodeId]) {
         for &n in nodes {
-            assert!(
-                !self.free[n.index()],
-                "processor {n} released while free"
-            );
+            assert!(!self.free[n.index()], "processor {n} released while free");
             self.free[n.index()] = true;
         }
         self.num_free += nodes.len();
+        self.generation += 1;
     }
 
     /// System utilisation in `[0, 1]`: fraction of processors busy.

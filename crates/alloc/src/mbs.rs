@@ -209,7 +209,7 @@ mod tests {
             .nodes()
             .filter(|n| {
                 let c = mesh.coord_of(*n);
-                (c.x + c.y) % 2 == 0
+                (c.x + c.y).is_multiple_of(2)
             })
             .collect();
         let mut machine = MachineState::new(mesh);
@@ -225,20 +225,14 @@ mod tests {
         // With the left half busy, a 16-processor request should come back as
         // the free aligned 4x4 block in the right half.
         let mesh = Mesh2D::new(8, 4);
-        let busy: Vec<NodeId> = mesh
-            .nodes()
-            .filter(|n| mesh.coord_of(*n).x < 4)
-            .collect();
+        let busy: Vec<NodeId> = mesh.nodes().filter(|n| mesh.coord_of(*n).x < 4).collect();
         let mut machine = MachineState::new(mesh);
         machine.occupy(&busy);
         let mut mbs = MbsAllocator::new();
         let alloc = mbs.allocate(&AllocRequest::new(1, 16), &machine).unwrap();
         assert_eq!(alloc.nodes.len(), 16);
         assert_eq!(mesh.components(&alloc.nodes), 1);
-        assert!(alloc
-            .nodes
-            .iter()
-            .all(|&n| mesh.coord_of(n).x >= 4));
+        assert!(alloc.nodes.iter().all(|&n| mesh.coord_of(n).x >= 4));
     }
 
     #[test]

@@ -81,11 +81,7 @@ impl McAllocator {
             for x in x0..=x1 {
                 // Keep only the ring (cells not strictly inside the previous
                 // rectangle) unless this is shell 0.
-                let on_ring = shell == 0
-                    || x == x0
-                    || x == x1
-                    || y == y0
-                    || y == y1;
+                let on_ring = shell == 0 || x == x0 || x == x1 || y == y0 || y == y1;
                 if !on_ring {
                     continue;
                 }

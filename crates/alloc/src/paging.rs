@@ -40,7 +40,7 @@ impl PagingAllocator {
     pub fn new(kind: CurveKind, mesh: Mesh2D, s: u32) -> Self {
         let page_side = 1u16 << s;
         assert!(
-            mesh.width() % page_side == 0 && mesh.height() % page_side == 0,
+            mesh.width().is_multiple_of(page_side) && mesh.height().is_multiple_of(page_side),
             "mesh {}x{} not divisible into {page_side}x{page_side} pages",
             mesh.width(),
             mesh.height()
@@ -148,7 +148,9 @@ mod tests {
         assert_eq!(paging.num_pages(), 16);
         assert_eq!(paging.free_pages(&machine), 15);
         // 61 processors requested but only 15*4 = 60 are in free pages.
-        assert!(paging.allocate(&AllocRequest::new(1, 61), &machine).is_none());
+        assert!(paging
+            .allocate(&AllocRequest::new(1, 61), &machine)
+            .is_none());
         // A request of 6 takes two pages (8 processors' worth of pages).
         let alloc = paging.allocate(&AllocRequest::new(1, 6), &machine).unwrap();
         assert_eq!(alloc.nodes.len(), 6);

@@ -11,7 +11,11 @@ use std::hint::black_box;
 
 fn bench_curve_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("curve_construction");
-    for mesh in [Mesh2D::square_16x16(), Mesh2D::paragon_16x22(), Mesh2D::new(64, 64)] {
+    for mesh in [
+        Mesh2D::square_16x16(),
+        Mesh2D::paragon_16x22(),
+        Mesh2D::new(64, 64),
+    ] {
         for kind in [CurveKind::SCurve, CurveKind::Hilbert, CurveKind::HIndexing] {
             let label = format!("{}x{}/{}", mesh.width(), mesh.height(), kind);
             group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
@@ -27,9 +31,13 @@ fn bench_window_locality(c: &mut Criterion) {
     let mut group = c.benchmark_group("window_locality_w32");
     for kind in CurveKind::all() {
         let curve = CurveOrder::build(kind, mesh);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &curve, |b, curve| {
-            b.iter(|| black_box(window_locality(curve, 32)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &curve,
+            |b, curve| {
+                b.iter(|| black_box(window_locality(curve, 32)));
+            },
+        );
     }
     group.finish();
 }

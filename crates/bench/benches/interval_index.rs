@@ -1,0 +1,105 @@
+//! Microbenchmarks of the incremental free-interval index against the
+//! rescan path it replaces: single-decision latency at a realistic
+//! fragmentation level, and raw index update cost.
+
+use commalloc_alloc::curve_alloc::{free_intervals, CurveAllocator, SelectionStrategy};
+use commalloc_alloc::interval_index::FreeIntervalIndex;
+use commalloc_alloc::{AllocRequest, Allocation, Allocator, MachineState};
+use commalloc_mesh::curve::{CurveKind, CurveOrder};
+use commalloc_mesh::Mesh2D;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A machine filled to `occupancy` with random small jobs (returns the
+/// live allocations so churn benches can release them).
+fn fragmented(
+    mesh: Mesh2D,
+    occupancy: f64,
+    seed: u64,
+) -> (MachineState, CurveAllocator, Vec<Allocation>) {
+    let mut machine = MachineState::new(mesh);
+    let mut allocator = CurveAllocator::new(CurveKind::Hilbert, mesh, SelectionStrategy::BestFit);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live = Vec::new();
+    let target = (occupancy * mesh.num_nodes() as f64) as usize;
+    let mut job = 0u64;
+    while machine.num_busy() < target {
+        let size = rng.gen_range(1usize..=8).min(machine.num_free());
+        let Some(alloc) = allocator.allocate(&AllocRequest::new(job, size), &machine) else {
+            break;
+        };
+        job += 1;
+        machine.occupy(&alloc.nodes);
+        live.push(alloc);
+    }
+    (machine, allocator, live)
+}
+
+fn bench_decision_paths(c: &mut Criterion) {
+    let mesh = Mesh2D::square_16x16();
+    let mut group = c.benchmark_group("steady_state_churn_16x16");
+    for &occupancy in &[0.5, 0.9] {
+        for (label, indexed) in [("indexed", true), ("rescan", false)] {
+            let id = BenchmarkId::new(label, format!("{:.0}%", occupancy * 100.0));
+            group.bench_function(id, |b| {
+                let (mut machine, mut allocator, mut live) = fragmented(mesh, occupancy, 7);
+                if !indexed {
+                    allocator = CurveAllocator::with_rescan(
+                        CurveKind::Hilbert,
+                        mesh,
+                        SelectionStrategy::BestFit,
+                    );
+                }
+                let mut rng = StdRng::seed_from_u64(13);
+                let mut job = 1_000_000u64;
+                b.iter(|| {
+                    let victim = live.swap_remove(rng.gen_range(0..live.len()));
+                    machine.release(&victim.nodes);
+                    allocator.release(&victim, &machine);
+                    let size = victim.nodes.len();
+                    let alloc = allocator
+                        .allocate(&AllocRequest::new(job, size), &machine)
+                        .expect("released space refits");
+                    job += 1;
+                    machine.occupy(&alloc.nodes);
+                    live.push(black_box(alloc));
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_index_primitives(c: &mut Criterion) {
+    let mesh = Mesh2D::square_16x16();
+    let curve = CurveOrder::build(CurveKind::Hilbert, mesh);
+    let (machine, _, _) = fragmented(mesh, 0.9, 7);
+
+    let mut group = c.benchmark_group("index_primitives_16x16_90pct");
+    group.bench_function("rebuild_from_machine", |b| {
+        b.iter(|| black_box(FreeIntervalIndex::from_machine(&curve, &machine)));
+    });
+    group.bench_function("rescan_free_intervals", |b| {
+        b.iter(|| black_box(free_intervals(&curve, &machine)));
+    });
+    let index = FreeIntervalIndex::from_machine(&curve, &machine);
+    group.bench_function("best_fit_query", |b| {
+        b.iter(|| black_box(index.select(SelectionStrategy::BestFit, 4)));
+    });
+    group.bench_function("occupy_release_rank", |b| {
+        let mut index = FreeIntervalIndex::from_machine(&curve, &machine);
+        let free_rank = (0..curve.len())
+            .find(|&r| index.is_free(r))
+            .expect("some rank is free at 90% occupancy");
+        b.iter(|| {
+            index.occupy_rank(black_box(free_rank));
+            index.release_rank(black_box(free_rank));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_paths, bench_index_primitives);
+criterion_main!(benches);

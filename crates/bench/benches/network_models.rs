@@ -73,9 +73,8 @@ fn bench_fluid_rate_computation(c: &mut Criterion) {
         let jobs: Vec<JobTraffic> = (0..num_jobs)
             .map(|j| {
                 let row = (j % mesh.height() as usize) as u16;
-                let nodes: Vec<NodeId> = (0..16u16)
-                    .map(|x| mesh.id_of(Coord::new(x, row)))
-                    .collect();
+                let nodes: Vec<NodeId> =
+                    (0..16u16).map(|x| mesh.id_of(Coord::new(x, row))).collect();
                 let traffic: Vec<RankTraffic> = (0..16)
                     .flat_map(|a| {
                         (0..16).filter(move |&b| b != a).map(move |b| RankTraffic {
@@ -90,11 +89,9 @@ fn bench_fluid_rate_computation(c: &mut Criterion) {
             .collect();
         let refs: Vec<&JobTraffic> = jobs.iter().collect();
         let model = FluidNetwork::new(links.num_slots());
-        group.bench_with_input(
-            BenchmarkId::from_parameter(num_jobs),
-            &refs,
-            |b, refs| b.iter(|| black_box(model.rates(black_box(refs)))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &refs, |b, refs| {
+            b.iter(|| black_box(model.rates(black_box(refs))))
+        });
     }
     group.finish();
 }

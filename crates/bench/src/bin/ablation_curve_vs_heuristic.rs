@@ -105,7 +105,10 @@ fn main() {
     // 32-rank window of each curve? (This is the intrinsic property the
     // dynamic results are usually attributed to.)
     println!("\nstatic curve locality (32-processor rank windows):");
-    println!("{:<26} {:>16} {:>18}", "curve", "avg pair dist", "% windows contig");
+    println!(
+        "{:<26} {:>16} {:>18}",
+        "curve", "avg pair dist", "% windows contig"
+    );
     for kind in CurveKind::all() {
         let curve = CurveOrder::build(kind, mesh);
         let l = window_locality(&curve, 32);

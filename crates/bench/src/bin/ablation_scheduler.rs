@@ -27,8 +27,7 @@ fn ranking(
     let mut rows: Vec<(AllocatorKind, f64)> = allocators
         .par_iter()
         .map(|&allocator| {
-            let config =
-                SimConfig::new(mesh, pattern, allocator).with_scheduler(scheduler);
+            let config = SimConfig::new(mesh, pattern, allocator).with_scheduler(scheduler);
             let result = simulate(trace, &config);
             (allocator, result.summary.mean_response_time)
         })

@@ -57,7 +57,10 @@ fn main() {
             study.knob.name(),
             study.baseline_value
         );
-        println!("{:>12} {:>14} {:<40}", "value", "Kendall tau", "best three allocators");
+        println!(
+            "{:>12} {:>14} {:<40}",
+            "value", "Kendall tau", "best three allocators"
+        );
         for point in &study.points {
             let top: Vec<&str> = point
                 .ranking
@@ -78,10 +81,7 @@ fn main() {
         );
     }
 
-    match report::write_json(
-        "ablation_sensitivity",
-        &(&capacity_study, &overhead_study),
-    ) {
+    match report::write_json("ablation_sensitivity", &(&capacity_study, &overhead_study)) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write JSON: {e}"),
     }

@@ -39,7 +39,11 @@ fn main() {
     let iterations = 3usize;
 
     println!("Figure 1 reproduction: test-suite runtime vs. allocation dispersion");
-    println!("(30-processor jobs on a {}x{} mesh, {iterations} test-suite iterations, flit-level)", mesh.width(), mesh.height());
+    println!(
+        "(30-processor jobs on a {}x{} mesh, {iterations} test-suite iterations, flit-level)",
+        mesh.width(),
+        mesh.height()
+    );
     println!("{:>22} {:>18}", "avg pairwise hops", "runtime (cycles)");
 
     let mut points = Vec::new();

@@ -64,16 +64,26 @@ fn main() {
 
     println!("five best and five worst centres (total pairwise distance of their k-sets):");
     for &(centre, cost) in per_centre.iter().take(5) {
-        println!("  centre {:<8} cost {cost}", mesh.coord_of(centre).to_string());
+        println!(
+            "  centre {:<8} cost {cost}",
+            mesh.coord_of(centre).to_string()
+        );
     }
     println!("  ...");
     for &(centre, cost) in per_centre.iter().rev().take(5).rev() {
-        println!("  centre {:<8} cost {cost}", mesh.coord_of(centre).to_string());
+        println!(
+            "  centre {:<8} cost {cost}",
+            mesh.coord_of(centre).to_string()
+        );
     }
 
     // The same decision through the public allocators.
     println!("\nresulting allocations (avg pairwise distance):");
-    for kind in [AllocatorKind::GenAlg, AllocatorKind::Greedy, AllocatorKind::Mc1x1] {
+    for kind in [
+        AllocatorKind::GenAlg,
+        AllocatorKind::Greedy,
+        AllocatorKind::Mc1x1,
+    ] {
         let alloc = kind
             .build(mesh)
             .allocate(&AllocRequest::new(1, k), &machine)

@@ -19,10 +19,7 @@ use commalloc_mesh::{Coord, Mesh2D, NodeId};
 /// shell-0 footprint on `mesh` (up to shell 3), with `#` marking busy
 /// processors.
 fn render_shells(mesh: Mesh2D, machine: &MachineState, centre: Coord, w: i32, h: i32) -> String {
-    let origin = (
-        centre.x as i32 - (w - 1) / 2,
-        centre.y as i32 - (h - 1) / 2,
-    );
+    let origin = (centre.x as i32 - (w - 1) / 2, centre.y as i32 - (h - 1) / 2);
     let mut out = String::new();
     for y in (0..mesh.height() as i32).rev() {
         for x in 0..mesh.width() as i32 {

@@ -39,7 +39,10 @@ fn main() {
     );
 
     println!("\nper-iteration message counts of every pattern on {p} processors:");
-    println!("{:<16} {:>12} {:>24}", "pattern", "messages", "distinct (src,dst) pairs");
+    println!(
+        "{:<16} {:>12} {:>24}",
+        "pattern", "messages", "distinct (src,dst) pairs"
+    );
     for pattern in CommPattern::all() {
         let msgs = pattern.iteration_messages(p, &mut rng);
         let unique: std::collections::HashSet<_> = msgs.iter().collect();
@@ -55,6 +58,11 @@ fn main() {
     for pattern in CommPattern::all() {
         let entries = pattern.traffic(p, 10_000, &mut rng);
         let total: f64 = entries.iter().map(|e| e.weight).sum();
-        println!("  {:<16} {:>4} entries, total weight {:.6}", pattern.name(), entries.len(), total);
+        println!(
+            "  {:<16} {:>4} entries, total weight {:.6}",
+            pattern.name(),
+            entries.len(),
+            total
+        );
     }
 }

@@ -25,9 +25,7 @@ fn main() {
         println!("{}\n", top.join("\n"));
 
         let gaps: Vec<String> = (1..curve.len())
-            .filter(|&rank| {
-                mesh.distance(curve.node_at(rank - 1), curve.node_at(rank)) != 1
-            })
+            .filter(|&rank| mesh.distance(curve.node_at(rank - 1), curve.node_at(rank)) != 1)
             .map(|rank| {
                 let a = mesh.coord_of(curve.node_at(rank - 1));
                 let b = mesh.coord_of(curve.node_at(rank));

@@ -86,7 +86,11 @@ fn main() {
     println!("Figure 10 (message distance vs running time):  Pearson r = {c10:.3}");
     println!(
         "paper's finding: the Figure 10 correlation is much tighter than Figure 9's ({}).",
-        if c10 > c9 { "reproduced" } else { "NOT reproduced with these parameters" }
+        if c10 > c9 {
+            "reproduced"
+        } else {
+            "NOT reproduced with these parameters"
+        }
     );
 
     match report::write_json("fig09_10_correlation", &records) {

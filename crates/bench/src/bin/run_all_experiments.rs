@@ -93,7 +93,8 @@ fn main() {
             .map(|p| p.avg_components)
             .unwrap_or(f64::NAN)
     };
-    let curve_avg = (comp(AllocatorKind::HilbertBestFit) + comp(AllocatorKind::SCurveBestFit)) / 2.0;
+    let curve_avg =
+        (comp(AllocatorKind::HilbertBestFit) + comp(AllocatorKind::SCurveBestFit)) / 2.0;
     let disp_avg = (comp(AllocatorKind::Mc1x1) + comp(AllocatorKind::GenAlg)) / 2.0;
     claims.push(Claim {
         name: "Fig 11: curve+packing allocations have fewer components than MC1x1/Gen-Alg",
@@ -103,11 +104,21 @@ fn main() {
 
     // --- Figures 9/10: metric correlation. ---
     eprintln!("running correlation probes...");
-    let probe_trace = probe_jobs(&trace.filter_fitting(256), 24, 128, (39_900, 44_000), cli.seed);
+    let probe_trace = probe_jobs(
+        &trace.filter_fitting(256),
+        24,
+        128,
+        (39_900, 44_000),
+        cli.seed,
+    );
     let mut pairwise = Vec::new();
     let mut message = Vec::new();
     let mut running = Vec::new();
-    for allocator in [AllocatorKind::HilbertBestFit, AllocatorKind::Mc1x1, AllocatorKind::SCurveFreeList] {
+    for allocator in [
+        AllocatorKind::HilbertBestFit,
+        AllocatorKind::Mc1x1,
+        AllocatorKind::SCurveFreeList,
+    ] {
         let result = simulate(
             &probe_trace,
             &SimConfig::new(mesh16, CommPattern::NBody, allocator),

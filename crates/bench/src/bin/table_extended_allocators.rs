@@ -55,10 +55,10 @@ fn main() {
 
     // Utilization needs the per-job records, so re-simulate per allocator
     // (cheap at this scale) and derive the profile.
-    let scaled = trace.filter_fitting(mesh.num_nodes()).with_load_factor(load);
-    println!(
-        "extension table: pattern = {pattern}, 16x16 mesh, load {load}\n"
-    );
+    let scaled = trace
+        .filter_fitting(mesh.num_nodes())
+        .with_load_factor(load);
+    println!("extension table: pattern = {pattern}, 16x16 mesh, load {load}\n");
     println!(
         "{:<16} {:>14} {:>14} {:>12} {:>12}",
         "allocator", "mean resp (s)", "% contiguous", "avg comps", "mean util"
@@ -73,8 +73,7 @@ fn main() {
                 .expect("sweep covered every allocator");
             let config = SimConfig::new(mesh, pattern, allocator);
             let run = simulate(&scaled, &config);
-            let profile =
-                UtilizationProfile::from_records(&run.records, mesh.num_nodes());
+            let profile = UtilizationProfile::from_records(&run.records, mesh.num_nodes());
             (
                 allocator,
                 point.mean_response_time,

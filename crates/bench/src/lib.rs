@@ -114,8 +114,8 @@ pub fn dispersion_allocations(
         let mut machine = MachineState::new(mesh);
         let mut nodes: Vec<NodeId> = mesh.nodes().collect();
         nodes.shuffle(&mut rng);
-        let busy_count = ((mesh.num_nodes() as f64 * busy_fraction) as usize)
-            .min(mesh.num_nodes() - size);
+        let busy_count =
+            ((mesh.num_nodes() as f64 * busy_fraction) as usize).min(mesh.num_nodes() - size);
         machine.occupy(&nodes[..busy_count]);
         let mut allocator = AllocatorKind::HilbertBestFit.build(mesh);
         let alloc = allocator
@@ -158,7 +158,11 @@ pub fn probe_jobs(
 
 /// True if a record belongs to one of the probe jobs inserted by
 /// [`probe_jobs`] (matched by size and quota band).
-pub fn is_probe_record(record: &commalloc::JobRecord, size: usize, quota_range: (u64, u64)) -> bool {
+pub fn is_probe_record(
+    record: &commalloc::JobRecord,
+    size: usize,
+    quota_range: (u64, u64),
+) -> bool {
     record.size == size && record.messages >= quota_range.0 && record.messages <= quota_range.1
 }
 

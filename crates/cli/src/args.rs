@@ -156,6 +156,72 @@ impl Default for TraceOptions {
     }
 }
 
+/// Options of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Address to listen on.
+    pub addr: String,
+    /// Size of the connection worker pool.
+    pub workers: usize,
+    /// Pre-registered machine: name.
+    pub machine: String,
+    /// Pre-registered machine: mesh spec (`WxH` or `WxHxD`).
+    pub mesh: String,
+    /// Pre-registered machine: allocator (2-D) / curve (3-D) spec.
+    pub allocator: Option<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7411".to_string(),
+            workers: 4,
+            machine: "default".to_string(),
+            mesh: "16x16".to_string(),
+            allocator: None,
+        }
+    }
+}
+
+/// Options of the `loadgen` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenOptions {
+    /// Address of the running daemon.
+    pub addr: String,
+    /// Machine to drive (registered on demand with `mesh`).
+    pub machine: String,
+    /// Mesh spec used if the machine is not yet registered.
+    pub mesh: String,
+    /// Total allocate/release requests to issue (across connections).
+    pub requests: usize,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Occupancy the generator steers towards, in `(0, 1]`.
+    pub occupancy: f64,
+    /// Largest request size.
+    pub max_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Emit machine-readable JSON instead of the human summary.
+    pub json: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            addr: "127.0.0.1:7411".to_string(),
+            machine: "default".to_string(),
+            mesh: "16x16".to_string(),
+            requests: 10_000,
+            connections: 4,
+            occupancy: 0.7,
+            max_size: 32,
+            seed: 1996,
+            json: false,
+        }
+    }
+}
+
 /// A fully parsed invocation of the driver.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -167,6 +233,10 @@ pub enum Command {
     Curves(CurvesOptions),
     /// Generate (or load) a trace and print its statistics.
     Trace(TraceOptions),
+    /// Run the allocation daemon.
+    Serve(ServeOptions),
+    /// Drive a running daemon with allocate/release traffic.
+    Loadgen(LoadgenOptions),
     /// List the implemented allocators, patterns, curves and schedulers.
     List,
     /// Print usage.
@@ -308,14 +378,13 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                         opts.mesh = parse_mesh(&value).ok_or_else(|| invalid(&flag, &value))?
                     }
                     "--pattern" => {
-                        opts.patterns = vec![
-                            CommPattern::parse(&value).ok_or_else(|| invalid(&flag, &value))?
-                        ]
+                        opts.patterns =
+                            vec![CommPattern::parse(&value).ok_or_else(|| invalid(&flag, &value))?]
                     }
                     "--allocator" => {
-                        opts.allocators = vec![
-                            AllocatorKind::parse(&value).ok_or_else(|| invalid(&flag, &value))?
-                        ]
+                        opts.allocators =
+                            vec![AllocatorKind::parse(&value)
+                                .ok_or_else(|| invalid(&flag, &value))?]
                     }
                     "--extended" => {
                         // `--extended true` adds the extension allocators.
@@ -380,6 +449,79 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Trace(opts))
         }
+        "serve" => {
+            let mut opts = ServeOptions::default();
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--addr" => opts.addr = value,
+                    "--workers" => {
+                        opts.workers = value
+                            .parse()
+                            .ok()
+                            .filter(|&w: &usize| w > 0)
+                            .ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--machine" => opts.machine = value,
+                    "--mesh" => {
+                        // Accept 2-D and 3-D specs; validated by the service
+                        // at registration, shape-checked here.
+                        if !(2..=3).contains(&value.split(['x', 'X']).count()) {
+                            return Err(invalid(&flag, &value));
+                        }
+                        opts.mesh = value;
+                    }
+                    "--allocator" => opts.allocator = Some(value),
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Serve(opts))
+        }
+        "loadgen" => {
+            let mut opts = LoadgenOptions::default();
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--addr" => opts.addr = value,
+                    "--machine" => opts.machine = value,
+                    "--mesh" => opts.mesh = value,
+                    "--requests" => {
+                        opts.requests = value
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n > 0)
+                            .ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--connections" => {
+                        opts.connections = value
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n > 0)
+                            .ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--occupancy" => {
+                        opts.occupancy = value
+                            .parse()
+                            .ok()
+                            .filter(|&o: &f64| o > 0.0 && o <= 1.0)
+                            .ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--max-size" => {
+                        opts.max_size = value
+                            .parse()
+                            .ok()
+                            .filter(|&s: &usize| s > 0)
+                            .ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--seed" => {
+                        opts.seed = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--json" => opts.json = true,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Loadgen(opts))
+        }
         other => Err(ParseError::UnknownCommand(other.to_string())),
     }
 }
@@ -402,6 +544,13 @@ SUBCOMMANDS:
               --mesh WxH [--curve NAME] [--window K]
   trace       generate (or load) a trace and print its statistics
               --jobs N --seed S [--swf FILE] [--json]
+  serve       run the online allocation daemon (NDJSON over TCP)
+              [--addr HOST:PORT] [--workers N] [--machine NAME]
+              [--mesh WxH|WxHxD] [--allocator A]
+  loadgen     drive a running daemon with allocate/release traffic
+              [--addr HOST:PORT] [--machine NAME] [--mesh WxH]
+              [--requests N] [--connections C] [--occupancy F]
+              [--max-size K] [--seed S] [--json]
   allocators  list allocators, patterns, curves and schedulers
   help        print this message
 ";
@@ -495,8 +644,7 @@ mod tests {
 
     #[test]
     fn sweep_extended_adds_the_extension_allocators() {
-        let cmd = parse_command(&args(&["sweep", "--extended", "true", "--loads", "0.5"]))
-            .unwrap();
+        let cmd = parse_command(&args(&["sweep", "--extended", "true", "--loads", "0.5"])).unwrap();
         match cmd {
             Command::Sweep(opts) => {
                 assert!(opts.allocators.len() > 9);
@@ -509,8 +657,7 @@ mod tests {
 
     #[test]
     fn curves_and_trace_parse() {
-        let cmd = parse_command(&args(&["curves", "--mesh", "8x8", "--curve", "hilbert"]))
-            .unwrap();
+        let cmd = parse_command(&args(&["curves", "--mesh", "8x8", "--curve", "hilbert"])).unwrap();
         match cmd {
             Command::Curves(opts) => {
                 assert_eq!(opts.mesh, Mesh2D::new(8, 8));
@@ -541,8 +688,84 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for sub in ["simulate", "sweep", "curves", "trace", "allocators", "help"] {
+        for sub in [
+            "simulate",
+            "sweep",
+            "curves",
+            "trace",
+            "serve",
+            "loadgen",
+            "allocators",
+            "help",
+        ] {
             assert!(USAGE.contains(sub), "usage must mention {sub}");
         }
+    }
+
+    #[test]
+    fn serve_flags_round_trip() {
+        let cmd = parse_command(&args(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--machine",
+            "cplant",
+            "--mesh",
+            "16x22",
+            "--allocator",
+            "MC1x1",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(opts) => {
+                assert_eq!(opts.addr, "0.0.0.0:9000");
+                assert_eq!(opts.workers, 8);
+                assert_eq!(opts.machine, "cplant");
+                assert_eq!(opts.mesh, "16x22");
+                assert_eq!(opts.allocator.as_deref(), Some("MC1x1"));
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        // 3-D specs are accepted, malformed ones are not.
+        assert!(parse_command(&args(&["serve", "--mesh", "4x4x4"])).is_ok());
+        assert!(parse_command(&args(&["serve", "--mesh", "4x4x4x4"])).is_err());
+        assert!(parse_command(&args(&["serve", "--workers", "0"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_flags_round_trip() {
+        let cmd = parse_command(&args(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:9000",
+            "--requests",
+            "5000",
+            "--connections",
+            "2",
+            "--occupancy",
+            "0.9",
+            "--max-size",
+            "16",
+            "--seed",
+            "3",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Loadgen(opts) => {
+                assert_eq!(opts.addr, "127.0.0.1:9000");
+                assert_eq!(opts.requests, 5000);
+                assert_eq!(opts.connections, 2);
+                assert_eq!(opts.occupancy, 0.9);
+                assert_eq!(opts.max_size, 16);
+                assert_eq!(opts.seed, 3);
+                assert!(opts.json);
+            }
+            other => panic!("expected Loadgen, got {other:?}"),
+        }
+        assert!(parse_command(&args(&["loadgen", "--occupancy", "1.5"])).is_err());
+        assert!(parse_command(&args(&["loadgen", "--requests", "0"])).is_err());
     }
 }

@@ -3,11 +3,16 @@
 //! Each command renders to a `String` (so the output is unit-testable) and
 //! the binary simply prints it.
 
-use crate::args::{Command, CurvesOptions, SimulateOptions, SweepOptions, TraceOptions, USAGE};
+use crate::args::{
+    Command, CurvesOptions, LoadgenOptions, ServeOptions, SimulateOptions, SweepOptions,
+    TraceOptions, USAGE,
+};
+use crate::loadgen::{self, LoadgenConfig};
 use commalloc::experiment::LoadSweep;
 use commalloc::prelude::*;
 use commalloc::report;
 use commalloc_mesh::locality::window_locality;
+use commalloc_service::{AllocationService, Server};
 use commalloc_workload::analysis::TraceAnalysis;
 use commalloc_workload::swf;
 use std::fmt::Write as _;
@@ -19,6 +24,10 @@ pub enum RunError {
     Swf(String),
     /// Results could not be serialised to JSON.
     Json(String),
+    /// The allocation daemon could not start or failed while serving.
+    Serve(String),
+    /// The load generator could not reach or drive the daemon.
+    Loadgen(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -26,6 +35,8 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Swf(e) => write!(f, "could not load SWF trace: {e}"),
             RunError::Json(e) => write!(f, "could not serialise results: {e}"),
+            RunError::Serve(e) => write!(f, "daemon failed: {e}"),
+            RunError::Loadgen(e) => write!(f, "load generation failed: {e}"),
         }
     }
 }
@@ -42,7 +53,54 @@ impl Command {
             Command::Sweep(opts) => run_sweep(opts),
             Command::Curves(opts) => Ok(run_curves(opts)),
             Command::Trace(opts) => run_trace(opts),
+            Command::Serve(opts) => run_serve(opts),
+            Command::Loadgen(opts) => run_loadgen(opts),
         }
+    }
+}
+
+/// Starts the allocation daemon and serves until the process is killed.
+fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
+    let service = AllocationService::new();
+    service
+        .register(&opts.machine, &opts.mesh, opts.allocator.as_deref(), None)
+        .map_err(|e| RunError::Serve(e.to_string()))?;
+    let server = Server::bind(opts.addr.as_str(), service, opts.workers)
+        .map_err(|e| RunError::Serve(format!("bind {}: {e}", opts.addr)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| RunError::Serve(e.to_string()))?;
+    eprintln!(
+        "commalloc-service listening on {addr} ({} workers); machine {:?} ({})",
+        opts.workers, opts.machine, opts.mesh
+    );
+    server.run().map_err(|e| RunError::Serve(e.to_string()))?;
+    Ok(String::new())
+}
+
+/// Drives a running daemon and reports throughput plus invariant checks.
+fn run_loadgen(opts: &LoadgenOptions) -> Result<String, RunError> {
+    let config = LoadgenConfig {
+        addr: opts.addr.clone(),
+        machine: opts.machine.clone(),
+        mesh: opts.mesh.clone(),
+        requests: opts.requests,
+        connections: opts.connections,
+        occupancy: opts.occupancy,
+        max_size: opts.max_size,
+        seed: opts.seed,
+    };
+    let report = loadgen::run(&config).map_err(RunError::Loadgen)?;
+    if report.violations > 0 {
+        return Err(RunError::Loadgen(format!(
+            "{} occupancy-invariant violations detected",
+            report.violations
+        )));
+    }
+    if opts.json {
+        serde_json::to_string_pretty(&report.to_json()).map_err(|e| RunError::Json(e.to_string()))
+    } else {
+        Ok(report.render())
     }
 }
 
@@ -114,14 +172,34 @@ fn run_simulate(opts: &SimulateOptions) -> Result<String, RunError> {
         opts.load
     );
     let s = &result.summary;
-    let _ = writeln!(out, "  mean response time   {:>12.0} s", s.mean_response_time);
+    let _ = writeln!(
+        out,
+        "  mean response time   {:>12.0} s",
+        s.mean_response_time
+    );
     let _ = writeln!(out, "  mean waiting time    {:>12.0} s", s.mean_wait_time);
-    let _ = writeln!(out, "  mean running time    {:>12.0} s", s.mean_running_time);
+    let _ = writeln!(
+        out,
+        "  mean running time    {:>12.0} s",
+        s.mean_running_time
+    );
     let _ = writeln!(out, "  makespan             {:>12.0} s", s.makespan);
-    let _ = writeln!(out, "  contiguous jobs      {:>11.1} %", s.percent_contiguous);
+    let _ = writeln!(
+        out,
+        "  contiguous jobs      {:>11.1} %",
+        s.percent_contiguous
+    );
     let _ = writeln!(out, "  components per job   {:>12.2}", s.avg_components);
-    let _ = writeln!(out, "  mean pairwise dist.  {:>12.2}", s.mean_pairwise_distance);
-    let _ = writeln!(out, "  mean message dist.   {:>12.2}", s.mean_message_distance);
+    let _ = writeln!(
+        out,
+        "  mean pairwise dist.  {:>12.2}",
+        s.mean_pairwise_distance
+    );
+    let _ = writeln!(
+        out,
+        "  mean message dist.   {:>12.2}",
+        s.mean_message_distance
+    );
     let _ = writeln!(
         out,
         "  mean utilization     {:>11.1} %",
@@ -215,11 +293,17 @@ fn run_trace(opts: &TraceOptions) -> Result<String, RunError> {
         "  power-of-two sizes: {:.0}% of jobs",
         100.0 * summary.power_of_two_fraction
     );
-    let _ = writeln!(out, "\npower-of-two size spectrum (size: fraction of jobs):");
+    let _ = writeln!(
+        out,
+        "\npower-of-two size spectrum (size: fraction of jobs):"
+    );
     for (size, fraction) in &analysis.power_of_two_spectrum {
         let _ = writeln!(out, "  {size:>4}: {:>5.1}%", 100.0 * fraction);
     }
-    let _ = writeln!(out, "\noffered load per window (processors kept busy by arriving work):");
+    let _ = writeln!(
+        out,
+        "\noffered load per window (processors kept busy by arriving work):"
+    );
     for (start, load) in &analysis.offered_load {
         let _ = writeln!(out, "  t = {start:>12.0} s: {load:>8.1}");
     }
@@ -284,8 +368,7 @@ mod tests {
 
     #[test]
     fn curves_render_ascii_and_stats() {
-        let cmd = parse_command(&args(&["curves", "--mesh", "8x8", "--curve", "hilbert"]))
-            .unwrap();
+        let cmd = parse_command(&args(&["curves", "--mesh", "8x8", "--curve", "hilbert"])).unwrap();
         let out = cmd.run().unwrap();
         assert!(out.contains("Hilbert on 8x8: 0 gaps"));
         assert!(out.lines().count() > 8, "ASCII grid expected");

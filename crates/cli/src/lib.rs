@@ -15,5 +15,6 @@
 
 pub mod args;
 pub mod commands;
+pub mod loadgen;
 
 pub use args::{parse_command, Command, ParseError};

@@ -1,0 +1,320 @@
+//! Closed-loop load generator for the allocation daemon.
+//!
+//! Each connection runs a closed loop steering the machine towards a
+//! target occupancy: below target it allocates a random-size job, at or
+//! above target it releases one of its live jobs. Every granted node is
+//! claimed in a process-wide atomic claim table shared by all
+//! connections, so a double-allocation by the daemon — including across
+//! connections — is detected client-side as an occupancy-invariant
+//! violation and reported in the summary.
+//!
+//! Detection window caveat: a node is unclaimed just *before* its
+//! release is sent (the daemon cannot re-grant a node it still holds,
+//! while unclaiming after the response races against legitimate
+//! re-grants to other connections). A daemon bug that re-granted a node
+//! during exactly its own release round trip would therefore go
+//! unflagged by the claim table; the end-of-run reconciliation (daemon
+//! busy count versus outstanding claims, and the drain leaving the
+//! machine empty) still bounds such escapes.
+
+use commalloc_service::client::{ClientAllocOutcome, ServiceClient};
+use commalloc_service::ClientError;
+use rand::prelude::*;
+use serde::{Map, Serialize, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of one loadgen run (mirrors the CLI flags).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address.
+    pub addr: String,
+    /// Machine to drive.
+    pub machine: String,
+    /// Mesh spec used when the machine does not exist yet.
+    pub mesh: String,
+    /// Total allocate/release requests across all connections.
+    pub requests: usize,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Target occupancy in `(0, 1]`.
+    pub occupancy: f64,
+    /// Largest request size.
+    pub max_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Aggregated result of a loadgen run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Requests actually issued (allocates + releases, including drain).
+    pub requests: u64,
+    /// Immediate grants.
+    pub granted: u64,
+    /// Rejections (treated as backpressure, not errors).
+    pub rejected: u64,
+    /// Releases issued.
+    pub released: u64,
+    /// Occupancy-invariant violations detected client-side.
+    pub violations: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_seconds: f64,
+    /// Requests per second.
+    pub throughput: f64,
+    /// Final busy count reported by the daemon after draining.
+    pub final_busy: u64,
+}
+
+impl LoadgenReport {
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        format!(
+            "loadgen: {} requests in {:.2} s ({:.0} req/s)\n\
+             \x20 granted   {:>8}\n\
+             \x20 rejected  {:>8}\n\
+             \x20 released  {:>8}\n\
+             \x20 violations{:>8}\n\
+             \x20 final busy{:>8}\n",
+            self.requests,
+            self.elapsed_seconds,
+            self.throughput,
+            self.granted,
+            self.rejected,
+            self.released,
+            self.violations,
+            self.final_busy,
+        )
+    }
+
+    /// JSON rendering (for `--json` and the service benchmark).
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("requests".into(), self.requests.to_value());
+        m.insert("granted".into(), self.granted.to_value());
+        m.insert("rejected".into(), self.rejected.to_value());
+        m.insert("released".into(), self.released.to_value());
+        m.insert("violations".into(), self.violations.to_value());
+        m.insert("elapsed_seconds".into(), self.elapsed_seconds.to_value());
+        m.insert("throughput".into(), self.throughput.to_value());
+        m.insert("final_busy".into(), self.final_busy.to_value());
+        Value::Object(m)
+    }
+}
+
+/// Shared counters and the node claim table.
+struct Shared {
+    granted: AtomicU64,
+    rejected: AtomicU64,
+    released: AtomicU64,
+    requests: AtomicU64,
+    violations: AtomicU64,
+    /// One flag per node: set while some connection believes it holds the
+    /// node. Double allocation trips the swap and counts as a violation.
+    claims: Vec<AtomicBool>,
+    /// Node count of the live machine (from the daemon's own snapshot,
+    /// which may differ from the `--mesh` flag when the machine already
+    /// existed).
+    total_nodes: usize,
+}
+
+impl Shared {
+    fn claim(&self, nodes: &[commalloc_mesh::NodeId]) {
+        for node in nodes {
+            if self.claims[node.index()].swap(true, Ordering::SeqCst) {
+                self.violations.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn unclaim(&self, nodes: &[commalloc_mesh::NodeId]) {
+        for node in nodes {
+            if !self.claims[node.index()].swap(false, Ordering::SeqCst) {
+                self.violations.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Runs the load against a live daemon. Returns an error string on
+/// connection/protocol failure.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    // Register the machine; racing with another loadgen (or a pre-registered
+    // server machine) is fine. The claim table is then sized from the
+    // daemon's own snapshot — the live machine may be larger or smaller
+    // than the `--mesh` flag when it already existed.
+    let total_nodes = {
+        let mut client = ServiceClient::connect(&config.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", config.addr))?;
+        match client.register(&config.machine, &config.mesh, None, None) {
+            Ok(()) => {}
+            Err(ClientError::Service(message)) if message.contains("already registered") => {}
+            Err(e) => return Err(format!("register failed: {e}")),
+        }
+        client
+            .query(&config.machine)
+            .map_err(|e| format!("query failed: {e}"))?
+            .get("nodes")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| "query response lacks a node count".to_string())?
+            .max(1) as usize
+    };
+
+    let shared = Arc::new(Shared {
+        granted: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        released: AtomicU64::new(0),
+        requests: AtomicU64::new(0),
+        violations: AtomicU64::new(0),
+        claims: (0..total_nodes).map(|_| AtomicBool::new(false)).collect(),
+        total_nodes,
+    });
+
+    let connections = config.connections.max(1);
+    let per_connection = config.requests.div_ceil(connections);
+    let start = Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let config = config.clone();
+                scope.spawn(move || drive_connection(&config, i, per_connection, &shared))
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => failures.push(e),
+                Err(_) => failures.push("connection thread panicked".to_string()),
+            }
+        }
+    });
+    if let Some(failure) = failures.into_iter().next() {
+        return Err(failure);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // After draining, the daemon must agree the machine is empty.
+    let mut client = ServiceClient::connect(&config.addr)
+        .map_err(|e| format!("cannot reconnect to {}: {e}", config.addr))?;
+    let snapshot = client
+        .query(&config.machine)
+        .map_err(|e| format!("final query failed: {e}"))?;
+    let final_busy = snapshot
+        .get("busy")
+        .and_then(Value::as_u64)
+        .unwrap_or(u64::MAX);
+    let local_claims = shared
+        .claims
+        .iter()
+        .filter(|c| c.load(Ordering::SeqCst))
+        .count() as u64;
+    if final_busy != local_claims {
+        shared.violations.fetch_add(1, Ordering::SeqCst);
+    }
+
+    let requests = shared.requests.load(Ordering::SeqCst);
+    Ok(LoadgenReport {
+        requests,
+        granted: shared.granted.load(Ordering::SeqCst),
+        rejected: shared.rejected.load(Ordering::SeqCst),
+        released: shared.released.load(Ordering::SeqCst),
+        violations: shared.violations.load(Ordering::SeqCst),
+        elapsed_seconds: elapsed,
+        throughput: requests as f64 / elapsed.max(1e-9),
+        final_busy,
+    })
+}
+
+/// One connection's closed loop plus final drain.
+fn drive_connection(
+    config: &LoadgenConfig,
+    index: usize,
+    budget: usize,
+    shared: &Shared,
+) -> Result<(), String> {
+    let mut client =
+        ServiceClient::connect(&config.addr).map_err(|e| format!("connection {index}: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(index as u64));
+    // Job ids are partitioned per connection so they never collide.
+    let mut next_job = (index as u64) << 40;
+    let total_nodes = shared.total_nodes;
+    let mut live: Vec<(u64, Vec<commalloc_mesh::NodeId>)> = Vec::new();
+    let mut held = 0usize;
+    let mut issued = 0usize;
+
+    let fail = |e: ClientError| format!("connection {index}: {e}");
+
+    while issued < budget {
+        // Steer towards the per-connection share of the target occupancy.
+        let target =
+            (config.occupancy * total_nodes as f64 / config.connections.max(1) as f64) as usize;
+        let allocate = live.is_empty() || (held < target && rng.gen_bool(0.7));
+        if allocate {
+            let size = rng.gen_range(1..=config.max_size.min(total_nodes));
+            let job = next_job;
+            next_job += 1;
+            match client
+                .alloc(&config.machine, job, size, false)
+                .map_err(fail)?
+            {
+                ClientAllocOutcome::Granted(nodes) => {
+                    shared.claim(&nodes);
+                    shared.granted.fetch_add(1, Ordering::SeqCst);
+                    held += nodes.len();
+                    live.push((job, nodes));
+                }
+                ClientAllocOutcome::Rejected(_) => {
+                    shared.rejected.fetch_add(1, Ordering::SeqCst);
+                    // Backpressure: free something before trying again.
+                    if let Some((job, nodes)) = pick_victim(&mut live, &mut rng) {
+                        // Unclaim BEFORE the release reaches the daemon:
+                        // once released, the nodes may be granted to
+                        // another connection immediately, and a stale
+                        // claim would read as a false violation.
+                        shared.unclaim(&nodes);
+                        client.release(&config.machine, job).map_err(fail)?;
+                        shared.released.fetch_add(1, Ordering::SeqCst);
+                        shared.requests.fetch_add(1, Ordering::SeqCst);
+                        held -= nodes.len();
+                        issued += 1;
+                    }
+                }
+                ClientAllocOutcome::Queued(_) => {
+                    return Err(format!(
+                        "connection {index}: unexpected queue (loadgen never sets wait)"
+                    ));
+                }
+            }
+        } else if let Some((job, nodes)) = pick_victim(&mut live, &mut rng) {
+            shared.unclaim(&nodes);
+            client.release(&config.machine, job).map_err(fail)?;
+            shared.released.fetch_add(1, Ordering::SeqCst);
+            held -= nodes.len();
+        }
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        issued += 1;
+    }
+
+    // Drain: return everything so the final snapshot must read empty.
+    for (job, nodes) in live.drain(..) {
+        shared.unclaim(&nodes);
+        client.release(&config.machine, job).map_err(fail)?;
+        shared.released.fetch_add(1, Ordering::SeqCst);
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+    }
+    Ok(())
+}
+
+fn pick_victim(
+    live: &mut Vec<(u64, Vec<commalloc_mesh::NodeId>)>,
+    rng: &mut StdRng,
+) -> Option<(u64, Vec<commalloc_mesh::NodeId>)> {
+    if live.is_empty() {
+        return None;
+    }
+    let at = rng.gen_range(0..live.len());
+    Some(live.swap_remove(at))
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for `criterion` (see `crates/compat/` for the
+//! rationale): the API surface the workspace's benches use, backed by a
+//! simple wall-clock harness.
+//!
+//! Each `Bencher::iter` call runs a short calibration pass to pick an
+//! iteration count targeting ~50 ms of measurement, then reports the mean
+//! time per iteration. There are no statistical analyses, saved baselines or
+//! HTML reports — the point is that `cargo bench` compiles, runs and prints
+//! comparable per-iteration numbers in an offline environment.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Runs closures and measures their time per iteration.
+pub struct Bencher {
+    label: String,
+}
+
+impl Bencher {
+    /// Measures `f`, printing the mean time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibration: find an iteration count taking roughly the target.
+        let target = Duration::from_millis(50);
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1 << 24 {
+                break elapsed / iters.max(1) as u32;
+            }
+            // Grow towards the target with a safety factor.
+            let needed = if elapsed.is_zero() {
+                iters * 100
+            } else {
+                let ratio = target.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                ((iters as f64 * ratio * 1.2) as u64).max(iters + 1)
+            };
+            iters = needed.min(1 << 24);
+        };
+        println!(
+            "bench: {:<60} {:>12} /iter",
+            self.label,
+            format_duration(per_iter)
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            label: format!("{}/{}", self.name, id.into()),
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            label: format!("{}/{}", self.name, id.into()),
+        };
+        f(&mut bencher, input);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            label: name.to_string(),
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Accepted for compatibility; this harness has no statistical
+    /// sampling, so the value is ignored.
+    pub fn sample_size(self, _samples: usize) -> Self {
+        self
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($function(&mut criterion);)+
+        }
+    };
+    ($group:ident, $($function:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $group;
+            config = $crate::Criterion::default();
+            targets = $($function),+
+        );
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching criterion's own; benches may use either this or
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+        let mut group = c.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(120)), "120 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(2)), "2.00 ms");
+    }
+}

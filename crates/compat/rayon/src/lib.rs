@@ -1,0 +1,157 @@
+//! Offline stand-in for `rayon` (see `crates/compat/` for the rationale).
+//!
+//! Implements the one pattern the workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — with genuine parallelism:
+//! the input is split into one contiguous chunk per available core and mapped
+//! under [`std::thread::scope`], then the per-chunk outputs are concatenated
+//! in order, so the result is element-for-element identical to the sequential
+//! `iter().map(f).collect()`.
+//!
+//! There is no work stealing: the experiment sweeps this crate serves map a
+//! closure of roughly uniform cost over tens to hundreds of configurations,
+//! where static chunking is within noise of a real scheduler.
+
+use std::num::NonZeroUsize;
+
+/// A pending parallel iteration over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps `f` over the items in parallel (at collection time).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A parallel map ready to be collected.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Runs the map across all cores and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    fn run(self) -> Vec<R> {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk_size = n.div_ceil(threads);
+        let f = &self.f;
+        let mut per_chunk: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            per_chunk = handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel map worker panicked"))
+                .collect();
+        });
+        let mut out = Vec::with_capacity(n);
+        for chunk in per_chunk {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Conversion of `&self` into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the parallel iterator.
+    type Item: 'a;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Re-exports mirroring rayon's prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_matches_sequential_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let parallel: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+        let sequential: Vec<u64> = input.iter().map(|&x| x * x).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = vec![41u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..64).collect();
+        let _: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let distinct = ids.lock().unwrap().len();
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(distinct > 1, "expected work on more than one thread");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Derive macros for the offline `serde` stand-in (see `crates/compat/`).
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! a small value-tree serialisation layer instead of real serde. This crate
+//! provides the `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! it, covering exactly the shapes the workspace uses:
+//!
+//! * structs with named fields        → JSON objects
+//! * newtype structs (one field)      → the inner value
+//! * tuple structs (several fields)   → JSON arrays
+//! * fieldless ("C-like") enums       → the variant name as a JSON string
+//!
+//! Enums with data-carrying variants are rejected with a compile error;
+//! protocol types that need richer encodings implement the traits by hand.
+//!
+//! The input is parsed directly from the token stream (no `syn`/`quote`),
+//! which is robust enough for the shapes above: attributes are skipped,
+//! visibility modifiers are skipped, and field types are consumed with
+//! angle-bracket depth tracking so generic types containing commas parse
+//! correctly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a type we can derive for.
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    Tuple(usize),
+    /// Fieldless enum: variant names in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn is_ident(tok: &TokenTree, text: &str) -> bool {
+    matches!(tok, TokenTree::Ident(i) if i.to_string() == text)
+}
+
+/// Skips `#[...]` attribute groups starting at `i`; returns the new index.
+fn skip_attributes(toks: &[TokenTree], mut i: usize) -> usize {
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            if p.as_char() == '#' {
+                // `#` is followed by a bracketed group (or `!` + group for
+                // inner attributes, which cannot appear here).
+                i += 1;
+                if i < toks.len() {
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        break;
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_visibility(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Consumes a type starting at `i` until a top-level `,` (or the end),
+/// tracking `<...>` nesting depth so generic arguments are not split.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses the fields of a named-field struct body.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        i = skip_attributes(body, i);
+        i = skip_visibility(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &body[i] else {
+            panic!("serde shim derive: expected field name, got {:?}", body[i]);
+        };
+        fields.push(name.to_string());
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_type(body, i);
+        i += 1; // ','
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct body.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < body.len() {
+        i = skip_attributes(body, i);
+        i = skip_visibility(body, i);
+        if i >= body.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(body, i);
+        i += 1; // ','
+    }
+    count
+}
+
+/// Parses the variants of an enum body, rejecting data-carrying variants.
+fn parse_enum_variants(type_name: &str, body: &[TokenTree]) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        i = skip_attributes(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &body[i] else {
+            panic!(
+                "serde shim derive: expected variant name in enum {type_name}, got {:?}",
+                body[i]
+            );
+        };
+        variants.push(name.to_string());
+        i += 1;
+        if let Some(TokenTree::Group(_)) = body.get(i) {
+            panic!(
+                "serde shim derive: enum {type_name} has a data-carrying variant \
+                 {}; implement Serialize/Deserialize by hand",
+                variants.last().unwrap()
+            );
+        }
+        // Skip an optional discriminant (`= expr`) up to the next comma.
+        while i < body.len() {
+            if let TokenTree::Punct(p) = &body[i] {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        i += 1; // ','
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&toks, 0);
+    i = skip_visibility(&toks, i);
+    let is_struct = if is_ident(&toks[i], "struct") {
+        true
+    } else if is_ident(&toks[i], "enum") {
+        false
+    } else {
+        panic!("serde shim derive supports only structs and enums");
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde shim derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic types ({name})");
+        }
+    }
+    let Some(TokenTree::Group(group)) = toks.get(i) else {
+        panic!("serde shim derive: expected body of {name}");
+    };
+    let body: Vec<TokenTree> = group.stream().into_iter().collect();
+    let shape = if !is_struct {
+        Shape::Enum(parse_enum_variants(&name, &body))
+    } else if group.delimiter() == Delimiter::Brace {
+        Shape::Struct(parse_named_fields(&body))
+    } else {
+        Shape::Tuple(count_tuple_fields(&body))
+    };
+    Parsed { name, shape }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!("let mut m = ::serde::Map::new();\n{inserts}::serde::Value::Object(m)")
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let pushes: String = (0..*n)
+                .map(|i| format!("items.push(::serde::Serialize::to_value(&self.{i}));\n"))
+                .collect();
+            format!(
+                "let mut items = ::std::vec::Vec::with_capacity({n});\n\
+                 {pushes}::serde::Value::Array(items)"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"))
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\n\
+                             obj.get({f:?}).unwrap_or(&::serde::Value::Null))\n\
+                             .map_err(|e| ::serde::Error::context(concat!({:?}, \".\", {f:?}), e))?,\n",
+                        name
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                     ::serde::Error::msg(concat!(\"expected object for \", {name:?})))?;\n\
+                 Ok({name} {{\n{field_inits}}})"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?,\n"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                     ::serde::Error::msg(concat!(\"expected array for \", {name:?})))?;\n\
+                 if arr.len() != {n} {{\n\
+                     return Err(::serde::Error::msg(concat!(\"wrong arity for \", {name:?})));\n\
+                 }}\n\
+                 Ok({name}(\n{elems}))"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some({v:?}) => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "match v.as_str() {{\n{arms}\
+                 _ => Err(::serde::Error::msg(concat!(\"unknown variant for \", {name:?}))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -300,12 +300,11 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
                     size: j.size,
                 })
                 .collect();
-            let Some(pos) = config.scheduler.select_with_context(
-                &queue,
-                machine.num_free(),
-                &snapshots,
-                now,
-            ) else {
+            let Some(pos) =
+                config
+                    .scheduler
+                    .select_with_context(&queue, machine.num_free(), &snapshots, now)
+            else {
                 break;
             };
             let queued = queue.remove(pos);
@@ -334,7 +333,9 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
 
             // Per-job RNG so the random pattern realisation is reproducible
             // and independent of simulation interleaving.
-            let mut job_rng = StdRng::seed_from_u64(config.seed ^ queued.job_id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut job_rng = StdRng::seed_from_u64(
+                config.seed ^ queued.job_id.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
             let quota = trace_job.message_quota();
             let rank_traffic: Vec<RankTraffic> = config
                 .pattern
@@ -456,9 +457,7 @@ mod tests {
         .with_per_hop_overhead(0.0);
         let fluid = simulate(&trace, &base);
         let zero = simulate(&trace, &base.with_fidelity(Fidelity::ZeroContention));
-        assert!(
-            (fluid.records[0].running_time() - zero.records[0].running_time()).abs() < 1e-6
-        );
+        assert!((fluid.records[0].running_time() - zero.records[0].running_time()).abs() < 1e-6);
     }
 
     #[test]
@@ -511,7 +510,10 @@ mod tests {
         let result = simulate(&trace, &fcfs);
         let job2 = result.records.iter().find(|r| r.job_id == 2).unwrap();
         let job1 = result.records.iter().find(|r| r.job_id == 1).unwrap();
-        assert!(job2.start >= job1.start, "FCFS must not let job 2 jump ahead");
+        assert!(
+            job2.start >= job1.start,
+            "FCFS must not let job 2 jump ahead"
+        );
 
         // With backfilling, the small job starts immediately after arrival
         // (it fits alongside nothing being free? no — machine is full) — so
@@ -576,8 +578,7 @@ mod tests {
         let trace = ParagonTraceModel::scaled(30).generate(5);
         for allocator in AllocatorKind::paper_set() {
             for pattern in CommPattern::paper_patterns() {
-                let config =
-                    SimConfig::new(Mesh2D::square_16x16(), pattern, allocator);
+                let config = SimConfig::new(Mesh2D::square_16x16(), pattern, allocator);
                 let result = simulate(&trace, &config);
                 assert_eq!(
                     result.records.len(),
@@ -594,19 +595,13 @@ mod tests {
         // curves) also drive the engine to completion; the contiguous-only
         // strategies may make jobs wait, but every job eventually runs
         // because every trace job fits the empty 16 x 16 machine.
-        let trace = ParagonTraceModel::scaled(25).generate(17).filter_fitting(256);
+        let trace = ParagonTraceModel::scaled(25)
+            .generate(17)
+            .filter_fitting(256);
         for allocator in AllocatorKind::extended_set() {
-            let config = SimConfig::new(
-                Mesh2D::square_16x16(),
-                CommPattern::NBody,
-                allocator,
-            );
+            let config = SimConfig::new(Mesh2D::square_16x16(), CommPattern::NBody, allocator);
             let result = simulate(&trace, &config);
-            assert_eq!(
-                result.records.len(),
-                trace.len(),
-                "{allocator} lost jobs"
-            );
+            assert_eq!(result.records.len(), trace.len(), "{allocator} lost jobs");
             for r in &result.records {
                 assert!(r.start >= r.arrival, "{allocator} started a job early");
             }
@@ -628,7 +623,11 @@ mod tests {
         let mesh = Mesh2D::new(4, 4);
         let contiguous = simulate(
             &trace,
-            &SimConfig::new(mesh, CommPattern::AllToAll, AllocatorKind::ContiguousFirstFit),
+            &SimConfig::new(
+                mesh,
+                CommPattern::AllToAll,
+                AllocatorKind::ContiguousFirstFit,
+            ),
         );
         let hilbert = simulate(
             &trace,
@@ -685,10 +684,7 @@ mod tests {
             CommPattern::AllToAll,
             AllocatorKind::HilbertBestFit,
         );
-        let proportional = simulate(
-            &trace,
-            &base.with_fidelity(Fidelity::ProportionalShare),
-        );
+        let proportional = simulate(&trace, &base.with_fidelity(Fidelity::ProportionalShare));
         assert_eq!(proportional.records.len(), trace.len());
         for r in &proportional.records {
             assert!(r.running_time() >= r.messages as f64 - 1e-6);
@@ -719,8 +715,7 @@ mod tests {
         assert!(profile.mean_utilization() > 0.0);
         assert!(profile.peak_utilization() <= 1.0 + 1e-12);
         assert!(
-            (profile.demand_fraction(&result.records) - profile.mean_utilization()).abs()
-                < 1e-6
+            (profile.demand_fraction(&result.records) - profile.mean_utilization()).abs() < 1e-6
         );
     }
 }

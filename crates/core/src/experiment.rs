@@ -115,9 +115,9 @@ impl LoadSweep {
             .patterns
             .iter()
             .flat_map(|&p| {
-                self.allocators.iter().flat_map(move |&a| {
-                    self.load_factors.iter().map(move |&l| (p, a, l))
-                })
+                self.allocators
+                    .iter()
+                    .flat_map(move |&a| self.load_factors.iter().map(move |&l| (p, a, l)))
             })
             .collect();
         let points: Vec<ExperimentPoint> = configs

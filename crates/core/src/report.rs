@@ -179,10 +179,8 @@ mod tests {
     }
 
     fn tempdir() -> String {
-        let dir = std::env::temp_dir().join(format!(
-            "commalloc-report-test-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("commalloc-report-test-{}", std::process::id()));
         dir.to_string_lossy().into_owned()
     }
 }

@@ -85,9 +85,7 @@ impl SchedulerKind {
                 Some(head) if head.size <= free => Some(0),
                 _ => None,
             },
-            SchedulerKind::FirstFitBackfill => {
-                queue.iter().position(|j| j.size <= free)
-            }
+            SchedulerKind::FirstFitBackfill => queue.iter().position(|j| j.size <= free),
         }
     }
 
@@ -113,12 +111,15 @@ impl SchedulerKind {
                     return Some(0);
                 }
                 let (shadow_time, extra) = Self::reservation(head.size, free, running)?;
-                queue.iter().skip(1).position(|candidate| {
-                    candidate.size <= free
-                        && (now + candidate.estimate <= shadow_time || candidate.size <= extra)
-                })
-                // `position` on the skipped iterator is relative to index 1.
-                .map(|i| i + 1)
+                queue
+                    .iter()
+                    .skip(1)
+                    .position(|candidate| {
+                        candidate.size <= free
+                            && (now + candidate.estimate <= shadow_time || candidate.size <= extra)
+                    })
+                    // `position` on the skipped iterator is relative to index 1.
+                    .map(|i| i + 1)
             }
         }
     }

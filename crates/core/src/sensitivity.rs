@@ -52,10 +52,7 @@ pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> f64 {
 /// Kendall's τ between two allocator rankings expressed as
 /// `(allocator, mean response time)` lists. Only allocators present in both
 /// rankings are compared.
-pub fn ranking_correlation(
-    a: &[(AllocatorKind, f64)],
-    b: &[(AllocatorKind, f64)],
-) -> f64 {
+pub fn ranking_correlation(a: &[(AllocatorKind, f64)], b: &[(AllocatorKind, f64)]) -> f64 {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &(kind, value_a) in a {
@@ -257,10 +254,7 @@ mod tests {
             CommPattern::NBody,
             AllocatorKind::HilbertBestFit,
         );
-        let allocators = [
-            AllocatorKind::HilbertBestFit,
-            AllocatorKind::Random,
-        ];
+        let allocators = [AllocatorKind::HilbertBestFit, AllocatorKind::Random];
         let study = SensitivityStudy::run(
             &base,
             &allocators,

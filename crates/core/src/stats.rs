@@ -111,22 +111,12 @@ impl SimSummary {
             mean_response_time: records.iter().map(JobRecord::response_time).sum::<f64>() / nf,
             mean_wait_time: records.iter().map(JobRecord::wait_time).sum::<f64>() / nf,
             mean_running_time: records.iter().map(JobRecord::running_time).sum::<f64>() / nf,
-            mean_pairwise_distance: records
-                .iter()
-                .map(|r| r.avg_pairwise_distance)
-                .sum::<f64>()
+            mean_pairwise_distance: records.iter().map(|r| r.avg_pairwise_distance).sum::<f64>()
                 / nf,
-            mean_message_distance: records
-                .iter()
-                .map(|r| r.avg_message_distance)
-                .sum::<f64>()
-                / nf,
+            mean_message_distance: records.iter().map(|r| r.avg_message_distance).sum::<f64>() / nf,
             percent_contiguous: contiguity.percent_contiguous(),
             avg_components: contiguity.avg_components(),
-            makespan: records
-                .iter()
-                .map(|r| r.completion)
-                .fold(0.0f64, f64::max),
+            makespan: records.iter().map(|r| r.completion).fold(0.0f64, f64::max),
         }
     }
 }

@@ -121,10 +121,7 @@ impl UtilizationProfile {
     /// all-zero profile.
     pub fn from_records(records: &[JobRecord], num_nodes: usize) -> Self {
         assert!(num_nodes > 0, "machine must have at least one processor");
-        let makespan = records
-            .iter()
-            .map(|r| r.completion)
-            .fold(0.0f64, f64::max);
+        let makespan = records.iter().map(|r| r.completion).fold(0.0f64, f64::max);
         let mut busy_deltas = Vec::with_capacity(records.len() * 2);
         let mut queue_deltas = Vec::with_capacity(records.len() * 2);
         for r in records {
@@ -182,13 +179,7 @@ impl UtilizationProfile {
 mod tests {
     use super::*;
 
-    fn record(
-        id: u64,
-        arrival: f64,
-        start: f64,
-        completion: f64,
-        size: usize,
-    ) -> JobRecord {
+    fn record(id: u64, arrival: f64, start: f64, completion: f64, size: usize) -> JobRecord {
         JobRecord {
             job_id: id,
             size,
@@ -220,9 +211,7 @@ mod tests {
         assert!((profile.mean_queue_length() - 10.0 / 110.0).abs() < 1e-9);
         assert_eq!(profile.peak_queue_length(), 1.0);
         // Cross-check against direct demand accounting.
-        assert!(
-            (profile.demand_fraction(&records) - profile.mean_utilization()).abs() < 1e-9
-        );
+        assert!((profile.demand_fraction(&records) - profile.mean_utilization()).abs() < 1e-9);
     }
 
     #[test]

@@ -128,10 +128,10 @@ impl CurveOrder {
             CurveKind::SCurveLongDirection => {
                 s_curve::generate(mesh, s_curve::Orientation::LongDirection)
             }
-            CurveKind::Hilbert => truncate::truncate_to_mesh(mesh, |n| hilbert::generate(n)),
-            CurveKind::HIndexing => truncate::truncate_to_mesh(mesh, |n| h_index::generate(n)),
-            CurveKind::Morton => truncate::truncate_to_mesh(mesh, |n| morton::generate(n)),
-            CurveKind::Peano => truncate::truncate_to_mesh(mesh, |n| peano::generate(n)),
+            CurveKind::Hilbert => truncate::truncate_to_mesh(mesh, hilbert::generate),
+            CurveKind::HIndexing => truncate::truncate_to_mesh(mesh, h_index::generate),
+            CurveKind::Morton => truncate::truncate_to_mesh(mesh, morton::generate),
+            CurveKind::Peano => truncate::truncate_to_mesh(mesh, peano::generate),
         };
         Self::from_coords(kind, mesh, &coords)
     }

@@ -164,8 +164,8 @@ pub fn optimize_order(
 
     for iteration in 0..config.iterations {
         // Linear cooling schedule.
-        let temperature = config.initial_temperature
-            * (1.0 - iteration as f64 / config.iterations as f64);
+        let temperature =
+            config.initial_temperature * (1.0 - iteration as f64 / config.iterations as f64);
 
         // Propose either a 2-opt segment reversal or a single relocation.
         let mut candidate = order.clone();
@@ -191,8 +191,8 @@ pub fn optimize_order(
 
         let candidate_cost = ordering_cost(mesh, &candidate, config);
         let delta = candidate_cost - cost;
-        let accept = delta < 0.0
-            || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+        let accept =
+            delta < 0.0 || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
         if accept {
             order = candidate;
             cost = candidate_cost;
@@ -249,12 +249,9 @@ mod tests {
         let config = OptimizerConfig::default();
         let hilbert: Vec<NodeId> = CurveOrder::build(CurveKind::Hilbert, mesh).iter().collect();
         // Deterministic "bad" order: stride through ids to break locality.
-        let shuffled: Vec<NodeId> = (0..64u32)
-            .map(|i| NodeId((i * 29) % 64))
-            .collect();
+        let shuffled: Vec<NodeId> = (0..64u32).map(|i| NodeId((i * 29) % 64)).collect();
         assert!(
-            ordering_cost(mesh, &hilbert, &config)
-                < ordering_cost(mesh, &shuffled, &config),
+            ordering_cost(mesh, &hilbert, &config) < ordering_cost(mesh, &shuffled, &config),
             "Hilbert ordering must score better than a strided shuffle"
         );
     }
@@ -278,10 +275,7 @@ mod tests {
             .into_iter()
             .map(|c| mesh.id_of(c))
             .collect();
-        let alive: Vec<NodeId> = mesh
-            .nodes()
-            .filter(|n| !faulted.contains(n))
-            .collect();
+        let alive: Vec<NodeId> = mesh.nodes().filter(|n| !faulted.contains(n)).collect();
         let config = OptimizerConfig::quick();
         let result = optimize_order(mesh, &alive, &config);
         assert_eq!(result.order.len(), 32);
@@ -313,11 +307,7 @@ mod tests {
     #[should_panic(expected = "appears twice")]
     fn duplicate_nodes_are_rejected() {
         let mesh = Mesh2D::new(4, 4);
-        optimize_order(
-            mesh,
-            &[NodeId(0), NodeId(0)],
-            &OptimizerConfig::quick(),
-        );
+        optimize_order(mesh, &[NodeId(0), NodeId(0)], &OptimizerConfig::quick());
     }
 
     #[test]

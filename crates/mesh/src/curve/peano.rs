@@ -77,7 +77,11 @@ pub fn d_to_xy(n: usize, d: usize) -> Coord {
         // bottom-to-top. Local coordinates before applying the orientation:
         let col = digit / 3;
         let row_in_col = digit % 3;
-        let row = if col % 2 == 0 { row_in_col } else { 2 - row_in_col };
+        let row = if col % 2 == 0 {
+            row_in_col
+        } else {
+            2 - row_in_col
+        };
 
         // Apply the current orientation of this cell.
         let (lx, ly) = (
@@ -105,7 +109,7 @@ fn is_power_of_three(mut n: usize) -> bool {
     if n == 0 {
         return false;
     }
-    while n % 3 == 0 {
+    while n.is_multiple_of(3) {
         n /= 3;
     }
     n == 1

@@ -46,7 +46,10 @@ mod tests {
     #[test]
     fn truncation_keeps_every_mesh_cell_once() {
         let mesh = Mesh2D::paragon_16x22();
-        for generator in [hilbert::generate as fn(u16) -> Vec<Coord>, h_index::generate] {
+        for generator in [
+            hilbert::generate as fn(u16) -> Vec<Coord>,
+            h_index::generate,
+        ] {
             let coords = truncate_to_mesh(mesh, generator);
             assert_eq!(coords.len(), 352);
             let unique: std::collections::HashSet<_> = coords.iter().collect();

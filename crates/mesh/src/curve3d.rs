@@ -166,7 +166,9 @@ impl Curve3Order {
         let num_windows = self.len() - window + 1;
         let mut sum = 0.0;
         for start in 0..num_windows {
-            sum += self.mesh.avg_pairwise_distance(&nodes[start..start + window]);
+            sum += self
+                .mesh
+                .avg_pairwise_distance(&nodes[start..start + window]);
         }
         sum / num_windows as f64
     }
@@ -187,7 +189,7 @@ fn snake(mesh: Mesh3D) -> Vec<Coord3> {
             // Direction alternates with the *global* row parity so the snake
             // stays gap-free across plane boundaries too.
             let global_row = z as usize * h as usize + yi;
-            if global_row % 2 == 0 {
+            if global_row.is_multiple_of(2) {
                 for x in 0..w {
                     out.push(Coord3::new(x, y, z));
                 }

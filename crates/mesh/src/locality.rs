@@ -7,8 +7,8 @@
 //! maps any window of consecutive ranks to a mesh region with small average
 //! pairwise distance and few connected components.
 
-use crate::curve::CurveOrder;
 use crate::coord::NodeId;
+use crate::curve::CurveOrder;
 use serde::{Deserialize, Serialize};
 
 /// Summary of how well a rank window of a given size preserves locality.

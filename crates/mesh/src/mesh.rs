@@ -72,10 +72,7 @@ impl Mesh2D {
     ///
     /// Panics if `id` is out of range.
     pub fn coord_of(&self, id: NodeId) -> Coord {
-        assert!(
-            id.index() < self.num_nodes(),
-            "node {id} outside {self:?}"
-        );
+        assert!(id.index() < self.num_nodes(), "node {id} outside {self:?}");
         Coord::new(
             (id.0 % self.width as u32) as u16,
             (id.0 / self.width as u32) as u16,

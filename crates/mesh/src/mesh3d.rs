@@ -142,9 +142,8 @@ impl Mesh3D {
     /// Iterator over all coordinates (x fastest, then y, then z).
     pub fn coords(&self) -> impl Iterator<Item = Coord3> + '_ {
         let (w, h, d) = (self.width, self.height, self.depth);
-        (0..d).flat_map(move |z| {
-            (0..h).flat_map(move |y| (0..w).map(move |x| Coord3::new(x, y, z)))
-        })
+        (0..d)
+            .flat_map(move |z| (0..h).flat_map(move |y| (0..w).map(move |x| Coord3::new(x, y, z))))
     }
 
     /// The (up to six) mesh neighbours of `id`.

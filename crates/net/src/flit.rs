@@ -57,7 +57,10 @@ impl FlitSimReport {
         if self.deliveries.is_empty() {
             return 0.0;
         }
-        self.deliveries.iter().map(|d| d.latency as f64).sum::<f64>()
+        self.deliveries
+            .iter()
+            .map(|d| d.latency as f64)
+            .sum::<f64>()
             / self.deliveries.len() as f64
     }
 }
@@ -234,7 +237,14 @@ mod tests {
         Mesh2D::new(8, 8)
     }
 
-    fn msg(mesh: Mesh2D, id: u64, src: (u16, u16), dst: (u16, u16), at: u64, flits: u32) -> FlitMessage {
+    fn msg(
+        mesh: Mesh2D,
+        id: u64,
+        src: (u16, u16),
+        dst: (u16, u16),
+        at: u64,
+        flits: u32,
+    ) -> FlitMessage {
         FlitMessage {
             id,
             src: mesh.id_of(Coord::new(src.0, src.1)),

@@ -262,14 +262,7 @@ mod tests {
     #[test]
     fn local_job_is_never_slowed() {
         let (mesh, links) = setup();
-        let local = JobTraffic::new(
-            mesh,
-            &links,
-            5,
-            &[mesh.id_of(Coord::new(0, 0))],
-            &[],
-            1.0,
-        );
+        let local = JobTraffic::new(mesh, &links, 5, &[mesh.id_of(Coord::new(0, 0))], &[], 1.0);
         let far = pair_traffic(mesh, &links, 1, Coord::new(0, 0), Coord::new(7, 0));
         let model = FluidNetwork::with_capacity(links.num_slots(), 0.1);
         let rates = model.rates(&[&local, &far]);
@@ -363,14 +356,7 @@ mod tests {
     fn proportional_share_leaves_lone_and_local_jobs_at_nominal() {
         let (mesh, links) = setup();
         let lone = pair_traffic(mesh, &links, 1, Coord::new(0, 0), Coord::new(7, 7));
-        let local = JobTraffic::new(
-            mesh,
-            &links,
-            2,
-            &[mesh.id_of(Coord::new(3, 3))],
-            &[],
-            1.0,
-        );
+        let local = JobTraffic::new(mesh, &links, 2, &[mesh.id_of(Coord::new(3, 3))], &[], 1.0);
         let model = ProportionalShareModel::with_capacity(links.num_slots(), 1.0);
         let rates = model.rates(&[&lone, &local]);
         assert!((rates[0] - 1.0).abs() < 1e-9);

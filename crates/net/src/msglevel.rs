@@ -154,7 +154,12 @@ impl MessageLevelNetwork {
         }
 
         // Report in input order.
-        deliveries.sort_by_key(|d| messages.iter().position(|m| m.id == d.id).unwrap_or(usize::MAX));
+        deliveries.sort_by_key(|d| {
+            messages
+                .iter()
+                .position(|m| m.id == d.id)
+                .unwrap_or(usize::MAX)
+        });
         let makespan = deliveries
             .iter()
             .map(|d| d.delivered_at)
@@ -232,9 +237,7 @@ mod tests {
         // uncongested one.
         let mesh = mesh8();
         let msg_net = MessageLevelNetwork::new(mesh);
-        let congested: Vec<Message> = (0..6)
-            .map(|i| msg(mesh, i, (0, 0), (7, 0), 0.0))
-            .collect();
+        let congested: Vec<Message> = (0..6).map(|i| msg(mesh, i, (0, 0), (7, 0), 0.0)).collect();
         let spread: Vec<Message> = (0..6)
             .map(|i| msg(mesh, i, (0, i as u16), (7, i as u16), 0.0))
             .collect();

@@ -89,10 +89,7 @@ impl JobTraffic {
     /// The highest per-link demand — the job's own bottleneck when running
     /// alone at nominal rate.
     pub fn max_link_demand(&self) -> f64 {
-        self.link_demand
-            .iter()
-            .map(|&(_, d)| d)
-            .fold(0.0, f64::max)
+        self.link_demand.iter().map(|&(_, d)| d).fold(0.0, f64::max)
     }
 }
 
@@ -110,9 +107,7 @@ mod tests {
     fn ring_traffic_on_a_line_allocation() {
         let (mesh, links) = mesh_and_links();
         // Four processors in a row, ring pattern (0->1->2->3->0).
-        let nodes: Vec<NodeId> = (0..4)
-            .map(|x| mesh.id_of(Coord::new(x, 0)))
-            .collect();
+        let nodes: Vec<NodeId> = (0..4).map(|x| mesh.id_of(Coord::new(x, 0))).collect();
         let traffic: Vec<RankTraffic> = (0..4)
             .map(|i| RankTraffic {
                 src: i,

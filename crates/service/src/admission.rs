@@ -1,0 +1,139 @@
+//! FCFS admission queue for requests that cannot be served immediately.
+//!
+//! The paper's scheduling discipline is strict first-come first-served:
+//! a job that cannot be allocated blocks every job behind it, even when a
+//! later, smaller job would fit ("head-of-line blocking"). The service
+//! keeps the same discipline per machine: [`FcfsQueue::drain_grantable`]
+//! grants from the head only, stopping at the first request the machine
+//! cannot satisfy.
+
+use std::collections::VecDeque;
+
+/// A queued allocation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// The job to allocate for.
+    pub job_id: u64,
+    /// Number of processors requested.
+    pub size: usize,
+}
+
+/// Strictly first-come first-served queue of pending requests.
+#[derive(Debug, Default)]
+pub struct FcfsQueue {
+    queue: VecDeque<PendingRequest>,
+}
+
+impl FcfsQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        FcfsQueue::default()
+    }
+
+    /// Number of waiting requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing waits.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True when `job_id` is waiting.
+    pub fn contains(&self, job_id: u64) -> bool {
+        self.queue.iter().any(|p| p.job_id == job_id)
+    }
+
+    /// Appends a request and returns its 1-based queue position.
+    pub fn enqueue(&mut self, request: PendingRequest) -> usize {
+        self.queue.push_back(request);
+        self.queue.len()
+    }
+
+    /// The request at the head, if any.
+    pub fn head(&self) -> Option<&PendingRequest> {
+        self.queue.front()
+    }
+
+    /// Removes and returns the request for `job_id`, wherever it waits
+    /// (used to cancel a queued job).
+    pub fn remove(&mut self, job_id: u64) -> Option<PendingRequest> {
+        let at = self.queue.iter().position(|p| p.job_id == job_id)?;
+        self.queue.remove(at)
+    }
+
+    /// The 1-based position of `job_id`, if it waits.
+    pub fn position(&self, job_id: u64) -> Option<usize> {
+        self.queue
+            .iter()
+            .position(|p| p.job_id == job_id)
+            .map(|i| i + 1)
+    }
+
+    /// Grants from the head while `try_grant` succeeds, preserving FCFS
+    /// order: the first failure stops draining even if later requests
+    /// would fit. Returns the granted requests in grant order.
+    pub fn drain_grantable(
+        &mut self,
+        mut try_grant: impl FnMut(&PendingRequest) -> bool,
+    ) -> Vec<PendingRequest> {
+        let mut granted = Vec::new();
+        while let Some(head) = self.queue.front() {
+            if try_grant(head) {
+                granted.push(self.queue.pop_front().expect("head exists"));
+            } else {
+                break;
+            }
+        }
+        granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(job_id: u64, size: usize) -> PendingRequest {
+        PendingRequest { job_id, size }
+    }
+
+    #[test]
+    fn positions_are_one_based_and_fifo() {
+        let mut q = FcfsQueue::new();
+        assert_eq!(q.enqueue(req(1, 10)), 1);
+        assert_eq!(q.enqueue(req(2, 5)), 2);
+        assert!(q.contains(1) && q.contains(2) && !q.contains(3));
+        assert_eq!(q.head(), Some(&req(1, 10)));
+    }
+
+    #[test]
+    fn drain_respects_head_of_line_blocking() {
+        let mut q = FcfsQueue::new();
+        q.enqueue(req(1, 10));
+        q.enqueue(req(2, 100)); // too big
+        q.enqueue(req(3, 1)); // would fit, but must wait behind job 2
+        let mut capacity = 20usize;
+        let granted = q.drain_grantable(|p| {
+            if p.size <= capacity {
+                capacity -= p.size;
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(granted, vec![req(1, 10)]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.head(), Some(&req(2, 100)));
+    }
+
+    #[test]
+    fn drain_empties_the_queue_when_everything_fits() {
+        let mut q = FcfsQueue::new();
+        q.enqueue(req(1, 3));
+        q.enqueue(req(2, 4));
+        let granted = q.drain_grantable(|_| true);
+        assert_eq!(granted.len(), 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! A blocking TCP client for the service protocol.
+
+use crate::protocol::{Request, Response};
+use crate::registry::JobStatus;
+use commalloc_mesh::NodeId;
+use serde::Value;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's bytes did not parse as a protocol response, or the
+    /// response kind did not match the request.
+    Protocol(String),
+    /// The server answered with a protocol-level error.
+    Service(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Service(e) => write!(f, "service error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Outcome of a client-side allocation call (mirror of the service's
+/// [`crate::registry::AllocOutcome`], decoded from the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientAllocOutcome {
+    /// Granted these processors.
+    Granted(Vec<NodeId>),
+    /// Queued at this 1-based position.
+    Queued(usize),
+    /// Rejected for this reason.
+    Rejected(String),
+}
+
+/// A blocking connection to the daemon.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServiceClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(ServiceClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads its response line.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        writeln!(self.writer, "{}", request.to_line())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        Response::from_line(&line).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn expect<T>(
+        &mut self,
+        request: &Request,
+        decode: impl FnOnce(Response) -> Result<T, Response>,
+    ) -> Result<T, ClientError> {
+        match self.roundtrip(request)? {
+            Response::Error { message } => Err(ClientError::Service(message)),
+            other => decode(other).map_err(|unexpected| {
+                ClientError::Protocol(format!("unexpected response {unexpected:?}"))
+            }),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Ping, |r| match r {
+            Response::Pong => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Registers a machine (see [`crate::AllocationService::register`]
+    /// for the spec grammar).
+    pub fn register(
+        &mut self,
+        machine: &str,
+        mesh: &str,
+        allocator: Option<&str>,
+        strategy: Option<&str>,
+    ) -> Result<(), ClientError> {
+        let request = Request::Register {
+            machine: machine.to_string(),
+            mesh: mesh.to_string(),
+            allocator: allocator.map(str::to_string),
+            strategy: strategy.map(str::to_string),
+        };
+        self.expect(&request, |r| match r {
+            Response::Registered { .. } => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Requests `size` processors for `job`.
+    pub fn alloc(
+        &mut self,
+        machine: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+    ) -> Result<ClientAllocOutcome, ClientError> {
+        let request = Request::Alloc {
+            machine: machine.to_string(),
+            job,
+            size,
+            wait,
+        };
+        self.expect(&request, |r| match r {
+            Response::Granted { nodes, .. } => Ok(ClientAllocOutcome::Granted(nodes)),
+            Response::Queued { position, .. } => Ok(ClientAllocOutcome::Queued(position)),
+            Response::Rejected { reason, .. } => Ok(ClientAllocOutcome::Rejected(reason)),
+            other => Err(other),
+        })
+    }
+
+    /// Releases (or cancels) `job`; returns the jobs granted from the
+    /// queue by this release.
+    pub fn release(
+        &mut self,
+        machine: &str,
+        job: u64,
+    ) -> Result<Vec<(u64, Vec<NodeId>)>, ClientError> {
+        let request = Request::Release {
+            machine: machine.to_string(),
+            job,
+        };
+        self.expect(&request, |r| match r {
+            Response::Released { granted, .. } => Ok(granted),
+            other => Err(other),
+        })
+    }
+
+    /// Where `job` stands.
+    pub fn poll(&mut self, machine: &str, job: u64) -> Result<JobStatus, ClientError> {
+        let request = Request::Poll {
+            machine: machine.to_string(),
+            job,
+        };
+        self.expect(&request, |r| match r {
+            Response::Running { nodes, .. } => Ok(JobStatus::Running(nodes)),
+            Response::Waiting { position, .. } => Ok(JobStatus::Queued(position)),
+            Response::Unknown { .. } => Ok(JobStatus::Unknown),
+            other => Err(other),
+        })
+    }
+
+    /// Occupancy snapshot of `machine` (raw wire value).
+    pub fn query(&mut self, machine: &str) -> Result<Value, ClientError> {
+        let request = Request::Query {
+            machine: machine.to_string(),
+        };
+        self.expect(&request, |r| match r {
+            Response::Snapshot(v) => Ok(v),
+            other => Err(other),
+        })
+    }
+
+    /// Counter snapshot of `machine` (raw wire value).
+    pub fn stats(&mut self, machine: &str) -> Result<Value, ClientError> {
+        let request = Request::Stats {
+            machine: machine.to_string(),
+        };
+        self.expect(&request, |r| match r {
+            Response::Stats(v) => Ok(v),
+            other => Err(other),
+        })
+    }
+
+    /// Names of all registered machines.
+    pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
+        self.expect(&Request::List, |r| match r {
+            Response::Machines(names) => Ok(names),
+            other => Err(other),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use crate::service::AllocationService;
+
+    #[test]
+    fn typed_client_round_trips_against_a_live_server() {
+        let service = AllocationService::new();
+        let handle = Server::bind("127.0.0.1:0", service, 2)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut client = ServiceClient::connect(handle.addr()).unwrap();
+
+        client.ping().unwrap();
+        client.register("m0", "8x8", None, None).unwrap();
+        assert_eq!(client.list().unwrap(), vec!["m0".to_string()]);
+
+        let ClientAllocOutcome::Granted(nodes) = client.alloc("m0", 1, 10, false).unwrap() else {
+            panic!("grant expected");
+        };
+        assert_eq!(nodes.len(), 10);
+        assert_eq!(client.poll("m0", 1).unwrap(), JobStatus::Running(nodes));
+
+        let snapshot = client.query("m0").unwrap();
+        assert_eq!(snapshot.get("busy").and_then(Value::as_u64), Some(10));
+
+        // Service-level failures surface as ClientError::Service.
+        let err = client.alloc("nope", 1, 1, false).unwrap_err();
+        assert!(matches!(err, ClientError::Service(_)), "got {err:?}");
+
+        assert!(client.release("m0", 1).unwrap().is_empty());
+        let stats = client.stats("m0").unwrap();
+        assert_eq!(
+            stats
+                .get("counters")
+                .and_then(|c| c.get("released"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        drop(client);
+        handle.shutdown().unwrap();
+    }
+}

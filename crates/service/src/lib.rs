@@ -1,0 +1,93 @@
+//! # commalloc-service
+//!
+//! A long-running, multi-tenant **allocation daemon** over the allocators of
+//! `commalloc-alloc`: it owns live machine state, accepts concurrent
+//! allocate/release/query streams, and serves them through an in-process
+//! API ([`AllocationService`]) and a newline-delimited JSON protocol over
+//! TCP ([`server::Server`] / [`client::ServiceClient`]).
+//!
+//! ## Why a service (design rationale)
+//!
+//! The source paper (Leung, Bunde & Mache, IPPS 2004) evaluates allocators
+//! with ProcSimity — an *offline* simulator replaying a fixed trace against
+//! one machine. The allocation problem it studies is inherently *online*,
+//! though: jobs arrive and depart against live machine state, and the
+//! allocator must answer immediately. This crate generalises the repo's
+//! offline replay engine (`commalloc::engine`) to online operation:
+//!
+//! * **State ownership.** A [`registry::Registry`] holds every registered
+//!   machine behind **sharded locks** (machines hash to shards; requests
+//!   for different machines proceed in parallel, requests for one machine
+//!   serialise — exactly the consistency the occupancy invariant needs).
+//! * **2-D and 3-D meshes.** A registered machine is either the paper's
+//!   2-D mesh with any [`commalloc_alloc::AllocatorKind`], or a 3-D mesh
+//!   allocated by one-dimensional reduction along a
+//!   [`commalloc_mesh::curve3d::Curve3Order`] — the generalisation the
+//!   paper points to via Alber & Niedermeier's multidimensional indexings.
+//! * **Incremental hot path.** Curve allocators consult the
+//!   [`commalloc_alloc::FreeIntervalIndex`] — a BTree of maximal free runs
+//!   updated in O(log n) per occupy/release — instead of rescanning the
+//!   occupancy bitmap per request; the 3-D path uses the same index
+//!   directly as its source of truth.
+//! * **FCFS admission.** When a machine cannot serve a request, the caller
+//!   may queue it ([`admission::FcfsQueue`]): strictly first-come
+//!   first-served with head-of-line blocking, matching the paper's FCFS
+//!   scheduling discipline. Releases drain the queue head eagerly.
+//!
+//! ## Wire protocol
+//!
+//! One JSON object per `\n`-terminated line in each direction
+//! ([`protocol::Request`] / [`protocol::Response`]). Requests carry an
+//! `"op"` discriminator:
+//!
+//! ```json
+//! {"op":"register","machine":"m0","mesh":"16x16","allocator":"Hilbert w/BF"}
+//! {"op":"alloc","machine":"m0","job":1,"size":17,"wait":true}
+//! {"op":"release","machine":"m0","job":1}
+//! {"op":"poll","machine":"m0","job":2}
+//! {"op":"query","machine":"m0"}
+//! {"op":"stats","machine":"m0"}
+//! {"op":"list"}
+//! {"op":"ping"}
+//! ```
+//!
+//! Responses always carry `"ok"`; successful `alloc` responses carry
+//! `"status"` (`"granted"` with `"nodes"`, or `"queued"` with
+//! `"position"`), and errors carry `"error"` with a message. The protocol
+//! is deliberately line-oriented and human-typeable (`nc` works) while
+//! staying machine-parseable; it needs nothing beyond the standard library
+//! plus the workspace's JSON layer.
+//!
+//! The TCP server is std-only: a listener thread accepts connections and
+//! hands them to a **bounded worker pool** (thread-per-connection, at most
+//! `workers` concurrent connections; excess connections wait in the
+//! accept queue rather than spawning unbounded threads).
+//!
+//! ## Example
+//!
+//! ```
+//! use commalloc_service::{AllocationService, AllocOutcome};
+//!
+//! let service = AllocationService::new();
+//! service.register_2d("m0", "16x16", "Hilbert w/BF").unwrap();
+//! let granted = service.allocate("m0", 1, 17, false).unwrap();
+//! let AllocOutcome::Granted(nodes) = granted else { panic!("empty machine") };
+//! assert_eq!(nodes.len(), 17);
+//! let newly_runnable = service.release("m0", 1).unwrap();
+//! assert!(newly_runnable.is_empty());
+//! ```
+
+pub mod admission;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use client::{ClientAllocOutcome, ClientError, ServiceClient};
+pub use metrics::{MachineMetrics, ServiceMetrics};
+pub use protocol::{Request, Response};
+pub use registry::{MachineSnapshot, Registry, ServiceError};
+pub use server::{Server, ServerHandle};
+pub use service::{AllocOutcome, AllocationService, JobStatus};

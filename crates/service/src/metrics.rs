@@ -1,0 +1,105 @@
+//! Operation counters for the daemon and for each registered machine.
+
+use serde::{Serialize, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-machine counters, updated under the machine's shard lock (plain
+/// fields — no atomics needed).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MachineMetrics {
+    /// Allocation requests granted immediately.
+    pub granted: u64,
+    /// Allocation requests granted after waiting in the admission queue.
+    pub granted_from_queue: u64,
+    /// Allocation requests enqueued.
+    pub queued: u64,
+    /// Allocation requests rejected (no capacity and `wait` not set, or
+    /// oversized for the machine).
+    pub rejected: u64,
+    /// Jobs released.
+    pub released: u64,
+    /// High-water mark of busy processors.
+    pub peak_busy: u64,
+}
+
+impl MachineMetrics {
+    /// Records a grant, tracking the busy high-water mark.
+    pub fn record_grant(&mut self, from_queue: bool, busy_now: usize) {
+        if from_queue {
+            self.granted_from_queue += 1;
+        } else {
+            self.granted += 1;
+        }
+        self.peak_busy = self.peak_busy.max(busy_now as u64);
+    }
+}
+
+/// Process-wide counters, updated lock-free by server workers.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Connections accepted by the TCP server.
+    pub connections: AtomicU64,
+    /// Requests parsed and dispatched (any op).
+    pub requests: AtomicU64,
+    /// Requests answered with an error.
+    pub errors: AtomicU64,
+    /// Lines that failed to parse as a request.
+    pub protocol_errors: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Counts one occurrence on `counter`.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time JSON snapshot.
+    pub fn snapshot(&self) -> Value {
+        let mut m = serde::Map::new();
+        m.insert(
+            "connections".into(),
+            self.connections.load(Ordering::Relaxed).to_value(),
+        );
+        m.insert(
+            "requests".into(),
+            self.requests.load(Ordering::Relaxed).to_value(),
+        );
+        m.insert(
+            "errors".into(),
+            self.errors.load(Ordering::Relaxed).to_value(),
+        );
+        m.insert(
+            "protocol_errors".into(),
+            self.protocol_errors.load(Ordering::Relaxed).to_value(),
+        );
+        Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_tracking_updates_peaks_and_sources() {
+        let mut m = MachineMetrics::default();
+        m.record_grant(false, 10);
+        m.record_grant(true, 25);
+        m.record_grant(false, 7);
+        assert_eq!(m.granted, 2);
+        assert_eq!(m.granted_from_queue, 1);
+        assert_eq!(m.peak_busy, 25);
+    }
+
+    #[test]
+    fn service_snapshot_reflects_counters() {
+        let s = ServiceMetrics::default();
+        ServiceMetrics::bump(&s.requests);
+        ServiceMetrics::bump(&s.requests);
+        ServiceMetrics::bump(&s.errors);
+        let snap = s.snapshot();
+        assert_eq!(snap.get("requests").and_then(Value::as_u64), Some(2));
+        assert_eq!(snap.get("errors").and_then(Value::as_u64), Some(1));
+        assert_eq!(snap.get("connections").and_then(Value::as_u64), Some(0));
+    }
+}

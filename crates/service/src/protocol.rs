@@ -1,0 +1,608 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One JSON object per line in each direction. Requests carry an `"op"`
+//! discriminator; responses always carry `"ok"` plus op-specific fields
+//! (see the crate docs for the full vocabulary). Node identifiers travel
+//! as plain integers (dense [`commalloc_mesh::NodeId`] indices).
+//!
+//! The [`Request`] and [`Response`] enums implement conversion to and from
+//! the JSON value tree by hand — the shapes are data-carrying enums, which
+//! the workspace's derive shim deliberately does not cover, and hand-rolled
+//! conversions double as precise wire-format documentation.
+
+use commalloc_mesh::NodeId;
+use serde::{Error, Map, Value};
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Register a machine. `mesh` is `"WxH"` (2-D) or `"WxHxD"` (3-D);
+    /// `allocator` names an [`commalloc_alloc::AllocatorKind`] (2-D) or a
+    /// 3-D curve kind; `strategy` names a selection strategy (3-D only).
+    Register {
+        /// Machine name.
+        machine: String,
+        /// Mesh dimension spec.
+        mesh: String,
+        /// Allocator (2-D) or curve (3-D) spec; `None` = default.
+        allocator: Option<String>,
+        /// Selection strategy spec (3-D); `None` = Best Fit.
+        strategy: Option<String>,
+    },
+    /// Allocate `size` processors for `job` on `machine`; `wait` queues
+    /// the request (FCFS) when it cannot be served immediately.
+    Alloc {
+        /// Machine name.
+        machine: String,
+        /// Job identifier (client-chosen, unique per machine).
+        job: u64,
+        /// Number of processors.
+        size: usize,
+        /// Queue instead of rejecting on capacity shortfall.
+        wait: bool,
+    },
+    /// Release the processors of `job` (or cancel it while queued).
+    Release {
+        /// Machine name.
+        machine: String,
+        /// Job identifier.
+        job: u64,
+    },
+    /// Ask where `job` currently stands.
+    Poll {
+        /// Machine name.
+        machine: String,
+        /// Job identifier.
+        job: u64,
+    },
+    /// Occupancy snapshot of a machine.
+    Query {
+        /// Machine name.
+        machine: String,
+    },
+    /// Operation counters of a machine (plus server totals).
+    Stats {
+        /// Machine name.
+        machine: String,
+    },
+    /// Names of all registered machines.
+    List,
+    /// Liveness check.
+    Ping,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request failed (unknown machine, duplicate job, parse
+    /// error, ...).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Registration succeeded.
+    Registered {
+        /// Machine name.
+        machine: String,
+    },
+    /// Allocation granted immediately.
+    Granted {
+        /// Job identifier.
+        job: u64,
+        /// Granted processors, in rank order.
+        nodes: Vec<NodeId>,
+    },
+    /// Allocation queued (FCFS).
+    Queued {
+        /// Job identifier.
+        job: u64,
+        /// 1-based queue position at enqueue time.
+        position: usize,
+    },
+    /// Allocation rejected (no capacity, `wait` unset).
+    Rejected {
+        /// Job identifier.
+        job: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Release succeeded; `granted` lists jobs admitted from the queue.
+    Released {
+        /// The released (or cancelled) job.
+        job: u64,
+        /// Jobs granted from the queue by this release, in grant order.
+        granted: Vec<(u64, Vec<NodeId>)>,
+    },
+    /// Poll result: the job runs on these processors.
+    Running {
+        /// Job identifier.
+        job: u64,
+        /// The processors the job holds.
+        nodes: Vec<NodeId>,
+    },
+    /// Poll result: the job waits at this 1-based position.
+    Waiting {
+        /// Job identifier.
+        job: u64,
+        /// 1-based queue position.
+        position: usize,
+    },
+    /// Poll result: the job is not present.
+    Unknown {
+        /// Job identifier.
+        job: u64,
+    },
+    /// Occupancy snapshot (the `MachineSnapshot` serialised fields).
+    Snapshot(Value),
+    /// Counter snapshot.
+    Stats(Value),
+    /// Registered machine names.
+    Machines(Vec<String>),
+    /// Liveness answer.
+    Pong,
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in entries {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+fn str_value(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn nodes_value(nodes: &[NodeId]) -> Value {
+    Value::Array(nodes.iter().map(|n| Value::UInt(n.0 as u64)).collect())
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, Error> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| Error::msg(format!("missing or non-string field {key:?}")))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, Error> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| Error::msg(format!("missing or non-integer field {key:?}")))
+}
+
+fn get_nodes(v: &Value, key: &str) -> Result<Vec<NodeId>, Error> {
+    let arr = v
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| Error::msg(format!("missing or non-array field {key:?}")))?;
+    arr.iter()
+        .map(|n| {
+            n.as_u64()
+                .map(|id| NodeId(id as u32))
+                .ok_or_else(|| Error::msg("non-integer node id"))
+        })
+        .collect()
+}
+
+impl Request {
+    /// Renders the request as its wire value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Request::Register {
+                machine,
+                mesh,
+                allocator,
+                strategy,
+            } => {
+                let mut entries = vec![
+                    ("op", str_value("register")),
+                    ("machine", str_value(machine)),
+                    ("mesh", str_value(mesh)),
+                ];
+                if let Some(a) = allocator {
+                    entries.push(("allocator", str_value(a)));
+                }
+                if let Some(s) = strategy {
+                    entries.push(("strategy", str_value(s)));
+                }
+                obj(entries)
+            }
+            Request::Alloc {
+                machine,
+                job,
+                size,
+                wait,
+            } => obj(vec![
+                ("op", str_value("alloc")),
+                ("machine", str_value(machine)),
+                ("job", Value::UInt(*job)),
+                ("size", Value::UInt(*size as u64)),
+                ("wait", Value::Bool(*wait)),
+            ]),
+            Request::Release { machine, job } => obj(vec![
+                ("op", str_value("release")),
+                ("machine", str_value(machine)),
+                ("job", Value::UInt(*job)),
+            ]),
+            Request::Poll { machine, job } => obj(vec![
+                ("op", str_value("poll")),
+                ("machine", str_value(machine)),
+                ("job", Value::UInt(*job)),
+            ]),
+            Request::Query { machine } => obj(vec![
+                ("op", str_value("query")),
+                ("machine", str_value(machine)),
+            ]),
+            Request::Stats { machine } => obj(vec![
+                ("op", str_value("stats")),
+                ("machine", str_value(machine)),
+            ]),
+            Request::List => obj(vec![("op", str_value("list"))]),
+            Request::Ping => obj(vec![("op", str_value("ping"))]),
+        }
+    }
+
+    /// Parses a request from its wire value.
+    pub fn from_value(v: &Value) -> Result<Request, Error> {
+        let op = get_str(v, "op")?;
+        match op.as_str() {
+            "register" => Ok(Request::Register {
+                machine: get_str(v, "machine")?,
+                mesh: get_str(v, "mesh")?,
+                allocator: v
+                    .get("allocator")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                strategy: v
+                    .get("strategy")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+            }),
+            "alloc" => Ok(Request::Alloc {
+                machine: get_str(v, "machine")?,
+                job: get_u64(v, "job")?,
+                size: get_u64(v, "size")? as usize,
+                wait: v.get("wait").and_then(Value::as_bool).unwrap_or(false),
+            }),
+            "release" => Ok(Request::Release {
+                machine: get_str(v, "machine")?,
+                job: get_u64(v, "job")?,
+            }),
+            "poll" => Ok(Request::Poll {
+                machine: get_str(v, "machine")?,
+                job: get_u64(v, "job")?,
+            }),
+            "query" => Ok(Request::Query {
+                machine: get_str(v, "machine")?,
+            }),
+            "stats" => Ok(Request::Stats {
+                machine: get_str(v, "machine")?,
+            }),
+            "list" => Ok(Request::List),
+            "ping" => Ok(Request::Ping),
+            other => Err(Error::msg(format!("unknown op {other:?}"))),
+        }
+    }
+
+    /// Parses a request from one wire line.
+    pub fn from_line(line: &str) -> Result<Request, Error> {
+        let value: Value = serde_json::from_str(line)?;
+        Request::from_value(&value)
+    }
+
+    /// Renders the request as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("value rendering is infallible")
+    }
+}
+
+impl Response {
+    /// Renders the response as its wire value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Response::Error { message } => obj(vec![
+                ("ok", Value::Bool(false)),
+                ("error", str_value(message)),
+            ]),
+            Response::Registered { machine } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("register")),
+                ("machine", str_value(machine)),
+            ]),
+            Response::Granted { job, nodes } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("alloc")),
+                ("status", str_value("granted")),
+                ("job", Value::UInt(*job)),
+                ("nodes", nodes_value(nodes)),
+            ]),
+            Response::Queued { job, position } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("alloc")),
+                ("status", str_value("queued")),
+                ("job", Value::UInt(*job)),
+                ("position", Value::UInt(*position as u64)),
+            ]),
+            Response::Rejected { job, reason } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("alloc")),
+                ("status", str_value("rejected")),
+                ("job", Value::UInt(*job)),
+                ("reason", str_value(reason)),
+            ]),
+            Response::Released { job, granted } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("release")),
+                ("job", Value::UInt(*job)),
+                (
+                    "granted",
+                    Value::Array(
+                        granted
+                            .iter()
+                            .map(|(id, nodes)| {
+                                obj(vec![
+                                    ("job", Value::UInt(*id)),
+                                    ("nodes", nodes_value(nodes)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Running { job, nodes } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("poll")),
+                ("state", str_value("running")),
+                ("job", Value::UInt(*job)),
+                ("nodes", nodes_value(nodes)),
+            ]),
+            Response::Waiting { job, position } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("poll")),
+                ("state", str_value("queued")),
+                ("job", Value::UInt(*job)),
+                ("position", Value::UInt(*position as u64)),
+            ]),
+            Response::Unknown { job } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("poll")),
+                ("state", str_value("unknown")),
+                ("job", Value::UInt(*job)),
+            ]),
+            Response::Snapshot(snapshot) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("query")),
+                ("snapshot", snapshot.clone()),
+            ]),
+            Response::Stats(stats) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("stats")),
+                ("stats", stats.clone()),
+            ]),
+            Response::Machines(names) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("list")),
+                (
+                    "machines",
+                    Value::Array(names.iter().map(|n| str_value(n)).collect()),
+                ),
+            ]),
+            Response::Pong => obj(vec![("ok", Value::Bool(true)), ("op", str_value("pong"))]),
+        }
+    }
+
+    /// Parses a response from its wire value.
+    pub fn from_value(v: &Value) -> Result<Response, Error> {
+        let ok = v
+            .get("ok")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| Error::msg("missing \"ok\" field"))?;
+        if !ok {
+            return Ok(Response::Error {
+                message: get_str(v, "error")?,
+            });
+        }
+        let op = get_str(v, "op")?;
+        match op.as_str() {
+            "register" => Ok(Response::Registered {
+                machine: get_str(v, "machine")?,
+            }),
+            "alloc" => match get_str(v, "status")?.as_str() {
+                "granted" => Ok(Response::Granted {
+                    job: get_u64(v, "job")?,
+                    nodes: get_nodes(v, "nodes")?,
+                }),
+                "queued" => Ok(Response::Queued {
+                    job: get_u64(v, "job")?,
+                    position: get_u64(v, "position")? as usize,
+                }),
+                "rejected" => Ok(Response::Rejected {
+                    job: get_u64(v, "job")?,
+                    reason: get_str(v, "reason")?,
+                }),
+                other => Err(Error::msg(format!("unknown alloc status {other:?}"))),
+            },
+            "release" => {
+                let arr = v
+                    .get("granted")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| Error::msg("missing \"granted\" array"))?;
+                let granted = arr
+                    .iter()
+                    .map(|entry| Ok((get_u64(entry, "job")?, get_nodes(entry, "nodes")?)))
+                    .collect::<Result<Vec<_>, Error>>()?;
+                Ok(Response::Released {
+                    job: get_u64(v, "job")?,
+                    granted,
+                })
+            }
+            "poll" => match get_str(v, "state")?.as_str() {
+                "running" => Ok(Response::Running {
+                    job: get_u64(v, "job")?,
+                    nodes: get_nodes(v, "nodes")?,
+                }),
+                "queued" => Ok(Response::Waiting {
+                    job: get_u64(v, "job")?,
+                    position: get_u64(v, "position")? as usize,
+                }),
+                "unknown" => Ok(Response::Unknown {
+                    job: get_u64(v, "job")?,
+                }),
+                other => Err(Error::msg(format!("unknown poll state {other:?}"))),
+            },
+            "query" => Ok(Response::Snapshot(
+                v.get("snapshot")
+                    .cloned()
+                    .ok_or_else(|| Error::msg("missing \"snapshot\""))?,
+            )),
+            "stats" => Ok(Response::Stats(
+                v.get("stats")
+                    .cloned()
+                    .ok_or_else(|| Error::msg("missing \"stats\""))?,
+            )),
+            "list" => {
+                let arr = v
+                    .get("machines")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| Error::msg("missing \"machines\" array"))?;
+                arr.iter()
+                    .map(|n| {
+                        n.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| Error::msg("non-string machine name"))
+                    })
+                    .collect::<Result<Vec<_>, Error>>()
+                    .map(Response::Machines)
+            }
+            "pong" => Ok(Response::Pong),
+            other => Err(Error::msg(format!("unknown response op {other:?}"))),
+        }
+    }
+
+    /// Parses a response from one wire line.
+    pub fn from_line(line: &str) -> Result<Response, Error> {
+        let value: Value = serde_json::from_str(line)?;
+        Response::from_value(&value)
+    }
+
+    /// Renders the response as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("value rendering is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format() {
+        let requests = vec![
+            Request::Register {
+                machine: "m0".into(),
+                mesh: "16x16".into(),
+                allocator: Some("Hilbert w/BF".into()),
+                strategy: None,
+            },
+            Request::Alloc {
+                machine: "m0".into(),
+                job: 7,
+                size: 17,
+                wait: true,
+            },
+            Request::Release {
+                machine: "m0".into(),
+                job: 7,
+            },
+            Request::Poll {
+                machine: "m0".into(),
+                job: 8,
+            },
+            Request::Query {
+                machine: "m0".into(),
+            },
+            Request::Stats {
+                machine: "m0".into(),
+            },
+            Request::List,
+            Request::Ping,
+        ];
+        for request in requests {
+            let line = request.to_line();
+            assert!(!line.contains('\n'), "wire lines must be single lines");
+            let parsed = Request::from_line(&line).unwrap();
+            assert_eq!(parsed, request, "line was {line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_format() {
+        let responses = vec![
+            Response::Error {
+                message: "unknown machine \"x\"".into(),
+            },
+            Response::Registered {
+                machine: "m0".into(),
+            },
+            Response::Granted {
+                job: 1,
+                nodes: vec![NodeId(0), NodeId(255)],
+            },
+            Response::Queued {
+                job: 2,
+                position: 3,
+            },
+            Response::Rejected {
+                job: 3,
+                reason: "17 processors requested, 4 free".into(),
+            },
+            Response::Released {
+                job: 1,
+                granted: vec![(2, vec![NodeId(9)]), (4, vec![])],
+            },
+            Response::Running {
+                job: 2,
+                nodes: vec![NodeId(9)],
+            },
+            Response::Waiting {
+                job: 5,
+                position: 1,
+            },
+            Response::Unknown { job: 6 },
+            Response::Machines(vec!["a".into(), "b".into()]),
+            Response::Pong,
+        ];
+        for response in responses {
+            let line = response.to_line();
+            let parsed = Response::from_line(&line).unwrap();
+            assert_eq!(parsed, response, "line was {line}");
+        }
+    }
+
+    #[test]
+    fn alloc_wait_defaults_to_false() {
+        let parsed =
+            Request::from_line(r#"{"op":"alloc","machine":"m0","job":1,"size":4}"#).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Alloc {
+                machine: "m0".into(),
+                job: 1,
+                size: 4,
+                wait: false
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Request::from_line("not json").is_err());
+        assert!(Request::from_line(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(Request::from_line(r#"{"op":"alloc","machine":"m0"}"#).is_err());
+        assert!(
+            Response::from_line(r#"{"op":"pong"}"#).is_err(),
+            "missing ok"
+        );
+    }
+}

@@ -1,0 +1,686 @@
+//! Machine registry: named live machines behind sharded locks.
+//!
+//! Machines hash to one of a fixed number of shards; each shard is a
+//! `Mutex<HashMap<name, MachineEntry>>`. Requests touching different
+//! machines on different shards proceed fully in parallel, while requests
+//! for one machine serialise — the granularity the occupancy invariant
+//! requires (an allocate must observe the state left by the previous
+//! allocate/release on the same machine).
+
+use crate::admission::{FcfsQueue, PendingRequest};
+use crate::metrics::MachineMetrics;
+use commalloc_alloc::curve_alloc::SelectionStrategy;
+use commalloc_alloc::interval_index::FreeIntervalIndex;
+use commalloc_alloc::{AllocRequest, Allocation, Allocator, AllocatorKind, MachineState};
+use commalloc_mesh::curve3d::{Curve3Kind, Curve3Order};
+use commalloc_mesh::{Mesh2D, Mesh3D, NodeId};
+use serde::Serialize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Errors surfaced by the service to callers (mapped onto protocol error
+/// responses by the server).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The named machine is not registered.
+    UnknownMachine(String),
+    /// A machine with that name already exists.
+    MachineExists(String),
+    /// A mesh/allocator/strategy specification could not be parsed.
+    InvalidSpec(String),
+    /// The job is neither running nor queued on the machine.
+    UnknownJob { machine: String, job_id: u64 },
+    /// The job already runs or waits on the machine.
+    DuplicateJob { machine: String, job_id: u64 },
+    /// The request itself is malformed (zero size, larger than the whole
+    /// machine, ...).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownMachine(name) => write!(f, "unknown machine {name:?}"),
+            ServiceError::MachineExists(name) => {
+                write!(f, "machine {name:?} is already registered")
+            }
+            ServiceError::InvalidSpec(spec) => write!(f, "invalid specification: {spec}"),
+            ServiceError::UnknownJob { machine, job_id } => {
+                write!(f, "job {job_id} is not known on machine {machine:?}")
+            }
+            ServiceError::DuplicateJob { machine, job_id } => {
+                write!(f, "job {job_id} already exists on machine {machine:?}")
+            }
+            ServiceError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Outcome of an allocation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// Processors were granted immediately, in rank order.
+    Granted(Vec<NodeId>),
+    /// The request waits in the FCFS admission queue at this 1-based
+    /// position.
+    Queued(usize),
+    /// The request was rejected (capacity shortfall with `wait` unset).
+    Rejected(String),
+}
+
+/// Status of a job on a machine, as reported by `poll`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Running on these processors (granted immediately or from the
+    /// queue).
+    Running(Vec<NodeId>),
+    /// Waiting in the admission queue at this 1-based position.
+    Queued(usize),
+    /// Not present on the machine.
+    Unknown,
+}
+
+/// A point-in-time occupancy summary of one machine.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MachineSnapshot {
+    /// Machine name.
+    pub machine: String,
+    /// Dimension spec: `"WxH"` or `"WxHxD"`.
+    pub dims: String,
+    /// Allocator description.
+    pub allocator: String,
+    /// Total processors.
+    pub nodes: usize,
+    /// Free processors.
+    pub free: usize,
+    /// Busy processors.
+    pub busy: usize,
+    /// Fraction of processors busy.
+    pub utilization: f64,
+    /// Jobs currently holding processors.
+    pub live_jobs: usize,
+    /// Requests waiting in the admission queue.
+    pub queue_len: usize,
+}
+
+/// The allocator+state backing of one machine.
+enum Backing {
+    /// A 2-D mesh served by any of the paper's allocators.
+    TwoD {
+        mesh: Mesh2D,
+        machine: MachineState,
+        allocator: Box<dyn Allocator>,
+        kind: AllocatorKind,
+    },
+    /// A 3-D mesh served by one-dimensional reduction along a 3-D curve,
+    /// with the free-interval index as the single source of truth.
+    ThreeD {
+        mesh: Mesh3D,
+        curve: Curve3Order,
+        index: FreeIntervalIndex,
+        strategy: SelectionStrategy,
+    },
+}
+
+impl Backing {
+    fn total_nodes(&self) -> usize {
+        match self {
+            Backing::TwoD { machine, .. } => machine.num_nodes(),
+            Backing::ThreeD { index, .. } => index.len(),
+        }
+    }
+
+    fn num_free(&self) -> usize {
+        match self {
+            Backing::TwoD { machine, .. } => machine.num_free(),
+            Backing::ThreeD { index, .. } => index.num_free(),
+        }
+    }
+
+    fn num_busy(&self) -> usize {
+        self.total_nodes() - self.num_free()
+    }
+
+    /// Attempts the raw allocation, committing the occupancy change on
+    /// success. Does not touch the queue or metrics.
+    fn try_allocate(&mut self, job_id: u64, size: usize) -> Option<Vec<NodeId>> {
+        match self {
+            Backing::TwoD {
+                machine, allocator, ..
+            } => {
+                let allocation = allocator.allocate(&AllocRequest::new(job_id, size), machine)?;
+                machine.occupy(&allocation.nodes);
+                Some(allocation.nodes)
+            }
+            Backing::ThreeD {
+                curve,
+                index,
+                strategy,
+                ..
+            } => {
+                if size == 0 || size > index.num_free() {
+                    return None;
+                }
+                let ranks: Vec<usize> = match strategy {
+                    SelectionStrategy::FreeList => index.free_list_ranks(size),
+                    _ => match index.select(*strategy, size) {
+                        Some(interval) => (interval.start..interval.start + size).collect(),
+                        None => index.min_span_ranks(size),
+                    },
+                };
+                let applied = index.occupy_ranks(&ranks);
+                debug_assert!(applied, "3-D index granted a busy rank");
+                Some(ranks.iter().map(|&r| curve.node_at(r)).collect())
+            }
+        }
+    }
+
+    /// Returns the nodes of `job_id` to the free pool.
+    fn release(&mut self, nodes: &[NodeId], job_id: u64) {
+        match self {
+            Backing::TwoD {
+                machine, allocator, ..
+            } => {
+                machine.release(nodes);
+                allocator.release(&Allocation::new(job_id, nodes.to_vec()), machine);
+            }
+            Backing::ThreeD { curve, index, .. } => {
+                let ranks: Vec<usize> = nodes.iter().map(|&node| curve.rank_of(node)).collect();
+                let applied = index.release_ranks(&ranks);
+                debug_assert!(applied, "released a free rank");
+            }
+        }
+    }
+}
+
+/// One registered machine: backing state, live allocations, admission
+/// queue and counters. All access happens under the owning shard's lock.
+pub struct MachineEntry {
+    name: String,
+    backing: Backing,
+    allocations: HashMap<u64, Vec<NodeId>>,
+    queue: FcfsQueue,
+    /// Operation counters (public so the service layer can read them out).
+    pub metrics: MachineMetrics,
+}
+
+impl MachineEntry {
+    fn new_2d(name: &str, mesh: Mesh2D, kind: AllocatorKind) -> Self {
+        MachineEntry {
+            name: name.to_string(),
+            backing: Backing::TwoD {
+                mesh,
+                machine: MachineState::new(mesh),
+                allocator: kind.build(mesh),
+                kind,
+            },
+            allocations: HashMap::new(),
+            queue: FcfsQueue::new(),
+            metrics: MachineMetrics::default(),
+        }
+    }
+
+    fn new_3d(name: &str, mesh: Mesh3D, curve: Curve3Kind, strategy: SelectionStrategy) -> Self {
+        let curve = Curve3Order::build(curve, mesh);
+        let index = FreeIntervalIndex::all_free(curve.len());
+        MachineEntry {
+            name: name.to_string(),
+            backing: Backing::ThreeD {
+                mesh,
+                curve,
+                index,
+                strategy,
+            },
+            allocations: HashMap::new(),
+            queue: FcfsQueue::new(),
+            metrics: MachineMetrics::default(),
+        }
+    }
+
+    /// Total processors.
+    pub fn total_nodes(&self) -> usize {
+        self.backing.total_nodes()
+    }
+
+    /// Currently free processors.
+    pub fn num_free(&self) -> usize {
+        self.backing.num_free()
+    }
+
+    /// Currently busy processors.
+    pub fn num_busy(&self) -> usize {
+        self.backing.num_busy()
+    }
+
+    /// Serves an allocation request: immediate grant, queue (when `wait`),
+    /// or rejection. FCFS: a non-empty queue means no request may jump
+    /// ahead, even if it would fit.
+    pub fn allocate(
+        &mut self,
+        job_id: u64,
+        size: usize,
+        wait: bool,
+    ) -> Result<AllocOutcome, ServiceError> {
+        if self.allocations.contains_key(&job_id) || self.queue.contains(job_id) {
+            return Err(ServiceError::DuplicateJob {
+                machine: self.name.clone(),
+                job_id,
+            });
+        }
+        if size == 0 {
+            return Err(ServiceError::InvalidRequest(
+                "cannot allocate zero processors".to_string(),
+            ));
+        }
+        if size > self.total_nodes() {
+            return Err(ServiceError::InvalidRequest(format!(
+                "request for {size} processors exceeds machine size {}",
+                self.total_nodes()
+            )));
+        }
+        let must_wait = !self.queue.is_empty();
+        if !must_wait {
+            if let Some(nodes) = self.backing.try_allocate(job_id, size) {
+                self.metrics.record_grant(false, self.num_busy());
+                self.allocations.insert(job_id, nodes.clone());
+                return Ok(AllocOutcome::Granted(nodes));
+            }
+        }
+        if wait {
+            let position = self.queue.enqueue(PendingRequest { job_id, size });
+            self.metrics.queued += 1;
+            Ok(AllocOutcome::Queued(position))
+        } else {
+            self.metrics.rejected += 1;
+            Ok(AllocOutcome::Rejected(format!(
+                "{} processors requested, {} free{}",
+                size,
+                self.num_free(),
+                if must_wait { ", queue ahead" } else { "" }
+            )))
+        }
+    }
+
+    /// Releases `job_id` (or cancels it if still queued), then drains the
+    /// admission queue head-first. Returns the jobs granted from the
+    /// queue as `(job_id, nodes)` pairs, in grant order.
+    pub fn release(&mut self, job_id: u64) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
+        if let Some(nodes) = self.allocations.remove(&job_id) {
+            self.backing.release(&nodes, job_id);
+            self.metrics.released += 1;
+        } else if self.queue.remove(job_id).is_some() {
+            // Cancelling a queued request frees no processors, but may
+            // unblock the queue if the cancelled job was the head.
+        } else {
+            return Err(ServiceError::UnknownJob {
+                machine: self.name.clone(),
+                job_id,
+            });
+        }
+        Ok(self.drain_queue())
+    }
+
+    /// Grants queued requests from the head while they fit (FCFS with
+    /// head-of-line blocking, via [`FcfsQueue::drain_grantable`]).
+    fn drain_queue(&mut self) -> Vec<(u64, Vec<NodeId>)> {
+        let backing = &mut self.backing;
+        let allocations = &mut self.allocations;
+        let metrics = &mut self.metrics;
+        let mut granted = Vec::new();
+        self.queue.drain_grantable(|head| {
+            let Some(nodes) = backing.try_allocate(head.job_id, head.size) else {
+                return false;
+            };
+            metrics.record_grant(true, backing.num_busy());
+            allocations.insert(head.job_id, nodes.clone());
+            granted.push((head.job_id, nodes));
+            true
+        });
+        granted
+    }
+
+    /// Where `job_id` currently stands.
+    pub fn poll(&self, job_id: u64) -> JobStatus {
+        if let Some(nodes) = self.allocations.get(&job_id) {
+            JobStatus::Running(nodes.clone())
+        } else if let Some(position) = self.queue.position(job_id) {
+            JobStatus::Queued(position)
+        } else {
+            JobStatus::Unknown
+        }
+    }
+
+    /// Point-in-time occupancy summary.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let (dims, allocator) = match &self.backing {
+            Backing::TwoD { mesh, kind, .. } => (
+                format!("{}x{}", mesh.width(), mesh.height()),
+                kind.name().to_string(),
+            ),
+            Backing::ThreeD {
+                mesh,
+                curve,
+                strategy,
+                ..
+            } => (
+                format!("{}x{}x{}", mesh.width(), mesh.height(), mesh.depth()),
+                format!("{} w/{}", curve.kind().name(), strategy.short_name()),
+            ),
+        };
+        MachineSnapshot {
+            machine: self.name.clone(),
+            dims,
+            allocator,
+            nodes: self.total_nodes(),
+            free: self.num_free(),
+            busy: self.num_busy(),
+            utilization: self.num_busy() as f64 / self.total_nodes() as f64,
+            live_jobs: self.allocations.len(),
+            queue_len: self.queue.len(),
+        }
+    }
+
+    /// Exhaustive occupancy-invariant check (test/debug helper): every
+    /// node is held by at most one job, and the backing's free count
+    /// agrees with the allocation table.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut held = vec![false; self.total_nodes()];
+        for (job, nodes) in &self.allocations {
+            for node in nodes {
+                let i = node.index();
+                if i >= held.len() {
+                    return Err(format!("job {job} holds out-of-range node {node}"));
+                }
+                if held[i] {
+                    return Err(format!("node {node} held by two jobs"));
+                }
+                held[i] = true;
+            }
+        }
+        let held_count = held.iter().filter(|&&h| h).count();
+        if held_count != self.num_busy() {
+            return Err(format!(
+                "allocation table holds {held_count} nodes but machine reports {} busy",
+                self.num_busy()
+            ));
+        }
+        match &self.backing {
+            Backing::TwoD { machine, .. } => {
+                for (i, &h) in held.iter().enumerate() {
+                    if machine.is_free(NodeId(i as u32)) == h {
+                        return Err(format!("node {i} free/held state mismatch"));
+                    }
+                }
+            }
+            Backing::ThreeD { curve, index, .. } => {
+                for (i, &h) in held.iter().enumerate() {
+                    if index.is_free(curve.rank_of(NodeId(i as u32))) == h {
+                        return Err(format!("node {i} free/held state mismatch"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Named machines behind sharded locks.
+pub struct Registry {
+    shards: Vec<Mutex<HashMap<String, MachineEntry>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_shards(8)
+    }
+}
+
+impl Registry {
+    /// A registry with `shards` lock shards (rounded up to at least one).
+    pub fn with_shards(shards: usize) -> Self {
+        Registry {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, name: &str) -> &Mutex<HashMap<String, MachineEntry>> {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    fn register(&self, name: &str, entry: MachineEntry) -> Result<(), ServiceError> {
+        let mut shard = self.shard_of(name).lock().expect("shard poisoned");
+        if shard.contains_key(name) {
+            return Err(ServiceError::MachineExists(name.to_string()));
+        }
+        shard.insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    /// Registers a 2-D mesh machine served by `kind`.
+    pub fn register_2d(
+        &self,
+        name: &str,
+        mesh: Mesh2D,
+        kind: AllocatorKind,
+    ) -> Result<(), ServiceError> {
+        self.register(name, MachineEntry::new_2d(name, mesh, kind))
+    }
+
+    /// Registers a 3-D mesh machine served by curve reduction along
+    /// `curve` with `strategy`.
+    pub fn register_3d(
+        &self,
+        name: &str,
+        mesh: Mesh3D,
+        curve: Curve3Kind,
+        strategy: SelectionStrategy,
+    ) -> Result<(), ServiceError> {
+        self.register(name, MachineEntry::new_3d(name, mesh, curve, strategy))
+    }
+
+    /// Runs `f` with exclusive access to the named machine.
+    pub fn with_entry<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut MachineEntry) -> Result<R, ServiceError>,
+    ) -> Result<R, ServiceError> {
+        let mut shard = self.shard_of(name).lock().expect("shard poisoned");
+        let entry = shard
+            .get_mut(name)
+            .ok_or_else(|| ServiceError::UnknownMachine(name.to_string()))?;
+        f(entry)
+    }
+
+    /// Names of all registered machines, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("shard poisoned")
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered machines.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no machine is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with_m0() -> Registry {
+        let r = Registry::default();
+        r.register_2d("m0", Mesh2D::square_16x16(), AllocatorKind::HilbertBestFit)
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn register_rejects_duplicates_and_lists_sorted() {
+        let r = registry_with_m0();
+        assert_eq!(
+            r.register_2d("m0", Mesh2D::new(4, 4), AllocatorKind::Mc1x1),
+            Err(ServiceError::MachineExists("m0".to_string()))
+        );
+        r.register_3d(
+            "cube",
+            Mesh3D::new(4, 4, 4),
+            Curve3Kind::Hilbert,
+            SelectionStrategy::BestFit,
+        )
+        .unwrap();
+        assert_eq!(r.list(), vec!["cube".to_string(), "m0".to_string()]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn allocate_release_cycle_keeps_invariants() {
+        let r = registry_with_m0();
+        let outcome = r.with_entry("m0", |m| m.allocate(1, 30, false)).unwrap();
+        let AllocOutcome::Granted(nodes) = outcome else {
+            panic!("expected a grant, got {outcome:?}");
+        };
+        assert_eq!(nodes.len(), 30);
+        r.with_entry("m0", |m| {
+            m.check_invariants().map_err(ServiceError::InvalidRequest)
+        })
+        .unwrap();
+        assert_eq!(
+            r.with_entry("m0", |m| Ok(m.poll(1))).unwrap(),
+            JobStatus::Running(nodes)
+        );
+        let granted = r.with_entry("m0", |m| m.release(1)).unwrap();
+        assert!(granted.is_empty());
+        assert_eq!(r.with_entry("m0", |m| Ok(m.num_free())).unwrap(), 256);
+    }
+
+    #[test]
+    fn queueing_is_fcfs_with_head_of_line_blocking() {
+        let r = registry_with_m0();
+        // Fill the machine almost completely.
+        let AllocOutcome::Granted(_) = r.with_entry("m0", |m| m.allocate(1, 250, false)).unwrap()
+        else {
+            panic!("grant expected");
+        };
+        // 20 does not fit -> queued; 3 would fit but must wait behind it.
+        assert_eq!(
+            r.with_entry("m0", |m| m.allocate(2, 20, true)).unwrap(),
+            AllocOutcome::Queued(1)
+        );
+        assert_eq!(
+            r.with_entry("m0", |m| m.allocate(3, 3, true)).unwrap(),
+            AllocOutcome::Queued(2)
+        );
+        // Without wait, the same situation is a rejection.
+        let outcome = r.with_entry("m0", |m| m.allocate(4, 1, false)).unwrap();
+        assert!(matches!(outcome, AllocOutcome::Rejected(_)));
+        // Releasing the big job grants both queued jobs, in order.
+        let granted = r.with_entry("m0", |m| m.release(1)).unwrap();
+        let ids: Vec<u64> = granted.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![2, 3]);
+        r.with_entry("m0", |m| {
+            m.check_invariants().map_err(ServiceError::InvalidRequest)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cancelling_a_queued_head_unblocks_the_queue() {
+        let r = registry_with_m0();
+        r.with_entry("m0", |m| m.allocate(1, 250, false)).unwrap();
+        r.with_entry("m0", |m| m.allocate(2, 100, true)).unwrap();
+        r.with_entry("m0", |m| m.allocate(3, 5, true)).unwrap();
+        // Cancel the blocking head; job 3 fits the 6 free processors.
+        let granted = r.with_entry("m0", |m| m.release(2)).unwrap();
+        let ids: Vec<u64> = granted.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![3]);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_jobs_are_errors() {
+        let r = registry_with_m0();
+        r.with_entry("m0", |m| m.allocate(1, 4, false)).unwrap();
+        assert_eq!(
+            r.with_entry("m0", |m| m.allocate(1, 4, false)),
+            Err(ServiceError::DuplicateJob {
+                machine: "m0".to_string(),
+                job_id: 1
+            })
+        );
+        assert_eq!(
+            r.with_entry("m0", |m| m.release(99)),
+            Err(ServiceError::UnknownJob {
+                machine: "m0".to_string(),
+                job_id: 99
+            })
+        );
+        assert!(matches!(
+            r.with_entry("m0", |m| m.allocate(5, 0, false)),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            r.with_entry("m0", |m| m.allocate(5, 1000, false)),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            r.with_entry("nope", |m| m.allocate(1, 1, false)),
+            Err(ServiceError::UnknownMachine(_))
+        ));
+    }
+
+    #[test]
+    fn three_d_machines_allocate_contiguously_when_empty() {
+        let r = Registry::default();
+        r.register_3d(
+            "cube",
+            Mesh3D::new(8, 8, 8),
+            Curve3Kind::Hilbert,
+            SelectionStrategy::BestFit,
+        )
+        .unwrap();
+        let AllocOutcome::Granted(nodes) =
+            r.with_entry("cube", |m| m.allocate(1, 32, false)).unwrap()
+        else {
+            panic!("grant expected");
+        };
+        assert_eq!(nodes.len(), 32);
+        // A Hilbert-curve prefix on an empty power-of-two cube is one
+        // connected component.
+        assert_eq!(Mesh3D::new(8, 8, 8).components(&nodes), 1);
+        r.with_entry("cube", |m| {
+            m.check_invariants().map_err(ServiceError::InvalidRequest)
+        })
+        .unwrap();
+        let snap = r.with_entry("cube", |m| Ok(m.snapshot())).unwrap();
+        assert_eq!(snap.dims, "8x8x8");
+        assert_eq!(snap.busy, 32);
+        assert_eq!(snap.live_jobs, 1);
+    }
+}

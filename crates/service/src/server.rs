@@ -1,0 +1,251 @@
+//! The TCP transport: newline-delimited JSON over a bounded worker pool.
+//!
+//! An accept thread hands connections to a fixed set of worker threads
+//! through a channel (thread-per-connection with bounded concurrency:
+//! at most `workers` connections are served at once; further accepted
+//! connections wait in the channel). Everything is `std`-only.
+
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{Request, Response};
+use crate::service::AllocationService;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    service: AllocationService,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) serving
+    /// `service` with a pool of `workers` connection handlers.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: AllocationService,
+        workers: usize,
+    ) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service,
+            workers: workers.max(1),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the calling thread until the process
+    /// exits or the listener fails.
+    pub fn run(self) -> io::Result<()> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (accept_result, workers) = self.serve(shutdown);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        accept_result
+    }
+
+    /// Runs the server on background threads, returning a handle that can
+    /// stop it.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_for_accept = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            let (result, workers) = self.serve(shutdown_for_accept);
+            for worker in workers {
+                let _ = worker.join();
+            }
+            result
+        });
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            accept_thread,
+        })
+    }
+
+    /// The accept loop proper: spawns the worker pool, accepts until
+    /// `shutdown` is set, then closes the channel so workers drain and
+    /// exit. Returns the accept result plus the worker handles to join.
+    fn serve(self, shutdown: Arc<AtomicBool>) -> (io::Result<()>, Vec<JoinHandle<()>>) {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..self.workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let service = self.service.clone();
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while receiving, not while serving.
+                    let next = rx.lock().expect("worker queue poisoned").recv();
+                    match next {
+                        Ok(stream) => {
+                            // A panic in one connection must not shrink the
+                            // pool: catch it, drop the connection, keep
+                            // serving.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    handle_connection(stream, &service)
+                                }));
+                            if outcome.is_err() {
+                                eprintln!(
+                                    "commalloc-service: connection handler \
+                                     panicked; worker continuing"
+                                );
+                            }
+                        }
+                        Err(_) => break, // channel closed: server shutting down
+                    }
+                })
+            })
+            .collect();
+        let result = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break Ok(());
+                    }
+                    ServiceMetrics::bump(&self.service.metrics().connections);
+                    if tx.send(stream).is_err() {
+                        break Ok(());
+                    }
+                }
+                Err(e) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break Ok(());
+                    }
+                    break Err(e);
+                }
+            }
+        };
+        drop(tx); // close the channel: idle workers wake up and exit
+        (result, workers)
+    }
+}
+
+/// Serves one connection: one JSON request per line, one JSON response
+/// per line. Unparseable lines get an error response and the connection
+/// stays open; I/O errors close it.
+fn handle_connection(stream: TcpStream, service: &AllocationService) {
+    // Responses are one small line each; without TCP_NODELAY the
+    // request/response cycle stalls on Nagle + delayed ACK (~40 ms/op).
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::from_line(&line) {
+            Ok(request) => service.handle(&request),
+            Err(e) => {
+                ServiceMetrics::bump(&service.metrics().protocol_errors);
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                }
+            }
+        };
+        if writeln!(writer, "{}", response.to_line())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the worker pool and joins all threads.
+    /// Connections already being served finish their current line first;
+    /// clients should disconnect before calling this.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.accept_thread
+            .join()
+            .map_err(|_| io::Error::other("server accept thread panicked"))?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_serve_shutdown_round_trip() {
+        let service = AllocationService::new();
+        let server = Server::bind("127.0.0.1:0", service.clone(), 2).unwrap();
+        let handle = server.spawn().unwrap();
+        let addr = handle.addr();
+
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            writeln!(stream, "{}", Request::Ping.to_line()).unwrap();
+            writeln!(
+                stream,
+                "{}",
+                Request::Register {
+                    machine: "m0".into(),
+                    mesh: "8x8".into(),
+                    allocator: None,
+                    strategy: None,
+                }
+                .to_line()
+            )
+            .unwrap();
+            writeln!(stream, "this is not json").unwrap();
+            stream.flush().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(Response::from_line(&line).unwrap(), Response::Pong);
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(
+                Response::from_line(&line).unwrap(),
+                Response::Registered {
+                    machine: "m0".into()
+                }
+            );
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(matches!(
+                Response::from_line(&line).unwrap(),
+                Response::Error { .. }
+            ));
+        }
+
+        // The machine registered over TCP is visible in-process.
+        assert_eq!(service.list(), vec!["m0".to_string()]);
+        assert_eq!(service.metrics().protocol_errors.load(Ordering::Relaxed), 1);
+        handle.shutdown().unwrap();
+    }
+}

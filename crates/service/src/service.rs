@@ -1,0 +1,411 @@
+//! The in-process service API and the protocol dispatcher.
+//!
+//! [`AllocationService`] is a cheaply cloneable handle (an `Arc` around the
+//! sharded [`Registry`] plus process-wide counters) usable directly from
+//! any thread; the TCP [`crate::server::Server`] is a thin transport over
+//! [`AllocationService::handle`].
+
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{Request, Response};
+use crate::registry::{MachineSnapshot, Registry, ServiceError};
+use commalloc_alloc::curve_alloc::SelectionStrategy;
+use commalloc_alloc::AllocatorKind;
+use commalloc_mesh::curve3d::Curve3Kind;
+use commalloc_mesh::{Mesh2D, Mesh3D, NodeId};
+use serde::{Map, Serialize, Value};
+use std::sync::Arc;
+
+pub use crate::registry::{AllocOutcome, JobStatus};
+
+/// A shareable handle to the allocation daemon's state.
+#[derive(Clone, Default)]
+pub struct AllocationService {
+    registry: Arc<Registry>,
+    metrics: Arc<ServiceMetrics>,
+}
+
+/// Largest machine the service will register: caps the memory one
+/// network request can force (bitmaps, curve orders) and keeps 3-D node
+/// arithmetic far from `u32` overflow.
+pub const MAX_MACHINE_NODES: u64 = 1 << 20;
+
+/// Parses `"16x16"` / `"4x4x4"` into dimensions, enforcing
+/// [`MAX_MACHINE_NODES`].
+fn parse_dims(spec: &str) -> Result<Vec<u16>, ServiceError> {
+    let dims: Option<Vec<u16>> = spec
+        .split(['x', 'X'])
+        .map(|part| part.trim().parse::<u16>().ok().filter(|&d| d > 0))
+        .collect();
+    match dims {
+        Some(dims) if dims.len() == 2 || dims.len() == 3 => {
+            let nodes: u64 = dims.iter().map(|&d| d as u64).product();
+            if nodes > MAX_MACHINE_NODES {
+                return Err(ServiceError::InvalidSpec(format!(
+                    "mesh {spec:?} has {nodes} nodes, above the {MAX_MACHINE_NODES}-node limit"
+                )));
+            }
+            Ok(dims)
+        }
+        _ => Err(ServiceError::InvalidSpec(format!(
+            "mesh {spec:?} (expected WxH or WxHxD with positive sizes)"
+        ))),
+    }
+}
+
+/// Parses a selection-strategy spec (`"BF"`, `"FF"`, `"free list"`,
+/// `"SS"`, case-insensitive).
+fn parse_strategy(spec: &str) -> Result<SelectionStrategy, ServiceError> {
+    let all = [
+        SelectionStrategy::FreeList,
+        SelectionStrategy::FirstFit,
+        SelectionStrategy::BestFit,
+        SelectionStrategy::SumOfSquares,
+    ];
+    all.into_iter()
+        .find(|s| s.short_name().eq_ignore_ascii_case(spec.trim()))
+        .ok_or_else(|| {
+            ServiceError::InvalidSpec(format!(
+                "strategy {spec:?} (expected one of: free list, FF, BF, SS)"
+            ))
+        })
+}
+
+/// Parses a 3-D curve spec (`"Hilbert-3d"`, `"snake-3d"`, ...).
+fn parse_curve3(spec: &str) -> Result<Curve3Kind, ServiceError> {
+    Curve3Kind::all()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(spec.trim()))
+        .ok_or_else(|| {
+            ServiceError::InvalidSpec(format!(
+                "3-D curve {spec:?} (expected one of: {})",
+                Curve3Kind::all().map(|k| k.name()).join(", ")
+            ))
+        })
+}
+
+impl AllocationService {
+    /// A fresh service with the default shard count and no machines.
+    pub fn new() -> Self {
+        AllocationService::default()
+    }
+
+    /// A fresh service with an explicit lock-shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        AllocationService {
+            registry: Arc::new(Registry::with_shards(shards)),
+            metrics: Arc::new(ServiceMetrics::default()),
+        }
+    }
+
+    /// The process-wide counters (shared with the TCP server).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Registers a machine from string specs. Two dimensions select the
+    /// 2-D path (`allocator` names an [`AllocatorKind`], default
+    /// `"Hilbert w/BF"`); three dimensions select the 3-D curve path
+    /// (`allocator` names a [`Curve3Kind`], default Hilbert, with
+    /// `strategy` defaulting to Best Fit).
+    pub fn register(
+        &self,
+        machine: &str,
+        mesh: &str,
+        allocator: Option<&str>,
+        strategy: Option<&str>,
+    ) -> Result<(), ServiceError> {
+        if machine.is_empty() {
+            return Err(ServiceError::InvalidSpec(
+                "machine name must be non-empty".to_string(),
+            ));
+        }
+        let dims = parse_dims(mesh)?;
+        match dims.as_slice() {
+            [w, h] => {
+                let kind = match allocator {
+                    None => AllocatorKind::HilbertBestFit,
+                    Some(spec) => AllocatorKind::parse(spec)
+                        .ok_or_else(|| ServiceError::InvalidSpec(format!("allocator {spec:?}")))?,
+                };
+                if strategy.is_some() {
+                    return Err(ServiceError::InvalidSpec(
+                        "\"strategy\" applies only to 3-D machines; \
+                         2-D allocators are fully named (e.g. \"Hilbert w/BF\")"
+                            .to_string(),
+                    ));
+                }
+                self.registry
+                    .register_2d(machine, Mesh2D::new(*w, *h), kind)
+            }
+            [w, h, d] => {
+                let curve = match allocator {
+                    None => Curve3Kind::Hilbert,
+                    Some(spec) => parse_curve3(spec)?,
+                };
+                let strategy = match strategy {
+                    None => SelectionStrategy::BestFit,
+                    Some(spec) => parse_strategy(spec)?,
+                };
+                self.registry
+                    .register_3d(machine, Mesh3D::new(*w, *h, *d), curve, strategy)
+            }
+            _ => unreachable!("parse_dims yields 2 or 3 dims"),
+        }
+    }
+
+    /// Registers a 2-D machine (convenience wrapper over
+    /// [`AllocationService::register`]).
+    pub fn register_2d(
+        &self,
+        machine: &str,
+        mesh: &str,
+        allocator: &str,
+    ) -> Result<(), ServiceError> {
+        self.register(machine, mesh, Some(allocator), None)
+    }
+
+    /// Allocates `size` processors for `job` on `machine`.
+    pub fn allocate(
+        &self,
+        machine: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+    ) -> Result<AllocOutcome, ServiceError> {
+        self.registry
+            .with_entry(machine, |entry| entry.allocate(job, size, wait))
+    }
+
+    /// Releases (or cancels) `job`, returning jobs granted from the queue.
+    pub fn release(
+        &self,
+        machine: &str,
+        job: u64,
+    ) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
+        self.registry
+            .with_entry(machine, |entry| entry.release(job))
+    }
+
+    /// Where `job` currently stands on `machine`.
+    pub fn poll(&self, machine: &str, job: u64) -> Result<JobStatus, ServiceError> {
+        self.registry
+            .with_entry(machine, |entry| Ok(entry.poll(job)))
+    }
+
+    /// Occupancy snapshot of `machine`.
+    pub fn query(&self, machine: &str) -> Result<MachineSnapshot, ServiceError> {
+        self.registry
+            .with_entry(machine, |entry| Ok(entry.snapshot()))
+    }
+
+    /// Counter snapshot of `machine` combined with server totals.
+    pub fn stats(&self, machine: &str) -> Result<Value, ServiceError> {
+        let (snapshot, machine_metrics) = self.registry.with_entry(machine, |entry| {
+            Ok((entry.snapshot(), entry.metrics.clone()))
+        })?;
+        let mut m = Map::new();
+        m.insert("machine".into(), snapshot.to_value());
+        m.insert("counters".into(), machine_metrics.to_value());
+        m.insert("server".into(), self.metrics.snapshot());
+        Ok(Value::Object(m))
+    }
+
+    /// Names of all registered machines, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.registry.list()
+    }
+
+    /// Verifies the occupancy invariant of `machine` (test/ops helper).
+    pub fn check_invariants(&self, machine: &str) -> Result<(), ServiceError> {
+        self.registry.with_entry(machine, |entry| {
+            entry
+                .check_invariants()
+                .map_err(ServiceError::InvalidRequest)
+        })
+    }
+
+    /// Dispatches one protocol request to the state layer — the single
+    /// entry point shared by the TCP server, tests and the loadgen driver.
+    pub fn handle(&self, request: &Request) -> Response {
+        let result = match request {
+            Request::Register {
+                machine,
+                mesh,
+                allocator,
+                strategy,
+            } => self
+                .register(machine, mesh, allocator.as_deref(), strategy.as_deref())
+                .map(|()| Response::Registered {
+                    machine: machine.clone(),
+                }),
+            Request::Alloc {
+                machine,
+                job,
+                size,
+                wait,
+            } => self
+                .allocate(machine, *job, *size, *wait)
+                .map(|outcome| match outcome {
+                    AllocOutcome::Granted(nodes) => Response::Granted { job: *job, nodes },
+                    AllocOutcome::Queued(position) => Response::Queued {
+                        job: *job,
+                        position,
+                    },
+                    AllocOutcome::Rejected(reason) => Response::Rejected { job: *job, reason },
+                }),
+            Request::Release { machine, job } => self
+                .release(machine, *job)
+                .map(|granted| Response::Released { job: *job, granted }),
+            Request::Poll { machine, job } => self.poll(machine, *job).map(|status| match status {
+                JobStatus::Running(nodes) => Response::Running { job: *job, nodes },
+                JobStatus::Queued(position) => Response::Waiting {
+                    job: *job,
+                    position,
+                },
+                JobStatus::Unknown => Response::Unknown { job: *job },
+            }),
+            Request::Query { machine } => self
+                .query(machine)
+                .map(|snapshot| Response::Snapshot(snapshot.to_value())),
+            Request::Stats { machine } => self.stats(machine).map(Response::Stats),
+            Request::List => Ok(Response::Machines(self.list())),
+            Request::Ping => Ok(Response::Pong),
+        };
+        ServiceMetrics::bump(&self.metrics.requests);
+        result.unwrap_or_else(|err| {
+            ServiceMetrics::bump(&self.metrics.errors);
+            Response::Error {
+                message: err.to_string(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_dispatches_on_dimension_count() {
+        let service = AllocationService::new();
+        service.register("flat", "16x22", None, None).unwrap();
+        service
+            .register("cube", "4x4x4", Some("snake-3d"), Some("FF"))
+            .unwrap();
+        assert_eq!(service.list(), vec!["cube".to_string(), "flat".to_string()]);
+        let flat = service.query("flat").unwrap();
+        assert_eq!(flat.dims, "16x22");
+        assert_eq!(flat.allocator, "Hilbert w/BF");
+        let cube = service.query("cube").unwrap();
+        assert_eq!(cube.dims, "4x4x4");
+        assert_eq!(cube.allocator, "snake-3d w/FF");
+    }
+
+    #[test]
+    fn bad_specs_are_invalid_spec_errors() {
+        let service = AllocationService::new();
+        for (mesh, allocator, strategy) in [
+            ("16", None, None),
+            ("0x4", None, None),
+            ("4x4x4x4", None, None),
+            ("16x16", Some("nonsense"), None),
+            ("16x16", None, Some("BF")), // strategy is 3-D-only
+            ("4x4x4", Some("not-a-curve"), None),
+            ("4x4x4", None, Some("ZZ")),
+            ("2048x2048", None, None),     // 4M nodes, above the cap
+            ("65535x65535x4", None, None), // would overflow u32 node ids
+        ] {
+            let got = service.register("m", mesh, allocator, strategy);
+            assert!(
+                matches!(got, Err(ServiceError::InvalidSpec(_))),
+                "{mesh:?}/{allocator:?}/{strategy:?} gave {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn handle_maps_outcomes_onto_protocol_responses() {
+        let service = AllocationService::new();
+        let register = Request::Register {
+            machine: "m0".into(),
+            mesh: "4x4".into(),
+            allocator: None,
+            strategy: None,
+        };
+        assert_eq!(
+            service.handle(&register),
+            Response::Registered {
+                machine: "m0".into()
+            }
+        );
+        // Re-registering is a protocol error.
+        assert!(matches!(service.handle(&register), Response::Error { .. }));
+        let grant = service.handle(&Request::Alloc {
+            machine: "m0".into(),
+            job: 1,
+            size: 16,
+            wait: false,
+        });
+        let Response::Granted { job: 1, nodes } = grant else {
+            panic!("expected grant, got {grant:?}");
+        };
+        assert_eq!(nodes.len(), 16);
+        // Machine is full: non-wait rejects, wait queues.
+        assert!(matches!(
+            service.handle(&Request::Alloc {
+                machine: "m0".into(),
+                job: 2,
+                size: 1,
+                wait: false,
+            }),
+            Response::Rejected { job: 2, .. }
+        ));
+        assert_eq!(
+            service.handle(&Request::Alloc {
+                machine: "m0".into(),
+                job: 3,
+                size: 2,
+                wait: true,
+            }),
+            Response::Queued {
+                job: 3,
+                position: 1
+            }
+        );
+        assert_eq!(
+            service.handle(&Request::Poll {
+                machine: "m0".into(),
+                job: 3
+            }),
+            Response::Waiting {
+                job: 3,
+                position: 1
+            }
+        );
+        // Releasing the full job admits the queued one.
+        let released = service.handle(&Request::Release {
+            machine: "m0".into(),
+            job: 1,
+        });
+        let Response::Released { job: 1, granted } = released else {
+            panic!("expected release, got {released:?}");
+        };
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].0, 3);
+        assert_eq!(granted[0].1.len(), 2);
+        service.check_invariants("m0").unwrap();
+        let stats = service.handle(&Request::Stats {
+            machine: "m0".into(),
+        });
+        let Response::Stats(stats) = stats else {
+            panic!("expected stats, got {stats:?}");
+        };
+        let counters = stats.get("counters").expect("counters present");
+        assert_eq!(counters.get("granted").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            counters.get("granted_from_queue").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(counters.get("rejected").and_then(Value::as_u64), Some(1));
+    }
+}

@@ -1,0 +1,70 @@
+//! Concurrent in-process hammering of one machine: a shared claim table
+//! must never observe a node granted to two jobs at once.
+
+use commalloc_service::{AllocOutcome, AllocationService};
+use rand::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+#[test]
+fn concurrent_allocate_release_never_double_grants() {
+    let service = AllocationService::new();
+    service.register("m0", "16x16", None, None).unwrap();
+    let claims: Vec<AtomicBool> = (0..256).map(|_| AtomicBool::new(false)).collect();
+    let violations = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let service = service.clone();
+            let claims = &claims;
+            let violations = &violations;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t);
+                let mut live: Vec<(u64, Vec<commalloc_mesh::NodeId>)> = Vec::new();
+                let mut next = t << 40;
+                for _ in 0..2000 {
+                    if live.is_empty() || rng.gen_bool(0.55) {
+                        let size = rng.gen_range(1..=32);
+                        let job = next;
+                        next += 1;
+                        match service.allocate("m0", job, size, false).unwrap() {
+                            AllocOutcome::Granted(nodes) => {
+                                for n in &nodes {
+                                    if claims[n.index()].swap(true, Ordering::SeqCst) {
+                                        violations.fetch_add(1, Ordering::SeqCst);
+                                    }
+                                }
+                                live.push((job, nodes));
+                            }
+                            AllocOutcome::Rejected(_) => {}
+                            AllocOutcome::Queued(_) => unreachable!("wait never set"),
+                        }
+                    } else {
+                        let at = rng.gen_range(0..live.len());
+                        let (job, nodes) = live.swap_remove(at);
+                        // Unclaim BEFORE releasing: the service cannot
+                        // re-grant nodes it still holds, while the reverse
+                        // order races with grants to other threads.
+                        for n in &nodes {
+                            if !claims[n.index()].swap(false, Ordering::SeqCst) {
+                                violations.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        service.release("m0", job).unwrap();
+                    }
+                }
+                for (job, nodes) in live.drain(..) {
+                    for n in &nodes {
+                        if !claims[n.index()].swap(false, Ordering::SeqCst) {
+                            violations.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    service.release("m0", job).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(violations.load(Ordering::SeqCst), 0);
+    service.check_invariants("m0").unwrap();
+    let snap = service.query("m0").unwrap();
+    assert_eq!(snap.busy, 0);
+}

@@ -218,11 +218,7 @@ mod tests {
         let analysis = TraceAnalysis::of(&trace, 10);
         assert_eq!(analysis.offered_load.len(), 10);
         // Power-of-two sizes dominate the spectrum (the paper's observation).
-        let pow2_total: f64 = analysis
-            .power_of_two_spectrum
-            .iter()
-            .map(|(_, f)| f)
-            .sum();
+        let pow2_total: f64 = analysis.power_of_two_spectrum.iter().map(|(_, f)| f).sum();
         assert!(
             pow2_total > 0.5,
             "power-of-two sizes should dominate, got {pow2_total}"

@@ -65,7 +65,11 @@ impl CommPattern {
     /// The three patterns of the paper's trace-driven experiments
     /// (Figures 7 and 8).
     pub fn paper_patterns() -> [CommPattern; 3] {
-        [CommPattern::AllToAll, CommPattern::NBody, CommPattern::Random]
+        [
+            CommPattern::AllToAll,
+            CommPattern::NBody,
+            CommPattern::Random,
+        ]
     }
 
     /// Every pattern implemented.
@@ -152,7 +156,11 @@ impl CommPattern {
     ///
     /// The random pattern draws a single random pair per iteration using
     /// `rng`; all other patterns are deterministic and ignore it.
-    pub fn iteration_messages<R: Rng + ?Sized>(&self, p: usize, rng: &mut R) -> Vec<(usize, usize)> {
+    pub fn iteration_messages<R: Rng + ?Sized>(
+        &self,
+        p: usize,
+        rng: &mut R,
+    ) -> Vec<(usize, usize)> {
         if p < 2 {
             return Vec::new();
         }
@@ -339,7 +347,11 @@ impl CommPattern {
                 let w = 1.0 / msgs.len() as f64;
                 merge_entries(
                     msgs.into_iter()
-                        .map(|(src, dst)| TrafficEntry { src, dst, weight: w })
+                        .map(|(src, dst)| TrafficEntry {
+                            src,
+                            dst,
+                            weight: w,
+                        })
                         .collect(),
                 )
             }
@@ -477,8 +489,8 @@ mod tests {
         assert_eq!(msgs.len(), 15 * 7 + 15);
         assert_eq!(CommPattern::NBody.messages_per_iteration(15), 120);
         // First subphase: every processor to its ring successor.
-        for i in 0..15 {
-            assert_eq!(msgs[i], (i, (i + 1) % 15));
+        for (i, &msg) in msgs.iter().enumerate().take(15) {
+            assert_eq!(msg, (i, (i + 1) % 15));
         }
         // Chordal subphase: processor i to i + 7 (mod 15).
         for i in 0..15 {

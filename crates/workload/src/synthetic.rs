@@ -148,7 +148,11 @@ mod tests {
             "mean size {}",
             s.mean_size
         );
-        assert!((s.cv_size - 1.5).abs() / 1.5 < 0.30, "cv size {}", s.cv_size);
+        assert!(
+            (s.cv_size - 1.5).abs() / 1.5 < 0.30,
+            "cv size {}",
+            s.cv_size
+        );
         assert!(
             (s.mean_runtime - 10944.0).abs() / 10944.0 < 0.10,
             "mean runtime {}",

@@ -151,10 +151,7 @@ mod tests {
 
     #[test]
     fn trace_sorts_by_arrival_and_reassigns_ids() {
-        let t = Trace::new(vec![
-            Job::new(7, 50.0, 1, 1.0),
-            Job::new(9, 10.0, 2, 1.0),
-        ]);
+        let t = Trace::new(vec![Job::new(7, 50.0, 1, 1.0), Job::new(9, 10.0, 2, 1.0)]);
         assert_eq!(t.jobs()[0].arrival, 10.0);
         assert_eq!(t.jobs()[0].id, 0);
         assert_eq!(t.jobs()[1].id, 1);

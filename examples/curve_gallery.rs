@@ -18,7 +18,11 @@ fn main() {
     println!("=== Figure 2: curve shapes on an 8 x 8 mesh ===\n");
     for kind in [CurveKind::SCurve, CurveKind::Hilbert, CurveKind::HIndexing] {
         let curve = CurveOrder::build(kind, small);
-        println!("{kind} (gaps: {}):\n{}", curve.discontinuities(), curve.render_ascii());
+        println!(
+            "{kind} (gaps: {}):\n{}",
+            curve.discontinuities(),
+            curve.render_ascii()
+        );
     }
 
     println!("=== Figure 6: truncated curves on the 16 x 22 mesh (top rows) ===\n");

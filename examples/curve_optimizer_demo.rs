@@ -41,7 +41,10 @@ fn main() {
     );
 
     println!("\nwindowed locality (mean pairwise distance of 9-rank windows):");
-    println!("{:<22} {:>10} {:>14}", "ordering", "window-9", "discontinuities");
+    println!(
+        "{:<22} {:>10} {:>14}",
+        "ordering", "window-9", "discontinuities"
+    );
     for kind in [CurveKind::RowMajor, CurveKind::SCurve, CurveKind::Hilbert] {
         let curve = CurveOrder::build(kind, mesh);
         let l = window_locality(&curve, 9);

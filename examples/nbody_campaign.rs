@@ -51,7 +51,10 @@ fn main() {
     );
 
     // Which allocator keeps turnaround low for this workload?
-    println!("{:<16} {:>14} {:>14} {:>12}", "allocator", "mean response", "mean running", "contiguous");
+    println!(
+        "{:<16} {:>14} {:>14} {:>12}",
+        "allocator", "mean response", "mean running", "contiguous"
+    );
     let mut best: Option<(AllocatorKind, f64)> = None;
     for allocator in AllocatorKind::paper_set() {
         let config = SimConfig::new(mesh, CommPattern::NBody, allocator);
@@ -90,7 +93,7 @@ fn main() {
         // Checkerboard half the machine to force a scattered allocation.
         let busy: Vec<_> = mesh
             .nodes()
-            .filter(|n| (mesh.coord_of(*n).x + mesh.coord_of(*n).y) % 2 == 0)
+            .filter(|n| (mesh.coord_of(*n).x + mesh.coord_of(*n).y).is_multiple_of(2))
             .collect();
         machine.occupy(&busy);
         AllocatorKind::HilbertBestFit

@@ -93,7 +93,11 @@ fn sweep_and_reports_cover_the_grid() {
         assert!(table.contains("Hilbert w/BF"));
         assert!(table.contains("load 0.4"));
         let contiguity = report::contiguity_table(&result, pattern, 1.0);
-        assert_eq!(contiguity.lines().count(), 1 + 3, "header plus one row per allocator");
+        assert_eq!(
+            contiguity.lines().count(),
+            1 + 3,
+            "header plus one row per allocator"
+        );
     }
 }
 
@@ -179,8 +183,8 @@ fn curve_allocators_are_more_contiguous_than_dispersion_minimizers() {
             .map(|p| p.avg_components)
             .expect("point present")
     };
-    let curve_best = components(AllocatorKind::HilbertBestFit)
-        .min(components(AllocatorKind::SCurveBestFit));
+    let curve_best =
+        components(AllocatorKind::HilbertBestFit).min(components(AllocatorKind::SCurveBestFit));
     let disperser_best = components(AllocatorKind::Mc1x1).min(components(AllocatorKind::GenAlg));
     assert!(
         curve_best < disperser_best,

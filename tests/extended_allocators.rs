@@ -11,7 +11,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn small_trace(seed: u64) -> Trace {
-    ParagonTraceModel::scaled(40).generate(seed).filter_fitting(256)
+    ParagonTraceModel::scaled(40)
+        .generate(seed)
+        .filter_fitting(256)
 }
 
 /// A machine with `busy` random processors occupied (deterministic in seed).
@@ -60,7 +62,11 @@ fn contiguity_costs_response_time_at_load() {
     let mesh = Mesh2D::square_16x16();
     let contiguous = simulate(
         &trace,
-        &SimConfig::new(mesh, CommPattern::AllToAll, AllocatorKind::ContiguousFirstFit),
+        &SimConfig::new(
+            mesh,
+            CommPattern::AllToAll,
+            AllocatorKind::ContiguousFirstFit,
+        ),
     );
     let hilbert = simulate(
         &trace,
@@ -183,7 +189,10 @@ fn utilization_profile_tracks_the_contiguity_penalty() {
         .with_load_factor(0.6);
     let mesh = Mesh2D::square_16x16();
     let profile = |allocator: AllocatorKind| {
-        let result = simulate(&trace, &SimConfig::new(mesh, CommPattern::AllToAll, allocator));
+        let result = simulate(
+            &trace,
+            &SimConfig::new(mesh, CommPattern::AllToAll, allocator),
+        );
         UtilizationProfile::from_records(&result.records, mesh.num_nodes())
     };
     let contiguous = profile(AllocatorKind::ContiguousFirstFit);

@@ -1,0 +1,134 @@
+//! End-to-end tests of the allocation daemon over real TCP: protocol
+//! round trips, FCFS admission, 2-D/3-D registration, and a loadgen run
+//! (the same driver behind `commalloc loadgen`) asserting zero
+//! occupancy-invariant violations.
+
+use commalloc_cli::loadgen::{self, LoadgenConfig};
+use commalloc_service::{AllocationService, ClientAllocOutcome, JobStatus, Server, ServiceClient};
+use serde::Value;
+
+fn spawn_server() -> (AllocationService, commalloc_service::ServerHandle) {
+    let service = AllocationService::new();
+    let handle = Server::bind("127.0.0.1:0", service.clone(), 4)
+        .expect("bind an ephemeral port")
+        .spawn()
+        .expect("spawn the server");
+    (service, handle)
+}
+
+#[test]
+fn tcp_protocol_round_trip_with_fcfs_queueing() {
+    let (service, handle) = spawn_server();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+
+    client.ping().unwrap();
+    client
+        .register("m0", "8x8", Some("Hilbert w/BF"), None)
+        .unwrap();
+
+    // Fill the machine, queue two jobs, verify FCFS drain on release.
+    let ClientAllocOutcome::Granted(first) = client.alloc("m0", 1, 60, false).unwrap() else {
+        panic!("empty machine must grant");
+    };
+    assert_eq!(first.len(), 60);
+    assert_eq!(
+        client.alloc("m0", 2, 10, true).unwrap(),
+        ClientAllocOutcome::Queued(1)
+    );
+    assert_eq!(
+        client.alloc("m0", 3, 2, true).unwrap(),
+        ClientAllocOutcome::Queued(2)
+    );
+    // Job 3 would fit the 4 free nodes but must wait behind job 2 (FCFS).
+    assert!(matches!(
+        client.alloc("m0", 4, 1, false).unwrap(),
+        ClientAllocOutcome::Rejected(_)
+    ));
+    let granted = client.release("m0", 1).unwrap();
+    let ids: Vec<u64> = granted.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, vec![2, 3], "queue must drain in arrival order");
+    assert!(matches!(
+        client.poll("m0", 2).unwrap(),
+        JobStatus::Running(_)
+    ));
+
+    // The server-side state is the same object the in-process API sees.
+    service.check_invariants("m0").unwrap();
+    let snapshot = client.query("m0").unwrap();
+    assert_eq!(snapshot.get("busy").and_then(Value::as_u64), Some(12));
+    assert_eq!(snapshot.get("live_jobs").and_then(Value::as_u64), Some(2));
+
+    drop(client);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn three_d_machines_work_over_the_wire() {
+    let (service, handle) = spawn_server();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    client
+        .register("cube", "4x4x4", Some("Hilbert-3d"), Some("BF"))
+        .unwrap();
+    let ClientAllocOutcome::Granted(nodes) = client.alloc("cube", 1, 8, false).unwrap() else {
+        panic!("empty cube must grant");
+    };
+    assert_eq!(nodes.len(), 8);
+    let snapshot = client.query("cube").unwrap();
+    assert_eq!(snapshot.get("dims").and_then(Value::as_str), Some("4x4x4"));
+    service.check_invariants("cube").unwrap();
+    assert!(client.release("cube", 1).unwrap().is_empty());
+    drop(client);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn loadgen_round_trips_thousands_of_requests_without_violations() {
+    let (service, handle) = spawn_server();
+    let config = LoadgenConfig {
+        addr: handle.addr().to_string(),
+        machine: "default".to_string(),
+        mesh: "16x16".to_string(),
+        requests: 4_000,
+        connections: 3,
+        occupancy: 0.8,
+        max_size: 24,
+        seed: 7,
+    };
+    let report = loadgen::run(&config).expect("loadgen completes");
+    assert!(report.requests >= 4_000, "got {}", report.requests);
+    assert_eq!(report.violations, 0, "occupancy invariant must hold");
+    assert_eq!(report.final_busy, 0, "drain must empty the machine");
+    assert!(report.granted > 0 && report.released > 0);
+    service.check_invariants("default").unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn sharded_registry_serves_disjoint_machines_concurrently() {
+    let (service, handle) = spawn_server();
+    // Eight machines spread across shards, one client thread per machine.
+    std::thread::scope(|scope| {
+        for m in 0..8u32 {
+            let addr = handle.addr();
+            scope.spawn(move || {
+                let name = format!("m{m}");
+                let mut client = ServiceClient::connect(addr).unwrap();
+                client.register(&name, "8x8", None, None).unwrap();
+                for job in 0..200u64 {
+                    let ClientAllocOutcome::Granted(nodes) =
+                        client.alloc(&name, job, 5, false).unwrap()
+                    else {
+                        panic!("8x8 machine fits 5 nodes after release");
+                    };
+                    assert_eq!(nodes.len(), 5);
+                    client.release(&name, job).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(service.list().len(), 8);
+    for m in 0..8 {
+        service.check_invariants(&format!("m{m}")).unwrap();
+    }
+    handle.shutdown().unwrap();
+}
