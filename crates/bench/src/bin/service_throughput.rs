@@ -100,7 +100,7 @@ fn bench_allocator(
 fn bench_service(occupancy: f64, ops: usize, seed: u64) -> f64 {
     let service = AllocationService::new();
     service
-        .register("bench", "16x16", Some("Hilbert w/BF"), None)
+        .register("bench", "16x16", Some("Hilbert w/BF"), None, None)
         .expect("fresh service accepts registration");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut live: Vec<u64> = Vec::new();
@@ -110,7 +110,7 @@ fn bench_service(occupancy: f64, ops: usize, seed: u64) -> f64 {
 
     while busy < target {
         let size = rng.gen_range(1usize..=8);
-        match service.allocate("bench", next_job, size, false) {
+        match service.allocate("bench", next_job, size, false, None) {
             Ok(AllocOutcome::Granted(nodes)) => {
                 busy += nodes.len();
                 live.push(next_job);
@@ -128,7 +128,7 @@ fn bench_service(occupancy: f64, ops: usize, seed: u64) -> f64 {
         performed += 1;
         while performed < ops {
             let size = rng.gen_range(1usize..=8);
-            match service.allocate("bench", next_job, size, false) {
+            match service.allocate("bench", next_job, size, false, None) {
                 Ok(AllocOutcome::Granted(_)) => {
                     live.push(next_job);
                     next_job += 1;

@@ -169,6 +169,8 @@ pub struct ServeOptions {
     pub mesh: String,
     /// Pre-registered machine: allocator (2-D) / curve (3-D) spec.
     pub allocator: Option<String>,
+    /// Pre-registered machine: scheduling policy (fcfs, backfill, easy).
+    pub scheduler: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -179,6 +181,7 @@ impl Default for ServeOptions {
             machine: "default".to_string(),
             mesh: "16x16".to_string(),
             allocator: None,
+            scheduler: None,
         }
     }
 }
@@ -192,6 +195,8 @@ pub struct LoadgenOptions {
     pub machine: String,
     /// Mesh spec used if the machine is not yet registered.
     pub mesh: String,
+    /// Scheduling policy used if the machine is not yet registered.
+    pub scheduler: Option<String>,
     /// Total allocate/release requests to issue (across connections).
     pub requests: usize,
     /// Concurrent client connections.
@@ -200,6 +205,9 @@ pub struct LoadgenOptions {
     pub occupancy: f64,
     /// Largest request size.
     pub max_size: usize,
+    /// Largest walltime estimate sent with allocations (seconds);
+    /// `None` sends none.
+    pub max_walltime: Option<f64>,
     /// RNG seed.
     pub seed: u64,
     /// Emit machine-readable JSON instead of the human summary.
@@ -212,10 +220,12 @@ impl Default for LoadgenOptions {
             addr: "127.0.0.1:7411".to_string(),
             machine: "default".to_string(),
             mesh: "16x16".to_string(),
+            scheduler: None,
             requests: 10_000,
             connections: 4,
             occupancy: 0.7,
             max_size: 32,
+            max_walltime: None,
             seed: 1996,
             json: false,
         }
@@ -275,17 +285,10 @@ fn parse_curve(value: &str) -> Option<CurveKind> {
         .find(|k| k.name().eq_ignore_ascii_case(value.trim()))
 }
 
-/// Parses a scheduler name.
+/// Parses a scheduler name (delegates to the canonical parser so the
+/// CLI and the wire protocol accept exactly the same spellings).
 fn parse_scheduler(value: &str) -> Option<Scheduler> {
-    Scheduler::all()
-        .into_iter()
-        .find(|s| s.name().eq_ignore_ascii_case(value.trim()))
-        .or(match value.trim().to_ascii_lowercase().as_str() {
-            "fcfs" => Some(Scheduler::Fcfs),
-            "backfill" => Some(Scheduler::FirstFitBackfill),
-            "easy" => Some(Scheduler::EasyBackfill),
-            _ => None,
-        })
+    Scheduler::parse(value)
 }
 
 /// Splits the argument list into `(flag, value)` pairs, treating `--json`
@@ -472,6 +475,12 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                         opts.mesh = value;
                     }
                     "--allocator" => opts.allocator = Some(value),
+                    "--scheduler" => {
+                        // Validated for readability here, again by the
+                        // service at registration.
+                        parse_scheduler(&value).ok_or_else(|| invalid(&flag, &value))?;
+                        opts.scheduler = Some(value);
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
             }
@@ -485,6 +494,10 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                     "--addr" => opts.addr = value,
                     "--machine" => opts.machine = value,
                     "--mesh" => opts.mesh = value,
+                    "--scheduler" => {
+                        parse_scheduler(&value).ok_or_else(|| invalid(&flag, &value))?;
+                        opts.scheduler = Some(value);
+                    }
                     "--requests" => {
                         opts.requests = value
                             .parse()
@@ -512,6 +525,15 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                             .ok()
                             .filter(|&s: &usize| s > 0)
                             .ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--max-walltime" => {
+                        opts.max_walltime = Some(
+                            value
+                                .parse()
+                                .ok()
+                                .filter(|&w: &f64| w.is_finite() && w >= 1.0)
+                                .ok_or_else(|| invalid(&flag, &value))?,
+                        )
                     }
                     "--seed" => {
                         opts.seed = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
@@ -547,10 +569,12 @@ SUBCOMMANDS:
   serve       run the online allocation daemon (NDJSON over TCP)
               [--addr HOST:PORT] [--workers N] [--machine NAME]
               [--mesh WxH|WxHxD] [--allocator A]
+              [--scheduler fcfs|backfill|easy]
   loadgen     drive a running daemon with allocate/release traffic
               [--addr HOST:PORT] [--machine NAME] [--mesh WxH]
-              [--requests N] [--connections C] [--occupancy F]
-              [--max-size K] [--seed S] [--json]
+              [--scheduler P] [--requests N] [--connections C]
+              [--occupancy F] [--max-size K] [--max-walltime W]
+              [--seed S] [--json]
   allocators  list allocators, patterns, curves and schedulers
   help        print this message
 ";

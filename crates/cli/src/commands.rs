@@ -63,7 +63,13 @@ impl Command {
 fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
     let service = AllocationService::new();
     service
-        .register(&opts.machine, &opts.mesh, opts.allocator.as_deref(), None)
+        .register(
+            &opts.machine,
+            &opts.mesh,
+            opts.allocator.as_deref(),
+            None,
+            opts.scheduler.as_deref(),
+        )
         .map_err(|e| RunError::Serve(e.to_string()))?;
     let server = Server::bind(opts.addr.as_str(), service, opts.workers)
         .map_err(|e| RunError::Serve(format!("bind {}: {e}", opts.addr)))?;
@@ -71,8 +77,11 @@ fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
         .local_addr()
         .map_err(|e| RunError::Serve(e.to_string()))?;
     eprintln!(
-        "commalloc-service listening on {addr} ({} workers); machine {:?} ({})",
-        opts.workers, opts.machine, opts.mesh
+        "commalloc-service listening on {addr} ({} workers); machine {:?} ({}, {})",
+        opts.workers,
+        opts.machine,
+        opts.mesh,
+        opts.scheduler.as_deref().unwrap_or("fcfs"),
     );
     server.run().map_err(|e| RunError::Serve(e.to_string()))?;
     Ok(String::new())
@@ -84,10 +93,12 @@ fn run_loadgen(opts: &LoadgenOptions) -> Result<String, RunError> {
         addr: opts.addr.clone(),
         machine: opts.machine.clone(),
         mesh: opts.mesh.clone(),
+        scheduler: opts.scheduler.clone(),
         requests: opts.requests,
         connections: opts.connections,
         occupancy: opts.occupancy,
         max_size: opts.max_size,
+        max_walltime: opts.max_walltime,
         seed: opts.seed,
     };
     let report = loadgen::run(&config).map_err(RunError::Loadgen)?;

@@ -34,7 +34,10 @@ pub struct LoadgenConfig {
     pub machine: String,
     /// Mesh spec used when the machine does not exist yet.
     pub mesh: String,
-    /// Total allocate/release requests across all connections.
+    /// Scheduling policy used when the machine does not exist yet
+    /// (`None` = the daemon's default, FCFS).
+    pub scheduler: Option<String>,
+    /// Total allocate/release requests to issue (across connections).
     pub requests: usize,
     /// Concurrent connections.
     pub connections: usize,
@@ -42,6 +45,10 @@ pub struct LoadgenConfig {
     pub occupancy: f64,
     /// Largest request size.
     pub max_size: usize,
+    /// Largest walltime estimate attached to allocations, in seconds
+    /// (estimates are drawn uniformly from `[1, max_walltime]`; `None`
+    /// sends no estimates).
+    pub max_walltime: Option<f64>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -147,7 +154,13 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let total_nodes = {
         let mut client = ServiceClient::connect(&config.addr)
             .map_err(|e| format!("cannot connect to {}: {e}", config.addr))?;
-        match client.register(&config.machine, &config.mesh, None, None) {
+        match client.register(
+            &config.machine,
+            &config.mesh,
+            None,
+            None,
+            config.scheduler.as_deref(),
+        ) {
             Ok(()) => {}
             Err(ClientError::Service(message)) if message.contains("already registered") => {}
             Err(e) => return Err(format!("register failed: {e}")),
@@ -254,10 +267,13 @@ fn drive_connection(
         let allocate = live.is_empty() || (held < target && rng.gen_bool(0.7));
         if allocate {
             let size = rng.gen_range(1..=config.max_size.min(total_nodes));
+            let walltime = config
+                .max_walltime
+                .map(|max| rng.gen_range(1.0..=max.max(1.0)));
             let job = next_job;
             next_job += 1;
             match client
-                .alloc(&config.machine, job, size, false)
+                .alloc_with_walltime(&config.machine, job, size, false, walltime)
                 .map_err(fail)?
             {
                 ClientAllocOutcome::Granted(nodes) => {

@@ -46,7 +46,9 @@ pub mod utilization;
 
 /// Convenience re-exports for examples and binaries.
 pub mod prelude {
-    pub use crate::engine::{simulate, Fidelity, SimConfig, SimResult};
+    pub use crate::engine::{
+        simulate, simulate_logged, Fidelity, GrantEvent, SimConfig, SimResult,
+    };
     pub use crate::experiment::{ExperimentPoint, LoadSweep, SweepResult};
     pub use crate::scheduler::SchedulerKind;
     pub use crate::sensitivity::{kendall_tau, Knob, SensitivityStudy};
@@ -58,7 +60,7 @@ pub mod prelude {
     pub use commalloc_workload::{CommPattern, Trace};
 }
 
-pub use engine::{simulate, Fidelity, SimConfig, SimResult};
+pub use engine::{simulate, simulate_logged, Fidelity, GrantEvent, SimConfig, SimResult};
 pub use scheduler::SchedulerKind;
 pub use stats::{JobRecord, SimSummary};
 pub use utilization::UtilizationProfile;

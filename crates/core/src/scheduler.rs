@@ -72,6 +72,42 @@ impl SchedulerKind {
         }
     }
 
+    /// True when the policy's start decision reads the running-job
+    /// snapshots (the reservation-based policies). Callers that build
+    /// the snapshot list lazily key on this — the match is exhaustive so
+    /// a new variant forces a decision here, not a silent empty input.
+    pub fn uses_running_snapshots(&self) -> bool {
+        match self {
+            SchedulerKind::Fcfs | SchedulerKind::FirstFitBackfill => false,
+            SchedulerKind::EasyBackfill => true,
+        }
+    }
+
+    /// True when the policy may start a job other than the queue head
+    /// (so callers must present the whole queue, not just the head).
+    pub fn scans_whole_queue(&self) -> bool {
+        match self {
+            SchedulerKind::Fcfs => false,
+            SchedulerKind::FirstFitBackfill | SchedulerKind::EasyBackfill => true,
+        }
+    }
+
+    /// Parses a scheduler spec: the full [`SchedulerKind::name`]
+    /// (case-insensitive) or the short aliases `fcfs`, `backfill` and
+    /// `easy` used by the CLI and the service protocol.
+    pub fn parse(spec: &str) -> Option<SchedulerKind> {
+        let spec = spec.trim();
+        SchedulerKind::all()
+            .into_iter()
+            .find(|s| s.name().eq_ignore_ascii_case(spec))
+            .or(match spec.to_ascii_lowercase().as_str() {
+                "fcfs" => Some(SchedulerKind::Fcfs),
+                "backfill" | "first-fit" | "firstfit" => Some(SchedulerKind::FirstFitBackfill),
+                "easy" => Some(SchedulerKind::EasyBackfill),
+                _ => None,
+            })
+    }
+
     /// Selects the index of the next queued job to start given `free`
     /// processors, or `None` if nothing may start.
     ///
@@ -133,8 +169,25 @@ impl SchedulerKind {
     /// Returns `None` when even draining every running job would not free
     /// enough processors (the head job can then only start thanks to future
     /// arrivals terminating, which EASY treats as an unbounded reservation —
-    /// no backfill is allowed).
-    fn reservation(
+    /// no backfill is allowed). The same applies when the decisive release
+    /// has a non-finite predicted completion (a running job without a
+    /// walltime estimate, as the online service models it): a reservation
+    /// at `t = ∞` is no reservation, so backfill is denied rather than
+    /// allowed to starve the head.
+    ///
+    /// This is public as the reusable core of EASY: the online service's
+    /// admission queue calls it with live running-job estimates, and the
+    /// property tests pin its no-delay/no-starvation guarantees directly.
+    /// The sort is stable, so jobs with equal predicted completions keep
+    /// their input order — callers that replicate the engine's running-set
+    /// ordering get bit-identical decisions.
+    ///
+    /// **Precondition:** the head must not already fit
+    /// (`head_size > free`). A head that fits needs no reservation — it
+    /// simply starts — and asking for one anyway yields `None`, which
+    /// callers must not read as "deny backfill" in that case (every EASY
+    /// path here checks `head.size <= free` first).
+    pub fn reservation(
         head_size: usize,
         free: usize,
         running: &[RunningSnapshot],
@@ -145,6 +198,9 @@ impl SchedulerKind {
         for release in &releases {
             available += release.size;
             if available >= head_size {
+                if !release.completion.is_finite() {
+                    return None;
+                }
                 return Some((release.completion, available - head_size));
             }
         }
@@ -279,6 +335,47 @@ mod tests {
             SchedulerKind::EasyBackfill.select_with_context(&q, 3, &running, 0.0),
             None
         );
+    }
+
+    #[test]
+    fn parse_accepts_names_and_aliases() {
+        for kind in SchedulerKind::all() {
+            assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
+            assert_eq!(
+                SchedulerKind::parse(&kind.name().to_ascii_uppercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(SchedulerKind::parse(" fcfs "), Some(SchedulerKind::Fcfs));
+        assert_eq!(
+            SchedulerKind::parse("backfill"),
+            Some(SchedulerKind::FirstFitBackfill)
+        );
+        assert_eq!(
+            SchedulerKind::parse("EASY"),
+            Some(SchedulerKind::EasyBackfill)
+        );
+        assert_eq!(SchedulerKind::parse("round-robin"), None);
+    }
+
+    #[test]
+    fn infinite_completions_deny_the_reservation() {
+        // The decisive release has no (finite) completion estimate: EASY
+        // must refuse to backfill rather than promise the head a start at
+        // t = infinity and let everything jump it.
+        let running = [
+            RunningSnapshot {
+                completion: 10.0,
+                size: 2,
+            },
+            RunningSnapshot {
+                completion: f64::INFINITY,
+                size: 8,
+            },
+        ];
+        assert_eq!(SchedulerKind::reservation(10, 0, &running), None);
+        // A finite release that crosses the threshold first is unaffected.
+        assert_eq!(SchedulerKind::reservation(2, 0, &running), Some((10.0, 0)));
     }
 
     #[test]

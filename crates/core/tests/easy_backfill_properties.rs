@@ -1,0 +1,155 @@
+//! Property tests of the EASY backfilling guarantees, driven directly
+//! against the now-public reservation API:
+//!
+//! 1. **No delay**: starting a backfilled job can never push the head
+//!    job's shadow-time reservation later.
+//! 2. **No starvation**: whatever EASY backfills, at the shadow time the
+//!    head job still finds enough free processors to start — and a head
+//!    that fits now always starts first.
+
+use commalloc::scheduler::{QueuedJob, RunningSnapshot, SchedulerKind};
+use proptest::prelude::*;
+
+/// A queue of 1..=8 jobs with sizes 1..=32 and estimates 1..=1000.
+fn queue_strategy() -> impl Strategy<Value = Vec<QueuedJob>> {
+    prop::collection::vec((1usize..=32, 1u64..=1000), 1..8).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (size, estimate))| QueuedJob {
+                job_id: i as u64,
+                size,
+                arrival: i as f64,
+                estimate: estimate as f64,
+            })
+            .collect()
+    })
+}
+
+/// 0..=8 running jobs completing within 1..=1000 seconds from now.
+fn running_strategy() -> impl Strategy<Value = Vec<RunningSnapshot>> {
+    prop::collection::vec((1usize..=32, 1u64..=1000), 0..8).prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(size, dt)| RunningSnapshot {
+                completion: dt as f64,
+                size,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// A backfill pick is only ever made when the head cannot start, and
+    /// starting the pick never delays the head's reservation.
+    #[test]
+    fn backfill_never_delays_the_shadow_time(
+        queue in queue_strategy(),
+        running in running_strategy(),
+        free in 0usize..=64,
+    ) {
+        let now = 0.0;
+        let head = queue[0];
+        let Some(pos) = SchedulerKind::EasyBackfill
+            .select_with_context(&queue, free, &running, now)
+        else {
+            return Ok(()); // nothing may start: trivially safe
+        };
+        if pos == 0 {
+            // The head itself: only legal when it fits right now.
+            prop_assert!(head.size <= free);
+            return Ok(());
+        }
+        // A backfill pick: the head must be blocked, the pick must fit.
+        let candidate = queue[pos];
+        prop_assert!(head.size > free, "backfilled past a startable head");
+        prop_assert!(candidate.size <= free);
+        // Backfilling requires a *finite* reservation to exist.
+        let reservation = SchedulerKind::reservation(head.size, free, &running);
+        prop_assert!(reservation.is_some(), "backfilled with no reservation");
+        let (shadow, _extra) = reservation.unwrap();
+        // Start the candidate hypothetically and recompute: the shadow
+        // time must not move later.
+        let mut after: Vec<RunningSnapshot> = running.clone();
+        after.push(RunningSnapshot {
+            completion: now + candidate.estimate,
+            size: candidate.size,
+        });
+        let after_reservation =
+            SchedulerKind::reservation(head.size, free - candidate.size, &after);
+        prop_assert!(
+            after_reservation.is_some(),
+            "backfill destroyed the reservation entirely"
+        );
+        let (shadow_after, _) = after_reservation.unwrap();
+        prop_assert!(
+            shadow_after <= shadow + 1e-9,
+            "shadow time moved from {shadow} to {shadow_after}"
+        );
+    }
+
+    /// Greedily backfilling until EASY refuses, then playing the
+    /// schedule forward: at the shadow time the head finds enough free
+    /// processors — the head is never starved by the backfilled jobs.
+    #[test]
+    fn head_can_start_at_the_shadow_time(
+        queue in queue_strategy(),
+        running in running_strategy(),
+        free in 0usize..=64,
+    ) {
+        let now = 0.0;
+        let head = queue[0];
+        if head.size <= free {
+            // Head starts immediately; nothing to prove.
+            prop_assert_eq!(
+                SchedulerKind::EasyBackfill.select_with_context(&queue, free, &running, now),
+                Some(0)
+            );
+            return Ok(());
+        }
+        let Some((shadow, _extra)) = SchedulerKind::reservation(head.size, free, &running)
+        else {
+            // Unbounded reservation: EASY must refuse all backfill.
+            let pick = SchedulerKind::EasyBackfill
+                .select_with_context(&queue, free, &running, now);
+            prop_assert_eq!(pick, None);
+            return Ok(());
+        };
+
+        // Greedy backfill loop, exactly as a drain would run it.
+        let mut queue = queue.clone();
+        let mut running = running.clone();
+        let mut free = free;
+        let mut backfilled = 0usize;
+        while let Some(pos) =
+            SchedulerKind::EasyBackfill.select_with_context(&queue, free, &running, now)
+        {
+            prop_assert!(pos > 0, "the blocked head cannot start");
+            let candidate = queue.remove(pos);
+            free -= candidate.size;
+            running.push(RunningSnapshot {
+                completion: now + candidate.estimate,
+                size: candidate.size,
+            });
+            backfilled += 1;
+            prop_assert!(backfilled <= 16, "drain failed to terminate");
+        }
+
+        // Play the schedule to the shadow time: everything completing at
+        // or before it returns its processors.
+        let free_at_shadow: usize = free
+            + running
+                .iter()
+                .filter(|r| r.completion <= shadow)
+                .map(|r| r.size)
+                .sum::<usize>();
+        prop_assert!(
+            free_at_shadow >= head.size,
+            "head of size {} finds only {free_at_shadow} processors at the \
+             shadow time {shadow}",
+            head.size
+        );
+    }
+}

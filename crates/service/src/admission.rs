@@ -1,33 +1,102 @@
-//! FCFS admission queue for requests that cannot be served immediately.
+//! Policy-driven admission queue for requests that cannot be served
+//! immediately.
 //!
-//! The paper's scheduling discipline is strict first-come first-served:
-//! a job that cannot be allocated blocks every job behind it, even when a
-//! later, smaller job would fit ("head-of-line blocking"). The service
-//! keeps the same discipline per machine: [`FcfsQueue::drain_grantable`]
-//! grants from the head only, stopping at the first request the machine
-//! cannot satisfy.
+//! PR 1 kept the paper's discipline — strict first-come first-served with
+//! head-of-line blocking — as the *only* admission policy. The offline
+//! simulator (`commalloc::scheduler`) already models two backfilling
+//! extensions, so the queue is now parameterised by
+//! [`SchedulerKind`]:
+//!
+//! * **FCFS** — grants from the head only, stopping at the first request
+//!   the machine cannot satisfy (the paper's policy, and the default);
+//! * **first-fit backfill** — any queued request that fits may start,
+//!   scanned in queue order on every release;
+//! * **EASY backfill** — the head holds a reservation at the *shadow
+//!   time* (the earliest instant enough processors will have been
+//!   released, predicted from running-job walltime estimates); later
+//!   requests start only if they fit now **and** cannot delay that
+//!   reservation.
+//!
+//! The queue does not decide on its own: it renders itself as the
+//! `&[QueuedJob]` slice the scheduler policies consume and delegates the
+//! pick to [`SchedulerKind::select_with_context`] — the *same* function
+//! the offline engine calls, which is what makes the online/offline
+//! sim-equivalence harness (see `tests/sim_equivalence.rs`) byte-exact.
+//! Requests without a walltime estimate are modelled as running forever
+//! (`estimate = ∞`), which makes EASY strictly conservative about them.
 
+use commalloc::scheduler::{QueuedJob, RunningSnapshot, SchedulerKind};
 use std::collections::VecDeque;
 
 /// A queued allocation request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PendingRequest {
     /// The job to allocate for.
     pub job_id: u64,
     /// Number of processors requested.
     pub size: usize,
+    /// The client's runtime estimate in seconds, if it supplied one.
+    /// EASY backfilling treats a missing estimate as "runs forever".
+    pub walltime: Option<f64>,
+    /// Machine-clock time at which the request entered the queue (drives
+    /// the wait-time metrics and doubles as the arrival stamp the
+    /// scheduler policies see).
+    pub enqueued_at: f64,
 }
 
-/// Strictly first-come first-served queue of pending requests.
-#[derive(Debug, Default)]
-pub struct FcfsQueue {
+impl PendingRequest {
+    /// The runtime estimate the scheduler policies consume: the client's
+    /// walltime, or infinity when it gave none.
+    pub fn estimate(&self) -> f64 {
+        self.walltime.unwrap_or(f64::INFINITY)
+    }
+
+    /// The scheduler-facing view of this request — the single place the
+    /// `PendingRequest` → [`QueuedJob`] mapping lives (used by both
+    /// [`AdmissionQueue::select`] and the registry's drain loop).
+    pub fn as_queued(&self) -> QueuedJob {
+        QueuedJob {
+            job_id: self.job_id,
+            size: self.size,
+            arrival: self.enqueued_at,
+            estimate: self.estimate(),
+        }
+    }
+}
+
+/// An admission queue whose drain discipline is a [`SchedulerKind`],
+/// switchable at runtime.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    kind: SchedulerKind,
     queue: VecDeque<PendingRequest>,
 }
 
-impl FcfsQueue {
-    /// An empty queue.
-    pub fn new() -> Self {
-        FcfsQueue::default()
+impl Default for AdmissionQueue {
+    fn default() -> Self {
+        AdmissionQueue::new(SchedulerKind::Fcfs)
+    }
+}
+
+impl AdmissionQueue {
+    /// An empty queue drained under `kind`.
+    pub fn new(kind: SchedulerKind) -> Self {
+        AdmissionQueue {
+            kind,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The active scheduling policy.
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Switches the scheduling policy. Queued requests keep their order;
+    /// the caller should re-drain afterwards (a switch to a backfilling
+    /// policy may immediately admit requests FCFS was blocking).
+    pub fn set_kind(&mut self, kind: SchedulerKind) {
+        self.kind = kind;
     }
 
     /// Number of waiting requests.
@@ -71,22 +140,30 @@ impl FcfsQueue {
             .map(|i| i + 1)
     }
 
-    /// Grants from the head while `try_grant` succeeds, preserving FCFS
-    /// order: the first failure stops draining even if later requests
-    /// would fit. Returns the granted requests in grant order.
-    pub fn drain_grantable(
-        &mut self,
-        mut try_grant: impl FnMut(&PendingRequest) -> bool,
-    ) -> Vec<PendingRequest> {
-        let mut granted = Vec::new();
-        while let Some(head) = self.queue.front() {
-            if try_grant(head) {
-                granted.push(self.queue.pop_front().expect("head exists"));
-            } else {
-                break;
-            }
-        }
-        granted
+    /// Asks the active policy which queued request (0-based index) may
+    /// start next, given `free` processors, the predicted completions of
+    /// the running jobs, and the current machine-clock time. Returns
+    /// `None` when nothing may start.
+    pub fn select(&self, free: usize, running: &[RunningSnapshot], now: f64) -> Option<usize> {
+        let jobs: Vec<QueuedJob> = self.queue.iter().map(PendingRequest::as_queued).collect();
+        self.kind.select_with_context(&jobs, free, running, now)
+    }
+
+    /// Removes and returns the request at 0-based `index` (which must
+    /// come from [`AdmissionQueue::select`]).
+    pub fn take_at(&mut self, index: usize) -> PendingRequest {
+        self.queue.remove(index).expect("index from select is live")
+    }
+
+    /// Reinserts a request at 0-based `index`, undoing a
+    /// [`AdmissionQueue::take_at`] whose grant the allocator refused.
+    pub fn put_back(&mut self, index: usize, request: PendingRequest) {
+        self.queue.insert(index, request);
+    }
+
+    /// Iterates the waiting requests in queue order.
+    pub fn iter(&self) -> impl Iterator<Item = &PendingRequest> {
+        self.queue.iter()
     }
 }
 
@@ -95,45 +172,97 @@ mod tests {
     use super::*;
 
     fn req(job_id: u64, size: usize) -> PendingRequest {
-        PendingRequest { job_id, size }
+        PendingRequest {
+            job_id,
+            size,
+            walltime: None,
+            enqueued_at: 0.0,
+        }
+    }
+
+    fn timed(job_id: u64, size: usize, walltime: f64) -> PendingRequest {
+        PendingRequest {
+            job_id,
+            size,
+            walltime: Some(walltime),
+            enqueued_at: 0.0,
+        }
     }
 
     #[test]
     fn positions_are_one_based_and_fifo() {
-        let mut q = FcfsQueue::new();
+        let mut q = AdmissionQueue::default();
         assert_eq!(q.enqueue(req(1, 10)), 1);
         assert_eq!(q.enqueue(req(2, 5)), 2);
         assert!(q.contains(1) && q.contains(2) && !q.contains(3));
         assert_eq!(q.head(), Some(&req(1, 10)));
+        assert_eq!(q.position(2), Some(2));
+        assert_eq!(q.position(9), None);
     }
 
     #[test]
-    fn drain_respects_head_of_line_blocking() {
-        let mut q = FcfsQueue::new();
+    fn fcfs_select_respects_head_of_line_blocking() {
+        let mut q = AdmissionQueue::new(SchedulerKind::Fcfs);
         q.enqueue(req(1, 10));
-        q.enqueue(req(2, 100)); // too big
+        q.enqueue(req(2, 100)); // too big once 1 is taken
         q.enqueue(req(3, 1)); // would fit, but must wait behind job 2
-        let mut capacity = 20usize;
-        let granted = q.drain_grantable(|p| {
-            if p.size <= capacity {
-                capacity -= p.size;
-                true
-            } else {
-                false
-            }
-        });
-        assert_eq!(granted, vec![req(1, 10)]);
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.head(), Some(&req(2, 100)));
+        assert_eq!(q.select(20, &[], 0.0), Some(0));
+        let taken = q.take_at(0);
+        assert_eq!(taken.job_id, 1);
+        // 10 free left: the new head (job 2) does not fit, and FCFS never
+        // looks past it.
+        assert_eq!(q.select(10, &[], 0.0), None);
     }
 
     #[test]
-    fn drain_empties_the_queue_when_everything_fits() {
-        let mut q = FcfsQueue::new();
-        q.enqueue(req(1, 3));
-        q.enqueue(req(2, 4));
-        let granted = q.drain_grantable(|_| true);
-        assert_eq!(granted.len(), 2);
-        assert!(q.is_empty());
+    fn first_fit_backfill_scans_the_whole_queue() {
+        let mut q = AdmissionQueue::new(SchedulerKind::FirstFitBackfill);
+        q.enqueue(req(1, 100));
+        q.enqueue(req(2, 8));
+        q.enqueue(req(3, 2));
+        assert_eq!(q.select(10, &[], 0.0), Some(1));
+        assert_eq!(q.select(4, &[], 0.0), Some(2));
+        assert_eq!(q.select(1, &[], 0.0), None);
+    }
+
+    #[test]
+    fn easy_treats_missing_walltimes_as_infinite() {
+        let mut q = AdmissionQueue::new(SchedulerKind::EasyBackfill);
+        // Head needs 10, only 4 free; the lone running job releases 6 at
+        // t = 100, so the shadow time is 100 with 0 extra processors.
+        q.enqueue(timed(1, 10, 50.0));
+        q.enqueue(req(2, 2)); // no estimate: may run past the shadow time
+        q.enqueue(timed(3, 2, 10.0)); // finishes well before it
+        let running = [RunningSnapshot {
+            completion: 100.0,
+            size: 6,
+        }];
+        assert_eq!(q.select(4, &running, 0.0), Some(2));
+        q.remove(3);
+        assert_eq!(q.select(4, &running, 0.0), None);
+    }
+
+    #[test]
+    fn put_back_restores_queue_order() {
+        let mut q = AdmissionQueue::new(SchedulerKind::FirstFitBackfill);
+        q.enqueue(req(1, 100));
+        q.enqueue(req(2, 8));
+        q.enqueue(req(3, 2));
+        let taken = q.take_at(1);
+        assert_eq!(q.position(3), Some(2));
+        q.put_back(1, taken);
+        let order: Vec<u64> = q.iter().map(|p| p.job_id).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn set_kind_switches_the_policy_in_place() {
+        let mut q = AdmissionQueue::new(SchedulerKind::Fcfs);
+        q.enqueue(req(1, 100));
+        q.enqueue(req(2, 1));
+        assert_eq!(q.select(10, &[], 0.0), None);
+        q.set_kind(SchedulerKind::FirstFitBackfill);
+        assert_eq!(q.kind(), SchedulerKind::FirstFitBackfill);
+        assert_eq!(q.select(10, &[], 0.0), Some(1));
     }
 }

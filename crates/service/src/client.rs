@@ -103,19 +103,22 @@ impl ServiceClient {
     }
 
     /// Registers a machine (see [`crate::AllocationService::register`]
-    /// for the spec grammar).
+    /// for the spec grammar). `scheduler` picks the admission policy
+    /// (`"fcfs"`, `"backfill"`, `"easy"`; `None` = FCFS).
     pub fn register(
         &mut self,
         machine: &str,
         mesh: &str,
         allocator: Option<&str>,
         strategy: Option<&str>,
+        scheduler: Option<&str>,
     ) -> Result<(), ClientError> {
         let request = Request::Register {
             machine: machine.to_string(),
             mesh: mesh.to_string(),
             allocator: allocator.map(str::to_string),
             strategy: strategy.map(str::to_string),
+            scheduler: scheduler.map(str::to_string),
         };
         self.expect(&request, |r| match r {
             Response::Registered { .. } => Ok(()),
@@ -123,7 +126,7 @@ impl ServiceClient {
         })
     }
 
-    /// Requests `size` processors for `job`.
+    /// Requests `size` processors for `job`, without a runtime estimate.
     pub fn alloc(
         &mut self,
         machine: &str,
@@ -131,16 +134,47 @@ impl ServiceClient {
         size: usize,
         wait: bool,
     ) -> Result<ClientAllocOutcome, ClientError> {
+        self.alloc_with_walltime(machine, job, size, wait, None)
+    }
+
+    /// Requests `size` processors for `job`, supplying the runtime
+    /// estimate in seconds that EASY backfilling plans with.
+    pub fn alloc_with_walltime(
+        &mut self,
+        machine: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+    ) -> Result<ClientAllocOutcome, ClientError> {
         let request = Request::Alloc {
             machine: machine.to_string(),
             job,
             size,
             wait,
+            walltime,
         };
         self.expect(&request, |r| match r {
             Response::Granted { nodes, .. } => Ok(ClientAllocOutcome::Granted(nodes)),
             Response::Queued { position, .. } => Ok(ClientAllocOutcome::Queued(position)),
             Response::Rejected { reason, .. } => Ok(ClientAllocOutcome::Rejected(reason)),
+            other => Err(other),
+        })
+    }
+
+    /// Switches the machine's scheduling policy at runtime; returns the
+    /// jobs the re-drain admitted from the queue, in grant order.
+    pub fn set_scheduler(
+        &mut self,
+        machine: &str,
+        scheduler: &str,
+    ) -> Result<Vec<(u64, Vec<NodeId>)>, ClientError> {
+        let request = Request::SetScheduler {
+            machine: machine.to_string(),
+            scheduler: scheduler.to_string(),
+        };
+        self.expect(&request, |r| match r {
+            Response::SchedulerSet { granted, .. } => Ok(granted),
             other => Err(other),
         })
     }
@@ -223,7 +257,7 @@ mod tests {
         let mut client = ServiceClient::connect(handle.addr()).unwrap();
 
         client.ping().unwrap();
-        client.register("m0", "8x8", None, None).unwrap();
+        client.register("m0", "8x8", None, None, None).unwrap();
         assert_eq!(client.list().unwrap(), vec!["m0".to_string()]);
 
         let ClientAllocOutcome::Granted(nodes) = client.alloc("m0", 1, 10, false).unwrap() else {

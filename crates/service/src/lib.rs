@@ -29,10 +29,16 @@
 //!   updated in O(log n) per occupy/release — instead of rescanning the
 //!   occupancy bitmap per request; the 3-D path uses the same index
 //!   directly as its source of truth.
-//! * **FCFS admission.** When a machine cannot serve a request, the caller
-//!   may queue it ([`admission::FcfsQueue`]): strictly first-come
-//!   first-served with head-of-line blocking, matching the paper's FCFS
-//!   scheduling discipline. Releases drain the queue head eagerly.
+//! * **Policy-driven admission.** When a machine cannot serve a request,
+//!   the caller may queue it ([`admission::AdmissionQueue`]). The drain
+//!   discipline is a per-machine `commalloc::scheduler::SchedulerKind`,
+//!   chosen at registration and switchable at runtime (`set_scheduler`):
+//!   strict FCFS with head-of-line blocking (the paper's policy and the
+//!   default), first-fit backfilling, or EASY backfilling planning with
+//!   client-supplied walltime estimates. The queue delegates every pick
+//!   to the *same* `select_with_context` the offline engine calls, and
+//!   the sim-equivalence tests pin the online grant order byte-identical
+//!   to the offline simulator's for all three policies.
 //!
 //! ## Wire protocol
 //!
@@ -41,8 +47,9 @@
 //! `"op"` discriminator:
 //!
 //! ```json
-//! {"op":"register","machine":"m0","mesh":"16x16","allocator":"Hilbert w/BF"}
-//! {"op":"alloc","machine":"m0","job":1,"size":17,"wait":true}
+//! {"op":"register","machine":"m0","mesh":"16x16","allocator":"Hilbert w/BF","scheduler":"easy"}
+//! {"op":"alloc","machine":"m0","job":1,"size":17,"wait":true,"walltime":120.0}
+//! {"op":"set_scheduler","machine":"m0","scheduler":"backfill"}
 //! {"op":"release","machine":"m0","job":1}
 //! {"op":"poll","machine":"m0","job":2}
 //! {"op":"query","machine":"m0"}
@@ -70,7 +77,7 @@
 //!
 //! let service = AllocationService::new();
 //! service.register_2d("m0", "16x16", "Hilbert w/BF").unwrap();
-//! let granted = service.allocate("m0", 1, 17, false).unwrap();
+//! let granted = service.allocate("m0", 1, 17, false, Some(60.0)).unwrap();
 //! let AllocOutcome::Granted(nodes) = granted else { panic!("empty machine") };
 //! assert_eq!(nodes.len(), 17);
 //! let newly_runnable = service.release("m0", 1).unwrap();
@@ -82,12 +89,14 @@ pub mod client;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
+pub mod replay;
 pub mod server;
 pub mod service;
 
 pub use client::{ClientAllocOutcome, ClientError, ServiceClient};
-pub use metrics::{MachineMetrics, ServiceMetrics};
+pub use metrics::{MachineMetrics, ServiceMetrics, WaitStats};
 pub use protocol::{Request, Response};
 pub use registry::{MachineSnapshot, Registry, ServiceError};
+pub use replay::{replay, ReplayGrant, ReplayJob, ReplayLog};
 pub use server::{Server, ServerHandle};
 pub use service::{AllocOutcome, AllocationService, JobStatus};

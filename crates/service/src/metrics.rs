@@ -3,6 +3,48 @@
 use serde::{Serialize, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Wait-time statistics of one admission queue: how long requests sat in
+/// the queue between enqueue and grant, in machine-clock seconds.
+/// Cancelled and rejected requests are not counted — these are *grant*
+/// waits, the quantity the scheduling policies compete on.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct WaitStats {
+    /// Requests granted from the queue.
+    pub count: u64,
+    /// Sum of their waits, in seconds.
+    pub total_seconds: f64,
+    /// The longest single wait, in seconds.
+    pub max_seconds: f64,
+}
+
+impl WaitStats {
+    /// Records one queue-to-grant wait.
+    pub fn record(&mut self, seconds: f64) {
+        let seconds = seconds.max(0.0);
+        self.count += 1;
+        self.total_seconds += seconds;
+        self.max_seconds = self.max_seconds.max(seconds);
+    }
+
+    /// Mean wait in seconds (0 when nothing was ever queued).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.count as f64
+        }
+    }
+
+    /// The count/mean/max summary surfaced in the `stats` response.
+    pub fn to_summary_value(&self) -> Value {
+        let mut m = serde::Map::new();
+        m.insert("count".into(), self.count.to_value());
+        m.insert("mean_seconds".into(), self.mean_seconds().to_value());
+        m.insert("max_seconds".into(), self.max_seconds.to_value());
+        Value::Object(m)
+    }
+}
+
 /// Per-machine counters, updated under the machine's shard lock (plain
 /// fields — no atomics needed).
 #[derive(Debug, Clone, Default, Serialize)]
@@ -20,6 +62,8 @@ pub struct MachineMetrics {
     pub released: u64,
     /// High-water mark of busy processors.
     pub peak_busy: u64,
+    /// Queue-to-grant wait times of this machine's admission queue.
+    pub wait: WaitStats,
 }
 
 impl MachineMetrics {
@@ -89,6 +133,41 @@ mod tests {
         assert_eq!(m.granted, 2);
         assert_eq!(m.granted_from_queue, 1);
         assert_eq!(m.peak_busy, 25);
+    }
+
+    #[test]
+    fn wait_stats_track_count_mean_and_max() {
+        let mut w = WaitStats::default();
+        assert_eq!(w.mean_seconds(), 0.0);
+        w.record(2.0);
+        w.record(6.0);
+        w.record(1.0);
+        // Clock skew can only produce non-negative waits.
+        w.record(-3.0);
+        assert_eq!(w.count, 4);
+        assert!((w.mean_seconds() - 9.0 / 4.0).abs() < 1e-12);
+        assert_eq!(w.max_seconds, 6.0);
+        let summary = w.to_summary_value();
+        assert_eq!(summary.get("count").and_then(Value::as_u64), Some(4));
+        assert_eq!(
+            summary.get("max_seconds").and_then(Value::as_f64),
+            Some(6.0)
+        );
+        assert!(
+            (summary.get("mean_seconds").and_then(Value::as_f64).unwrap() - 2.25).abs() < 1e-12
+        );
+        // And the embedded form serialises with the machine counters.
+        let m = MachineMetrics {
+            wait: w,
+            ..MachineMetrics::default()
+        };
+        let v = m.to_value();
+        assert_eq!(
+            v.get("wait")
+                .and_then(|w| w.get("count"))
+                .and_then(Value::as_u64),
+            Some(4)
+        );
     }
 
     #[test]

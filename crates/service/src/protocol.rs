@@ -14,11 +14,13 @@ use commalloc_mesh::NodeId;
 use serde::{Error, Map, Value};
 
 /// A client request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Register a machine. `mesh` is `"WxH"` (2-D) or `"WxHxD"` (3-D);
     /// `allocator` names an [`commalloc_alloc::AllocatorKind`] (2-D) or a
-    /// 3-D curve kind; `strategy` names a selection strategy (3-D only).
+    /// 3-D curve kind; `strategy` names a selection strategy (3-D only);
+    /// `scheduler` names a scheduling policy (`"fcfs"`, `"backfill"`,
+    /// `"easy"` or a full `SchedulerKind` name).
     Register {
         /// Machine name.
         machine: String,
@@ -28,9 +30,12 @@ pub enum Request {
         allocator: Option<String>,
         /// Selection strategy spec (3-D); `None` = Best Fit.
         strategy: Option<String>,
+        /// Scheduling-policy spec; `None` = FCFS (the paper's policy).
+        scheduler: Option<String>,
     },
     /// Allocate `size` processors for `job` on `machine`; `wait` queues
-    /// the request (FCFS) when it cannot be served immediately.
+    /// the request when it cannot be served immediately (admission is
+    /// governed by the machine's scheduling policy).
     Alloc {
         /// Machine name.
         machine: String,
@@ -40,6 +45,16 @@ pub enum Request {
         size: usize,
         /// Queue instead of rejecting on capacity shortfall.
         wait: bool,
+        /// Runtime estimate in seconds (EASY backfilling's shadow-time
+        /// input; other policies ignore it).
+        walltime: Option<f64>,
+    },
+    /// Switch the scheduling policy of a machine at runtime.
+    SetScheduler {
+        /// Machine name.
+        machine: String,
+        /// Scheduling-policy spec (same grammar as `Register`).
+        scheduler: String,
     },
     /// Release the processors of `job` (or cancel it while queued).
     Release {
@@ -113,6 +128,16 @@ pub enum Response {
         /// Jobs granted from the queue by this release, in grant order.
         granted: Vec<(u64, Vec<NodeId>)>,
     },
+    /// The scheduling policy was switched; `granted` lists jobs the
+    /// re-drain admitted from the queue.
+    SchedulerSet {
+        /// Machine name.
+        machine: String,
+        /// Canonical name of the now-active policy.
+        scheduler: String,
+        /// Jobs granted by the policy switch, in grant order.
+        granted: Vec<(u64, Vec<NodeId>)>,
+    },
     /// Poll result: the job runs on these processors.
     Running {
         /// Job identifier.
@@ -171,6 +196,56 @@ fn get_u64(v: &Value, key: &str) -> Result<u64, Error> {
         .ok_or_else(|| Error::msg(format!("missing or non-integer field {key:?}")))
 }
 
+fn get_f64_opt(v: &Value, key: &str) -> Result<Option<f64>, Error> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(value) => value
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| Error::msg(format!("non-numeric field {key:?}"))),
+    }
+}
+
+/// An optional string field: absent/null is `None`, but a present value
+/// of the wrong type is a parse error rather than a silent `None` (a
+/// mistyped `"scheduler":5` must not quietly register an FCFS machine).
+fn get_str_opt(v: &Value, key: &str) -> Result<Option<String>, Error> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(value) => value
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| Error::msg(format!("non-string field {key:?}"))),
+    }
+}
+
+/// Renders a `(job, nodes)` grant list (shared by the `release` and
+/// `set_scheduler` responses).
+fn granted_value(granted: &[(u64, Vec<NodeId>)]) -> Value {
+    Value::Array(
+        granted
+            .iter()
+            .map(|(id, nodes)| {
+                obj(vec![
+                    ("job", Value::UInt(*id)),
+                    ("nodes", nodes_value(nodes)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parses a `(job, nodes)` grant list.
+fn get_granted(v: &Value) -> Result<Vec<(u64, Vec<NodeId>)>, Error> {
+    let arr = v
+        .get("granted")
+        .and_then(Value::as_array)
+        .ok_or_else(|| Error::msg("missing \"granted\" array"))?;
+    arr.iter()
+        .map(|entry| Ok((get_u64(entry, "job")?, get_nodes(entry, "nodes")?)))
+        .collect()
+}
+
 fn get_nodes(v: &Value, key: &str) -> Result<Vec<NodeId>, Error> {
     let arr = v
         .get(key)
@@ -194,6 +269,7 @@ impl Request {
                 mesh,
                 allocator,
                 strategy,
+                scheduler,
             } => {
                 let mut entries = vec![
                     ("op", str_value("register")),
@@ -206,6 +282,9 @@ impl Request {
                 if let Some(s) = strategy {
                     entries.push(("strategy", str_value(s)));
                 }
+                if let Some(s) = scheduler {
+                    entries.push(("scheduler", str_value(s)));
+                }
                 obj(entries)
             }
             Request::Alloc {
@@ -213,12 +292,24 @@ impl Request {
                 job,
                 size,
                 wait,
-            } => obj(vec![
-                ("op", str_value("alloc")),
+                walltime,
+            } => {
+                let mut entries = vec![
+                    ("op", str_value("alloc")),
+                    ("machine", str_value(machine)),
+                    ("job", Value::UInt(*job)),
+                    ("size", Value::UInt(*size as u64)),
+                    ("wait", Value::Bool(*wait)),
+                ];
+                if let Some(w) = walltime {
+                    entries.push(("walltime", Value::Float(*w)));
+                }
+                obj(entries)
+            }
+            Request::SetScheduler { machine, scheduler } => obj(vec![
+                ("op", str_value("set_scheduler")),
                 ("machine", str_value(machine)),
-                ("job", Value::UInt(*job)),
-                ("size", Value::UInt(*size as u64)),
-                ("wait", Value::Bool(*wait)),
+                ("scheduler", str_value(scheduler)),
             ]),
             Request::Release { machine, job } => obj(vec![
                 ("op", str_value("release")),
@@ -250,20 +341,25 @@ impl Request {
             "register" => Ok(Request::Register {
                 machine: get_str(v, "machine")?,
                 mesh: get_str(v, "mesh")?,
-                allocator: v
-                    .get("allocator")
-                    .and_then(Value::as_str)
-                    .map(str::to_string),
-                strategy: v
-                    .get("strategy")
-                    .and_then(Value::as_str)
-                    .map(str::to_string),
+                allocator: get_str_opt(v, "allocator")?,
+                strategy: get_str_opt(v, "strategy")?,
+                scheduler: get_str_opt(v, "scheduler")?,
             }),
             "alloc" => Ok(Request::Alloc {
                 machine: get_str(v, "machine")?,
                 job: get_u64(v, "job")?,
                 size: get_u64(v, "size")? as usize,
-                wait: v.get("wait").and_then(Value::as_bool).unwrap_or(false),
+                wait: match v.get("wait") {
+                    None | Some(Value::Null) => false,
+                    Some(value) => value
+                        .as_bool()
+                        .ok_or_else(|| Error::msg("non-boolean field \"wait\""))?,
+                },
+                walltime: get_f64_opt(v, "walltime")?,
+            }),
+            "set_scheduler" => Ok(Request::SetScheduler {
+                machine: get_str(v, "machine")?,
+                scheduler: get_str(v, "scheduler")?,
             }),
             "release" => Ok(Request::Release {
                 machine: get_str(v, "machine")?,
@@ -335,20 +431,18 @@ impl Response {
                 ("ok", Value::Bool(true)),
                 ("op", str_value("release")),
                 ("job", Value::UInt(*job)),
-                (
-                    "granted",
-                    Value::Array(
-                        granted
-                            .iter()
-                            .map(|(id, nodes)| {
-                                obj(vec![
-                                    ("job", Value::UInt(*id)),
-                                    ("nodes", nodes_value(nodes)),
-                                ])
-                            })
-                            .collect(),
-                    ),
-                ),
+                ("granted", granted_value(granted)),
+            ]),
+            Response::SchedulerSet {
+                machine,
+                scheduler,
+                granted,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("set_scheduler")),
+                ("machine", str_value(machine)),
+                ("scheduler", str_value(scheduler)),
+                ("granted", granted_value(granted)),
             ]),
             Response::Running { job, nodes } => obj(vec![
                 ("ok", Value::Bool(true)),
@@ -423,20 +517,15 @@ impl Response {
                 }),
                 other => Err(Error::msg(format!("unknown alloc status {other:?}"))),
             },
-            "release" => {
-                let arr = v
-                    .get("granted")
-                    .and_then(Value::as_array)
-                    .ok_or_else(|| Error::msg("missing \"granted\" array"))?;
-                let granted = arr
-                    .iter()
-                    .map(|entry| Ok((get_u64(entry, "job")?, get_nodes(entry, "nodes")?)))
-                    .collect::<Result<Vec<_>, Error>>()?;
-                Ok(Response::Released {
-                    job: get_u64(v, "job")?,
-                    granted,
-                })
-            }
+            "release" => Ok(Response::Released {
+                job: get_u64(v, "job")?,
+                granted: get_granted(v)?,
+            }),
+            "set_scheduler" => Ok(Response::SchedulerSet {
+                machine: get_str(v, "machine")?,
+                scheduler: get_str(v, "scheduler")?,
+                granted: get_granted(v)?,
+            }),
             "poll" => match get_str(v, "state")?.as_str() {
                 "running" => Ok(Response::Running {
                     job: get_u64(v, "job")?,
@@ -504,12 +593,25 @@ mod tests {
                 mesh: "16x16".into(),
                 allocator: Some("Hilbert w/BF".into()),
                 strategy: None,
+                scheduler: Some("easy".into()),
             },
             Request::Alloc {
                 machine: "m0".into(),
                 job: 7,
                 size: 17,
                 wait: true,
+                walltime: Some(120.5),
+            },
+            Request::Alloc {
+                machine: "m0".into(),
+                job: 8,
+                size: 1,
+                wait: false,
+                walltime: None,
+            },
+            Request::SetScheduler {
+                machine: "m0".into(),
+                scheduler: "first-fit backfill".into(),
             },
             Request::Release {
                 machine: "m0".into(),
@@ -561,6 +663,11 @@ mod tests {
                 job: 1,
                 granted: vec![(2, vec![NodeId(9)]), (4, vec![])],
             },
+            Response::SchedulerSet {
+                machine: "m0".into(),
+                scheduler: "EASY backfill".into(),
+                granted: vec![(7, vec![NodeId(1), NodeId(2)])],
+            },
             Response::Running {
                 job: 2,
                 nodes: vec![NodeId(9)],
@@ -581,7 +688,7 @@ mod tests {
     }
 
     #[test]
-    fn alloc_wait_defaults_to_false() {
+    fn alloc_wait_and_walltime_default_to_absent() {
         let parsed =
             Request::from_line(r#"{"op":"alloc","machine":"m0","job":1,"size":4}"#).unwrap();
         assert_eq!(
@@ -590,9 +697,49 @@ mod tests {
                 machine: "m0".into(),
                 job: 1,
                 size: 4,
-                wait: false
+                wait: false,
+                walltime: None,
             }
         );
+        // An integer walltime is accepted (JSON does not distinguish).
+        let parsed = Request::from_line(
+            r#"{"op":"alloc","machine":"m0","job":1,"size":4,"wait":true,"walltime":30}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            parsed,
+            Request::Alloc {
+                machine: "m0".into(),
+                job: 1,
+                size: 4,
+                wait: true,
+                walltime: Some(30.0),
+            }
+        );
+        // A non-numeric walltime is a parse error, not a silent None.
+        assert!(Request::from_line(
+            r#"{"op":"alloc","machine":"m0","job":1,"size":4,"walltime":"soon"}"#
+        )
+        .is_err());
+        // So are non-string register specs (they must not fall back to
+        // the FCFS/Hilbert defaults).
+        assert!(Request::from_line(
+            r#"{"op":"register","machine":"m0","mesh":"4x4","scheduler":5}"#
+        )
+        .is_err());
+        assert!(Request::from_line(
+            r#"{"op":"register","machine":"m0","mesh":"4x4","allocator":5}"#
+        )
+        .is_err());
+        assert!(Request::from_line(
+            r#"{"op":"register","machine":"m0","mesh":"4x4","strategy":[]}"#
+        )
+        .is_err());
+        // And a non-boolean wait (it must not silently reject-on-full).
+        assert!(Request::from_line(
+            r#"{"op":"alloc","machine":"m0","job":1,"size":4,"wait":"true"}"#
+        )
+        .is_err());
     }
 
     #[test]

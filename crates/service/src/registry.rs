@@ -7,8 +7,9 @@
 //! requires (an allocate must observe the state left by the previous
 //! allocate/release on the same machine).
 
-use crate::admission::{FcfsQueue, PendingRequest};
+use crate::admission::{AdmissionQueue, PendingRequest};
 use crate::metrics::MachineMetrics;
+use commalloc::scheduler::{RunningSnapshot, SchedulerKind};
 use commalloc_alloc::curve_alloc::SelectionStrategy;
 use commalloc_alloc::interval_index::FreeIntervalIndex;
 use commalloc_alloc::{AllocRequest, Allocation, Allocator, AllocatorKind, MachineState};
@@ -20,6 +21,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Errors surfaced by the service to callers (mapped onto protocol error
 /// responses by the server).
@@ -106,6 +108,8 @@ pub struct MachineSnapshot {
     pub live_jobs: usize,
     /// Requests waiting in the admission queue.
     pub queue_len: usize,
+    /// The active scheduling policy of the admission queue.
+    pub scheduler: String,
 }
 
 /// The allocator+state backing of one machine.
@@ -198,19 +202,56 @@ impl Backing {
     }
 }
 
+/// The machine's clock: wall time by default, virtual (caller-advanced)
+/// time for deterministic replay. EASY backfilling compares predicted
+/// completions against "now", so every entry carries an explicit time
+/// base instead of sampling `Instant::now()` ad hoc.
+#[derive(Debug, Clone, Copy)]
+enum Clock {
+    /// Seconds elapsed since the machine was registered.
+    Wall(Instant),
+    /// A caller-set logical time (see [`MachineEntry::set_time`]).
+    Virtual(f64),
+}
+
+/// Metadata of one running job, in *grant order* with
+/// `swap_remove`-on-release — deliberately the same evolution the offline
+/// engine's running vector undergoes, so EASY's (stable) completion sort
+/// breaks ties identically online and offline.
+#[derive(Debug, Clone, Copy)]
+struct RunningMeta {
+    job_id: u64,
+    size: usize,
+    start: f64,
+    walltime: Option<f64>,
+}
+
+impl RunningMeta {
+    /// Predicted completion: start + walltime, or infinity when the
+    /// client gave no estimate (EASY then never counts on this release).
+    fn completion(&self) -> f64 {
+        match self.walltime {
+            Some(w) => self.start + w,
+            None => f64::INFINITY,
+        }
+    }
+}
+
 /// One registered machine: backing state, live allocations, admission
 /// queue and counters. All access happens under the owning shard's lock.
 pub struct MachineEntry {
     name: String,
     backing: Backing,
     allocations: HashMap<u64, Vec<NodeId>>,
-    queue: FcfsQueue,
+    queue: AdmissionQueue,
+    running: Vec<RunningMeta>,
+    clock: Clock,
     /// Operation counters (public so the service layer can read them out).
     pub metrics: MachineMetrics,
 }
 
 impl MachineEntry {
-    fn new_2d(name: &str, mesh: Mesh2D, kind: AllocatorKind) -> Self {
+    fn new_2d(name: &str, mesh: Mesh2D, kind: AllocatorKind, scheduler: SchedulerKind) -> Self {
         MachineEntry {
             name: name.to_string(),
             backing: Backing::TwoD {
@@ -220,12 +261,20 @@ impl MachineEntry {
                 kind,
             },
             allocations: HashMap::new(),
-            queue: FcfsQueue::new(),
+            queue: AdmissionQueue::new(scheduler),
+            running: Vec::new(),
+            clock: Clock::Wall(Instant::now()),
             metrics: MachineMetrics::default(),
         }
     }
 
-    fn new_3d(name: &str, mesh: Mesh3D, curve: Curve3Kind, strategy: SelectionStrategy) -> Self {
+    fn new_3d(
+        name: &str,
+        mesh: Mesh3D,
+        curve: Curve3Kind,
+        strategy: SelectionStrategy,
+        scheduler: SchedulerKind,
+    ) -> Self {
         let curve = Curve3Order::build(curve, mesh);
         let index = FreeIntervalIndex::all_free(curve.len());
         MachineEntry {
@@ -237,9 +286,43 @@ impl MachineEntry {
                 strategy,
             },
             allocations: HashMap::new(),
-            queue: FcfsQueue::new(),
+            queue: AdmissionQueue::new(scheduler),
+            running: Vec::new(),
+            clock: Clock::Wall(Instant::now()),
             metrics: MachineMetrics::default(),
         }
+    }
+
+    /// The machine-clock reading, in seconds.
+    pub fn now(&self) -> f64 {
+        match self.clock {
+            Clock::Wall(origin) => origin.elapsed().as_secs_f64(),
+            Clock::Virtual(t) => t,
+        }
+    }
+
+    /// Switches the machine to virtual time and sets it to `t` (replay
+    /// and test harnesses; a live daemon stays on wall time). Once
+    /// virtual, time never moves backwards — earlier stamps are clamped.
+    pub fn set_time(&mut self, t: f64) {
+        let t = match self.clock {
+            Clock::Virtual(current) => t.max(current),
+            Clock::Wall(_) => t,
+        };
+        self.clock = Clock::Virtual(t);
+    }
+
+    /// The active scheduling policy.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Switches the scheduling policy at runtime and re-drains the queue
+    /// (a switch to a backfilling policy may immediately admit requests
+    /// FCFS was blocking). Returns the newly granted jobs in grant order.
+    pub fn set_scheduler(&mut self, scheduler: SchedulerKind) -> Vec<(u64, Vec<NodeId>)> {
+        self.queue.set_kind(scheduler);
+        self.drain_queue(None)
     }
 
     /// Total processors.
@@ -258,13 +341,18 @@ impl MachineEntry {
     }
 
     /// Serves an allocation request: immediate grant, queue (when `wait`),
-    /// or rejection. FCFS: a non-empty queue means no request may jump
-    /// ahead, even if it would fit.
+    /// or rejection. The request is logically appended to the admission
+    /// queue and the queue is drained under the active policy — under
+    /// FCFS a non-empty queue therefore still blocks every newcomer, while
+    /// the backfilling policies may start the newcomer at once.
+    /// `walltime` is the client's runtime estimate in seconds (EASY's
+    /// shadow-time input); it must be finite and positive when present.
     pub fn allocate(
         &mut self,
         job_id: u64,
         size: usize,
         wait: bool,
+        walltime: Option<f64>,
     ) -> Result<AllocOutcome, ServiceError> {
         if self.allocations.contains_key(&job_id) || self.queue.contains(job_id) {
             return Err(ServiceError::DuplicateJob {
@@ -283,19 +371,50 @@ impl MachineEntry {
                 self.total_nodes()
             )));
         }
-        let must_wait = !self.queue.is_empty();
-        if !must_wait {
-            if let Some(nodes) = self.backing.try_allocate(job_id, size) {
-                self.metrics.record_grant(false, self.num_busy());
-                self.allocations.insert(job_id, nodes.clone());
-                return Ok(AllocOutcome::Granted(nodes));
+        if let Some(w) = walltime {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "walltime estimate must be finite and positive, got {w}"
+                )));
             }
         }
+        let must_wait = !self.queue.is_empty();
+        self.queue.enqueue(PendingRequest {
+            job_id,
+            size,
+            walltime,
+            enqueued_at: self.now(),
+        });
+        let granted = self.drain_queue(Some(job_id));
+        // An arrival frees nothing, so under the current policies the
+        // drain can only ever admit the arriving job itself (eligibility
+        // of older requests is monotone in free capacity). A policy for
+        // which this stops holding must grow a way to notify the other
+        // winners — their grants would otherwise be committed silently.
+        debug_assert!(
+            granted.iter().all(|(id, _)| *id == job_id),
+            "alloc drain granted a non-arriving job"
+        );
+        if let Some((_, nodes)) = granted.into_iter().find(|(id, _)| *id == job_id) {
+            return Ok(AllocOutcome::Granted(nodes));
+        }
+        if !self.queue.contains(job_id) {
+            // The drain dropped the request: the machine was empty and the
+            // allocator still refused (contiguous strategies with no
+            // suitable rectangle), so waiting could never help.
+            return Ok(AllocOutcome::Rejected(format!(
+                "{} processors requested, but the allocator cannot place the job \
+                 even on an empty machine",
+                size
+            )));
+        }
         if wait {
-            let position = self.queue.enqueue(PendingRequest { job_id, size });
             self.metrics.queued += 1;
-            Ok(AllocOutcome::Queued(position))
+            Ok(AllocOutcome::Queued(
+                self.queue.position(job_id).expect("job is queued"),
+            ))
         } else {
+            self.queue.remove(job_id);
             self.metrics.rejected += 1;
             Ok(AllocOutcome::Rejected(format!(
                 "{} processors requested, {} free{}",
@@ -307,11 +426,16 @@ impl MachineEntry {
     }
 
     /// Releases `job_id` (or cancels it if still queued), then drains the
-    /// admission queue head-first. Returns the jobs granted from the
-    /// queue as `(job_id, nodes)` pairs, in grant order.
+    /// admission queue under the active policy. Returns the jobs granted
+    /// from the queue as `(job_id, nodes)` pairs, in grant order.
     pub fn release(&mut self, job_id: u64) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
         if let Some(nodes) = self.allocations.remove(&job_id) {
             self.backing.release(&nodes, job_id);
+            if let Some(at) = self.running.iter().position(|r| r.job_id == job_id) {
+                // swap_remove, not remove: keeps the running-order
+                // evolution identical to the offline engine's.
+                self.running.swap_remove(at);
+            }
             self.metrics.released += 1;
         } else if self.queue.remove(job_id).is_some() {
             // Cancelling a queued request frees no processors, but may
@@ -322,25 +446,102 @@ impl MachineEntry {
                 job_id,
             });
         }
-        Ok(self.drain_queue())
+        Ok(self.drain_queue(None))
     }
 
-    /// Grants queued requests from the head while they fit (FCFS with
-    /// head-of-line blocking, via [`FcfsQueue::drain_grantable`]).
-    fn drain_queue(&mut self) -> Vec<(u64, Vec<NodeId>)> {
-        let backing = &mut self.backing;
-        let allocations = &mut self.allocations;
-        let metrics = &mut self.metrics;
+    /// Drains the admission queue to a fixpoint under the active policy:
+    /// repeatedly asks the policy which request may start and commits the
+    /// grant. Mirrors the offline engine's start loop exactly, including
+    /// its two allocator-refusal outcomes: on a *fragmented* machine the
+    /// refused request is put back and the drain stops (a future release
+    /// may open a suitable region); on an *empty* machine the request is
+    /// dropped and counted as rejected — no release can ever help it.
+    ///
+    /// `arriving` marks the request that entered the queue in this same
+    /// call (its grant is recorded as immediate rather than from-queue,
+    /// and contributes no wait time).
+    fn drain_queue(&mut self, arriving: Option<u64>) -> Vec<(u64, Vec<NodeId>)> {
+        let now = self.now();
+        let kind = self.queue.kind();
         let mut granted = Vec::new();
-        self.queue.drain_grantable(|head| {
-            let Some(nodes) = backing.try_allocate(head.job_id, head.size) else {
-                return false;
+        // Both policy inputs are built once and maintained incrementally
+        // across iterations (each grant appends one running snapshot and
+        // removes one queued job), so each grant costs O(1) allocations.
+        // Policies that ignore an input skip its build entirely; the
+        // capability methods match exhaustively in core, so a new
+        // `SchedulerKind` variant cannot silently receive empty inputs.
+        let mut snapshots: Vec<RunningSnapshot> = if kind.uses_running_snapshots() {
+            self.running
+                .iter()
+                .map(|r| RunningSnapshot {
+                    completion: r.completion(),
+                    size: r.size,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Head-only policies get a zero-allocation one-element view per
+        // iteration; queue-scanning policies get the incrementally
+        // maintained full mirror.
+        let mut queued: Vec<commalloc::scheduler::QueuedJob> = if kind.scans_whole_queue() {
+            self.queue.iter().map(PendingRequest::as_queued).collect()
+        } else {
+            Vec::new()
+        };
+        loop {
+            let free = self.backing.num_free();
+            let head_view;
+            let policy_view: &[commalloc::scheduler::QueuedJob] = if kind.scans_whole_queue() {
+                &queued
+            } else {
+                head_view = self.queue.head().map(PendingRequest::as_queued);
+                head_view.as_slice()
             };
-            metrics.record_grant(true, backing.num_busy());
-            allocations.insert(head.job_id, nodes.clone());
-            granted.push((head.job_id, nodes));
-            true
-        });
+            let Some(at) = kind.select_with_context(policy_view, free, &snapshots, now) else {
+                break;
+            };
+            let pending = self.queue.take_at(at);
+            if kind.scans_whole_queue() {
+                queued.remove(at);
+            }
+            match self.backing.try_allocate(pending.job_id, pending.size) {
+                Some(nodes) => {
+                    let from_queue = arriving != Some(pending.job_id);
+                    self.metrics
+                        .record_grant(from_queue, self.backing.num_busy());
+                    if from_queue {
+                        self.metrics.wait.record(now - pending.enqueued_at);
+                    }
+                    self.allocations.insert(pending.job_id, nodes.clone());
+                    let meta = RunningMeta {
+                        job_id: pending.job_id,
+                        size: pending.size,
+                        start: now,
+                        walltime: pending.walltime,
+                    };
+                    if kind.uses_running_snapshots() {
+                        snapshots.push(RunningSnapshot {
+                            completion: meta.completion(),
+                            size: meta.size,
+                        });
+                    }
+                    self.running.push(meta);
+                    granted.push((pending.job_id, nodes));
+                }
+                None if self.backing.num_busy() == 0 => {
+                    // Even an empty machine cannot host this request with
+                    // this allocator: drop it (engine parity) instead of
+                    // deadlocking the queue behind it forever.
+                    self.metrics.rejected += 1;
+                    continue;
+                }
+                None => {
+                    self.queue.put_back(at, pending);
+                    break;
+                }
+            }
+        }
         granted
     }
 
@@ -382,13 +583,60 @@ impl MachineEntry {
             utilization: self.num_busy() as f64 / self.total_nodes() as f64,
             live_jobs: self.allocations.len(),
             queue_len: self.queue.len(),
+            scheduler: self.queue.kind().name().to_string(),
         }
     }
 
-    /// Exhaustive occupancy-invariant check (test/debug helper): every
-    /// node is held by at most one job, and the backing's free count
-    /// agrees with the allocation table.
+    /// Exhaustive invariant check (test/debug helper): every node is held
+    /// by at most one job, the backing's free count agrees with the
+    /// allocation table, the running-order metadata mirrors the
+    /// allocation table, and no job is simultaneously queued and running
+    /// (queue-position consistency).
     pub fn check_invariants(&self) -> Result<(), String> {
+        if self.running.len() != self.allocations.len() {
+            return Err(format!(
+                "{} running-order entries but {} allocations",
+                self.running.len(),
+                self.allocations.len()
+            ));
+        }
+        for meta in &self.running {
+            let Some(nodes) = self.allocations.get(&meta.job_id) else {
+                return Err(format!(
+                    "running-order entry for job {} has no allocation",
+                    meta.job_id
+                ));
+            };
+            if nodes.len() != meta.size {
+                return Err(format!(
+                    "job {} holds {} nodes but its running-order entry says {}",
+                    meta.job_id,
+                    nodes.len(),
+                    meta.size
+                ));
+            }
+            if self.queue.contains(meta.job_id) {
+                return Err(format!("job {} is both running and queued", meta.job_id));
+            }
+        }
+        for (at, pending) in self.queue.iter().enumerate() {
+            match self.queue.position(pending.job_id) {
+                Some(position) if position == at + 1 => {}
+                other => {
+                    return Err(format!(
+                        "job {} sits at queue slot {} but position() reports {other:?}",
+                        pending.job_id,
+                        at + 1
+                    ))
+                }
+            }
+            if self.allocations.contains_key(&pending.job_id) {
+                return Err(format!(
+                    "job {} is both queued and allocated",
+                    pending.job_id
+                ));
+            }
+        }
         let mut held = vec![false; self.total_nodes()];
         for (job, nodes) in &self.allocations {
             for node in nodes {
@@ -465,26 +713,32 @@ impl Registry {
         Ok(())
     }
 
-    /// Registers a 2-D mesh machine served by `kind`.
+    /// Registers a 2-D mesh machine served by `kind`, admitting under
+    /// `scheduler`.
     pub fn register_2d(
         &self,
         name: &str,
         mesh: Mesh2D,
         kind: AllocatorKind,
+        scheduler: SchedulerKind,
     ) -> Result<(), ServiceError> {
-        self.register(name, MachineEntry::new_2d(name, mesh, kind))
+        self.register(name, MachineEntry::new_2d(name, mesh, kind, scheduler))
     }
 
     /// Registers a 3-D mesh machine served by curve reduction along
-    /// `curve` with `strategy`.
+    /// `curve` with `strategy`, admitting under `scheduler`.
     pub fn register_3d(
         &self,
         name: &str,
         mesh: Mesh3D,
         curve: Curve3Kind,
         strategy: SelectionStrategy,
+        scheduler: SchedulerKind,
     ) -> Result<(), ServiceError> {
-        self.register(name, MachineEntry::new_3d(name, mesh, curve, strategy))
+        self.register(
+            name,
+            MachineEntry::new_3d(name, mesh, curve, strategy, scheduler),
+        )
     }
 
     /// Runs `f` with exclusive access to the named machine.
@@ -537,8 +791,13 @@ mod tests {
 
     fn registry_with_m0() -> Registry {
         let r = Registry::default();
-        r.register_2d("m0", Mesh2D::square_16x16(), AllocatorKind::HilbertBestFit)
-            .unwrap();
+        r.register_2d(
+            "m0",
+            Mesh2D::square_16x16(),
+            AllocatorKind::HilbertBestFit,
+            SchedulerKind::Fcfs,
+        )
+        .unwrap();
         r
     }
 
@@ -546,7 +805,12 @@ mod tests {
     fn register_rejects_duplicates_and_lists_sorted() {
         let r = registry_with_m0();
         assert_eq!(
-            r.register_2d("m0", Mesh2D::new(4, 4), AllocatorKind::Mc1x1),
+            r.register_2d(
+                "m0",
+                Mesh2D::new(4, 4),
+                AllocatorKind::Mc1x1,
+                SchedulerKind::Fcfs
+            ),
             Err(ServiceError::MachineExists("m0".to_string()))
         );
         r.register_3d(
@@ -554,6 +818,7 @@ mod tests {
             Mesh3D::new(4, 4, 4),
             Curve3Kind::Hilbert,
             SelectionStrategy::BestFit,
+            SchedulerKind::Fcfs,
         )
         .unwrap();
         assert_eq!(r.list(), vec!["cube".to_string(), "m0".to_string()]);
@@ -563,7 +828,9 @@ mod tests {
     #[test]
     fn allocate_release_cycle_keeps_invariants() {
         let r = registry_with_m0();
-        let outcome = r.with_entry("m0", |m| m.allocate(1, 30, false)).unwrap();
+        let outcome = r
+            .with_entry("m0", |m| m.allocate(1, 30, false, None))
+            .unwrap();
         let AllocOutcome::Granted(nodes) = outcome else {
             panic!("expected a grant, got {outcome:?}");
         };
@@ -585,21 +852,27 @@ mod tests {
     fn queueing_is_fcfs_with_head_of_line_blocking() {
         let r = registry_with_m0();
         // Fill the machine almost completely.
-        let AllocOutcome::Granted(_) = r.with_entry("m0", |m| m.allocate(1, 250, false)).unwrap()
+        let AllocOutcome::Granted(_) = r
+            .with_entry("m0", |m| m.allocate(1, 250, false, None))
+            .unwrap()
         else {
             panic!("grant expected");
         };
         // 20 does not fit -> queued; 3 would fit but must wait behind it.
         assert_eq!(
-            r.with_entry("m0", |m| m.allocate(2, 20, true)).unwrap(),
+            r.with_entry("m0", |m| m.allocate(2, 20, true, None))
+                .unwrap(),
             AllocOutcome::Queued(1)
         );
         assert_eq!(
-            r.with_entry("m0", |m| m.allocate(3, 3, true)).unwrap(),
+            r.with_entry("m0", |m| m.allocate(3, 3, true, None))
+                .unwrap(),
             AllocOutcome::Queued(2)
         );
         // Without wait, the same situation is a rejection.
-        let outcome = r.with_entry("m0", |m| m.allocate(4, 1, false)).unwrap();
+        let outcome = r
+            .with_entry("m0", |m| m.allocate(4, 1, false, None))
+            .unwrap();
         assert!(matches!(outcome, AllocOutcome::Rejected(_)));
         // Releasing the big job grants both queued jobs, in order.
         let granted = r.with_entry("m0", |m| m.release(1)).unwrap();
@@ -614,9 +887,12 @@ mod tests {
     #[test]
     fn cancelling_a_queued_head_unblocks_the_queue() {
         let r = registry_with_m0();
-        r.with_entry("m0", |m| m.allocate(1, 250, false)).unwrap();
-        r.with_entry("m0", |m| m.allocate(2, 100, true)).unwrap();
-        r.with_entry("m0", |m| m.allocate(3, 5, true)).unwrap();
+        r.with_entry("m0", |m| m.allocate(1, 250, false, None))
+            .unwrap();
+        r.with_entry("m0", |m| m.allocate(2, 100, true, None))
+            .unwrap();
+        r.with_entry("m0", |m| m.allocate(3, 5, true, None))
+            .unwrap();
         // Cancel the blocking head; job 3 fits the 6 free processors.
         let granted = r.with_entry("m0", |m| m.release(2)).unwrap();
         let ids: Vec<u64> = granted.iter().map(|(id, _)| *id).collect();
@@ -626,9 +902,10 @@ mod tests {
     #[test]
     fn duplicate_and_unknown_jobs_are_errors() {
         let r = registry_with_m0();
-        r.with_entry("m0", |m| m.allocate(1, 4, false)).unwrap();
+        r.with_entry("m0", |m| m.allocate(1, 4, false, None))
+            .unwrap();
         assert_eq!(
-            r.with_entry("m0", |m| m.allocate(1, 4, false)),
+            r.with_entry("m0", |m| m.allocate(1, 4, false, None)),
             Err(ServiceError::DuplicateJob {
                 machine: "m0".to_string(),
                 job_id: 1
@@ -642,17 +919,169 @@ mod tests {
             })
         );
         assert!(matches!(
-            r.with_entry("m0", |m| m.allocate(5, 0, false)),
+            r.with_entry("m0", |m| m.allocate(5, 0, false, None)),
             Err(ServiceError::InvalidRequest(_))
         ));
         assert!(matches!(
-            r.with_entry("m0", |m| m.allocate(5, 1000, false)),
+            r.with_entry("m0", |m| m.allocate(5, 1000, false, None)),
             Err(ServiceError::InvalidRequest(_))
         ));
+        for bad_walltime in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                r.with_entry("m0", |m| m.allocate(5, 1, false, Some(bad_walltime))),
+                Err(ServiceError::InvalidRequest(_))
+            ));
+        }
         assert!(matches!(
-            r.with_entry("nope", |m| m.allocate(1, 1, false)),
+            r.with_entry("nope", |m| m.allocate(1, 1, false, None)),
             Err(ServiceError::UnknownMachine(_))
         ));
+    }
+
+    #[test]
+    fn first_fit_backfill_lets_fitting_jobs_jump_the_head() {
+        let r = Registry::default();
+        r.register_2d(
+            "bf",
+            Mesh2D::square_16x16(),
+            AllocatorKind::HilbertBestFit,
+            SchedulerKind::FirstFitBackfill,
+        )
+        .unwrap();
+        r.with_entry("bf", |m| m.allocate(1, 250, false, None))
+            .unwrap();
+        // Job 2 blocks as the head; job 3 fits the 6 free processors and
+        // starts immediately under first-fit backfill.
+        assert_eq!(
+            r.with_entry("bf", |m| m.allocate(2, 100, true, None))
+                .unwrap(),
+            AllocOutcome::Queued(1)
+        );
+        let outcome = r
+            .with_entry("bf", |m| m.allocate(3, 5, true, None))
+            .unwrap();
+        assert!(
+            matches!(outcome, AllocOutcome::Granted(ref nodes) if nodes.len() == 5),
+            "backfill should start job 3 at once, got {outcome:?}"
+        );
+        r.with_entry("bf", |m| {
+            m.check_invariants().map_err(ServiceError::InvalidRequest)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn easy_backfills_only_jobs_that_respect_the_reservation() {
+        let r = Registry::default();
+        r.register_2d(
+            "easy",
+            Mesh2D::square_16x16(),
+            AllocatorKind::HilbertBestFit,
+            SchedulerKind::EasyBackfill,
+        )
+        .unwrap();
+        r.with_entry("easy", |m| {
+            m.set_time(0.0);
+            // 200 processors for 100 s: releases at t = 100.
+            m.allocate(1, 200, false, Some(100.0))
+        })
+        .unwrap();
+        // The head needs 100 (only 56 free): the shadow time is t = 100
+        // (job 1's release), with 256 − 100 = 156 extra processors free
+        // at that instant.
+        assert_eq!(
+            r.with_entry("easy", |m| m.allocate(2, 100, true, Some(50.0)))
+                .unwrap(),
+            AllocOutcome::Queued(1)
+        );
+        // A short job (done by t = 50 < 100) backfills.
+        let outcome = r
+            .with_entry("easy", |m| m.allocate(3, 40, true, Some(50.0)))
+            .unwrap();
+        assert!(
+            matches!(outcome, AllocOutcome::Granted(_)),
+            "short job should backfill, got {outcome:?}"
+        );
+        // A long job that fits both the 16 remaining free processors and
+        // the 156 extras is granted even though it outlives the shadow
+        // time (it can never delay the head).
+        let outcome = r
+            .with_entry("easy", |m| m.allocate(4, 16, true, Some(1000.0)))
+            .unwrap();
+        assert!(matches!(outcome, AllocOutcome::Granted(_)));
+        // Nothing is free any more: the next job queues behind the head.
+        assert_eq!(
+            r.with_entry("easy", |m| m.allocate(5, 10, true, Some(1000.0)))
+                .unwrap(),
+            AllocOutcome::Queued(2)
+        );
+        r.with_entry("easy", |m| {
+            m.check_invariants().map_err(ServiceError::InvalidRequest)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn set_scheduler_redrains_the_queue() {
+        let r = registry_with_m0();
+        r.with_entry("m0", |m| m.allocate(1, 250, false, None))
+            .unwrap();
+        r.with_entry("m0", |m| m.allocate(2, 100, true, None))
+            .unwrap();
+        r.with_entry("m0", |m| m.allocate(3, 5, true, None))
+            .unwrap();
+        // FCFS blocks job 3 behind job 2; switching to backfill admits it.
+        let granted = r
+            .with_entry("m0", |m| {
+                Ok(m.set_scheduler(SchedulerKind::FirstFitBackfill))
+            })
+            .unwrap();
+        let ids: Vec<u64> = granted.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![3]);
+        assert_eq!(
+            r.with_entry("m0", |m| Ok(m.scheduler())).unwrap(),
+            SchedulerKind::FirstFitBackfill
+        );
+        assert_eq!(
+            r.with_entry("m0", |m| Ok(m.snapshot())).unwrap().scheduler,
+            "first-fit backfill"
+        );
+    }
+
+    #[test]
+    fn virtual_time_is_monotonic_and_drives_wait_metrics() {
+        let r = registry_with_m0();
+        r.with_entry("m0", |m| {
+            m.set_time(10.0);
+            m.allocate(1, 250, false, None)
+        })
+        .unwrap();
+        r.with_entry("m0", |m| m.allocate(2, 20, true, None))
+            .unwrap();
+        r.with_entry("m0", |m| {
+            m.set_time(35.0);
+            m.set_time(1.0); // clamped: virtual time never rewinds
+            assert_eq!(m.now(), 35.0);
+            Ok(())
+        })
+        .unwrap();
+        let granted = r.with_entry("m0", |m| m.release(1)).unwrap();
+        assert_eq!(granted.len(), 1);
+        let (count, mean, max) = r
+            .with_entry("m0", |m| {
+                Ok((
+                    m.metrics.wait.count,
+                    m.metrics.wait.mean_seconds(),
+                    m.metrics.wait.max_seconds,
+                ))
+            })
+            .unwrap();
+        assert_eq!(count, 1);
+        assert!(
+            (mean - 25.0).abs() < 1e-9,
+            "waited 35 - 10 = 25 s, got {mean}"
+        );
+        assert!((max - 25.0).abs() < 1e-9);
     }
 
     #[test]
@@ -663,10 +1092,12 @@ mod tests {
             Mesh3D::new(8, 8, 8),
             Curve3Kind::Hilbert,
             SelectionStrategy::BestFit,
+            SchedulerKind::Fcfs,
         )
         .unwrap();
-        let AllocOutcome::Granted(nodes) =
-            r.with_entry("cube", |m| m.allocate(1, 32, false)).unwrap()
+        let AllocOutcome::Granted(nodes) = r
+            .with_entry("cube", |m| m.allocate(1, 32, false, None))
+            .unwrap()
         else {
             panic!("grant expected");
         };

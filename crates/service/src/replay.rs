@@ -1,0 +1,234 @@
+//! Deterministic trace replay through the online service.
+//!
+//! Drives an [`AllocationService`] machine in *virtual time* with exactly
+//! the event loop of the offline engine (`commalloc::engine`) running in
+//! its zero-contention fidelity: arrivals enqueue (`alloc` with `wait`),
+//! completions release at `start + duration`, and after every event the
+//! machine's admission queue drains under its scheduling policy. Because
+//! both sides consume the same `SchedulerKind::select_with_context` and
+//! the same allocator implementations, the replay's grant log is
+//! **byte-identical** to the offline simulator's for the same job list —
+//! the equivalence the `sim_equivalence` tests pin for every policy.
+//!
+//! Determinism notes, mirrored from the engine:
+//!
+//! * the next completion is chosen with the engine's exact
+//!   `min_by(total_cmp)` reduction (last minimum wins on ties);
+//! * simultaneous arrival/completion resolves in favour of the arrival
+//!   (`a <= c`), as in the engine;
+//! * the running set evolves push/`swap_remove`, so EASY's stable
+//!   completion sort breaks ties in the same order on both sides.
+//!
+//! Integer-valued arrivals and durations (the engine's message quotas are
+//! integers) keep every event time exact in `f64`, making tie-breaking
+//! reproducible rather than rounding-dependent.
+
+use crate::registry::AllocOutcome;
+use crate::service::AllocationService;
+use commalloc_mesh::NodeId;
+
+/// One job of a replayable trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayJob {
+    /// Job identifier (unique within the trace).
+    pub id: u64,
+    /// Processors requested.
+    pub size: usize,
+    /// Arrival time, in seconds. The job list must be sorted by arrival
+    /// (the engine replays traces in order).
+    pub arrival: f64,
+    /// Runtime in seconds (the zero-contention duration, which doubles
+    /// as the walltime estimate handed to EASY).
+    pub duration: f64,
+}
+
+/// One grant as the replay observed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayGrant {
+    /// The started job.
+    pub job_id: u64,
+    /// Virtual time of the grant.
+    pub time: f64,
+    /// The granted processors, in rank order.
+    pub nodes: Vec<NodeId>,
+}
+
+/// The outcome of a replay run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayLog {
+    /// Every grant, in grant order — the online counterpart of the
+    /// engine's grant log.
+    pub grants: Vec<ReplayGrant>,
+    /// Jobs the machine rejected outright (allocator refusal on an empty
+    /// machine; never happens with the curve allocators).
+    pub rejected: Vec<u64>,
+    /// Virtual time of the last processed event.
+    pub end_time: f64,
+}
+
+/// Replays `jobs` against `machine` on `service`, stopping after the last
+/// event at or before `until` (or running to completion when `None`).
+/// Jobs larger than the machine should be filtered out beforehand, as the
+/// engine does with its traces.
+///
+/// # Panics
+///
+/// Panics if the machine does not exist, a job id repeats, or the service
+/// misbehaves (errors on a well-formed request) — this is a harness for
+/// tests and benchmarks, not production traffic.
+pub fn replay(
+    service: &AllocationService,
+    machine: &str,
+    jobs: &[ReplayJob],
+    until: Option<f64>,
+) -> ReplayLog {
+    let mut grants: Vec<ReplayGrant> = Vec::new();
+    let mut rejected: Vec<u64> = Vec::new();
+    // (job_id, predicted completion), evolved push/swap_remove exactly
+    // like the engine's running vector.
+    let mut running: Vec<(u64, f64)> = Vec::new();
+    let durations: std::collections::HashMap<u64, f64> =
+        jobs.iter().map(|j| (j.id, j.duration)).collect();
+    let duration_of = |job_id: u64| {
+        *durations
+            .get(&job_id)
+            .expect("granted job comes from the trace")
+    };
+
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+
+    loop {
+        let arrival_time = jobs.get(next_arrival).map(|j| j.arrival);
+        // The engine's exact completion reduction: min_by(total_cmp) over
+        // (completion, index); Rust's min_by keeps the *last* minimum.
+        let completion = running
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, c))| (c, i))
+            .min_by(|a, b| a.0.total_cmp(&b.0));
+
+        let (event_time, is_arrival) = match (arrival_time, &completion) {
+            (Some(a), Some((c, _))) => {
+                if a <= *c {
+                    (a, true)
+                } else {
+                    (*c, false)
+                }
+            }
+            (Some(a), None) => (a, true),
+            (None, Some((c, _))) => (*c, false),
+            (None, None) => break,
+        };
+        if let Some(limit) = until {
+            if event_time > limit {
+                break;
+            }
+        }
+
+        now = event_time.max(now);
+        service
+            .set_time(machine, now)
+            .expect("replay machine exists");
+
+        if is_arrival {
+            let job = jobs[next_arrival];
+            next_arrival += 1;
+            match service
+                .allocate(machine, job.id, job.size, true, Some(job.duration))
+                .expect("well-formed replay request")
+            {
+                AllocOutcome::Granted(nodes) => {
+                    running.push((job.id, now + job.duration));
+                    grants.push(ReplayGrant {
+                        job_id: job.id,
+                        time: now,
+                        nodes,
+                    });
+                }
+                AllocOutcome::Queued(_) => {}
+                AllocOutcome::Rejected(_) => rejected.push(job.id),
+            }
+        } else {
+            let (_, idx) = completion.expect("completion event requires a running job");
+            let (done, _) = running.swap_remove(idx);
+            let granted = service
+                .release(machine, done)
+                .expect("running job releases cleanly");
+            for (job_id, nodes) in granted {
+                running.push((job_id, now + duration_of(job_id)));
+                grants.push(ReplayGrant {
+                    job_id,
+                    time: now,
+                    nodes,
+                });
+            }
+        }
+    }
+
+    ReplayLog {
+        grants,
+        rejected,
+        end_time: now,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_runs_a_tiny_trace_to_empty() {
+        let service = AllocationService::new();
+        service.register("m", "4x4", None, None, None).unwrap();
+        let jobs = [
+            ReplayJob {
+                id: 0,
+                size: 16,
+                arrival: 0.0,
+                duration: 10.0,
+            },
+            ReplayJob {
+                id: 1,
+                size: 4,
+                arrival: 1.0,
+                duration: 5.0,
+            },
+        ];
+        let log = replay(&service, "m", &jobs, None);
+        assert_eq!(log.grants.len(), 2);
+        assert_eq!(log.grants[0].job_id, 0);
+        assert_eq!(log.grants[0].time, 0.0);
+        // Job 1 waits for the full machine to clear at t = 10.
+        assert_eq!(log.grants[1].job_id, 1);
+        assert_eq!(log.grants[1].time, 10.0);
+        assert!(log.rejected.is_empty());
+        assert_eq!(log.end_time, 15.0);
+        assert_eq!(service.query("m").unwrap().busy, 0);
+    }
+
+    #[test]
+    fn until_freezes_the_machine_mid_schedule() {
+        let service = AllocationService::new();
+        service.register("m", "4x4", None, None, None).unwrap();
+        let jobs = [
+            ReplayJob {
+                id: 0,
+                size: 16,
+                arrival: 0.0,
+                duration: 10.0,
+            },
+            ReplayJob {
+                id: 1,
+                size: 4,
+                arrival: 1.0,
+                duration: 5.0,
+            },
+        ];
+        let log = replay(&service, "m", &jobs, Some(9.5));
+        assert_eq!(log.grants.len(), 1);
+        let snap = service.query("m").unwrap();
+        assert_eq!(snap.busy, 16);
+        assert_eq!(snap.queue_len, 1);
+    }
+}

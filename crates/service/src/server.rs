@@ -217,6 +217,7 @@ mod tests {
                     mesh: "8x8".into(),
                     allocator: None,
                     strategy: None,
+                    scheduler: None,
                 }
                 .to_line()
             )

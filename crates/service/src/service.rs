@@ -8,6 +8,7 @@
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{Request, Response};
 use crate::registry::{MachineSnapshot, Registry, ServiceError};
+use commalloc::scheduler::SchedulerKind;
 use commalloc_alloc::curve_alloc::SelectionStrategy;
 use commalloc_alloc::AllocatorKind;
 use commalloc_mesh::curve3d::Curve3Kind;
@@ -70,6 +71,16 @@ fn parse_strategy(spec: &str) -> Result<SelectionStrategy, ServiceError> {
         })
 }
 
+/// Parses a scheduler spec (`"fcfs"`, `"backfill"`, `"easy"` or a full
+/// [`SchedulerKind`] name, case-insensitive).
+fn parse_scheduler(spec: &str) -> Result<SchedulerKind, ServiceError> {
+    SchedulerKind::parse(spec).ok_or_else(|| {
+        ServiceError::InvalidSpec(format!(
+            "scheduler {spec:?} (expected one of: fcfs, backfill, easy)"
+        ))
+    })
+}
+
 /// Parses a 3-D curve spec (`"Hilbert-3d"`, `"snake-3d"`, ...).
 fn parse_curve3(spec: &str) -> Result<Curve3Kind, ServiceError> {
     Curve3Kind::all()
@@ -106,19 +117,25 @@ impl AllocationService {
     /// 2-D path (`allocator` names an [`AllocatorKind`], default
     /// `"Hilbert w/BF"`); three dimensions select the 3-D curve path
     /// (`allocator` names a [`Curve3Kind`], default Hilbert, with
-    /// `strategy` defaulting to Best Fit).
+    /// `strategy` defaulting to Best Fit). `scheduler` picks the
+    /// admission policy (default FCFS, the paper's discipline).
     pub fn register(
         &self,
         machine: &str,
         mesh: &str,
         allocator: Option<&str>,
         strategy: Option<&str>,
+        scheduler: Option<&str>,
     ) -> Result<(), ServiceError> {
         if machine.is_empty() {
             return Err(ServiceError::InvalidSpec(
                 "machine name must be non-empty".to_string(),
             ));
         }
+        let scheduler = match scheduler {
+            None => SchedulerKind::Fcfs,
+            Some(spec) => parse_scheduler(spec)?,
+        };
         let dims = parse_dims(mesh)?;
         match dims.as_slice() {
             [w, h] => {
@@ -135,7 +152,7 @@ impl AllocationService {
                     ));
                 }
                 self.registry
-                    .register_2d(machine, Mesh2D::new(*w, *h), kind)
+                    .register_2d(machine, Mesh2D::new(*w, *h), kind, scheduler)
             }
             [w, h, d] => {
                 let curve = match allocator {
@@ -146,14 +163,19 @@ impl AllocationService {
                     None => SelectionStrategy::BestFit,
                     Some(spec) => parse_strategy(spec)?,
                 };
-                self.registry
-                    .register_3d(machine, Mesh3D::new(*w, *h, *d), curve, strategy)
+                self.registry.register_3d(
+                    machine,
+                    Mesh3D::new(*w, *h, *d),
+                    curve,
+                    strategy,
+                    scheduler,
+                )
             }
             _ => unreachable!("parse_dims yields 2 or 3 dims"),
         }
     }
 
-    /// Registers a 2-D machine (convenience wrapper over
+    /// Registers a 2-D machine under FCFS (convenience wrapper over
     /// [`AllocationService::register`]).
     pub fn register_2d(
         &self,
@@ -161,19 +183,45 @@ impl AllocationService {
         mesh: &str,
         allocator: &str,
     ) -> Result<(), ServiceError> {
-        self.register(machine, mesh, Some(allocator), None)
+        self.register(machine, mesh, Some(allocator), None, None)
     }
 
-    /// Allocates `size` processors for `job` on `machine`.
+    /// Allocates `size` processors for `job` on `machine`. `walltime` is
+    /// the client's runtime estimate in seconds (used by EASY
+    /// backfilling; pass `None` when unknown).
     pub fn allocate(
         &self,
         machine: &str,
         job: u64,
         size: usize,
         wait: bool,
+        walltime: Option<f64>,
     ) -> Result<AllocOutcome, ServiceError> {
         self.registry
-            .with_entry(machine, |entry| entry.allocate(job, size, wait))
+            .with_entry(machine, |entry| entry.allocate(job, size, wait, walltime))
+    }
+
+    /// Switches the scheduling policy of `machine` at runtime, returning
+    /// the now-active kind and any jobs the re-drain granted.
+    #[allow(clippy::type_complexity)]
+    pub fn set_scheduler(
+        &self,
+        machine: &str,
+        scheduler: &str,
+    ) -> Result<(SchedulerKind, Vec<(u64, Vec<NodeId>)>), ServiceError> {
+        let kind = parse_scheduler(scheduler)?;
+        self.registry
+            .with_entry(machine, |entry| Ok((kind, entry.set_scheduler(kind))))
+    }
+
+    /// Switches `machine` to virtual time and sets its clock to `t`
+    /// seconds (deterministic replay and test harnesses; live daemons
+    /// stay on wall time). Monotonic: earlier stamps are clamped.
+    pub fn set_time(&self, machine: &str, t: f64) -> Result<(), ServiceError> {
+        self.registry.with_entry(machine, |entry| {
+            entry.set_time(t);
+            Ok(())
+        })
     }
 
     /// Releases (or cancels) `job`, returning jobs granted from the queue.
@@ -205,7 +253,19 @@ impl AllocationService {
         })?;
         let mut m = Map::new();
         m.insert("machine".into(), snapshot.to_value());
-        m.insert("counters".into(), machine_metrics.to_value());
+        // Plain counters, minus the raw wait accumulator: the wait data
+        // is surfaced once, as the count/mean/max summary below, so no
+        // two dashboards read the same quantity from different shapes.
+        let mut counters = Map::new();
+        if let Some(full) = machine_metrics.to_value().as_object() {
+            for (key, value) in full.iter().filter(|(key, _)| *key != "wait") {
+                counters.insert(key.clone(), value.clone());
+            }
+        }
+        m.insert("counters".into(), Value::Object(counters));
+        // The queue wait-time summary (count/mean/max) the scheduling
+        // policies compete on, precomputed so dashboards need no math.
+        m.insert("wait".into(), machine_metrics.wait.to_summary_value());
         m.insert("server".into(), self.metrics.snapshot());
         Ok(Value::Object(m))
     }
@@ -233,8 +293,15 @@ impl AllocationService {
                 mesh,
                 allocator,
                 strategy,
+                scheduler,
             } => self
-                .register(machine, mesh, allocator.as_deref(), strategy.as_deref())
+                .register(
+                    machine,
+                    mesh,
+                    allocator.as_deref(),
+                    strategy.as_deref(),
+                    scheduler.as_deref(),
+                )
                 .map(|()| Response::Registered {
                     machine: machine.clone(),
                 }),
@@ -243,15 +310,24 @@ impl AllocationService {
                 job,
                 size,
                 wait,
-            } => self
-                .allocate(machine, *job, *size, *wait)
-                .map(|outcome| match outcome {
-                    AllocOutcome::Granted(nodes) => Response::Granted { job: *job, nodes },
-                    AllocOutcome::Queued(position) => Response::Queued {
-                        job: *job,
-                        position,
-                    },
-                    AllocOutcome::Rejected(reason) => Response::Rejected { job: *job, reason },
+                walltime,
+            } => {
+                self.allocate(machine, *job, *size, *wait, *walltime)
+                    .map(|outcome| match outcome {
+                        AllocOutcome::Granted(nodes) => Response::Granted { job: *job, nodes },
+                        AllocOutcome::Queued(position) => Response::Queued {
+                            job: *job,
+                            position,
+                        },
+                        AllocOutcome::Rejected(reason) => Response::Rejected { job: *job, reason },
+                    })
+            }
+            Request::SetScheduler { machine, scheduler } => self
+                .set_scheduler(machine, scheduler)
+                .map(|(kind, granted)| Response::SchedulerSet {
+                    machine: machine.clone(),
+                    scheduler: kind.name().to_string(),
+                    granted,
                 }),
             Request::Release { machine, job } => self
                 .release(machine, *job)
@@ -288,39 +364,79 @@ mod tests {
     #[test]
     fn register_dispatches_on_dimension_count() {
         let service = AllocationService::new();
-        service.register("flat", "16x22", None, None).unwrap();
+        service.register("flat", "16x22", None, None, None).unwrap();
         service
-            .register("cube", "4x4x4", Some("snake-3d"), Some("FF"))
+            .register("cube", "4x4x4", Some("snake-3d"), Some("FF"), Some("easy"))
             .unwrap();
         assert_eq!(service.list(), vec!["cube".to_string(), "flat".to_string()]);
         let flat = service.query("flat").unwrap();
         assert_eq!(flat.dims, "16x22");
         assert_eq!(flat.allocator, "Hilbert w/BF");
+        assert_eq!(flat.scheduler, "FCFS");
         let cube = service.query("cube").unwrap();
         assert_eq!(cube.dims, "4x4x4");
         assert_eq!(cube.allocator, "snake-3d w/FF");
+        assert_eq!(cube.scheduler, "EASY backfill");
     }
 
     #[test]
     fn bad_specs_are_invalid_spec_errors() {
         let service = AllocationService::new();
-        for (mesh, allocator, strategy) in [
-            ("16", None, None),
-            ("0x4", None, None),
-            ("4x4x4x4", None, None),
-            ("16x16", Some("nonsense"), None),
-            ("16x16", None, Some("BF")), // strategy is 3-D-only
-            ("4x4x4", Some("not-a-curve"), None),
-            ("4x4x4", None, Some("ZZ")),
-            ("2048x2048", None, None),     // 4M nodes, above the cap
-            ("65535x65535x4", None, None), // would overflow u32 node ids
+        for (mesh, allocator, strategy, scheduler) in [
+            ("16", None, None, None),
+            ("0x4", None, None, None),
+            ("4x4x4x4", None, None, None),
+            ("16x16", Some("nonsense"), None, None),
+            ("16x16", None, Some("BF"), None), // strategy is 3-D-only
+            ("4x4x4", Some("not-a-curve"), None, None),
+            ("4x4x4", None, Some("ZZ"), None),
+            ("16x16", None, None, Some("round-robin")),
+            ("2048x2048", None, None, None), // 4M nodes, above the cap
+            ("65535x65535x4", None, None, None), // would overflow u32 node ids
         ] {
-            let got = service.register("m", mesh, allocator, strategy);
+            let got = service.register("m", mesh, allocator, strategy, scheduler);
             assert!(
                 matches!(got, Err(ServiceError::InvalidSpec(_))),
-                "{mesh:?}/{allocator:?}/{strategy:?} gave {got:?}"
+                "{mesh:?}/{allocator:?}/{strategy:?}/{scheduler:?} gave {got:?}"
             );
         }
+    }
+
+    #[test]
+    fn set_scheduler_dispatches_and_reports_grants() {
+        let service = AllocationService::new();
+        service.register("m0", "4x4", None, None, None).unwrap();
+        service.allocate("m0", 1, 15, false, None).unwrap();
+        service.allocate("m0", 2, 8, true, None).unwrap();
+        service.allocate("m0", 3, 1, true, None).unwrap();
+        // Unknown policy and unknown machine are errors.
+        assert!(matches!(
+            service.set_scheduler("m0", "round-robin"),
+            Err(ServiceError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            service.set_scheduler("nope", "easy"),
+            Err(ServiceError::UnknownMachine(_))
+        ));
+        // Switching to backfill over the protocol admits job 3.
+        let response = service.handle(&Request::SetScheduler {
+            machine: "m0".into(),
+            scheduler: "backfill".into(),
+        });
+        let Response::SchedulerSet {
+            machine,
+            scheduler,
+            granted,
+        } = response
+        else {
+            panic!("expected SchedulerSet, got {response:?}");
+        };
+        assert_eq!(machine, "m0");
+        assert_eq!(scheduler, "first-fit backfill");
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].0, 3);
+        assert_eq!(service.query("m0").unwrap().scheduler, "first-fit backfill");
+        service.check_invariants("m0").unwrap();
     }
 
     #[test]
@@ -331,6 +447,7 @@ mod tests {
             mesh: "4x4".into(),
             allocator: None,
             strategy: None,
+            scheduler: None,
         };
         assert_eq!(
             service.handle(&register),
@@ -345,6 +462,7 @@ mod tests {
             job: 1,
             size: 16,
             wait: false,
+            walltime: None,
         });
         let Response::Granted { job: 1, nodes } = grant else {
             panic!("expected grant, got {grant:?}");
@@ -357,6 +475,7 @@ mod tests {
                 job: 2,
                 size: 1,
                 wait: false,
+                walltime: None,
             }),
             Response::Rejected { job: 2, .. }
         ));
@@ -366,6 +485,7 @@ mod tests {
                 job: 3,
                 size: 2,
                 wait: true,
+                walltime: None,
             }),
             Response::Queued {
                 job: 3,

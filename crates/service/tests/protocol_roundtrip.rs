@@ -1,0 +1,140 @@
+//! Property test: NDJSON encode/decode of every `Request` / `Response`
+//! variant — including the `walltime` and `set_scheduler` extensions — is
+//! lossless, stays on one wire line, and survives adversarial strings
+//! (quotes, backslashes, unicode, embedded control characters).
+
+use commalloc_mesh::NodeId;
+use commalloc_service::{Request, Response};
+use proptest::prelude::*;
+
+/// Machine names and reason strings with escaping hazards baked in.
+fn name_strategy() -> BoxedStrategy<String> {
+    (
+        prop::sample::select(vec![
+            "m0",
+            "paragon-16x22",
+            "with \"quotes\"",
+            "back\\slash",
+            "tabs\tand\nnewlines",
+            "unicode-mésh-网格",
+            "",
+        ]),
+        0u64..1000,
+    )
+        .prop_map(|(base, n)| format!("{base}#{n}"))
+        .boxed()
+}
+
+/// Finite positive walltimes with awkward fractional parts.
+fn walltime_strategy() -> BoxedStrategy<Option<f64>> {
+    prop_oneof![
+        Just(None),
+        (1u64..1_000_000, 1u64..1000).prop_map(|(a, b)| Some(a as f64 + b as f64 / 997.0)),
+    ]
+    .boxed()
+}
+
+fn nodes_strategy() -> BoxedStrategy<Vec<NodeId>> {
+    prop::collection::vec((0u32..4096).prop_map(NodeId), 0..12).boxed()
+}
+
+fn granted_strategy() -> BoxedStrategy<Vec<(u64, Vec<NodeId>)>> {
+    prop::collection::vec((any::<u64>(), nodes_strategy()), 0..4).boxed()
+}
+
+fn opt_name() -> BoxedStrategy<Option<String>> {
+    prop_oneof![Just(None), name_strategy().prop_map(Some)].boxed()
+}
+
+fn request_strategy() -> BoxedStrategy<Request> {
+    prop_oneof![
+        (
+            name_strategy(),
+            name_strategy(),
+            opt_name(),
+            opt_name(),
+            opt_name()
+        )
+            .prop_map(|(machine, mesh, allocator, strategy, scheduler)| {
+                Request::Register {
+                    machine,
+                    mesh,
+                    allocator,
+                    strategy,
+                    scheduler,
+                }
+            }),
+        (
+            name_strategy(),
+            any::<u64>(),
+            1usize..2048,
+            any::<bool>(),
+            walltime_strategy()
+        )
+            .prop_map(|(machine, job, size, wait, walltime)| Request::Alloc {
+                machine,
+                job,
+                size,
+                wait,
+                walltime,
+            }),
+        (name_strategy(), name_strategy())
+            .prop_map(|(machine, scheduler)| Request::SetScheduler { machine, scheduler }),
+        (name_strategy(), any::<u64>())
+            .prop_map(|(machine, job)| Request::Release { machine, job }),
+        (name_strategy(), any::<u64>()).prop_map(|(machine, job)| Request::Poll { machine, job }),
+        name_strategy().prop_map(|machine| Request::Query { machine }),
+        name_strategy().prop_map(|machine| Request::Stats { machine }),
+        Just(Request::List),
+        Just(Request::Ping),
+    ]
+    .boxed()
+}
+
+fn response_strategy() -> BoxedStrategy<Response> {
+    prop_oneof![
+        name_strategy().prop_map(|message| Response::Error { message }),
+        name_strategy().prop_map(|machine| Response::Registered { machine }),
+        (any::<u64>(), nodes_strategy()).prop_map(|(job, nodes)| Response::Granted { job, nodes }),
+        (any::<u64>(), 1usize..64).prop_map(|(job, position)| Response::Queued { job, position }),
+        (any::<u64>(), name_strategy())
+            .prop_map(|(job, reason)| Response::Rejected { job, reason }),
+        (any::<u64>(), granted_strategy())
+            .prop_map(|(job, granted)| Response::Released { job, granted }),
+        (name_strategy(), name_strategy(), granted_strategy()).prop_map(
+            |(machine, scheduler, granted)| Response::SchedulerSet {
+                machine,
+                scheduler,
+                granted,
+            }
+        ),
+        (any::<u64>(), nodes_strategy()).prop_map(|(job, nodes)| Response::Running { job, nodes }),
+        (any::<u64>(), 1usize..64).prop_map(|(job, position)| Response::Waiting { job, position }),
+        any::<u64>().prop_map(|job| Response::Unknown { job }),
+        prop::collection::vec(name_strategy(), 0..5).prop_map(Response::Machines),
+        Just(Response::Pong),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn requests_round_trip_losslessly(request in request_strategy()) {
+        let line = request.to_line();
+        prop_assert!(!line.contains('\n'), "wire lines must be single lines");
+        let parsed = Request::from_line(&line)
+            .map_err(|e| TestCaseError::fail(format!("{e} on {line}")))?;
+        prop_assert_eq!(parsed, request, "line was {}", line);
+    }
+
+    #[test]
+    fn responses_round_trip_losslessly(response in response_strategy()) {
+        let line = response.to_line();
+        prop_assert!(!line.contains('\n'), "wire lines must be single lines");
+        let parsed = Response::from_line(&line)
+            .map_err(|e| TestCaseError::fail(format!("{e} on {line}")))?;
+        prop_assert_eq!(parsed, response, "line was {}", line);
+    }
+}

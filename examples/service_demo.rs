@@ -20,13 +20,13 @@ fn main() {
     // The paper's machines, served by its best allocator, plus the 3-D
     // generalisation the service adds.
     client
-        .register("square", "16x16", Some("Hilbert w/BF"), None)
+        .register("square", "16x16", Some("Hilbert w/BF"), None, None)
         .unwrap();
     client
-        .register("cplant", "16x22", Some("MC1x1"), None)
+        .register("cplant", "16x22", Some("MC1x1"), None, None)
         .unwrap();
     client
-        .register("cube", "8x8x8", Some("Hilbert-3d"), Some("BF"))
+        .register("cube", "8x8x8", Some("Hilbert-3d"), Some("BF"), None)
         .unwrap();
     println!("registered machines: {:?}", client.list().unwrap());
 

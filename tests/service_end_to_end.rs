@@ -23,7 +23,7 @@ fn tcp_protocol_round_trip_with_fcfs_queueing() {
 
     client.ping().unwrap();
     client
-        .register("m0", "8x8", Some("Hilbert w/BF"), None)
+        .register("m0", "8x8", Some("Hilbert w/BF"), None, None)
         .unwrap();
 
     // Fill the machine, queue two jobs, verify FCFS drain on release.
@@ -67,7 +67,7 @@ fn three_d_machines_work_over_the_wire() {
     let (service, handle) = spawn_server();
     let mut client = ServiceClient::connect(handle.addr()).unwrap();
     client
-        .register("cube", "4x4x4", Some("Hilbert-3d"), Some("BF"))
+        .register("cube", "4x4x4", Some("Hilbert-3d"), Some("BF"), None)
         .unwrap();
     let ClientAllocOutcome::Granted(nodes) = client.alloc("cube", 1, 8, false).unwrap() else {
         panic!("empty cube must grant");
@@ -88,10 +88,12 @@ fn loadgen_round_trips_thousands_of_requests_without_violations() {
         addr: handle.addr().to_string(),
         machine: "default".to_string(),
         mesh: "16x16".to_string(),
+        scheduler: Some("backfill".to_string()),
         requests: 4_000,
         connections: 3,
         occupancy: 0.8,
         max_size: 24,
+        max_walltime: Some(300.0),
         seed: 7,
     };
     let report = loadgen::run(&config).expect("loadgen completes");
@@ -113,7 +115,7 @@ fn sharded_registry_serves_disjoint_machines_concurrently() {
             scope.spawn(move || {
                 let name = format!("m{m}");
                 let mut client = ServiceClient::connect(addr).unwrap();
-                client.register(&name, "8x8", None, None).unwrap();
+                client.register(&name, "8x8", None, None, None).unwrap();
                 for job in 0..200u64 {
                     let ClientAllocOutcome::Granted(nodes) =
                         client.alloc(&name, job, 5, false).unwrap()
@@ -131,4 +133,86 @@ fn sharded_registry_serves_disjoint_machines_concurrently() {
         service.check_invariants(&format!("m{m}")).unwrap();
     }
     handle.shutdown().unwrap();
+}
+
+#[test]
+fn scheduling_policies_work_over_the_wire() {
+    // The CI matrix sets COMMALLOC_SCHEDULER to run this end-to-end test
+    // once per policy; unset, it covers all three in one go. The spec is
+    // parsed with the canonical parser so every accepted spelling
+    // ("FCFS", " easy ", ...) lands in the right branch below.
+    let policies: Vec<commalloc::scheduler::SchedulerKind> =
+        match std::env::var("COMMALLOC_SCHEDULER") {
+            Ok(spec) => vec![commalloc::scheduler::SchedulerKind::parse(&spec)
+                .unwrap_or_else(|| panic!("COMMALLOC_SCHEDULER={spec:?} is not a scheduler"))],
+            Err(_) => commalloc::scheduler::SchedulerKind::all().to_vec(),
+        };
+    for policy in policies {
+        let policy_spec = policy.name();
+        let (service, handle) = spawn_server();
+        let mut client = ServiceClient::connect(handle.addr()).unwrap();
+        client
+            .register("sched", "8x8", None, None, Some(policy_spec))
+            .unwrap();
+        // Fill the machine, then queue a blocked head plus a small job.
+        let ClientAllocOutcome::Granted(_) = client
+            .alloc_with_walltime("sched", 1, 60, false, Some(100.0))
+            .unwrap()
+        else {
+            panic!("empty machine must grant");
+        };
+        assert_eq!(
+            client
+                .alloc_with_walltime("sched", 2, 40, true, Some(50.0))
+                .unwrap(),
+            ClientAllocOutcome::Queued(1)
+        );
+        // Job 3 fits the 4 free nodes; whether it starts now depends on
+        // the policy. FCFS blocks it; first-fit backfill admits it; EASY
+        // admits it too (it fits the shadow-time extras or finishes
+        // first — with walltime 1 it can never delay the head).
+        let outcome = client
+            .alloc_with_walltime("sched", 3, 2, true, Some(1.0))
+            .unwrap();
+        match policy {
+            commalloc::scheduler::SchedulerKind::Fcfs => {
+                assert_eq!(outcome, ClientAllocOutcome::Queued(2), "{policy}")
+            }
+            _ => assert!(
+                matches!(outcome, ClientAllocOutcome::Granted(_)),
+                "{policy}: small job should backfill, got {outcome:?}"
+            ),
+        }
+        // Snapshot names the active policy; stats carry the wait summary.
+        let snapshot = client.query("sched").unwrap();
+        let named = snapshot
+            .get("scheduler")
+            .and_then(Value::as_str)
+            .expect("snapshot names the scheduler")
+            .to_string();
+        let stats = client.stats("sched").unwrap();
+        assert!(
+            stats.get("wait").and_then(|w| w.get("count")).is_some(),
+            "{policy}: stats must carry the wait summary"
+        );
+        // Runtime switch to FCFS and back: grants drain accordingly.
+        client.set_scheduler("sched", "fcfs").unwrap();
+        let snapshot = client.query("sched").unwrap();
+        assert_eq!(
+            snapshot.get("scheduler").and_then(Value::as_str),
+            Some("FCFS"),
+            "{policy}: switch must rename the policy (was {named})"
+        );
+        let granted = client.set_scheduler("sched", "backfill").unwrap();
+        if policy == commalloc::scheduler::SchedulerKind::Fcfs {
+            // Under FCFS job 3 was still queued; backfill admits it now.
+            assert_eq!(granted.len(), 1, "{policy}");
+            assert_eq!(granted[0].0, 3);
+        } else {
+            assert!(granted.is_empty(), "{policy}: nothing left to admit");
+        }
+        service.check_invariants("sched").unwrap();
+        drop(client);
+        handle.shutdown().unwrap();
+    }
 }
