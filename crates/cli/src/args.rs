@@ -163,14 +163,21 @@ pub struct ServeOptions {
     pub addr: String,
     /// Size of the connection worker pool.
     pub workers: usize,
-    /// Pre-registered machine: name.
+    /// Pre-registered machine: name (ignored when `machines` is given).
     pub machine: String,
     /// Pre-registered machine: mesh spec (`WxH` or `WxHxD`).
     pub mesh: String,
+    /// Several pre-registered machines as `(name, mesh)` pairs
+    /// (`--machines m0=16x16,m1=8x8`); overrides `machine`/`mesh`.
+    pub machines: Vec<(String, String)>,
     /// Pre-registered machine: allocator (2-D) / curve (3-D) spec.
     pub allocator: Option<String>,
     /// Pre-registered machine: scheduling policy (fcfs, backfill, easy).
     pub scheduler: Option<String>,
+    /// Cluster pool every pre-registered machine joins.
+    pub pool: Option<String>,
+    /// Initial routing policy of that pool (requires `pool`).
+    pub router: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -180,8 +187,11 @@ impl Default for ServeOptions {
             workers: 4,
             machine: "default".to_string(),
             mesh: "16x16".to_string(),
+            machines: Vec::new(),
             allocator: None,
             scheduler: None,
+            pool: None,
+            router: None,
         }
     }
 }
@@ -191,7 +201,8 @@ impl Default for ServeOptions {
 pub struct LoadgenOptions {
     /// Address of the running daemon.
     pub addr: String,
-    /// Machine to drive (registered on demand with `mesh`).
+    /// Machine to drive (registered on demand with `mesh`), or a
+    /// `"@pool"` cluster address to route every allocation.
     pub machine: String,
     /// Mesh spec used if the machine is not yet registered.
     pub mesh: String,
@@ -208,6 +219,9 @@ pub struct LoadgenOptions {
     /// Largest walltime estimate sent with allocations (seconds);
     /// `None` sends none.
     pub max_walltime: Option<f64>,
+    /// Routing policy to switch the pool to before driving (requires a
+    /// `"@pool"` machine address).
+    pub router: Option<String>,
     /// RNG seed.
     pub seed: u64,
     /// Emit machine-readable JSON instead of the human summary.
@@ -226,6 +240,7 @@ impl Default for LoadgenOptions {
             occupancy: 0.7,
             max_size: 32,
             max_walltime: None,
+            router: None,
             seed: 1996,
             json: false,
         }
@@ -289,6 +304,32 @@ fn parse_curve(value: &str) -> Option<CurveKind> {
 /// CLI and the wire protocol accept exactly the same spellings).
 fn parse_scheduler(value: &str) -> Option<Scheduler> {
     Scheduler::parse(value)
+}
+
+/// Validates a mesh-spec *shape* (`WxH` or `WxHxD`); the service parses
+/// the dimensions properly at registration.
+fn mesh_shape_ok(value: &str) -> bool {
+    (2..=3).contains(&value.split(['x', 'X']).count())
+}
+
+/// Parses a `--machines` list: comma-separated `NAME=MESH` pairs with
+/// non-empty names and shape-valid meshes.
+fn parse_machines(value: &str) -> Option<Vec<(String, String)>> {
+    let machines: Option<Vec<(String, String)>> = value
+        .split(',')
+        .map(|entry| {
+            let (name, mesh) = entry.split_once('=')?;
+            let (name, mesh) = (name.trim(), mesh.trim());
+            (!name.is_empty() && mesh_shape_ok(mesh)).then(|| (name.to_string(), mesh.to_string()))
+        })
+        .collect();
+    machines.filter(|m| !m.is_empty())
+}
+
+/// Parses a routing-policy name (delegates to the canonical parser so
+/// the CLI and the wire protocol accept exactly the same spellings).
+fn parse_router(value: &str) -> Option<commalloc_service::RoutingPolicy> {
+    commalloc_service::RoutingPolicy::parse(value)
 }
 
 /// Splits the argument list into `(flag, value)` pairs, treating `--json`
@@ -469,10 +510,14 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                     "--mesh" => {
                         // Accept 2-D and 3-D specs; validated by the service
                         // at registration, shape-checked here.
-                        if !(2..=3).contains(&value.split(['x', 'X']).count()) {
+                        if !mesh_shape_ok(&value) {
                             return Err(invalid(&flag, &value));
                         }
                         opts.mesh = value;
+                    }
+                    "--machines" => {
+                        opts.machines =
+                            parse_machines(&value).ok_or_else(|| invalid(&flag, &value))?
                     }
                     "--allocator" => opts.allocator = Some(value),
                     "--scheduler" => {
@@ -481,8 +526,21 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                         parse_scheduler(&value).ok_or_else(|| invalid(&flag, &value))?;
                         opts.scheduler = Some(value);
                     }
+                    "--pool" => {
+                        if value.is_empty() || value.starts_with('@') {
+                            return Err(invalid(&flag, &value));
+                        }
+                        opts.pool = Some(value);
+                    }
+                    "--router" => {
+                        parse_router(&value).ok_or_else(|| invalid(&flag, &value))?;
+                        opts.router = Some(value);
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
+            }
+            if opts.router.is_some() && opts.pool.is_none() {
+                return Err(ParseError::MissingValue("--pool".to_string()));
             }
             Ok(Command::Serve(opts))
         }
@@ -535,12 +593,22 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                                 .ok_or_else(|| invalid(&flag, &value))?,
                         )
                     }
+                    "--router" => {
+                        parse_router(&value).ok_or_else(|| invalid(&flag, &value))?;
+                        opts.router = Some(value);
+                    }
                     "--seed" => {
                         opts.seed = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
                     }
                     "--json" => opts.json = true,
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
+            }
+            if opts.router.is_some() && !opts.machine.starts_with('@') {
+                return Err(ParseError::InvalidValue {
+                    flag: "--router".to_string(),
+                    value: "requires --machine @pool".to_string(),
+                });
             }
             Ok(Command::Loadgen(opts))
         }
@@ -568,13 +636,14 @@ SUBCOMMANDS:
               --jobs N --seed S [--swf FILE] [--json]
   serve       run the online allocation daemon (NDJSON over TCP)
               [--addr HOST:PORT] [--workers N] [--machine NAME]
-              [--mesh WxH|WxHxD] [--allocator A]
-              [--scheduler fcfs|backfill|easy]
+              [--mesh WxH|WxHxD] [--machines N0=M0,N1=M1,...]
+              [--allocator A] [--scheduler fcfs|backfill|easy]
+              [--pool POOL] [--router rr|ll|sq|p2c]
   loadgen     drive a running daemon with allocate/release traffic
-              [--addr HOST:PORT] [--machine NAME] [--mesh WxH]
+              [--addr HOST:PORT] [--machine NAME|@POOL] [--mesh WxH]
               [--scheduler P] [--requests N] [--connections C]
               [--occupancy F] [--max-size K] [--max-walltime W]
-              [--seed S] [--json]
+              [--router rr|ll|sq|p2c] [--seed S] [--json]
   allocators  list allocators, patterns, curves and schedulers
   help        print this message
 ";
@@ -756,6 +825,74 @@ mod tests {
         assert!(parse_command(&args(&["serve", "--mesh", "4x4x4"])).is_ok());
         assert!(parse_command(&args(&["serve", "--mesh", "4x4x4x4"])).is_err());
         assert!(parse_command(&args(&["serve", "--workers", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_cluster_flags_round_trip() {
+        let cmd = parse_command(&args(&[
+            "serve",
+            "--machines",
+            "m0=16x16, m1=8x8,m2=4x4x4",
+            "--pool",
+            "grid",
+            "--router",
+            "p2c",
+            "--scheduler",
+            "easy",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(opts) => {
+                assert_eq!(
+                    opts.machines,
+                    vec![
+                        ("m0".to_string(), "16x16".to_string()),
+                        ("m1".to_string(), "8x8".to_string()),
+                        ("m2".to_string(), "4x4x4".to_string()),
+                    ]
+                );
+                assert_eq!(opts.pool.as_deref(), Some("grid"));
+                assert_eq!(opts.router.as_deref(), Some("p2c"));
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        assert!(parse_command(&args(&["serve", "--machines", "m0"])).is_err());
+        assert!(parse_command(&args(&["serve", "--machines", "=16x16"])).is_err());
+        assert!(parse_command(&args(&["serve", "--machines", "m0=16"])).is_err());
+        assert!(parse_command(&args(&["serve", "--pool", "@grid"])).is_err());
+        // --router without --pool has nothing to act on.
+        assert!(parse_command(&args(&["serve", "--router", "p2c"])).is_err());
+        assert!(
+            parse_command(&args(&["serve", "--pool", "grid", "--router", "nonsense"])).is_err()
+        );
+    }
+
+    #[test]
+    fn loadgen_router_requires_a_pool_address() {
+        let cmd = parse_command(&args(&[
+            "loadgen",
+            "--machine",
+            "@grid",
+            "--router",
+            "least-loaded",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Loadgen(opts) => {
+                assert_eq!(opts.machine, "@grid");
+                assert_eq!(opts.router.as_deref(), Some("least-loaded"));
+            }
+            other => panic!("expected Loadgen, got {other:?}"),
+        }
+        assert!(parse_command(&args(&["loadgen", "--router", "ll"])).is_err());
+        assert!(parse_command(&args(&[
+            "loadgen",
+            "--machine",
+            "@grid",
+            "--router",
+            "nonsense"
+        ]))
+        .is_err());
     }
 
     #[test]

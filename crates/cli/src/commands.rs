@@ -62,26 +62,47 @@ impl Command {
 /// Starts the allocation daemon and serves until the process is killed.
 fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
     let service = AllocationService::new();
-    service
-        .register(
-            &opts.machine,
-            &opts.mesh,
-            opts.allocator.as_deref(),
-            None,
-            opts.scheduler.as_deref(),
-        )
-        .map_err(|e| RunError::Serve(e.to_string()))?;
+    let single = [(opts.machine.clone(), opts.mesh.clone())];
+    let machines: &[(String, String)] = if opts.machines.is_empty() {
+        &single
+    } else {
+        &opts.machines
+    };
+    for (name, mesh) in machines {
+        service
+            .register_in_pool(
+                name,
+                mesh,
+                opts.allocator.as_deref(),
+                None,
+                opts.scheduler.as_deref(),
+                opts.pool.as_deref(),
+            )
+            .map_err(|e| RunError::Serve(e.to_string()))?;
+    }
+    if let (Some(pool), Some(router)) = (opts.pool.as_deref(), opts.router.as_deref()) {
+        service
+            .set_router(pool, router)
+            .map_err(|e| RunError::Serve(e.to_string()))?;
+    }
     let server = Server::bind(opts.addr.as_str(), service, opts.workers)
         .map_err(|e| RunError::Serve(format!("bind {}: {e}", opts.addr)))?;
     let addr = server
         .local_addr()
         .map_err(|e| RunError::Serve(e.to_string()))?;
+    let names: Vec<&str> = machines.iter().map(|(n, _)| n.as_str()).collect();
     eprintln!(
-        "commalloc-service listening on {addr} ({} workers); machine {:?} ({}, {})",
+        "commalloc-service listening on {addr} ({} workers); machines [{}] ({}){}",
         opts.workers,
-        opts.machine,
-        opts.mesh,
+        names.join(", "),
         opts.scheduler.as_deref().unwrap_or("fcfs"),
+        match opts.pool.as_deref() {
+            Some(pool) => format!(
+                "; pool @{pool} routed {}",
+                opts.router.as_deref().unwrap_or("round-robin")
+            ),
+            None => String::new(),
+        },
     );
     server.run().map_err(|e| RunError::Serve(e.to_string()))?;
     Ok(String::new())
@@ -99,6 +120,7 @@ fn run_loadgen(opts: &LoadgenOptions) -> Result<String, RunError> {
         occupancy: opts.occupancy,
         max_size: opts.max_size,
         max_walltime: opts.max_walltime,
+        router: opts.router.clone(),
         seed: opts.seed,
     };
     let report = loadgen::run(&config).map_err(RunError::Loadgen)?;

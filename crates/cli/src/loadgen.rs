@@ -8,6 +8,19 @@
 //! connections — is detected client-side as an occupancy-invariant
 //! violation and reported in the summary.
 //!
+//! **Cluster mode:** a machine address of `"@pool"` routes every
+//! allocation through the daemon's placement router. The claim tables
+//! are then per pool member (discovered from the daemon's own pool
+//! snapshot), grants are claimed on the member the daemon reports, and
+//! two extra invariants are checked client-side: the reported member
+//! must be a known pool member, and it must be large enough for the
+//! request — a router that ever places a job on an undersized machine
+//! is flagged as a violation, not an error to retry.
+//!
+//! The final drain sends releases as **batched** wire ops
+//! (`Request::Batch`), cutting the drain's round trips by its batch
+//! size.
+//!
 //! Detection window caveat: a node is unclaimed just *before* its
 //! release is sent (the daemon cannot re-grant a node it still holds,
 //! while unclaiming after the response races against legitimate
@@ -18,21 +31,26 @@
 //! machine empty) still bounds such escapes.
 
 use commalloc_service::client::{ClientAllocOutcome, ServiceClient};
-use commalloc_service::ClientError;
+use commalloc_service::{ClientError, Request, Response};
 use rand::prelude::*;
 use serde::{Map, Serialize, Value};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How many releases ride in one wire line during the final drain.
+const DRAIN_BATCH: usize = 64;
 
 /// Configuration of one loadgen run (mirrors the CLI flags).
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
     /// Daemon address.
     pub addr: String,
-    /// Machine to drive.
+    /// Machine to drive, or `"@pool"` to route across a cluster pool.
     pub machine: String,
-    /// Mesh spec used when the machine does not exist yet.
+    /// Mesh spec used when the machine does not exist yet (ignored in
+    /// cluster mode — pool members are registered by the daemon).
     pub mesh: String,
     /// Scheduling policy used when the machine does not exist yet
     /// (`None` = the daemon's default, FCFS).
@@ -49,6 +67,9 @@ pub struct LoadgenConfig {
     /// (estimates are drawn uniformly from `[1, max_walltime]`; `None`
     /// sends no estimates).
     pub max_walltime: Option<f64>,
+    /// Routing policy to switch the pool to before driving (cluster
+    /// mode only).
+    pub router: Option<String>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -64,21 +85,26 @@ pub struct LoadgenReport {
     pub rejected: u64,
     /// Releases issued.
     pub released: u64,
-    /// Occupancy-invariant violations detected client-side.
+    /// Occupancy-invariant violations detected client-side (cluster
+    /// mode adds misrouting violations: unknown or undersized members).
     pub violations: u64,
     /// Wall-clock seconds for the whole run.
     pub elapsed_seconds: f64,
     /// Requests per second.
     pub throughput: f64,
-    /// Final busy count reported by the daemon after draining.
+    /// Final busy count reported by the daemon after draining (summed
+    /// over pool members in cluster mode).
     pub final_busy: u64,
+    /// Machines driven (1 for a direct machine, pool size in cluster
+    /// mode).
+    pub machines: u64,
 }
 
 impl LoadgenReport {
     /// Human-readable multi-line summary.
     pub fn render(&self) -> String {
         format!(
-            "loadgen: {} requests in {:.2} s ({:.0} req/s)\n\
+            "loadgen: {} requests in {:.2} s ({:.0} req/s) across {} machine(s)\n\
              \x20 granted   {:>8}\n\
              \x20 rejected  {:>8}\n\
              \x20 released  {:>8}\n\
@@ -87,6 +113,7 @@ impl LoadgenReport {
             self.requests,
             self.elapsed_seconds,
             self.throughput,
+            self.machines,
             self.granted,
             self.rejected,
             self.released,
@@ -106,54 +133,122 @@ impl LoadgenReport {
         m.insert("elapsed_seconds".into(), self.elapsed_seconds.to_value());
         m.insert("throughput".into(), self.throughput.to_value());
         m.insert("final_busy".into(), self.final_busy.to_value());
+        m.insert("machines".into(), self.machines.to_value());
         Value::Object(m)
     }
 }
 
-/// Shared counters and the node claim table.
+/// Shared counters and the per-machine node claim tables.
 struct Shared {
     granted: AtomicU64,
     rejected: AtomicU64,
     released: AtomicU64,
     requests: AtomicU64,
     violations: AtomicU64,
-    /// One flag per node: set while some connection believes it holds the
-    /// node. Double allocation trips the swap and counts as a violation.
-    claims: Vec<AtomicBool>,
-    /// Node count of the live machine (from the daemon's own snapshot,
-    /// which may differ from the `--mesh` flag when the machine already
-    /// existed).
+    /// Per machine: one flag per node, set while some connection
+    /// believes it holds the node. Double allocation trips the swap and
+    /// counts as a violation.
+    claims: HashMap<String, Vec<AtomicBool>>,
+    /// Aggregate node count of the driven machines (from the daemon's
+    /// own snapshots); steers the closed loop's occupancy target.
     total_nodes: usize,
+    /// Node count of the largest driven machine: the cap on request
+    /// sizes, so every request stays routable somewhere in the pool
+    /// (an unroutable size is a hard service error, not backpressure).
+    max_machine_nodes: usize,
 }
 
 impl Shared {
-    fn claim(&self, nodes: &[commalloc_mesh::NodeId]) {
+    /// Claims `nodes` on `machine`; an unknown machine or out-of-range
+    /// node is itself a violation (the daemon reported a grant the
+    /// client-side model cannot even represent).
+    fn claim(&self, machine: &str, nodes: &[commalloc_mesh::NodeId]) {
+        let Some(table) = self.claims.get(machine) else {
+            self.violations.fetch_add(1, Ordering::SeqCst);
+            return;
+        };
         for node in nodes {
-            if self.claims[node.index()].swap(true, Ordering::SeqCst) {
-                self.violations.fetch_add(1, Ordering::SeqCst);
+            match table.get(node.index()) {
+                Some(flag) => {
+                    if flag.swap(true, Ordering::SeqCst) {
+                        self.violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                None => {
+                    self.violations.fetch_add(1, Ordering::SeqCst);
+                }
             }
         }
     }
 
-    fn unclaim(&self, nodes: &[commalloc_mesh::NodeId]) {
+    fn unclaim(&self, machine: &str, nodes: &[commalloc_mesh::NodeId]) {
+        let Some(table) = self.claims.get(machine) else {
+            self.violations.fetch_add(1, Ordering::SeqCst);
+            return;
+        };
         for node in nodes {
-            if !self.claims[node.index()].swap(false, Ordering::SeqCst) {
+            match table.get(node.index()) {
+                Some(flag) => {
+                    if !flag.swap(false, Ordering::SeqCst) {
+                        self.violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                None => {
+                    self.violations.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// Checks a routed placement: the daemon must have named a known
+    /// member large enough for the request.
+    fn check_placement(&self, machine: &str, size: usize) {
+        match self.claims.get(machine) {
+            Some(table) if size <= table.len() => {}
+            _ => {
                 self.violations.fetch_add(1, Ordering::SeqCst);
             }
         }
     }
 }
 
-/// Runs the load against a live daemon. Returns an error string on
-/// connection/protocol failure.
-pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
-    // Register the machine; racing with another loadgen (or a pre-registered
-    // server machine) is fine. The claim table is then sized from the
-    // daemon's own snapshot — the live machine may be larger or smaller
-    // than the `--mesh` flag when it already existed.
-    let total_nodes = {
-        let mut client = ServiceClient::connect(&config.addr)
-            .map_err(|e| format!("cannot connect to {}: {e}", config.addr))?;
+/// Discovers the machines behind `config.machine`: the pool members (in
+/// cluster mode, optionally switching the routing policy first) or the
+/// single machine itself (registered on demand). Returns `(name, nodes)`
+/// pairs.
+fn discover_machines(config: &LoadgenConfig) -> Result<Vec<(String, usize)>, String> {
+    let mut client = ServiceClient::connect(&config.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", config.addr))?;
+    if let Some(pool) = config.machine.strip_prefix('@') {
+        if let Some(router) = &config.router {
+            client
+                .set_router(pool, router)
+                .map_err(|e| format!("set_router failed: {e}"))?;
+        }
+        let snapshot = client
+            .query(&config.machine)
+            .map_err(|e| format!("pool query failed: {e}"))?;
+        let members = snapshot
+            .get("machines")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "pool snapshot lacks a machines array".to_string())?;
+        let machines: Option<Vec<(String, usize)>> = members
+            .iter()
+            .map(|m| {
+                Some((
+                    m.get("machine")?.as_str()?.to_string(),
+                    m.get("nodes")?.as_u64()? as usize,
+                ))
+            })
+            .collect();
+        machines
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| "pool snapshot has malformed member entries".to_string())
+    } else {
+        // Register the machine; racing with another loadgen (or a
+        // pre-registered server machine) is fine. The claim table is
+        // then sized from the daemon's own snapshot — the live machine
+        // may differ from the `--mesh` flag when it already existed.
         match client.register(
             &config.machine,
             &config.mesh,
@@ -165,23 +260,47 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
             Err(ClientError::Service(message)) if message.contains("already registered") => {}
             Err(e) => return Err(format!("register failed: {e}")),
         }
-        client
+        let nodes = client
             .query(&config.machine)
             .map_err(|e| format!("query failed: {e}"))?
             .get("nodes")
             .and_then(Value::as_u64)
             .ok_or_else(|| "query response lacks a node count".to_string())?
-            .max(1) as usize
-    };
+            .max(1) as usize;
+        Ok(vec![(config.machine.clone(), nodes)])
+    }
+}
 
+/// Runs the load against a live daemon. Returns an error string on
+/// connection/protocol failure.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let machines = discover_machines(config)?;
     let shared = Arc::new(Shared {
         granted: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
         released: AtomicU64::new(0),
         requests: AtomicU64::new(0),
         violations: AtomicU64::new(0),
-        claims: (0..total_nodes).map(|_| AtomicBool::new(false)).collect(),
-        total_nodes,
+        claims: machines
+            .iter()
+            .map(|(name, nodes)| {
+                (
+                    name.clone(),
+                    (0..*nodes).map(|_| AtomicBool::new(false)).collect(),
+                )
+            })
+            .collect(),
+        total_nodes: machines
+            .iter()
+            .map(|(_, nodes)| nodes)
+            .sum::<usize>()
+            .max(1),
+        max_machine_nodes: machines
+            .iter()
+            .map(|(_, nodes)| *nodes)
+            .max()
+            .unwrap_or(1)
+            .max(1),
     });
 
     let connections = config.connections.max(1);
@@ -209,21 +328,30 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     }
     let elapsed = start.elapsed().as_secs_f64();
 
-    // After draining, the daemon must agree the machine is empty.
+    // After draining, the daemon must agree every machine is empty.
     let mut client = ServiceClient::connect(&config.addr)
         .map_err(|e| format!("cannot reconnect to {}: {e}", config.addr))?;
-    let snapshot = client
-        .query(&config.machine)
-        .map_err(|e| format!("final query failed: {e}"))?;
-    let final_busy = snapshot
-        .get("busy")
-        .and_then(Value::as_u64)
-        .unwrap_or(u64::MAX);
-    let local_claims = shared
+    let mut final_busy = 0u64;
+    for (name, _) in &machines {
+        match client
+            .query(name)
+            .map_err(|e| format!("final query of {name} failed: {e}"))?
+            .get("busy")
+            .and_then(Value::as_u64)
+        {
+            Some(busy) => final_busy += busy,
+            // A snapshot without a numeric busy count is itself a
+            // violation; do not poison the sum with a sentinel.
+            None => {
+                shared.violations.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+    let local_claims: u64 = shared
         .claims
-        .iter()
-        .filter(|c| c.load(Ordering::SeqCst))
-        .count() as u64;
+        .values()
+        .map(|table| table.iter().filter(|c| c.load(Ordering::SeqCst)).count() as u64)
+        .sum();
     if final_busy != local_claims {
         shared.violations.fetch_add(1, Ordering::SeqCst);
     }
@@ -238,10 +366,11 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         elapsed_seconds: elapsed,
         throughput: requests as f64 / elapsed.max(1e-9),
         final_busy,
+        machines: machines.len() as u64,
     })
 }
 
-/// One connection's closed loop plus final drain.
+/// One connection's closed loop plus final (batched) drain.
 fn drive_connection(
     config: &LoadgenConfig,
     index: usize,
@@ -254,7 +383,7 @@ fn drive_connection(
     // Job ids are partitioned per connection so they never collide.
     let mut next_job = (index as u64) << 40;
     let total_nodes = shared.total_nodes;
-    let mut live: Vec<(u64, Vec<commalloc_mesh::NodeId>)> = Vec::new();
+    let mut live: Vec<(String, u64, Vec<commalloc_mesh::NodeId>)> = Vec::new();
     let mut held = 0usize;
     let mut issued = 0usize;
 
@@ -266,32 +395,33 @@ fn drive_connection(
             (config.occupancy * total_nodes as f64 / config.connections.max(1) as f64) as usize;
         let allocate = live.is_empty() || (held < target && rng.gen_bool(0.7));
         if allocate {
-            let size = rng.gen_range(1..=config.max_size.min(total_nodes));
+            let size = rng.gen_range(1..=config.max_size.min(shared.max_machine_nodes));
             let walltime = config
                 .max_walltime
                 .map(|max| rng.gen_range(1.0..=max.max(1.0)));
             let job = next_job;
             next_job += 1;
-            match client
-                .alloc_with_walltime(&config.machine, job, size, false, walltime)
-                .map_err(fail)?
-            {
+            let (machine, outcome) = client
+                .alloc_routed(&config.machine, job, size, false, walltime)
+                .map_err(fail)?;
+            match outcome {
                 ClientAllocOutcome::Granted(nodes) => {
-                    shared.claim(&nodes);
+                    shared.check_placement(&machine, size);
+                    shared.claim(&machine, &nodes);
                     shared.granted.fetch_add(1, Ordering::SeqCst);
                     held += nodes.len();
-                    live.push((job, nodes));
+                    live.push((machine, job, nodes));
                 }
                 ClientAllocOutcome::Rejected(_) => {
                     shared.rejected.fetch_add(1, Ordering::SeqCst);
                     // Backpressure: free something before trying again.
-                    if let Some((job, nodes)) = pick_victim(&mut live, &mut rng) {
+                    if let Some((machine, job, nodes)) = pick_victim(&mut live, &mut rng) {
                         // Unclaim BEFORE the release reaches the daemon:
                         // once released, the nodes may be granted to
                         // another connection immediately, and a stale
                         // claim would read as a false violation.
-                        shared.unclaim(&nodes);
-                        client.release(&config.machine, job).map_err(fail)?;
+                        shared.unclaim(&machine, &nodes);
+                        client.release(&machine, job).map_err(fail)?;
                         shared.released.fetch_add(1, Ordering::SeqCst);
                         shared.requests.fetch_add(1, Ordering::SeqCst);
                         held -= nodes.len();
@@ -304,9 +434,9 @@ fn drive_connection(
                     ));
                 }
             }
-        } else if let Some((job, nodes)) = pick_victim(&mut live, &mut rng) {
-            shared.unclaim(&nodes);
-            client.release(&config.machine, job).map_err(fail)?;
+        } else if let Some((machine, job, nodes)) = pick_victim(&mut live, &mut rng) {
+            shared.unclaim(&machine, &nodes);
+            client.release(&machine, job).map_err(fail)?;
             shared.released.fetch_add(1, Ordering::SeqCst);
             held -= nodes.len();
         }
@@ -314,20 +444,39 @@ fn drive_connection(
         issued += 1;
     }
 
-    // Drain: return everything so the final snapshot must read empty.
-    for (job, nodes) in live.drain(..) {
-        shared.unclaim(&nodes);
-        client.release(&config.machine, job).map_err(fail)?;
-        shared.released.fetch_add(1, Ordering::SeqCst);
-        shared.requests.fetch_add(1, Ordering::SeqCst);
+    // Drain: return everything so the final snapshots must read empty.
+    // Releases are batched onto single wire lines — the batch op exists
+    // precisely to cut round trips in closed loops like this one.
+    for chunk in live.chunks(DRAIN_BATCH) {
+        let mut batch = Vec::with_capacity(chunk.len());
+        for (machine, job, nodes) in chunk {
+            shared.unclaim(machine, nodes);
+            batch.push(Request::Release {
+                machine: machine.clone(),
+                job: *job,
+            });
+        }
+        let responses = client.batch(batch).map_err(fail)?;
+        for response in responses {
+            match response {
+                Response::Released { .. } => {
+                    shared.released.fetch_add(1, Ordering::SeqCst);
+                    shared.requests.fetch_add(1, Ordering::SeqCst);
+                }
+                other => {
+                    return Err(format!(
+                        "connection {index}: drain release answered {other:?}"
+                    ))
+                }
+            }
+        }
     }
     Ok(())
 }
 
-fn pick_victim(
-    live: &mut Vec<(u64, Vec<commalloc_mesh::NodeId>)>,
-    rng: &mut StdRng,
-) -> Option<(u64, Vec<commalloc_mesh::NodeId>)> {
+type LiveJob = (String, u64, Vec<commalloc_mesh::NodeId>);
+
+fn pick_victim(live: &mut Vec<LiveJob>, rng: &mut StdRng) -> Option<LiveJob> {
     if live.is_empty() {
         return None;
     }

@@ -113,12 +113,27 @@ impl ServiceClient {
         strategy: Option<&str>,
         scheduler: Option<&str>,
     ) -> Result<(), ClientError> {
+        self.register_in_pool(machine, mesh, allocator, strategy, scheduler, None)
+    }
+
+    /// Registers a machine and joins it to cluster pool `pool` (see
+    /// [`crate::AllocationService::register_in_pool`]).
+    pub fn register_in_pool(
+        &mut self,
+        machine: &str,
+        mesh: &str,
+        allocator: Option<&str>,
+        strategy: Option<&str>,
+        scheduler: Option<&str>,
+        pool: Option<&str>,
+    ) -> Result<(), ClientError> {
         let request = Request::Register {
             machine: machine.to_string(),
             mesh: mesh.to_string(),
             allocator: allocator.map(str::to_string),
             strategy: strategy.map(str::to_string),
             scheduler: scheduler.map(str::to_string),
+            pool: pool.map(str::to_string),
         };
         self.expect(&request, |r| match r {
             Response::Registered { .. } => Ok(()),
@@ -160,6 +175,85 @@ impl ServiceClient {
             Response::Rejected { reason, .. } => Ok(ClientAllocOutcome::Rejected(reason)),
             other => Err(other),
         })
+    }
+
+    /// Requests `size` processors for `job` from `target` — a machine
+    /// name or a `"@pool"` cluster address — and returns the machine
+    /// that actually took the request alongside the outcome. For a
+    /// routed request the server names the chosen member; a direct
+    /// request echoes `target` itself.
+    pub fn alloc_routed(
+        &mut self,
+        target: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+    ) -> Result<(String, ClientAllocOutcome), ClientError> {
+        let request = Request::Alloc {
+            machine: target.to_string(),
+            job,
+            size,
+            wait,
+            walltime,
+        };
+        let routed = target.starts_with('@');
+        let resolve = move |machine: Option<String>| -> Result<String, ClientError> {
+            match machine {
+                Some(m) => Ok(m),
+                None if !routed => Ok(target.to_string()),
+                None => Err(ClientError::Protocol(
+                    "routed alloc response names no machine".to_string(),
+                )),
+            }
+        };
+        match self.roundtrip(&request)? {
+            Response::Error { message } => Err(ClientError::Service(message)),
+            Response::Granted { nodes, machine, .. } => {
+                Ok((resolve(machine)?, ClientAllocOutcome::Granted(nodes)))
+            }
+            Response::Queued {
+                position, machine, ..
+            } => Ok((resolve(machine)?, ClientAllocOutcome::Queued(position))),
+            Response::Rejected {
+                reason, machine, ..
+            } => Ok((resolve(machine)?, ClientAllocOutcome::Rejected(reason))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Switches the routing policy of pool `pool` (no `@` sigil);
+    /// returns the canonical name of the now-active policy.
+    pub fn set_router(&mut self, pool: &str, policy: &str) -> Result<String, ClientError> {
+        let request = Request::SetRouter {
+            pool: pool.to_string(),
+            policy: policy.to_string(),
+        };
+        self.expect(&request, |r| match r {
+            Response::RouterSet { policy, .. } => Ok(policy),
+            other => Err(other),
+        })
+    }
+
+    /// Sends several requests on one wire line and returns the per-
+    /// request responses in order (the round-trip saver). Service-level
+    /// failures of individual members come back as
+    /// [`Response::Error`] entries rather than failing the whole batch.
+    pub fn batch(&mut self, requests: Vec<Request>) -> Result<Vec<Response>, ClientError> {
+        let expected = requests.len();
+        match self.roundtrip(&Request::Batch(requests))? {
+            Response::Error { message } => Err(ClientError::Service(message)),
+            Response::Batch(responses) if responses.len() == expected => Ok(responses),
+            Response::Batch(responses) => Err(ClientError::Protocol(format!(
+                "batch of {expected} answered with {} responses",
+                responses.len()
+            ))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
     }
 
     /// Switches the machine's scheduling policy at runtime; returns the

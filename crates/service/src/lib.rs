@@ -39,6 +39,17 @@
 //!   to the *same* `select_with_context` the offline engine calls, and
 //!   the sim-equivalence tests pin the online grant order byte-identical
 //!   to the offline simulator's for all three policies.
+//! * **Cluster routing.** Machines registered with a `pool` name become
+//!   members of that pool ([`cluster::PlacementRouter`]); an `alloc`
+//!   addressed to `"@pool"` is routed to a member by the pool's
+//!   [`cluster::RoutingPolicy`] (round-robin, least-loaded,
+//!   shortest-queue, power-of-two-choices — switchable at runtime via
+//!   `set_router`). Routing is sample-then-commit through the same
+//!   sharded locks, with a per-entry generation re-check instead of any
+//!   global lock; driven single-threaded it is fully deterministic, and
+//!   the cluster sim-equivalence tests pin the pooled service's routes
+//!   and per-machine grant logs byte-identical to a pure offline router
+//!   plus standalone per-machine replays.
 //!
 //! ## Wire protocol
 //!
@@ -47,20 +58,25 @@
 //! `"op"` discriminator:
 //!
 //! ```json
-//! {"op":"register","machine":"m0","mesh":"16x16","allocator":"Hilbert w/BF","scheduler":"easy"}
+//! {"op":"register","machine":"m0","mesh":"16x16","allocator":"Hilbert w/BF","scheduler":"easy","pool":"grid"}
 //! {"op":"alloc","machine":"m0","job":1,"size":17,"wait":true,"walltime":120.0}
+//! {"op":"alloc","machine":"@grid","job":2,"size":8,"wait":true}
 //! {"op":"set_scheduler","machine":"m0","scheduler":"backfill"}
+//! {"op":"set_router","pool":"grid","policy":"p2c"}
 //! {"op":"release","machine":"m0","job":1}
 //! {"op":"poll","machine":"m0","job":2}
 //! {"op":"query","machine":"m0"}
+//! {"op":"query","machine":"@grid"}
 //! {"op":"stats","machine":"m0"}
 //! {"op":"list"}
 //! {"op":"ping"}
+//! {"op":"batch","requests":[{"op":"ping"},{"op":"release","machine":"m0","job":1}]}
 //! ```
 //!
 //! Responses always carry `"ok"`; successful `alloc` responses carry
 //! `"status"` (`"granted"` with `"nodes"`, or `"queued"` with
-//! `"position"`), and errors carry `"error"` with a message. The protocol
+//! `"position"`; routed responses add `"machine"`, the member that took
+//! the job), and errors carry `"error"` with a message. The protocol
 //! is deliberately line-oriented and human-typeable (`nc` works) while
 //! staying machine-parseable; it needs nothing beyond the standard library
 //! plus the workspace's JSON layer.
@@ -86,6 +102,7 @@
 
 pub mod admission;
 pub mod client;
+pub mod cluster;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
@@ -94,9 +111,10 @@ pub mod server;
 pub mod service;
 
 pub use client::{ClientAllocOutcome, ClientError, ServiceClient};
+pub use cluster::{route_offline, ClusterMember, MachineSample, PlacementRouter, RoutingPolicy};
 pub use metrics::{MachineMetrics, ServiceMetrics, WaitStats};
 pub use protocol::{Request, Response};
 pub use registry::{MachineSnapshot, Registry, ServiceError};
-pub use replay::{replay, ReplayGrant, ReplayJob, ReplayLog};
+pub use replay::{replay, replay_cluster, ClusterReplayLog, ReplayGrant, ReplayJob, ReplayLog};
 pub use server::{Server, ServerHandle};
 pub use service::{AllocOutcome, AllocationService, JobStatus};

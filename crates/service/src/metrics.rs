@@ -15,15 +15,33 @@ pub struct WaitStats {
     pub total_seconds: f64,
     /// The longest single wait, in seconds.
     pub max_seconds: f64,
+    /// One bounded-slowdown sample per recorded wait (see
+    /// [`WaitStats::record`]). Kept raw so percentiles are exact; a
+    /// daemon intended to run for months would reservoir-sample here.
+    pub slowdowns: Vec<f64>,
 }
 
+/// The bounded-slowdown runtime floor, in seconds: jobs shorter than
+/// this (or with no estimate at all) are treated as `τ`-second jobs so a
+/// tiny job's slowdown cannot explode the percentiles (Feitelson's
+/// standard fairness metric).
+pub const SLOWDOWN_TAU_SECONDS: f64 = 10.0;
+
 impl WaitStats {
-    /// Records one queue-to-grant wait.
-    pub fn record(&mut self, seconds: f64) {
+    /// Records one queue-to-grant wait. `walltime` is the job's runtime
+    /// estimate, which anchors the bounded slowdown
+    /// `(wait + max(walltime, τ)) / max(walltime, τ)`; a missing
+    /// estimate uses `τ` alone (pure wait-relative slowdown).
+    pub fn record(&mut self, seconds: f64, walltime: Option<f64>) {
         let seconds = seconds.max(0.0);
         self.count += 1;
         self.total_seconds += seconds;
         self.max_seconds = self.max_seconds.max(seconds);
+        let runtime = walltime
+            .filter(|w| w.is_finite())
+            .unwrap_or(SLOWDOWN_TAU_SECONDS)
+            .max(SLOWDOWN_TAU_SECONDS);
+        self.slowdowns.push((seconds + runtime) / runtime);
     }
 
     /// Mean wait in seconds (0 when nothing was ever queued).
@@ -35,14 +53,48 @@ impl WaitStats {
         }
     }
 
-    /// The count/mean/max summary surfaced in the `stats` response.
+    /// The `q`-quantile (`0 < q <= 1`, nearest-rank) of the bounded
+    /// slowdowns; 1.0 — the no-wait slowdown — when nothing was queued.
+    pub fn slowdown_percentile(&self, q: f64) -> f64 {
+        let mut sorted = self.slowdowns.clone();
+        sorted.sort_by(f64::total_cmp);
+        percentile_of_sorted(&sorted, q)
+    }
+
+    /// The summary surfaced in the `stats` response: count/mean/max wait
+    /// plus the p50/p90/p99 bounded-slowdown percentiles the fairness
+    /// comparisons read. One sorted copy serves all three percentiles.
     pub fn to_summary_value(&self) -> Value {
+        let mut sorted = self.slowdowns.clone();
+        sorted.sort_by(f64::total_cmp);
         let mut m = serde::Map::new();
         m.insert("count".into(), self.count.to_value());
         m.insert("mean_seconds".into(), self.mean_seconds().to_value());
         m.insert("max_seconds".into(), self.max_seconds.to_value());
+        m.insert(
+            "slowdown_p50".into(),
+            percentile_of_sorted(&sorted, 0.50).to_value(),
+        );
+        m.insert(
+            "slowdown_p90".into(),
+            percentile_of_sorted(&sorted, 0.90).to_value(),
+        );
+        m.insert(
+            "slowdown_p99".into(),
+            percentile_of_sorted(&sorted, 0.99).to_value(),
+        );
         Value::Object(m)
     }
+}
+
+/// Nearest-rank `q`-quantile of an ascending-sorted sample; 1.0 (the
+/// no-wait slowdown) on an empty sample.
+fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 1.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Per-machine counters, updated under the machine's shard lock (plain
@@ -139,11 +191,11 @@ mod tests {
     fn wait_stats_track_count_mean_and_max() {
         let mut w = WaitStats::default();
         assert_eq!(w.mean_seconds(), 0.0);
-        w.record(2.0);
-        w.record(6.0);
-        w.record(1.0);
+        w.record(2.0, None);
+        w.record(6.0, None);
+        w.record(1.0, None);
         // Clock skew can only produce non-negative waits.
-        w.record(-3.0);
+        w.record(-3.0, None);
         assert_eq!(w.count, 4);
         assert!((w.mean_seconds() - 9.0 / 4.0).abs() < 1e-12);
         assert_eq!(w.max_seconds, 6.0);
@@ -156,6 +208,7 @@ mod tests {
         assert!(
             (summary.get("mean_seconds").and_then(Value::as_f64).unwrap() - 2.25).abs() < 1e-12
         );
+        assert!(summary.get("slowdown_p50").is_some());
         // And the embedded form serialises with the machine counters.
         let m = MachineMetrics {
             wait: w,
@@ -168,6 +221,31 @@ mod tests {
                 .and_then(Value::as_u64),
             Some(4)
         );
+    }
+
+    #[test]
+    fn bounded_slowdown_percentiles_are_nearest_rank() {
+        let mut w = WaitStats::default();
+        assert_eq!(w.slowdown_percentile(0.5), 1.0, "empty = no-wait slowdown");
+        // Ten waits of 10, 20, ..., 100 s on a 10-s estimate: bounded
+        // slowdowns 2, 3, ..., 11.
+        for i in 1..=10 {
+            w.record(10.0 * i as f64, Some(10.0));
+        }
+        assert_eq!(w.slowdown_percentile(0.50), 6.0);
+        assert_eq!(w.slowdown_percentile(0.90), 10.0);
+        assert_eq!(w.slowdown_percentile(0.99), 11.0);
+        assert_eq!(w.slowdown_percentile(1.00), 11.0);
+        let summary = w.to_summary_value();
+        assert_eq!(
+            summary.get("slowdown_p90").and_then(Value::as_f64),
+            Some(10.0)
+        );
+        // The τ floor: a 1-second estimate is anchored at τ = 10 s, so a
+        // 90-second wait reads as slowdown 10, not 91.
+        let mut short = WaitStats::default();
+        short.record(90.0, Some(1.0));
+        assert_eq!(short.slowdown_percentile(0.5), 10.0);
     }
 
     #[test]

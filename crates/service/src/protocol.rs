@@ -32,12 +32,17 @@ pub enum Request {
         strategy: Option<String>,
         /// Scheduling-policy spec; `None` = FCFS (the paper's policy).
         scheduler: Option<String>,
+        /// Pool to join (cluster routing); `None` = standalone machine.
+        pool: Option<String>,
     },
     /// Allocate `size` processors for `job` on `machine`; `wait` queues
     /// the request when it cannot be served immediately (admission is
-    /// governed by the machine's scheduling policy).
+    /// governed by the machine's scheduling policy). A machine of
+    /// `"@pool"` routes the request across the pool's members under the
+    /// pool's [`crate::cluster::RoutingPolicy`]; the response then names
+    /// the machine that took the job.
     Alloc {
-        /// Machine name.
+        /// Machine name, or `"@pool"` for cluster routing.
         machine: String,
         /// Job identifier (client-chosen, unique per machine).
         job: u64,
@@ -55,6 +60,14 @@ pub enum Request {
         machine: String,
         /// Scheduling-policy spec (same grammar as `Register`).
         scheduler: String,
+    },
+    /// Switch the routing policy of a machine pool at runtime.
+    SetRouter {
+        /// Pool name (without the `@` sigil).
+        pool: String,
+        /// Routing-policy spec (`round-robin`/`rr`, `least-loaded`/`ll`,
+        /// `shortest-queue`/`sq`, `power-of-two`/`p2c`).
+        policy: String,
     },
     /// Release the processors of `job` (or cancel it while queued).
     Release {
@@ -84,6 +97,10 @@ pub enum Request {
     List,
     /// Liveness check.
     Ping,
+    /// Several requests on one wire line, answered by one
+    /// [`Response::Batch`] in the same order — the round-trip saver for
+    /// closed-loop clients. Batches do not nest.
+    Batch(Vec<Request>),
 }
 
 /// A server response.
@@ -106,6 +123,9 @@ pub enum Response {
         job: u64,
         /// Granted processors, in rank order.
         nodes: Vec<NodeId>,
+        /// The machine that took the job — present exactly when the
+        /// request was routed through a pool (`"@pool"` address).
+        machine: Option<String>,
     },
     /// Allocation queued (FCFS).
     Queued {
@@ -113,6 +133,8 @@ pub enum Response {
         job: u64,
         /// 1-based queue position at enqueue time.
         position: usize,
+        /// The machine the job queues on (pool-routed requests only).
+        machine: Option<String>,
     },
     /// Allocation rejected (no capacity, `wait` unset).
     Rejected {
@@ -120,6 +142,8 @@ pub enum Response {
         job: u64,
         /// Human-readable reason.
         reason: String,
+        /// The machine that rejected the job (pool-routed requests only).
+        machine: Option<String>,
     },
     /// Release succeeded; `granted` lists jobs admitted from the queue.
     Released {
@@ -137,6 +161,13 @@ pub enum Response {
         scheduler: String,
         /// Jobs granted by the policy switch, in grant order.
         granted: Vec<(u64, Vec<NodeId>)>,
+    },
+    /// The routing policy of a pool was switched.
+    RouterSet {
+        /// Pool name.
+        pool: String,
+        /// Canonical name of the now-active routing policy.
+        policy: String,
     },
     /// Poll result: the job runs on these processors.
     Running {
@@ -165,6 +196,8 @@ pub enum Response {
     Machines(Vec<String>),
     /// Liveness answer.
     Pong,
+    /// Per-request answers to a [`Request::Batch`], in request order.
+    Batch(Vec<Response>),
 }
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {
@@ -270,6 +303,7 @@ impl Request {
                 allocator,
                 strategy,
                 scheduler,
+                pool,
             } => {
                 let mut entries = vec![
                     ("op", str_value("register")),
@@ -284,6 +318,9 @@ impl Request {
                 }
                 if let Some(s) = scheduler {
                     entries.push(("scheduler", str_value(s)));
+                }
+                if let Some(p) = pool {
+                    entries.push(("pool", str_value(p)));
                 }
                 obj(entries)
             }
@@ -311,6 +348,11 @@ impl Request {
                 ("machine", str_value(machine)),
                 ("scheduler", str_value(scheduler)),
             ]),
+            Request::SetRouter { pool, policy } => obj(vec![
+                ("op", str_value("set_router")),
+                ("pool", str_value(pool)),
+                ("policy", str_value(policy)),
+            ]),
             Request::Release { machine, job } => obj(vec![
                 ("op", str_value("release")),
                 ("machine", str_value(machine)),
@@ -331,6 +373,13 @@ impl Request {
             ]),
             Request::List => obj(vec![("op", str_value("list"))]),
             Request::Ping => obj(vec![("op", str_value("ping"))]),
+            Request::Batch(requests) => obj(vec![
+                ("op", str_value("batch")),
+                (
+                    "requests",
+                    Value::Array(requests.iter().map(Request::to_value).collect()),
+                ),
+            ]),
         }
     }
 
@@ -344,6 +393,7 @@ impl Request {
                 allocator: get_str_opt(v, "allocator")?,
                 strategy: get_str_opt(v, "strategy")?,
                 scheduler: get_str_opt(v, "scheduler")?,
+                pool: get_str_opt(v, "pool")?,
             }),
             "alloc" => Ok(Request::Alloc {
                 machine: get_str(v, "machine")?,
@@ -361,6 +411,24 @@ impl Request {
                 machine: get_str(v, "machine")?,
                 scheduler: get_str(v, "scheduler")?,
             }),
+            "set_router" => Ok(Request::SetRouter {
+                pool: get_str(v, "pool")?,
+                policy: get_str(v, "policy")?,
+            }),
+            "batch" => {
+                let arr = v
+                    .get("requests")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| Error::msg("missing \"requests\" array"))?;
+                let requests = arr
+                    .iter()
+                    .map(Request::from_value)
+                    .collect::<Result<Vec<_>, Error>>()?;
+                if requests.iter().any(|r| matches!(r, Request::Batch(_))) {
+                    return Err(Error::msg("batches do not nest"));
+                }
+                Ok(Request::Batch(requests))
+            }
             "release" => Ok(Request::Release {
                 machine: get_str(v, "machine")?,
                 job: get_u64(v, "job")?,
@@ -406,27 +474,57 @@ impl Response {
                 ("op", str_value("register")),
                 ("machine", str_value(machine)),
             ]),
-            Response::Granted { job, nodes } => obj(vec![
-                ("ok", Value::Bool(true)),
-                ("op", str_value("alloc")),
-                ("status", str_value("granted")),
-                ("job", Value::UInt(*job)),
-                ("nodes", nodes_value(nodes)),
-            ]),
-            Response::Queued { job, position } => obj(vec![
-                ("ok", Value::Bool(true)),
-                ("op", str_value("alloc")),
-                ("status", str_value("queued")),
-                ("job", Value::UInt(*job)),
-                ("position", Value::UInt(*position as u64)),
-            ]),
-            Response::Rejected { job, reason } => obj(vec![
-                ("ok", Value::Bool(true)),
-                ("op", str_value("alloc")),
-                ("status", str_value("rejected")),
-                ("job", Value::UInt(*job)),
-                ("reason", str_value(reason)),
-            ]),
+            Response::Granted {
+                job,
+                nodes,
+                machine,
+            } => {
+                let mut entries = vec![
+                    ("ok", Value::Bool(true)),
+                    ("op", str_value("alloc")),
+                    ("status", str_value("granted")),
+                    ("job", Value::UInt(*job)),
+                    ("nodes", nodes_value(nodes)),
+                ];
+                if let Some(m) = machine {
+                    entries.push(("machine", str_value(m)));
+                }
+                obj(entries)
+            }
+            Response::Queued {
+                job,
+                position,
+                machine,
+            } => {
+                let mut entries = vec![
+                    ("ok", Value::Bool(true)),
+                    ("op", str_value("alloc")),
+                    ("status", str_value("queued")),
+                    ("job", Value::UInt(*job)),
+                    ("position", Value::UInt(*position as u64)),
+                ];
+                if let Some(m) = machine {
+                    entries.push(("machine", str_value(m)));
+                }
+                obj(entries)
+            }
+            Response::Rejected {
+                job,
+                reason,
+                machine,
+            } => {
+                let mut entries = vec![
+                    ("ok", Value::Bool(true)),
+                    ("op", str_value("alloc")),
+                    ("status", str_value("rejected")),
+                    ("job", Value::UInt(*job)),
+                    ("reason", str_value(reason)),
+                ];
+                if let Some(m) = machine {
+                    entries.push(("machine", str_value(m)));
+                }
+                obj(entries)
+            }
             Response::Released { job, granted } => obj(vec![
                 ("ok", Value::Bool(true)),
                 ("op", str_value("release")),
@@ -443,6 +541,12 @@ impl Response {
                 ("machine", str_value(machine)),
                 ("scheduler", str_value(scheduler)),
                 ("granted", granted_value(granted)),
+            ]),
+            Response::RouterSet { pool, policy } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("set_router")),
+                ("pool", str_value(pool)),
+                ("policy", str_value(policy)),
             ]),
             Response::Running { job, nodes } => obj(vec![
                 ("ok", Value::Bool(true)),
@@ -483,6 +587,14 @@ impl Response {
                 ),
             ]),
             Response::Pong => obj(vec![("ok", Value::Bool(true)), ("op", str_value("pong"))]),
+            Response::Batch(responses) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("batch")),
+                (
+                    "responses",
+                    Value::Array(responses.iter().map(Response::to_value).collect()),
+                ),
+            ]),
         }
     }
 
@@ -506,14 +618,17 @@ impl Response {
                 "granted" => Ok(Response::Granted {
                     job: get_u64(v, "job")?,
                     nodes: get_nodes(v, "nodes")?,
+                    machine: get_str_opt(v, "machine")?,
                 }),
                 "queued" => Ok(Response::Queued {
                     job: get_u64(v, "job")?,
                     position: get_u64(v, "position")? as usize,
+                    machine: get_str_opt(v, "machine")?,
                 }),
                 "rejected" => Ok(Response::Rejected {
                     job: get_u64(v, "job")?,
                     reason: get_str(v, "reason")?,
+                    machine: get_str_opt(v, "machine")?,
                 }),
                 other => Err(Error::msg(format!("unknown alloc status {other:?}"))),
             },
@@ -525,6 +640,10 @@ impl Response {
                 machine: get_str(v, "machine")?,
                 scheduler: get_str(v, "scheduler")?,
                 granted: get_granted(v)?,
+            }),
+            "set_router" => Ok(Response::RouterSet {
+                pool: get_str(v, "pool")?,
+                policy: get_str(v, "policy")?,
             }),
             "poll" => match get_str(v, "state")?.as_str() {
                 "running" => Ok(Response::Running {
@@ -565,6 +684,16 @@ impl Response {
                     .map(Response::Machines)
             }
             "pong" => Ok(Response::Pong),
+            "batch" => {
+                let arr = v
+                    .get("responses")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| Error::msg("missing \"responses\" array"))?;
+                arr.iter()
+                    .map(Response::from_value)
+                    .collect::<Result<Vec<_>, Error>>()
+                    .map(Response::Batch)
+            }
             other => Err(Error::msg(format!("unknown response op {other:?}"))),
         }
     }
@@ -594,6 +723,7 @@ mod tests {
                 allocator: Some("Hilbert w/BF".into()),
                 strategy: None,
                 scheduler: Some("easy".into()),
+                pool: Some("grid".into()),
             },
             Request::Alloc {
                 machine: "m0".into(),
@@ -613,6 +743,20 @@ mod tests {
                 machine: "m0".into(),
                 scheduler: "first-fit backfill".into(),
             },
+            Request::SetRouter {
+                pool: "grid".into(),
+                policy: "power-of-two".into(),
+            },
+            Request::Batch(vec![
+                Request::Ping,
+                Request::Alloc {
+                    machine: "@grid".into(),
+                    job: 9,
+                    size: 3,
+                    wait: true,
+                    walltime: None,
+                },
+            ]),
             Request::Release {
                 machine: "m0".into(),
                 job: 7,
@@ -650,14 +794,22 @@ mod tests {
             Response::Granted {
                 job: 1,
                 nodes: vec![NodeId(0), NodeId(255)],
+                machine: None,
+            },
+            Response::Granted {
+                job: 11,
+                nodes: vec![NodeId(4)],
+                machine: Some("m1".into()),
             },
             Response::Queued {
                 job: 2,
                 position: 3,
+                machine: None,
             },
             Response::Rejected {
                 job: 3,
                 reason: "17 processors requested, 4 free".into(),
+                machine: Some("m2".into()),
             },
             Response::Released {
                 job: 1,
@@ -677,8 +829,18 @@ mod tests {
                 position: 1,
             },
             Response::Unknown { job: 6 },
+            Response::RouterSet {
+                pool: "grid".into(),
+                policy: "least-loaded".into(),
+            },
             Response::Machines(vec!["a".into(), "b".into()]),
             Response::Pong,
+            Response::Batch(vec![
+                Response::Pong,
+                Response::Error {
+                    message: "unknown pool \"x\"".into(),
+                },
+            ]),
         ];
         for response in responses {
             let line = response.to_line();
@@ -751,5 +913,22 @@ mod tests {
             Response::from_line(r#"{"op":"pong"}"#).is_err(),
             "missing ok"
         );
+    }
+
+    #[test]
+    fn batches_do_not_nest_and_propagate_member_errors() {
+        assert!(
+            Request::from_line(r#"{"op":"batch","requests":[{"op":"batch","requests":[]}]}"#)
+                .is_err()
+        );
+        // One malformed member rejects the whole batch (a silent drop
+        // would desynchronise request/response pairing).
+        assert!(Request::from_line(
+            r#"{"op":"batch","requests":[{"op":"ping"},{"op":"frobnicate"}]}"#
+        )
+        .is_err());
+        assert!(Request::from_line(r#"{"op":"batch"}"#).is_err());
+        let parsed = Request::from_line(r#"{"op":"batch","requests":[{"op":"ping"}]}"#).unwrap();
+        assert_eq!(parsed, Request::Batch(vec![Request::Ping]));
     }
 }

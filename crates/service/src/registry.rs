@@ -29,6 +29,8 @@ use std::time::Instant;
 pub enum ServiceError {
     /// The named machine is not registered.
     UnknownMachine(String),
+    /// The named pool has no members (`alloc` to `"@pool"`, `set_router`).
+    UnknownPool(String),
     /// A machine with that name already exists.
     MachineExists(String),
     /// A mesh/allocator/strategy specification could not be parsed.
@@ -46,6 +48,7 @@ impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServiceError::UnknownMachine(name) => write!(f, "unknown machine {name:?}"),
+            ServiceError::UnknownPool(name) => write!(f, "unknown pool {name:?}"),
             ServiceError::MachineExists(name) => {
                 write!(f, "machine {name:?} is already registered")
             }
@@ -246,6 +249,12 @@ pub struct MachineEntry {
     queue: AdmissionQueue,
     running: Vec<RunningMeta>,
     clock: Clock,
+    /// Modification generation: bumped whenever occupancy or the queue
+    /// may have changed (allocate, release, policy switch). The cluster
+    /// router's sample-then-commit protocol re-checks it before
+    /// committing against a sample — the entry-level analogue of
+    /// `commalloc_alloc::MachineState::generation` from PR 1.
+    generation: u64,
     /// Operation counters (public so the service layer can read them out).
     pub metrics: MachineMetrics,
 }
@@ -264,6 +273,7 @@ impl MachineEntry {
             queue: AdmissionQueue::new(scheduler),
             running: Vec::new(),
             clock: Clock::Wall(Instant::now()),
+            generation: 0,
             metrics: MachineMetrics::default(),
         }
     }
@@ -289,6 +299,7 @@ impl MachineEntry {
             queue: AdmissionQueue::new(scheduler),
             running: Vec::new(),
             clock: Clock::Wall(Instant::now()),
+            generation: 0,
             metrics: MachineMetrics::default(),
         }
     }
@@ -317,10 +328,29 @@ impl MachineEntry {
         self.queue.kind()
     }
 
+    /// The modification generation (see the field docs): routing samples
+    /// taken at generation `g` are stale once `generation() != g`.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The routing-relevant state of this machine, captured atomically
+    /// under the shard lock (the cluster router's *sample* step).
+    pub fn sample(&self) -> crate::cluster::MachineSample {
+        crate::cluster::MachineSample {
+            name: self.name.clone(),
+            nodes: self.total_nodes(),
+            free: self.num_free(),
+            queue_len: self.queue.len(),
+            generation: self.generation,
+        }
+    }
+
     /// Switches the scheduling policy at runtime and re-drains the queue
     /// (a switch to a backfilling policy may immediately admit requests
     /// FCFS was blocking). Returns the newly granted jobs in grant order.
     pub fn set_scheduler(&mut self, scheduler: SchedulerKind) -> Vec<(u64, Vec<NodeId>)> {
+        self.generation += 1;
         self.queue.set_kind(scheduler);
         self.drain_queue(None)
     }
@@ -378,6 +408,7 @@ impl MachineEntry {
                 )));
             }
         }
+        self.generation += 1;
         let must_wait = !self.queue.is_empty();
         self.queue.enqueue(PendingRequest {
             job_id,
@@ -429,6 +460,7 @@ impl MachineEntry {
     /// admission queue under the active policy. Returns the jobs granted
     /// from the queue as `(job_id, nodes)` pairs, in grant order.
     pub fn release(&mut self, job_id: u64) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
+        self.generation += 1;
         if let Some(nodes) = self.allocations.remove(&job_id) {
             self.backing.release(&nodes, job_id);
             if let Some(at) = self.running.iter().position(|r| r.job_id == job_id) {
@@ -511,7 +543,9 @@ impl MachineEntry {
                     self.metrics
                         .record_grant(from_queue, self.backing.num_busy());
                     if from_queue {
-                        self.metrics.wait.record(now - pending.enqueued_at);
+                        self.metrics
+                            .wait
+                            .record(now - pending.enqueued_at, pending.walltime);
                     }
                     self.allocations.insert(pending.job_id, nodes.clone());
                     let meta = RunningMeta {
@@ -823,6 +857,33 @@ mod tests {
         .unwrap();
         assert_eq!(r.list(), vec!["cube".to_string(), "m0".to_string()]);
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn listings_are_sorted_identically_across_shard_counts() {
+        // Cluster snapshots and the `list` response iterate machines in
+        // name order, never in shard order — so the shard count (a pure
+        // concurrency knob) must be invisible in every listing.
+        let names = ["zeta", "alpha", "mid", "a-0", "a-10", "a-2"];
+        let mut expected: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        expected.sort();
+        for shards in [1, 2, 8, 64] {
+            let r = Registry::with_shards(shards);
+            for name in names {
+                r.register_2d(
+                    name,
+                    Mesh2D::new(4, 4),
+                    AllocatorKind::HilbertBestFit,
+                    SchedulerKind::Fcfs,
+                )
+                .unwrap();
+            }
+            assert_eq!(
+                r.list(),
+                expected,
+                "shard count {shards} leaked into list()"
+            );
+        }
     }
 
     #[test]

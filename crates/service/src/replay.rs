@@ -26,6 +26,7 @@
 use crate::registry::AllocOutcome;
 use crate::service::AllocationService;
 use commalloc_mesh::NodeId;
+use std::collections::HashMap;
 
 /// One job of a replayable trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +67,21 @@ pub struct ReplayLog {
     pub end_time: f64,
 }
 
+/// The engine's event-selection rule, shared by every replay loop and
+/// the offline router: the earlier of the next arrival and the next
+/// completion, **arrivals winning exact ties** (`a <= c`). Returns
+/// `(event_time, is_arrival)`, or `None` when no event remains. This
+/// tie-break is load-bearing for every byte-identical equivalence proof
+/// — it lives in exactly one place so the simulators cannot drift.
+pub(crate) fn next_event(arrival: Option<f64>, completion: Option<f64>) -> Option<(f64, bool)> {
+    match (arrival, completion) {
+        (Some(a), Some(c)) => Some(if a <= c { (a, true) } else { (c, false) }),
+        (Some(a), None) => Some((a, true)),
+        (None, Some(c)) => Some((c, false)),
+        (None, None) => None,
+    }
+}
+
 /// Replays `jobs` against `machine` on `service`, stopping after the last
 /// event at or before `until` (or running to completion when `None`).
 /// Jobs larger than the machine should be filtered out beforehand, as the
@@ -87,8 +103,7 @@ pub fn replay(
     // (job_id, predicted completion), evolved push/swap_remove exactly
     // like the engine's running vector.
     let mut running: Vec<(u64, f64)> = Vec::new();
-    let durations: std::collections::HashMap<u64, f64> =
-        jobs.iter().map(|j| (j.id, j.duration)).collect();
+    let durations: HashMap<u64, f64> = jobs.iter().map(|j| (j.id, j.duration)).collect();
     let duration_of = |job_id: u64| {
         *durations
             .get(&job_id)
@@ -108,17 +123,9 @@ pub fn replay(
             .map(|(i, &(_, c))| (c, i))
             .min_by(|a, b| a.0.total_cmp(&b.0));
 
-        let (event_time, is_arrival) = match (arrival_time, &completion) {
-            (Some(a), Some((c, _))) => {
-                if a <= *c {
-                    (a, true)
-                } else {
-                    (*c, false)
-                }
-            }
-            (Some(a), None) => (a, true),
-            (None, Some((c, _))) => (*c, false),
-            (None, None) => break,
+        let Some((event_time, is_arrival)) = next_event(arrival_time, completion.map(|(c, _)| c))
+        else {
+            break;
         };
         if let Some(limit) = until {
             if event_time > limit {
@@ -173,6 +180,169 @@ pub fn replay(
     }
 }
 
+/// The outcome of a cluster replay: the routing decisions plus one grant
+/// log per member machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReplayLog {
+    /// Per trace job, in arrival order: the member machine the router
+    /// placed it on (`None` when no member was large enough).
+    pub routes: Vec<(u64, Option<String>)>,
+    /// Per member machine: every grant on that machine, in grant order —
+    /// the logs the cluster sim-equivalence harness compares against
+    /// per-machine [`replay`] runs.
+    pub grants: HashMap<String, Vec<ReplayGrant>>,
+    /// Jobs rejected after routing (allocator refusal on an empty
+    /// machine) — distinct from unroutable jobs, which appear as `None`
+    /// routes.
+    pub rejected: Vec<u64>,
+    /// Virtual time of the last processed event.
+    pub end_time: f64,
+}
+
+/// The next completion event across a cluster's per-machine running
+/// vectors: each machine is reduced with the engine's exact
+/// `min_by(total_cmp)` rule over its **own** vector (so a machine's
+/// simultaneous completions resolve in the same order as a standalone
+/// [`replay`] of that machine would), and cross-machine ties go to the
+/// machine earliest in iteration order (members are kept sorted by
+/// name). Returns `(completion, machine index, local running index)`.
+///
+/// Keeping the vectors per-machine is what makes the per-machine grant
+/// logs byte-identical to standalone replays: a shared vector would let
+/// other machines' pushes and `swap_remove`s perturb the tie-breaking
+/// indices of this machine's simultaneous completions.
+pub(crate) fn next_cluster_completion(running: &[Vec<(u64, f64)>]) -> Option<(f64, usize, usize)> {
+    let mut best: Option<(f64, usize, usize)> = None;
+    for (machine_at, machine_running) in running.iter().enumerate() {
+        let local = machine_running
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, c))| (c, i))
+            .min_by(|a, b| a.0.total_cmp(&b.0));
+        if let Some((c, i)) = local {
+            match &best {
+                Some((b, _, _)) if c.total_cmp(b).is_ge() => {}
+                _ => best = Some((c, machine_at, i)),
+            }
+        }
+    }
+    best
+}
+
+/// Replays `jobs` against pool `pool` (no `@` sigil) on `service`,
+/// routing every arrival through the pool's [`crate::RoutingPolicy`]
+/// with `wait` set — the **online** half of the cluster sim-equivalence
+/// proof, and the engine behind the `cluster_routing` benchmark. Runs
+/// the event loop of [`replay`] generalised to many machines: arrivals
+/// win ties against completions, each machine's completions reduce over
+/// its own push/`swap_remove` vector ([`next_cluster_completion`]), and
+/// all member clocks advance in lockstep.
+///
+/// # Panics
+///
+/// Panics if the pool does not exist, a job id repeats, or the service
+/// errors on a well-formed request — a harness, not production traffic.
+pub fn replay_cluster(
+    service: &AllocationService,
+    pool: &str,
+    jobs: &[ReplayJob],
+    until: Option<f64>,
+) -> ClusterReplayLog {
+    let members = service.router().members(pool).expect("replay pool exists");
+    let member_at: HashMap<&str, usize> = members
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.as_str(), i))
+        .collect();
+    let mut grants: HashMap<String, Vec<ReplayGrant>> =
+        members.iter().map(|m| (m.clone(), Vec::new())).collect();
+    let mut routes: Vec<(u64, Option<String>)> = Vec::with_capacity(jobs.len());
+    let mut rejected: Vec<u64> = Vec::new();
+    // One (job_id, predicted completion) vector per member, in member
+    // order, each evolved push/swap_remove like the engine's.
+    let mut running: Vec<Vec<(u64, f64)>> = vec![Vec::new(); members.len()];
+    let durations: HashMap<u64, f64> = jobs.iter().map(|j| (j.id, j.duration)).collect();
+    let pool_address = format!("@{pool}");
+
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+
+    loop {
+        let arrival_time = jobs.get(next_arrival).map(|j| j.arrival);
+        let completion = next_cluster_completion(&running);
+        let Some((event_time, is_arrival)) =
+            next_event(arrival_time, completion.map(|(c, _, _)| c))
+        else {
+            break;
+        };
+        if let Some(limit) = until {
+            if event_time > limit {
+                break;
+            }
+        }
+
+        now = event_time.max(now);
+        service
+            .set_time(&pool_address, now)
+            .expect("replay pool exists");
+
+        if is_arrival {
+            let job = jobs[next_arrival];
+            next_arrival += 1;
+            match service.route(pool, job.id, job.size, true, Some(job.duration)) {
+                Ok((machine, outcome)) => {
+                    routes.push((job.id, Some(machine.clone())));
+                    match outcome {
+                        AllocOutcome::Granted(nodes) => {
+                            running[member_at[machine.as_str()]].push((job.id, now + job.duration));
+                            grants
+                                .get_mut(&machine)
+                                .expect("member log")
+                                .push(ReplayGrant {
+                                    job_id: job.id,
+                                    time: now,
+                                    nodes,
+                                });
+                        }
+                        AllocOutcome::Queued(_) => {}
+                        AllocOutcome::Rejected(_) => rejected.push(job.id),
+                    }
+                }
+                Err(crate::registry::ServiceError::InvalidRequest(_)) => {
+                    routes.push((job.id, None));
+                }
+                Err(e) => panic!("cluster replay route failed: {e}"),
+            }
+        } else {
+            let (_, machine_at, idx) = completion.expect("completion event requires a running job");
+            let machine = members[machine_at].clone();
+            let (done, _) = running[machine_at].swap_remove(idx);
+            let granted = service
+                .release(&machine, done)
+                .expect("running job releases cleanly");
+            for (job_id, nodes) in granted {
+                let duration = durations[&job_id];
+                running[machine_at].push((job_id, now + duration));
+                grants
+                    .get_mut(&machine)
+                    .expect("member log")
+                    .push(ReplayGrant {
+                        job_id,
+                        time: now,
+                        nodes,
+                    });
+            }
+        }
+    }
+
+    ClusterReplayLog {
+        routes,
+        grants,
+        rejected,
+        end_time: now,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +375,53 @@ mod tests {
         assert!(log.rejected.is_empty());
         assert_eq!(log.end_time, 15.0);
         assert_eq!(service.query("m").unwrap().busy, 0);
+    }
+
+    #[test]
+    fn cluster_replay_routes_round_robin_and_drains() {
+        let service = AllocationService::new();
+        for name in ["a", "b"] {
+            service
+                .register_in_pool(name, "4x4", None, None, None, Some("p"))
+                .unwrap();
+        }
+        let jobs = [
+            ReplayJob {
+                id: 0,
+                size: 16,
+                arrival: 0.0,
+                duration: 10.0,
+            },
+            ReplayJob {
+                id: 1,
+                size: 16,
+                arrival: 1.0,
+                duration: 5.0,
+            },
+            ReplayJob {
+                id: 2,
+                size: 99, // larger than every member: unroutable
+                arrival: 2.0,
+                duration: 5.0,
+            },
+        ];
+        let log = replay_cluster(&service, "p", &jobs, None);
+        assert_eq!(
+            log.routes,
+            vec![
+                (0, Some("a".to_string())),
+                (1, Some("b".to_string())),
+                (2, None),
+            ]
+        );
+        assert_eq!(log.grants["a"].len(), 1);
+        assert_eq!(log.grants["b"].len(), 1);
+        assert_eq!(log.grants["b"][0].time, 1.0);
+        assert!(log.rejected.is_empty());
+        assert_eq!(log.end_time, 10.0);
+        for name in ["a", "b"] {
+            assert_eq!(service.query(name).unwrap().busy, 0);
+        }
     }
 
     #[test]

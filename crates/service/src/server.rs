@@ -218,6 +218,7 @@ mod tests {
                     allocator: None,
                     strategy: None,
                     scheduler: None,
+                    pool: None,
                 }
                 .to_line()
             )

@@ -5,6 +5,7 @@
 //! any thread; the TCP [`crate::server::Server`] is a thin transport over
 //! [`AllocationService::handle`].
 
+use crate::cluster::{pool_of, MachineSample, PlacementRouter, RoutingPolicy};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{Request, Response};
 use crate::registry::{MachineSnapshot, Registry, ServiceError};
@@ -14,6 +15,7 @@ use commalloc_alloc::AllocatorKind;
 use commalloc_mesh::curve3d::Curve3Kind;
 use commalloc_mesh::{Mesh2D, Mesh3D, NodeId};
 use serde::{Map, Serialize, Value};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 pub use crate::registry::{AllocOutcome, JobStatus};
@@ -22,6 +24,7 @@ pub use crate::registry::{AllocOutcome, JobStatus};
 #[derive(Clone, Default)]
 pub struct AllocationService {
     registry: Arc<Registry>,
+    router: Arc<PlacementRouter>,
     metrics: Arc<ServiceMetrics>,
 }
 
@@ -29,6 +32,10 @@ pub struct AllocationService {
 /// network request can force (bitmaps, curve orders) and keeps 3-D node
 /// arithmetic far from `u32` overflow.
 pub const MAX_MACHINE_NODES: u64 = 1 << 20;
+
+/// How many times a routing decision re-samples after finding its target
+/// moved between sample and commit before committing anyway.
+pub const ROUTE_STALE_RETRIES: usize = 4;
 
 /// Parses `"16x16"` / `"4x4x4"` into dimensions, enforcing
 /// [`MAX_MACHINE_NODES`].
@@ -104,8 +111,14 @@ impl AllocationService {
     pub fn with_shards(shards: usize) -> Self {
         AllocationService {
             registry: Arc::new(Registry::with_shards(shards)),
+            router: Arc::new(PlacementRouter::default()),
             metrics: Arc::new(ServiceMetrics::default()),
         }
+    }
+
+    /// The cluster-layer pool router (membership and routing policies).
+    pub fn router(&self) -> &PlacementRouter {
+        &self.router
     }
 
     /// The process-wide counters (shared with the TCP server).
@@ -127,17 +140,46 @@ impl AllocationService {
         strategy: Option<&str>,
         scheduler: Option<&str>,
     ) -> Result<(), ServiceError> {
+        self.register_in_pool(machine, mesh, allocator, strategy, scheduler, None)
+    }
+
+    /// Like [`AllocationService::register`], additionally joining the
+    /// machine to cluster pool `pool` (created round-robin on first use).
+    /// Pool membership is taken only after the machine registers
+    /// successfully, so a failed registration never leaves a dangling
+    /// member behind.
+    pub fn register_in_pool(
+        &self,
+        machine: &str,
+        mesh: &str,
+        allocator: Option<&str>,
+        strategy: Option<&str>,
+        scheduler: Option<&str>,
+        pool: Option<&str>,
+    ) -> Result<(), ServiceError> {
         if machine.is_empty() {
             return Err(ServiceError::InvalidSpec(
                 "machine name must be non-empty".to_string(),
             ));
+        }
+        if machine.starts_with('@') {
+            return Err(ServiceError::InvalidSpec(format!(
+                "machine name {machine:?} must not start with '@' (the pool sigil)"
+            )));
+        }
+        if let Some(pool) = pool {
+            if pool.is_empty() || pool.starts_with('@') {
+                return Err(ServiceError::InvalidSpec(format!(
+                    "pool name {pool:?} must be non-empty and carry no '@' sigil"
+                )));
+            }
         }
         let scheduler = match scheduler {
             None => SchedulerKind::Fcfs,
             Some(spec) => parse_scheduler(spec)?,
         };
         let dims = parse_dims(mesh)?;
-        match dims.as_slice() {
+        let registered = match dims.as_slice() {
             [w, h] => {
                 let kind = match allocator {
                     None => AllocatorKind::HilbertBestFit,
@@ -172,7 +214,12 @@ impl AllocationService {
                 )
             }
             _ => unreachable!("parse_dims yields 2 or 3 dims"),
+        };
+        registered?;
+        if let Some(pool) = pool {
+            self.router.add_member(pool, machine);
         }
+        Ok(())
     }
 
     /// Registers a 2-D machine under FCFS (convenience wrapper over
@@ -201,6 +248,105 @@ impl AllocationService {
             .with_entry(machine, |entry| entry.allocate(job, size, wait, walltime))
     }
 
+    /// The routing-relevant sample of `machine`, captured under its
+    /// shard lock (the router's *sample* step; public so offline routing
+    /// harnesses see exactly what the router sees).
+    pub fn sample(&self, machine: &str) -> Result<MachineSample, ServiceError> {
+        self.registry
+            .with_entry(machine, |entry| Ok(entry.sample()))
+    }
+
+    /// Routes an allocation across pool `pool` (no `@` sigil): samples
+    /// every member under its own shard lock, lets the pool's
+    /// [`RoutingPolicy`] pick a target among the members large enough for
+    /// the request, and commits on the target alone — re-checking the
+    /// target's modification generation first, so a machine that moved
+    /// between sample and commit triggers a resample instead of a commit
+    /// against stale load data. After [`ROUTE_STALE_RETRIES`] stale
+    /// rounds the commit proceeds regardless (a stale sample can only
+    /// cost placement quality, never soundness). Returns the chosen
+    /// machine together with the outcome.
+    pub fn route(
+        &self,
+        pool: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+    ) -> Result<(String, AllocOutcome), ServiceError> {
+        for attempt in 0..=ROUTE_STALE_RETRIES {
+            let view = self.router.view(pool)?;
+            let mut eligible: Vec<MachineSample> = Vec::with_capacity(view.members.len());
+            for name in &view.members {
+                let sample = self.sample(name)?;
+                if size <= sample.nodes {
+                    eligible.push(sample);
+                }
+            }
+            if eligible.is_empty() {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "no machine in pool {pool:?} is large enough for {size} processors"
+                )));
+            }
+            let seq = view.seq.fetch_add(1, Ordering::Relaxed);
+            let chosen = &eligible[view.policy.pick(&eligible, seq)];
+            let expected_generation = chosen.generation;
+            let target = chosen.name.clone();
+            let committed = self.registry.with_entry(&target, |entry| {
+                if attempt < ROUTE_STALE_RETRIES && entry.generation() != expected_generation {
+                    return Ok(None); // the sample went stale: re-route
+                }
+                entry.allocate(job, size, wait, walltime).map(Some)
+            })?;
+            if let Some(outcome) = committed {
+                return Ok((target, outcome));
+            }
+        }
+        unreachable!("the final routing attempt commits unconditionally")
+    }
+
+    /// Switches the routing policy of pool `pool` at runtime, returning
+    /// the now-active policy.
+    pub fn set_router(&self, pool: &str, policy: &str) -> Result<RoutingPolicy, ServiceError> {
+        let parsed = RoutingPolicy::parse(policy).ok_or_else(|| {
+            ServiceError::InvalidSpec(format!(
+                "routing policy {policy:?} (expected one of: {})",
+                RoutingPolicy::all().map(|p| p.name()).join(", ")
+            ))
+        })?;
+        self.router.set_policy(pool, parsed)?;
+        Ok(parsed)
+    }
+
+    /// Point-in-time summary of pool `pool` (no `@` sigil): the active
+    /// routing policy, cluster-wide totals, and every member's
+    /// [`MachineSnapshot`] in sorted name order — deterministic across
+    /// registry shard counts.
+    pub fn pool_snapshot(&self, pool: &str) -> Result<Value, ServiceError> {
+        let members = self.router.members(pool)?;
+        let policy = self.router.policy(pool)?;
+        let mut machines = Vec::with_capacity(members.len());
+        let (mut nodes, mut free, mut queue_len, mut live_jobs) = (0usize, 0usize, 0usize, 0usize);
+        for name in &members {
+            let snap = self.query(name)?;
+            nodes += snap.nodes;
+            free += snap.free;
+            queue_len += snap.queue_len;
+            live_jobs += snap.live_jobs;
+            machines.push(snap.to_value());
+        }
+        let mut m = Map::new();
+        m.insert("pool".into(), pool.to_value());
+        m.insert("router".into(), policy.name().to_value());
+        m.insert("nodes".into(), nodes.to_value());
+        m.insert("free".into(), free.to_value());
+        m.insert("busy".into(), (nodes - free).to_value());
+        m.insert("queue_len".into(), queue_len.to_value());
+        m.insert("live_jobs".into(), live_jobs.to_value());
+        m.insert("machines".into(), Value::Array(machines));
+        Ok(Value::Object(m))
+    }
+
     /// Switches the scheduling policy of `machine` at runtime, returning
     /// the now-active kind and any jobs the re-drain granted.
     #[allow(clippy::type_complexity)]
@@ -217,7 +363,15 @@ impl AllocationService {
     /// Switches `machine` to virtual time and sets its clock to `t`
     /// seconds (deterministic replay and test harnesses; live daemons
     /// stay on wall time). Monotonic: earlier stamps are clamped.
+    /// Addressing a pool (`"@pool"`) advances every member clock — the
+    /// cluster replay harness keeps a pool on one logical clock this way.
     pub fn set_time(&self, machine: &str, t: f64) -> Result<(), ServiceError> {
+        if let Some(pool) = pool_of(machine) {
+            for member in self.router.members(pool)? {
+                self.set_time(&member, t)?;
+            }
+            return Ok(());
+        }
         self.registry.with_entry(machine, |entry| {
             entry.set_time(t);
             Ok(())
@@ -287,20 +441,38 @@ impl AllocationService {
     /// Dispatches one protocol request to the state layer — the single
     /// entry point shared by the TCP server, tests and the loadgen driver.
     pub fn handle(&self, request: &Request) -> Response {
+        // A batch is an envelope, not an operation: each member counts
+        // as its own request below, the envelope itself is free.
+        if let Request::Batch(requests) = request {
+            return Response::Batch(
+                requests
+                    .iter()
+                    .map(|member| match member {
+                        Request::Batch(_) => Response::Error {
+                            message: "batches do not nest".to_string(),
+                        },
+                        other => self.handle(other),
+                    })
+                    .collect(),
+            );
+        }
         let result = match request {
+            Request::Batch(_) => unreachable!("batches are handled above"),
             Request::Register {
                 machine,
                 mesh,
                 allocator,
                 strategy,
                 scheduler,
+                pool,
             } => self
-                .register(
+                .register_in_pool(
                     machine,
                     mesh,
                     allocator.as_deref(),
                     strategy.as_deref(),
                     scheduler.as_deref(),
+                    pool.as_deref(),
                 )
                 .map(|()| Response::Registered {
                     machine: machine.clone(),
@@ -311,15 +483,52 @@ impl AllocationService {
                 size,
                 wait,
                 walltime,
-            } => {
-                self.allocate(machine, *job, *size, *wait, *walltime)
+            } => match pool_of(machine) {
+                Some(pool) => {
+                    self.route(pool, *job, *size, *wait, *walltime)
+                        .map(|(target, outcome)| match outcome {
+                            AllocOutcome::Granted(nodes) => Response::Granted {
+                                job: *job,
+                                nodes,
+                                machine: Some(target),
+                            },
+                            AllocOutcome::Queued(position) => Response::Queued {
+                                job: *job,
+                                position,
+                                machine: Some(target),
+                            },
+                            AllocOutcome::Rejected(reason) => Response::Rejected {
+                                job: *job,
+                                reason,
+                                machine: Some(target),
+                            },
+                        })
+                }
+                None => self
+                    .allocate(machine, *job, *size, *wait, *walltime)
                     .map(|outcome| match outcome {
-                        AllocOutcome::Granted(nodes) => Response::Granted { job: *job, nodes },
+                        AllocOutcome::Granted(nodes) => Response::Granted {
+                            job: *job,
+                            nodes,
+                            machine: None,
+                        },
                         AllocOutcome::Queued(position) => Response::Queued {
                             job: *job,
                             position,
+                            machine: None,
                         },
-                        AllocOutcome::Rejected(reason) => Response::Rejected { job: *job, reason },
+                        AllocOutcome::Rejected(reason) => Response::Rejected {
+                            job: *job,
+                            reason,
+                            machine: None,
+                        },
+                    }),
+            },
+            Request::SetRouter { pool, policy } => {
+                self.set_router(pool, policy)
+                    .map(|active| Response::RouterSet {
+                        pool: pool.clone(),
+                        policy: active.name().to_string(),
                     })
             }
             Request::SetScheduler { machine, scheduler } => self
@@ -340,9 +549,12 @@ impl AllocationService {
                 },
                 JobStatus::Unknown => Response::Unknown { job: *job },
             }),
-            Request::Query { machine } => self
-                .query(machine)
-                .map(|snapshot| Response::Snapshot(snapshot.to_value())),
+            Request::Query { machine } => match pool_of(machine) {
+                Some(pool) => self.pool_snapshot(pool).map(Response::Snapshot),
+                None => self
+                    .query(machine)
+                    .map(|snapshot| Response::Snapshot(snapshot.to_value())),
+            },
             Request::Stats { machine } => self.stats(machine).map(Response::Stats),
             Request::List => Ok(Response::Machines(self.list())),
             Request::Ping => Ok(Response::Pong),
@@ -440,6 +652,152 @@ mod tests {
     }
 
     #[test]
+    fn pool_routing_round_trips_through_handle() {
+        let service = AllocationService::new();
+        for (name, mesh) in [("m0", "8x8"), ("m1", "4x4")] {
+            service
+                .register_in_pool(name, mesh, None, None, None, Some("grid"))
+                .unwrap();
+        }
+        // Round-robin: the first route (seq 0) lands on m0, the next on m1.
+        let response = service.handle(&Request::Alloc {
+            machine: "@grid".into(),
+            job: 1,
+            size: 4,
+            wait: false,
+            walltime: None,
+        });
+        let Response::Granted {
+            machine: Some(target),
+            ref nodes,
+            ..
+        } = response
+        else {
+            panic!("expected a routed grant, got {response:?}");
+        };
+        assert_eq!(target, "m0");
+        assert_eq!(nodes.len(), 4);
+        let (target, outcome) = service.route("grid", 2, 4, false, None).unwrap();
+        assert_eq!(target, "m1");
+        assert!(matches!(outcome, AllocOutcome::Granted(_)));
+        // A 40-processor job fits only m0 (64 nodes): eligibility filters
+        // m1 (16 nodes) out before the pick.
+        let (target, _) = service.route("grid", 3, 40, false, None).unwrap();
+        assert_eq!(target, "m0");
+        // Nothing in the pool fits 100 processors.
+        assert!(matches!(
+            service.route("grid", 4, 100, false, None),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            service.route("nope", 5, 1, false, None),
+            Err(ServiceError::UnknownPool(_))
+        ));
+        // Policy switch over the protocol, with alias expansion.
+        assert_eq!(
+            service.handle(&Request::SetRouter {
+                pool: "grid".into(),
+                policy: "ll".into(),
+            }),
+            Response::RouterSet {
+                pool: "grid".into(),
+                policy: "least-loaded".into(),
+            }
+        );
+        assert!(matches!(
+            service.set_router("grid", "hash-ring"),
+            Err(ServiceError::InvalidSpec(_))
+        ));
+        // Query with the sigil returns the pool snapshot: totals plus the
+        // member snapshots in sorted name order.
+        let response = service.handle(&Request::Query {
+            machine: "@grid".into(),
+        });
+        let Response::Snapshot(snap) = response else {
+            panic!("expected a snapshot, got {response:?}");
+        };
+        assert_eq!(
+            snap.get("router").and_then(Value::as_str),
+            Some("least-loaded")
+        );
+        assert_eq!(snap.get("nodes").and_then(Value::as_u64), Some(80));
+        assert_eq!(snap.get("busy").and_then(Value::as_u64), Some(48));
+        let members = snap.get("machines").and_then(Value::as_array).unwrap();
+        let names: Vec<&str> = members
+            .iter()
+            .map(|m| m.get("machine").and_then(Value::as_str).unwrap())
+            .collect();
+        assert_eq!(names, vec!["m0", "m1"]);
+        for machine in ["m0", "m1"] {
+            service.check_invariants(machine).unwrap();
+        }
+    }
+
+    #[test]
+    fn machine_and_pool_names_reject_the_sigil() {
+        let service = AllocationService::new();
+        assert!(matches!(
+            service.register("@m", "4x4", None, None, None),
+            Err(ServiceError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            service.register_in_pool("m", "4x4", None, None, None, Some("@p")),
+            Err(ServiceError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            service.register_in_pool("m", "4x4", None, None, None, Some("")),
+            Err(ServiceError::InvalidSpec(_))
+        ));
+        // A failed registration joins no pool.
+        assert!(service
+            .register_in_pool("m", "not-a-mesh", None, None, None, Some("p"))
+            .is_err());
+        assert!(matches!(
+            service.router().members("p"),
+            Err(ServiceError::UnknownPool(_))
+        ));
+    }
+
+    #[test]
+    fn batches_fan_out_and_keep_request_order() {
+        let service = AllocationService::new();
+        service.register("m0", "4x4", None, None, None).unwrap();
+        let response = service.handle(&Request::Batch(vec![
+            Request::Ping,
+            Request::Alloc {
+                machine: "m0".into(),
+                job: 1,
+                size: 4,
+                wait: false,
+                walltime: None,
+            },
+            Request::Release {
+                machine: "m0".into(),
+                job: 1,
+            },
+            Request::Alloc {
+                machine: "m0".into(),
+                job: 2,
+                size: 999,
+                wait: false,
+                walltime: None,
+            },
+            Request::Batch(vec![Request::Ping]),
+        ]));
+        let Response::Batch(responses) = response else {
+            panic!("expected a batch, got {response:?}");
+        };
+        assert_eq!(responses.len(), 5);
+        assert_eq!(responses[0], Response::Pong);
+        assert!(matches!(responses[1], Response::Granted { job: 1, .. }));
+        assert!(matches!(responses[2], Response::Released { job: 1, .. }));
+        // A member error answers that slot only; the rest still ran.
+        assert!(matches!(responses[3], Response::Error { .. }));
+        assert!(matches!(responses[4], Response::Error { .. }), "no nesting");
+        service.check_invariants("m0").unwrap();
+    }
+
+    #[test]
     fn handle_maps_outcomes_onto_protocol_responses() {
         let service = AllocationService::new();
         let register = Request::Register {
@@ -448,6 +806,7 @@ mod tests {
             allocator: None,
             strategy: None,
             scheduler: None,
+            pool: None,
         };
         assert_eq!(
             service.handle(&register),
@@ -464,7 +823,12 @@ mod tests {
             wait: false,
             walltime: None,
         });
-        let Response::Granted { job: 1, nodes } = grant else {
+        let Response::Granted {
+            job: 1,
+            nodes,
+            machine: None,
+        } = grant
+        else {
             panic!("expected grant, got {grant:?}");
         };
         assert_eq!(nodes.len(), 16);
@@ -489,7 +853,8 @@ mod tests {
             }),
             Response::Queued {
                 job: 3,
-                position: 1
+                position: 1,
+                machine: None
             }
         );
         assert_eq!(

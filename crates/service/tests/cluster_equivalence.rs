@@ -1,0 +1,243 @@
+//! Cluster sim-equivalence: routing a job trace through the **online**
+//! pooled service (`replay_cluster`, deterministic single-threaded mode)
+//! must take byte-identical routing decisions to the **offline** router
+//! (`route_offline`, which applies `RoutingPolicy::pick` directly to
+//! isolated per-member services with none of the pool/sample-then-commit
+//! plumbing), and every member machine's online grant log must be
+//! byte-identical — same jobs, same virtual start times, same processors
+//! — to `commalloc_service::replay` run standalone on that member's
+//! routed sub-trace.
+//!
+//! This extends the PR 2 discipline (online admission == offline engine)
+//! up one layer: the cluster router is allowed to be concurrent and
+//! optimistic, but in deterministic mode it must neither route nor
+//! schedule differently from the pure policy functions. Covered for
+//! every routing policy crossed with the FCFS and EASY scheduling
+//! policies, on a heterogeneous 4-machine pool.
+
+use commalloc_service::{
+    replay, replay_cluster, route_offline, AllocationService, ClusterMember, ReplayJob,
+    RoutingPolicy,
+};
+use rand::prelude::*;
+
+/// The heterogeneous 4-machine pool: 256 + 128 + 64 + 32 processors.
+fn members(scheduler: &str) -> Vec<ClusterMember> {
+    [
+        ("m0", "16x16"),
+        ("m1", "16x8"),
+        ("m2", "8x8"),
+        ("m3", "8x4"),
+    ]
+    .into_iter()
+    .map(|(name, mesh)| ClusterMember::new(name, mesh, Some(scheduler)))
+    .collect()
+}
+
+/// A congested, integerised job stream: integral arrivals and durations
+/// keep every event time exact in `f64`, so tie-breaking is
+/// deterministic rather than rounding-dependent. Sizes are mixed so the
+/// eligibility filter matters (jobs above 32 processors exclude the
+/// small members).
+fn workload(jobs: usize, seed: u64) -> Vec<ReplayJob> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrival = 0.0f64;
+    (0..jobs)
+        .map(|id| {
+            arrival += rng.gen_range(1u64..=20) as f64;
+            let size = if rng.gen_bool(0.7) {
+                rng.gen_range(1usize..=24)
+            } else {
+                rng.gen_range(33usize..=200)
+            };
+            ReplayJob {
+                id: id as u64,
+                size,
+                arrival,
+                duration: rng.gen_range(30u64..=300) as f64,
+            }
+        })
+        .collect()
+}
+
+fn pooled_service(members: &[ClusterMember], policy: RoutingPolicy) -> AllocationService {
+    let service = AllocationService::new();
+    for m in members {
+        service
+            .register_in_pool(
+                &m.name,
+                &m.mesh,
+                m.allocator.as_deref(),
+                None,
+                m.scheduler.as_deref(),
+                Some("grid"),
+            )
+            .unwrap();
+    }
+    service.set_router("grid", policy.name()).unwrap();
+    service
+}
+
+#[test]
+fn online_cluster_routes_and_grants_match_offline_routing_plus_replay() {
+    let jobs = workload(160, 42);
+    for scheduler in ["fcfs", "easy"] {
+        let members = members(scheduler);
+        for policy in RoutingPolicy::all() {
+            // Offline truth: pure policy picks over isolated members.
+            let offline_routes = route_offline(&members, policy, &jobs);
+
+            // Online: the pooled service, routed through "@grid".
+            let service = pooled_service(&members, policy);
+            let log = replay_cluster(&service, "grid", &jobs, None);
+
+            assert_eq!(
+                log.routes, offline_routes,
+                "{scheduler}/{policy}: routing decisions diverged"
+            );
+            assert!(
+                log.rejected.is_empty(),
+                "{scheduler}/{policy}: curve allocators never refuse"
+            );
+            // The trace must actually spread across the pool, or the
+            // equivalence is vacuous.
+            for m in &members {
+                let routed_here = offline_routes
+                    .iter()
+                    .filter(|(_, r)| r.as_deref() == Some(m.name.as_str()))
+                    .count();
+                assert!(
+                    routed_here > 0,
+                    "{scheduler}/{policy}: no job ever routed to {}",
+                    m.name
+                );
+            }
+
+            // Per member: an isolated single-machine replay of exactly
+            // the jobs routed to it must grant byte-identically.
+            for m in &members {
+                let sub_trace: Vec<ReplayJob> = jobs
+                    .iter()
+                    .filter(|j| {
+                        offline_routes
+                            .iter()
+                            .any(|(id, r)| *id == j.id && r.as_deref() == Some(m.name.as_str()))
+                    })
+                    .copied()
+                    .collect();
+                let standalone = AllocationService::new();
+                standalone
+                    .register(
+                        &m.name,
+                        &m.mesh,
+                        m.allocator.as_deref(),
+                        None,
+                        m.scheduler.as_deref(),
+                    )
+                    .unwrap();
+                let expected = replay(&standalone, &m.name, &sub_trace, None);
+                let online_grants = &log.grants[&m.name];
+                assert_eq!(
+                    online_grants.len(),
+                    expected.grants.len(),
+                    "{scheduler}/{policy}/{}: grant counts differ",
+                    m.name
+                );
+                for (i, (online, offline)) in
+                    online_grants.iter().zip(expected.grants.iter()).enumerate()
+                {
+                    assert_eq!(
+                        online.job_id, offline.job_id,
+                        "{scheduler}/{policy}/{}: grant #{i} started a different job",
+                        m.name
+                    );
+                    assert_eq!(
+                        online.time, offline.time,
+                        "{scheduler}/{policy}/{}: job {} started at a different time",
+                        m.name, offline.job_id
+                    );
+                    assert_eq!(
+                        online.nodes, offline.nodes,
+                        "{scheduler}/{policy}/{}: job {} got different processors",
+                        m.name, offline.job_id
+                    );
+                }
+                // Both sides drained completely.
+                let snap = service.query(&m.name).unwrap();
+                assert_eq!(snap.busy, 0, "{scheduler}/{policy}/{}: not drained", m.name);
+                assert_eq!(snap.queue_len, 0);
+                service.check_invariants(&m.name).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn routing_policies_disagree_on_a_loaded_heterogeneous_pool() {
+    // Sanity guard for the harness: if every routing policy produced the
+    // same placement, the equivalence above would prove nothing about
+    // the policy plumbing.
+    let jobs = workload(160, 42);
+    let members = members("fcfs");
+    let routes: Vec<Vec<(u64, Option<String>)>> = RoutingPolicy::all()
+        .into_iter()
+        .map(|policy| route_offline(&members, policy, &jobs))
+        .collect();
+    let mut distinct = 0;
+    for i in 0..routes.len() {
+        for j in i + 1..routes.len() {
+            if routes[i] != routes[j] {
+                distinct += 1;
+            }
+        }
+    }
+    assert!(
+        distinct >= 5,
+        "expected the four routing policies to mostly disagree, {distinct}/6 pairs did"
+    );
+}
+
+#[test]
+fn mid_trace_cut_preserves_per_machine_occupancy() {
+    // Freeze the cluster mid-schedule: per-member busy/queue state must
+    // equal the isolated replay frozen at the same instant.
+    let jobs = workload(120, 7);
+    let members = members("easy");
+    let policy = RoutingPolicy::LeastLoaded;
+    let offline_routes = route_offline(&members, policy, &jobs);
+    let cut = jobs[jobs.len() / 2].arrival + 0.5;
+
+    let service = pooled_service(&members, policy);
+    replay_cluster(&service, "grid", &jobs, Some(cut));
+
+    for m in &members {
+        let sub_trace: Vec<ReplayJob> = jobs
+            .iter()
+            .filter(|j| {
+                offline_routes
+                    .iter()
+                    .any(|(id, r)| *id == j.id && r.as_deref() == Some(m.name.as_str()))
+            })
+            .copied()
+            .collect();
+        let standalone = AllocationService::new();
+        standalone
+            .register(&m.name, &m.mesh, None, None, m.scheduler.as_deref())
+            .unwrap();
+        replay(&standalone, &m.name, &sub_trace, Some(cut));
+        let online = service.query(&m.name).unwrap();
+        let offline = standalone.query(&m.name).unwrap();
+        assert_eq!(
+            online.busy, offline.busy,
+            "{}: busy count differs at the cut",
+            m.name
+        );
+        assert_eq!(
+            online.queue_len, offline.queue_len,
+            "{}: queue length differs at the cut",
+            m.name
+        );
+        assert_eq!(online.live_jobs, offline.live_jobs);
+        service.check_invariants(&m.name).unwrap();
+    }
+}

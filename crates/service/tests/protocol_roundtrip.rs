@@ -46,22 +46,26 @@ fn opt_name() -> BoxedStrategy<Option<String>> {
     prop_oneof![Just(None), name_strategy().prop_map(Some)].boxed()
 }
 
-fn request_strategy() -> BoxedStrategy<Request> {
+/// Every non-batch request shape (batches are generated on top of this,
+/// since they do not nest).
+fn simple_request_strategy() -> BoxedStrategy<Request> {
     prop_oneof![
         (
             name_strategy(),
             name_strategy(),
             opt_name(),
             opt_name(),
+            opt_name(),
             opt_name()
         )
-            .prop_map(|(machine, mesh, allocator, strategy, scheduler)| {
+            .prop_map(|(machine, mesh, allocator, strategy, scheduler, pool)| {
                 Request::Register {
                     machine,
                     mesh,
                     allocator,
                     strategy,
                     scheduler,
+                    pool,
                 }
             }),
         (
@@ -78,8 +82,24 @@ fn request_strategy() -> BoxedStrategy<Request> {
                 wait,
                 walltime,
             }),
+        (
+            name_strategy().prop_map(|p| format!("@{p}")),
+            any::<u64>(),
+            1usize..2048,
+            any::<bool>(),
+            walltime_strategy()
+        )
+            .prop_map(|(machine, job, size, wait, walltime)| Request::Alloc {
+                machine,
+                job,
+                size,
+                wait,
+                walltime,
+            }),
         (name_strategy(), name_strategy())
             .prop_map(|(machine, scheduler)| Request::SetScheduler { machine, scheduler }),
+        (name_strategy(), name_strategy())
+            .prop_map(|(pool, policy)| Request::SetRouter { pool, policy }),
         (name_strategy(), any::<u64>())
             .prop_map(|(machine, job)| Request::Release { machine, job }),
         (name_strategy(), any::<u64>()).prop_map(|(machine, job)| Request::Poll { machine, job }),
@@ -91,14 +111,39 @@ fn request_strategy() -> BoxedStrategy<Request> {
     .boxed()
 }
 
-fn response_strategy() -> BoxedStrategy<Response> {
+fn request_strategy() -> BoxedStrategy<Request> {
+    prop_oneof![
+        simple_request_strategy(),
+        prop::collection::vec(simple_request_strategy(), 0..5).prop_map(Request::Batch),
+    ]
+    .boxed()
+}
+
+fn simple_response_strategy() -> BoxedStrategy<Response> {
     prop_oneof![
         name_strategy().prop_map(|message| Response::Error { message }),
         name_strategy().prop_map(|machine| Response::Registered { machine }),
-        (any::<u64>(), nodes_strategy()).prop_map(|(job, nodes)| Response::Granted { job, nodes }),
-        (any::<u64>(), 1usize..64).prop_map(|(job, position)| Response::Queued { job, position }),
-        (any::<u64>(), name_strategy())
-            .prop_map(|(job, reason)| Response::Rejected { job, reason }),
+        (any::<u64>(), nodes_strategy(), opt_name()).prop_map(|(job, nodes, machine)| {
+            Response::Granted {
+                job,
+                nodes,
+                machine,
+            }
+        }),
+        (any::<u64>(), 1usize..64, opt_name()).prop_map(|(job, position, machine)| {
+            Response::Queued {
+                job,
+                position,
+                machine,
+            }
+        }),
+        (any::<u64>(), name_strategy(), opt_name()).prop_map(|(job, reason, machine)| {
+            Response::Rejected {
+                job,
+                reason,
+                machine,
+            }
+        }),
         (any::<u64>(), granted_strategy())
             .prop_map(|(job, granted)| Response::Released { job, granted }),
         (name_strategy(), name_strategy(), granted_strategy()).prop_map(
@@ -108,11 +153,21 @@ fn response_strategy() -> BoxedStrategy<Response> {
                 granted,
             }
         ),
+        (name_strategy(), name_strategy())
+            .prop_map(|(pool, policy)| Response::RouterSet { pool, policy }),
         (any::<u64>(), nodes_strategy()).prop_map(|(job, nodes)| Response::Running { job, nodes }),
         (any::<u64>(), 1usize..64).prop_map(|(job, position)| Response::Waiting { job, position }),
         any::<u64>().prop_map(|job| Response::Unknown { job }),
         prop::collection::vec(name_strategy(), 0..5).prop_map(Response::Machines),
         Just(Response::Pong),
+    ]
+    .boxed()
+}
+
+fn response_strategy() -> BoxedStrategy<Response> {
+    prop_oneof![
+        simple_response_strategy(),
+        prop::collection::vec(simple_response_strategy(), 0..5).prop_map(Response::Batch),
     ]
     .boxed()
 }

@@ -94,6 +94,7 @@ fn loadgen_round_trips_thousands_of_requests_without_violations() {
         occupancy: 0.8,
         max_size: 24,
         max_walltime: Some(300.0),
+        router: None,
         seed: 7,
     };
     let report = loadgen::run(&config).expect("loadgen completes");
@@ -102,6 +103,96 @@ fn loadgen_round_trips_thousands_of_requests_without_violations() {
     assert_eq!(report.final_busy, 0, "drain must empty the machine");
     assert!(report.granted > 0 && report.released > 0);
     service.check_invariants("default").unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn routed_loadgen_across_a_heterogeneous_pool_has_no_violations() {
+    let (service, handle) = spawn_server();
+    let members = [
+        ("m0", "16x16"),
+        ("m1", "16x8"),
+        ("m2", "8x8"),
+        ("m3", "8x4"),
+    ];
+    {
+        let mut client = ServiceClient::connect(handle.addr()).unwrap();
+        for (name, mesh) in members {
+            client
+                .register_in_pool(name, mesh, None, None, Some("easy"), Some("grid"))
+                .unwrap();
+        }
+        assert_eq!(
+            client.set_router("grid", "p2c").unwrap(),
+            "power-of-two".to_string()
+        );
+    }
+    let config = LoadgenConfig {
+        addr: handle.addr().to_string(),
+        machine: "@grid".to_string(),
+        mesh: String::new(), // ignored in cluster mode
+        scheduler: None,
+        requests: 4_000,
+        connections: 3,
+        occupancy: 0.8,
+        max_size: 48, // above m3's 32 nodes: exercises eligibility
+        max_walltime: Some(300.0),
+        router: Some("least-loaded".to_string()),
+        seed: 11,
+    };
+    let report = loadgen::run(&config).expect("routed loadgen completes");
+    assert!(report.requests >= 4_000, "got {}", report.requests);
+    assert_eq!(report.violations, 0, "cluster invariants must hold");
+    assert_eq!(report.final_busy, 0, "drain must empty every member");
+    assert_eq!(report.machines, 4);
+    assert!(report.granted > 0 && report.released > 0);
+    for (name, _) in members {
+        service.check_invariants(name).unwrap();
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn batched_ops_round_trip_over_tcp() {
+    let (service, handle) = spawn_server();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    client.register("b0", "8x8", None, None, None).unwrap();
+    let responses = client
+        .batch(vec![
+            commalloc_service::Request::Ping,
+            commalloc_service::Request::Alloc {
+                machine: "b0".to_string(),
+                job: 1,
+                size: 10,
+                wait: false,
+                walltime: None,
+            },
+            commalloc_service::Request::Release {
+                machine: "b0".to_string(),
+                job: 1,
+            },
+            commalloc_service::Request::Release {
+                machine: "b0".to_string(),
+                job: 99, // unknown: answers its slot with an error
+            },
+        ])
+        .unwrap();
+    assert_eq!(responses.len(), 4);
+    assert_eq!(responses[0], commalloc_service::Response::Pong);
+    assert!(matches!(
+        responses[1],
+        commalloc_service::Response::Granted { job: 1, .. }
+    ));
+    assert!(matches!(
+        responses[2],
+        commalloc_service::Response::Released { job: 1, .. }
+    ));
+    assert!(matches!(
+        responses[3],
+        commalloc_service::Response::Error { .. }
+    ));
+    service.check_invariants("b0").unwrap();
+    drop(client);
     handle.shutdown().unwrap();
 }
 
