@@ -1,0 +1,192 @@
+//! Journal-overhead benchmark: grant/release throughput through the full
+//! `AllocationService` stack with the write-ahead journal **off**, **on**
+//! (fsync-batched, the production default) and at **fsync-every-record**
+//! (the zero-loss-window CI setting). Emits `BENCH_journal.json`.
+//!
+//! Method: the steady-state churn of `service_throughput` — pre-fill a
+//! 16×16 machine to 90% occupancy with random-size jobs, then release
+//! one random live job and allocate a replacement per iteration — so
+//! every timed operation commits (and, when journaling, appends) a
+//! record. One "op" is one allocate or one release.
+//!
+//! Doubles as the CI regression gate: `--min-ratio R` exits non-zero
+//! when batched-journaled throughput falls below `R ×` the unjournaled
+//! baseline (the crash-safety tax must stay bounded).
+//!
+//! Usage: `journal_overhead [--ops N] [--seed S] [--min-ratio R]`
+
+use commalloc_service::{AllocOutcome, AllocationService, FileJournal, FsyncPolicy, JournalConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Map, Serialize, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DEFAULT_OPS: usize = 100_000;
+
+fn temp_journal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "commalloc-journal-bench-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One churn run; returns ops/second.
+fn bench_mode(service: &AllocationService, occupancy: f64, ops: usize, seed: u64) -> f64 {
+    service
+        .register("bench", "16x16", Some("Hilbert w/BF"), None, None)
+        .expect("fresh service accepts registration");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_job = 0u64;
+    let target = (occupancy * 256.0) as usize;
+    let mut busy = 0usize;
+
+    while busy < target {
+        let size = rng.gen_range(1usize..=8);
+        match service.allocate("bench", next_job, size, false, None) {
+            Ok(AllocOutcome::Granted(nodes)) => {
+                busy += nodes.len();
+                live.push(next_job);
+                next_job += 1;
+            }
+            _ => break,
+        }
+    }
+
+    let start = Instant::now();
+    let mut performed = 0usize;
+    while performed < ops {
+        let victim = live.swap_remove(rng.gen_range(0..live.len()));
+        service.release("bench", victim).expect("victim is live");
+        performed += 1;
+        while performed < ops {
+            let size = rng.gen_range(1usize..=8);
+            match service.allocate("bench", next_job, size, false, None) {
+                Ok(AllocOutcome::Granted(_)) => {
+                    live.push(next_job);
+                    next_job += 1;
+                    performed += 1;
+                }
+                _ => break,
+            }
+        }
+        if live.is_empty() {
+            break;
+        }
+    }
+    performed as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut ops = DEFAULT_OPS;
+    let mut seed = 1996u64;
+    let mut min_ratio: Option<f64> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    ops = v;
+                }
+                i += 1;
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    seed = v;
+                }
+                i += 1;
+            }
+            "--min-ratio" => {
+                min_ratio = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 1;
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+
+    let occupancy = 0.9;
+    let modes: Vec<(&str, Option<FsyncPolicy>)> = vec![
+        ("off", None),
+        ("batched", Some(FsyncPolicy::Batched(512))),
+        ("no_fsync", Some(FsyncPolicy::Never)),
+        ("fsync_every_record", Some(FsyncPolicy::EveryRecord)),
+    ];
+
+    let mut results: Vec<Value> = Vec::new();
+    let mut baseline = 0.0f64;
+    let mut batched_ratio = 0.0f64;
+    for (mode, fsync) in modes {
+        let mut dir = None;
+        let service = match fsync {
+            None => AllocationService::new(),
+            Some(fsync) => {
+                let d = temp_journal_dir(mode);
+                let sink = FileJournal::create(
+                    &d,
+                    JournalConfig {
+                        fsync,
+                        ..JournalConfig::default()
+                    },
+                    0,
+                    1,
+                    0,
+                )
+                .expect("journal dir is writable");
+                dir = Some(d);
+                AllocationService::new().with_journal(Arc::new(sink))
+            }
+        };
+        let ops_per_sec = bench_mode(&service, occupancy, ops, seed);
+        let ratio = if baseline > 0.0 {
+            ops_per_sec / baseline
+        } else {
+            baseline = ops_per_sec;
+            1.0
+        };
+        if mode == "batched" {
+            batched_ratio = ratio;
+        }
+        println!(
+            "journal {mode:>18}: {ops_per_sec:>12.0} ops/s ({:>5.1}% of unjournaled)",
+            ratio * 100.0
+        );
+        let mut row = Map::new();
+        row.insert("mode".into(), mode.to_value());
+        row.insert("ops_per_sec".into(), ops_per_sec.to_value());
+        row.insert("ratio_vs_off".into(), ratio.to_value());
+        results.push(Value::Object(row));
+        if let Some(d) = dir {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    let mut out = Map::new();
+    out.insert("benchmark".into(), "journal_overhead".to_value());
+    out.insert("mesh".into(), "16x16".to_value());
+    out.insert("allocator".into(), "Hilbert w/BF".to_value());
+    out.insert("occupancy".into(), occupancy.to_value());
+    out.insert("ops".into(), ops.to_value());
+    out.insert("seed".into(), seed.to_value());
+    out.insert("results".into(), Value::Array(results));
+    out.insert("batched_ratio".into(), batched_ratio.to_value());
+    let json = serde_json::to_string_pretty(&Value::Object(out)).expect("rendering is infallible");
+    std::fs::write("BENCH_journal.json", &json).expect("can write BENCH_journal.json");
+    println!("wrote BENCH_journal.json (batched journaling at {batched_ratio:.2}x baseline)");
+
+    if let Some(min) = min_ratio {
+        if batched_ratio < min {
+            eprintln!(
+                "REGRESSION: batched-journal throughput is {batched_ratio:.2}x the \
+                 unjournaled baseline, below the {min:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        println!("regression gate passed: {batched_ratio:.2}x >= {min:.2}x");
+    }
+}

@@ -178,6 +178,14 @@ pub struct ServeOptions {
     pub pool: Option<String>,
     /// Initial routing policy of that pool (requires `pool`).
     pub router: Option<String>,
+    /// Write-ahead journal directory; `None` runs memoryless. An
+    /// existing journal is recovered on startup.
+    pub journal: Option<String>,
+    /// Fsync policy spec (`every`, `never`, or a batch size; requires
+    /// `journal`).
+    pub fsync: Option<String>,
+    /// Records between snapshot compactions (requires `journal`).
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -192,6 +200,9 @@ impl Default for ServeOptions {
             scheduler: None,
             pool: None,
             router: None,
+            journal: None,
+            fsync: None,
+            snapshot_every: None,
         }
     }
 }
@@ -224,6 +235,13 @@ pub struct LoadgenOptions {
     pub router: Option<String>,
     /// RNG seed.
     pub seed: u64,
+    /// Skip the final drain, leaving the granted jobs live on the
+    /// daemon (the crash-recovery harness kills the daemon with this
+    /// state and asserts it is recovered intact).
+    pub no_drain: bool,
+    /// Write the end-of-run claim table (every live job with its exact
+    /// nodes) to this JSON file, for `recovery-check`.
+    pub claims_out: Option<String>,
     /// Emit machine-readable JSON instead of the human summary.
     pub json: bool,
 }
@@ -242,6 +260,29 @@ impl Default for LoadgenOptions {
             max_walltime: None,
             router: None,
             seed: 1996,
+            no_drain: false,
+            claims_out: None,
+            json: false,
+        }
+    }
+}
+
+/// Options of the `recovery-check` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryCheckOptions {
+    /// Address of the recovered daemon.
+    pub addr: String,
+    /// Claim-table file written by `loadgen --claims-out`.
+    pub claims: String,
+    /// Emit JSON.
+    pub json: bool,
+}
+
+impl Default for RecoveryCheckOptions {
+    fn default() -> Self {
+        RecoveryCheckOptions {
+            addr: "127.0.0.1:7411".to_string(),
+            claims: "claims.json".to_string(),
             json: false,
         }
     }
@@ -262,6 +303,8 @@ pub enum Command {
     Serve(ServeOptions),
     /// Drive a running daemon with allocate/release traffic.
     Loadgen(LoadgenOptions),
+    /// Verify a recovered daemon against a loadgen claim table.
+    RecoveryCheck(RecoveryCheckOptions),
     /// List the implemented allocators, patterns, curves and schedulers.
     List,
     /// Print usage.
@@ -342,7 +385,7 @@ fn flag_pairs(args: &[String]) -> Result<Vec<(String, Option<String>)>, ParseErr
         if !flag.starts_with("--") {
             return Err(ParseError::UnknownFlag(flag));
         }
-        if flag == "--json" {
+        if flag == "--json" || flag == "--no-drain" {
             pairs.push((flag, None));
             i += 1;
             continue;
@@ -536,11 +579,34 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                         parse_router(&value).ok_or_else(|| invalid(&flag, &value))?;
                         opts.router = Some(value);
                     }
+                    "--journal" => {
+                        if value.is_empty() {
+                            return Err(invalid(&flag, &value));
+                        }
+                        opts.journal = Some(value);
+                    }
+                    "--fsync" => {
+                        commalloc_service::FsyncPolicy::parse(&value)
+                            .ok_or_else(|| invalid(&flag, &value))?;
+                        opts.fsync = Some(value);
+                    }
+                    "--snapshot-every" => {
+                        opts.snapshot_every = Some(
+                            value
+                                .parse()
+                                .ok()
+                                .filter(|&n: &u64| n > 0)
+                                .ok_or_else(|| invalid(&flag, &value))?,
+                        )
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
             }
             if opts.router.is_some() && opts.pool.is_none() {
                 return Err(ParseError::MissingValue("--pool".to_string()));
+            }
+            if (opts.fsync.is_some() || opts.snapshot_every.is_some()) && opts.journal.is_none() {
+                return Err(ParseError::MissingValue("--journal".to_string()));
             }
             Ok(Command::Serve(opts))
         }
@@ -600,6 +666,13 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                     "--seed" => {
                         opts.seed = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
                     }
+                    "--no-drain" => opts.no_drain = true,
+                    "--claims-out" => {
+                        if value.is_empty() {
+                            return Err(invalid(&flag, &value));
+                        }
+                        opts.claims_out = Some(value);
+                    }
                     "--json" => opts.json = true,
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
@@ -611,6 +684,24 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                 });
             }
             Ok(Command::Loadgen(opts))
+        }
+        "recovery-check" => {
+            let mut opts = RecoveryCheckOptions::default();
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--addr" => opts.addr = value,
+                    "--claims" => {
+                        if value.is_empty() {
+                            return Err(invalid(&flag, &value));
+                        }
+                        opts.claims = value;
+                    }
+                    "--json" => opts.json = true,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::RecoveryCheck(opts))
         }
         other => Err(ParseError::UnknownCommand(other.to_string())),
     }
@@ -639,11 +730,15 @@ SUBCOMMANDS:
               [--mesh WxH|WxHxD] [--machines N0=M0,N1=M1,...]
               [--allocator A] [--scheduler fcfs|backfill|easy]
               [--pool POOL] [--router rr|ll|sq|p2c]
+              [--journal DIR] [--fsync every|never|N] [--snapshot-every N]
   loadgen     drive a running daemon with allocate/release traffic
               [--addr HOST:PORT] [--machine NAME|@POOL] [--mesh WxH]
               [--scheduler P] [--requests N] [--connections C]
               [--occupancy F] [--max-size K] [--max-walltime W]
-              [--router rr|ll|sq|p2c] [--seed S] [--json]
+              [--router rr|ll|sq|p2c] [--seed S] [--no-drain]
+              [--claims-out FILE] [--json]
+  recovery-check  assert a recovered daemon matches a saved claim table
+              [--addr HOST:PORT] --claims FILE [--json]
   allocators  list allocators, patterns, curves and schedulers
   help        print this message
 ";

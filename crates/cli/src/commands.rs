@@ -4,15 +4,15 @@
 //! the binary simply prints it.
 
 use crate::args::{
-    Command, CurvesOptions, LoadgenOptions, ServeOptions, SimulateOptions, SweepOptions,
-    TraceOptions, USAGE,
+    Command, CurvesOptions, LoadgenOptions, RecoveryCheckOptions, ServeOptions, SimulateOptions,
+    SweepOptions, TraceOptions, USAGE,
 };
 use crate::loadgen::{self, LoadgenConfig};
 use commalloc::experiment::LoadSweep;
 use commalloc::prelude::*;
 use commalloc::report;
 use commalloc_mesh::locality::window_locality;
-use commalloc_service::{AllocationService, Server};
+use commalloc_service::{open_journaled, AllocationService, FsyncPolicy, JournalConfig, Server};
 use commalloc_workload::analysis::TraceAnalysis;
 use commalloc_workload::swf;
 use std::fmt::Write as _;
@@ -55,13 +55,51 @@ impl Command {
             Command::Trace(opts) => run_trace(opts),
             Command::Serve(opts) => run_serve(opts),
             Command::Loadgen(opts) => run_loadgen(opts),
+            Command::RecoveryCheck(opts) => run_recovery_check(opts),
         }
     }
 }
 
 /// Starts the allocation daemon and serves until the process is killed.
+/// With `--journal`, an existing journal is recovered first and the
+/// pre-registration of `--machine`/`--machines` skips machines the
+/// journal already rebuilt (restarting with the same flags must not
+/// fail on "already registered").
 fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
-    let service = AllocationService::new();
+    let service = match &opts.journal {
+        None => AllocationService::new(),
+        Some(dir) => {
+            let mut config = JournalConfig::default();
+            if let Some(fsync) = opts.fsync.as_deref().and_then(FsyncPolicy::parse) {
+                config.fsync = fsync;
+            }
+            if let Some(every) = opts.snapshot_every {
+                config.snapshot_every = every;
+            }
+            let (service, report) = open_journaled(std::path::Path::new(dir), config)
+                .map_err(|e| RunError::Serve(format!("journal {dir}: {e}")))?;
+            eprintln!(
+                "commalloc-service journal at {dir}: epoch {}, {} machine(s) recovered \
+                 ({} records applied, {} skipped{}{})",
+                report.epoch,
+                report.machines,
+                report.applied,
+                report.skipped,
+                if report.snapshot_found {
+                    ", from snapshot+tail"
+                } else {
+                    ""
+                },
+                if report.torn_tail {
+                    "; torn tail dropped"
+                } else {
+                    ""
+                },
+            );
+            service
+        }
+    };
+    let recovered: std::collections::HashSet<String> = service.list().into_iter().collect();
     let single = [(opts.machine.clone(), opts.mesh.clone())];
     let machines: &[(String, String)] = if opts.machines.is_empty() {
         &single
@@ -69,6 +107,9 @@ fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
         &opts.machines
     };
     for (name, mesh) in machines {
+        if recovered.contains(name) {
+            continue;
+        }
         service
             .register_in_pool(
                 name,
@@ -122,6 +163,8 @@ fn run_loadgen(opts: &LoadgenOptions) -> Result<String, RunError> {
         max_walltime: opts.max_walltime,
         router: opts.router.clone(),
         seed: opts.seed,
+        no_drain: opts.no_drain,
+        claims_out: opts.claims_out.clone(),
     };
     let report = loadgen::run(&config).map_err(RunError::Loadgen)?;
     if report.violations > 0 {
@@ -132,6 +175,23 @@ fn run_loadgen(opts: &LoadgenOptions) -> Result<String, RunError> {
     }
     if opts.json {
         serde_json::to_string_pretty(&report.to_json()).map_err(|e| RunError::Json(e.to_string()))
+    } else {
+        Ok(report.render())
+    }
+}
+
+/// Verifies a recovered daemon against a saved claim table; a non-zero
+/// violation count is an error (the CI crash-recovery gate).
+fn run_recovery_check(opts: &RecoveryCheckOptions) -> Result<String, RunError> {
+    let report = loadgen::recovery_check(&opts.addr, &opts.claims).map_err(RunError::Loadgen)?;
+    if report.violations > 0 {
+        return Err(RunError::Loadgen(format!(
+            "{} recovery violations (lost grants or resurrected state)",
+            report.violations
+        )));
+    }
+    if opts.json {
+        serde_json::to_string_pretty(&report).map_err(|e| RunError::Json(e.to_string()))
     } else {
         Ok(report.render())
     }

@@ -72,6 +72,13 @@ pub struct LoadgenConfig {
     pub router: Option<String>,
     /// RNG seed.
     pub seed: u64,
+    /// Skip the final drain: granted jobs stay live on the daemon. The
+    /// crash-recovery harness then kills the daemon and asserts the
+    /// recovered occupancy matches the claim table exactly.
+    pub no_drain: bool,
+    /// Write the end-of-run claim table (live jobs with exact nodes) to
+    /// this JSON file for `recovery-check`.
+    pub claims_out: Option<String>,
 }
 
 /// Aggregated result of a loadgen run.
@@ -145,6 +152,9 @@ struct Shared {
     released: AtomicU64,
     requests: AtomicU64,
     violations: AtomicU64,
+    /// Jobs left live at end of run (`no_drain` mode): each connection
+    /// parks its survivors here for the claim-table file.
+    surviving: std::sync::Mutex<Vec<LiveJob>>,
     /// Per machine: one flag per node, set while some connection
     /// believes it holds the node. Double allocation trips the swap and
     /// counts as a violation.
@@ -281,6 +291,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         released: AtomicU64::new(0),
         requests: AtomicU64::new(0),
         violations: AtomicU64::new(0),
+        surviving: std::sync::Mutex::new(Vec::new()),
         claims: machines
             .iter()
             .map(|(name, nodes)| {
@@ -354,6 +365,14 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         .sum();
     if final_busy != local_claims {
         shared.violations.fetch_add(1, Ordering::SeqCst);
+    }
+
+    if let Some(path) = &config.claims_out {
+        let survivors = shared.surviving.lock().expect("surviving table poisoned");
+        let claims = claims_value(&config.machine, &machines, &survivors);
+        let json = serde_json::to_string_pretty(&claims)
+            .map_err(|e| format!("cannot render claim table: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
 
     let requests = shared.requests.load(Ordering::SeqCst);
@@ -444,6 +463,18 @@ fn drive_connection(
         issued += 1;
     }
 
+    if config.no_drain {
+        // Leave the jobs live (claims stay set, so the end-of-run
+        // reconciliation still holds) and park them for the claim-table
+        // file — the state the crash harness expects recovery to rebuild.
+        shared
+            .surviving
+            .lock()
+            .expect("surviving table poisoned")
+            .append(&mut live);
+        return Ok(());
+    }
+
     // Drain: return everything so the final snapshots must read empty.
     // Releases are batched onto single wire lines — the batch op exists
     // precisely to cut round trips in closed loops like this one.
@@ -482,4 +513,174 @@ fn pick_victim(live: &mut Vec<LiveJob>, rng: &mut StdRng) -> Option<LiveJob> {
     }
     let at = rng.gen_range(0..live.len());
     Some(live.swap_remove(at))
+}
+
+/// Renders the claim table: the machines driven and every job left live
+/// with its exact nodes — the ground truth `recovery-check` holds a
+/// recovered daemon to.
+fn claims_value(machine_arg: &str, machines: &[(String, usize)], live: &[LiveJob]) -> Value {
+    let mut m = Map::new();
+    m.insert("machine_arg".into(), machine_arg.to_value());
+    m.insert(
+        "machines".into(),
+        Value::Array(
+            machines
+                .iter()
+                .map(|(name, nodes)| {
+                    let mut e = Map::new();
+                    e.insert("machine".into(), name.to_value());
+                    e.insert("nodes".into(), nodes.to_value());
+                    Value::Object(e)
+                })
+                .collect(),
+        ),
+    );
+    m.insert(
+        "live".into(),
+        Value::Array(
+            live.iter()
+                .map(|(machine, job, nodes)| {
+                    let mut e = Map::new();
+                    e.insert("machine".into(), machine.to_value());
+                    e.insert("job".into(), Value::UInt(*job));
+                    e.insert(
+                        "nodes".into(),
+                        Value::Array(nodes.iter().map(|n| Value::UInt(n.0 as u64)).collect()),
+                    );
+                    Value::Object(e)
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(m)
+}
+
+/// The `recovery-check` verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryCheckReport {
+    /// Machines compared.
+    pub machines: u64,
+    /// Live jobs verified.
+    pub jobs: u64,
+    /// Processors the claim table says are held.
+    pub claimed_nodes: u64,
+    /// Processors the recovered daemon reports busy.
+    pub recovered_busy: u64,
+    /// Divergences: lost grants (claimed job not running, or running on
+    /// different nodes) plus resurrected state (busy count above the
+    /// claims, queue entries that should not exist).
+    pub violations: u64,
+}
+
+impl RecoveryCheckReport {
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "recovery-check: {} machines, {} live jobs\n\
+             \x20 claimed nodes  {:>8}\n\
+             \x20 recovered busy {:>8}\n\
+             \x20 violations     {:>8}\n",
+            self.machines, self.jobs, self.claimed_nodes, self.recovered_busy, self.violations,
+        )
+    }
+}
+
+/// Compares a recovered daemon against a saved claim table: every live
+/// job must still run on exactly its claimed nodes (zero lost grants),
+/// every machine's busy count must equal the claims against it (zero
+/// resurrected releases), and the queues must be empty (loadgen never
+/// queues).
+pub fn recovery_check(addr: &str, claims_path: &str) -> Result<RecoveryCheckReport, String> {
+    use commalloc_service::registry::JobStatus;
+
+    let text = std::fs::read_to_string(claims_path)
+        .map_err(|e| format!("cannot read {claims_path}: {e}"))?;
+    let claims: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{claims_path} is not JSON: {e}"))?;
+    let machines = claims
+        .get("machines")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "claim table lacks a machines array".to_string())?;
+    let live = claims
+        .get("live")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "claim table lacks a live array".to_string())?;
+
+    let mut client =
+        ServiceClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut violations = 0u64;
+    let mut claimed_per_machine: HashMap<String, u64> = HashMap::new();
+
+    // Every claimed job must have survived with its exact processors.
+    for entry in live {
+        let (Some(machine), Some(job)) = (
+            entry.get("machine").and_then(Value::as_str),
+            entry.get("job").and_then(Value::as_u64),
+        ) else {
+            return Err("claim table has a malformed live entry".to_string());
+        };
+        let want: Option<Vec<u64>> = entry
+            .get("nodes")
+            .and_then(Value::as_array)
+            .map(|nodes| nodes.iter().filter_map(Value::as_u64).collect());
+        let want = want.ok_or_else(|| "claim table has a malformed node list".to_string())?;
+        *claimed_per_machine.entry(machine.to_string()).or_default() += want.len() as u64;
+        match client
+            .poll(machine, job)
+            .map_err(|e| format!("poll of job {job} on {machine} failed: {e}"))?
+        {
+            JobStatus::Running(nodes) => {
+                let got: Vec<u64> = nodes.iter().map(|n| n.0 as u64).collect();
+                if got != want {
+                    eprintln!(
+                        "recovery-check: job {job} on {machine} holds {got:?}, claimed {want:?}"
+                    );
+                    violations += 1;
+                }
+            }
+            other => {
+                eprintln!("recovery-check: job {job} on {machine} is {other:?}, claimed running");
+                violations += 1;
+            }
+        }
+    }
+
+    // Busy counts must equal the claims exactly: anything above is a
+    // resurrected release, anything below a lost grant the poll loop
+    // already flagged. Queues must be empty (loadgen never waits).
+    let mut recovered_busy = 0u64;
+    for entry in machines {
+        let Some(name) = entry.get("machine").and_then(Value::as_str) else {
+            return Err("claim table has a malformed machine entry".to_string());
+        };
+        let snapshot = client
+            .query(name)
+            .map_err(|e| format!("query of {name} failed: {e}"))?;
+        let busy = snapshot
+            .get("busy")
+            .and_then(Value::as_u64)
+            .unwrap_or(u64::MAX);
+        let queue_len = snapshot
+            .get("queue_len")
+            .and_then(Value::as_u64)
+            .unwrap_or(u64::MAX);
+        let claimed = claimed_per_machine.get(name).copied().unwrap_or(0);
+        recovered_busy += if busy == u64::MAX { 0 } else { busy };
+        if busy != claimed {
+            eprintln!("recovery-check: {name} reports {busy} busy, claim table says {claimed}");
+            violations += 1;
+        }
+        if queue_len != 0 {
+            eprintln!("recovery-check: {name} recovered {queue_len} queued requests from a queue-free run");
+            violations += 1;
+        }
+    }
+
+    Ok(RecoveryCheckReport {
+        machines: machines.len() as u64,
+        jobs: live.len() as u64,
+        claimed_nodes: claimed_per_machine.values().sum(),
+        recovered_busy,
+        violations,
+    })
 }

@@ -326,6 +326,15 @@ impl ServiceClient {
         })
     }
 
+    /// Operational counters of the daemon's write-ahead journal (raw
+    /// wire value; `{"enabled": false}` when journaling is off).
+    pub fn journal_stats(&mut self) -> Result<Value, ClientError> {
+        self.expect(&Request::JournalStats, |r| match r {
+            Response::JournalStats(v) => Ok(v),
+            other => Err(other),
+        })
+    }
+
     /// Names of all registered machines.
     pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
         self.expect(&Request::List, |r| match r {

@@ -1,0 +1,1636 @@
+//! Durable allocation state: an append-only NDJSON write-ahead journal
+//! with snapshot compaction and deterministic crash recovery.
+//!
+//! ## Why a journal
+//!
+//! Until this module existed the daemon was memoryless: a restart dropped
+//! every tenant's grants, queued jobs and the cluster's pool table. The
+//! journal records every state-changing operation as one JSON line —
+//! registrations (with their full pool/scheduler config), committed
+//! grants, queue admissions, releases, cancels, `set_scheduler` /
+//! `set_router` flips — so a restarted daemon can rebuild the sharded
+//! registry, the admission queues and the [`crate::PlacementRouter`]
+//! pool table exactly as they were.
+//!
+//! The journal logs **effects**, not requests: a grant record carries the
+//! exact processors the allocator committed, so recovery never re-runs an
+//! allocator (whose decision could differ once wall clocks restart) — it
+//! re-*occupies*. That makes recovery a pure fold over the record stream,
+//! deterministic by construction, and lets the recovery-equivalence tests
+//! compare a recovered registry byte-for-byte against an uninterrupted
+//! run cut at the same point.
+//!
+//! ## Ordering discipline
+//!
+//! Records are emitted **inside the owning shard lock** of the machine
+//! they describe (see `AllocationService`): for any one machine, journal
+//! order therefore equals mutation order, which is the only ordering
+//! recovery needs — machines are independent apart from the router's
+//! pool table, whose policy flips are last-writer-wins by design.
+//! A global sequence number (assigned under the sink's append lock)
+//! totally orders the file for the snapshot watermark protocol below.
+//!
+//! ## Snapshots and compaction
+//!
+//! The file sink appends to numbered segments (`wal-NNNNNN.ndjson`).
+//! Once `snapshot_every` records accumulate, the service captures a full
+//! image — occupancy, queues, clocks and the pool table — and installs
+//! it as `snapshot.ndjson` (write-temp-then-rename, so a crash never
+//! leaves a torn snapshot). Capture runs **concurrently with appends**:
+//! the sink first rotates to a fresh segment (so every record in older
+//! segments is already reflected in any capture that follows), then each
+//! machine is photographed under its own shard lock together with the
+//! sequence number of its last journaled record — its **watermark**.
+//! Recovery replays only tail records *newer than the watermark* of
+//! their machine, which makes the concurrent capture exact: a record
+//! appended between rotation and capture is inside the snapshot *and*
+//! the tail, and the watermark deduplicates it. Segments at or below the
+//! snapshot's `covers` index are deleted after the rename.
+//!
+//! ## Torn tails
+//!
+//! `kill -9` can interrupt a line mid-write. Recovery ignores a final
+//! line that fails to parse or lacks its newline — by the write-ahead
+//! discipline that record's effect was never acknowledged past the
+//! fsync horizon — but treats a malformed line *before* the tail as
+//! corruption and refuses to start.
+//!
+//! ## Durability knobs
+//!
+//! [`FsyncPolicy`] trades throughput for the crash window: `EveryRecord`
+//! fsyncs synchronously per record — no acknowledged-but-lost suffix
+//! (what the CI crash-recovery harness runs); `Batched(n)` (the
+//! default) is **group commit** — a background flusher thread fsyncs
+//! whenever `n` unsynced records accumulate and on a 10 ms tick, off
+//! the append path, bounding the loss window to roughly `n`
+//! acknowledged operations; `Never` leaves flushing to the OS. The
+//! `journal_overhead` benchmark (`BENCH_journal.json`) quantifies all
+//! three against the no-journal baseline.
+
+use crate::protocol::get_f64_opt;
+use crate::protocol::{get_nodes, get_str, get_str_opt, get_u64, nodes_value, obj, str_value};
+use crate::registry::ServiceError;
+use commalloc_mesh::NodeId;
+use serde::{Error, Map, Value};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One journaled, state-changing operation (or a full snapshot image).
+/// The wire form is one JSON object per line with a `"rec"` discriminator
+/// and the sink-assigned `"seq"`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A machine registered, with its full registration config (the
+    /// same string grammar `register` accepts on the wire).
+    Register {
+        /// Machine name.
+        machine: String,
+        /// Mesh spec (`"WxH"` / `"WxHxD"`).
+        mesh: String,
+        /// Allocator (2-D) / curve (3-D) spec; `None` = default.
+        allocator: Option<String>,
+        /// Selection strategy (3-D); `None` = Best Fit.
+        strategy: Option<String>,
+        /// Scheduling policy; `None` = FCFS.
+        scheduler: Option<String>,
+        /// Cluster pool joined at registration.
+        pool: Option<String>,
+    },
+    /// A grant committed (immediately, from the queue, or by a policy
+    /// switch): `job` now holds exactly `nodes`.
+    Grant {
+        /// Machine name.
+        machine: String,
+        /// Job identifier.
+        job: u64,
+        /// The committed processors, in rank order.
+        nodes: Vec<NodeId>,
+        /// The client's runtime estimate, if any (EASY's planning input).
+        walltime: Option<f64>,
+        /// Machine-clock time of the grant.
+        start: f64,
+    },
+    /// A request entered the admission queue.
+    Queue {
+        /// Machine name.
+        machine: String,
+        /// Job identifier.
+        job: u64,
+        /// Processors requested.
+        size: usize,
+        /// The client's runtime estimate, if any.
+        walltime: Option<f64>,
+        /// Machine-clock time of the enqueue.
+        enqueued_at: f64,
+    },
+    /// A running job released its processors.
+    Release {
+        /// Machine name.
+        machine: String,
+        /// Job identifier.
+        job: u64,
+    },
+    /// A queued request was cancelled before it ever ran.
+    Cancel {
+        /// Machine name.
+        machine: String,
+        /// Job identifier.
+        job: u64,
+    },
+    /// The machine's scheduling policy was switched at runtime.
+    SetScheduler {
+        /// Machine name.
+        machine: String,
+        /// Canonical name of the now-active policy.
+        scheduler: String,
+    },
+    /// A pool's routing policy was switched at runtime.
+    SetRouter {
+        /// Pool name.
+        pool: String,
+        /// Canonical name of the now-active routing policy.
+        policy: String,
+    },
+    /// A full state image; the log before it is redundant.
+    Snapshot(SnapshotImage),
+}
+
+/// A compacted image of the whole service: every machine plus the pool
+/// table. Replaces all records in segments `<= covers`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotImage {
+    /// How many times this journal has been recovered from (0 for a
+    /// journal that has only ever run one daemon incarnation).
+    pub epoch: u64,
+    /// Highest WAL segment index fully reflected in this image; those
+    /// segments are pruned once the image is durably installed.
+    pub covers: u64,
+    /// Every registered machine, photographed under its shard lock.
+    pub machines: Vec<MachineImage>,
+    /// Every pool: members and active routing policy.
+    pub pools: Vec<PoolImage>,
+}
+
+/// One machine's image inside a [`SnapshotImage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineImage {
+    /// Machine name.
+    pub machine: String,
+    /// Mesh spec, re-registerable (`"WxH"` / `"WxHxD"`).
+    pub mesh: String,
+    /// Allocator / curve spec (always present in images — derived from
+    /// the live backing, so defaults are made explicit).
+    pub allocator: String,
+    /// Selection strategy spec (3-D machines only).
+    pub strategy: Option<String>,
+    /// Scheduling-policy name.
+    pub scheduler: String,
+    /// Journal watermark: the sequence number of the last record of this
+    /// machine reflected in the image. Tail records with `seq` at or
+    /// below it are skipped during recovery.
+    pub seq: u64,
+    /// The virtual clock, when the machine runs in virtual time (replay
+    /// harnesses); `None` for wall-clock machines, whose clock restarts.
+    pub clock: Option<f64>,
+    /// Running jobs in **grant order** (the order the running vector
+    /// evolved in — EASY's tie-breaking state, so it must survive).
+    pub running: Vec<RunningImage>,
+    /// Queued requests in queue order.
+    pub queue: Vec<QueuedImage>,
+}
+
+/// One running job inside a [`MachineImage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningImage {
+    /// Job identifier.
+    pub job: u64,
+    /// The processors the job holds, in rank order.
+    pub nodes: Vec<NodeId>,
+    /// The client's runtime estimate, if any.
+    pub walltime: Option<f64>,
+    /// Machine-clock time the job started.
+    pub start: f64,
+}
+
+/// One queued request inside a [`MachineImage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedImage {
+    /// Job identifier.
+    pub job: u64,
+    /// Processors requested.
+    pub size: usize,
+    /// The client's runtime estimate, if any.
+    pub walltime: Option<f64>,
+    /// Machine-clock time of the enqueue.
+    pub enqueued_at: f64,
+}
+
+/// One pool inside a [`SnapshotImage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolImage {
+    /// Pool name.
+    pub pool: String,
+    /// Member machines, sorted.
+    pub members: Vec<String>,
+    /// Canonical name of the active routing policy.
+    pub policy: String,
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+/// JSON string escaping identical to the workspace serde shim's, so the
+/// fast record path and the [`Value`]-tree path emit the same bytes.
+fn write_json_str(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_str_opt(out: &mut String, s: &Option<String>) {
+    match s {
+        Some(s) => write_json_str(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+/// Float rendering identical to the shim's (`{}` = shortest round-trip
+/// form; non-finite values render as `null`, as real serde_json does).
+fn write_json_f64(out: &mut String, f: f64) {
+    use std::fmt::Write as _;
+    if f.is_finite() {
+        let _ = write!(out, "{f}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_json_f64_opt(out: &mut String, f: &Option<f64>) {
+    match f {
+        Some(f) => write_json_f64(out, *f),
+        None => out.push_str("null"),
+    }
+}
+
+fn opt_str_value(s: &Option<String>) -> Value {
+    match s {
+        Some(s) => str_value(s),
+        None => Value::Null,
+    }
+}
+
+fn opt_f64_value(f: &Option<f64>) -> Value {
+    match f {
+        Some(f) => Value::Float(*f),
+        None => Value::Null,
+    }
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, Error> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| Error::msg(format!("missing or non-numeric field {key:?}")))
+}
+
+impl MachineImage {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("machine", str_value(&self.machine)),
+            ("mesh", str_value(&self.mesh)),
+            ("allocator", str_value(&self.allocator)),
+            ("strategy", opt_str_value(&self.strategy)),
+            ("scheduler", str_value(&self.scheduler)),
+            ("seq", Value::UInt(self.seq)),
+            ("clock", opt_f64_value(&self.clock)),
+            (
+                "running",
+                Value::Array(
+                    self.running
+                        .iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("job", Value::UInt(r.job)),
+                                ("nodes", nodes_value(&r.nodes)),
+                                ("walltime", opt_f64_value(&r.walltime)),
+                                ("start", Value::Float(r.start)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "queue",
+                Value::Array(
+                    self.queue
+                        .iter()
+                        .map(|q| {
+                            obj(vec![
+                                ("job", Value::UInt(q.job)),
+                                ("size", Value::UInt(q.size as u64)),
+                                ("walltime", opt_f64_value(&q.walltime)),
+                                ("enqueued_at", Value::Float(q.enqueued_at)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<MachineImage, Error> {
+        let running = v
+            .get("running")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::msg("missing \"running\" array"))?
+            .iter()
+            .map(|r| {
+                Ok(RunningImage {
+                    job: get_u64(r, "job")?,
+                    nodes: get_nodes(r, "nodes")?,
+                    walltime: get_f64_opt(r, "walltime")?,
+                    start: get_f64(r, "start")?,
+                })
+            })
+            .collect::<Result<Vec<_>, Error>>()?;
+        let queue = v
+            .get("queue")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::msg("missing \"queue\" array"))?
+            .iter()
+            .map(|q| {
+                Ok(QueuedImage {
+                    job: get_u64(q, "job")?,
+                    size: get_u64(q, "size")? as usize,
+                    walltime: get_f64_opt(q, "walltime")?,
+                    enqueued_at: get_f64(q, "enqueued_at")?,
+                })
+            })
+            .collect::<Result<Vec<_>, Error>>()?;
+        Ok(MachineImage {
+            machine: get_str(v, "machine")?,
+            mesh: get_str(v, "mesh")?,
+            allocator: get_str(v, "allocator")?,
+            strategy: get_str_opt(v, "strategy")?,
+            scheduler: get_str(v, "scheduler")?,
+            seq: get_u64(v, "seq")?,
+            clock: get_f64_opt(v, "clock")?,
+            running,
+            queue,
+        })
+    }
+}
+
+impl SnapshotImage {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("epoch", Value::UInt(self.epoch)),
+            ("covers", Value::UInt(self.covers)),
+            (
+                "machines",
+                Value::Array(self.machines.iter().map(MachineImage::to_value).collect()),
+            ),
+            (
+                "pools",
+                Value::Array(
+                    self.pools
+                        .iter()
+                        .map(|p| {
+                            obj(vec![
+                                ("pool", str_value(&p.pool)),
+                                (
+                                    "members",
+                                    Value::Array(p.members.iter().map(|m| str_value(m)).collect()),
+                                ),
+                                ("policy", str_value(&p.policy)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<SnapshotImage, Error> {
+        let machines = v
+            .get("machines")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::msg("missing \"machines\" array"))?
+            .iter()
+            .map(MachineImage::from_value)
+            .collect::<Result<Vec<_>, Error>>()?;
+        let pools = v
+            .get("pools")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::msg("missing \"pools\" array"))?
+            .iter()
+            .map(|p| {
+                let members = p
+                    .get("members")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| Error::msg("missing \"members\" array"))?
+                    .iter()
+                    .map(|m| {
+                        m.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| Error::msg("non-string pool member"))
+                    })
+                    .collect::<Result<Vec<_>, Error>>()?;
+                Ok(PoolImage {
+                    pool: get_str(p, "pool")?,
+                    members,
+                    policy: get_str(p, "policy")?,
+                })
+            })
+            .collect::<Result<Vec<_>, Error>>()?;
+        Ok(SnapshotImage {
+            epoch: get_u64(v, "epoch")?,
+            covers: get_u64(v, "covers")?,
+            machines,
+            pools,
+        })
+    }
+}
+
+impl JournalRecord {
+    /// Renders the record with its assigned sequence number as its wire
+    /// value.
+    pub fn to_value(&self, seq: u64) -> Value {
+        let mut entries = vec![("seq", Value::UInt(seq))];
+        match self {
+            JournalRecord::Register {
+                machine,
+                mesh,
+                allocator,
+                strategy,
+                scheduler,
+                pool,
+            } => {
+                entries.push(("rec", str_value("register")));
+                entries.push(("machine", str_value(machine)));
+                entries.push(("mesh", str_value(mesh)));
+                entries.push(("allocator", opt_str_value(allocator)));
+                entries.push(("strategy", opt_str_value(strategy)));
+                entries.push(("scheduler", opt_str_value(scheduler)));
+                entries.push(("pool", opt_str_value(pool)));
+            }
+            JournalRecord::Grant {
+                machine,
+                job,
+                nodes,
+                walltime,
+                start,
+            } => {
+                entries.push(("rec", str_value("grant")));
+                entries.push(("machine", str_value(machine)));
+                entries.push(("job", Value::UInt(*job)));
+                entries.push(("nodes", nodes_value(nodes)));
+                entries.push(("walltime", opt_f64_value(walltime)));
+                entries.push(("start", Value::Float(*start)));
+            }
+            JournalRecord::Queue {
+                machine,
+                job,
+                size,
+                walltime,
+                enqueued_at,
+            } => {
+                entries.push(("rec", str_value("queue")));
+                entries.push(("machine", str_value(machine)));
+                entries.push(("job", Value::UInt(*job)));
+                entries.push(("size", Value::UInt(*size as u64)));
+                entries.push(("walltime", opt_f64_value(walltime)));
+                entries.push(("enqueued_at", Value::Float(*enqueued_at)));
+            }
+            JournalRecord::Release { machine, job } => {
+                entries.push(("rec", str_value("release")));
+                entries.push(("machine", str_value(machine)));
+                entries.push(("job", Value::UInt(*job)));
+            }
+            JournalRecord::Cancel { machine, job } => {
+                entries.push(("rec", str_value("cancel")));
+                entries.push(("machine", str_value(machine)));
+                entries.push(("job", Value::UInt(*job)));
+            }
+            JournalRecord::SetScheduler { machine, scheduler } => {
+                entries.push(("rec", str_value("set_scheduler")));
+                entries.push(("machine", str_value(machine)));
+                entries.push(("scheduler", str_value(scheduler)));
+            }
+            JournalRecord::SetRouter { pool, policy } => {
+                entries.push(("rec", str_value("set_router")));
+                entries.push(("pool", str_value(pool)));
+                entries.push(("policy", str_value(policy)));
+            }
+            JournalRecord::Snapshot(image) => {
+                entries.push(("rec", str_value("snapshot")));
+                if let Value::Object(m) = image.to_value() {
+                    let mut out = Map::new();
+                    for (k, v) in entries {
+                        out.insert(k.to_string(), v);
+                    }
+                    for (k, v) in m.iter() {
+                        out.insert(k.clone(), v.clone());
+                    }
+                    return Value::Object(out);
+                }
+                unreachable!("snapshot images render as objects");
+            }
+        }
+        obj(entries)
+    }
+
+    /// Parses a record and its sequence number from a wire value.
+    pub fn from_value(v: &Value) -> Result<(u64, JournalRecord), Error> {
+        let seq = get_u64(v, "seq")?;
+        let rec = get_str(v, "rec")?;
+        let record = match rec.as_str() {
+            "register" => JournalRecord::Register {
+                machine: get_str(v, "machine")?,
+                mesh: get_str(v, "mesh")?,
+                allocator: get_str_opt(v, "allocator")?,
+                strategy: get_str_opt(v, "strategy")?,
+                scheduler: get_str_opt(v, "scheduler")?,
+                pool: get_str_opt(v, "pool")?,
+            },
+            "grant" => JournalRecord::Grant {
+                machine: get_str(v, "machine")?,
+                job: get_u64(v, "job")?,
+                nodes: get_nodes(v, "nodes")?,
+                walltime: get_f64_opt(v, "walltime")?,
+                start: get_f64(v, "start")?,
+            },
+            "queue" => JournalRecord::Queue {
+                machine: get_str(v, "machine")?,
+                job: get_u64(v, "job")?,
+                size: get_u64(v, "size")? as usize,
+                walltime: get_f64_opt(v, "walltime")?,
+                enqueued_at: get_f64(v, "enqueued_at")?,
+            },
+            "release" => JournalRecord::Release {
+                machine: get_str(v, "machine")?,
+                job: get_u64(v, "job")?,
+            },
+            "cancel" => JournalRecord::Cancel {
+                machine: get_str(v, "machine")?,
+                job: get_u64(v, "job")?,
+            },
+            "set_scheduler" => JournalRecord::SetScheduler {
+                machine: get_str(v, "machine")?,
+                scheduler: get_str(v, "scheduler")?,
+            },
+            "set_router" => JournalRecord::SetRouter {
+                pool: get_str(v, "pool")?,
+                policy: get_str(v, "policy")?,
+            },
+            "snapshot" => JournalRecord::Snapshot(SnapshotImage::from_value(v)?),
+            other => return Err(Error::msg(format!("unknown record kind {other:?}"))),
+        };
+        Ok((seq, record))
+    }
+
+    /// Renders the record as one wire line (no trailing newline).
+    ///
+    /// Per-operation records take a hand-written fast path (the sink
+    /// appends one of these per grant, so a [`Value`]-tree build per
+    /// record would dominate the journaling cost); snapshots — rare and
+    /// large — go through the tree. The round-trip property tests pin
+    /// both paths to parse back identically.
+    pub fn to_line(&self, seq: u64) -> String {
+        let mut out = String::with_capacity(96);
+        self.write_line(seq, &mut out);
+        out
+    }
+
+    /// Appends the wire line to `out` (no trailing newline).
+    pub fn write_line(&self, seq: u64, out: &mut String) {
+        use std::fmt::Write as _;
+        let base = out.len();
+        let _ = write!(out, "{{\"seq\":{seq},");
+        match self {
+            JournalRecord::Register {
+                machine,
+                mesh,
+                allocator,
+                strategy,
+                scheduler,
+                pool,
+            } => {
+                out.push_str("\"rec\":\"register\",\"machine\":");
+                write_json_str(out, machine);
+                out.push_str(",\"mesh\":");
+                write_json_str(out, mesh);
+                out.push_str(",\"allocator\":");
+                write_json_str_opt(out, allocator);
+                out.push_str(",\"strategy\":");
+                write_json_str_opt(out, strategy);
+                out.push_str(",\"scheduler\":");
+                write_json_str_opt(out, scheduler);
+                out.push_str(",\"pool\":");
+                write_json_str_opt(out, pool);
+                out.push('}');
+            }
+            JournalRecord::Grant {
+                machine,
+                job,
+                nodes,
+                walltime,
+                start,
+            } => {
+                out.push_str("\"rec\":\"grant\",\"machine\":");
+                write_json_str(out, machine);
+                let _ = write!(out, ",\"job\":{job},\"nodes\":[");
+                for (i, node) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}", node.0);
+                }
+                out.push_str("],\"walltime\":");
+                write_json_f64_opt(out, walltime);
+                out.push_str(",\"start\":");
+                write_json_f64(out, *start);
+                out.push('}');
+            }
+            JournalRecord::Queue {
+                machine,
+                job,
+                size,
+                walltime,
+                enqueued_at,
+            } => {
+                out.push_str("\"rec\":\"queue\",\"machine\":");
+                write_json_str(out, machine);
+                let _ = write!(out, ",\"job\":{job},\"size\":{size},\"walltime\":");
+                write_json_f64_opt(out, walltime);
+                out.push_str(",\"enqueued_at\":");
+                write_json_f64(out, *enqueued_at);
+                out.push('}');
+            }
+            JournalRecord::Release { machine, job } => {
+                out.push_str("\"rec\":\"release\",\"machine\":");
+                write_json_str(out, machine);
+                let _ = write!(out, ",\"job\":{job}}}");
+            }
+            JournalRecord::Cancel { machine, job } => {
+                out.push_str("\"rec\":\"cancel\",\"machine\":");
+                write_json_str(out, machine);
+                let _ = write!(out, ",\"job\":{job}}}");
+            }
+            JournalRecord::SetScheduler { machine, scheduler } => {
+                out.push_str("\"rec\":\"set_scheduler\",\"machine\":");
+                write_json_str(out, machine);
+                out.push_str(",\"scheduler\":");
+                write_json_str(out, scheduler);
+                out.push('}');
+            }
+            JournalRecord::SetRouter { pool, policy } => {
+                out.push_str("\"rec\":\"set_router\",\"pool\":");
+                write_json_str(out, pool);
+                out.push_str(",\"policy\":");
+                write_json_str(out, policy);
+                out.push('}');
+            }
+            JournalRecord::Snapshot(_) => {
+                // Cold path: rebuild through the tree for the whole
+                // record (drop the hand-written prefix first).
+                out.truncate(base);
+                out.push_str(
+                    &serde_json::to_string(&self.to_value(seq))
+                        .expect("value rendering is infallible"),
+                );
+            }
+        }
+    }
+
+    /// Parses a `(seq, record)` pair from one wire line.
+    pub fn from_line(line: &str) -> Result<(u64, JournalRecord), Error> {
+        let value: Value = serde_json::from_str(line)?;
+        JournalRecord::from_value(&value)
+    }
+
+    /// The machine this record belongs to, for watermark gating (`None`
+    /// for router records and snapshots, which are not machine-scoped).
+    pub fn machine(&self) -> Option<&str> {
+        match self {
+            JournalRecord::Register { machine, .. }
+            | JournalRecord::Grant { machine, .. }
+            | JournalRecord::Queue { machine, .. }
+            | JournalRecord::Release { machine, .. }
+            | JournalRecord::Cancel { machine, .. }
+            | JournalRecord::SetScheduler { machine, .. } => Some(machine),
+            JournalRecord::SetRouter { .. } | JournalRecord::Snapshot(_) => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Where journal records go. The default implementation is a no-op (the
+/// in-process service and every test harness that does not opt into
+/// durability pay nothing); the file sink below appends NDJSON with
+/// fsync batching.
+pub trait JournalSink: Send + Sync {
+    /// Appends one record, returning its assigned global sequence number
+    /// (0 from non-durable sinks). Called while the shard lock of the
+    /// record's machine is held, so per-machine journal order equals
+    /// mutation order.
+    fn append(&self, record: &JournalRecord) -> u64 {
+        let _ = record;
+        0
+    }
+
+    /// True for sinks that actually persist records; gates whether
+    /// machine entries pay the record-composition cost at all.
+    fn durable(&self) -> bool {
+        false
+    }
+
+    /// The recovery epoch this sink's journal runs under (0 for
+    /// non-durable sinks and never-recovered journals).
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// True when enough records accumulated since the last snapshot that
+    /// the owner should capture and install a fresh one.
+    fn snapshot_due(&self) -> bool {
+        false
+    }
+
+    /// Rotates to a fresh WAL segment and returns the index of the
+    /// now-closed one — everything in segments up to and including it
+    /// will be reflected by any capture that starts afterwards.
+    fn begin_snapshot(&self) -> u64 {
+        0
+    }
+
+    /// Durably installs a snapshot record (write-temp-then-rename) and
+    /// prunes the segments it covers.
+    fn install_snapshot(&self, snapshot: &JournalRecord) -> io::Result<()> {
+        let _ = snapshot;
+        Ok(())
+    }
+
+    /// Operational counters for the `journal_stats` protocol op; `None`
+    /// from non-durable sinks.
+    fn stats_value(&self) -> Option<Value> {
+        None
+    }
+}
+
+/// The do-nothing sink: journaling disabled.
+#[derive(Debug, Default)]
+pub struct NoopJournal;
+
+impl JournalSink for NoopJournal {}
+
+/// When the file sink flushes and `fsync`s. Appends go through a
+/// buffered writer; a "sync point" flushes the buffer to the OS and
+/// calls `fsync`, so the policy bounds **acknowledged-but-lost** records
+/// on `kill -9` (between sync points, records live in the buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every record, synchronously: no acknowledged
+    /// operation can be lost (what the CI crash-recovery harness runs).
+    EveryRecord,
+    /// **Group commit**: a background flusher thread fsyncs whenever
+    /// `n` unsynced records accumulate (and on a 10 ms tick), off the
+    /// append path — appenders never wait on the disk. Acknowledged
+    /// records become durable within roughly one flush cycle; the
+    /// crash-loss window is `n` records plus whatever arrives during
+    /// one in-flight fsync.
+    Batched(u64),
+    /// Never explicitly; the OS writes the buffer out when it pleases.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `"every"`, `"never"` or a positive batch size.
+    pub fn parse(spec: &str) -> Option<FsyncPolicy> {
+        match spec.trim().to_ascii_lowercase().as_str() {
+            "every" | "1" => Some(FsyncPolicy::EveryRecord),
+            "never" | "0" => Some(FsyncPolicy::Never),
+            n => n
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n > 1)
+                .map(FsyncPolicy::Batched),
+        }
+    }
+
+    /// Canonical rendering (accepted back by [`FsyncPolicy::parse`]).
+    pub fn name(&self) -> String {
+        match self {
+            FsyncPolicy::EveryRecord => "every".to_string(),
+            FsyncPolicy::Batched(n) => n.to_string(),
+            FsyncPolicy::Never => "never".to_string(),
+        }
+    }
+}
+
+/// Configuration of a [`FileJournal`].
+#[derive(Debug, Clone, Copy)]
+pub struct JournalConfig {
+    /// Fsync cadence.
+    pub fsync: FsyncPolicy,
+    /// Records between snapshot captures.
+    pub snapshot_every: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            // Group commit of 512: one fsync amortises over enough
+            // records that journaled grant throughput stays within the
+            // bench's regression gate, while the crash-loss window stays
+            // a few milliseconds of traffic at loadgen rates.
+            fsync: FsyncPolicy::Batched(512),
+            snapshot_every: 100_000,
+        }
+    }
+}
+
+/// Name of the installed snapshot file inside the journal directory.
+const SNAPSHOT_FILE: &str = "snapshot.ndjson";
+
+fn segment_name(index: u64) -> String {
+    format!("wal-{index:06}.ndjson")
+}
+
+fn segment_index(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".ndjson")?
+        .parse()
+        .ok()
+}
+
+struct FileJournalInner {
+    file: io::BufWriter<File>,
+    /// Reused line buffer: one record render per append, no allocation.
+    line: String,
+    segment: u64,
+    seq: u64,
+    unsynced: u64,
+    appended: u64,
+    bytes: u64,
+    snapshots_installed: u64,
+}
+
+impl FileJournalInner {
+    /// Flushes the buffered writer to the OS and fsyncs the segment.
+    fn sync(&mut self) {
+        self.file.flush().expect("journal flush failed");
+        self.file
+            .get_ref()
+            .sync_data()
+            .expect("journal fsync failed");
+        self.unsynced = 0;
+    }
+}
+
+/// The durable sink: appends NDJSON records to numbered WAL segments
+/// inside a journal directory, syncing per [`FsyncPolicy`] — for the
+/// group-commit policy, via a background flusher thread that fsyncs off
+/// the append path.
+///
+/// Append failures are **fail-stop**: a write-ahead log that silently
+/// drops records is worse than a dead daemon, so I/O errors panic.
+pub struct FileJournal {
+    dir: PathBuf,
+    config: JournalConfig,
+    epoch: u64,
+    inner: Arc<Mutex<FileJournalInner>>,
+    /// Records since the last snapshot install — an atomic mirror kept
+    /// outside the append mutex so `snapshot_due` (polled on every
+    /// request, including pure reads) never contends with appenders.
+    since_snapshot: AtomicU64,
+    /// Wakes the group-commit flusher early when the unsynced count
+    /// crosses the batch threshold.
+    sync_signal: Arc<Condvar>,
+    stop: Arc<AtomicBool>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Fail-stop for the background flusher: a panic would kill only the
+/// flusher thread and silently downgrade `Batched` to `Never` — the
+/// daemon would keep acknowledging operations that are never fsynced
+/// again. Take the whole process down instead, like the append path.
+fn flusher_fail(what: &str, error: &io::Error) -> ! {
+    eprintln!("commalloc-service: journal {what} failed ({error}); aborting (fail-stop)");
+    std::process::abort();
+}
+
+/// The group-commit flusher: flush the buffer under the lock (cheap),
+/// then fsync a duplicated handle **outside** it, so appenders are
+/// never blocked behind the disk.
+fn run_flusher(
+    inner: Arc<Mutex<FileJournalInner>>,
+    signal: Arc<Condvar>,
+    stop: Arc<AtomicBool>,
+    batch: u64,
+) {
+    let tick = std::time::Duration::from_millis(10);
+    loop {
+        let mut guard = inner.lock().expect("journal sink poisoned");
+        if guard.unsynced < batch && !stop.load(Ordering::SeqCst) {
+            let (g, _) = signal
+                .wait_timeout(guard, tick)
+                .expect("journal sink poisoned");
+            guard = g;
+        }
+        if guard.unsynced > 0 {
+            if let Err(e) = guard.file.flush() {
+                flusher_fail("flush", &e);
+            }
+            guard.unsynced = 0;
+            let file = guard.file.get_ref().try_clone();
+            drop(guard);
+            match file {
+                Ok(file) => {
+                    if let Err(e) = file.sync_data() {
+                        flusher_fail("fsync", &e);
+                    }
+                }
+                Err(e) => flusher_fail("handle duplication", &e),
+            }
+        } else if stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+impl FileJournal {
+    /// Opens (creating) the journal directory and starts a fresh segment
+    /// after any existing ones. `epoch` and `first_seq` come from
+    /// recovery ([`read_journal_dir`]); a brand-new journal passes 0.
+    pub fn create(
+        dir: &Path,
+        config: JournalConfig,
+        epoch: u64,
+        first_segment: u64,
+        first_seq: u64,
+    ) -> io::Result<FileJournal> {
+        fs::create_dir_all(dir)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(segment_name(first_segment)))?;
+        let inner = Arc::new(Mutex::new(FileJournalInner {
+            file: io::BufWriter::new(file),
+            line: String::with_capacity(128),
+            segment: first_segment,
+            seq: first_seq,
+            unsynced: 0,
+            appended: 0,
+            bytes: 0,
+            snapshots_installed: 0,
+        }));
+        let sync_signal = Arc::new(Condvar::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let flusher = match config.fsync {
+            FsyncPolicy::Batched(n) => {
+                let (inner, signal, stop) = (
+                    Arc::clone(&inner),
+                    Arc::clone(&sync_signal),
+                    Arc::clone(&stop),
+                );
+                Some(
+                    std::thread::Builder::new()
+                        .name("commalloc-journal-flush".to_string())
+                        .spawn(move || run_flusher(inner, signal, stop, n.max(1)))
+                        .expect("spawn journal flusher"),
+                )
+            }
+            FsyncPolicy::EveryRecord | FsyncPolicy::Never => None,
+        };
+        Ok(FileJournal {
+            dir: dir.to_path_buf(),
+            config,
+            epoch,
+            inner,
+            since_snapshot: AtomicU64::new(0),
+            sync_signal,
+            stop,
+            flusher,
+        })
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn prune_segments(&self, covers: u64) -> io::Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(index) = entry.file_name().to_str().and_then(segment_index) {
+                if index <= covers {
+                    fs::remove_file(entry.path())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for FileJournal {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.sync_signal.notify_all();
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
+        }
+        // A clean exit leaves nothing buffered or unsynced.
+        if let Ok(mut inner) = self.inner.lock() {
+            let _ = inner.file.flush();
+            let _ = inner.file.get_ref().sync_data();
+        }
+    }
+}
+
+impl JournalSink for FileJournal {
+    fn durable(&self) -> bool {
+        true
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn append(&self, record: &JournalRecord) -> u64 {
+        let mut guard = self.inner.lock().expect("journal sink poisoned");
+        let inner = &mut *guard;
+        inner.seq += 1;
+        let seq = inner.seq;
+        inner.line.clear();
+        record.write_line(seq, &mut inner.line);
+        inner.line.push('\n');
+        inner
+            .file
+            .write_all(inner.line.as_bytes())
+            .expect("journal append failed (fail-stop: refusing to run without the WAL)");
+        inner.bytes += inner.line.len() as u64;
+        inner.appended += 1;
+        inner.unsynced += 1;
+        self.since_snapshot.fetch_add(1, Ordering::Relaxed);
+        match self.config.fsync {
+            FsyncPolicy::EveryRecord => inner.sync(),
+            FsyncPolicy::Batched(n) => {
+                // Wake the group-commit flusher exactly once per batch
+                // crossing, after releasing the lock (so it does not
+                // wake straight into our own mutex) — the append itself
+                // never waits on the disk; the flusher's 10 ms tick
+                // covers any missed wakeup.
+                if inner.unsynced == n {
+                    drop(guard);
+                    self.sync_signal.notify_one();
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        seq
+    }
+
+    fn snapshot_due(&self) -> bool {
+        self.since_snapshot.load(Ordering::Relaxed) >= self.config.snapshot_every
+    }
+
+    fn begin_snapshot(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("journal sink poisoned");
+        inner.sync();
+        let closed = inner.segment;
+        inner.segment += 1;
+        let next = self.dir.join(segment_name(inner.segment));
+        inner.file = io::BufWriter::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(next)
+                .expect("journal segment rotation failed"),
+        );
+        // Stop re-triggering snapshots while this capture is in flight;
+        // the counter restarts from the records the new segment gathers.
+        self.since_snapshot.store(0, Ordering::Relaxed);
+        closed
+    }
+
+    fn install_snapshot(&self, snapshot: &JournalRecord) -> io::Result<()> {
+        let JournalRecord::Snapshot(image) = snapshot else {
+            return Err(io::Error::other("install_snapshot needs a Snapshot record"));
+        };
+        let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        let mut file = File::create(&tmp)?;
+        file.write_all(snapshot.to_line(0).as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        if let Ok(dirf) = File::open(&self.dir) {
+            let _ = dirf.sync_all();
+        }
+        self.prune_segments(image.covers)?;
+        let mut inner = self.inner.lock().expect("journal sink poisoned");
+        // Make the tail segment readable alongside the fresh snapshot (a
+        // compacted journal should be inspectable without waiting for
+        // the next sync point).
+        inner.file.flush()?;
+        inner.snapshots_installed += 1;
+        Ok(())
+    }
+
+    fn stats_value(&self) -> Option<Value> {
+        let inner = self.inner.lock().expect("journal sink poisoned");
+        let mut m = Map::new();
+        m.insert("epoch".into(), Value::UInt(self.epoch));
+        m.insert("segment".into(), Value::UInt(inner.segment));
+        m.insert("last_seq".into(), Value::UInt(inner.seq));
+        m.insert("appended".into(), Value::UInt(inner.appended));
+        m.insert("bytes_appended".into(), Value::UInt(inner.bytes));
+        m.insert(
+            "since_snapshot".into(),
+            Value::UInt(self.since_snapshot.load(Ordering::Relaxed)),
+        );
+        m.insert(
+            "snapshots_installed".into(),
+            Value::UInt(inner.snapshots_installed),
+        );
+        m.insert("fsync".into(), str_value(&self.config.fsync.name()));
+        Some(Value::Object(m))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reading a journal directory back
+// ---------------------------------------------------------------------------
+
+/// Everything read back from a journal directory, ready to fold into a
+/// fresh service.
+#[derive(Debug, Default)]
+pub struct JournalContents {
+    /// The installed snapshot, if one exists.
+    pub snapshot: Option<SnapshotImage>,
+    /// Tail records in append order, from segments newer than the
+    /// snapshot's `covers` index.
+    pub tail: Vec<(u64, JournalRecord)>,
+    /// Highest sequence number seen anywhere (the next sink continues
+    /// above it).
+    pub max_seq: u64,
+    /// Highest segment index present (the next sink starts above it).
+    pub max_segment: u64,
+    /// True when the final line of the last segment was torn (truncated
+    /// by a crash mid-write) and dropped.
+    pub torn_tail: bool,
+}
+
+/// Errors reading a journal directory.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A malformed line *before* the tail, or an inconsistent record
+    /// stream (e.g. a grant for busy processors): refusing to guess.
+    Corrupt(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Corrupt(reason) => write!(f, "journal corrupt: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl From<ServiceError> for JournalError {
+    fn from(e: ServiceError) -> Self {
+        JournalError::Corrupt(e.to_string())
+    }
+}
+
+/// Reads a journal directory: the installed snapshot plus every tail
+/// record, tolerating exactly one torn line at the very end of the last
+/// segment. A directory that does not exist (or is empty) reads as
+/// empty contents — a brand-new journal.
+pub fn read_journal_dir(dir: &Path) -> Result<JournalContents, JournalError> {
+    let mut contents = JournalContents::default();
+    if !dir.exists() {
+        return Ok(contents);
+    }
+
+    let snapshot_path = dir.join(SNAPSHOT_FILE);
+    if snapshot_path.exists() {
+        let text = fs::read_to_string(&snapshot_path)?;
+        let line = text.lines().next().unwrap_or("");
+        match JournalRecord::from_line(line) {
+            Ok((_, JournalRecord::Snapshot(image))) => contents.snapshot = Some(image),
+            Ok(_) => {
+                return Err(JournalError::Corrupt(
+                    "snapshot file holds a non-snapshot record".to_string(),
+                ))
+            }
+            Err(e) => {
+                return Err(JournalError::Corrupt(format!(
+                    "snapshot file unreadable: {e}"
+                )))
+            }
+        }
+    }
+    let covers = contents.snapshot.as_ref().map_or(0, |s| s.covers);
+
+    let mut segments: Vec<u64> = fs::read_dir(dir)?
+        .filter_map(|entry| {
+            entry
+                .ok()
+                .and_then(|e| e.file_name().to_str().and_then(segment_index))
+        })
+        .collect();
+    segments.sort_unstable();
+    contents.max_segment = segments.last().copied().unwrap_or(0);
+
+    for (at, &segment) in segments.iter().enumerate() {
+        let last_segment = at + 1 == segments.len();
+        let path = dir.join(segment_name(segment));
+        let file = File::open(&path)?;
+        // Raw byte lines: a torn tail may not even be valid UTF-8.
+        let mut lines = BufReader::new(file).split(b'\n').peekable();
+        while let Some(line) = lines.next() {
+            let line = line?;
+            if line.iter().all(u8::is_ascii_whitespace) {
+                continue;
+            }
+            let is_tail = last_segment && lines.peek().is_none();
+            let parsed = std::str::from_utf8(&line)
+                .map_err(|e| Error::msg(format!("non-UTF-8 line: {e}")))
+                .and_then(JournalRecord::from_line);
+            match parsed {
+                Ok((seq, record)) => {
+                    contents.max_seq = contents.max_seq.max(seq);
+                    if contents.snapshot.is_some() && segment <= covers {
+                        // Fully covered by the snapshot: pruning raced a
+                        // crash and left the segment behind. Skip it.
+                        continue;
+                    }
+                    contents.tail.push((seq, record));
+                }
+                Err(e) if is_tail => {
+                    // The crash tore the final line mid-write; by the
+                    // write-ahead discipline its effect was never
+                    // acknowledged beyond the fsync horizon.
+                    contents.torn_tail = true;
+                    let _ = e;
+                }
+                Err(e) => {
+                    return Err(JournalError::Corrupt(format!(
+                        "{} line is malformed before the tail: {e}",
+                        path.display()
+                    )));
+                }
+            }
+        }
+    }
+    Ok(contents)
+}
+
+/// Opens a journal directory as a live service: reads any existing
+/// snapshot and WAL tail, folds them into a fresh
+/// [`crate::AllocationService`] through the deterministic restore paths,
+/// attaches a [`FileJournal`] that continues the sequence space, and
+/// immediately installs a fresh snapshot (so the recovered state is
+/// durable before the first request and stale segments prune). A
+/// directory that does not exist yet starts an empty epoch-0 journal.
+///
+/// Tail records already reflected in the snapshot (the concurrent-
+/// capture window) are skipped by each machine's sequence watermark;
+/// see the module docs for why that makes recovery exact.
+pub fn open_journaled(
+    dir: &Path,
+    config: JournalConfig,
+) -> Result<(crate::AllocationService, RecoveryReport), JournalError> {
+    let contents = read_journal_dir(dir)?;
+    let had_state = contents.snapshot.is_some() || !contents.tail.is_empty();
+    let epoch = contents.snapshot.as_ref().map_or(0, |s| s.epoch) + u64::from(had_state);
+
+    let service = crate::AllocationService::new();
+    let mut report = RecoveryReport {
+        epoch,
+        snapshot_found: contents.snapshot.is_some(),
+        torn_tail: contents.torn_tail,
+        ..RecoveryReport::default()
+    };
+    let mut watermarks = std::collections::HashMap::new();
+    if let Some(snapshot) = &contents.snapshot {
+        watermarks = service.apply_snapshot(snapshot)?;
+    }
+    for (seq, record) in &contents.tail {
+        if let Some(machine) = record.machine() {
+            if *seq <= watermarks.get(machine).copied().unwrap_or(0) {
+                report.skipped += 1;
+                continue;
+            }
+        }
+        service.apply_journal_record(record)?;
+        report.applied += 1;
+    }
+    report.machines = service.list().len();
+
+    let sink = FileJournal::create(
+        dir,
+        config,
+        epoch,
+        contents.max_segment + 1,
+        contents.max_seq,
+    )?;
+    let service = service.with_journal(std::sync::Arc::new(sink));
+    if had_state {
+        // Make the recovered state durable as one compacted image before
+        // the first request, and prune the pre-crash segments.
+        service.install_journal_snapshot()?;
+    }
+    Ok((service, report))
+}
+
+/// What recovery did, surfaced by the CLI and the `stats` response.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// The epoch this incarnation runs under (previous epoch + 1 when
+    /// anything was recovered; 0 for a fresh journal).
+    pub epoch: u64,
+    /// Whether an installed snapshot was found.
+    pub snapshot_found: bool,
+    /// Machines rebuilt (snapshot images plus tail registrations).
+    pub machines: usize,
+    /// Tail records applied.
+    pub applied: u64,
+    /// Tail records skipped as already reflected in the snapshot (the
+    /// watermark protocol at work).
+    pub skipped: u64,
+    /// Whether a torn final line was dropped.
+    pub torn_tail: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "commalloc-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Register {
+                machine: "m0".into(),
+                mesh: "16x16".into(),
+                allocator: Some("Hilbert w/BF".into()),
+                strategy: None,
+                scheduler: Some("easy".into()),
+                pool: Some("grid".into()),
+            },
+            JournalRecord::Grant {
+                machine: "m0".into(),
+                job: 1,
+                nodes: vec![NodeId(0), NodeId(1)],
+                walltime: Some(60.5),
+                start: 3.25,
+            },
+            JournalRecord::Queue {
+                machine: "m0".into(),
+                job: 2,
+                size: 9,
+                walltime: None,
+                enqueued_at: 4.0,
+            },
+            JournalRecord::Release {
+                machine: "m0".into(),
+                job: 1,
+            },
+            JournalRecord::Cancel {
+                machine: "m0".into(),
+                job: 2,
+            },
+            JournalRecord::SetScheduler {
+                machine: "m0".into(),
+                scheduler: "first-fit backfill".into(),
+            },
+            JournalRecord::SetRouter {
+                pool: "grid".into(),
+                policy: "least-loaded".into(),
+            },
+            JournalRecord::Snapshot(SnapshotImage {
+                epoch: 2,
+                covers: 3,
+                machines: vec![MachineImage {
+                    machine: "m0".into(),
+                    mesh: "4x4".into(),
+                    allocator: "Hilbert w/BF".into(),
+                    strategy: None,
+                    scheduler: "FCFS".into(),
+                    seq: 17,
+                    clock: Some(9.5),
+                    running: vec![RunningImage {
+                        job: 4,
+                        nodes: vec![NodeId(3)],
+                        walltime: None,
+                        start: 1.0,
+                    }],
+                    queue: vec![QueuedImage {
+                        job: 5,
+                        size: 2,
+                        walltime: Some(7.0),
+                        enqueued_at: 2.0,
+                    }],
+                }],
+                pools: vec![PoolImage {
+                    pool: "grid".into(),
+                    members: vec!["m0".into()],
+                    policy: "power-of-two".into(),
+                }],
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_record_kind_round_trips_through_the_wire_format() {
+        for (i, record) in sample_records().into_iter().enumerate() {
+            let seq = i as u64 + 1;
+            let line = record.to_line(seq);
+            assert!(!line.contains('\n'), "wire lines must be single lines");
+            let (parsed_seq, parsed) = JournalRecord::from_line(&line).unwrap();
+            assert_eq!(parsed_seq, seq);
+            assert_eq!(parsed, record, "line was {line}");
+        }
+    }
+
+    #[test]
+    fn fast_line_rendering_matches_the_value_tree() {
+        // The hot append path hand-writes JSON; it must emit byte-for-
+        // byte what the Value-tree path would (one canonical format).
+        for (i, record) in sample_records().into_iter().enumerate() {
+            let seq = i as u64 + 1;
+            assert_eq!(
+                record.to_line(seq),
+                serde_json::to_string(&record.to_value(seq)).unwrap(),
+                "paths diverged on {record:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_names_round_trip() {
+        assert_eq!(FsyncPolicy::parse("every"), Some(FsyncPolicy::EveryRecord));
+        assert_eq!(FsyncPolicy::parse("1"), Some(FsyncPolicy::EveryRecord));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("64"), Some(FsyncPolicy::Batched(64)));
+        assert_eq!(FsyncPolicy::parse("zero"), None);
+        for policy in [
+            FsyncPolicy::EveryRecord,
+            FsyncPolicy::Batched(7),
+            FsyncPolicy::Never,
+        ] {
+            assert_eq!(FsyncPolicy::parse(&policy.name()), Some(policy));
+        }
+    }
+
+    #[test]
+    fn file_sink_appends_and_reads_back_in_order() {
+        let dir = temp_dir("roundtrip");
+        let journal = FileJournal::create(&dir, JournalConfig::default(), 0, 1, 0).unwrap();
+        let records = sample_records();
+        for record in &records {
+            journal.append(record);
+        }
+        drop(journal); // flush the buffered writer, as a clean exit would
+        let contents = read_journal_dir(&dir).unwrap();
+        assert!(contents.snapshot.is_none(), "no snapshot installed yet");
+        assert_eq!(contents.max_seq, records.len() as u64);
+        assert_eq!(contents.max_segment, 1);
+        assert!(!contents.torn_tail);
+        let read: Vec<JournalRecord> = contents.tail.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(read, records);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_but_earlier_corruption_is_fatal() {
+        let dir = temp_dir("torn");
+        let journal = FileJournal::create(&dir, JournalConfig::default(), 0, 1, 0).unwrap();
+        journal.append(&JournalRecord::Release {
+            machine: "m0".into(),
+            job: 1,
+        });
+        journal.append(&JournalRecord::Release {
+            machine: "m0".into(),
+            job: 2,
+        });
+        drop(journal);
+        let path = dir.join(segment_name(1));
+        // Simulate a crash mid-write: truncate the last line in half.
+        let text = fs::read_to_string(&path).unwrap();
+        let torn = &text[..text.len() - text.len() / 4];
+        fs::write(&path, torn).unwrap();
+        let contents = read_journal_dir(&dir).unwrap();
+        assert!(contents.torn_tail);
+        assert_eq!(contents.tail.len(), 1);
+        // Corruption *before* the tail refuses to load.
+        fs::write(
+            &path,
+            format!(
+                "{{\"seq\":1,\"rec\":\"release\",\"machine\":\"m0\",\"job\":1}}\nnot json\n{}",
+                text.lines().nth(1).unwrap()
+            ),
+        )
+        .unwrap();
+        assert!(matches!(
+            read_journal_dir(&dir),
+            Err(JournalError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_install_prunes_covered_segments() {
+        let dir = temp_dir("prune");
+        let journal = FileJournal::create(&dir, JournalConfig::default(), 0, 1, 0).unwrap();
+        journal.append(&JournalRecord::Release {
+            machine: "m0".into(),
+            job: 1,
+        });
+        let closed = journal.begin_snapshot();
+        assert_eq!(closed, 1);
+        // A record landing after rotation lives in segment 2 (the tail).
+        journal.append(&JournalRecord::Release {
+            machine: "m0".into(),
+            job: 2,
+        });
+        let image = SnapshotImage {
+            epoch: 1,
+            covers: closed,
+            ..SnapshotImage::default()
+        };
+        journal
+            .install_snapshot(&JournalRecord::Snapshot(image.clone()))
+            .unwrap();
+        assert!(
+            !dir.join(segment_name(1)).exists(),
+            "covered segment prunes"
+        );
+        assert!(dir.join(segment_name(2)).exists());
+        let contents = read_journal_dir(&dir).unwrap();
+        assert_eq!(contents.snapshot, Some(image));
+        assert_eq!(contents.tail.len(), 1, "only the post-rotation record");
+        assert!(matches!(
+            contents.tail[0].1,
+            JournalRecord::Release { job: 2, .. }
+        ));
+        let stats = journal.stats_value().unwrap();
+        assert_eq!(stats.get("appended").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            stats.get("snapshots_installed").and_then(Value::as_u64),
+            Some(1)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_reads_as_empty() {
+        let dir = temp_dir("absent");
+        let contents = read_journal_dir(&dir).unwrap();
+        assert!(contents.snapshot.is_none());
+        assert!(contents.tail.is_empty());
+        assert_eq!(contents.max_segment, 0);
+    }
+}

@@ -39,6 +39,13 @@
 //!   to the *same* `select_with_context` the offline engine calls, and
 //!   the sim-equivalence tests pin the online grant order byte-identical
 //!   to the offline simulator's for all three policies.
+//! * **Durability.** Every state-changing operation can be journaled to
+//!   an append-only NDJSON write-ahead log ([`journal`]) behind a
+//!   [`journal::JournalSink`] trait — a no-op by default, a
+//!   group-commit file sink under `serve --journal` — with watermarked
+//!   snapshot compaction and a crash-recovery fold
+//!   ([`journal::open_journaled`]) proven byte-identical to
+//!   uninterrupted runs.
 //! * **Cluster routing.** Machines registered with a `pool` name become
 //!   members of that pool ([`cluster::PlacementRouter`]); an `alloc`
 //!   addressed to `"@pool"` is routed to a member by the pool's
@@ -68,6 +75,7 @@
 //! {"op":"query","machine":"m0"}
 //! {"op":"query","machine":"@grid"}
 //! {"op":"stats","machine":"m0"}
+//! {"op":"journal_stats"}
 //! {"op":"list"}
 //! {"op":"ping"}
 //! {"op":"batch","requests":[{"op":"ping"},{"op":"release","machine":"m0","job":1}]}
@@ -103,6 +111,7 @@
 pub mod admission;
 pub mod client;
 pub mod cluster;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
@@ -112,6 +121,10 @@ pub mod service;
 
 pub use client::{ClientAllocOutcome, ClientError, ServiceClient};
 pub use cluster::{route_offline, ClusterMember, MachineSample, PlacementRouter, RoutingPolicy};
+pub use journal::{
+    open_journaled, read_journal_dir, FileJournal, FsyncPolicy, JournalConfig, JournalError,
+    JournalRecord, JournalSink, NoopJournal, RecoveryReport, SnapshotImage,
+};
 pub use metrics::{MachineMetrics, ServiceMetrics, WaitStats};
 pub use protocol::{Request, Response};
 pub use registry::{MachineSnapshot, Registry, ServiceError};

@@ -93,6 +93,10 @@ pub enum Request {
         /// Machine name.
         machine: String,
     },
+    /// Operational counters of the write-ahead journal (recovery epoch,
+    /// appended records, segments, fsync policy); answers
+    /// `{"enabled": false}` on a daemon running without `--journal`.
+    JournalStats,
     /// Names of all registered machines.
     List,
     /// Liveness check.
@@ -192,6 +196,8 @@ pub enum Response {
     Snapshot(Value),
     /// Counter snapshot.
     Stats(Value),
+    /// Journal counter snapshot.
+    JournalStats(Value),
     /// Registered machine names.
     Machines(Vec<String>),
     /// Liveness answer.
@@ -200,7 +206,7 @@ pub enum Response {
     Batch(Vec<Response>),
 }
 
-fn obj(entries: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(entries: Vec<(&str, Value)>) -> Value {
     let mut m = Map::new();
     for (k, v) in entries {
         m.insert(k.to_string(), v);
@@ -208,28 +214,28 @@ fn obj(entries: Vec<(&str, Value)>) -> Value {
     Value::Object(m)
 }
 
-fn str_value(s: &str) -> Value {
+pub(crate) fn str_value(s: &str) -> Value {
     Value::Str(s.to_string())
 }
 
-fn nodes_value(nodes: &[NodeId]) -> Value {
+pub(crate) fn nodes_value(nodes: &[NodeId]) -> Value {
     Value::Array(nodes.iter().map(|n| Value::UInt(n.0 as u64)).collect())
 }
 
-fn get_str(v: &Value, key: &str) -> Result<String, Error> {
+pub(crate) fn get_str(v: &Value, key: &str) -> Result<String, Error> {
     v.get(key)
         .and_then(Value::as_str)
         .map(str::to_string)
         .ok_or_else(|| Error::msg(format!("missing or non-string field {key:?}")))
 }
 
-fn get_u64(v: &Value, key: &str) -> Result<u64, Error> {
+pub(crate) fn get_u64(v: &Value, key: &str) -> Result<u64, Error> {
     v.get(key)
         .and_then(Value::as_u64)
         .ok_or_else(|| Error::msg(format!("missing or non-integer field {key:?}")))
 }
 
-fn get_f64_opt(v: &Value, key: &str) -> Result<Option<f64>, Error> {
+pub(crate) fn get_f64_opt(v: &Value, key: &str) -> Result<Option<f64>, Error> {
     match v.get(key) {
         None | Some(Value::Null) => Ok(None),
         Some(value) => value
@@ -242,7 +248,7 @@ fn get_f64_opt(v: &Value, key: &str) -> Result<Option<f64>, Error> {
 /// An optional string field: absent/null is `None`, but a present value
 /// of the wrong type is a parse error rather than a silent `None` (a
 /// mistyped `"scheduler":5` must not quietly register an FCFS machine).
-fn get_str_opt(v: &Value, key: &str) -> Result<Option<String>, Error> {
+pub(crate) fn get_str_opt(v: &Value, key: &str) -> Result<Option<String>, Error> {
     match v.get(key) {
         None | Some(Value::Null) => Ok(None),
         Some(value) => value
@@ -279,7 +285,7 @@ fn get_granted(v: &Value) -> Result<Vec<(u64, Vec<NodeId>)>, Error> {
         .collect()
 }
 
-fn get_nodes(v: &Value, key: &str) -> Result<Vec<NodeId>, Error> {
+pub(crate) fn get_nodes(v: &Value, key: &str) -> Result<Vec<NodeId>, Error> {
     let arr = v
         .get(key)
         .and_then(Value::as_array)
@@ -371,6 +377,7 @@ impl Request {
                 ("op", str_value("stats")),
                 ("machine", str_value(machine)),
             ]),
+            Request::JournalStats => obj(vec![("op", str_value("journal_stats"))]),
             Request::List => obj(vec![("op", str_value("list"))]),
             Request::Ping => obj(vec![("op", str_value("ping"))]),
             Request::Batch(requests) => obj(vec![
@@ -443,6 +450,7 @@ impl Request {
             "stats" => Ok(Request::Stats {
                 machine: get_str(v, "machine")?,
             }),
+            "journal_stats" => Ok(Request::JournalStats),
             "list" => Ok(Request::List),
             "ping" => Ok(Request::Ping),
             other => Err(Error::msg(format!("unknown op {other:?}"))),
@@ -578,6 +586,11 @@ impl Response {
                 ("op", str_value("stats")),
                 ("stats", stats.clone()),
             ]),
+            Response::JournalStats(stats) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("journal_stats")),
+                ("journal", stats.clone()),
+            ]),
             Response::Machines(names) => obj(vec![
                 ("ok", Value::Bool(true)),
                 ("op", str_value("list")),
@@ -668,6 +681,11 @@ impl Response {
                 v.get("stats")
                     .cloned()
                     .ok_or_else(|| Error::msg("missing \"stats\""))?,
+            )),
+            "journal_stats" => Ok(Response::JournalStats(
+                v.get("journal")
+                    .cloned()
+                    .ok_or_else(|| Error::msg("missing \"journal\""))?,
             )),
             "list" => {
                 let arr = v
@@ -771,6 +789,7 @@ mod tests {
             Request::Stats {
                 machine: "m0".into(),
             },
+            Request::JournalStats,
             Request::List,
             Request::Ping,
         ];
@@ -833,6 +852,11 @@ mod tests {
                 pool: "grid".into(),
                 policy: "least-loaded".into(),
             },
+            Response::JournalStats(Value::Object({
+                let mut m = Map::new();
+                m.insert("enabled".into(), Value::Bool(false));
+                m
+            })),
             Response::Machines(vec!["a".into(), "b".into()]),
             Response::Pong,
             Response::Batch(vec![

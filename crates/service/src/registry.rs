@@ -8,6 +8,7 @@
 //! allocate/release on the same machine).
 
 use crate::admission::{AdmissionQueue, PendingRequest};
+use crate::journal::{JournalRecord, MachineImage, QueuedImage, RunningImage};
 use crate::metrics::MachineMetrics;
 use commalloc::scheduler::{RunningSnapshot, SchedulerKind};
 use commalloc_alloc::curve_alloc::SelectionStrategy;
@@ -187,6 +188,44 @@ impl Backing {
         }
     }
 
+    /// Re-occupies exactly `nodes` — the journal-recovery path, which
+    /// replays committed grants instead of re-running an allocator.
+    /// Validates every node is in range, free, and unrepeated before
+    /// touching anything, so a corrupt record cannot half-apply. The
+    /// 2-D curve allocators resynchronise their interval index from the
+    /// machine bitmap automatically (the `MachineState::generation`
+    /// protocol), so occupying behind their back is safe.
+    fn restore_occupy(&mut self, nodes: &[NodeId]) -> Result<(), String> {
+        let total = self.total_nodes();
+        let mut seen = std::collections::HashSet::with_capacity(nodes.len());
+        for &node in nodes {
+            if node.index() >= total {
+                return Err(format!("node {node} is out of range for this machine"));
+            }
+            if !seen.insert(node) {
+                return Err(format!("node {node} repeats within one grant"));
+            }
+        }
+        match self {
+            Backing::TwoD { machine, .. } => {
+                if let Some(node) = nodes.iter().find(|&&n| !machine.is_free(n)) {
+                    return Err(format!("node {node} is already busy"));
+                }
+                machine.occupy(nodes);
+            }
+            Backing::ThreeD { curve, index, .. } => {
+                let ranks: Vec<usize> = nodes.iter().map(|&n| curve.rank_of(n)).collect();
+                if let Some(at) = ranks.iter().position(|&r| !index.is_free(r)) {
+                    return Err(format!("node {} is already busy", nodes[at]));
+                }
+                if !index.occupy_ranks(&ranks) {
+                    return Err("interval index refused a validated grant".to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Returns the nodes of `job_id` to the free pool.
     fn release(&mut self, nodes: &[NodeId], job_id: u64) {
         match self {
@@ -211,8 +250,13 @@ impl Backing {
 /// base instead of sampling `Instant::now()` ad hoc.
 #[derive(Debug, Clone, Copy)]
 enum Clock {
-    /// Seconds elapsed since the machine was registered.
-    Wall(Instant),
+    /// `base` seconds plus wall time elapsed since `origin`. A fresh
+    /// machine starts at `base = 0`; journal recovery rebases `base` to
+    /// the latest recovered stamp, so a restarted daemon's clock
+    /// continues *after* every restored start/enqueue time instead of
+    /// restarting at zero (which would skew EASY's shadow-time
+    /// predictions and produce negative queue waits).
+    Wall { origin: Instant, base: f64 },
     /// A caller-set logical time (see [`MachineEntry::set_time`]).
     Virtual(f64),
 }
@@ -255,30 +299,61 @@ pub struct MachineEntry {
     /// committing against a sample — the entry-level analogue of
     /// `commalloc_alloc::MachineState::generation` from PR 1.
     generation: u64,
+    /// Whether mutations compose [`JournalRecord`]s into the outbox.
+    /// False (zero overhead) unless the owning service runs a durable
+    /// journal sink.
+    journaled: bool,
+    /// Records composed by mutations since the last flush. The service
+    /// drains this **while still holding the shard lock**, so for any
+    /// one machine journal order equals mutation order — the ordering
+    /// the recovery fold depends on.
+    outbox: Vec<JournalRecord>,
+    /// Sequence number of this machine's last appended journal record —
+    /// its snapshot watermark (see `crate::journal`'s module docs).
+    journal_seq: u64,
     /// Operation counters (public so the service layer can read them out).
     pub metrics: MachineMetrics,
 }
 
 impl MachineEntry {
-    fn new_2d(name: &str, mesh: Mesh2D, kind: AllocatorKind, scheduler: SchedulerKind) -> Self {
+    fn new(name: &str, backing: Backing, scheduler: SchedulerKind) -> Self {
         MachineEntry {
             name: name.to_string(),
-            backing: Backing::TwoD {
+            backing,
+            allocations: HashMap::new(),
+            queue: AdmissionQueue::new(scheduler),
+            running: Vec::new(),
+            clock: Clock::Wall {
+                origin: Instant::now(),
+                base: 0.0,
+            },
+            generation: 0,
+            journaled: false,
+            outbox: Vec::new(),
+            journal_seq: 0,
+            metrics: MachineMetrics::default(),
+        }
+    }
+
+    pub(crate) fn new_2d(
+        name: &str,
+        mesh: Mesh2D,
+        kind: AllocatorKind,
+        scheduler: SchedulerKind,
+    ) -> Self {
+        MachineEntry::new(
+            name,
+            Backing::TwoD {
                 mesh,
                 machine: MachineState::new(mesh),
                 allocator: kind.build(mesh),
                 kind,
             },
-            allocations: HashMap::new(),
-            queue: AdmissionQueue::new(scheduler),
-            running: Vec::new(),
-            clock: Clock::Wall(Instant::now()),
-            generation: 0,
-            metrics: MachineMetrics::default(),
-        }
+            scheduler,
+        )
     }
 
-    fn new_3d(
+    pub(crate) fn new_3d(
         name: &str,
         mesh: Mesh3D,
         curve: Curve3Kind,
@@ -287,27 +362,22 @@ impl MachineEntry {
     ) -> Self {
         let curve = Curve3Order::build(curve, mesh);
         let index = FreeIntervalIndex::all_free(curve.len());
-        MachineEntry {
-            name: name.to_string(),
-            backing: Backing::ThreeD {
+        MachineEntry::new(
+            name,
+            Backing::ThreeD {
                 mesh,
                 curve,
                 index,
                 strategy,
             },
-            allocations: HashMap::new(),
-            queue: AdmissionQueue::new(scheduler),
-            running: Vec::new(),
-            clock: Clock::Wall(Instant::now()),
-            generation: 0,
-            metrics: MachineMetrics::default(),
-        }
+            scheduler,
+        )
     }
 
     /// The machine-clock reading, in seconds.
     pub fn now(&self) -> f64 {
         match self.clock {
-            Clock::Wall(origin) => origin.elapsed().as_secs_f64(),
+            Clock::Wall { origin, base } => base + origin.elapsed().as_secs_f64(),
             Clock::Virtual(t) => t,
         }
     }
@@ -318,7 +388,7 @@ impl MachineEntry {
     pub fn set_time(&mut self, t: f64) {
         let t = match self.clock {
             Clock::Virtual(current) => t.max(current),
-            Clock::Wall(_) => t,
+            Clock::Wall { .. } => t,
         };
         self.clock = Clock::Virtual(t);
     }
@@ -332,6 +402,216 @@ impl MachineEntry {
     /// taken at generation `g` are stale once `generation() != g`.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Turns journal-record composition on: subsequent mutations push
+    /// their records into the outbox for the service to flush.
+    pub fn enable_journaling(&mut self) {
+        self.journaled = true;
+    }
+
+    /// Composes `record` into the outbox when journaling is enabled.
+    fn log(&mut self, record: JournalRecord) {
+        if self.journaled {
+            self.outbox.push(record);
+        }
+    }
+
+    /// Drains the records composed since the last flush (the service
+    /// appends them to its sink while still holding the shard lock).
+    pub fn take_outbox(&mut self) -> Vec<JournalRecord> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Notes the sequence number the sink assigned to this machine's
+    /// latest record — the snapshot watermark.
+    pub fn note_journal_seq(&mut self, seq: u64) {
+        self.journal_seq = self.journal_seq.max(seq);
+    }
+
+    /// This machine's snapshot watermark (0 when never journaled).
+    pub fn journal_seq(&self) -> u64 {
+        self.journal_seq
+    }
+
+    /// Photographs the machine for a journal snapshot, under the shard
+    /// lock: registration config (re-registerable specs derived from the
+    /// live backing, so defaults are explicit), clock, running jobs in
+    /// grant order (the order EASY's tie-breaking depends on), queued
+    /// requests in queue order, and the journal watermark.
+    pub fn capture_image(&self) -> MachineImage {
+        let (mesh, allocator, strategy) = match &self.backing {
+            Backing::TwoD { mesh, kind, .. } => (
+                format!("{}x{}", mesh.width(), mesh.height()),
+                kind.name().to_string(),
+                None,
+            ),
+            Backing::ThreeD {
+                mesh,
+                curve,
+                strategy,
+                ..
+            } => (
+                format!("{}x{}x{}", mesh.width(), mesh.height(), mesh.depth()),
+                curve.kind().name().to_string(),
+                Some(strategy.short_name().to_string()),
+            ),
+        };
+        MachineImage {
+            machine: self.name.clone(),
+            mesh,
+            allocator,
+            strategy,
+            scheduler: self.queue.kind().name().to_string(),
+            seq: self.journal_seq,
+            clock: match self.clock {
+                Clock::Virtual(t) => Some(t),
+                Clock::Wall { .. } => None,
+            },
+            running: self
+                .running
+                .iter()
+                .map(|meta| RunningImage {
+                    job: meta.job_id,
+                    nodes: self.allocations[&meta.job_id].clone(),
+                    walltime: meta.walltime,
+                    start: meta.start,
+                })
+                .collect(),
+            queue: self
+                .queue
+                .iter()
+                .map(|p| QueuedImage {
+                    job: p.job_id,
+                    size: p.size,
+                    walltime: p.walltime,
+                    enqueued_at: p.enqueued_at,
+                })
+                .collect(),
+        }
+    }
+
+    /// Recovery: re-commits a journaled grant — `job_id` holds exactly
+    /// `nodes` again. Removes the job from the queue first when present
+    /// (a grant-from-queue record follows its queue record in the log),
+    /// and evolves the running vector with the same `push` the live
+    /// drain uses, so recovered tie-breaking state matches a live run.
+    pub fn restore_grant(
+        &mut self,
+        job_id: u64,
+        nodes: Vec<NodeId>,
+        walltime: Option<f64>,
+        start: f64,
+    ) -> Result<(), String> {
+        if self.allocations.contains_key(&job_id) {
+            return Err(format!("grant for job {job_id} which already runs"));
+        }
+        self.backing.restore_occupy(&nodes)?;
+        self.queue.remove(job_id);
+        self.ensure_clock_at_least(start);
+        self.running.push(RunningMeta {
+            job_id,
+            size: nodes.len(),
+            start,
+            walltime,
+        });
+        self.allocations.insert(job_id, nodes);
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Recovery: re-enqueues a journaled admission.
+    pub fn restore_queue(
+        &mut self,
+        job_id: u64,
+        size: usize,
+        walltime: Option<f64>,
+        enqueued_at: f64,
+    ) -> Result<(), String> {
+        if self.allocations.contains_key(&job_id) || self.queue.contains(job_id) {
+            return Err(format!(
+                "queue record for job {job_id} which already exists"
+            ));
+        }
+        if size == 0 || size > self.total_nodes() {
+            return Err(format!("queue record for job {job_id} with size {size}"));
+        }
+        self.ensure_clock_at_least(enqueued_at);
+        self.queue.enqueue(PendingRequest {
+            job_id,
+            size,
+            walltime,
+            enqueued_at,
+        });
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Recovery: re-applies a journaled release. Does **not** drain the
+    /// queue — the grants a live release triggered were journaled as
+    /// their own records and replay right after this one.
+    pub fn restore_release(&mut self, job_id: u64) -> Result<(), String> {
+        let nodes = self
+            .allocations
+            .remove(&job_id)
+            .ok_or_else(|| format!("release of job {job_id} which does not run"))?;
+        self.backing.release(&nodes, job_id);
+        let at = self
+            .running
+            .iter()
+            .position(|r| r.job_id == job_id)
+            .ok_or_else(|| format!("job {job_id} missing from the running order"))?;
+        self.running.swap_remove(at);
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Recovery: re-applies a journaled queue cancellation.
+    pub fn restore_cancel(&mut self, job_id: u64) -> Result<(), String> {
+        self.queue
+            .remove(job_id)
+            .ok_or_else(|| format!("cancel of job {job_id} which is not queued"))?;
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Recovery: re-applies a policy switch without draining (the
+    /// grants the live switch admitted replay as their own records).
+    pub fn restore_scheduler(&mut self, scheduler: SchedulerKind) {
+        self.queue.set_kind(scheduler);
+        self.generation += 1;
+    }
+
+    /// Recovery: restores a virtual clock captured in a snapshot
+    /// (wall-clock machines restart their clock at recovery and are
+    /// rebased past every restored stamp by
+    /// [`MachineEntry::ensure_clock_at_least`] instead).
+    pub fn restore_clock(&mut self, clock: Option<f64>) {
+        if let Some(t) = clock {
+            self.clock = Clock::Virtual(t);
+        }
+    }
+
+    /// Recovery: advances the clock to at least `t`. Restored grant and
+    /// enqueue stamps come from the previous incarnation's time base; a
+    /// wall clock that restarted at zero would make those stamps lie in
+    /// the future — EASY would plan around predicted completions hours
+    /// ahead (letting backfill delay the head job, which a live run
+    /// never allows) and the first drains would record negative queue
+    /// waits. Rebasing keeps recovered stamps in the past, where they
+    /// belong.
+    fn ensure_clock_at_least(&mut self, t: f64) {
+        if self.now() < t {
+            match self.clock {
+                Clock::Wall { .. } => {
+                    self.clock = Clock::Wall {
+                        origin: Instant::now(),
+                        base: t,
+                    }
+                }
+                Clock::Virtual(_) => self.clock = Clock::Virtual(t),
+            }
+        }
     }
 
     /// The routing-relevant state of this machine, captured atomically
@@ -352,6 +632,10 @@ impl MachineEntry {
     pub fn set_scheduler(&mut self, scheduler: SchedulerKind) -> Vec<(u64, Vec<NodeId>)> {
         self.generation += 1;
         self.queue.set_kind(scheduler);
+        self.log(JournalRecord::SetScheduler {
+            machine: self.name.clone(),
+            scheduler: scheduler.name().to_string(),
+        });
         self.drain_queue(None)
     }
 
@@ -441,6 +725,21 @@ impl MachineEntry {
         }
         if wait {
             self.metrics.queued += 1;
+            // The request stays queued: that *is* the durable effect (the
+            // drain's own grants and drops were logged as they happened).
+            let enqueued_at = self
+                .queue
+                .iter()
+                .find(|p| p.job_id == job_id)
+                .map(|p| p.enqueued_at)
+                .expect("job is queued");
+            self.log(JournalRecord::Queue {
+                machine: self.name.clone(),
+                job: job_id,
+                size,
+                walltime,
+                enqueued_at,
+            });
             Ok(AllocOutcome::Queued(
                 self.queue.position(job_id).expect("job is queued"),
             ))
@@ -469,9 +768,17 @@ impl MachineEntry {
                 self.running.swap_remove(at);
             }
             self.metrics.released += 1;
+            self.log(JournalRecord::Release {
+                machine: self.name.clone(),
+                job: job_id,
+            });
         } else if self.queue.remove(job_id).is_some() {
             // Cancelling a queued request frees no processors, but may
             // unblock the queue if the cancelled job was the head.
+            self.log(JournalRecord::Cancel {
+                machine: self.name.clone(),
+                job: job_id,
+            });
         } else {
             return Err(ServiceError::UnknownJob {
                 machine: self.name.clone(),
@@ -547,6 +854,13 @@ impl MachineEntry {
                             .wait
                             .record(now - pending.enqueued_at, pending.walltime);
                     }
+                    self.log(JournalRecord::Grant {
+                        machine: self.name.clone(),
+                        job: pending.job_id,
+                        nodes: nodes.clone(),
+                        walltime: pending.walltime,
+                        start: now,
+                    });
                     self.allocations.insert(pending.job_id, nodes.clone());
                     let meta = RunningMeta {
                         job_id: pending.job_id,
@@ -566,8 +880,17 @@ impl MachineEntry {
                 None if self.backing.num_busy() == 0 => {
                     // Even an empty machine cannot host this request with
                     // this allocator: drop it (engine parity) instead of
-                    // deadlocking the queue behind it forever.
+                    // deadlocking the queue behind it forever. A dropped
+                    // request that was durably queued earlier journals as
+                    // a cancel; the arriving request was never journaled
+                    // as queued, so there is nothing to cancel.
                     self.metrics.rejected += 1;
+                    if arriving != Some(pending.job_id) {
+                        self.log(JournalRecord::Cancel {
+                            machine: self.name.clone(),
+                            job: pending.job_id,
+                        });
+                    }
                     continue;
                 }
                 None => {
@@ -738,12 +1061,23 @@ impl Registry {
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
-    fn register(&self, name: &str, entry: MachineEntry) -> Result<(), ServiceError> {
+    /// Inserts a fully built entry, running `after` on it **under the
+    /// shard lock** before any other request can reach the machine — the
+    /// hook the service uses to append the registration's journal record
+    /// in mutation order (no grant of the new machine can be journaled
+    /// ahead of its registration).
+    pub(crate) fn register_entry(
+        &self,
+        name: &str,
+        entry: MachineEntry,
+        after: impl FnOnce(&mut MachineEntry),
+    ) -> Result<(), ServiceError> {
         let mut shard = self.shard_of(name).lock().expect("shard poisoned");
         if shard.contains_key(name) {
             return Err(ServiceError::MachineExists(name.to_string()));
         }
-        shard.insert(name.to_string(), entry);
+        let entry = shard.entry(name.to_string()).or_insert(entry);
+        after(entry);
         Ok(())
     }
 
@@ -756,7 +1090,11 @@ impl Registry {
         kind: AllocatorKind,
         scheduler: SchedulerKind,
     ) -> Result<(), ServiceError> {
-        self.register(name, MachineEntry::new_2d(name, mesh, kind, scheduler))
+        self.register_entry(
+            name,
+            MachineEntry::new_2d(name, mesh, kind, scheduler),
+            |_| {},
+        )
     }
 
     /// Registers a 3-D mesh machine served by curve reduction along
@@ -769,9 +1107,10 @@ impl Registry {
         strategy: SelectionStrategy,
         scheduler: SchedulerKind,
     ) -> Result<(), ServiceError> {
-        self.register(
+        self.register_entry(
             name,
             MachineEntry::new_3d(name, mesh, curve, strategy, scheduler),
+            |_| {},
         )
     }
 
@@ -1143,6 +1482,37 @@ mod tests {
             "waited 35 - 10 = 25 s, got {mean}"
         );
         assert!((max - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restore_rebases_wall_clocks_past_recovered_stamps() {
+        // Recovered stamps come from the previous incarnation's clock; a
+        // wall clock restarting at zero would put them in the future
+        // (negative waits, EASY shadow times hours ahead). restore_*
+        // must drag the clock past every stamp it folds in.
+        let r = registry_with_m0();
+        r.with_entry("m0", |m| {
+            m.restore_grant(1, vec![NodeId(0)], Some(10.0), 3600.0)
+                .map_err(ServiceError::InvalidRequest)?;
+            assert!(m.now() >= 3600.0, "clock not rebased past the grant");
+            m.restore_queue(2, 4, None, 3610.0)
+                .map_err(ServiceError::InvalidRequest)?;
+            assert!(m.now() >= 3610.0, "clock not rebased past the enqueue");
+            m.check_invariants().map_err(ServiceError::InvalidRequest)
+        })
+        .unwrap();
+        // Releasing the recovered job drains the recovered queue with a
+        // sane (small, non-negative) recorded wait.
+        let granted = r.with_entry("m0", |m| m.release(1)).unwrap();
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].0, 2);
+        let mean = r
+            .with_entry("m0", |m| Ok(m.metrics.wait.mean_seconds()))
+            .unwrap();
+        assert!(
+            (0.0..60.0).contains(&mean),
+            "recovered wait skewed by the clock base: {mean}"
+        );
     }
 
     #[test]

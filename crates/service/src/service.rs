@@ -6,26 +6,46 @@
 //! [`AllocationService::handle`].
 
 use crate::cluster::{pool_of, MachineSample, PlacementRouter, RoutingPolicy};
+use crate::journal::{JournalRecord, JournalSink, NoopJournal, PoolImage, SnapshotImage};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{Request, Response};
-use crate::registry::{MachineSnapshot, Registry, ServiceError};
+use crate::registry::{MachineEntry, MachineSnapshot, Registry, ServiceError};
 use commalloc::scheduler::SchedulerKind;
 use commalloc_alloc::curve_alloc::SelectionStrategy;
 use commalloc_alloc::AllocatorKind;
 use commalloc_mesh::curve3d::Curve3Kind;
 use commalloc_mesh::{Mesh2D, Mesh3D, NodeId};
 use serde::{Map, Serialize, Value};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 pub use crate::registry::{AllocOutcome, JobStatus};
 
 /// A shareable handle to the allocation daemon's state.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct AllocationService {
     registry: Arc<Registry>,
     router: Arc<PlacementRouter>,
     metrics: Arc<ServiceMetrics>,
+    /// Where state-changing operations are journaled (a no-op sink
+    /// unless the daemon runs with `--journal`).
+    journal: Arc<dyn JournalSink>,
+    /// Guards snapshot capture: two workers crossing the snapshot
+    /// threshold together must not both rotate and install (the second
+    /// install could prune a segment the first one still counts on).
+    snapshotting: Arc<AtomicBool>,
+}
+
+impl Default for AllocationService {
+    fn default() -> Self {
+        AllocationService {
+            registry: Arc::new(Registry::default()),
+            router: Arc::new(PlacementRouter::default()),
+            metrics: Arc::new(ServiceMetrics::default()),
+            journal: Arc::new(NoopJournal),
+            snapshotting: Arc::new(AtomicBool::new(false)),
+        }
+    }
 }
 
 /// Largest machine the service will register: caps the memory one
@@ -111,8 +131,40 @@ impl AllocationService {
     pub fn with_shards(shards: usize) -> Self {
         AllocationService {
             registry: Arc::new(Registry::with_shards(shards)),
-            router: Arc::new(PlacementRouter::default()),
-            metrics: Arc::new(ServiceMetrics::default()),
+            ..AllocationService::default()
+        }
+    }
+
+    /// Attaches a journal sink (consuming the handle — attach before
+    /// cloning it out to workers). Machines already registered — the
+    /// recovery path rebuilds state *before* attaching the real sink so
+    /// replayed effects are not re-journaled — start composing records
+    /// from here on.
+    pub fn with_journal(self, journal: Arc<dyn JournalSink>) -> Self {
+        let service = AllocationService { journal, ..self };
+        if service.journal.durable() {
+            for name in service.registry.list() {
+                let _ = service.registry.with_entry(&name, |entry| {
+                    entry.enable_journaling();
+                    Ok(())
+                });
+            }
+        }
+        service
+    }
+
+    /// The attached journal sink.
+    pub fn journal(&self) -> &Arc<dyn JournalSink> {
+        &self.journal
+    }
+
+    /// Appends the outbox of `entry` to the journal — called while the
+    /// entry's shard lock is still held, so per-machine journal order
+    /// equals mutation order (the invariant recovery folds over).
+    fn flush_outbox(&self, entry: &mut MachineEntry) {
+        for record in entry.take_outbox() {
+            let seq = self.journal.append(&record);
+            entry.note_journal_seq(seq);
         }
     }
 
@@ -157,6 +209,22 @@ impl AllocationService {
         scheduler: Option<&str>,
         pool: Option<&str>,
     ) -> Result<(), ServiceError> {
+        self.register_inner(machine, mesh, allocator, strategy, scheduler, pool, true)
+    }
+
+    /// The registration body; `journal: false` is the recovery path,
+    /// which rebuilds machines from records without re-journaling them.
+    #[allow(clippy::too_many_arguments)]
+    fn register_inner(
+        &self,
+        machine: &str,
+        mesh: &str,
+        allocator: Option<&str>,
+        strategy: Option<&str>,
+        scheduler: Option<&str>,
+        pool: Option<&str>,
+        journal: bool,
+    ) -> Result<(), ServiceError> {
         if machine.is_empty() {
             return Err(ServiceError::InvalidSpec(
                 "machine name must be non-empty".to_string(),
@@ -174,12 +242,13 @@ impl AllocationService {
                 )));
             }
         }
+        let scheduler_spec = scheduler;
         let scheduler = match scheduler {
             None => SchedulerKind::Fcfs,
             Some(spec) => parse_scheduler(spec)?,
         };
         let dims = parse_dims(mesh)?;
-        let registered = match dims.as_slice() {
+        let entry = match dims.as_slice() {
             [w, h] => {
                 let kind = match allocator {
                     None => AllocatorKind::HilbertBestFit,
@@ -193,8 +262,7 @@ impl AllocationService {
                             .to_string(),
                     ));
                 }
-                self.registry
-                    .register_2d(machine, Mesh2D::new(*w, *h), kind, scheduler)
+                MachineEntry::new_2d(machine, Mesh2D::new(*w, *h), kind, scheduler)
             }
             [w, h, d] => {
                 let curve = match allocator {
@@ -205,17 +273,28 @@ impl AllocationService {
                     None => SelectionStrategy::BestFit,
                     Some(spec) => parse_strategy(spec)?,
                 };
-                self.registry.register_3d(
-                    machine,
-                    Mesh3D::new(*w, *h, *d),
-                    curve,
-                    strategy,
-                    scheduler,
-                )
+                MachineEntry::new_3d(machine, Mesh3D::new(*w, *h, *d), curve, strategy, scheduler)
             }
             _ => unreachable!("parse_dims yields 2 or 3 dims"),
         };
-        registered?;
+        // The registration record is appended under the new entry's shard
+        // lock so no grant of this machine can be journaled ahead of it.
+        self.registry.register_entry(machine, entry, |entry| {
+            if self.journal.durable() {
+                entry.enable_journaling();
+                if journal {
+                    let record = JournalRecord::Register {
+                        machine: machine.to_string(),
+                        mesh: mesh.to_string(),
+                        allocator: allocator.map(str::to_string),
+                        strategy: strategy.map(str::to_string),
+                        scheduler: scheduler_spec.map(str::to_string),
+                        pool: pool.map(str::to_string),
+                    };
+                    entry.note_journal_seq(self.journal.append(&record));
+                }
+            }
+        })?;
         if let Some(pool) = pool {
             self.router.add_member(pool, machine);
         }
@@ -244,8 +323,11 @@ impl AllocationService {
         wait: bool,
         walltime: Option<f64>,
     ) -> Result<AllocOutcome, ServiceError> {
-        self.registry
-            .with_entry(machine, |entry| entry.allocate(job, size, wait, walltime))
+        self.registry.with_entry(machine, |entry| {
+            let outcome = entry.allocate(job, size, wait, walltime);
+            self.flush_outbox(entry);
+            outcome
+        })
     }
 
     /// The routing-relevant sample of `machine`, captured under its
@@ -296,7 +378,9 @@ impl AllocationService {
                 if attempt < ROUTE_STALE_RETRIES && entry.generation() != expected_generation {
                     return Ok(None); // the sample went stale: re-route
                 }
-                entry.allocate(job, size, wait, walltime).map(Some)
+                let outcome = entry.allocate(job, size, wait, walltime).map(Some);
+                self.flush_outbox(entry);
+                outcome
             })?;
             if let Some(outcome) = committed {
                 return Ok((target, outcome));
@@ -315,6 +399,16 @@ impl AllocationService {
             ))
         })?;
         self.router.set_policy(pool, parsed)?;
+        // Pool-policy flips are journaled outside any machine lock:
+        // they are last-writer-wins by design, and recovery applies
+        // them in append order, so a concurrent-flip interleaving can
+        // only decide *which* policy survives, never corrupt occupancy.
+        if self.journal.durable() {
+            self.journal.append(&JournalRecord::SetRouter {
+                pool: pool.to_string(),
+                policy: parsed.name().to_string(),
+            });
+        }
         Ok(parsed)
     }
 
@@ -356,8 +450,11 @@ impl AllocationService {
         scheduler: &str,
     ) -> Result<(SchedulerKind, Vec<(u64, Vec<NodeId>)>), ServiceError> {
         let kind = parse_scheduler(scheduler)?;
-        self.registry
-            .with_entry(machine, |entry| Ok((kind, entry.set_scheduler(kind))))
+        self.registry.with_entry(machine, |entry| {
+            let granted = entry.set_scheduler(kind);
+            self.flush_outbox(entry);
+            Ok((kind, granted))
+        })
     }
 
     /// Switches `machine` to virtual time and sets its clock to `t`
@@ -384,14 +481,29 @@ impl AllocationService {
         machine: &str,
         job: u64,
     ) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
-        self.registry
-            .with_entry(machine, |entry| entry.release(job))
+        self.registry.with_entry(machine, |entry| {
+            let granted = entry.release(job);
+            self.flush_outbox(entry);
+            granted
+        })
     }
 
     /// Where `job` currently stands on `machine`.
     pub fn poll(&self, machine: &str, job: u64) -> Result<JobStatus, ServiceError> {
         self.registry
             .with_entry(machine, |entry| Ok(entry.poll(job)))
+    }
+
+    /// The journal-snapshot image of `machine` — its full durable state
+    /// (config, clock, running jobs in grant order, queue). Public so
+    /// recovery-equivalence harnesses can compare a recovered machine
+    /// byte-for-byte against an uninterrupted one.
+    pub fn machine_image(
+        &self,
+        machine: &str,
+    ) -> Result<crate::journal::MachineImage, ServiceError> {
+        self.registry
+            .with_entry(machine, |entry| Ok(entry.capture_image()))
     }
 
     /// Occupancy snapshot of `machine`.
@@ -421,6 +533,13 @@ impl AllocationService {
         // policies compete on, precomputed so dashboards need no math.
         m.insert("wait".into(), machine_metrics.wait.to_summary_value());
         m.insert("server".into(), self.metrics.snapshot());
+        // Durability at a glance: whether ops are journaled, and which
+        // recovery epoch this incarnation runs under (how many restarts
+        // rebuilt state from the journal). Full counters: journal_stats.
+        let mut journal = Map::new();
+        journal.insert("enabled".into(), Value::Bool(self.journal.durable()));
+        journal.insert("epoch".into(), Value::UInt(self.journal.epoch()));
+        m.insert("journal".into(), Value::Object(journal));
         Ok(Value::Object(m))
     }
 
@@ -436,6 +555,195 @@ impl AllocationService {
                 .check_invariants()
                 .map_err(ServiceError::InvalidRequest)
         })
+    }
+
+    /// Photographs the whole service for a journal snapshot: every
+    /// machine under its own shard lock (name order, so images are
+    /// deterministic) plus the pool table. `covers` is the WAL segment
+    /// index the sink closed when rotation began.
+    pub fn capture_snapshot(&self, covers: u64) -> JournalRecord {
+        let mut machines = Vec::new();
+        for name in self.list() {
+            if let Ok(image) = self
+                .registry
+                .with_entry(&name, |entry| Ok(entry.capture_image()))
+            {
+                machines.push(image);
+            }
+        }
+        let mut pools = Vec::new();
+        for pool in self.router.pool_names() {
+            if let (Ok(members), Ok(policy)) =
+                (self.router.members(&pool), self.router.policy(&pool))
+            {
+                pools.push(PoolImage {
+                    pool,
+                    members,
+                    policy: policy.name().to_string(),
+                });
+            }
+        }
+        JournalRecord::Snapshot(SnapshotImage {
+            epoch: self.journal.epoch(),
+            covers,
+            machines,
+            pools,
+        })
+    }
+
+    /// Rotates the WAL, captures a snapshot and durably installs it
+    /// (pruning the covered segments). Concurrency-safe: appends
+    /// continue throughout (the per-machine watermark protocol makes
+    /// the concurrent capture exact), but only one capture runs at a
+    /// time.
+    pub fn install_journal_snapshot(&self) -> std::io::Result<()> {
+        if self
+            .snapshotting
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Ok(()); // another worker is already capturing
+        }
+        let covers = self.journal.begin_snapshot();
+        let snapshot = self.capture_snapshot(covers);
+        let result = self.journal.install_snapshot(&snapshot);
+        self.snapshotting.store(false, Ordering::SeqCst);
+        result
+    }
+
+    /// Recovery: folds one journal record into the state, through the
+    /// non-journaling restore paths (replayed effects must not be
+    /// re-appended). Grants re-occupy the exact recorded processors;
+    /// releases and policy switches do **not** re-drain, because the
+    /// grants a live drain produced replay as their own records.
+    pub fn apply_journal_record(&self, record: &JournalRecord) -> Result<(), ServiceError> {
+        let restore =
+            |machine: &str, f: &mut dyn FnMut(&mut MachineEntry) -> Result<(), String>| {
+                self.registry.with_entry(machine, |entry| {
+                    f(entry).map_err(ServiceError::InvalidRequest)
+                })
+            };
+        match record {
+            JournalRecord::Register {
+                machine,
+                mesh,
+                allocator,
+                strategy,
+                scheduler,
+                pool,
+            } => self.register_inner(
+                machine,
+                mesh,
+                allocator.as_deref(),
+                strategy.as_deref(),
+                scheduler.as_deref(),
+                pool.as_deref(),
+                false,
+            ),
+            JournalRecord::Grant {
+                machine,
+                job,
+                nodes,
+                walltime,
+                start,
+            } => restore(machine, &mut |entry| {
+                entry.restore_grant(*job, nodes.clone(), *walltime, *start)
+            }),
+            JournalRecord::Queue {
+                machine,
+                job,
+                size,
+                walltime,
+                enqueued_at,
+            } => restore(machine, &mut |entry| {
+                entry.restore_queue(*job, *size, *walltime, *enqueued_at)
+            }),
+            JournalRecord::Release { machine, job } => {
+                restore(machine, &mut |entry| entry.restore_release(*job))
+            }
+            JournalRecord::Cancel { machine, job } => {
+                restore(machine, &mut |entry| entry.restore_cancel(*job))
+            }
+            JournalRecord::SetScheduler { machine, scheduler } => {
+                let kind = parse_scheduler(scheduler)?;
+                restore(machine, &mut |entry| {
+                    entry.restore_scheduler(kind);
+                    Ok(())
+                })
+            }
+            JournalRecord::SetRouter { pool, policy } => {
+                let parsed = RoutingPolicy::parse(policy).ok_or_else(|| {
+                    ServiceError::InvalidSpec(format!("routing policy {policy:?}"))
+                })?;
+                self.router.set_policy(pool, parsed)
+            }
+            JournalRecord::Snapshot(_) => Err(ServiceError::InvalidRequest(
+                "snapshot records live in the snapshot file, not the WAL tail".to_string(),
+            )),
+        }
+    }
+
+    /// Recovery: rebuilds the registry and pool table from a snapshot
+    /// image. Returns the per-machine journal watermarks the tail fold
+    /// gates on.
+    pub fn apply_snapshot(
+        &self,
+        image: &SnapshotImage,
+    ) -> Result<std::collections::HashMap<String, u64>, ServiceError> {
+        let mut watermarks = std::collections::HashMap::new();
+        for m in &image.machines {
+            self.register_inner(
+                &m.machine,
+                &m.mesh,
+                Some(&m.allocator),
+                m.strategy.as_deref(),
+                Some(&m.scheduler),
+                None,
+                false,
+            )?;
+            self.registry.with_entry(&m.machine, |entry| {
+                entry.restore_clock(m.clock);
+                entry.note_journal_seq(m.seq);
+                for r in &m.running {
+                    entry
+                        .restore_grant(r.job, r.nodes.clone(), r.walltime, r.start)
+                        .map_err(ServiceError::InvalidRequest)?;
+                }
+                for q in &m.queue {
+                    entry
+                        .restore_queue(q.job, q.size, q.walltime, q.enqueued_at)
+                        .map_err(ServiceError::InvalidRequest)?;
+                }
+                Ok(())
+            })?;
+            watermarks.insert(m.machine.clone(), m.seq);
+        }
+        for p in &image.pools {
+            for member in &p.members {
+                self.router.add_member(&p.pool, member);
+            }
+            let policy = RoutingPolicy::parse(&p.policy).ok_or_else(|| {
+                ServiceError::InvalidSpec(format!("routing policy {:?}", p.policy))
+            })?;
+            self.router.set_policy(&p.pool, policy)?;
+        }
+        Ok(watermarks)
+    }
+
+    /// The `journal_stats` response body: the sink's operational
+    /// counters, or `{"enabled": false}` when journaling is off.
+    pub fn journal_stats(&self) -> Value {
+        match self.journal.stats_value() {
+            Some(Value::Object(mut m)) => {
+                m.insert("enabled".into(), Value::Bool(true));
+                Value::Object(m)
+            }
+            _ => {
+                let mut m = Map::new();
+                m.insert("enabled".into(), Value::Bool(false));
+                Value::Object(m)
+            }
+        }
     }
 
     /// Dispatches one protocol request to the state layer — the single
@@ -556,10 +864,19 @@ impl AllocationService {
                     .map(|snapshot| Response::Snapshot(snapshot.to_value())),
             },
             Request::Stats { machine } => self.stats(machine).map(Response::Stats),
+            Request::JournalStats => Ok(Response::JournalStats(self.journal_stats())),
             Request::List => Ok(Response::Machines(self.list())),
             Request::Ping => Ok(Response::Pong),
         };
         ServiceMetrics::bump(&self.metrics.requests);
+        // Compaction rides the request path: once enough records
+        // accumulated, whichever worker notices captures the snapshot
+        // (appends from the other workers continue meanwhile).
+        if self.journal.snapshot_due() {
+            if let Err(e) = self.install_journal_snapshot() {
+                eprintln!("commalloc-service: journal snapshot failed: {e}");
+            }
+        }
         result.unwrap_or_else(|err| {
             ServiceMetrics::bump(&self.metrics.errors);
             Response::Error {

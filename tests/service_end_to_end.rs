@@ -96,6 +96,8 @@ fn loadgen_round_trips_thousands_of_requests_without_violations() {
         max_walltime: Some(300.0),
         router: None,
         seed: 7,
+        no_drain: false,
+        claims_out: None,
     };
     let report = loadgen::run(&config).expect("loadgen completes");
     assert!(report.requests >= 4_000, "got {}", report.requests);
@@ -139,6 +141,8 @@ fn routed_loadgen_across_a_heterogeneous_pool_has_no_violations() {
         max_walltime: Some(300.0),
         router: Some("least-loaded".to_string()),
         seed: 11,
+        no_drain: false,
+        claims_out: None,
     };
     let report = loadgen::run(&config).expect("routed loadgen completes");
     assert!(report.requests >= 4_000, "got {}", report.requests);
