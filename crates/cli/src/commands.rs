@@ -100,6 +100,13 @@ fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
         }
     };
     let recovered: std::collections::HashSet<String> = service.list().into_iter().collect();
+    // Pools the journal rebuilt, captured before pre-registration adds
+    // flag-declared ones: like recovered machines, a recovered pool
+    // keeps its journaled routing policy — `--router` seeds only pools
+    // the journal did not rebuild, so restarting with the original
+    // flags cannot clobber a runtime `set_router` flip.
+    let recovered_pools: std::collections::HashSet<String> =
+        service.router().pool_names().into_iter().collect();
     let single = [(opts.machine.clone(), opts.mesh.clone())];
     let machines: &[(String, String)] = if opts.machines.is_empty() {
         &single
@@ -122,10 +129,25 @@ fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
             .map_err(|e| RunError::Serve(e.to_string()))?;
     }
     if let (Some(pool), Some(router)) = (opts.pool.as_deref(), opts.router.as_deref()) {
-        service
-            .set_router(pool, router)
-            .map_err(|e| RunError::Serve(e.to_string()))?;
+        if !recovered_pools.contains(pool) {
+            service
+                .set_router(pool, router)
+                .map_err(|e| RunError::Serve(e.to_string()))?;
+        }
     }
+    // The banner reports the pool's *active* policy (which on a
+    // recovered journal may be a runtime flip, not the flag).
+    let pool_banner = match opts.pool.as_deref() {
+        Some(pool) => format!(
+            "; pool @{pool} routed {}",
+            service
+                .router()
+                .policy(pool)
+                .map(|p| p.name().to_string())
+                .unwrap_or_else(|_| "round-robin".to_string())
+        ),
+        None => String::new(),
+    };
     let server = Server::bind(opts.addr.as_str(), service, opts.workers)
         .map_err(|e| RunError::Serve(format!("bind {}: {e}", opts.addr)))?;
     let addr = server
@@ -137,13 +159,7 @@ fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
         opts.workers,
         names.join(", "),
         opts.scheduler.as_deref().unwrap_or("fcfs"),
-        match opts.pool.as_deref() {
-            Some(pool) => format!(
-                "; pool @{pool} routed {}",
-                opts.router.as_deref().unwrap_or("round-robin")
-            ),
-            None => String::new(),
-        },
+        pool_banner,
     );
     server.run().map_err(|e| RunError::Serve(e.to_string()))?;
     Ok(String::new())

@@ -50,10 +50,11 @@
 //! ## Torn tails
 //!
 //! `kill -9` can interrupt a line mid-write. Recovery ignores a final
-//! line that fails to parse or lacks its newline — by the write-ahead
-//! discipline that record's effect was never acknowledged past the
-//! fsync horizon — but treats a malformed line *before* the tail as
-//! corruption and refuses to start.
+//! line that lacks its trailing newline and fails to parse — by the
+//! write-ahead discipline that record's effect was never acknowledged
+//! past the fsync horizon — but a malformed line that *kept* its
+//! newline was fully written, so anywhere (tail included) it is
+//! treated as corruption and recovery refuses to start.
 //!
 //! ## Durability knobs
 //!
@@ -74,7 +75,7 @@ use commalloc_mesh::NodeId;
 use serde::{Error, Map, Value};
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -898,12 +899,14 @@ struct FileJournalInner {
 
 impl FileJournalInner {
     /// Flushes the buffered writer to the OS and fsyncs the segment.
+    /// Write failures abort the process (see [`journal_fail`]).
     fn sync(&mut self) {
-        self.file.flush().expect("journal flush failed");
-        self.file
-            .get_ref()
-            .sync_data()
-            .expect("journal fsync failed");
+        if let Err(e) = self.file.flush() {
+            journal_fail("flush", &e);
+        }
+        if let Err(e) = self.file.get_ref().sync_data() {
+            journal_fail("fsync", &e);
+        }
         self.unsynced = 0;
     }
 }
@@ -914,7 +917,8 @@ impl FileJournalInner {
 /// the append path.
 ///
 /// Append failures are **fail-stop**: a write-ahead log that silently
-/// drops records is worse than a dead daemon, so I/O errors panic.
+/// drops records is worse than a dead daemon, so write-path I/O errors
+/// abort the process (see [`journal_fail`] for why not a panic).
 pub struct FileJournal {
     dir: PathBuf,
     config: JournalConfig,
@@ -931,11 +935,14 @@ pub struct FileJournal {
     flusher: Option<std::thread::JoinHandle<()>>,
 }
 
-/// Fail-stop for the background flusher: a panic would kill only the
-/// flusher thread and silently downgrade `Batched` to `Never` — the
-/// daemon would keep acknowledging operations that are never fsynced
-/// again. Take the whole process down instead, like the append path.
-fn flusher_fail(what: &str, error: &io::Error) -> ! {
+/// Fail-stop for journal write failures. A panic is not enough: the
+/// server's worker threads run requests under `catch_unwind`, which
+/// would swallow an append panic (leaving the sink and shard locks
+/// poisoned but the daemon alive), and a flusher panic would kill only
+/// the flusher thread and silently downgrade `Batched` to `Never` —
+/// either way the daemon keeps acknowledging operations that are never
+/// persisted again. Take the whole process down instead.
+fn journal_fail(what: &str, error: &io::Error) -> ! {
     eprintln!("commalloc-service: journal {what} failed ({error}); aborting (fail-stop)");
     std::process::abort();
 }
@@ -960,7 +967,7 @@ fn run_flusher(
         }
         if guard.unsynced > 0 {
             if let Err(e) = guard.file.flush() {
-                flusher_fail("flush", &e);
+                journal_fail("flush", &e);
             }
             guard.unsynced = 0;
             let file = guard.file.get_ref().try_clone();
@@ -968,10 +975,10 @@ fn run_flusher(
             match file {
                 Ok(file) => {
                     if let Err(e) = file.sync_data() {
-                        flusher_fail("fsync", &e);
+                        journal_fail("fsync", &e);
                     }
                 }
-                Err(e) => flusher_fail("handle duplication", &e),
+                Err(e) => journal_fail("handle duplication", &e),
             }
         } else if stop.load(Ordering::SeqCst) {
             return;
@@ -1085,10 +1092,11 @@ impl JournalSink for FileJournal {
         inner.line.clear();
         record.write_line(seq, &mut inner.line);
         inner.line.push('\n');
-        inner
-            .file
-            .write_all(inner.line.as_bytes())
-            .expect("journal append failed (fail-stop: refusing to run without the WAL)");
+        if let Err(e) = inner.file.write_all(inner.line.as_bytes()) {
+            // Fail-stop: refusing to run without the WAL (an abort, not
+            // a panic, which the server's workers would swallow).
+            journal_fail("append", &e);
+        }
         inner.bytes += inner.line.len() as u64;
         inner.appended += 1;
         inner.unsynced += 1;
@@ -1121,13 +1129,10 @@ impl JournalSink for FileJournal {
         let closed = inner.segment;
         inner.segment += 1;
         let next = self.dir.join(segment_name(inner.segment));
-        inner.file = io::BufWriter::new(
-            OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(next)
-                .expect("journal segment rotation failed"),
-        );
+        match OpenOptions::new().create(true).append(true).open(next) {
+            Ok(file) => inner.file = io::BufWriter::new(file),
+            Err(e) => journal_fail("segment rotation", &e),
+        }
         // Stop re-triggering snapshots while this capture is in flight;
         // the counter restarts from the records the new segment gathers.
         self.since_snapshot.store(0, Ordering::Relaxed);
@@ -1192,8 +1197,9 @@ pub struct JournalContents {
     /// Tail records in append order, from segments newer than the
     /// snapshot's `covers` index.
     pub tail: Vec<(u64, JournalRecord)>,
-    /// Highest sequence number seen anywhere (the next sink continues
-    /// above it).
+    /// Highest sequence number seen anywhere — snapshot watermarks
+    /// included, so the next sink resumes above them even when the tail
+    /// is empty (the next sink continues above this).
     pub max_seq: u64,
     /// Highest segment index present (the next sink starts above it).
     pub max_segment: u64,
@@ -1236,9 +1242,9 @@ impl From<ServiceError> for JournalError {
 }
 
 /// Reads a journal directory: the installed snapshot plus every tail
-/// record, tolerating exactly one torn line at the very end of the last
-/// segment. A directory that does not exist (or is empty) reads as
-/// empty contents — a brand-new journal.
+/// record, tolerating exactly one torn line — newline-less and at the
+/// very end of the last segment. A directory that does not exist (or is
+/// empty) reads as empty contents — a brand-new journal.
 pub fn read_journal_dir(dir: &Path) -> Result<JournalContents, JournalError> {
     let mut contents = JournalContents::default();
     if !dir.exists() {
@@ -1263,6 +1269,15 @@ pub fn read_journal_dir(dir: &Path) -> Result<JournalContents, JournalError> {
             }
         }
     }
+    if let Some(snapshot) = &contents.snapshot {
+        // The per-machine watermarks are sequence numbers too, and the
+        // next sink must resume above them even when the WAL tail is
+        // empty (a snapshot install prunes the tail). Otherwise a quiet
+        // restart would read max_seq = 0, hand out seq 1.. at or below
+        // the watermarks, and the *next* recovery's watermark gate would
+        // silently drop those acknowledged records.
+        contents.max_seq = snapshot.machines.iter().map(|m| m.seq).max().unwrap_or(0);
+    }
     let covers = contents.snapshot.as_ref().map_or(0, |s| s.covers);
 
     let mut segments: Vec<u64> = fs::read_dir(dir)?
@@ -1275,19 +1290,32 @@ pub fn read_journal_dir(dir: &Path) -> Result<JournalContents, JournalError> {
     segments.sort_unstable();
     contents.max_segment = segments.last().copied().unwrap_or(0);
 
-    for (at, &segment) in segments.iter().enumerate() {
-        let last_segment = at + 1 == segments.len();
+    // A newline-less parse failure at the end of a segment is tolerated
+    // *provisionally*: it is a torn write only if no record follows it
+    // anywhere (a crashed recovery can leave empty segments after the
+    // torn one — rotation always syncs the old segment first, so any
+    // real record after the failure proves the line was fully written
+    // once, i.e. corruption).
+    let mut pending_torn: Option<String> = None;
+    for &segment in &segments {
         let path = dir.join(segment_name(segment));
-        let file = File::open(&path)?;
-        // Raw byte lines: a torn tail may not even be valid UTF-8.
-        let mut lines = BufReader::new(file).split(b'\n').peekable();
+        // Raw bytes: a torn tail may not even be valid UTF-8. Reading
+        // the whole segment also shows whether the final line kept its
+        // trailing newline — a line that did was fully written, so a
+        // parse failure there is corruption, never a torn write.
+        let data = fs::read(&path)?;
+        let newline_terminated = data.last() == Some(&b'\n');
+        let mut lines = data.split(|&b| b == b'\n').peekable();
         while let Some(line) = lines.next() {
-            let line = line?;
             if line.iter().all(u8::is_ascii_whitespace) {
                 continue;
             }
-            let is_tail = last_segment && lines.peek().is_none();
-            let parsed = std::str::from_utf8(&line)
+            if let Some(torn) = &pending_torn {
+                return Err(JournalError::Corrupt(format!(
+                    "records follow a malformed line ({torn})"
+                )));
+            }
+            let parsed = std::str::from_utf8(line)
                 .map_err(|e| Error::msg(format!("non-UTF-8 line: {e}")))
                 .and_then(JournalRecord::from_line);
             match parsed {
@@ -1300,22 +1328,23 @@ pub fn read_journal_dir(dir: &Path) -> Result<JournalContents, JournalError> {
                     }
                     contents.tail.push((seq, record));
                 }
-                Err(e) if is_tail => {
-                    // The crash tore the final line mid-write; by the
-                    // write-ahead discipline its effect was never
-                    // acknowledged beyond the fsync horizon.
-                    contents.torn_tail = true;
-                    let _ = e;
+                Err(e) if !newline_terminated && lines.peek().is_none() => {
+                    // Possibly a crash tearing the final line mid-write;
+                    // by the write-ahead discipline its effect was never
+                    // acknowledged beyond the fsync horizon. Confirmed
+                    // as torn only if nothing follows it.
+                    pending_torn = Some(format!("{}: {e}", path.display()));
                 }
                 Err(e) => {
                     return Err(JournalError::Corrupt(format!(
-                        "{} line is malformed before the tail: {e}",
+                        "{} holds a malformed, fully-written line: {e}",
                         path.display()
                     )));
                 }
             }
         }
     }
+    contents.torn_tail = pending_torn.is_some();
     Ok(contents)
 }
 
@@ -1578,6 +1607,54 @@ mod tests {
             read_journal_dir(&dir),
             Err(JournalError::Corrupt(_))
         ));
+        // A malformed final line that *kept* its trailing newline was
+        // fully written (and possibly fsync-acknowledged): that is
+        // corruption, not a torn write, and must refuse too.
+        fs::write(
+            &path,
+            "{\"seq\":1,\"rec\":\"release\",\"machine\":\"m0\",\"job\":1}\nnot json\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            read_journal_dir(&dir),
+            Err(JournalError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_across_trailing_empty_segments() {
+        // A crashed recovery leaves the torn segment *followed by* the
+        // empty segment the aborted recovery created; the journal must
+        // still open (the torn line is the last record anywhere). But a
+        // real record after the torn line proves the line was once
+        // fully written (rotation syncs first) — corruption, refuse.
+        let dir = temp_dir("torn-nonlast");
+        let journal = FileJournal::create(&dir, JournalConfig::default(), 0, 1, 0).unwrap();
+        journal.append(&JournalRecord::Release {
+            machine: "m0".into(),
+            job: 1,
+        });
+        drop(journal);
+        let torn_path = dir.join(segment_name(1));
+        let text = fs::read_to_string(&torn_path).unwrap();
+        fs::write(&torn_path, &text[..text.len() - 5]).unwrap();
+        fs::write(dir.join(segment_name(2)), "").unwrap();
+        let contents = read_journal_dir(&dir).unwrap();
+        assert!(contents.torn_tail);
+        assert!(contents.tail.is_empty());
+        assert_eq!(contents.max_segment, 2);
+        // A record in a later segment turns the tolerated torn line
+        // into corruption.
+        fs::write(
+            dir.join(segment_name(2)),
+            "{\"seq\":2,\"rec\":\"release\",\"machine\":\"m0\",\"job\":2}\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            read_journal_dir(&dir),
+            Err(JournalError::Corrupt(_))
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1622,6 +1699,53 @@ mod tests {
             stats.get("snapshots_installed").and_then(Value::as_u64),
             Some(1)
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn max_seq_resumes_above_snapshot_watermarks_when_the_tail_is_empty() {
+        // A snapshot install prunes the WAL, so a quiet restart reads an
+        // empty tail. The next sink must still continue the sequence
+        // space above the snapshot's per-machine watermarks, or its
+        // records would be gated out by the following recovery.
+        let dir = temp_dir("watermark-seed");
+        let journal = FileJournal::create(&dir, JournalConfig::default(), 1, 2, 42).unwrap();
+        let image = SnapshotImage {
+            epoch: 1,
+            covers: 1,
+            machines: vec![
+                MachineImage {
+                    machine: "m0".into(),
+                    mesh: "4x4".into(),
+                    allocator: "Hilbert w/BF".into(),
+                    strategy: None,
+                    scheduler: "FCFS".into(),
+                    seq: 42,
+                    clock: None,
+                    running: Vec::new(),
+                    queue: Vec::new(),
+                },
+                MachineImage {
+                    machine: "m1".into(),
+                    mesh: "4x4".into(),
+                    allocator: "Hilbert w/BF".into(),
+                    strategy: None,
+                    scheduler: "FCFS".into(),
+                    seq: 17,
+                    clock: None,
+                    running: Vec::new(),
+                    queue: Vec::new(),
+                },
+            ],
+            pools: Vec::new(),
+        };
+        journal
+            .install_snapshot(&JournalRecord::Snapshot(image))
+            .unwrap();
+        drop(journal);
+        let contents = read_journal_dir(&dir).unwrap();
+        assert!(contents.tail.is_empty());
+        assert_eq!(contents.max_seq, 42, "seeded from the highest watermark");
         fs::remove_dir_all(&dir).unwrap();
     }
 

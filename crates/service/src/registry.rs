@@ -410,13 +410,6 @@ impl MachineEntry {
         self.journaled = true;
     }
 
-    /// Composes `record` into the outbox when journaling is enabled.
-    fn log(&mut self, record: JournalRecord) {
-        if self.journaled {
-            self.outbox.push(record);
-        }
-    }
-
     /// Drains the records composed since the last flush (the service
     /// appends them to its sink while still holding the shard lock).
     pub fn take_outbox(&mut self) -> Vec<JournalRecord> {
@@ -632,10 +625,14 @@ impl MachineEntry {
     pub fn set_scheduler(&mut self, scheduler: SchedulerKind) -> Vec<(u64, Vec<NodeId>)> {
         self.generation += 1;
         self.queue.set_kind(scheduler);
-        self.log(JournalRecord::SetScheduler {
-            machine: self.name.clone(),
-            scheduler: scheduler.name().to_string(),
-        });
+        // Record composition is gated on `journaled` at every call site
+        // so the default (unjournaled) service pays no clones for it.
+        if self.journaled {
+            self.outbox.push(JournalRecord::SetScheduler {
+                machine: self.name.clone(),
+                scheduler: scheduler.name().to_string(),
+            });
+        }
         self.drain_queue(None)
     }
 
@@ -727,19 +724,21 @@ impl MachineEntry {
             self.metrics.queued += 1;
             // The request stays queued: that *is* the durable effect (the
             // drain's own grants and drops were logged as they happened).
-            let enqueued_at = self
-                .queue
-                .iter()
-                .find(|p| p.job_id == job_id)
-                .map(|p| p.enqueued_at)
-                .expect("job is queued");
-            self.log(JournalRecord::Queue {
-                machine: self.name.clone(),
-                job: job_id,
-                size,
-                walltime,
-                enqueued_at,
-            });
+            if self.journaled {
+                let enqueued_at = self
+                    .queue
+                    .iter()
+                    .find(|p| p.job_id == job_id)
+                    .map(|p| p.enqueued_at)
+                    .expect("job is queued");
+                self.outbox.push(JournalRecord::Queue {
+                    machine: self.name.clone(),
+                    job: job_id,
+                    size,
+                    walltime,
+                    enqueued_at,
+                });
+            }
             Ok(AllocOutcome::Queued(
                 self.queue.position(job_id).expect("job is queued"),
             ))
@@ -768,17 +767,21 @@ impl MachineEntry {
                 self.running.swap_remove(at);
             }
             self.metrics.released += 1;
-            self.log(JournalRecord::Release {
-                machine: self.name.clone(),
-                job: job_id,
-            });
+            if self.journaled {
+                self.outbox.push(JournalRecord::Release {
+                    machine: self.name.clone(),
+                    job: job_id,
+                });
+            }
         } else if self.queue.remove(job_id).is_some() {
             // Cancelling a queued request frees no processors, but may
             // unblock the queue if the cancelled job was the head.
-            self.log(JournalRecord::Cancel {
-                machine: self.name.clone(),
-                job: job_id,
-            });
+            if self.journaled {
+                self.outbox.push(JournalRecord::Cancel {
+                    machine: self.name.clone(),
+                    job: job_id,
+                });
+            }
         } else {
             return Err(ServiceError::UnknownJob {
                 machine: self.name.clone(),
@@ -854,13 +857,15 @@ impl MachineEntry {
                             .wait
                             .record(now - pending.enqueued_at, pending.walltime);
                     }
-                    self.log(JournalRecord::Grant {
-                        machine: self.name.clone(),
-                        job: pending.job_id,
-                        nodes: nodes.clone(),
-                        walltime: pending.walltime,
-                        start: now,
-                    });
+                    if self.journaled {
+                        self.outbox.push(JournalRecord::Grant {
+                            machine: self.name.clone(),
+                            job: pending.job_id,
+                            nodes: nodes.clone(),
+                            walltime: pending.walltime,
+                            start: now,
+                        });
+                    }
                     self.allocations.insert(pending.job_id, nodes.clone());
                     let meta = RunningMeta {
                         job_id: pending.job_id,
@@ -885,8 +890,8 @@ impl MachineEntry {
                     // a cancel; the arriving request was never journaled
                     // as queued, so there is nothing to cancel.
                     self.metrics.rejected += 1;
-                    if arriving != Some(pending.job_id) {
-                        self.log(JournalRecord::Cancel {
+                    if self.journaled && arriving != Some(pending.job_id) {
+                        self.outbox.push(JournalRecord::Cancel {
                             machine: self.name.clone(),
                             job: pending.job_id,
                         });

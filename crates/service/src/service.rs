@@ -17,7 +17,7 @@ use commalloc_mesh::curve3d::Curve3Kind;
 use commalloc_mesh::{Mesh2D, Mesh3D, NodeId};
 use serde::{Map, Serialize, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 pub use crate::registry::{AllocOutcome, JobStatus};
 
@@ -34,6 +34,10 @@ pub struct AllocationService {
     /// threshold together must not both rotate and install (the second
     /// install could prune a segment the first one still counts on).
     snapshotting: Arc<AtomicBool>,
+    /// Orders concurrent `set_router` flips so the journal append
+    /// happens in policy-apply order without holding the pool-table
+    /// lock across a (possibly fsyncing) append.
+    router_flips: Arc<Mutex<()>>,
 }
 
 impl Default for AllocationService {
@@ -44,6 +48,7 @@ impl Default for AllocationService {
             metrics: Arc::new(ServiceMetrics::default()),
             journal: Arc::new(NoopJournal),
             snapshotting: Arc::new(AtomicBool::new(false)),
+            router_flips: Arc::new(Mutex::new(())),
         }
     }
 }
@@ -279,7 +284,26 @@ impl AllocationService {
         };
         // The registration record is appended under the new entry's shard
         // lock so no grant of this machine can be journaled ahead of it.
+        // The pool join happens in there too, *before* the record: a
+        // concurrent snapshot that photographs this machine at or above
+        // the record's watermark then provably photographs the pool
+        // table (read afterwards) with the membership in place —
+        // otherwise recovery could skip the tail Register record via the
+        // watermark gate and silently drop the machine from its pool.
         self.registry.register_entry(machine, entry, |entry| {
+            // The flip-order lock is held from the pool join to the end
+            // of the append: a concurrent `set_router` on this (possibly
+            // brand-new) pool cannot journal its flip ahead of the
+            // Register record that creates the pool, so recovery never
+            // replays a SetRouter against a pool that does not exist yet.
+            let _pool_order = pool.map(|pool| {
+                let ordered = self
+                    .router_flips
+                    .lock()
+                    .expect("router flip order poisoned");
+                self.router.add_member(pool, machine);
+                ordered
+            });
             if self.journal.durable() {
                 entry.enable_journaling();
                 if journal {
@@ -295,9 +319,6 @@ impl AllocationService {
                 }
             }
         })?;
-        if let Some(pool) = pool {
-            self.router.add_member(pool, machine);
-        }
         Ok(())
     }
 
@@ -398,11 +419,19 @@ impl AllocationService {
                 RoutingPolicy::all().map(|p| p.name()).join(", ")
             ))
         })?;
+        // The apply + append pair runs under `router_flips`, so for
+        // concurrent flips of the same pool journal order equals apply
+        // order — recovery replays in append order and must resurrect
+        // the policy that actually won, not merely *a* last writer. The
+        // mutex (not the pool-table write lock) holds across the append
+        // because the append can fsync under `--fsync every`, and the
+        // pool table must not be read-blocked behind the disk — routing
+        // samples it on every pooled request.
+        let _ordered = self
+            .router_flips
+            .lock()
+            .expect("router flip order poisoned");
         self.router.set_policy(pool, parsed)?;
-        // Pool-policy flips are journaled outside any machine lock:
-        // they are last-writer-wins by design, and recovery applies
-        // them in append order, so a concurrent-flip interleaving can
-        // only decide *which* policy survives, never corrupt occupancy.
         if self.journal.durable() {
             self.journal.append(&JournalRecord::SetRouter {
                 pool: pool.to_string(),
@@ -719,13 +748,28 @@ impl AllocationService {
             watermarks.insert(m.machine.clone(), m.seq);
         }
         for p in &image.pools {
+            // The machine list and the pool table are photographed under
+            // different locks, so a machine registering mid-capture can
+            // appear as a pool member without a machine image. Its
+            // Register record (which carries the pool) replays from the
+            // tail when it was durable; when it was not, the member must
+            // not be resurrected — a ghost member fails every route to
+            // the pool with UnknownMachine.
+            let mut created = false;
             for member in &p.members {
-                self.router.add_member(&p.pool, member);
+                if watermarks.contains_key(member) {
+                    self.router.add_member(&p.pool, member);
+                    created = true;
+                }
             }
-            let policy = RoutingPolicy::parse(&p.policy).ok_or_else(|| {
-                ServiceError::InvalidSpec(format!("routing policy {:?}", p.policy))
-            })?;
-            self.router.set_policy(&p.pool, policy)?;
+            if created {
+                let policy = RoutingPolicy::parse(&p.policy).ok_or_else(|| {
+                    ServiceError::InvalidSpec(format!("routing policy {:?}", p.policy))
+                })?;
+                self.router.set_policy(&p.pool, policy)?;
+            }
+            // No surviving member: the pool replays entirely from tail
+            // records (or was lost with its only registration).
         }
         Ok(watermarks)
     }

@@ -219,6 +219,45 @@ fn recovered_cluster_state_matches_uninterrupted_run() {
     }
 }
 
+/// Snapshot → crash → recover → traffic → crash → recover: operations
+/// acknowledged *after* the first restart must survive the second one.
+/// A snapshot install prunes the WAL, so the first restart boots from a
+/// snapshot with an empty tail; if the new incarnation's sequence
+/// numbers restarted below the snapshot's per-machine watermarks, the
+/// second recovery's watermark gate would silently drop everything the
+/// restarted daemon journaled.
+#[test]
+fn operations_after_a_restart_survive_the_next_restart() {
+    let dir = temp_dir("double-restart");
+    {
+        let (service, _) = open_journaled(&dir, JournalConfig::default()).unwrap();
+        service.register("m", "8x8", None, None, None).unwrap();
+        service.allocate("m", 1, 4, false, None).unwrap();
+        // Compact: the snapshot carries the machine's journal watermark
+        // and prunes the WAL, leaving an empty tail for the next boot.
+        service.install_journal_snapshot().unwrap();
+    }
+    // Restart #1: traffic in the new incarnation must land above the
+    // recovered watermark.
+    {
+        let (service, report) = open_journaled(&dir, JournalConfig::default()).unwrap();
+        assert_eq!(report.epoch, 1);
+        service.allocate("m", 2, 8, false, None).unwrap();
+        service.release("m", 1).unwrap();
+    }
+    // Restart #2: the post-restart grant and release both recovered.
+    let (recovered, report) = open_journaled(&dir, JournalConfig::default()).unwrap();
+    assert_eq!(report.epoch, 2);
+    assert_eq!(recovered.poll("m", 1).unwrap(), JobStatus::Unknown);
+    assert!(matches!(
+        recovered.poll("m", 2).unwrap(),
+        JobStatus::Running(_)
+    ));
+    assert_eq!(recovered.query("m").unwrap().busy, 8);
+    recovered.check_invariants("m").unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Crash → recover → keep running: the recovered daemon still serves
 /// (releases drain the recovered queue, grants stay sound) — recovery
 /// produces a *live* machine, not a museum piece.
