@@ -1,9 +1,10 @@
 //! Scheduling-policy comparison through the live service: the same
 //! mixed-size job stream, offered at ~90% machine occupancy, replayed
-//! deterministically (virtual time) under FCFS, first-fit backfill and
-//! EASY backfill. Reports per-policy queue waits (count/mean/max),
-//! makespan, achieved utilization and raw service throughput, and emits
-//! `BENCH_schedulers.json`.
+//! deterministically (virtual time) under FCFS, first-fit backfill,
+//! EASY backfill and conservative backfill. Reports per-policy queue
+//! waits (count/mean/max), bounded slowdowns (mean/p99 — the fairness
+//! tail conservative exists to protect), makespan, achieved utilization
+//! and raw service throughput, and emits `BENCH_schedulers.json`.
 //!
 //! The workload mixes many small jobs (1–16 processors) with occasional
 //! large ones (32–96 processors) — the regime where FCFS's head-of-line
@@ -14,7 +15,7 @@
 //! Usage: `scheduler_throughput [--jobs N] [--seed S]`
 
 use commalloc::scheduler::SchedulerKind;
-use commalloc_service::{replay, AllocationService, ReplayJob};
+use commalloc_service::{replay, AllocationService, ReplayJob, SLOWDOWN_TAU_SECONDS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Map, Serialize, Value};
@@ -57,6 +58,8 @@ struct PolicyRow {
     mean_wait: f64,
     max_wait: f64,
     waits: u64,
+    mean_slowdown: f64,
+    p99_slowdown: f64,
     makespan: f64,
     utilization: f64,
     ops_per_sec: f64,
@@ -77,6 +80,11 @@ fn run_policy(scheduler: SchedulerKind, jobs: &[ReplayJob]) -> PolicyRow {
     let mut wait_max = 0.0f64;
     let mut waits = 0u64;
     let mut busy_integral = 0.0f64;
+    // Bounded slowdowns, exactly as `WaitStats::record` anchors them:
+    // (wait + max(runtime, τ)) / max(runtime, τ) with τ = 10 s. The p99
+    // is the fairness tail the reservation-based policies compete on —
+    // conservative trades some of EASY's mean for that tail.
+    let mut slowdowns: Vec<f64> = Vec::with_capacity(jobs.len());
     for grant in &log.grants {
         let job = &jobs[grant.job_id as usize];
         let wait = grant.time - job.arrival;
@@ -85,8 +93,12 @@ fn run_policy(scheduler: SchedulerKind, jobs: &[ReplayJob]) -> PolicyRow {
         if wait > 0.0 {
             waits += 1;
         }
+        let runtime = job.duration.max(SLOWDOWN_TAU_SECONDS);
+        slowdowns.push((wait + runtime) / runtime);
         busy_integral += job.size as f64 * job.duration;
     }
+    slowdowns.sort_by(f64::total_cmp);
+    let p99_rank = ((0.99 * slowdowns.len() as f64).ceil() as usize).clamp(1, slowdowns.len());
     // One op = one alloc or one release round trip through the service.
     let ops = 2.0 * jobs.len() as f64;
     PolicyRow {
@@ -94,6 +106,8 @@ fn run_policy(scheduler: SchedulerKind, jobs: &[ReplayJob]) -> PolicyRow {
         mean_wait: wait_total / jobs.len() as f64,
         max_wait: wait_max,
         waits,
+        mean_slowdown: slowdowns.iter().sum::<f64>() / slowdowns.len() as f64,
+        p99_slowdown: slowdowns[p99_rank - 1],
         makespan: log.end_time,
         utilization: busy_integral / (log.end_time * NODES),
         ops_per_sec: ops / elapsed.max(1e-9),
@@ -119,6 +133,7 @@ fn main() {
         match args[i].as_str() {
             "--jobs" => {
                 jobs = numeric("--jobs") as usize;
+                assert!(jobs > 0, "--jobs needs at least one job");
                 i += 1;
             }
             "--seed" => {
@@ -135,13 +150,16 @@ fn main() {
     for scheduler in SchedulerKind::all() {
         let row = run_policy(scheduler, &stream);
         println!(
-            "{:<18} mean wait {:>8.1} s | max wait {:>8.0} s | waited {:>4}/{} | \
-             makespan {:>8.0} s | util {:>5.1}% | {:>9.0} ops/s",
+            "{:<21} mean wait {:>8.1} s | max wait {:>8.0} s | waited {:>4}/{} | \
+             slowdown mean {:>6.2} p99 {:>7.2} | makespan {:>8.0} s | util {:>5.1}% | \
+             {:>9.0} ops/s",
             row.scheduler.name(),
             row.mean_wait,
             row.max_wait,
             row.waits,
             jobs,
+            row.mean_slowdown,
+            row.p99_slowdown,
             row.makespan,
             row.utilization * 100.0,
             row.ops_per_sec,
@@ -157,6 +175,10 @@ fn main() {
         .iter()
         .find(|r| r.scheduler == SchedulerKind::EasyBackfill)
         .expect("EASY row");
+    let conservative = rows
+        .iter()
+        .find(|r| r.scheduler == SchedulerKind::Conservative)
+        .expect("conservative row");
     let ratio = easy.mean_wait / fcfs.mean_wait.max(1e-9);
     println!(
         "EASY mean wait is {:.2}x FCFS's at ~{:.0}% offered occupancy \
@@ -165,6 +187,12 @@ fn main() {
         TARGET_OCCUPANCY * 100.0,
         jobs,
         seed
+    );
+    println!(
+        "conservative vs EASY: mean slowdown {:.2}x, p99 slowdown {:.2}x \
+         (whole-queue reservations trade mean for the fairness tail)",
+        conservative.mean_slowdown / easy.mean_slowdown.max(1e-9),
+        conservative.p99_slowdown / easy.p99_slowdown.max(1e-9),
     );
 
     let mut out = Map::new();
@@ -184,6 +212,8 @@ fn main() {
                     row.insert("mean_wait_seconds".into(), r.mean_wait.to_value());
                     row.insert("max_wait_seconds".into(), r.max_wait.to_value());
                     row.insert("jobs_that_waited".into(), r.waits.to_value());
+                    row.insert("mean_bounded_slowdown".into(), r.mean_slowdown.to_value());
+                    row.insert("p99_bounded_slowdown".into(), r.p99_slowdown.to_value());
                     row.insert("makespan_seconds".into(), r.makespan.to_value());
                     row.insert("utilization".into(), r.utilization.to_value());
                     row.insert("service_ops_per_sec".into(), r.ops_per_sec.to_value());
@@ -193,6 +223,20 @@ fn main() {
         ),
     );
     out.insert("easy_vs_fcfs_mean_wait".into(), ratio.to_value());
+    let mut cmp = Map::new();
+    cmp.insert(
+        "mean_bounded_slowdown".into(),
+        (conservative.mean_slowdown / easy.mean_slowdown.max(1e-9)).to_value(),
+    );
+    cmp.insert(
+        "p99_bounded_slowdown".into(),
+        (conservative.p99_slowdown / easy.p99_slowdown.max(1e-9)).to_value(),
+    );
+    cmp.insert(
+        "mean_wait_seconds".into(),
+        (conservative.mean_wait / easy.mean_wait.max(1e-9)).to_value(),
+    );
+    out.insert("conservative_vs_easy".into(), Value::Object(cmp));
     let json = serde_json::to_string_pretty(&Value::Object(out)).expect("rendering is infallible");
     std::fs::write("BENCH_schedulers.json", &json).expect("can write BENCH_schedulers.json");
     println!("wrote BENCH_schedulers.json");
@@ -204,6 +248,16 @@ fn main() {
             easy.mean_wait <= fcfs.mean_wait + 1e-9,
             "EASY backfilling should not wait longer than FCFS on the \
              canonical mixed-size workload"
+        );
+        assert!(
+            conservative.mean_wait <= fcfs.mean_wait + 1e-9,
+            "conservative backfilling should not wait longer than FCFS on \
+             the canonical mixed-size workload"
+        );
+        assert!(
+            conservative.max_wait <= fcfs.max_wait + 1e-9,
+            "whole-queue reservations should tighten the worst-case wait \
+             relative to FCFS on the canonical workload"
         );
     } else if easy.mean_wait > fcfs.mean_wait {
         eprintln!("note: EASY waits longer than FCFS on this custom workload");

@@ -172,7 +172,8 @@ pub struct ServeOptions {
     pub machines: Vec<(String, String)>,
     /// Pre-registered machine: allocator (2-D) / curve (3-D) spec.
     pub allocator: Option<String>,
-    /// Pre-registered machine: scheduling policy (fcfs, backfill, easy).
+    /// Pre-registered machine: scheduling policy (fcfs, backfill,
+    /// easy, conservative).
     pub scheduler: Option<String>,
     /// Cluster pool every pre-registered machine joins.
     pub pool: Option<String>,
@@ -728,7 +729,7 @@ SUBCOMMANDS:
   serve       run the online allocation daemon (NDJSON over TCP)
               [--addr HOST:PORT] [--workers N] [--machine NAME]
               [--mesh WxH|WxHxD] [--machines N0=M0,N1=M1,...]
-              [--allocator A] [--scheduler fcfs|backfill|easy]
+              [--allocator A] [--scheduler fcfs|backfill|easy|conservative]
               [--pool POOL] [--router rr|ll|sq|p2c]
               [--journal DIR] [--fsync every|never|N] [--snapshot-every N]
   loadgen     drive a running daemon with allocate/release traffic

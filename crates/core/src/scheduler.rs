@@ -51,15 +51,37 @@ pub enum SchedulerKind {
     /// start if they fit now *and* do not delay that reservation (extension,
     /// not used by the paper).
     EasyBackfill,
+    /// Conservative backfilling: *every* queued job holds a reservation in
+    /// a shared [`ReservationTable`], assigned in queue order; a candidate
+    /// may only start now if doing so cannot delay the reservation of any
+    /// job ahead of it (extension, not used by the paper). Strictly fairer
+    /// than EASY — jobs deep in the queue are protected, not just the head
+    /// — at the cost of fewer backfill opportunities.
+    Conservative,
 }
 
 impl SchedulerKind {
-    /// The scheduling policies implemented.
-    pub fn all() -> [SchedulerKind; 3] {
+    /// Number of scheduling policies, derived from an exhaustive match:
+    /// adding a `SchedulerKind` variant fails to compile here, which in
+    /// turn forces [`SchedulerKind::all`] (whose array length is this
+    /// constant) to be extended — the test matrices that iterate `all()`
+    /// can never silently narrow.
+    pub const COUNT: usize = match SchedulerKind::Fcfs {
+        SchedulerKind::Fcfs
+        | SchedulerKind::FirstFitBackfill
+        | SchedulerKind::EasyBackfill
+        | SchedulerKind::Conservative => 4,
+    };
+
+    /// The scheduling policies implemented, in presentation order. The
+    /// length is [`SchedulerKind::COUNT`], which an exhaustive match pins
+    /// to the variant count — see there.
+    pub fn all() -> [SchedulerKind; SchedulerKind::COUNT] {
         [
             SchedulerKind::Fcfs,
             SchedulerKind::FirstFitBackfill,
             SchedulerKind::EasyBackfill,
+            SchedulerKind::Conservative,
         ]
     }
 
@@ -69,6 +91,7 @@ impl SchedulerKind {
             SchedulerKind::Fcfs => "FCFS",
             SchedulerKind::FirstFitBackfill => "first-fit backfill",
             SchedulerKind::EasyBackfill => "EASY backfill",
+            SchedulerKind::Conservative => "conservative backfill",
         }
     }
 
@@ -79,7 +102,7 @@ impl SchedulerKind {
     pub fn uses_running_snapshots(&self) -> bool {
         match self {
             SchedulerKind::Fcfs | SchedulerKind::FirstFitBackfill => false,
-            SchedulerKind::EasyBackfill => true,
+            SchedulerKind::EasyBackfill | SchedulerKind::Conservative => true,
         }
     }
 
@@ -88,13 +111,16 @@ impl SchedulerKind {
     pub fn scans_whole_queue(&self) -> bool {
         match self {
             SchedulerKind::Fcfs => false,
-            SchedulerKind::FirstFitBackfill | SchedulerKind::EasyBackfill => true,
+            SchedulerKind::FirstFitBackfill
+            | SchedulerKind::EasyBackfill
+            | SchedulerKind::Conservative => true,
         }
     }
 
     /// Parses a scheduler spec: the full [`SchedulerKind::name`]
-    /// (case-insensitive) or the short aliases `fcfs`, `backfill` and
-    /// `easy` used by the CLI and the service protocol.
+    /// (case-insensitive) or the short aliases `fcfs`, `backfill`,
+    /// `easy` and `conservative` used by the CLI and the service
+    /// protocol.
     pub fn parse(spec: &str) -> Option<SchedulerKind> {
         let spec = spec.trim();
         SchedulerKind::all()
@@ -104,6 +130,7 @@ impl SchedulerKind {
                 "fcfs" => Some(SchedulerKind::Fcfs),
                 "backfill" | "first-fit" | "firstfit" => Some(SchedulerKind::FirstFitBackfill),
                 "easy" => Some(SchedulerKind::EasyBackfill),
+                "conservative" | "cons" => Some(SchedulerKind::Conservative),
                 _ => None,
             })
     }
@@ -111,16 +138,19 @@ impl SchedulerKind {
     /// Selects the index of the next queued job to start given `free`
     /// processors, or `None` if nothing may start.
     ///
-    /// EASY backfilling needs the running-job snapshots and the current time
-    /// to compute its reservation; use [`SchedulerKind::select_with_context`]
-    /// for it. Calling `select` on EASY falls back to the conservative FCFS
+    /// The reservation-based policies (EASY, conservative) need the
+    /// running-job snapshots and the current time to compute their
+    /// reservations; use [`SchedulerKind::select_with_context`] for them.
+    /// Calling `select` on either falls back to the conservative FCFS
     /// decision (only the head may start).
     pub fn select(&self, queue: &[QueuedJob], free: usize) -> Option<usize> {
         match self {
-            SchedulerKind::Fcfs | SchedulerKind::EasyBackfill => match queue.first() {
-                Some(head) if head.size <= free => Some(0),
-                _ => None,
-            },
+            SchedulerKind::Fcfs | SchedulerKind::EasyBackfill | SchedulerKind::Conservative => {
+                match queue.first() {
+                    Some(head) if head.size <= free => Some(0),
+                    _ => None,
+                }
+            }
             SchedulerKind::FirstFitBackfill => queue.iter().position(|j| j.size <= free),
         }
     }
@@ -131,7 +161,10 @@ impl SchedulerKind {
     /// For FCFS and aggressive backfilling this is identical to
     /// [`SchedulerKind::select`]; EASY backfilling uses the extra context to
     /// compute the head job's reservation (shadow time) and backfills only
-    /// jobs that cannot delay it.
+    /// jobs that cannot delay it; conservative backfilling reserves a start
+    /// for *every* queued job in queue order and starts the first job whose
+    /// reservation is due now — which, by construction, cannot delay the
+    /// reservation of any job ahead of it.
     pub fn select_with_context(
         &self,
         queue: &[QueuedJob],
@@ -157,7 +190,73 @@ impl SchedulerKind {
                     // `position` on the skipped iterator is relative to index 1.
                     .map(|i| i + 1)
             }
+            SchedulerKind::Conservative => {
+                let mut table = ReservationTable::new(free, running, now);
+                for (at, job) in queue.iter().enumerate() {
+                    let start = table.earliest_start(job.size, job.estimate);
+                    if start <= now && job.size <= free {
+                        // The job's reservation is due right now and the
+                        // processors really are free (the profile can
+                        // predict capacity at `now` that an overrunning
+                        // job has not actually released yet — the extra
+                        // `size <= free` check keeps the pick honest).
+                        // Every job ahead already holds its carved
+                        // reservation, so starting this one cannot delay
+                        // any of them.
+                        return Some(at);
+                    }
+                    if !start.is_finite() {
+                        // This job's start depends on terminations the
+                        // profile cannot predict (jobs running without a
+                        // finite estimate). Like EASY's unbounded
+                        // reservation, everything behind it is denied —
+                        // letting later jobs leapfrog an unplannable
+                        // reservation is exactly the starvation
+                        // conservative backfilling exists to prevent.
+                        return None;
+                    }
+                    table.reserve_at(start, job.size, job.estimate);
+                }
+                None
+            }
         }
+    }
+
+    /// The start-time guarantee conservative backfilling assigns to every
+    /// queued job: job `i`'s reservation is the earliest start that fits
+    /// the availability profile *after* jobs `0..i` carved theirs, in
+    /// queue order. `f64::INFINITY` marks a job whose start depends on
+    /// unplannable terminations (a running job without a finite
+    /// estimate); every job behind such a reservation is unplannable too.
+    ///
+    /// This is the table the property tests pin the no-delay/no-starvation
+    /// guarantees against, and the introspection hook for dashboards; the
+    /// select path ([`SchedulerKind::select_with_context`]) recomputes the
+    /// same table per decision because predicted completions drift with
+    /// network rates — a cached table would go stale between events.
+    pub fn reservations(
+        queue: &[QueuedJob],
+        free: usize,
+        running: &[RunningSnapshot],
+        now: f64,
+    ) -> Vec<f64> {
+        let mut table = ReservationTable::new(free, running, now);
+        let mut starts = Vec::with_capacity(queue.len());
+        let mut unplannable = false;
+        for job in queue {
+            let start = if unplannable {
+                f64::INFINITY
+            } else {
+                table.earliest_start(job.size, job.estimate)
+            };
+            if start.is_finite() {
+                table.reserve_at(start, job.size, job.estimate);
+            } else {
+                unplannable = true;
+            }
+            starts.push(start);
+        }
+        starts
     }
 
     /// Computes the EASY reservation for a head job of `head_size`
@@ -214,6 +313,163 @@ impl fmt::Display for SchedulerKind {
     }
 }
 
+/// The availability profile conservative backfilling plans against: a
+/// step function of *predicted free processors over future time*, seeded
+/// from the current free count and the running jobs' predicted releases,
+/// then progressively carved as each queued job claims its reservation
+/// window.
+///
+/// Bookkeeping model: releases *collapse into* the baseline — a table is
+/// rebuilt from live state at every decision point (starts and releases
+/// change the free count and the running set; cancellations drop a
+/// queued job before its carve), because predicted completions drift
+/// with network rates and a table cached across events would plan
+/// against stale releases. The per-decision cost is
+/// `O(queue · points²)` with `points ≤ running + 2·queue`, which is
+/// dwarfed by the allocator search that follows a grant.
+///
+/// Conventions, shared with [`SchedulerKind::reservation`] (EASY's
+/// two-point special case):
+///
+/// * running jobs without a finite predicted completion never release —
+///   their processors simply never enter the profile;
+/// * predicted completions in the past (a job overrunning its estimate)
+///   are clamped to `now` — "any moment now" is the best the prediction
+///   can say;
+/// * a reservation of infinite duration (a queued job without a walltime
+///   estimate) holds its processors from its start forever.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReservationTable {
+    now: f64,
+    /// `(time, available)` steps, strictly increasing in time, with
+    /// `points[0].0 == now`; `available` holds on `[time_i, time_{i+1})`
+    /// and the last step extends to infinity.
+    points: Vec<(f64, usize)>,
+}
+
+impl ReservationTable {
+    /// Builds the profile from `free` processors available now plus every
+    /// finite predicted release among `running`.
+    pub fn new(free: usize, running: &[RunningSnapshot], now: f64) -> Self {
+        let mut releases: Vec<(f64, usize)> = running
+            .iter()
+            .filter(|r| r.completion.is_finite())
+            .map(|r| (r.completion.max(now), r.size))
+            .collect();
+        // Stable, like EASY's release sort: equal predicted completions
+        // keep their running-set order (tie-breaking parity online and
+        // offline is what makes the grant-log equivalence byte-exact).
+        releases.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut points = vec![(now, free)];
+        for (time, size) in releases {
+            let last = points.last_mut().expect("profile starts non-empty");
+            if last.0 == time {
+                last.1 += size;
+            } else {
+                let available = last.1 + size;
+                points.push((time, available));
+            }
+        }
+        ReservationTable { now, points }
+    }
+
+    /// The time the profile starts at.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Predicted free processors at time `t` (clamped to the profile
+    /// start).
+    pub fn available_at(&self, t: f64) -> usize {
+        self.points
+            .iter()
+            .take_while(|p| p.0 <= t)
+            .last()
+            .map(|p| p.1)
+            .unwrap_or_else(|| self.points[0].1)
+    }
+
+    /// The earliest time `>= now` at which `size` processors are
+    /// continuously available for `duration` seconds (infinite duration:
+    /// forever), or `f64::INFINITY` when the profile never provides them.
+    ///
+    /// The earliest feasible start is always one of the profile's step
+    /// points — the feasible set is the complement of finitely many
+    /// half-open intervals whose right endpoints are steps — so scanning
+    /// the points in order and returning the first that can host the
+    /// whole window is exact, not a heuristic.
+    pub fn earliest_start(&self, size: usize, duration: f64) -> f64 {
+        'candidate: for (i, &(start, available)) in self.points.iter().enumerate() {
+            if available < size {
+                continue;
+            }
+            let end = start + duration;
+            for &(time, later) in &self.points[i + 1..] {
+                if time >= end {
+                    break;
+                }
+                if later < size {
+                    continue 'candidate;
+                }
+            }
+            return start;
+        }
+        f64::INFINITY
+    }
+
+    /// Reserves `size` processors for `duration` seconds at the earliest
+    /// feasible start, carving the window out of the profile; returns the
+    /// reserved start (`f64::INFINITY`, carving nothing, when the profile
+    /// can never host the job).
+    pub fn reserve(&mut self, size: usize, duration: f64) -> f64 {
+        let start = self.earliest_start(size, duration);
+        if start.is_finite() {
+            self.reserve_at(start, size, duration);
+        }
+        start
+    }
+
+    /// Carves `size` processors over `[start, start + duration)` out of
+    /// the profile — the insert half of the bookkeeping, used after
+    /// [`ReservationTable::earliest_start`] confirmed the window fits.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the window really had `size` processors
+    /// available (a mis-carved profile would promise the same processors
+    /// to two reservations).
+    pub fn reserve_at(&mut self, start: f64, size: usize, duration: f64) {
+        let end = start + duration;
+        self.ensure_point(start);
+        if end.is_finite() {
+            self.ensure_point(end);
+        }
+        for point in &mut self.points {
+            if point.0 >= start && point.0 < end {
+                debug_assert!(
+                    point.1 >= size,
+                    "reservation window [{start}, {end}) oversubscribes the profile"
+                );
+                point.1 = point.1.saturating_sub(size);
+            }
+        }
+    }
+
+    /// Splits the step containing `t` so `t` itself becomes a step
+    /// boundary (no-op when it already is, or when `t` precedes the
+    /// profile).
+    fn ensure_point(&mut self, t: f64) {
+        match self.points.binary_search_by(|p| p.0.total_cmp(&t)) {
+            Ok(_) => {}
+            Err(0) => {}
+            Err(i) => {
+                let available = self.points[i - 1].1;
+                self.points.insert(i, (t, available));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,7 +511,13 @@ mod tests {
     fn default_is_fcfs() {
         assert_eq!(SchedulerKind::default(), SchedulerKind::Fcfs);
         assert_eq!(SchedulerKind::Fcfs.to_string(), "FCFS");
-        assert_eq!(SchedulerKind::all().len(), 3);
+        assert_eq!(SchedulerKind::all().len(), SchedulerKind::COUNT);
+        // `all()` lists each variant exactly once (COUNT pins the length;
+        // this pins the contents).
+        let mut seen = std::collections::HashSet::new();
+        for kind in SchedulerKind::all() {
+            assert!(seen.insert(kind), "{kind} listed twice in all()");
+        }
     }
 
     #[test]
@@ -355,6 +617,10 @@ mod tests {
             SchedulerKind::parse("EASY"),
             Some(SchedulerKind::EasyBackfill)
         );
+        assert_eq!(
+            SchedulerKind::parse("conservative"),
+            Some(SchedulerKind::Conservative)
+        );
         assert_eq!(SchedulerKind::parse("round-robin"), None);
     }
 
@@ -381,8 +647,161 @@ mod tests {
     #[test]
     fn plain_select_on_easy_is_conservative_fcfs() {
         let q = queue();
-        assert_eq!(SchedulerKind::EasyBackfill.select(&q, 12), Some(0));
-        assert_eq!(SchedulerKind::EasyBackfill.select(&q, 8), None);
+        for kind in [SchedulerKind::EasyBackfill, SchedulerKind::Conservative] {
+            assert_eq!(kind.select(&q, 12), Some(0), "{kind}");
+            assert_eq!(kind.select(&q, 8), None, "{kind}");
+        }
+    }
+
+    #[test]
+    fn conservative_starts_a_fitting_head_and_backfills_safe_jobs() {
+        // Head needs 10, only 4 free; a running job releases 6 at t = 100.
+        // Head's reservation: t = 100 (all 10 available). Job 2 (size 2,
+        // estimate 50) finishes by t = 50 and its window never touches
+        // the head's carve — it backfills. Job 3 (size 4, estimate 500)
+        // would still hold 4 of the head's 10 processors at t = 100.
+        let q = queue();
+        let running = [RunningSnapshot {
+            completion: 100.0,
+            size: 6,
+        }];
+        assert_eq!(
+            SchedulerKind::Conservative.select_with_context(&q, 12, &running, 0.0),
+            Some(0),
+            "a fitting head starts first"
+        );
+        assert_eq!(
+            SchedulerKind::Conservative.select_with_context(&q, 4, &running, 0.0),
+            Some(1)
+        );
+        let q2 = vec![q[0], q[2]];
+        assert_eq!(
+            SchedulerKind::Conservative.select_with_context(&q2, 4, &running, 0.0),
+            None
+        );
+        assert_eq!(
+            SchedulerKind::Conservative.select_with_context(&[], 12, &running, 0.0),
+            None
+        );
+    }
+
+    #[test]
+    fn conservative_protects_mid_queue_reservations_where_easy_does_not() {
+        // 3 processors free; one running job releases 10 at t = 100.
+        // Head (size 10, est 100) is reserved at t = 100, carving the
+        // profile to 3 over [100, 200). Mid (size 12, est 100) is
+        // reserved at t = 200 — the head's window end — carving
+        // [200, 300) down to 1.
+        let head = queued(1, 10, 0.0, 100.0);
+        let mid = queued(2, 12, 1.0, 100.0);
+        let running = [RunningSnapshot {
+            completion: 100.0,
+            size: 10,
+        }];
+        // A short tail (size 3, est 90) runs inside [0, 90): it delays
+        // neither carve, so both policies backfill it.
+        let short = vec![head, mid, queued(3, 3, 2.0, 90.0)];
+        for kind in [SchedulerKind::EasyBackfill, SchedulerKind::Conservative] {
+            assert_eq!(
+                kind.select_with_context(&short, 3, &running, 0.0),
+                Some(2),
+                "{kind}"
+            );
+        }
+        // A long tail (size 3, est 500) holds its 3 processors through
+        // mid's [200, 300) window, where only 1 is spare. EASY protects
+        // only the head (shadow 100, extra 3: the tail fits the extras)
+        // and lets it through; conservative refuses — this is exactly
+        // the fairness gap between the two policies.
+        let long = vec![head, mid, queued(3, 3, 2.0, 500.0)];
+        assert_eq!(
+            SchedulerKind::EasyBackfill.select_with_context(&long, 3, &running, 0.0),
+            Some(2),
+            "EASY protects only the head"
+        );
+        assert_eq!(
+            SchedulerKind::Conservative.select_with_context(&long, 3, &running, 0.0),
+            None,
+            "conservative protects every earlier reservation"
+        );
+    }
+
+    #[test]
+    fn conservative_denies_everything_behind_an_unplannable_job() {
+        // The head can only start when a no-estimate job terminates;
+        // conservative refuses to let anything leapfrog it.
+        let q = vec![queued(1, 10, 0.0, 10.0), queued(2, 1, 1.0, 1.0)];
+        let running = [RunningSnapshot {
+            completion: f64::INFINITY,
+            size: 20,
+        }];
+        assert_eq!(
+            SchedulerKind::Conservative.select_with_context(&q, 3, &running, 0.0),
+            None
+        );
+        let starts = SchedulerKind::reservations(&q, 3, &running, 0.0);
+        assert!(starts.iter().all(|s| s.is_infinite()));
+    }
+
+    #[test]
+    fn reservations_assign_queue_order_start_guarantees() {
+        // 4 free now; 6 more at t = 100. Head (10, est 100) reserved at
+        // t = 100 carving everything; job 2 (2, est 50) fits the 4 free
+        // now; job 3 (4, est 10) also wants the free-now processors but
+        // job 2's carve leaves only 2 until t = 50, so it starts then.
+        let q = vec![
+            queued(1, 10, 0.0, 100.0),
+            queued(2, 2, 1.0, 50.0),
+            queued(3, 4, 2.0, 10.0),
+        ];
+        let running = [RunningSnapshot {
+            completion: 100.0,
+            size: 6,
+        }];
+        let starts = SchedulerKind::reservations(&q, 4, &running, 0.0);
+        assert_eq!(starts, vec![100.0, 0.0, 50.0]);
+    }
+
+    #[test]
+    fn reservation_table_carves_and_recovers_windows() {
+        let running = [
+            RunningSnapshot {
+                completion: 10.0,
+                size: 4,
+            },
+            RunningSnapshot {
+                completion: 20.0,
+                size: 4,
+            },
+        ];
+        let mut table = ReservationTable::new(2, &running, 0.0);
+        assert_eq!(table.available_at(0.0), 2);
+        assert_eq!(table.available_at(10.0), 6);
+        assert_eq!(table.available_at(25.0), 10);
+        // A size-6 job for 5 s fits at t = 10.
+        assert_eq!(table.earliest_start(6, 5.0), 10.0);
+        // An infinite-duration job needs its processors forever: size 6
+        // cannot start until t = 10 holds 6 for good — but the window
+        // check sees the t = 20 rise too, so 10 works (availability only
+        // grows). Carve it and the next size-6 job must wait forever.
+        assert_eq!(table.reserve(6, f64::INFINITY), 10.0);
+        assert_eq!(table.available_at(10.0), 0);
+        assert_eq!(table.available_at(20.0), 4);
+        assert_eq!(table.earliest_start(6, 1.0), f64::INFINITY);
+        assert_eq!(table.reserve(6, 1.0), f64::INFINITY, "carves nothing");
+        assert_eq!(table.earliest_start(4, 1.0), 20.0);
+        // Finite carve in the middle restores capacity after its end.
+        table.reserve_at(20.0, 4, 2.0);
+        assert_eq!(table.available_at(21.0), 0);
+        assert_eq!(table.available_at(22.0), 4);
+        // Past-due releases clamp to now rather than predating the table.
+        let overdue = [RunningSnapshot {
+            completion: -5.0,
+            size: 3,
+        }];
+        let table = ReservationTable::new(1, &overdue, 0.0);
+        assert_eq!(table.available_at(0.0), 4);
+        assert_eq!(table.now(), 0.0);
     }
 
     #[test]

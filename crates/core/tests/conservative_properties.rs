@@ -1,0 +1,289 @@
+//! Property tests of the conservative-backfilling guarantees, driven
+//! against the [`SchedulerKind::reservations`] table (the per-queue
+//! start-time guarantees) and `select_with_context`:
+//!
+//! 1. **No reservation delay**: starting a selected backfill candidate
+//!    leaves the reservation of every job *ahead* of it exactly where it
+//!    was — earlier jobs never slip because something behind them
+//!    started.
+//! 2. **No starvation / feasibility**: after greedily draining every
+//!    pick, the remaining reservation schedule is feasible — replaying
+//!    predicted releases forward, every job finds its processors free at
+//!    its reserved start (the head included, so nothing starves).
+//! 3. **Cancel recompute**: cancelling a mid-queue job never touches the
+//!    reservations ahead of it, and the recomputed schedule for the
+//!    survivors is feasible again. (Jobs *behind* the cancelled one may
+//!    legitimately move in either direction — a backfill that existed
+//!    only because the cancelled job blocked the queue can evaporate.)
+//! 4. **Missing walltimes are infinite**: jobs and running snapshots
+//!    without estimates (the online service's `walltime: None`) make
+//!    everything behind an unplannable reservation unplannable too, and
+//!    never unsoundly backfill.
+
+use commalloc::scheduler::{QueuedJob, RunningSnapshot, SchedulerKind};
+use proptest::prelude::*;
+
+/// A queue of 1..=8 jobs with sizes 1..=32; an estimate spec of 0 means
+/// "no walltime estimate" and maps to infinity, as the online admission
+/// queue models it.
+fn queue_strategy() -> impl Strategy<Value = Vec<QueuedJob>> {
+    prop::collection::vec((1usize..=32, 0u64..=1000), 1..8).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (size, estimate))| QueuedJob {
+                job_id: i as u64,
+                size,
+                arrival: i as f64,
+                estimate: if estimate == 0 {
+                    f64::INFINITY
+                } else {
+                    estimate as f64
+                },
+            })
+            .collect()
+    })
+}
+
+/// 0..=8 running jobs; a completion spec of 0 means "no estimate" —
+/// the job is predicted to run forever and never enters the profile.
+fn running_strategy() -> impl Strategy<Value = Vec<RunningSnapshot>> {
+    prop::collection::vec((1usize..=32, 0u64..=1000), 0..8).prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(size, dt)| RunningSnapshot {
+                completion: if dt == 0 { f64::INFINITY } else { dt as f64 },
+                size,
+            })
+            .collect()
+    })
+}
+
+/// Independently re-verifies a reservation schedule: replays the
+/// predicted releases and the reserved starts in time order and asserts
+/// every job finds its processors free at its reserved start. All inputs
+/// are integral, so event times are exact in `f64` and the check is not
+/// tolerance-sensitive. Jobs with infinite reservations promise nothing
+/// and are skipped.
+fn assert_schedule_feasible(
+    queue: &[QueuedJob],
+    starts: &[f64],
+    free: usize,
+    running: &[RunningSnapshot],
+) -> Result<(), TestCaseError> {
+    // (release time, size) heap substitute: collect, then drain sorted.
+    let mut releases: Vec<(f64, usize)> = running
+        .iter()
+        .filter(|r| r.completion.is_finite())
+        .map(|r| (r.completion.max(0.0), r.size))
+        .collect();
+    for (job, &start) in queue.iter().zip(starts) {
+        if start.is_finite() && (start + job.estimate).is_finite() {
+            releases.push((start + job.estimate, job.size));
+        }
+    }
+    let mut event_times: Vec<f64> = starts.iter().copied().filter(|s| s.is_finite()).collect();
+    event_times.extend(releases.iter().map(|r| r.0));
+    event_times.sort_by(f64::total_cmp);
+    event_times.dedup();
+
+    let mut capacity = free;
+    let mut released = vec![false; releases.len()];
+    for t in event_times {
+        // A release at time c makes its processors available *at* c,
+        // before any start at the same instant (half-open windows).
+        for (i, &(when, size)) in releases.iter().enumerate() {
+            if !released[i] && when <= t {
+                released[i] = true;
+                capacity += size;
+            }
+        }
+        for (job, &start) in queue.iter().zip(starts) {
+            if start == t {
+                prop_assert!(
+                    capacity >= job.size,
+                    "job {} reserved at t = {t} finds only {capacity} of {} processors",
+                    job.job_id,
+                    job.size
+                );
+                capacity -= job.size;
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Starting whatever conservative selects leaves every earlier job's
+    /// reservation untouched — the defining guarantee of the policy. A
+    /// fitting head is always the pick; a backfill pick must fit now and
+    /// hold a reservation that is due now.
+    #[test]
+    fn backfill_never_delays_any_earlier_reservation(
+        queue in queue_strategy(),
+        running in running_strategy(),
+        free in 0usize..=64,
+    ) {
+        let now = 0.0;
+        let head = queue[0];
+        let starts_before = SchedulerKind::reservations(&queue, free, &running, now);
+        let pick = SchedulerKind::Conservative.select_with_context(&queue, free, &running, now);
+        if head.size <= free {
+            // A fitting head needs no reservation: it simply starts.
+            prop_assert_eq!(pick, Some(0));
+            return Ok(());
+        }
+        let Some(pos) = pick else {
+            return Ok(()); // nothing may start: trivially safe
+        };
+        prop_assert!(pos > 0, "the blocked head cannot start");
+        let candidate = queue[pos];
+        prop_assert!(candidate.size <= free, "picked a job that does not fit");
+        prop_assert!(
+            starts_before[pos] <= now,
+            "picked a job whose reservation (t = {}) is not due",
+            starts_before[pos]
+        );
+        // Hypothetically start the candidate and recompute: every job
+        // ahead of it keeps its exact start.
+        let mut shorter = queue.clone();
+        shorter.remove(pos);
+        let mut after: Vec<RunningSnapshot> = running.clone();
+        after.push(RunningSnapshot {
+            completion: now + candidate.estimate,
+            size: candidate.size,
+        });
+        let starts_after =
+            SchedulerKind::reservations(&shorter[..pos], free - candidate.size, &after, now);
+        for i in 0..pos {
+            prop_assert!(
+                starts_after[i] <= starts_before[i] + 1e-9,
+                "job {} slipped from t = {} to t = {} because job {} backfilled",
+                queue[i].job_id,
+                starts_before[i],
+                starts_after[i],
+                candidate.job_id
+            );
+        }
+    }
+
+    /// Greedily draining every conservative pick, then recomputing the
+    /// survivors' reservations: the schedule replays feasibly — at every
+    /// reserved start the processors really are free, so no queued job
+    /// (the head included) is starved by what backfilled.
+    #[test]
+    fn drained_queue_keeps_a_feasible_reservation_schedule(
+        queue in queue_strategy(),
+        running in running_strategy(),
+        free in 0usize..=64,
+    ) {
+        let now = 0.0;
+        let mut queue = queue.clone();
+        let mut running = running.clone();
+        let mut free = free;
+        let mut started = 0usize;
+        while let Some(pos) =
+            SchedulerKind::Conservative.select_with_context(&queue, free, &running, now)
+        {
+            let picked = queue.remove(pos);
+            prop_assert!(picked.size <= free);
+            free -= picked.size;
+            running.push(RunningSnapshot {
+                completion: now + picked.estimate,
+                size: picked.size,
+            });
+            started += 1;
+            prop_assert!(started <= 16, "drain failed to terminate");
+        }
+        let starts = SchedulerKind::reservations(&queue, free, &running, now);
+        // Whatever remains either has a future reservation or is cut off
+        // behind an unplannable job — nothing startable was left behind.
+        for (job, &start) in queue.iter().zip(&starts) {
+            prop_assert!(
+                start > now || job.size > free,
+                "job {} (start {start}, size {}) should have been drained",
+                job.job_id,
+                job.size
+            );
+        }
+        // The unplannable cut is a suffix: after the first infinite
+        // reservation, every later one is infinite too.
+        let mut unplannable = false;
+        for &start in &starts {
+            if unplannable {
+                prop_assert!(start.is_infinite());
+            }
+            unplannable = unplannable || start.is_infinite();
+        }
+        assert_schedule_feasible(&queue, &starts, free, &running)?;
+    }
+
+    /// Cancelling a mid-queue job: reservations ahead of it are exactly
+    /// unchanged (their computation never saw it), and the recomputed
+    /// schedule for the survivors is feasible.
+    #[test]
+    fn cancel_mid_queue_recomputes_a_feasible_schedule(
+        queue in queue_strategy(),
+        running in running_strategy(),
+        free in 0usize..=64,
+        cancel_spec in 0usize..=7,
+    ) {
+        let now = 0.0;
+        let cancel = cancel_spec % queue.len();
+        let starts_before = SchedulerKind::reservations(&queue, free, &running, now);
+        let mut survivors = queue.clone();
+        survivors.remove(cancel);
+        let starts_after = SchedulerKind::reservations(&survivors, free, &running, now);
+        for i in 0..cancel {
+            // Bitwise-identical, not approximately: the prefix
+            // computation is independent of everything behind it.
+            prop_assert!(
+                starts_after[i] == starts_before[i]
+                    || (starts_after[i].is_infinite() && starts_before[i].is_infinite()),
+                "cancelling job {} moved *earlier* job {} from t = {} to t = {}",
+                queue[cancel].job_id,
+                queue[i].job_id,
+                starts_before[i],
+                starts_after[i]
+            );
+        }
+        assert_schedule_feasible(&survivors, &starts_after, free, &running)?;
+    }
+
+    /// The missing-walltime edge: when the decisive capacity belongs to
+    /// jobs running without an estimate, conservative treats the queue as
+    /// unplannable past that point and refuses to backfill — mirroring
+    /// EASY's unbounded-reservation rule, generalised to every queue
+    /// position.
+    #[test]
+    fn unplannable_capacity_denies_backfill(
+        queue in queue_strategy(),
+        sizes in prop::collection::vec(1usize..=32, 0..8),
+        free in 0usize..=8,
+    ) {
+        let now = 0.0;
+        // Every running job lacks an estimate: no release ever enters
+        // the profile, so any job larger than `free` is unplannable.
+        let running: Vec<RunningSnapshot> = sizes
+            .iter()
+            .map(|&size| RunningSnapshot {
+                completion: f64::INFINITY,
+                size,
+            })
+            .collect();
+        let head = queue[0];
+        let pick = SchedulerKind::Conservative.select_with_context(&queue, free, &running, now);
+        if head.size > free {
+            prop_assert_eq!(
+                pick, None,
+                "nothing may leapfrog an unplannable head"
+            );
+            let starts = SchedulerKind::reservations(&queue, free, &running, now);
+            prop_assert!(starts.iter().all(|s| s.is_infinite()));
+        } else {
+            prop_assert_eq!(pick, Some(0));
+        }
+    }
+}

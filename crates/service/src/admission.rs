@@ -16,6 +16,11 @@
 //!   released, predicted from running-job walltime estimates); later
 //!   requests start only if they fit now **and** cannot delay that
 //!   reservation.
+//! * **conservative backfill** — *every* queued request holds a
+//!   reservation in a shared `ReservationTable`, assigned in queue
+//!   order; a request starts only if doing so cannot delay the
+//!   reservation of any request ahead of it. Fairer deep into the
+//!   queue than EASY, at the cost of fewer backfill opportunities.
 //!
 //! The queue does not decide on its own: it renders itself as the
 //! `&[QueuedJob]` slice the scheduler policies consume and delegates the

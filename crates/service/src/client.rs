@@ -18,6 +18,10 @@ pub enum ClientError {
     Protocol(String),
     /// The server answered with a protocol-level error.
     Service(String),
+    /// The request was refused client-side before any bytes were sent
+    /// (e.g. a non-finite or non-positive walltime estimate, which the
+    /// server would reject anyway and which NDJSON cannot even spell).
+    InvalidRequest(String),
 }
 
 impl fmt::Display for ClientError {
@@ -26,7 +30,22 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Service(e) => write!(f, "service error: {e}"),
+            ClientError::InvalidRequest(e) => write!(f, "invalid request: {e}"),
         }
+    }
+}
+
+/// Client-side mirror of the boundary rule on walltime estimates: when
+/// present, the estimate must be finite and positive. Checked before a
+/// request is rendered — `Value::Float(NaN)` has no NDJSON spelling, so
+/// sending it would produce a malformed wire line rather than a clean
+/// server-side rejection.
+fn validate_walltime(walltime: Option<f64>) -> Result<(), ClientError> {
+    match walltime {
+        Some(w) if !crate::protocol::walltime_is_valid(w) => Err(ClientError::InvalidRequest(
+            format!("walltime estimate must be finite and positive, got {w}"),
+        )),
+        _ => Ok(()),
     }
 }
 
@@ -104,7 +123,8 @@ impl ServiceClient {
 
     /// Registers a machine (see [`crate::AllocationService::register`]
     /// for the spec grammar). `scheduler` picks the admission policy
-    /// (`"fcfs"`, `"backfill"`, `"easy"`; `None` = FCFS).
+    /// (`"fcfs"`, `"backfill"`, `"easy"`, `"conservative"`;
+    /// `None` = FCFS).
     pub fn register(
         &mut self,
         machine: &str,
@@ -162,6 +182,7 @@ impl ServiceClient {
         wait: bool,
         walltime: Option<f64>,
     ) -> Result<ClientAllocOutcome, ClientError> {
+        validate_walltime(walltime)?;
         let request = Request::Alloc {
             machine: machine.to_string(),
             job,
@@ -190,6 +211,7 @@ impl ServiceClient {
         wait: bool,
         walltime: Option<f64>,
     ) -> Result<(String, ClientAllocOutcome), ClientError> {
+        validate_walltime(walltime)?;
         let request = Request::Alloc {
             machine: target.to_string(),
             job,
@@ -375,6 +397,27 @@ mod tests {
         // Service-level failures surface as ClientError::Service.
         let err = client.alloc("nope", 1, 1, false).unwrap_err();
         assert!(matches!(err, ClientError::Service(_)), "got {err:?}");
+
+        // Poisoned walltime estimates are refused before any bytes move:
+        // a typed error, never a grant with NaN in the reservation math.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -5.0] {
+            let err = client
+                .alloc_with_walltime("m0", 99, 1, true, Some(bad))
+                .unwrap_err();
+            assert!(
+                matches!(err, ClientError::InvalidRequest(_)),
+                "walltime {bad} gave {err:?}"
+            );
+            let err = client
+                .alloc_routed("m0", 99, 1, true, Some(bad))
+                .unwrap_err();
+            assert!(matches!(err, ClientError::InvalidRequest(_)));
+        }
+        assert_eq!(
+            client.poll("m0", 99).unwrap(),
+            JobStatus::Unknown,
+            "rejected walltimes must not reach the server"
+        );
 
         assert!(client.release("m0", 1).unwrap().is_empty());
         let stats = client.stats("m0").unwrap();

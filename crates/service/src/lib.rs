@@ -38,7 +38,7 @@
 //!   client-supplied walltime estimates. The queue delegates every pick
 //!   to the *same* `select_with_context` the offline engine calls, and
 //!   the sim-equivalence tests pin the online grant order byte-identical
-//!   to the offline simulator's for all three policies.
+//!   to the offline simulator's for every scheduling policy.
 //! * **Durability.** Every state-changing operation can be journaled to
 //!   an append-only NDJSON write-ahead log ([`journal`]) behind a
 //!   [`journal::JournalSink`] trait — a no-op by default, a
@@ -125,7 +125,10 @@ pub use journal::{
     open_journaled, read_journal_dir, FileJournal, FsyncPolicy, JournalConfig, JournalError,
     JournalRecord, JournalSink, NoopJournal, RecoveryReport, SnapshotImage,
 };
-pub use metrics::{MachineMetrics, ServiceMetrics, WaitStats};
+pub use metrics::{
+    MachineMetrics, ServiceMetrics, SlowdownReservoir, WaitStats, SLOWDOWN_RESERVOIR_CAPACITY,
+    SLOWDOWN_TAU_SECONDS,
+};
 pub use protocol::{Request, Response};
 pub use registry::{MachineSnapshot, Registry, ServiceError};
 pub use replay::{replay, replay_cluster, ClusterReplayLog, ReplayGrant, ReplayJob, ReplayLog};

@@ -20,7 +20,7 @@ pub enum Request {
     /// `allocator` names an [`commalloc_alloc::AllocatorKind`] (2-D) or a
     /// 3-D curve kind; `strategy` names a selection strategy (3-D only);
     /// `scheduler` names a scheduling policy (`"fcfs"`, `"backfill"`,
-    /// `"easy"` or a full `SchedulerKind` name).
+    /// `"easy"`, `"conservative"` or a full `SchedulerKind` name).
     Register {
         /// Machine name.
         machine: String,
@@ -50,8 +50,10 @@ pub enum Request {
         size: usize,
         /// Queue instead of rejecting on capacity shortfall.
         wait: bool,
-        /// Runtime estimate in seconds (EASY backfilling's shadow-time
-        /// input; other policies ignore it).
+        /// Runtime estimate in seconds (the reservation input of EASY
+        /// and conservative backfilling; FCFS/first-fit ignore it).
+        /// Must be finite and positive when present — the wire parser
+        /// and the service both reject anything else.
         walltime: Option<f64>,
     },
     /// Switch the scheduling policy of a machine at runtime.
@@ -245,6 +247,31 @@ pub(crate) fn get_f64_opt(v: &Value, key: &str) -> Result<Option<f64>, Error> {
     }
 }
 
+/// The single boundary rule on walltime estimates: when present, an
+/// estimate must be a finite, positive number of seconds. Every
+/// validation site — the wire parser below, the typed client, the live
+/// `allocate` path and the journal-restore fold — consults this one
+/// predicate, so the rule cannot drift between layers.
+pub(crate) fn walltime_is_valid(w: f64) -> bool {
+    w.is_finite() && w > 0.0
+}
+
+/// A walltime estimate: optional, but gated on [`walltime_is_valid`].
+/// JSON itself cannot spell `NaN`, but it can spell `1e999` (which
+/// parses to infinity) and `0` / negatives — none of which may reach
+/// the reservation math, where non-finite ordering silently corrupts
+/// shadow times. Rejected here, at the wire boundary, so a malformed
+/// estimate is a parse error rather than a grant with poisoned
+/// scheduling state.
+pub(crate) fn get_walltime(v: &Value) -> Result<Option<f64>, Error> {
+    match get_f64_opt(v, "walltime")? {
+        Some(w) if !walltime_is_valid(w) => Err(Error::msg(format!(
+            "field \"walltime\" must be a finite, positive number of seconds, got {w}"
+        ))),
+        other => Ok(other),
+    }
+}
+
 /// An optional string field: absent/null is `None`, but a present value
 /// of the wrong type is a parse error rather than a silent `None` (a
 /// mistyped `"scheduler":5` must not quietly register an FCFS machine).
@@ -412,7 +439,7 @@ impl Request {
                         .as_bool()
                         .ok_or_else(|| Error::msg("non-boolean field \"wait\""))?,
                 },
-                walltime: get_f64_opt(v, "walltime")?,
+                walltime: get_walltime(v)?,
             }),
             "set_scheduler" => Ok(Request::SetScheduler {
                 machine: get_str(v, "machine")?,
@@ -907,6 +934,17 @@ mod tests {
             r#"{"op":"alloc","machine":"m0","job":1,"size":4,"walltime":"soon"}"#
         )
         .is_err());
+        // So are non-finite and non-positive estimates: `1e999` parses
+        // to infinity, and zero/negative walltimes would corrupt the
+        // reservation comparisons downstream. All refused at the wire.
+        for bad in ["1e999", "-1e999", "0", "-30", "0.0"] {
+            let line =
+                format!(r#"{{"op":"alloc","machine":"m0","job":1,"size":4,"walltime":{bad}}}"#);
+            assert!(
+                Request::from_line(&line).is_err(),
+                "walltime {bad} must be rejected at the protocol boundary"
+            );
+        }
         // So are non-string register specs (they must not fall back to
         // the FCFS/Hilbert defaults).
         assert!(Request::from_line(

@@ -67,6 +67,21 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// The walltime boundary rule, applied to journal-recovery records too:
+/// live requests are validated at the protocol boundary and in
+/// [`MachineEntry::allocate`], so a journal written by this daemon never
+/// carries a bad estimate — but a corrupt or hand-edited record must be
+/// refused rather than folded into the reservation math, where NaN
+/// ordering silently corrupts shadow times.
+fn validate_restored_walltime(job_id: u64, walltime: Option<f64>) -> Result<(), String> {
+    match walltime {
+        Some(w) if !crate::protocol::walltime_is_valid(w) => Err(format!(
+            "record for job {job_id} carries walltime {w} (must be finite and positive)"
+        )),
+        _ => Ok(()),
+    }
+}
+
 /// Outcome of an allocation request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AllocOutcome {
@@ -499,6 +514,7 @@ impl MachineEntry {
         if self.allocations.contains_key(&job_id) {
             return Err(format!("grant for job {job_id} which already runs"));
         }
+        validate_restored_walltime(job_id, walltime)?;
         self.backing.restore_occupy(&nodes)?;
         self.queue.remove(job_id);
         self.ensure_clock_at_least(start);
@@ -529,6 +545,7 @@ impl MachineEntry {
         if size == 0 || size > self.total_nodes() {
             return Err(format!("queue record for job {job_id} with size {size}"));
         }
+        validate_restored_walltime(job_id, walltime)?;
         self.ensure_clock_at_least(enqueued_at);
         self.queue.enqueue(PendingRequest {
             job_id,
@@ -683,7 +700,7 @@ impl MachineEntry {
             )));
         }
         if let Some(w) = walltime {
-            if !w.is_finite() || w <= 0.0 {
+            if !crate::protocol::walltime_is_valid(w) {
                 return Err(ServiceError::InvalidRequest(format!(
                     "walltime estimate must be finite and positive, got {w}"
                 )));
@@ -1421,6 +1438,104 @@ mod tests {
             AllocOutcome::Queued(2)
         );
         r.with_entry("easy", |m| {
+            m.check_invariants().map_err(ServiceError::InvalidRequest)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn conservative_protects_every_queued_reservation() {
+        // The registry-level mirror of the core policy tests: the same
+        // arrival sequence under conservative and EASY, diverging on the
+        // final job — EASY protects only the head's reservation and
+        // grants it; conservative also protects the mid-queue job's and
+        // queues it.
+        let sequence = |kind: SchedulerKind| {
+            let r = Registry::default();
+            r.register_2d(
+                "m",
+                Mesh2D::square_16x16(),
+                AllocatorKind::HilbertBestFit,
+                kind,
+            )
+            .unwrap();
+            r.with_entry("m", |m| {
+                m.set_time(0.0);
+                // 200 processors until t = 100: 56 free.
+                assert!(matches!(
+                    m.allocate(1, 200, false, Some(100.0))?,
+                    AllocOutcome::Granted(_)
+                ));
+                // Head: 100 processors, reserved at t = 100.
+                assert_eq!(
+                    m.allocate(2, 100, true, Some(50.0))?,
+                    AllocOutcome::Queued(1)
+                );
+                // A short small job backfills under both policies.
+                assert!(matches!(
+                    m.allocate(3, 30, true, Some(40.0))?,
+                    AllocOutcome::Granted(_)
+                ));
+                // 250 processors: reserved at t = 150 (after the head's
+                // [100, 150) window) with only 6 spare during its run.
+                assert_eq!(
+                    m.allocate(4, 250, true, Some(100.0))?,
+                    AllocOutcome::Queued(2)
+                );
+                // The probe: 26 processors (exactly the free count) for
+                // 1000 seconds — it would hold processors job 4's
+                // reservation needs at t = 150.
+                m.allocate(5, 26, true, Some(1000.0))
+            })
+            .unwrap()
+        };
+        assert!(
+            matches!(
+                sequence(SchedulerKind::EasyBackfill),
+                AllocOutcome::Granted(_)
+            ),
+            "EASY protects only the head and lets the long job through"
+        );
+        assert_eq!(
+            sequence(SchedulerKind::Conservative),
+            AllocOutcome::Queued(3),
+            "conservative protects job 4's reservation too"
+        );
+    }
+
+    #[test]
+    fn conservative_cancel_mid_queue_recomputes_reservations() {
+        let r = Registry::default();
+        r.register_2d(
+            "m",
+            Mesh2D::square_16x16(),
+            AllocatorKind::HilbertBestFit,
+            SchedulerKind::Conservative,
+        )
+        .unwrap();
+        r.with_entry("m", |m| {
+            m.set_time(0.0);
+            m.allocate(1, 200, false, Some(100.0))?;
+            m.allocate(2, 100, true, Some(50.0))?;
+            m.allocate(3, 30, true, Some(40.0))?;
+            m.allocate(4, 250, true, Some(100.0))?;
+            // Blocked only by job 4's carve (6 spare during [150, 250)).
+            assert_eq!(
+                m.allocate(5, 26, true, Some(1000.0))?,
+                AllocOutcome::Queued(3)
+            );
+            Ok(())
+        })
+        .unwrap();
+        // Cancelling the mid-queue job recomputes the table: job 5's
+        // window no longer collides with any carve and it starts at once.
+        let granted = r.with_entry("m", |m| m.release(4)).unwrap();
+        let ids: Vec<u64> = granted.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![5], "cancel must re-plan the queue");
+        r.with_entry("m", |m| {
+            assert_eq!(m.poll(4), JobStatus::Unknown);
+            assert!(matches!(m.poll(5), JobStatus::Running(_)));
+            assert!(matches!(m.poll(2), JobStatus::Queued(1)));
             m.check_invariants().map_err(ServiceError::InvalidRequest)
         })
         .unwrap();

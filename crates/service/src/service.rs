@@ -103,12 +103,12 @@ fn parse_strategy(spec: &str) -> Result<SelectionStrategy, ServiceError> {
         })
 }
 
-/// Parses a scheduler spec (`"fcfs"`, `"backfill"`, `"easy"` or a full
-/// [`SchedulerKind`] name, case-insensitive).
+/// Parses a scheduler spec (`"fcfs"`, `"backfill"`, `"easy"`,
+/// `"conservative"` or a full [`SchedulerKind`] name, case-insensitive).
 fn parse_scheduler(spec: &str) -> Result<SchedulerKind, ServiceError> {
     SchedulerKind::parse(spec).ok_or_else(|| {
         ServiceError::InvalidSpec(format!(
-            "scheduler {spec:?} (expected one of: fcfs, backfill, easy)"
+            "scheduler {spec:?} (expected one of: fcfs, backfill, easy, conservative)"
         ))
     })
 }
@@ -1010,6 +1010,51 @@ mod tests {
         assert_eq!(granted[0].0, 3);
         assert_eq!(service.query("m0").unwrap().scheduler, "first-fit backfill");
         service.check_invariants("m0").unwrap();
+    }
+
+    #[test]
+    fn poisoned_walltimes_get_typed_errors_not_grants() {
+        // The regression the walltime boundary rule exists for: a
+        // client-supplied NaN used to flow through
+        // `walltime.unwrap_or(INFINITY)` into the reservation min/compare
+        // logic, where NaN ordering silently corrupts shadow times. Every
+        // non-finite or non-positive estimate must come back as a typed
+        // error — never a grant.
+        let service = AllocationService::new();
+        service
+            .register("m0", "16x16", None, None, Some("conservative"))
+            .unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -30.0] {
+            let response = service.handle(&Request::Alloc {
+                machine: "m0".into(),
+                job: 7,
+                size: 4,
+                wait: true,
+                walltime: Some(bad),
+            });
+            assert!(
+                matches!(response, Response::Error { .. }),
+                "walltime {bad} gave {response:?}"
+            );
+        }
+        // Nothing leaked into the machine: no grant, no queue entry.
+        assert!(matches!(service.poll("m0", 7), Ok(JobStatus::Unknown)));
+        let snap = service.query("m0").unwrap();
+        assert_eq!(snap.busy, 0);
+        assert_eq!(snap.queue_len, 0);
+        // And the journal-recovery fold refuses a corrupt record rather
+        // than resurrecting the poisoned estimate.
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(service
+                .apply_journal_record(&JournalRecord::Queue {
+                    machine: "m0".into(),
+                    job: 8,
+                    size: 4,
+                    walltime: Some(bad),
+                    enqueued_at: 0.0,
+                })
+                .is_err());
+        }
     }
 
     #[test]

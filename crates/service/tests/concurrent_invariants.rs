@@ -203,3 +203,8 @@ fn concurrent_first_fit_backfill_never_double_grants() {
 fn concurrent_easy_backfill_never_double_grants() {
     hammer(SchedulerKind::EasyBackfill);
 }
+
+#[test]
+fn concurrent_conservative_backfill_never_double_grants() {
+    hammer(SchedulerKind::Conservative);
+}

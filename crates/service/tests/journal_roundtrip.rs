@@ -373,3 +373,57 @@ fn explicit_sink_attachment_round_trips_state() {
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// The conservative scheduler kind round-trips through both journal
+/// shapes: a `Register` record carrying the client's spec, a
+/// `SetScheduler` record carrying the canonical name, and a snapshot
+/// image — a `kill -9` (scope drop) plus recovery resurrects machines
+/// that keep scheduling conservatively.
+#[test]
+fn conservative_kind_round_trips_through_register_and_set_scheduler() {
+    let dir = temp_dir("conservative");
+    {
+        let (service, _) = open_journaled(&dir, JournalConfig::default()).unwrap();
+        // m0 is conservative from registration; m1 flips at runtime.
+        service
+            .register("m0", "16x16", None, None, Some("conservative"))
+            .unwrap();
+        service.register("m1", "8x8", None, None, None).unwrap();
+        service.set_scheduler("m1", "conservative").unwrap();
+        // Leave running + queued state behind so recovery exercises the
+        // conservative drain: job 1 holds 200 until t = 100, job 2 is
+        // the reserved head, job 3 would be an unsafe backfill.
+        service.set_time("m0", 0.0).unwrap();
+        service.allocate("m0", 1, 200, false, Some(100.0)).unwrap();
+        service.allocate("m0", 2, 100, true, Some(50.0)).unwrap();
+        service.allocate("m0", 3, 250, true, Some(100.0)).unwrap();
+    }
+    let (recovered, report) = open_journaled(&dir, JournalConfig::default()).unwrap();
+    assert_eq!(report.epoch, 1);
+    for machine in ["m0", "m1"] {
+        assert_eq!(
+            recovered.query(machine).unwrap().scheduler,
+            "conservative backfill",
+            "{machine} must recover the conservative kind"
+        );
+        recovered.check_invariants(machine).unwrap();
+    }
+    let m0 = recovered.query("m0").unwrap();
+    assert_eq!(m0.busy, 200);
+    assert_eq!(m0.queue_len, 2);
+    // The recovered queue still drains conservatively: a long job that
+    // exactly fits the free processors would delay job 3's recovered
+    // reservation, so it queues; a short one backfills.
+    use commalloc_service::AllocOutcome;
+    assert!(matches!(
+        recovered
+            .allocate("m0", 4, 56, true, Some(10_000.0))
+            .unwrap(),
+        AllocOutcome::Queued(_)
+    ));
+    assert!(matches!(
+        recovered.allocate("m0", 5, 30, true, Some(40.0)).unwrap(),
+        AllocOutcome::Granted(_)
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -204,9 +204,11 @@ fn online_occupancy_map_matches_offline_at_a_cut_point() {
 
 #[test]
 fn policies_disagree_on_congested_traces() {
-    // Sanity guard for the harness itself: if FCFS and the backfilling
-    // policies produced identical grant orders on a congested trace, the
-    // equivalence above would be vacuous.
+    // Sanity guard for the harness itself: if the policies produced
+    // identical grant orders on a congested trace, the equivalence above
+    // would be vacuous. FCFS vs first-fit separates head-of-line
+    // blocking from backfilling; EASY vs conservative separates
+    // head-only reservations from whole-queue reservations.
     let trace = integer_trace(120, 42, 0.12);
     let base = SimConfig::new(
         Mesh2D::square_16x16(),
@@ -224,5 +226,14 @@ fn policies_disagree_on_congested_traces() {
     assert_ne!(
         fcfs_order, bf_order,
         "backfilling should reorder grants on a congested trace"
+    );
+    let (_, easy) = simulate_logged(&trace, &base.with_scheduler(SchedulerKind::EasyBackfill));
+    let (_, cons) = simulate_logged(&trace, &base.with_scheduler(SchedulerKind::Conservative));
+    let easy_starts: Vec<(u64, f64)> = easy.iter().map(|g| (g.job_id, g.time)).collect();
+    let cons_starts: Vec<(u64, f64)> = cons.iter().map(|g| (g.job_id, g.time)).collect();
+    assert_ne!(
+        easy_starts, cons_starts,
+        "conservative's whole-queue reservations should schedule \
+         differently from EASY's head-only one"
     );
 }
