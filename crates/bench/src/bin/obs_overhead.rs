@@ -1,0 +1,300 @@
+//! Observability-overhead benchmark: grant/release throughput through
+//! the full `AllocationService` stack with the flight recorder
+//! **absent** (the untraced `handle` entry point), **disabled** (the
+//! traced entry point with the recorder off — the production default:
+//! one relaxed atomic load per request) and **enabled** (every request
+//! minting an ID and emitting span events into the ring buffers).
+//! Emits `BENCH_obs.json`.
+//!
+//! Method: the steady-state churn of `service_throughput` — pre-fill a
+//! 16×16 machine to the target occupancy with random-size jobs, then
+//! release one random live job and allocate a replacement per
+//! iteration. One "op" is one allocate or one release, driven through
+//! the daemon's full per-line path (wire parse, dispatch, response
+//! render) exactly as a connection worker runs it — only the TCP
+//! socket is elided. Each mode keeps a persistent service, and the
+//! modes rotate in small slices (many interleave rounds, total time
+//! summed per mode) so thermal / scheduling drift lands on all three
+//! roughly equally instead of biasing whichever ran in the bad moment.
+//!
+//! Doubles as the CI regression gate: `--min-disabled R` / `--min-enabled R`
+//! exit non-zero when the respective mode's throughput falls below
+//! `R ×` the untraced baseline (tracing must stay free when off and
+//! cheap when on).
+//!
+//! Usage: `obs_overhead [--ops N] [--seed S] [--rounds N]
+//!         [--occupancy F] [--min-disabled R] [--min-enabled R]`
+
+use commalloc_service::{AllocationService, Request, Response, Stage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Map, Serialize, Value};
+use std::time::Instant;
+
+const DEFAULT_OPS: usize = 200_000;
+const DEFAULT_ROUNDS: usize = 40;
+
+/// How a churn drives the service.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// The untraced `handle` entry point (no recorder in sight).
+    Baseline,
+    /// `handle_traced` with the recorder off: the disabled hot path.
+    Disabled,
+    /// `handle_traced` with the recorder capturing.
+    Enabled,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Baseline => "baseline",
+            Mode::Disabled => "disabled",
+            Mode::Enabled => "enabled",
+        }
+    }
+}
+
+/// One mode's persistent churn state: its own service (pre-filled once)
+/// plus the RNG and live-job set, advanced one slice at a time.
+struct Churn {
+    mode: Mode,
+    service: AllocationService,
+    rng: StdRng,
+    live: Vec<u64>,
+    next_job: u64,
+}
+
+fn alloc_line(job: u64, size: usize) -> String {
+    Request::Alloc {
+        machine: "bench".to_string(),
+        job,
+        size,
+        wait: false,
+        walltime: None,
+    }
+    .to_line()
+}
+
+impl Churn {
+    fn new(mode: Mode, occupancy: f64, seed: u64) -> Churn {
+        let service = AllocationService::new();
+        service.recorder().set_enabled(mode == Mode::Enabled);
+        service
+            .register("bench", "16x16", Some("Hilbert w/BF"), None, None)
+            .expect("fresh service accepts registration");
+        let mut churn = Churn {
+            mode,
+            service,
+            rng: StdRng::seed_from_u64(seed),
+            live: Vec::new(),
+            next_job: 0,
+        };
+        let target = (occupancy * 256.0) as usize;
+        let mut busy = 0usize;
+        while busy < target {
+            let size = churn.rng.gen_range(1usize..=8);
+            match churn.dispatch(&alloc_line(churn.next_job, size)) {
+                Response::Granted { nodes, .. } => {
+                    busy += nodes.len();
+                    churn.live.push(churn.next_job);
+                    churn.next_job += 1;
+                }
+                _ => break,
+            }
+        }
+        churn
+    }
+
+    /// One request as the connection worker serves it: parse the wire
+    /// line, dispatch, render the response line. The traced modes mint
+    /// a request context and put the parse on the timeline, exactly
+    /// like `handle_connection`; with the recorder off that is the
+    /// single relaxed load the disabled gate prices.
+    fn dispatch(&self, line: &str) -> Response {
+        match self.mode {
+            Mode::Baseline => {
+                let request = Request::from_line(line).expect("bench lines are well-formed");
+                let response = self.service.handle(&request);
+                std::hint::black_box(response.to_line());
+                response
+            }
+            Mode::Disabled | Mode::Enabled => {
+                let ctx = self.service.recorder().begin();
+                let parse_start = ctx.now_micros();
+                let request = Request::from_line(line).expect("bench lines are well-formed");
+                ctx.span(Stage::Parse, 0, 0, parse_start, ctx.now_micros());
+                let response = self.service.handle_traced(&request, &ctx);
+                std::hint::black_box(response.to_line());
+                response
+            }
+        }
+    }
+
+    /// Advances the churn by `ops` counted operations; returns the
+    /// elapsed wall time in seconds and the ops actually performed.
+    fn run_slice(&mut self, ops: usize) -> (f64, usize) {
+        let start = Instant::now();
+        let mut performed = 0usize;
+        while performed < ops {
+            let len = self.live.len();
+            let victim = self.live.swap_remove(self.rng.gen_range(0..len));
+            let release = Request::Release {
+                machine: "bench".to_string(),
+                job: victim,
+            }
+            .to_line();
+            assert!(
+                matches!(self.dispatch(&release), Response::Released { .. }),
+                "victim is live"
+            );
+            performed += 1;
+            while performed < ops {
+                let size = self.rng.gen_range(1usize..=8);
+                match self.dispatch(&alloc_line(self.next_job, size)) {
+                    Response::Granted { .. } => {
+                        self.live.push(self.next_job);
+                        self.next_job += 1;
+                        performed += 1;
+                    }
+                    _ => break,
+                }
+            }
+            if self.live.is_empty() {
+                break;
+            }
+        }
+        (start.elapsed().as_secs_f64(), performed)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut ops = DEFAULT_OPS;
+    let mut rounds = DEFAULT_ROUNDS;
+    let mut seed = 1996u64;
+    let mut occupancy = 0.9f64;
+    let mut min_disabled: Option<f64> = None;
+    let mut min_enabled: Option<f64> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    ops = v;
+                }
+                i += 1;
+            }
+            "--rounds" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    rounds = v;
+                }
+                i += 1;
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    seed = v;
+                }
+                i += 1;
+            }
+            "--occupancy" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    occupancy = v;
+                }
+                i += 1;
+            }
+            "--min-disabled" => {
+                min_disabled = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 1;
+            }
+            "--min-enabled" => {
+                min_enabled = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 1;
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    let rounds = rounds.max(1);
+    let slice = (ops / rounds).max(1);
+
+    let mut churns = [
+        Churn::new(Mode::Baseline, occupancy, seed),
+        Churn::new(Mode::Disabled, occupancy, seed),
+        Churn::new(Mode::Enabled, occupancy, seed),
+    ];
+    // A warm-up slice per mode (untimed) settles allocator state, lazy
+    // init and branch predictors before the measured rotation.
+    for churn in &mut churns {
+        churn.run_slice(slice);
+    }
+    let mut time = [0.0f64; 3];
+    let mut performed = [0usize; 3];
+    for round in 0..rounds {
+        // Rotate the starting mode so no mode systematically runs first
+        // (first-in-round is where a timer tick is likeliest to land).
+        for offset in 0..3 {
+            let slot = (round + offset) % 3;
+            let (elapsed, done) = churns[slot].run_slice(slice);
+            time[slot] += elapsed;
+            performed[slot] += done;
+        }
+    }
+    let rate = |slot: usize| performed[slot] as f64 / time[slot].max(1e-9);
+    let (baseline, disabled, enabled) = (rate(0), rate(1), rate(2));
+    let disabled_ratio = disabled / baseline.max(1e-9);
+    let enabled_ratio = enabled / baseline.max(1e-9);
+    for (slot, churn) in churns.iter().enumerate() {
+        println!(
+            "{:>8}: {:>12.0} ops/s over {} ops in {} interleaved slices",
+            churn.mode.name(),
+            rate(slot),
+            performed[slot],
+            rounds
+        );
+    }
+    println!("disabled/baseline {disabled_ratio:.3}x | enabled/baseline {enabled_ratio:.3}x");
+
+    let mut out = Map::new();
+    out.insert("benchmark".into(), "obs_overhead".to_value());
+    out.insert("mesh".into(), "16x16".to_value());
+    out.insert("occupancy".into(), occupancy.to_value());
+    out.insert("ops".into(), ops.to_value());
+    out.insert("rounds".into(), rounds.to_value());
+    out.insert("seed".into(), seed.to_value());
+    out.insert("baseline_ops_per_sec".into(), baseline.to_value());
+    out.insert("disabled_ops_per_sec".into(), disabled.to_value());
+    out.insert("enabled_ops_per_sec".into(), enabled.to_value());
+    out.insert("disabled_ratio".into(), disabled_ratio.to_value());
+    out.insert("enabled_ratio".into(), enabled_ratio.to_value());
+    let json = serde_json::to_string_pretty(&Value::Object(out)).expect("rendering is infallible");
+    std::fs::write("BENCH_obs.json", &json).expect("can write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+
+    let mut failed = false;
+    if let Some(min) = min_disabled {
+        if disabled_ratio < min {
+            eprintln!(
+                "FAIL: disabled tracing runs at {disabled_ratio:.3}x of the untraced \
+                 baseline, below the {min:.2}x gate"
+            );
+            failed = true;
+        } else {
+            println!("disabled gate passed: {disabled_ratio:.3}x >= {min:.2}x");
+        }
+    }
+    if let Some(min) = min_enabled {
+        if enabled_ratio < min {
+            eprintln!(
+                "FAIL: enabled tracing runs at {enabled_ratio:.3}x of the untraced \
+                 baseline, below the {min:.2}x gate"
+            );
+            failed = true;
+        } else {
+            println!("enabled gate passed: {enabled_ratio:.3}x >= {min:.2}x");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

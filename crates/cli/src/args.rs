@@ -132,7 +132,9 @@ impl Default for CurvesOptions {
     }
 }
 
-/// Options of the `trace` subcommand.
+/// Options of the `trace` subcommand. Two modes share the name: the
+/// offline mode (no `--addr`) analyses a workload trace; the online
+/// mode (`--addr`) drains the daemon's flight recorder.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceOptions {
     /// Number of synthetic jobs.
@@ -143,6 +145,20 @@ pub struct TraceOptions {
     pub swf: Option<String>,
     /// Emit JSON.
     pub json: bool,
+    /// Address of a running daemon; selects the online mode.
+    pub addr: Option<String>,
+    /// Online output format: `ndjson` (one event per line) or `chrome`
+    /// (a Chrome trace-event JSON array for `chrome://tracing`).
+    pub format: String,
+    /// Write the online output to this file instead of stdout.
+    pub out: Option<String>,
+    /// Drain at most this many events.
+    pub limit: Option<usize>,
+    /// Discard the drained events server-side.
+    pub clear: bool,
+    /// Toggle the daemon's recorder (`--set on|off`) instead of
+    /// draining.
+    pub set: Option<bool>,
 }
 
 impl Default for TraceOptions {
@@ -152,6 +168,12 @@ impl Default for TraceOptions {
             seed: 1996,
             swf: None,
             json: false,
+            addr: None,
+            format: "ndjson".to_string(),
+            out: None,
+            limit: None,
+            clear: false,
+            set: None,
         }
     }
 }
@@ -187,6 +209,9 @@ pub struct ServeOptions {
     pub fsync: Option<String>,
     /// Records between snapshot compactions (requires `journal`).
     pub snapshot_every: Option<u64>,
+    /// Start with the flight recorder capturing (it is off by default
+    /// and can be toggled at runtime with `commalloc trace --set`).
+    pub trace: bool,
 }
 
 impl Default for ServeOptions {
@@ -204,6 +229,7 @@ impl Default for ServeOptions {
             journal: None,
             fsync: None,
             snapshot_every: None,
+            trace: false,
         }
     }
 }
@@ -386,7 +412,7 @@ fn flag_pairs(args: &[String]) -> Result<Vec<(String, Option<String>)>, ParseErr
         if !flag.starts_with("--") {
             return Err(ParseError::UnknownFlag(flag));
         }
-        if flag == "--json" || flag == "--no-drain" {
+        if flag == "--json" || flag == "--no-drain" || flag == "--clear" || flag == "--trace" {
             pairs.push((flag, None));
             i += 1;
             continue;
@@ -532,8 +558,44 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                     }
                     "--swf" => opts.swf = Some(value),
                     "--json" => opts.json = true,
+                    "--addr" => opts.addr = Some(value),
+                    "--format" => {
+                        if !matches!(value.as_str(), "ndjson" | "chrome") {
+                            return Err(invalid(&flag, &value));
+                        }
+                        opts.format = value;
+                    }
+                    "--out" => {
+                        if value.is_empty() {
+                            return Err(invalid(&flag, &value));
+                        }
+                        opts.out = Some(value);
+                    }
+                    "--limit" => {
+                        opts.limit = Some(
+                            value
+                                .parse()
+                                .ok()
+                                .filter(|&n: &usize| n > 0)
+                                .ok_or_else(|| invalid(&flag, &value))?,
+                        )
+                    }
+                    "--clear" => opts.clear = true,
+                    "--set" => {
+                        opts.set = Some(match value.as_str() {
+                            "on" | "true" | "1" => true,
+                            "off" | "false" | "0" => false,
+                            _ => return Err(invalid(&flag, &value)),
+                        })
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
+            }
+            // The online-only flags have nothing to act on offline.
+            if opts.addr.is_none()
+                && (opts.out.is_some() || opts.limit.is_some() || opts.clear || opts.set.is_some())
+            {
+                return Err(ParseError::MissingValue("--addr".to_string()));
             }
             Ok(Command::Trace(opts))
         }
@@ -600,6 +662,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                                 .ok_or_else(|| invalid(&flag, &value))?,
                         )
                     }
+                    "--trace" => opts.trace = true,
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
             }
@@ -724,14 +787,19 @@ SUBCOMMANDS:
               [--loads 1.0,0.6,0.2] --jobs N --seed S [--json]
   curves      render a processor ordering and its locality statistics
               --mesh WxH [--curve NAME] [--window K]
-  trace       generate (or load) a trace and print its statistics
+  trace       offline: generate (or load) a workload trace and print
+              its statistics
               --jobs N --seed S [--swf FILE] [--json]
+              online: drain a running daemon's flight recorder
+              --addr HOST:PORT [--format ndjson|chrome] [--out FILE]
+              [--limit N] [--clear] [--set on|off]
   serve       run the online allocation daemon (NDJSON over TCP)
               [--addr HOST:PORT] [--workers N] [--machine NAME]
               [--mesh WxH|WxHxD] [--machines N0=M0,N1=M1,...]
               [--allocator A] [--scheduler fcfs|backfill|easy|conservative]
               [--pool POOL] [--router rr|ll|sq|p2c]
               [--journal DIR] [--fsync every|never|N] [--snapshot-every N]
+              [--trace]
   loadgen     drive a running daemon with allocate/release traffic
               [--addr HOST:PORT] [--machine NAME|@POOL] [--mesh WxH]
               [--scheduler P] [--requests N] [--connections C]
@@ -861,6 +929,52 @@ mod tests {
                 assert_eq!(opts.seed, 3);
             }
             other => panic!("expected Trace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_online_flags_round_trip() {
+        let cmd = parse_command(&args(&[
+            "trace", "--addr", "h:1", "--format", "chrome", "--out", "t.json", "--limit", "100",
+            "--clear",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Trace(opts) => {
+                assert_eq!(opts.addr.as_deref(), Some("h:1"));
+                assert_eq!(opts.format, "chrome");
+                assert_eq!(opts.out.as_deref(), Some("t.json"));
+                assert_eq!(opts.limit, Some(100));
+                assert!(opts.clear);
+                assert!(opts.set.is_none());
+            }
+            other => panic!("expected Trace, got {other:?}"),
+        }
+        let cmd = parse_command(&args(&["trace", "--addr", "h:1", "--set", "on"])).unwrap();
+        match cmd {
+            Command::Trace(opts) => assert_eq!(opts.set, Some(true)),
+            other => panic!("expected Trace, got {other:?}"),
+        }
+        // Online-only flags without --addr, and bad values, are rejected.
+        assert_eq!(
+            parse_command(&args(&["trace", "--clear"])),
+            Err(ParseError::MissingValue("--addr".into()))
+        );
+        assert!(parse_command(&args(&["trace", "--addr", "h:1", "--format", "xml"])).is_err());
+        assert!(parse_command(&args(&["trace", "--addr", "h:1", "--set", "maybe"])).is_err());
+        assert!(parse_command(&args(&["trace", "--addr", "h:1", "--limit", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_trace_flag_parses() {
+        let cmd = parse_command(&args(&["serve", "--trace"])).unwrap();
+        match cmd {
+            Command::Serve(opts) => assert!(opts.trace),
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        match parse_command(&args(&["serve"])).unwrap() {
+            Command::Serve(opts) => assert!(!opts.trace),
+            other => panic!("expected Serve, got {other:?}"),
         }
     }
 

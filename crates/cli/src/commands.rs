@@ -12,9 +12,12 @@ use commalloc::experiment::LoadSweep;
 use commalloc::prelude::*;
 use commalloc::report;
 use commalloc_mesh::locality::window_locality;
-use commalloc_service::{open_journaled, AllocationService, FsyncPolicy, JournalConfig, Server};
+use commalloc_service::{
+    open_journaled, AllocationService, FsyncPolicy, JournalConfig, Server, ServiceClient,
+};
 use commalloc_workload::analysis::TraceAnalysis;
 use commalloc_workload::swf;
+use serde::{Map, Value};
 use std::fmt::Write as _;
 
 /// Errors surfaced to the user by command execution.
@@ -28,6 +31,8 @@ pub enum RunError {
     Serve(String),
     /// The load generator could not reach or drive the daemon.
     Loadgen(String),
+    /// The daemon's flight recorder could not be drained or toggled.
+    Trace(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -37,6 +42,7 @@ impl std::fmt::Display for RunError {
             RunError::Json(e) => write!(f, "could not serialise results: {e}"),
             RunError::Serve(e) => write!(f, "daemon failed: {e}"),
             RunError::Loadgen(e) => write!(f, "load generation failed: {e}"),
+            RunError::Trace(e) => write!(f, "trace failed: {e}"),
         }
     }
 }
@@ -148,6 +154,9 @@ fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
         ),
         None => String::new(),
     };
+    if opts.trace {
+        service.recorder().set_enabled(true);
+    }
     let server = Server::bind(opts.addr.as_str(), service, opts.workers)
         .map_err(|e| RunError::Serve(format!("bind {}: {e}", opts.addr)))?;
     let addr = server
@@ -155,11 +164,12 @@ fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
         .map_err(|e| RunError::Serve(e.to_string()))?;
     let names: Vec<&str> = machines.iter().map(|(n, _)| n.as_str()).collect();
     eprintln!(
-        "commalloc-service listening on {addr} ({} workers); machines [{}] ({}){}",
+        "commalloc-service listening on {addr} ({} workers); machines [{}] ({}){}{}",
         opts.workers,
         names.join(", "),
         opts.scheduler.as_deref().unwrap_or("fcfs"),
         pool_banner,
+        if opts.trace { "; tracing on" } else { "" },
     );
     server.run().map_err(|e| RunError::Serve(e.to_string()))?;
     Ok(String::new())
@@ -372,7 +382,89 @@ fn run_curves(opts: &CurvesOptions) -> String {
     out
 }
 
+/// Online mode of `trace`: toggles or drains the flight recorder of a
+/// running daemon.
+fn run_trace_online(addr: &str, opts: &TraceOptions) -> Result<String, RunError> {
+    let mut client = ServiceClient::connect(addr)
+        .map_err(|e| RunError::Trace(format!("connect {addr}: {e}")))?;
+    if let Some(enabled) = opts.set {
+        let state = client
+            .set_trace(enabled)
+            .map_err(|e| RunError::Trace(e.to_string()))?;
+        return Ok(format!(
+            "tracing {}\n",
+            if state { "enabled" } else { "disabled" }
+        ));
+    }
+    let dump = client
+        .trace_events(opts.limit, opts.clear)
+        .map_err(|e| RunError::Trace(e.to_string()))?;
+    let rendered = match opts.format.as_str() {
+        "chrome" => chrome_trace_json(&dump.events),
+        _ => {
+            let mut out = String::new();
+            for event in &dump.events {
+                let line =
+                    serde_json::to_string(event).map_err(|e| RunError::Json(e.to_string()))?;
+                let _ = writeln!(out, "{line}");
+            }
+            out
+        }
+    };
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, rendered)
+                .map_err(|e| RunError::Trace(format!("write {path}: {e}")))?;
+            Ok(format!(
+                "wrote {} events to {path} ({} dropped; tracing {})\n",
+                dump.events.len(),
+                dump.dropped,
+                if dump.enabled { "on" } else { "off" }
+            ))
+        }
+        None => Ok(rendered),
+    }
+}
+
+/// Renders drained span events as a Chrome trace-event JSON array
+/// (loadable in `chrome://tracing` / Perfetto). Complete events
+/// (`ph: "X"`) on one process, one thread per request id.
+fn chrome_trace_json(events: &[Value]) -> String {
+    let rendered: Vec<Value> = events
+        .iter()
+        .map(|event| {
+            let mut m = Map::new();
+            let stage = event
+                .get("stage")
+                .and_then(Value::as_str)
+                .unwrap_or("event");
+            m.insert("name".into(), Value::Str(stage.to_string()));
+            m.insert("cat".into(), Value::Str("commalloc".to_string()));
+            m.insert("ph".into(), Value::Str("X".to_string()));
+            m.insert(
+                "ts".into(),
+                Value::UInt(event.get("ts_micros").and_then(Value::as_u64).unwrap_or(0)),
+            );
+            m.insert(
+                "dur".into(),
+                Value::UInt(event.get("dur_micros").and_then(Value::as_u64).unwrap_or(0)),
+            );
+            m.insert("pid".into(), Value::UInt(1));
+            m.insert(
+                "tid".into(),
+                Value::UInt(event.get("request").and_then(Value::as_u64).unwrap_or(0)),
+            );
+            m.insert("args".into(), event.clone());
+            Value::Object(m)
+        })
+        .collect();
+    serde_json::to_string(&Value::Array(rendered)).unwrap_or_else(|_| "[]".to_string())
+}
+
 fn run_trace(opts: &TraceOptions) -> Result<String, RunError> {
+    if let Some(addr) = &opts.addr {
+        return run_trace_online(addr, opts);
+    }
     let trace = load_trace(opts.jobs, opts.seed, &opts.swf)?;
     let summary = trace.summary();
     let analysis = TraceAnalysis::of(&trace, 12);

@@ -47,6 +47,14 @@ pub struct PendingRequest {
     /// the wait-time metrics and doubles as the arrival stamp the
     /// scheduler policies see).
     pub enqueued_at: f64,
+    /// Flight-recorder request ID of the wire request that enqueued this
+    /// job (0 when untraced): a later grant-from-queue attaches its
+    /// trace events to the *enqueuing* request, not the request whose
+    /// release happened to trigger the drain.
+    pub trace_request: u64,
+    /// Recorder-epoch timestamp (µs) of the enqueue, closing the `queue`
+    /// span when the job is granted (0 when untraced).
+    pub enqueued_micros: u64,
 }
 
 impl PendingRequest {
@@ -182,6 +190,8 @@ mod tests {
             size,
             walltime: None,
             enqueued_at: 0.0,
+            trace_request: 0,
+            enqueued_micros: 0,
         }
     }
 
@@ -191,6 +201,8 @@ mod tests {
             size,
             walltime: Some(walltime),
             enqueued_at: 0.0,
+            trace_request: 0,
+            enqueued_micros: 0,
         }
     }
 

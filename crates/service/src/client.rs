@@ -69,6 +69,18 @@ pub enum ClientAllocOutcome {
     Rejected(String),
 }
 
+/// One drain of the daemon's flight recorder (see
+/// [`ServiceClient::trace_events`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDump {
+    /// Span events, oldest first, as raw wire values.
+    pub events: Vec<Value>,
+    /// Events lost to ring-buffer overflow since the last clearing drain.
+    pub dropped: u64,
+    /// Whether the recorder was capturing at drain time.
+    pub enabled: bool,
+}
+
 /// A blocking connection to the daemon.
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
@@ -353,6 +365,50 @@ impl ServiceClient {
     pub fn journal_stats(&mut self) -> Result<Value, ClientError> {
         self.expect(&Request::JournalStats, |r| match r {
             Response::JournalStats(v) => Ok(v),
+            other => Err(other),
+        })
+    }
+
+    /// Turns the daemon's flight recorder on or off; returns the new
+    /// state as the server confirmed it.
+    pub fn set_trace(&mut self, enabled: bool) -> Result<bool, ClientError> {
+        self.expect(&Request::SetTrace { enabled }, |r| match r {
+            Response::TraceSet { enabled } => Ok(enabled),
+            other => Err(other),
+        })
+    }
+
+    /// Drains up to `limit` span events from the daemon's flight
+    /// recorder (all of them when `None`). `clear` discards the drained
+    /// events server-side; otherwise they stay for the next reader.
+    pub fn trace_events(
+        &mut self,
+        limit: Option<usize>,
+        clear: bool,
+    ) -> Result<TraceDump, ClientError> {
+        self.expect(&Request::Trace { limit, clear }, |r| match r {
+            Response::Trace {
+                events,
+                dropped,
+                enabled,
+            } => Ok(TraceDump {
+                events,
+                dropped,
+                enabled,
+            }),
+            other => Err(other),
+        })
+    }
+
+    /// Daemon-wide metrics. `format` is `"json"` (structured
+    /// [`Value`]) or `"prometheus"` (the exposition text as a
+    /// `Value::Str`).
+    pub fn metrics(&mut self, format: &str) -> Result<Value, ClientError> {
+        let request = Request::Metrics {
+            format: format.to_string(),
+        };
+        self.expect(&request, |r| match r {
+            Response::Metrics { metrics, .. } => Ok(metrics),
             other => Err(other),
         })
     }

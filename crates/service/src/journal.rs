@@ -760,6 +760,15 @@ pub trait JournalSink: Send + Sync {
         0
     }
 
+    /// [`JournalSink::append`], additionally reporting how long the
+    /// append *blocked* on an fsync, in microseconds — the flight
+    /// recorder's `fsync_wait` stage. 0 whenever the sink acknowledges
+    /// before the disk syncs (group commit's background flushes are by
+    /// design not part of any request's latency).
+    fn append_timed(&self, record: &JournalRecord) -> (u64, u64) {
+        (self.append(record), 0)
+    }
+
     /// True for sinks that actually persist records; gates whether
     /// machine entries pay the record-composition cost at all.
     fn durable(&self) -> bool {
@@ -1085,6 +1094,10 @@ impl JournalSink for FileJournal {
     }
 
     fn append(&self, record: &JournalRecord) -> u64 {
+        self.append_timed(record).0
+    }
+
+    fn append_timed(&self, record: &JournalRecord) -> (u64, u64) {
         let mut guard = self.inner.lock().expect("journal sink poisoned");
         let inner = &mut *guard;
         inner.seq += 1;
@@ -1101,8 +1114,15 @@ impl JournalSink for FileJournal {
         inner.appended += 1;
         inner.unsynced += 1;
         self.since_snapshot.fetch_add(1, Ordering::Relaxed);
+        let mut fsync_wait = 0u64;
         match self.config.fsync {
-            FsyncPolicy::EveryRecord => inner.sync(),
+            FsyncPolicy::EveryRecord => {
+                // The one policy whose append blocks on the disk: time
+                // it for the flight recorder's `fsync_wait` stage.
+                let start = std::time::Instant::now();
+                inner.sync();
+                fsync_wait = start.elapsed().as_micros() as u64;
+            }
             FsyncPolicy::Batched(n) => {
                 // Wake the group-commit flusher exactly once per batch
                 // crossing, after releasing the lock (so it does not
@@ -1116,7 +1136,7 @@ impl JournalSink for FileJournal {
             }
             FsyncPolicy::Never => {}
         }
-        seq
+        (seq, fsync_wait)
     }
 
     fn snapshot_due(&self) -> bool {

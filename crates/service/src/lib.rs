@@ -118,19 +118,21 @@ pub mod registry;
 pub mod replay;
 pub mod server;
 pub mod service;
+pub mod trace;
 
-pub use client::{ClientAllocOutcome, ClientError, ServiceClient};
+pub use client::{ClientAllocOutcome, ClientError, ServiceClient, TraceDump};
 pub use cluster::{route_offline, ClusterMember, MachineSample, PlacementRouter, RoutingPolicy};
 pub use journal::{
     open_journaled, read_journal_dir, FileJournal, FsyncPolicy, JournalConfig, JournalError,
     JournalRecord, JournalSink, NoopJournal, RecoveryReport, SnapshotImage,
 };
 pub use metrics::{
-    MachineMetrics, ServiceMetrics, SlowdownReservoir, WaitStats, SLOWDOWN_RESERVOIR_CAPACITY,
-    SLOWDOWN_TAU_SECONDS,
+    LogLinearHistogram, MachineMetrics, ServiceMetrics, SlowdownReservoir, WaitStats,
+    LOG_LINEAR_SLOTS, SLOWDOWN_RESERVOIR_CAPACITY, SLOWDOWN_TAU_SECONDS,
 };
 pub use protocol::{Request, Response};
 pub use registry::{MachineSnapshot, Registry, ServiceError};
 pub use replay::{replay, replay_cluster, ClusterReplayLog, ReplayGrant, ReplayJob, ReplayLog};
 pub use server::{Server, ServerHandle};
 pub use service::{AllocOutcome, AllocationService, JobStatus};
+pub use trace::{FlightRecorder, RequestCtx, SpanEvent, Stage};

@@ -3,6 +3,292 @@
 use serde::{Serialize, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of bucket slots in a [`LogLinearHistogram`]. 512 covers the
+/// full 64-bit tick range (the highest reachable index is 495) with a
+/// fixed footprint of one 4 KiB page per histogram.
+pub const LOG_LINEAR_SLOTS: usize = 512;
+
+/// A fixed-footprint log-linear histogram in the HdrHistogram family:
+/// values are converted to integer *ticks* (`value × scale`, truncated)
+/// and bucketed with 8 linear sub-buckets per power-of-two octave
+/// (precision `K = 3`), giving a worst-case relative bucket width of
+/// 12.5% across the whole range. Ticks below 16 get exact unit-width
+/// buckets, so small counts are never smeared.
+///
+/// Bucketing is pure integer arithmetic on the tick value — no floats,
+/// no platform-dependent rounding — which makes bucket boundaries
+/// deterministic across runs and machines (pinned by a test). Recording
+/// touches one array slot plus four scalars: cheap enough to live under
+/// a shard lock on the grant path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogLinearHistogram {
+    /// One count per bucket; index per [`LogLinearHistogram::bucket_index`].
+    counts: Vec<u64>,
+    /// Total recorded values.
+    count: u64,
+    /// Sum of raw (unscaled) values, for exact means.
+    sum: f64,
+    /// Smallest raw value recorded (0 until the first record).
+    min: f64,
+    /// Largest raw value recorded (0 until the first record).
+    max: f64,
+    /// Ticks per unit: recorded values are multiplied by this before
+    /// bucketing. 1000 (the default) buckets seconds at millisecond
+    /// resolution; 1 buckets already-integral microsecond latencies.
+    scale: f64,
+}
+
+impl Default for LogLinearHistogram {
+    fn default() -> Self {
+        LogLinearHistogram::with_scale(1000.0)
+    }
+}
+
+impl LogLinearHistogram {
+    /// An empty histogram bucketing at `scale` ticks per unit.
+    pub fn with_scale(scale: f64) -> Self {
+        LogLinearHistogram {
+            counts: vec![0; LOG_LINEAR_SLOTS],
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            scale,
+        }
+    }
+
+    /// The bucket index of a tick value: ticks below 16 index
+    /// themselves (exact unit buckets); above, the top three bits below
+    /// the most significant bit pick one of 8 linear sub-buckets within
+    /// the value's octave. Monotone in `ticks`, and every boundary is a
+    /// small integer times a power of two.
+    pub fn bucket_index(ticks: u64) -> usize {
+        if ticks < 16 {
+            return ticks as usize;
+        }
+        let msb = 63 - ticks.leading_zeros() as usize; // >= 4 here
+        let idx = ((msb - 3) << 3) + 8 + ((ticks >> (msb - 3)) & 7) as usize;
+        idx.min(LOG_LINEAR_SLOTS - 1)
+    }
+
+    /// The smallest tick value mapping to bucket `index` (the inverse of
+    /// [`LogLinearHistogram::bucket_index`] on boundaries).
+    pub fn bucket_lower(index: usize) -> u64 {
+        if index < 16 {
+            index as u64
+        } else {
+            (8 + (index as u64 & 7)) << ((index >> 3) - 1)
+        }
+    }
+
+    /// One past the largest tick value mapping to bucket `index`
+    /// (`u64::MAX` for the unbounded top bucket).
+    pub fn bucket_upper(index: usize) -> u64 {
+        if index + 1 >= LOG_LINEAR_SLOTS {
+            return u64::MAX;
+        }
+        let next = index + 1;
+        if next < 16 {
+            next as u64
+        } else {
+            // Computed in u128: the top slots' bounds exceed u64 and must
+            // saturate, not wrap (`checked_shl` only guards the shift
+            // amount, not the shifted-out bits).
+            let shifted = (8 + (next as u128 & 7)) << ((next >> 3) - 1);
+            if shifted > u64::MAX as u128 {
+                u64::MAX
+            } else {
+                shifted as u64
+            }
+        }
+    }
+
+    /// Records one value (negative, NaN and infinite inputs clamp to 0 —
+    /// a latency can only be missing, never negative).
+    pub fn record(&mut self, value: f64) {
+        let value = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        let ticks = (value * self.scale) as u64;
+        self.counts[Self::bucket_index(ticks)] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Total values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of the raw values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest raw value recorded (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest raw value recorded (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean of the raw values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The ticks-per-unit scale this histogram buckets at.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Folds `other`'s counts into `self`. Both histograms must share a
+    /// scale — merging across scales would mix incompatible tick spaces.
+    pub fn merge(&mut self, other: &LogLinearHistogram) {
+        debug_assert_eq!(
+            self.scale.to_bits(),
+            other.scale.to_bits(),
+            "merging histograms with different scales"
+        );
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Nearest-rank `q`-quantile estimate in raw units: the midpoint of
+    /// the bucket holding the rank, clamped into the observed
+    /// `[min, max]` so exact extremes are never overshot. 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = Self::bucket_lower(i) as f64;
+                let hi = Self::bucket_upper(i);
+                let mid = if hi == u64::MAX {
+                    lo
+                } else {
+                    (lo + hi as f64) / 2.0
+                };
+                return (mid / self.scale).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(lower_tick, upper_tick, count)`, in
+    /// ascending order — the sparse view serialization and the
+    /// Prometheus exposition are built from.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lower(i), Self::bucket_upper(i), c))
+    }
+
+    /// Appends a Prometheus-style text exposition of this histogram to
+    /// `out`: cumulative `_bucket{le="…"}` lines at each occupied bucket's
+    /// upper bound (in raw units), closed by `le="+Inf"`, plus `_sum` and
+    /// `_count`. `labels` is the extra label list (may be empty), without
+    /// braces, e.g. `machine="default",stage="parse"`.
+    pub fn prometheus_into(&self, name: &str, labels: &str, out: &mut String) {
+        use std::fmt::Write;
+        let sep = if labels.is_empty() { "" } else { "," };
+        let plain = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let mut cumulative = 0u64;
+        for (_, hi, count) in self.nonzero_buckets() {
+            cumulative += count;
+            if hi == u64::MAX {
+                continue; // folded into +Inf below
+            }
+            let le = hi as f64 / self.scale;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+            self.count
+        );
+        let _ = writeln!(out, "{name}_sum{plain} {}", self.sum);
+        let _ = writeln!(out, "{name}_count{plain} {}", self.count);
+    }
+}
+
+impl Serialize for LogLinearHistogram {
+    /// Sparse JSON view: summary scalars plus `[lower, upper, count]`
+    /// triples (bucket bounds in raw units) for occupied buckets only —
+    /// an empty histogram costs a handful of bytes, not 512 zeros.
+    fn to_value(&self) -> Value {
+        let mut m = serde::Map::new();
+        m.insert("count".into(), self.count.to_value());
+        m.insert("sum".into(), self.sum.to_value());
+        m.insert("min".into(), self.min.to_value());
+        m.insert("max".into(), self.max.to_value());
+        m.insert("scale".into(), self.scale.to_value());
+        let buckets: Vec<Value> = self
+            .nonzero_buckets()
+            .map(|(lo, hi, count)| {
+                Value::Array(vec![
+                    (lo as f64 / self.scale).to_value(),
+                    if hi == u64::MAX {
+                        Value::Null
+                    } else {
+                        (hi as f64 / self.scale).to_value()
+                    },
+                    count.to_value(),
+                ])
+            })
+            .collect();
+        m.insert("buckets".into(), Value::Array(buckets));
+        Value::Object(m)
+    }
+}
+
 /// Wait-time statistics of one admission queue: how long requests sat in
 /// the queue between enqueue and grant, in machine-clock seconds.
 /// Cancelled and rejected requests are not counted — these are *grant*
@@ -21,6 +307,12 @@ pub struct WaitStats {
     /// exact until [`SLOWDOWN_RESERVOIR_CAPACITY`] grants, then estimated
     /// from a uniform sample of the whole stream.
     pub slowdowns: SlowdownReservoir,
+    /// Full wait distribution (seconds at millisecond resolution): the
+    /// shape the reservoir percentiles summarize, lossless up to bucket
+    /// width and mergeable across machines.
+    pub wait_histogram: LogLinearHistogram,
+    /// Full bounded-slowdown distribution, same bucketing.
+    pub slowdown_histogram: LogLinearHistogram,
 }
 
 /// The bounded-slowdown runtime floor, in seconds: jobs shorter than
@@ -124,7 +416,10 @@ impl WaitStats {
             .filter(|w| w.is_finite())
             .unwrap_or(SLOWDOWN_TAU_SECONDS)
             .max(SLOWDOWN_TAU_SECONDS);
-        self.slowdowns.push((seconds + runtime) / runtime);
+        let slowdown = (seconds + runtime) / runtime;
+        self.slowdowns.push(slowdown);
+        self.wait_histogram.record(seconds);
+        self.slowdown_histogram.record(slowdown);
     }
 
     /// Mean wait in seconds (0 when nothing was ever queued).
@@ -166,6 +461,11 @@ impl WaitStats {
         m.insert(
             "slowdown_p99".into(),
             percentile_of_sorted(&sorted, 0.99).to_value(),
+        );
+        m.insert("wait_histogram".into(), self.wait_histogram.to_value());
+        m.insert(
+            "slowdown_histogram".into(),
+            self.slowdown_histogram.to_value(),
         );
         Value::Object(m)
     }
@@ -370,6 +670,155 @@ mod tests {
             again.record(10.0 * i as f64, Some(10.0));
         }
         assert_eq!(again.slowdowns.samples(), w.slowdowns.samples());
+    }
+
+    #[test]
+    fn log_linear_bucket_boundaries_are_deterministic() {
+        // Exact unit buckets below 16 ticks.
+        for t in 0..16u64 {
+            assert_eq!(LogLinearHistogram::bucket_index(t), t as usize);
+            assert_eq!(LogLinearHistogram::bucket_lower(t as usize), t);
+        }
+        // First log-linear octave: [16,18) share bucket 16, width 2.
+        assert_eq!(LogLinearHistogram::bucket_index(16), 16);
+        assert_eq!(LogLinearHistogram::bucket_index(17), 16);
+        assert_eq!(LogLinearHistogram::bucket_index(18), 17);
+        assert_eq!(LogLinearHistogram::bucket_lower(16), 16);
+        assert_eq!(LogLinearHistogram::bucket_upper(16), 18);
+        // Every bucket is self-consistent: its lower bound maps back to
+        // it, its upper bound to the next (monotonicity across the full
+        // index range), and the slot budget is never exceeded.
+        for i in 0..LOG_LINEAR_SLOTS {
+            let lo = LogLinearHistogram::bucket_lower(i);
+            let hi = LogLinearHistogram::bucket_upper(i);
+            if LogLinearHistogram::bucket_index(lo) != i {
+                // Indices past the top of the 64-bit range saturate.
+                assert!(i > LogLinearHistogram::bucket_index(u64::MAX));
+                continue;
+            }
+            assert_eq!(LogLinearHistogram::bucket_index(lo), i, "lower of {i}");
+            if hi != u64::MAX {
+                assert_eq!(LogLinearHistogram::bucket_index(hi), i + 1, "upper of {i}");
+                assert_eq!(LogLinearHistogram::bucket_index(hi - 1), i, "top of {i}");
+            }
+        }
+        assert_eq!(LogLinearHistogram::bucket_index(u64::MAX), 495);
+        // Relative bucket width stays under 12.5% in the log-linear range.
+        for i in 17..400 {
+            let lo = LogLinearHistogram::bucket_lower(i) as f64;
+            let hi = LogLinearHistogram::bucket_upper(i) as f64;
+            assert!((hi - lo) / lo <= 0.125 + 1e-12, "bucket {i} too wide");
+        }
+    }
+
+    #[test]
+    fn log_linear_histogram_records_merges_and_quantiles() {
+        let mut h = LogLinearHistogram::with_scale(1000.0);
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0.0);
+        for ms in 1..=1000u64 {
+            h.record(ms as f64 / 1000.0); // 1ms .. 1s, uniform
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 0.5005).abs() < 1e-9);
+        assert_eq!(h.min(), 0.001);
+        assert_eq!(h.max(), 1.0);
+        // Quantiles land within one bucket width (≤12.5%) of truth.
+        for (q, truth) in [(0.5, 0.5), (0.9, 0.9), (0.99, 0.99)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - truth).abs() / truth < 0.13,
+                "q{q}: got {got}, want ~{truth}"
+            );
+        }
+        // Merge doubles every count and keeps extremes.
+        let mut other = LogLinearHistogram::with_scale(1000.0);
+        other.record(5.0);
+        other.merge(&h);
+        assert_eq!(other.count(), 1001);
+        assert_eq!(other.max(), 5.0);
+        assert_eq!(other.min(), 0.001);
+        // Sparse serialization round-trips the occupied buckets only.
+        let v = h.to_value();
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(1000));
+        let buckets = match v.get("buckets") {
+            Some(Value::Array(b)) => b,
+            _ => panic!("buckets must be an array"),
+        };
+        assert!(!buckets.is_empty() && buckets.len() < LOG_LINEAR_SLOTS);
+        let total: u64 = buckets
+            .iter()
+            .map(|b| match b {
+                Value::Array(triple) => triple[2].as_u64().unwrap(),
+                _ => panic!("bucket entries are [lo, hi, count] triples"),
+            })
+            .sum();
+        assert_eq!(total, 1000, "sparse buckets must account for every record");
+        // Out-of-domain inputs clamp instead of poisoning the state.
+        let mut weird = LogLinearHistogram::default();
+        weird.record(-4.0);
+        weird.record(f64::NAN);
+        weird.record(f64::INFINITY);
+        assert_eq!(weird.count(), 3);
+        assert_eq!(weird.max(), 0.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative_and_closed() {
+        let mut h = LogLinearHistogram::with_scale(1000.0);
+        h.record(0.001);
+        h.record(0.001);
+        h.record(0.5);
+        let mut out = String::new();
+        h.prometheus_into("stage_seconds", "stage=\"parse\"", &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("stage_seconds_bucket{stage=\"parse\",le=\"0.002\"} 2"));
+        assert!(out.contains("le=\"+Inf\"} 3"));
+        assert!(out.contains("stage_seconds_sum{stage=\"parse\"} 0.502"));
+        assert!(out.contains("stage_seconds_count{stage=\"parse\"} 3"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in &lines {
+            if let Some((_, tail)) = line.split_once("} ") {
+                if line.contains("_bucket{") {
+                    let n: u64 = tail.parse().unwrap();
+                    assert!(n >= last, "cumulative counts must be monotone");
+                    last = n;
+                }
+            }
+        }
+        // Label-free exposition omits the empty brace pair on sum/count.
+        let mut plain = String::new();
+        h.prometheus_into("x", "", &mut plain);
+        assert!(plain.contains("x_sum 0.502"));
+        assert!(plain.contains("x_count 3"));
+        assert!(plain.contains("x_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn wait_stats_carry_full_histograms() {
+        let mut w = WaitStats::default();
+        for i in 1..=10 {
+            w.record(10.0 * i as f64, Some(10.0));
+        }
+        assert_eq!(w.wait_histogram.count(), 10);
+        assert_eq!(w.slowdown_histogram.count(), 10);
+        assert_eq!(w.wait_histogram.max(), 100.0);
+        assert_eq!(w.slowdown_histogram.max(), 11.0);
+        let summary = w.to_summary_value();
+        let wh = summary.get("wait_histogram").expect("wait_histogram");
+        assert_eq!(wh.get("count").and_then(Value::as_u64), Some(10));
+        let sh = summary
+            .get("slowdown_histogram")
+            .expect("slowdown_histogram");
+        assert_eq!(sh.get("count").and_then(Value::as_u64), Some(10));
+        // Determinism: identical streams build identical histograms.
+        let mut again = WaitStats::default();
+        for i in 1..=10 {
+            again.record(10.0 * i as f64, Some(10.0));
+        }
+        assert_eq!(again.wait_histogram, w.wait_histogram);
+        assert_eq!(again.slowdown_histogram, w.slowdown_histogram);
     }
 
     #[test]

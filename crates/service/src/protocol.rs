@@ -99,6 +99,27 @@ pub enum Request {
     /// appended records, segments, fsync policy); answers
     /// `{"enabled": false}` on a daemon running without `--journal`.
     JournalStats,
+    /// Toggle the flight recorder at runtime. While off, request
+    /// handling pays one relaxed atomic load and emits nothing.
+    SetTrace {
+        /// Desired recorder state.
+        enabled: bool,
+    },
+    /// Drain the flight recorder: recent span events across all ring
+    /// shards, merged in start-time order.
+    Trace {
+        /// Keep only the most recent `limit` events; `None` = all.
+        limit: Option<usize>,
+        /// Reset the rings (and drop counters) after reading.
+        clear: bool,
+    },
+    /// Stage-latency histograms and machine counters, as JSON
+    /// (`format: "json"`, the default) or a Prometheus-style text
+    /// exposition (`format: "prometheus"`).
+    Metrics {
+        /// `"json"` or `"prometheus"` (validated at parse time).
+        format: String,
+    },
     /// Names of all registered machines.
     List,
     /// Liveness check.
@@ -188,6 +209,17 @@ pub enum Response {
         job: u64,
         /// 1-based queue position.
         position: usize,
+        /// The start time the scheduler currently promises the job
+        /// (machine clock), when the policy plans one and it is finite:
+        /// conservative backfilling reserves a start for every queued
+        /// job, EASY for the head. Absent under FCFS/first-fit and for
+        /// unplannable reservations.
+        reserved_start: Option<f64>,
+        /// Machine-readable explanation of what blocks the job right
+        /// now (`code`, `detail`, and optionally `blocking_job` /
+        /// `until` — the rendering of a scheduler
+        /// [`commalloc::scheduler::BlockReason`]).
+        explain: Option<Value>,
     },
     /// Poll result: the job is not present.
     Unknown {
@@ -200,6 +232,29 @@ pub enum Response {
     Stats(Value),
     /// Journal counter snapshot.
     JournalStats(Value),
+    /// The flight recorder was toggled.
+    TraceSet {
+        /// The recorder state after the toggle.
+        enabled: bool,
+    },
+    /// Drained flight-recorder events (each rendered per
+    /// [`crate::trace::FlightRecorder::event_to_value`]).
+    Trace {
+        /// Span events in start-time order.
+        events: Vec<Value>,
+        /// Events overwritten in the rings before this drain.
+        dropped: u64,
+        /// Whether the recorder is currently enabled.
+        enabled: bool,
+    },
+    /// Metrics export: `metrics` is a JSON object for `format: "json"`,
+    /// a string holding the text exposition for `format: "prometheus"`.
+    Metrics {
+        /// The format the payload is in.
+        format: String,
+        /// The payload.
+        metrics: Value,
+    },
     /// Registered machine names.
     Machines(Vec<String>),
     /// Liveness answer.
@@ -405,6 +460,24 @@ impl Request {
                 ("machine", str_value(machine)),
             ]),
             Request::JournalStats => obj(vec![("op", str_value("journal_stats"))]),
+            Request::SetTrace { enabled } => obj(vec![
+                ("op", str_value("set_trace")),
+                ("enabled", Value::Bool(*enabled)),
+            ]),
+            Request::Trace { limit, clear } => {
+                let mut entries = vec![("op", str_value("trace"))];
+                if let Some(limit) = limit {
+                    entries.push(("limit", Value::UInt(*limit as u64)));
+                }
+                if *clear {
+                    entries.push(("clear", Value::Bool(true)));
+                }
+                obj(entries)
+            }
+            Request::Metrics { format } => obj(vec![
+                ("op", str_value("metrics")),
+                ("format", str_value(format)),
+            ]),
             Request::List => obj(vec![("op", str_value("list"))]),
             Request::Ping => obj(vec![("op", str_value("ping"))]),
             Request::Batch(requests) => obj(vec![
@@ -478,6 +551,38 @@ impl Request {
                 machine: get_str(v, "machine")?,
             }),
             "journal_stats" => Ok(Request::JournalStats),
+            "set_trace" => Ok(Request::SetTrace {
+                enabled: v
+                    .get("enabled")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| Error::msg("missing or non-boolean field \"enabled\""))?,
+            }),
+            "trace" => Ok(Request::Trace {
+                limit: match v.get("limit") {
+                    None | Some(Value::Null) => None,
+                    Some(value) => Some(
+                        value
+                            .as_u64()
+                            .ok_or_else(|| Error::msg("non-integer field \"limit\""))?
+                            as usize,
+                    ),
+                },
+                clear: match v.get("clear") {
+                    None | Some(Value::Null) => false,
+                    Some(value) => value
+                        .as_bool()
+                        .ok_or_else(|| Error::msg("non-boolean field \"clear\""))?,
+                },
+            }),
+            "metrics" => {
+                let format = get_str_opt(v, "format")?.unwrap_or_else(|| "json".to_string());
+                if format != "json" && format != "prometheus" {
+                    return Err(Error::msg(format!(
+                        "unknown metrics format {format:?} (expected \"json\" or \"prometheus\")"
+                    )));
+                }
+                Ok(Request::Metrics { format })
+            }
             "list" => Ok(Request::List),
             "ping" => Ok(Request::Ping),
             other => Err(Error::msg(format!("unknown op {other:?}"))),
@@ -590,13 +695,30 @@ impl Response {
                 ("job", Value::UInt(*job)),
                 ("nodes", nodes_value(nodes)),
             ]),
-            Response::Waiting { job, position } => obj(vec![
-                ("ok", Value::Bool(true)),
-                ("op", str_value("poll")),
-                ("state", str_value("queued")),
-                ("job", Value::UInt(*job)),
-                ("position", Value::UInt(*position as u64)),
-            ]),
+            Response::Waiting {
+                job,
+                position,
+                reserved_start,
+                explain,
+            } => {
+                let mut entries = vec![
+                    ("ok", Value::Bool(true)),
+                    ("op", str_value("poll")),
+                    ("state", str_value("queued")),
+                    ("job", Value::UInt(*job)),
+                    ("position", Value::UInt(*position as u64)),
+                ];
+                // Only finite promises travel: JSON cannot spell the
+                // infinity an unplannable reservation would need, and
+                // the explain already marks that case.
+                if let Some(start) = reserved_start.filter(|s| s.is_finite()) {
+                    entries.push(("reserved_start", Value::Float(start)));
+                }
+                if let Some(explain) = explain {
+                    entries.push(("explain", explain.clone()));
+                }
+                obj(entries)
+            }
             Response::Unknown { job } => obj(vec![
                 ("ok", Value::Bool(true)),
                 ("op", str_value("poll")),
@@ -617,6 +739,28 @@ impl Response {
                 ("ok", Value::Bool(true)),
                 ("op", str_value("journal_stats")),
                 ("journal", stats.clone()),
+            ]),
+            Response::TraceSet { enabled } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("set_trace")),
+                ("enabled", Value::Bool(*enabled)),
+            ]),
+            Response::Trace {
+                events,
+                dropped,
+                enabled,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("trace")),
+                ("enabled", Value::Bool(*enabled)),
+                ("dropped", Value::UInt(*dropped)),
+                ("events", Value::Array(events.clone())),
+            ]),
+            Response::Metrics { format, metrics } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("metrics")),
+                ("format", str_value(format)),
+                ("metrics", metrics.clone()),
             ]),
             Response::Machines(names) => obj(vec![
                 ("ok", Value::Bool(true)),
@@ -693,6 +837,11 @@ impl Response {
                 "queued" => Ok(Response::Waiting {
                     job: get_u64(v, "job")?,
                     position: get_u64(v, "position")? as usize,
+                    reserved_start: get_f64_opt(v, "reserved_start")?,
+                    explain: match v.get("explain") {
+                        None | Some(Value::Null) => None,
+                        Some(value) => Some(value.clone()),
+                    },
                 }),
                 "unknown" => Ok(Response::Unknown {
                     job: get_u64(v, "job")?,
@@ -714,6 +863,31 @@ impl Response {
                     .cloned()
                     .ok_or_else(|| Error::msg("missing \"journal\""))?,
             )),
+            "set_trace" => Ok(Response::TraceSet {
+                enabled: v
+                    .get("enabled")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| Error::msg("missing or non-boolean field \"enabled\""))?,
+            }),
+            "trace" => Ok(Response::Trace {
+                events: v
+                    .get("events")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| Error::msg("missing \"events\" array"))?
+                    .to_vec(),
+                dropped: get_u64(v, "dropped")?,
+                enabled: v
+                    .get("enabled")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| Error::msg("missing or non-boolean field \"enabled\""))?,
+            }),
+            "metrics" => Ok(Response::Metrics {
+                format: get_str(v, "format")?,
+                metrics: v
+                    .get("metrics")
+                    .cloned()
+                    .ok_or_else(|| Error::msg("missing \"metrics\""))?,
+            }),
             "list" => {
                 let arr = v
                     .get("machines")
@@ -817,6 +991,22 @@ mod tests {
                 machine: "m0".into(),
             },
             Request::JournalStats,
+            Request::SetTrace { enabled: true },
+            Request::SetTrace { enabled: false },
+            Request::Trace {
+                limit: None,
+                clear: false,
+            },
+            Request::Trace {
+                limit: Some(100),
+                clear: true,
+            },
+            Request::Metrics {
+                format: "json".into(),
+            },
+            Request::Metrics {
+                format: "prometheus".into(),
+            },
             Request::List,
             Request::Ping,
         ];
@@ -873,6 +1063,22 @@ mod tests {
             Response::Waiting {
                 job: 5,
                 position: 1,
+                reserved_start: None,
+                explain: None,
+            },
+            Response::Waiting {
+                job: 5,
+                position: 2,
+                reserved_start: Some(120.5),
+                explain: Some(obj(vec![
+                    ("code", str_value("would_delay_reservation")),
+                    ("blocking_job", Value::Int(3)),
+                    ("until", Value::Float(120.5)),
+                    (
+                        "detail",
+                        str_value("would delay job 3's reservation at t=120.5"),
+                    ),
+                ])),
             },
             Response::Unknown { job: 6 },
             Response::RouterSet {
@@ -884,6 +1090,25 @@ mod tests {
                 m.insert("enabled".into(), Value::Bool(false));
                 m
             })),
+            Response::TraceSet { enabled: true },
+            Response::Trace {
+                events: vec![obj(vec![
+                    ("request", Value::Int(1)),
+                    ("stage", str_value("parse")),
+                    ("ts_micros", Value::Int(12)),
+                    ("dur_micros", Value::Int(3)),
+                ])],
+                dropped: 2,
+                enabled: true,
+            },
+            Response::Metrics {
+                format: "json".into(),
+                metrics: obj(vec![("stages", Value::Object(Map::new()))]),
+            },
+            Response::Metrics {
+                format: "prometheus".into(),
+                metrics: str_value("x_count 3\n"),
+            },
             Response::Machines(vec!["a".into(), "b".into()]),
             Response::Pong,
             Response::Batch(vec![
@@ -974,6 +1199,50 @@ mod tests {
         assert!(
             Response::from_line(r#"{"op":"pong"}"#).is_err(),
             "missing ok"
+        );
+    }
+
+    #[test]
+    fn observability_ops_validate_their_fields() {
+        // set_trace requires a boolean.
+        assert!(Request::from_line(r#"{"op":"set_trace"}"#).is_err());
+        assert!(Request::from_line(r#"{"op":"set_trace","enabled":"yes"}"#).is_err());
+        // trace defaults are all-events, no-clear.
+        assert_eq!(
+            Request::from_line(r#"{"op":"trace"}"#).unwrap(),
+            Request::Trace {
+                limit: None,
+                clear: false,
+            }
+        );
+        assert!(Request::from_line(r#"{"op":"trace","limit":"many"}"#).is_err());
+        assert!(Request::from_line(r#"{"op":"trace","clear":1}"#).is_err());
+        // metrics defaults to JSON and refuses unknown formats.
+        assert_eq!(
+            Request::from_line(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics {
+                format: "json".into(),
+            }
+        );
+        assert!(Request::from_line(r#"{"op":"metrics","format":"xml"}"#).is_err());
+        // An infinite reserved start never travels: the rendering drops
+        // it rather than emitting invalid JSON.
+        let waiting = Response::Waiting {
+            job: 1,
+            position: 1,
+            reserved_start: Some(f64::INFINITY),
+            explain: None,
+        };
+        let line = waiting.to_line();
+        assert!(!line.contains("reserved_start"), "line was {line}");
+        assert_eq!(
+            Response::from_line(&line).unwrap(),
+            Response::Waiting {
+                job: 1,
+                position: 1,
+                reserved_start: None,
+                explain: None,
+            }
         );
     }
 

@@ -10,7 +10,8 @@
 use crate::admission::{AdmissionQueue, PendingRequest};
 use crate::journal::{JournalRecord, MachineImage, QueuedImage, RunningImage};
 use crate::metrics::MachineMetrics;
-use commalloc::scheduler::{RunningSnapshot, SchedulerKind};
+use crate::trace::{RequestCtx, Stage};
+use commalloc::scheduler::{BlockReason, QueuedJob, RunningSnapshot, SchedulerKind};
 use commalloc_alloc::curve_alloc::SelectionStrategy;
 use commalloc_alloc::interval_index::FreeIntervalIndex;
 use commalloc_alloc::{AllocRequest, Allocation, Allocator, AllocatorKind, MachineState};
@@ -129,6 +130,43 @@ pub struct MachineSnapshot {
     pub queue_len: usize,
     /// The active scheduling policy of the admission queue.
     pub scheduler: String,
+    /// Per-queued-request outlook, in queue order: promised start times
+    /// (where the policy plans them) and the binding constraint keeping
+    /// each request queued.
+    pub queue: Vec<QueueOutlook>,
+}
+
+/// The scheduler's outlook for one queued request: where it stands, when
+/// the policy promises to start it (conservative plans every request;
+/// EASY plans the head; FCFS and first-fit promise nothing), and which
+/// constraint is keeping it queued right now.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueOutlook {
+    /// The queued job.
+    pub job: u64,
+    /// 1-based queue position.
+    pub position: usize,
+    /// The policy's promised start time (machine clock), when it plans
+    /// one and the plan is bounded.
+    pub reserved_start: Option<f64>,
+    /// The binding constraint keeping the request queued, when the
+    /// policy can name one.
+    pub explain: Option<BlockReason>,
+}
+
+impl Serialize for QueueOutlook {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("job".into(), self.job.to_value());
+        m.insert("position".into(), (self.position as u64).to_value());
+        if let Some(start) = self.reserved_start.filter(|s| s.is_finite()) {
+            m.insert("reserved_start".into(), start.to_value());
+        }
+        if let Some(reason) = &self.explain {
+            m.insert("explain".into(), crate::trace::reason_to_value(reason));
+        }
+        serde::Value::Object(m)
+    }
 }
 
 /// The allocator+state backing of one machine.
@@ -552,6 +590,10 @@ impl MachineEntry {
             size,
             walltime,
             enqueued_at,
+            // Recovery re-creates state, not requests: there is no wire
+            // request to attach trace events to.
+            trace_request: 0,
+            enqueued_micros: 0,
         });
         self.generation += 1;
         Ok(())
@@ -640,6 +682,16 @@ impl MachineEntry {
     /// (a switch to a backfilling policy may immediately admit requests
     /// FCFS was blocking). Returns the newly granted jobs in grant order.
     pub fn set_scheduler(&mut self, scheduler: SchedulerKind) -> Vec<(u64, Vec<NodeId>)> {
+        self.set_scheduler_traced(scheduler, &RequestCtx::inert())
+    }
+
+    /// [`MachineEntry::set_scheduler`] with a tracing context (the wire
+    /// path; in-process callers use the untraced wrapper).
+    pub fn set_scheduler_traced(
+        &mut self,
+        scheduler: SchedulerKind,
+        ctx: &RequestCtx<'_>,
+    ) -> Vec<(u64, Vec<NodeId>)> {
         self.generation += 1;
         self.queue.set_kind(scheduler);
         // Record composition is gated on `journaled` at every call site
@@ -650,7 +702,7 @@ impl MachineEntry {
                 scheduler: scheduler.name().to_string(),
             });
         }
-        self.drain_queue(None)
+        self.drain_queue(None, ctx)
     }
 
     /// Total processors.
@@ -681,6 +733,22 @@ impl MachineEntry {
         size: usize,
         wait: bool,
         walltime: Option<f64>,
+    ) -> Result<AllocOutcome, ServiceError> {
+        self.allocate_traced(job_id, size, wait, walltime, &RequestCtx::inert())
+    }
+
+    /// [`MachineEntry::allocate`] with a tracing context. The enqueued
+    /// request remembers the context's request ID, so a later
+    /// grant-from-queue attaches its events to the request that enqueued
+    /// the job; a queued or rejected outcome emits a `Deny` event
+    /// carrying the scheduler's explanation of what blocked it.
+    pub fn allocate_traced(
+        &mut self,
+        job_id: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+        ctx: &RequestCtx<'_>,
     ) -> Result<AllocOutcome, ServiceError> {
         if self.allocations.contains_key(&job_id) || self.queue.contains(job_id) {
             return Err(ServiceError::DuplicateJob {
@@ -713,8 +781,10 @@ impl MachineEntry {
             size,
             walltime,
             enqueued_at: self.now(),
+            trace_request: ctx.request(),
+            enqueued_micros: ctx.now_micros(),
         });
-        let granted = self.drain_queue(Some(job_id));
+        let granted = self.drain_queue(Some(job_id), ctx);
         // An arrival frees nothing, so under the current policies the
         // drain can only ever admit the arriving job itself (eligibility
         // of older requests is monotone in free capacity). A policy for
@@ -736,6 +806,23 @@ impl MachineEntry {
                  even on an empty machine",
                 size
             )));
+        }
+        // Not granted: record *why* on the trace — the binding
+        // constraint the scheduler names — computed only when tracing
+        // is live (the outlook walks the queue).
+        if ctx.active() {
+            let explain = if self.queue.len() == 1 {
+                // The arriving job is the whole queue, and every policy
+                // explains a blocked head the same way — too few free
+                // processors (a fitting-but-refused head is allocator
+                // fragmentation: no reason to name). Skip the full
+                // outlook, which snapshots every running job.
+                let free = self.backing.num_free();
+                (size > free).then_some(BlockReason::InsufficientFree { free, needed: size })
+            } else {
+                self.queue_outlook(job_id).and_then(|o| o.explain)
+            };
+            ctx.deny(job_id, explain.as_ref(), ctx.now_micros());
         }
         if wait {
             self.metrics.queued += 1;
@@ -775,6 +862,16 @@ impl MachineEntry {
     /// admission queue under the active policy. Returns the jobs granted
     /// from the queue as `(job_id, nodes)` pairs, in grant order.
     pub fn release(&mut self, job_id: u64) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
+        self.release_traced(job_id, &RequestCtx::inert())
+    }
+
+    /// [`MachineEntry::release`] with a tracing context (the wire path;
+    /// in-process callers use the untraced wrapper).
+    pub fn release_traced(
+        &mut self,
+        job_id: u64,
+        ctx: &RequestCtx<'_>,
+    ) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
         self.generation += 1;
         if let Some(nodes) = self.allocations.remove(&job_id) {
             self.backing.release(&nodes, job_id);
@@ -805,7 +902,7 @@ impl MachineEntry {
                 job_id,
             });
         }
-        Ok(self.drain_queue(None))
+        Ok(self.drain_queue(None, ctx))
     }
 
     /// Drains the admission queue to a fixpoint under the active policy:
@@ -819,7 +916,16 @@ impl MachineEntry {
     /// `arriving` marks the request that entered the queue in this same
     /// call (its grant is recorded as immediate rather than from-queue,
     /// and contributes no wait time).
-    fn drain_queue(&mut self, arriving: Option<u64>) -> Vec<(u64, Vec<NodeId>)> {
+    ///
+    /// Trace events for a grant-from-queue are attached to the request
+    /// that *enqueued* the job (via `PendingRequest::trace_request`),
+    /// not the request whose release or policy switch triggered this
+    /// drain — `ctx` only lends its recorder binding.
+    fn drain_queue(
+        &mut self,
+        arriving: Option<u64>,
+        ctx: &RequestCtx<'_>,
+    ) -> Vec<(u64, Vec<NodeId>)> {
         let now = self.now();
         let kind = self.queue.kind();
         let mut granted = Vec::new();
@@ -864,9 +970,30 @@ impl MachineEntry {
             if kind.scans_whole_queue() {
                 queued.remove(at);
             }
+            // Events for this job attach to the request that enqueued it
+            // (an inert or unremembered binding keeps the caller's).
+            let pctx = ctx.for_request(pending.trace_request);
+            let probe_start = pctx.now_micros();
             match self.backing.try_allocate(pending.job_id, pending.size) {
                 Some(nodes) => {
                     let from_queue = arriving != Some(pending.job_id);
+                    let granted_at = pctx.now_micros();
+                    pctx.span(Stage::Allocator, pending.job_id, 0, probe_start, granted_at);
+                    if from_queue && pending.enqueued_micros != 0 {
+                        pctx.span(
+                            Stage::Queue,
+                            pending.job_id,
+                            0,
+                            pending.enqueued_micros,
+                            granted_at,
+                        );
+                    }
+                    pctx.instant(
+                        Stage::Grant,
+                        pending.job_id,
+                        u32::from(from_queue),
+                        granted_at,
+                    );
                     self.metrics
                         .record_grant(from_queue, self.backing.num_busy());
                     if from_queue {
@@ -906,6 +1033,9 @@ impl MachineEntry {
                     // request that was durably queued earlier journals as
                     // a cancel; the arriving request was never journaled
                     // as queued, so there is nothing to cancel.
+                    let refused_at = pctx.now_micros();
+                    pctx.span(Stage::Allocator, pending.job_id, 0, probe_start, refused_at);
+                    pctx.deny(pending.job_id, None, refused_at);
                     self.metrics.rejected += 1;
                     if self.journaled && arriving != Some(pending.job_id) {
                         self.outbox.push(JournalRecord::Cancel {
@@ -916,12 +1046,81 @@ impl MachineEntry {
                     continue;
                 }
                 None => {
+                    // Fragmented refusal: the probe ran (record it), the
+                    // request stays queued for a future release.
+                    pctx.span(
+                        Stage::Allocator,
+                        pending.job_id,
+                        0,
+                        probe_start,
+                        pctx.now_micros(),
+                    );
                     self.queue.put_back(at, pending);
                     break;
                 }
             }
         }
         granted
+    }
+
+    /// The scheduler's outlook for every queued request, in queue order.
+    /// Built from the same policy inputs the drain loop consumes, so the
+    /// promised starts are exactly what the next drain would plan:
+    /// conservative plans a reservation for every request, EASY for the
+    /// blocked head only, FCFS and first-fit promise nothing. The
+    /// `explain` of each entry names the constraint keeping it queued.
+    pub fn queue_outlooks(&self) -> Vec<QueueOutlook> {
+        if self.queue.is_empty() {
+            return Vec::new();
+        }
+        let now = self.now();
+        let free = self.backing.num_free();
+        let kind = self.queue.kind();
+        let queued: Vec<QueuedJob> = self.queue.iter().map(PendingRequest::as_queued).collect();
+        let snapshots: Vec<RunningSnapshot> = self
+            .running
+            .iter()
+            .map(|r| RunningSnapshot {
+                completion: r.completion(),
+                size: r.size,
+            })
+            .collect();
+        let reserved: Vec<Option<f64>> = match kind {
+            SchedulerKind::Conservative => {
+                SchedulerKind::reservations(&queued, free, &snapshots, now)
+                    .into_iter()
+                    .map(|s| s.is_finite().then_some(s))
+                    .collect()
+            }
+            SchedulerKind::EasyBackfill => {
+                let mut starts = vec![None; queued.len()];
+                if queued[0].size > free {
+                    starts[0] = SchedulerKind::reservation(queued[0].size, free, &snapshots)
+                        .map(|(shadow, _)| shadow)
+                        .filter(|s| s.is_finite());
+                }
+                starts
+            }
+            SchedulerKind::Fcfs | SchedulerKind::FirstFitBackfill => vec![None; queued.len()],
+        };
+        queued
+            .iter()
+            .enumerate()
+            .map(|(i, job)| QueueOutlook {
+                job: job.job_id,
+                position: i + 1,
+                reserved_start: reserved[i],
+                explain: kind.explain(&queued, i, free, &snapshots, now),
+            })
+            .collect()
+    }
+
+    /// The outlook for one queued job, if it waits. Outlooks are
+    /// relative to the jobs ahead, so the whole queue is planned and
+    /// then filtered.
+    pub fn queue_outlook(&self, job_id: u64) -> Option<QueueOutlook> {
+        self.queue.position(job_id)?;
+        self.queue_outlooks().into_iter().find(|o| o.job == job_id)
     }
 
     /// Where `job_id` currently stands.
@@ -963,6 +1162,7 @@ impl MachineEntry {
             live_jobs: self.allocations.len(),
             queue_len: self.queue.len(),
             scheduler: self.queue.kind().name().to_string(),
+            queue: self.queue_outlooks(),
         }
     }
 

@@ -8,6 +8,7 @@
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{Request, Response};
 use crate::service::AllocationService;
+use crate::trace::Stage;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -150,9 +151,17 @@ fn handle_connection(stream: TcpStream, service: &AllocationService) {
         if line.trim().is_empty() {
             continue;
         }
+        // Mint the request id before parsing so the parse itself is on
+        // the timeline; a disabled recorder makes this ctx inert.
+        let ctx = service.recorder().begin();
+        let parse_start = ctx.now_micros();
         let response = match Request::from_line(&line) {
-            Ok(request) => service.handle(&request),
+            Ok(request) => {
+                ctx.span(Stage::Parse, 0, 0, parse_start, ctx.now_micros());
+                service.handle_traced(&request, &ctx)
+            }
             Err(e) => {
+                ctx.span(Stage::Parse, 0, 1, parse_start, ctx.now_micros());
                 ServiceMetrics::bump(&service.metrics().protocol_errors);
                 Response::Error {
                     message: format!("bad request: {e}"),

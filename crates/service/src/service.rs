@@ -10,6 +10,7 @@ use crate::journal::{JournalRecord, JournalSink, NoopJournal, PoolImage, Snapsho
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{Request, Response};
 use crate::registry::{MachineEntry, MachineSnapshot, Registry, ServiceError};
+use crate::trace::{FlightRecorder, RequestCtx, Stage};
 use commalloc::scheduler::SchedulerKind;
 use commalloc_alloc::curve_alloc::SelectionStrategy;
 use commalloc_alloc::AllocatorKind;
@@ -38,6 +39,10 @@ pub struct AllocationService {
     /// happens in policy-apply order without holding the pool-table
     /// lock across a (possibly fsyncing) append.
     router_flips: Arc<Mutex<()>>,
+    /// The flight recorder behind the `trace` / `set_trace` / `metrics`
+    /// ops. Always present; recording is off until toggled, and the
+    /// disabled path costs one relaxed atomic load per wire request.
+    recorder: Arc<FlightRecorder>,
 }
 
 impl Default for AllocationService {
@@ -49,6 +54,7 @@ impl Default for AllocationService {
             journal: Arc::new(NoopJournal),
             snapshotting: Arc::new(AtomicBool::new(false)),
             router_flips: Arc::new(Mutex::new(())),
+            recorder: Arc::new(FlightRecorder::new()),
         }
     }
 }
@@ -163,12 +169,27 @@ impl AllocationService {
         &self.journal
     }
 
+    /// The flight recorder (the TCP server mints request contexts from
+    /// it; the CLI toggles it via `serve --trace`).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
     /// Appends the outbox of `entry` to the journal — called while the
     /// entry's shard lock is still held, so per-machine journal order
-    /// equals mutation order (the invariant recovery folds over).
-    fn flush_outbox(&self, entry: &mut MachineEntry) {
+    /// equals mutation order (the invariant recovery folds over). A
+    /// traced request gets a `journal_append` span per record, and a
+    /// `fsync_wait` span for the slice of it spent blocked on the disk
+    /// (`--fsync every`; group commit never blocks the append).
+    fn flush_outbox(&self, entry: &mut MachineEntry, ctx: &RequestCtx<'_>) {
         for record in entry.take_outbox() {
-            let seq = self.journal.append(&record);
+            let start = ctx.now_micros();
+            let (seq, fsync_wait) = self.journal.append_timed(&record);
+            let end = ctx.now_micros();
+            ctx.span(Stage::JournalAppend, 0, 0, start, end);
+            if fsync_wait != 0 {
+                ctx.span(Stage::FsyncWait, 0, 0, end.saturating_sub(fsync_wait), end);
+            }
             entry.note_journal_seq(seq);
         }
     }
@@ -344,9 +365,24 @@ impl AllocationService {
         wait: bool,
         walltime: Option<f64>,
     ) -> Result<AllocOutcome, ServiceError> {
+        self.allocate_traced(machine, job, size, wait, walltime, &RequestCtx::inert())
+    }
+
+    /// [`AllocationService::allocate`] with a tracing context (the wire
+    /// path; in-process callers use the untraced wrapper).
+    pub fn allocate_traced(
+        &self,
+        machine: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+        ctx: &RequestCtx<'_>,
+    ) -> Result<AllocOutcome, ServiceError> {
+        let ctx = ctx.with_machine(machine);
         self.registry.with_entry(machine, |entry| {
-            let outcome = entry.allocate(job, size, wait, walltime);
-            self.flush_outbox(entry);
+            let outcome = entry.allocate_traced(job, size, wait, walltime, &ctx);
+            self.flush_outbox(entry, &ctx);
             outcome
         })
     }
@@ -377,6 +413,24 @@ impl AllocationService {
         wait: bool,
         walltime: Option<f64>,
     ) -> Result<(String, AllocOutcome), ServiceError> {
+        self.route_traced(pool, job, size, wait, walltime, &RequestCtx::inert())
+    }
+
+    /// [`AllocationService::route`] with a tracing context: the whole
+    /// sample-pick-commit loop is timed as one `route` span (its `code`
+    /// counts the stale-sample retries), bound to the member that took
+    /// the job.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_traced(
+        &self,
+        pool: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+        ctx: &RequestCtx<'_>,
+    ) -> Result<(String, AllocOutcome), ServiceError> {
+        let route_start = ctx.now_micros();
         for attempt in 0..=ROUTE_STALE_RETRIES {
             let view = self.router.view(pool)?;
             let mut eligible: Vec<MachineSample> = Vec::with_capacity(view.members.len());
@@ -395,12 +449,22 @@ impl AllocationService {
             let chosen = &eligible[view.policy.pick(&eligible, seq)];
             let expected_generation = chosen.generation;
             let target = chosen.name.clone();
+            let mctx = ctx.with_machine(&target);
             let committed = self.registry.with_entry(&target, |entry| {
                 if attempt < ROUTE_STALE_RETRIES && entry.generation() != expected_generation {
                     return Ok(None); // the sample went stale: re-route
                 }
-                let outcome = entry.allocate(job, size, wait, walltime).map(Some);
-                self.flush_outbox(entry);
+                mctx.span(
+                    Stage::Route,
+                    job,
+                    attempt as u32,
+                    route_start,
+                    mctx.now_micros(),
+                );
+                let outcome = entry
+                    .allocate_traced(job, size, wait, walltime, &mctx)
+                    .map(Some);
+                self.flush_outbox(entry, &mctx);
                 outcome
             })?;
             if let Some(outcome) = committed {
@@ -478,10 +542,24 @@ impl AllocationService {
         machine: &str,
         scheduler: &str,
     ) -> Result<(SchedulerKind, Vec<(u64, Vec<NodeId>)>), ServiceError> {
+        self.set_scheduler_traced(machine, scheduler, &RequestCtx::inert())
+    }
+
+    /// [`AllocationService::set_scheduler`] with a tracing context
+    /// (grants admitted by the re-drain trace as the requests that
+    /// enqueued them).
+    #[allow(clippy::type_complexity)]
+    pub fn set_scheduler_traced(
+        &self,
+        machine: &str,
+        scheduler: &str,
+        ctx: &RequestCtx<'_>,
+    ) -> Result<(SchedulerKind, Vec<(u64, Vec<NodeId>)>), ServiceError> {
         let kind = parse_scheduler(scheduler)?;
+        let ctx = ctx.with_machine(machine);
         self.registry.with_entry(machine, |entry| {
-            let granted = entry.set_scheduler(kind);
-            self.flush_outbox(entry);
+            let granted = entry.set_scheduler_traced(kind, &ctx);
+            self.flush_outbox(entry, &ctx);
             Ok((kind, granted))
         })
     }
@@ -510,9 +588,21 @@ impl AllocationService {
         machine: &str,
         job: u64,
     ) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
+        self.release_traced(machine, job, &RequestCtx::inert())
+    }
+
+    /// [`AllocationService::release`] with a tracing context (the wire
+    /// path; in-process callers use the untraced wrapper).
+    pub fn release_traced(
+        &self,
+        machine: &str,
+        job: u64,
+        ctx: &RequestCtx<'_>,
+    ) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
+        let ctx = ctx.with_machine(machine);
         self.registry.with_entry(machine, |entry| {
-            let granted = entry.release(job);
-            self.flush_outbox(entry);
+            let granted = entry.release_traced(job, &ctx);
+            self.flush_outbox(entry, &ctx);
             granted
         })
     }
@@ -569,7 +659,67 @@ impl AllocationService {
         journal.insert("enabled".into(), Value::Bool(self.journal.durable()));
         journal.insert("epoch".into(), Value::UInt(self.journal.epoch()));
         m.insert("journal".into(), Value::Object(journal));
+        // Request-pipeline stage latencies from the flight recorder
+        // (process-wide, microsecond ticks; populated while tracing is
+        // enabled). Sparse: an idle recorder costs a few bytes per stage.
+        m.insert("stages".into(), self.stage_histograms_value());
         Ok(Value::Object(m))
+    }
+
+    /// The per-stage latency histograms as a JSON object keyed by stage
+    /// name (shared by `stats` and `metrics`).
+    fn stage_histograms_value(&self) -> Value {
+        let histograms = self.recorder.stage_histograms();
+        let mut stages = Map::new();
+        for (stage, histogram) in Stage::histogrammed().iter().zip(&histograms) {
+            stages.insert(stage.name().into(), histogram.to_value());
+        }
+        Value::Object(stages)
+    }
+
+    /// The `metrics` op's JSON body: process-wide counters, recorder
+    /// state, and the stage-latency histograms.
+    pub fn metrics_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("server".into(), self.metrics.snapshot());
+        let mut tracing = Map::new();
+        tracing.insert("enabled".into(), Value::Bool(self.recorder.enabled()));
+        m.insert("tracing".into(), Value::Object(tracing));
+        m.insert("stages".into(), self.stage_histograms_value());
+        Value::Object(m)
+    }
+
+    /// The `metrics` op's Prometheus text exposition: the process
+    /// counters as `commalloc_*` counters, the recorder toggle as a
+    /// gauge, and one `commalloc_stage_latency_micros` histogram per
+    /// pipeline stage.
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if let Value::Object(counters) = self.metrics.snapshot() {
+            for (key, value) in counters.iter() {
+                if let Some(n) = value.as_u64() {
+                    let _ = writeln!(out, "# TYPE commalloc_{key} counter");
+                    let _ = writeln!(out, "commalloc_{key} {n}");
+                }
+            }
+        }
+        let _ = writeln!(out, "# TYPE commalloc_trace_enabled gauge");
+        let _ = writeln!(
+            out,
+            "commalloc_trace_enabled {}",
+            u8::from(self.recorder.enabled())
+        );
+        let _ = writeln!(out, "# TYPE commalloc_stage_latency_micros histogram");
+        let histograms = self.recorder.stage_histograms();
+        for (stage, histogram) in Stage::histogrammed().iter().zip(&histograms) {
+            histogram.prometheus_into(
+                "commalloc_stage_latency_micros",
+                &format!("stage=\"{}\"", stage.name()),
+                &mut out,
+            );
+        }
+        out
     }
 
     /// Names of all registered machines, sorted.
@@ -791,8 +941,18 @@ impl AllocationService {
     }
 
     /// Dispatches one protocol request to the state layer — the single
-    /// entry point shared by the TCP server, tests and the loadgen driver.
+    /// entry point shared by the TCP server, tests and the loadgen
+    /// driver. Untraced: in-process callers pay nothing for the flight
+    /// recorder; the TCP server mints a context and calls
+    /// [`AllocationService::handle_traced`] instead.
     pub fn handle(&self, request: &Request) -> Response {
+        self.handle_traced(request, &RequestCtx::inert())
+    }
+
+    /// [`AllocationService::handle`] with a tracing context: spans
+    /// emitted along the way (route, queue, allocator probe, grant/deny,
+    /// journal append, fsync wait) carry the context's request ID.
+    pub fn handle_traced(&self, request: &Request, ctx: &RequestCtx<'_>) -> Response {
         // A batch is an envelope, not an operation: each member counts
         // as its own request below, the envelope itself is free.
         if let Request::Batch(requests) = request {
@@ -803,7 +963,7 @@ impl AllocationService {
                         Request::Batch(_) => Response::Error {
                             message: "batches do not nest".to_string(),
                         },
-                        other => self.handle(other),
+                        other => self.handle_traced(other, ctx),
                     })
                     .collect(),
             );
@@ -836,28 +996,27 @@ impl AllocationService {
                 wait,
                 walltime,
             } => match pool_of(machine) {
-                Some(pool) => {
-                    self.route(pool, *job, *size, *wait, *walltime)
-                        .map(|(target, outcome)| match outcome {
-                            AllocOutcome::Granted(nodes) => Response::Granted {
-                                job: *job,
-                                nodes,
-                                machine: Some(target),
-                            },
-                            AllocOutcome::Queued(position) => Response::Queued {
-                                job: *job,
-                                position,
-                                machine: Some(target),
-                            },
-                            AllocOutcome::Rejected(reason) => Response::Rejected {
-                                job: *job,
-                                reason,
-                                machine: Some(target),
-                            },
-                        })
-                }
+                Some(pool) => self
+                    .route_traced(pool, *job, *size, *wait, *walltime, ctx)
+                    .map(|(target, outcome)| match outcome {
+                        AllocOutcome::Granted(nodes) => Response::Granted {
+                            job: *job,
+                            nodes,
+                            machine: Some(target),
+                        },
+                        AllocOutcome::Queued(position) => Response::Queued {
+                            job: *job,
+                            position,
+                            machine: Some(target),
+                        },
+                        AllocOutcome::Rejected(reason) => Response::Rejected {
+                            job: *job,
+                            reason,
+                            machine: Some(target),
+                        },
+                    }),
                 None => self
-                    .allocate(machine, *job, *size, *wait, *walltime)
+                    .allocate_traced(machine, *job, *size, *wait, *walltime, ctx)
                     .map(|outcome| match outcome {
                         AllocOutcome::Granted(nodes) => Response::Granted {
                             job: *job,
@@ -884,22 +1043,33 @@ impl AllocationService {
                     })
             }
             Request::SetScheduler { machine, scheduler } => self
-                .set_scheduler(machine, scheduler)
+                .set_scheduler_traced(machine, scheduler, ctx)
                 .map(|(kind, granted)| Response::SchedulerSet {
                     machine: machine.clone(),
                     scheduler: kind.name().to_string(),
                     granted,
                 }),
             Request::Release { machine, job } => self
-                .release(machine, *job)
+                .release_traced(machine, *job, ctx)
                 .map(|granted| Response::Released { job: *job, granted }),
-            Request::Poll { machine, job } => self.poll(machine, *job).map(|status| match status {
-                JobStatus::Running(nodes) => Response::Running { job: *job, nodes },
-                JobStatus::Queued(position) => Response::Waiting {
-                    job: *job,
-                    position,
-                },
-                JobStatus::Unknown => Response::Unknown { job: *job },
+            Request::Poll { machine, job } => self.registry.with_entry(machine, |entry| {
+                Ok(match entry.poll(*job) {
+                    JobStatus::Running(nodes) => Response::Running { job: *job, nodes },
+                    JobStatus::Queued(position) => {
+                        // Same lock hold as the poll itself, so the
+                        // outlook describes the position just reported.
+                        let outlook = entry.queue_outlook(*job);
+                        Response::Waiting {
+                            job: *job,
+                            position,
+                            reserved_start: outlook.as_ref().and_then(|o| o.reserved_start),
+                            explain: outlook
+                                .and_then(|o| o.explain)
+                                .map(|reason| crate::trace::reason_to_value(&reason)),
+                        }
+                    }
+                    JobStatus::Unknown => Response::Unknown { job: *job },
+                })
             }),
             Request::Query { machine } => match pool_of(machine) {
                 Some(pool) => self.pool_snapshot(pool).map(Response::Snapshot),
@@ -909,6 +1079,29 @@ impl AllocationService {
             },
             Request::Stats { machine } => self.stats(machine).map(Response::Stats),
             Request::JournalStats => Ok(Response::JournalStats(self.journal_stats())),
+            Request::SetTrace { enabled } => {
+                self.recorder.set_enabled(*enabled);
+                Ok(Response::TraceSet { enabled: *enabled })
+            }
+            Request::Trace { limit, clear } => {
+                let (events, dropped) = self.recorder.drain(*limit, *clear);
+                Ok(Response::Trace {
+                    events: events
+                        .iter()
+                        .map(|event| self.recorder.event_to_value(event))
+                        .collect(),
+                    dropped,
+                    enabled: self.recorder.enabled(),
+                })
+            }
+            Request::Metrics { format } => Ok(Response::Metrics {
+                format: format.clone(),
+                metrics: if format == "prometheus" {
+                    Value::Str(self.prometheus_text())
+                } else {
+                    self.metrics_value()
+                },
+            }),
             Request::List => Ok(Response::Machines(self.list())),
             Request::Ping => Ok(Response::Pong),
         };
@@ -1263,16 +1456,25 @@ mod tests {
                 machine: None
             }
         );
+        let waiting = service.handle(&Request::Poll {
+            machine: "m0".into(),
+            job: 3,
+        });
+        let Response::Waiting {
+            job: 3,
+            position: 1,
+            reserved_start: None, // FCFS promises no start times
+            explain: Some(explain),
+        } = waiting
+        else {
+            panic!("expected waiting with an explanation, got {waiting:?}");
+        };
+        // The machine is full: the head is blocked on capacity.
         assert_eq!(
-            service.handle(&Request::Poll {
-                machine: "m0".into(),
-                job: 3
-            }),
-            Response::Waiting {
-                job: 3,
-                position: 1
-            }
+            explain.get("reason").and_then(Value::as_str),
+            Some("insufficient_free")
         );
+        assert_eq!(explain.get("needed").and_then(Value::as_u64), Some(2));
         // Releasing the full job admits the queued one.
         let released = service.handle(&Request::Release {
             machine: "m0".into(),

@@ -156,7 +156,24 @@ fn simple_response_strategy() -> BoxedStrategy<Response> {
         (name_strategy(), name_strategy())
             .prop_map(|(pool, policy)| Response::RouterSet { pool, policy }),
         (any::<u64>(), nodes_strategy()).prop_map(|(job, nodes)| Response::Running { job, nodes }),
-        (any::<u64>(), 1usize..64).prop_map(|(job, position)| Response::Waiting { job, position }),
+        (any::<u64>(), 1usize..64, 0u32..3, walltime_strategy()).prop_map(
+            |(job, position, shape, reserved_start)| Response::Waiting {
+                job,
+                position,
+                // Finite-positive like a real promised start; `shape`
+                // also covers the no-reservation / no-explain corners.
+                reserved_start: if shape == 0 { None } else { reserved_start },
+                explain: (shape == 2).then(|| {
+                    let mut m = serde::Map::new();
+                    m.insert(
+                        "reason".into(),
+                        serde::Value::Str("head_of_line".to_string()),
+                    );
+                    m.insert("blocking_job".into(), serde::Value::Int(7));
+                    serde::Value::Object(m)
+                }),
+            }
+        ),
         any::<u64>().prop_map(|job| Response::Unknown { job }),
         prop::collection::vec(name_strategy(), 0..5).prop_map(Response::Machines),
         Just(Response::Pong),
