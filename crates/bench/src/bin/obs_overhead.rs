@@ -72,6 +72,7 @@ fn alloc_line(job: u64, size: usize) -> String {
         size,
         wait: false,
         walltime: None,
+        pattern: None,
     }
     .to_line()
 }

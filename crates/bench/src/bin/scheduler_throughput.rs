@@ -48,6 +48,7 @@ fn workload(jobs: usize, seed: u64) -> Vec<ReplayJob> {
             size,
             arrival,
             duration,
+            pattern: None,
         });
     }
     out

@@ -260,6 +260,9 @@ pub struct LoadgenOptions {
     /// Routing policy to switch the pool to before driving (requires a
     /// `"@pool"` machine address).
     pub router: Option<String>,
+    /// Communication pattern declared on every allocation (canonical
+    /// pattern name); `None` sends unpatterned allocations.
+    pub pattern: Option<String>,
     /// RNG seed.
     pub seed: u64,
     /// Skip the final drain, leaving the granted jobs live on the
@@ -286,6 +289,7 @@ impl Default for LoadgenOptions {
             max_size: 32,
             max_walltime: None,
             router: None,
+            pattern: None,
             seed: 1996,
             no_drain: false,
             claims_out: None,
@@ -727,6 +731,11 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                         parse_router(&value).ok_or_else(|| invalid(&flag, &value))?;
                         opts.router = Some(value);
                     }
+                    "--pattern" => {
+                        commalloc_workload::CommPattern::parse(&value)
+                            .ok_or_else(|| invalid(&flag, &value))?;
+                        opts.pattern = Some(value);
+                    }
                     "--seed" => {
                         opts.seed = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
                     }
@@ -797,15 +806,15 @@ SUBCOMMANDS:
               [--addr HOST:PORT] [--workers N] [--machine NAME]
               [--mesh WxH|WxHxD] [--machines N0=M0,N1=M1,...]
               [--allocator A] [--scheduler fcfs|backfill|easy|conservative]
-              [--pool POOL] [--router rr|ll|sq|p2c]
+              [--pool POOL] [--router rr|ll|sq|p2c|comm-aware]
               [--journal DIR] [--fsync every|never|N] [--snapshot-every N]
               [--trace]
   loadgen     drive a running daemon with allocate/release traffic
               [--addr HOST:PORT] [--machine NAME|@POOL] [--mesh WxH]
               [--scheduler P] [--requests N] [--connections C]
               [--occupancy F] [--max-size K] [--max-walltime W]
-              [--router rr|ll|sq|p2c] [--seed S] [--no-drain]
-              [--claims-out FILE] [--json]
+              [--router rr|ll|sq|p2c|comm-aware] [--pattern P]
+              [--seed S] [--no-drain] [--claims-out FILE] [--json]
   recovery-check  assert a recovered daemon matches a saved claim table
               [--addr HOST:PORT] --claims FILE [--json]
   allocators  list allocators, patterns, curves and schedulers

@@ -188,6 +188,10 @@ fn run_loadgen(opts: &LoadgenOptions) -> Result<String, RunError> {
         max_size: opts.max_size,
         max_walltime: opts.max_walltime,
         router: opts.router.clone(),
+        pattern: opts
+            .pattern
+            .as_deref()
+            .and_then(commalloc_workload::CommPattern::parse),
         seed: opts.seed,
         no_drain: opts.no_drain,
         claims_out: opts.claims_out.clone(),

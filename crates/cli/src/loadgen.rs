@@ -32,6 +32,7 @@
 
 use commalloc_service::client::{ClientAllocOutcome, ServiceClient};
 use commalloc_service::{ClientError, Request, Response};
+use commalloc_workload::CommPattern;
 use rand::prelude::*;
 use serde::{Map, Serialize, Value};
 use std::collections::HashMap;
@@ -70,6 +71,9 @@ pub struct LoadgenConfig {
     /// Routing policy to switch the pool to before driving (cluster
     /// mode only).
     pub router: Option<String>,
+    /// Communication pattern every allocation declares (`None` sends
+    /// unpatterned allocations, the pre-pattern wire form).
+    pub pattern: Option<CommPattern>,
     /// RNG seed.
     pub seed: u64,
     /// Skip the final drain: granted jobs stay live on the daemon. The
@@ -421,7 +425,7 @@ fn drive_connection(
             let job = next_job;
             next_job += 1;
             let (machine, outcome) = client
-                .alloc_routed(&config.machine, job, size, false, walltime)
+                .alloc_routed(&config.machine, job, size, false, walltime, config.pattern)
                 .map_err(fail)?;
             match outcome {
                 ClientAllocOutcome::Granted(nodes) => {

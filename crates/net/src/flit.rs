@@ -12,6 +12,7 @@
 //! [`crate::fluid::FluidNetwork`] model, and in unit tests; whole-trace
 //! simulations use the fluid model (see DESIGN.md).
 
+use crate::assert_unique_ids;
 use crate::link::{LinkId, LinkTable};
 use commalloc_mesh::{Mesh2D, NodeId};
 use serde::{Deserialize, Serialize};
@@ -117,10 +118,13 @@ impl FlitNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if any message has zero flits or if the simulation exceeds the
-    /// cycle guard (which would indicate a deadlock and therefore a bug).
+    /// Panics if any message has zero flits, if two messages share an id
+    /// (the per-id delivery records would be ambiguous), or if the
+    /// simulation exceeds the cycle guard (which would indicate a deadlock
+    /// and therefore a bug).
     pub fn simulate(&self, messages: &[FlitMessage]) -> FlitSimReport {
         let mesh = self.mesh();
+        assert_unique_ids(messages.iter().map(|m| m.id));
         let mut worms: Vec<Worm> = messages
             .iter()
             .enumerate()
@@ -203,7 +207,10 @@ impl FlitNetwork {
             cycle += 1;
         }
 
-        let mut deliveries: Vec<Delivery> = worms
+        // Worms were built by enumerating `messages`, so walking them in
+        // order already yields deliveries in input order — no re-sort (the
+        // old per-element `position()` scan was O(n²) on the hot path).
+        let deliveries: Vec<Delivery> = worms
             .iter()
             .map(|w| {
                 let delivered_at = w.delivered_at.expect("all worms delivered");
@@ -214,12 +221,6 @@ impl FlitNetwork {
                 }
             })
             .collect();
-        deliveries.sort_by_key(|d| {
-            messages
-                .iter()
-                .position(|m| m.id == d.id)
-                .unwrap_or(usize::MAX)
-        });
         let makespan = deliveries.iter().map(|d| d.delivered_at).max().unwrap_or(0);
         FlitSimReport {
             deliveries,
@@ -356,6 +357,34 @@ mod tests {
             corner_report.makespan,
             compact_report.makespan
         );
+    }
+
+    #[test]
+    fn deliveries_stay_in_input_order_even_when_completion_inverts_it() {
+        let mesh = mesh8();
+        let net = FlitNetwork::new(mesh);
+        // The first input is a long worm, the second a one-flit hop that
+        // completes far earlier; the report must still list them as given.
+        let slow = msg(mesh, 9, (0, 0), (7, 0), 0, 16);
+        let fast = msg(mesh, 3, (0, 5), (1, 5), 0, 1);
+        let report = net.simulate(&[slow, fast]);
+        let ids: Vec<u64> = report.deliveries.iter().map(|d| d.id).collect();
+        assert_eq!(ids, vec![9, 3]);
+        assert!(report.deliveries[1].delivered_at < report.deliveries[0].delivered_at);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate message id")]
+    fn duplicate_message_ids_are_rejected() {
+        // Regression: duplicates used to be silently tolerated (the report
+        // re-sort fell back to usize::MAX for unmatched ids), leaving the
+        // per-id records ambiguous.
+        let mesh = mesh8();
+        let net = FlitNetwork::new(mesh);
+        net.simulate(&[
+            msg(mesh, 1, (0, 0), (1, 0), 0, 2),
+            msg(mesh, 1, (0, 1), (1, 1), 0, 2),
+        ]);
     }
 
     #[test]

@@ -34,6 +34,16 @@ pub mod link;
 pub mod msglevel;
 pub mod traffic;
 
+/// Rejects duplicate message ids up front: delivery reports are keyed by id,
+/// so a duplicate would make the report ambiguous and mask a caller bug
+/// (previously swallowed by an `unwrap_or(usize::MAX)` sort key).
+pub(crate) fn assert_unique_ids(ids: impl Iterator<Item = u64>) {
+    let mut seen = std::collections::HashSet::new();
+    for id in ids {
+        assert!(seen.insert(id), "duplicate message id {id}");
+    }
+}
+
 pub use fluid::{FluidNetwork, ProportionalShareModel, RateModel, ZeroContentionModel};
 pub use link::{LinkId, LinkTable};
 pub use traffic::JobTraffic;

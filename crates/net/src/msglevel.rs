@@ -8,6 +8,7 @@
 //! because it advances by events rather than cycles, yet it still resolves
 //! the per-link queueing that the fluid model averages away.
 
+use crate::assert_unique_ids;
 use crate::link::{LinkId, LinkTable};
 use commalloc_mesh::{Mesh2D, NodeId};
 use serde::{Deserialize, Serialize};
@@ -107,18 +108,27 @@ impl MessageLevelNetwork {
     /// Simulates all messages to completion.
     ///
     /// Ties are broken by input order so runs are deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two messages share an id (the per-id delivery records
+    /// would be ambiguous).
     pub fn simulate(&self, messages: &[Message]) -> MessageSimReport {
+        assert_unique_ids(messages.iter().map(|m| m.id));
         let paths: Vec<Vec<LinkId>> = messages
             .iter()
             .map(|m| self.links.route_links(m.src, m.dst))
             .collect();
         let mut link_free_at: Vec<f64> = vec![0.0; self.links.num_slots()];
-        let mut deliveries: Vec<MessageDelivery> = Vec::with_capacity(messages.len());
+        // Delivery slots indexed by input position: events carry the input
+        // index, so each record lands directly in place — no O(n²)
+        // id-lookup re-sort at the end.
+        let mut deliveries: Vec<Option<MessageDelivery>> = vec![None; messages.len()];
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
 
         for (i, m) in messages.iter().enumerate() {
             if paths[i].is_empty() {
-                deliveries.push(MessageDelivery {
+                deliveries[i] = Some(MessageDelivery {
                     id: m.id,
                     delivered_at: m.inject_at,
                     latency: 0.0,
@@ -145,7 +155,7 @@ impl MessageLevelNetwork {
                     stage: ev.stage + 1,
                 }));
             } else {
-                deliveries.push(MessageDelivery {
+                deliveries[ev.msg] = Some(MessageDelivery {
                     id: m.id,
                     delivered_at: finish,
                     latency: finish - m.inject_at,
@@ -153,13 +163,10 @@ impl MessageLevelNetwork {
             }
         }
 
-        // Report in input order.
-        deliveries.sort_by_key(|d| {
-            messages
-                .iter()
-                .position(|m| m.id == d.id)
-                .unwrap_or(usize::MAX)
-        });
+        let deliveries: Vec<MessageDelivery> = deliveries
+            .into_iter()
+            .map(|d| d.expect("every message delivered"))
+            .collect();
         let makespan = deliveries
             .iter()
             .map(|d| d.delivered_at)
@@ -229,6 +236,32 @@ mod tests {
         ]);
         assert!((r.makespan - 3.0).abs() < 1e-12);
         assert!((r.mean_latency() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deliveries_stay_in_input_order_even_when_completion_inverts_it() {
+        let mesh = mesh8();
+        let net = MessageLevelNetwork::new(mesh);
+        let slow = msg(mesh, 9, (0, 0), (7, 7), 0.0);
+        let fast = msg(mesh, 3, (0, 5), (1, 5), 0.0);
+        let r = net.simulate(&[slow, fast]);
+        let ids: Vec<u64> = r.deliveries.iter().map(|d| d.id).collect();
+        assert_eq!(ids, vec![9, 3]);
+        assert!(r.deliveries[1].delivered_at < r.deliveries[0].delivered_at);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate message id")]
+    fn duplicate_message_ids_are_rejected() {
+        // Regression: duplicates used to be silently tolerated (the report
+        // re-sort fell back to usize::MAX for unmatched ids), leaving the
+        // per-id records ambiguous.
+        let mesh = mesh8();
+        let net = MessageLevelNetwork::new(mesh);
+        net.simulate(&[
+            msg(mesh, 1, (0, 0), (1, 0), 0.0),
+            msg(mesh, 1, (0, 1), (1, 1), 0.0),
+        ]);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! (`estimate = ∞`), which makes EASY strictly conservative about them.
 
 use commalloc::scheduler::{QueuedJob, RunningSnapshot, SchedulerKind};
+use commalloc_workload::CommPattern;
 use std::collections::VecDeque;
 
 /// A queued allocation request.
@@ -43,6 +44,10 @@ pub struct PendingRequest {
     /// The client's runtime estimate in seconds, if it supplied one.
     /// EASY backfilling treats a missing estimate as "runs forever".
     pub walltime: Option<f64>,
+    /// The communication pattern the client declared, if any. A declared
+    /// pattern lets the allocator score candidate placements by predicted
+    /// contention when the grant finally happens.
+    pub pattern: Option<CommPattern>,
     /// Machine-clock time at which the request entered the queue (drives
     /// the wait-time metrics and doubles as the arrival stamp the
     /// scheduler policies see).
@@ -189,6 +194,7 @@ mod tests {
             job_id,
             size,
             walltime: None,
+            pattern: None,
             enqueued_at: 0.0,
             trace_request: 0,
             enqueued_micros: 0,
@@ -200,6 +206,7 @@ mod tests {
             job_id,
             size,
             walltime: Some(walltime),
+            pattern: None,
             enqueued_at: 0.0,
             trace_request: 0,
             enqueued_micros: 0,

@@ -3,6 +3,7 @@
 use crate::protocol::{Request, Response};
 use crate::registry::JobStatus;
 use commalloc_mesh::NodeId;
+use commalloc_workload::CommPattern;
 use serde::Value;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -194,6 +195,21 @@ impl ServiceClient {
         wait: bool,
         walltime: Option<f64>,
     ) -> Result<ClientAllocOutcome, ClientError> {
+        self.alloc_patterned(machine, job, size, wait, walltime, None)
+    }
+
+    /// Requests `size` processors for `job`, declaring the job's
+    /// communication pattern so the server can score candidate
+    /// placements by predicted contention.
+    pub fn alloc_patterned(
+        &mut self,
+        machine: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+        pattern: Option<CommPattern>,
+    ) -> Result<ClientAllocOutcome, ClientError> {
         validate_walltime(walltime)?;
         let request = Request::Alloc {
             machine: machine.to_string(),
@@ -201,6 +217,7 @@ impl ServiceClient {
             size,
             wait,
             walltime,
+            pattern,
         };
         self.expect(&request, |r| match r {
             Response::Granted { nodes, .. } => Ok(ClientAllocOutcome::Granted(nodes)),
@@ -222,6 +239,7 @@ impl ServiceClient {
         size: usize,
         wait: bool,
         walltime: Option<f64>,
+        pattern: Option<CommPattern>,
     ) -> Result<(String, ClientAllocOutcome), ClientError> {
         validate_walltime(walltime)?;
         let request = Request::Alloc {
@@ -230,6 +248,7 @@ impl ServiceClient {
             size,
             wait,
             walltime,
+            pattern,
         };
         let routed = target.starts_with('@');
         let resolve = move |machine: Option<String>| -> Result<String, ClientError> {
@@ -465,7 +484,7 @@ mod tests {
                 "walltime {bad} gave {err:?}"
             );
             let err = client
-                .alloc_routed("m0", 99, 1, true, Some(bad))
+                .alloc_routed("m0", 99, 1, true, Some(bad), None)
                 .unwrap_err();
             assert!(matches!(err, ClientError::InvalidRequest(_)));
         }

@@ -65,16 +65,25 @@ pub enum RoutingPolicy {
     /// pseudo-randomly (SplitMix64 of the route sequence) and take the
     /// less loaded of the pair — the classic low-coordination balancer.
     PowerOfTwoChoices,
+    /// Communication-aware: the eligible member whose best candidate
+    /// placement predicts the lowest contention for the job's declared
+    /// communication pattern (the `contention` field of the scored
+    /// sample). Members that cannot score the job — no pattern declared,
+    /// or no contiguous window fits — are skipped; when *no* member
+    /// scored, falls back to shortest-queue, so unpatterned traffic
+    /// routes exactly as the queue-length baseline.
+    CommAware,
 }
 
 impl RoutingPolicy {
     /// Every implemented policy.
-    pub fn all() -> [RoutingPolicy; 4] {
+    pub fn all() -> [RoutingPolicy; 5] {
         [
             RoutingPolicy::RoundRobin,
             RoutingPolicy::LeastLoaded,
             RoutingPolicy::ShortestQueue,
             RoutingPolicy::PowerOfTwoChoices,
+            RoutingPolicy::CommAware,
         ]
     }
 
@@ -85,11 +94,12 @@ impl RoutingPolicy {
             RoutingPolicy::LeastLoaded => "least-loaded",
             RoutingPolicy::ShortestQueue => "shortest-queue",
             RoutingPolicy::PowerOfTwoChoices => "power-of-two",
+            RoutingPolicy::CommAware => "comm-aware",
         }
     }
 
     /// Parses a policy spec: the canonical name or the short aliases
-    /// `rr`, `ll`, `sq`, `p2c` (case-insensitive).
+    /// `rr`, `ll`, `sq`, `p2c`, `ca` (case-insensitive).
     pub fn parse(spec: &str) -> Option<RoutingPolicy> {
         let spec = spec.trim();
         RoutingPolicy::all()
@@ -102,6 +112,7 @@ impl RoutingPolicy {
                 "p2c" | "two-choices" | "power-of-two-choices" => {
                     Some(RoutingPolicy::PowerOfTwoChoices)
                 }
+                "ca" | "commaware" | "communication-aware" => Some(RoutingPolicy::CommAware),
                 _ => None,
             })
     }
@@ -146,6 +157,27 @@ impl RoutingPolicy {
                     second += 1;
                 }
                 least_loaded_of(eligible, [first, second])
+            }
+            RoutingPolicy::CommAware => {
+                // Lowest predicted contention among the scored samples;
+                // strict total_cmp-less keeps ties on the earlier index
+                // (the lexicographically smaller member name).
+                let mut best: Option<(usize, f64)> = None;
+                for (i, s) in eligible.iter().enumerate() {
+                    if let Some(c) = s.contention {
+                        let better = match best {
+                            None => true,
+                            Some((_, b)) => c.total_cmp(&b) == std::cmp::Ordering::Less,
+                        };
+                        if better {
+                            best = Some((i, c));
+                        }
+                    }
+                }
+                match best {
+                    Some((i, _)) => i,
+                    None => RoutingPolicy::ShortestQueue.pick(eligible, seq),
+                }
             }
         }
     }
@@ -193,7 +225,7 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// One machine's routing-relevant state, captured under its shard lock.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSample {
     /// Machine name.
     pub name: String,
@@ -207,6 +239,13 @@ pub struct MachineSample {
     /// [`crate::registry::MachineEntry::generation`]); the commit step
     /// re-checks it before allocating against the sample.
     pub generation: u64,
+    /// The machine's best predicted contention for the specific request
+    /// being routed, when it declared a communication pattern and a
+    /// candidate window fits (see
+    /// [`crate::registry::MachineEntry::sample_for`]); `None` on plain
+    /// [`crate::registry::MachineEntry::sample`] captures. Only the
+    /// comm-aware policy reads it.
+    pub contention: Option<f64>,
 }
 
 /// One pool's shared state. Members are kept sorted by name so sampling
@@ -406,7 +445,11 @@ pub fn route_offline(
             // online router's sampling order.
             let eligible: Vec<MachineSample> = names
                 .iter()
-                .map(|name| service.sample(name).expect("member exists"))
+                .map(|name| {
+                    service
+                        .sample_for(name, job.id, job.size, job.pattern)
+                        .expect("member exists")
+                })
                 .filter(|s| job.size <= s.nodes)
                 .collect();
             if eligible.is_empty() {
@@ -419,7 +462,14 @@ pub fn route_offline(
             let target_at = names.binary_search(&target).expect("member is registered");
             routes.push((job.id, Some(target.clone())));
             match service
-                .allocate(&target, job.id, job.size, true, Some(job.duration))
+                .allocate_patterned(
+                    &target,
+                    job.id,
+                    job.size,
+                    true,
+                    Some(job.duration),
+                    job.pattern,
+                )
                 .expect("well-formed offline route")
             {
                 crate::registry::AllocOutcome::Granted(_) => {
@@ -455,6 +505,14 @@ mod tests {
             free,
             queue_len,
             generation: 0,
+            contention: None,
+        }
+    }
+
+    fn scored(name: &str, contention: Option<f64>) -> MachineSample {
+        MachineSample {
+            contention,
+            ..sample(name, 64, 64, 0)
         }
     }
 
@@ -524,6 +582,36 @@ mod tests {
         // "c" has the most free nodes, so it wins every pair it appears
         // in; "a" only wins (a, a)-impossible pairs, i.e. never.
         assert!(hit[2]);
+    }
+
+    #[test]
+    fn comm_aware_picks_lowest_contention_and_breaks_ties_early() {
+        let e = vec![
+            scored("a", Some(9.0)),
+            scored("b", Some(3.5)),
+            scored("c", None),
+            scored("d", Some(3.5)),
+        ];
+        assert_eq!(RoutingPolicy::CommAware.pick(&e, 0), 1, "lowest wins");
+        let tied = vec![scored("a", Some(2.0)), scored("b", Some(2.0))];
+        assert_eq!(RoutingPolicy::CommAware.pick(&tied, 7), 0, "tie → earlier");
+    }
+
+    #[test]
+    fn comm_aware_falls_back_to_shortest_queue_when_nothing_scored() {
+        // No member scored the job (unpatterned traffic): behave exactly
+        // like shortest-queue, including its free-node tie-break.
+        let e = vec![
+            sample("a", 64, 1, 2),
+            sample("b", 64, 9, 1),
+            sample("c", 64, 30, 1),
+        ];
+        for seq in 0..8 {
+            assert_eq!(
+                RoutingPolicy::CommAware.pick(&e, seq),
+                RoutingPolicy::ShortestQueue.pick(&e, seq)
+            );
+        }
     }
 
     #[test]

@@ -72,6 +72,7 @@ use crate::protocol::get_f64_opt;
 use crate::protocol::{get_nodes, get_str, get_str_opt, get_u64, nodes_value, obj, str_value};
 use crate::registry::ServiceError;
 use commalloc_mesh::NodeId;
+use commalloc_workload::CommPattern;
 use serde::{Error, Map, Value};
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
@@ -114,6 +115,10 @@ pub enum JournalRecord {
         walltime: Option<f64>,
         /// Machine-clock time of the grant.
         start: f64,
+        /// The communication pattern the job declared, if any. On the
+        /// wire the field is present only when declared (absent = none),
+        /// carrying the pattern's canonical name.
+        pattern: Option<CommPattern>,
     },
     /// A request entered the admission queue.
     Queue {
@@ -127,6 +132,9 @@ pub enum JournalRecord {
         walltime: Option<f64>,
         /// Machine-clock time of the enqueue.
         enqueued_at: f64,
+        /// The communication pattern the job declared, if any (present
+        /// on the wire only when declared).
+        pattern: Option<CommPattern>,
     },
     /// A running job released its processors.
     Release {
@@ -215,6 +223,8 @@ pub struct RunningImage {
     pub walltime: Option<f64>,
     /// Machine-clock time the job started.
     pub start: f64,
+    /// The communication pattern the job declared, if any.
+    pub pattern: Option<CommPattern>,
 }
 
 /// One queued request inside a [`MachineImage`].
@@ -228,6 +238,8 @@ pub struct QueuedImage {
     pub walltime: Option<f64>,
     /// Machine-clock time of the enqueue.
     pub enqueued_at: f64,
+    /// The communication pattern the job declared, if any.
+    pub pattern: Option<CommPattern>,
 }
 
 /// One pool inside a [`SnapshotImage`].
@@ -311,6 +323,26 @@ fn get_f64(v: &Value, key: &str) -> Result<f64, Error> {
         .ok_or_else(|| Error::msg(format!("missing or non-numeric field {key:?}")))
 }
 
+/// Reads an optional `"pattern"` field (absent or null = no pattern;
+/// present = the canonical pattern name, refusing unknown names).
+fn get_pattern_opt(v: &Value) -> Result<Option<CommPattern>, Error> {
+    match get_str_opt(v, "pattern")? {
+        None => Ok(None),
+        Some(s) => CommPattern::parse(&s)
+            .map(Some)
+            .ok_or_else(|| Error::msg(format!("unknown communication pattern {s:?}"))),
+    }
+}
+
+/// Appends the optional `"pattern"` entry to a record's value tree —
+/// present only when declared, so unpatterned records keep their
+/// pre-pattern wire form byte-for-byte.
+fn push_pattern_entry(entries: &mut Vec<(&'static str, Value)>, pattern: &Option<CommPattern>) {
+    if let Some(p) = pattern {
+        entries.push(("pattern", str_value(p.name())));
+    }
+}
+
 impl MachineImage {
     fn to_value(&self) -> Value {
         obj(vec![
@@ -327,12 +359,14 @@ impl MachineImage {
                     self.running
                         .iter()
                         .map(|r| {
-                            obj(vec![
+                            let mut entries = vec![
                                 ("job", Value::UInt(r.job)),
                                 ("nodes", nodes_value(&r.nodes)),
                                 ("walltime", opt_f64_value(&r.walltime)),
                                 ("start", Value::Float(r.start)),
-                            ])
+                            ];
+                            push_pattern_entry(&mut entries, &r.pattern);
+                            obj(entries)
                         })
                         .collect(),
                 ),
@@ -343,12 +377,14 @@ impl MachineImage {
                     self.queue
                         .iter()
                         .map(|q| {
-                            obj(vec![
+                            let mut entries = vec![
                                 ("job", Value::UInt(q.job)),
                                 ("size", Value::UInt(q.size as u64)),
                                 ("walltime", opt_f64_value(&q.walltime)),
                                 ("enqueued_at", Value::Float(q.enqueued_at)),
-                            ])
+                            ];
+                            push_pattern_entry(&mut entries, &q.pattern);
+                            obj(entries)
                         })
                         .collect(),
                 ),
@@ -368,6 +404,7 @@ impl MachineImage {
                     nodes: get_nodes(r, "nodes")?,
                     walltime: get_f64_opt(r, "walltime")?,
                     start: get_f64(r, "start")?,
+                    pattern: get_pattern_opt(r)?,
                 })
             })
             .collect::<Result<Vec<_>, Error>>()?;
@@ -382,6 +419,7 @@ impl MachineImage {
                     size: get_u64(q, "size")? as usize,
                     walltime: get_f64_opt(q, "walltime")?,
                     enqueued_at: get_f64(q, "enqueued_at")?,
+                    pattern: get_pattern_opt(q)?,
                 })
             })
             .collect::<Result<Vec<_>, Error>>()?;
@@ -498,6 +536,7 @@ impl JournalRecord {
                 nodes,
                 walltime,
                 start,
+                pattern,
             } => {
                 entries.push(("rec", str_value("grant")));
                 entries.push(("machine", str_value(machine)));
@@ -505,6 +544,7 @@ impl JournalRecord {
                 entries.push(("nodes", nodes_value(nodes)));
                 entries.push(("walltime", opt_f64_value(walltime)));
                 entries.push(("start", Value::Float(*start)));
+                push_pattern_entry(&mut entries, pattern);
             }
             JournalRecord::Queue {
                 machine,
@@ -512,6 +552,7 @@ impl JournalRecord {
                 size,
                 walltime,
                 enqueued_at,
+                pattern,
             } => {
                 entries.push(("rec", str_value("queue")));
                 entries.push(("machine", str_value(machine)));
@@ -519,6 +560,7 @@ impl JournalRecord {
                 entries.push(("size", Value::UInt(*size as u64)));
                 entries.push(("walltime", opt_f64_value(walltime)));
                 entries.push(("enqueued_at", Value::Float(*enqueued_at)));
+                push_pattern_entry(&mut entries, pattern);
             }
             JournalRecord::Release { machine, job } => {
                 entries.push(("rec", str_value("release")));
@@ -577,6 +619,7 @@ impl JournalRecord {
                 nodes: get_nodes(v, "nodes")?,
                 walltime: get_f64_opt(v, "walltime")?,
                 start: get_f64(v, "start")?,
+                pattern: get_pattern_opt(v)?,
             },
             "queue" => JournalRecord::Queue {
                 machine: get_str(v, "machine")?,
@@ -584,6 +627,7 @@ impl JournalRecord {
                 size: get_u64(v, "size")? as usize,
                 walltime: get_f64_opt(v, "walltime")?,
                 enqueued_at: get_f64(v, "enqueued_at")?,
+                pattern: get_pattern_opt(v)?,
             },
             "release" => JournalRecord::Release {
                 machine: get_str(v, "machine")?,
@@ -654,6 +698,7 @@ impl JournalRecord {
                 nodes,
                 walltime,
                 start,
+                pattern,
             } => {
                 out.push_str("\"rec\":\"grant\",\"machine\":");
                 write_json_str(out, machine);
@@ -668,6 +713,10 @@ impl JournalRecord {
                 write_json_f64_opt(out, walltime);
                 out.push_str(",\"start\":");
                 write_json_f64(out, *start);
+                if let Some(p) = pattern {
+                    out.push_str(",\"pattern\":");
+                    write_json_str(out, p.name());
+                }
                 out.push('}');
             }
             JournalRecord::Queue {
@@ -676,6 +725,7 @@ impl JournalRecord {
                 size,
                 walltime,
                 enqueued_at,
+                pattern,
             } => {
                 out.push_str("\"rec\":\"queue\",\"machine\":");
                 write_json_str(out, machine);
@@ -683,6 +733,10 @@ impl JournalRecord {
                 write_json_f64_opt(out, walltime);
                 out.push_str(",\"enqueued_at\":");
                 write_json_f64(out, *enqueued_at);
+                if let Some(p) = pattern {
+                    out.push_str(",\"pattern\":");
+                    write_json_str(out, p.name());
+                }
                 out.push('}');
             }
             JournalRecord::Release { machine, job } => {
@@ -1475,6 +1529,15 @@ mod tests {
                 nodes: vec![NodeId(0), NodeId(1)],
                 walltime: Some(60.5),
                 start: 3.25,
+                pattern: Some(CommPattern::AllToAll),
+            },
+            JournalRecord::Grant {
+                machine: "m0".into(),
+                job: 3,
+                nodes: vec![NodeId(4)],
+                walltime: None,
+                start: 3.5,
+                pattern: None,
             },
             JournalRecord::Queue {
                 machine: "m0".into(),
@@ -1482,6 +1545,7 @@ mod tests {
                 size: 9,
                 walltime: None,
                 enqueued_at: 4.0,
+                pattern: Some(CommPattern::Ring),
             },
             JournalRecord::Release {
                 machine: "m0".into(),
@@ -1515,12 +1579,14 @@ mod tests {
                         nodes: vec![NodeId(3)],
                         walltime: None,
                         start: 1.0,
+                        pattern: Some(CommPattern::AllToAll),
                     }],
                     queue: vec![QueuedImage {
                         job: 5,
                         size: 2,
                         walltime: Some(7.0),
                         enqueued_at: 2.0,
+                        pattern: None,
                     }],
                 }],
                 pools: vec![PoolImage {

@@ -116,6 +116,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod replay;
+pub mod score;
 pub mod server;
 pub mod service;
 pub mod trace;

@@ -11,6 +11,7 @@
 //! conversions double as precise wire-format documentation.
 
 use commalloc_mesh::NodeId;
+use commalloc_workload::CommPattern;
 use serde::{Error, Map, Value};
 
 /// A client request.
@@ -55,6 +56,11 @@ pub enum Request {
         /// Must be finite and positive when present — the wire parser
         /// and the service both reject anything else.
         walltime: Option<f64>,
+        /// Declared communication pattern of the job (travels as the
+        /// pattern's canonical name, e.g. `"all-to-all"`). Feeds the
+        /// communication-aware routing policy and the allocator's
+        /// contention-scored placement; `None` = pattern-oblivious.
+        pattern: Option<CommPattern>,
     },
     /// Switch the scheduling policy of a machine at runtime.
     SetScheduler {
@@ -327,6 +333,18 @@ pub(crate) fn get_walltime(v: &Value) -> Result<Option<f64>, Error> {
     }
 }
 
+/// An optional communication pattern, validated against the known
+/// pattern names at the wire boundary — an unknown name is a parse
+/// error rather than a silently pattern-oblivious job.
+pub(crate) fn get_pattern(v: &Value) -> Result<Option<CommPattern>, Error> {
+    match get_str_opt(v, "pattern")? {
+        None => Ok(None),
+        Some(name) => CommPattern::parse(&name)
+            .map(Some)
+            .ok_or_else(|| Error::msg(format!("unknown communication pattern {name:?}"))),
+    }
+}
+
 /// An optional string field: absent/null is `None`, but a present value
 /// of the wrong type is a parse error rather than a silent `None` (a
 /// mistyped `"scheduler":5` must not quietly register an FCFS machine).
@@ -418,6 +436,7 @@ impl Request {
                 size,
                 wait,
                 walltime,
+                pattern,
             } => {
                 let mut entries = vec![
                     ("op", str_value("alloc")),
@@ -428,6 +447,9 @@ impl Request {
                 ];
                 if let Some(w) = walltime {
                     entries.push(("walltime", Value::Float(*w)));
+                }
+                if let Some(p) = pattern {
+                    entries.push(("pattern", str_value(p.name())));
                 }
                 obj(entries)
             }
@@ -513,6 +535,7 @@ impl Request {
                         .ok_or_else(|| Error::msg("non-boolean field \"wait\""))?,
                 },
                 walltime: get_walltime(v)?,
+                pattern: get_pattern(v)?,
             }),
             "set_scheduler" => Ok(Request::SetScheduler {
                 machine: get_str(v, "machine")?,
@@ -950,6 +973,7 @@ mod tests {
                 size: 17,
                 wait: true,
                 walltime: Some(120.5),
+                pattern: None,
             },
             Request::Alloc {
                 machine: "m0".into(),
@@ -957,6 +981,15 @@ mod tests {
                 size: 1,
                 wait: false,
                 walltime: None,
+                pattern: Some(CommPattern::AllToAll),
+            },
+            Request::Alloc {
+                machine: "m0".into(),
+                job: 12,
+                size: 9,
+                wait: true,
+                walltime: Some(60.0),
+                pattern: Some(CommPattern::NBody),
             },
             Request::SetScheduler {
                 machine: "m0".into(),
@@ -974,6 +1007,7 @@ mod tests {
                     size: 3,
                     wait: true,
                     walltime: None,
+                    pattern: Some(CommPattern::Stencil2D),
                 },
             ]),
             Request::Release {
@@ -1137,6 +1171,7 @@ mod tests {
                 size: 4,
                 wait: false,
                 walltime: None,
+                pattern: None,
             }
         );
         // An integer walltime is accepted (JSON does not distinguish).
@@ -1152,8 +1187,31 @@ mod tests {
                 size: 4,
                 wait: true,
                 walltime: Some(30.0),
+                pattern: None,
             }
         );
+        // Pattern names are validated at the boundary: an unknown name is
+        // a parse error, not a silently pattern-oblivious job, and a
+        // non-string pattern is refused like any other mistyped field.
+        let parsed = Request::from_line(
+            r#"{"op":"alloc","machine":"m0","job":1,"size":4,"pattern":"n-body"}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            parsed,
+            Request::Alloc {
+                pattern: Some(CommPattern::NBody),
+                ..
+            }
+        ));
+        assert!(Request::from_line(
+            r#"{"op":"alloc","machine":"m0","job":1,"size":4,"pattern":"zigzag"}"#
+        )
+        .is_err());
+        assert!(Request::from_line(
+            r#"{"op":"alloc","machine":"m0","job":1,"size":4,"pattern":7}"#
+        )
+        .is_err());
         // A non-numeric walltime is a parse error, not a silent None.
         assert!(Request::from_line(
             r#"{"op":"alloc","machine":"m0","job":1,"size":4,"walltime":"soon"}"#

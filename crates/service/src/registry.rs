@@ -16,7 +16,8 @@ use commalloc_alloc::curve_alloc::SelectionStrategy;
 use commalloc_alloc::interval_index::FreeIntervalIndex;
 use commalloc_alloc::{AllocRequest, Allocation, Allocator, AllocatorKind, MachineState};
 use commalloc_mesh::curve3d::{Curve3Kind, Curve3Order};
-use commalloc_mesh::{Mesh2D, Mesh3D, NodeId};
+use commalloc_mesh::{CurveKind, CurveOrder, Mesh2D, Mesh3D, NodeId};
+use commalloc_workload::CommPattern;
 use serde::Serialize;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -177,6 +178,12 @@ enum Backing {
         machine: MachineState,
         allocator: Box<dyn Allocator>,
         kind: AllocatorKind,
+        /// Probe curve for communication-aware placement: free windows
+        /// along it are the candidate node sets scored by predicted
+        /// contention (independent of the configured allocator, so every
+        /// 2-D machine — MBS, paging, genetic — can serve patterned
+        /// jobs the same way).
+        probe: CurveOrder,
     },
     /// A 3-D mesh served by one-dimensional reduction along a 3-D curve,
     /// with the free-interval index as the single source of truth.
@@ -209,7 +216,34 @@ impl Backing {
 
     /// Attempts the raw allocation, committing the occupancy change on
     /// success. Does not touch the queue or metrics.
-    fn try_allocate(&mut self, job_id: u64, size: usize) -> Option<Vec<NodeId>> {
+    ///
+    /// A declared communication pattern reroutes the decision through
+    /// [`Backing::scored_candidates`]: the fitting candidate node set
+    /// with the **lowest predicted contention** wins, committed straight
+    /// onto the occupancy state (safe behind the allocator's back — the
+    /// 2-D allocators resynchronise from the machine bitmap via the
+    /// `MachineState::generation` protocol). When no contiguous
+    /// candidate fits (a fragmented machine), the pattern is ignored and
+    /// the configured allocator decides as for an unpatterned job.
+    fn try_allocate(
+        &mut self,
+        job_id: u64,
+        size: usize,
+        pattern: Option<CommPattern>,
+    ) -> Option<Vec<NodeId>> {
+        if let Some(pattern) = pattern {
+            if let Some(best) = self.best_scored_candidate(job_id, size, pattern) {
+                match self {
+                    Backing::TwoD { machine, .. } => machine.occupy(&best),
+                    Backing::ThreeD { curve, index, .. } => {
+                        let ranks: Vec<usize> = best.iter().map(|&n| curve.rank_of(n)).collect();
+                        let applied = index.occupy_ranks(&ranks);
+                        debug_assert!(applied, "scored candidate held a busy rank");
+                    }
+                }
+                return Some(best);
+            }
+        }
         match self {
             Backing::TwoD {
                 machine, allocator, ..
@@ -239,6 +273,102 @@ impl Backing {
                 Some(ranks.iter().map(|&r| curve.node_at(r)).collect())
             }
         }
+    }
+
+    /// Candidate placements for a patterned job: windows of `size`
+    /// consecutive free positions, one per maximal free run along the
+    /// probe curve (2-D) or free-interval index (3-D), capped at
+    /// [`Backing::CANDIDATE_CAP`] in curve order. Empty when no run is
+    /// long enough — the caller falls back to the unpatterned path.
+    fn scored_candidates(&self, size: usize) -> Vec<Vec<NodeId>> {
+        if size == 0 || size > self.num_free() {
+            return Vec::new();
+        }
+        let mut candidates = Vec::new();
+        match self {
+            Backing::TwoD { machine, probe, .. } => {
+                let mut run: Vec<NodeId> = Vec::new();
+                for rank in 0..probe.len() {
+                    let node = probe.node_at(rank);
+                    if machine.is_free(node) {
+                        run.push(node);
+                    } else {
+                        if run.len() >= size {
+                            candidates.push(run[..size].to_vec());
+                        }
+                        run.clear();
+                    }
+                    if candidates.len() == Self::CANDIDATE_CAP {
+                        return candidates;
+                    }
+                }
+                if run.len() >= size && candidates.len() < Self::CANDIDATE_CAP {
+                    candidates.push(run[..size].to_vec());
+                }
+            }
+            Backing::ThreeD { curve, index, .. } => {
+                for interval in index.intervals().filter(|iv| iv.len >= size) {
+                    candidates.push(
+                        (interval.start..interval.start + size)
+                            .map(|r| curve.node_at(r))
+                            .collect(),
+                    );
+                    if candidates.len() == Self::CANDIDATE_CAP {
+                        break;
+                    }
+                }
+            }
+        }
+        candidates
+    }
+
+    /// At most this many candidate windows are scored per decision: the
+    /// score runs a message-level simulation, so an unboundedly
+    /// fragmented machine must not make one grant arbitrarily slow.
+    const CANDIDATE_CAP: usize = 8;
+
+    /// Scores a candidate against the declared pattern (lower is
+    /// better). Deterministic in `(backing mesh, nodes, pattern,
+    /// job_id)` — see [`crate::score`].
+    fn score_candidate(&self, nodes: &[NodeId], pattern: CommPattern, job_id: u64) -> f64 {
+        match self {
+            Backing::TwoD { mesh, .. } => {
+                crate::score::predicted_contention_2d(*mesh, nodes, pattern, job_id)
+            }
+            Backing::ThreeD { mesh, .. } => {
+                crate::score::predicted_contention_3d(*mesh, nodes, pattern, job_id)
+            }
+        }
+    }
+
+    /// The fitting candidate with the lowest predicted contention (ties
+    /// break towards the earlier curve position), or `None` when no
+    /// contiguous window fits.
+    fn best_scored_candidate(
+        &self,
+        job_id: u64,
+        size: usize,
+        pattern: CommPattern,
+    ) -> Option<Vec<NodeId>> {
+        self.scored_candidates(size)
+            .into_iter()
+            .map(|nodes| {
+                let score = self.score_candidate(&nodes, pattern, job_id);
+                (nodes, score)
+            })
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(nodes, _)| nodes)
+    }
+
+    /// The lowest predicted contention this machine could offer a
+    /// `pattern`-declared job of `size` right now, or `None` when no
+    /// contiguous window fits (the router then treats the member as
+    /// unscored). Read-only: the routing sample path.
+    fn predicted_contention(&self, job_id: u64, size: usize, pattern: CommPattern) -> Option<f64> {
+        self.scored_candidates(size)
+            .into_iter()
+            .map(|nodes| self.score_candidate(&nodes, pattern, job_id))
+            .min_by(f64::total_cmp)
     }
 
     /// Re-occupies exactly `nodes` — the journal-recovery path, which
@@ -324,6 +454,9 @@ struct RunningMeta {
     size: usize,
     start: f64,
     walltime: Option<f64>,
+    /// The communication pattern the job declared, if any (journaled so
+    /// a recovered daemon keeps it).
+    pattern: Option<CommPattern>,
 }
 
 impl RunningMeta {
@@ -401,6 +534,7 @@ impl MachineEntry {
                 machine: MachineState::new(mesh),
                 allocator: kind.build(mesh),
                 kind,
+                probe: CurveOrder::build(CurveKind::Hilbert, mesh),
             },
             scheduler,
         )
@@ -522,6 +656,7 @@ impl MachineEntry {
                     nodes: self.allocations[&meta.job_id].clone(),
                     walltime: meta.walltime,
                     start: meta.start,
+                    pattern: meta.pattern,
                 })
                 .collect(),
             queue: self
@@ -532,6 +667,7 @@ impl MachineEntry {
                     size: p.size,
                     walltime: p.walltime,
                     enqueued_at: p.enqueued_at,
+                    pattern: p.pattern,
                 })
                 .collect(),
         }
@@ -548,6 +684,7 @@ impl MachineEntry {
         nodes: Vec<NodeId>,
         walltime: Option<f64>,
         start: f64,
+        pattern: Option<CommPattern>,
     ) -> Result<(), String> {
         if self.allocations.contains_key(&job_id) {
             return Err(format!("grant for job {job_id} which already runs"));
@@ -561,6 +698,7 @@ impl MachineEntry {
             size: nodes.len(),
             start,
             walltime,
+            pattern,
         });
         self.allocations.insert(job_id, nodes);
         self.generation += 1;
@@ -574,6 +712,7 @@ impl MachineEntry {
         size: usize,
         walltime: Option<f64>,
         enqueued_at: f64,
+        pattern: Option<CommPattern>,
     ) -> Result<(), String> {
         if self.allocations.contains_key(&job_id) || self.queue.contains(job_id) {
             return Err(format!(
@@ -589,6 +728,7 @@ impl MachineEntry {
             job_id,
             size,
             walltime,
+            pattern,
             enqueued_at,
             // Recovery re-creates state, not requests: there is no wire
             // request to attach trace events to.
@@ -675,7 +815,25 @@ impl MachineEntry {
             free: self.num_free(),
             queue_len: self.queue.len(),
             generation: self.generation,
+            contention: None,
         }
+    }
+
+    /// [`MachineEntry::sample`] scored for one specific request: when the
+    /// job declares a communication pattern, `contention` carries the
+    /// lowest predicted contention this machine could offer it right now
+    /// (`None` when no contiguous window fits, or no pattern was
+    /// declared). The comm-aware routing policy keys on this field.
+    pub fn sample_for(
+        &self,
+        job_id: u64,
+        size: usize,
+        pattern: Option<CommPattern>,
+    ) -> crate::cluster::MachineSample {
+        let mut sample = self.sample();
+        sample.contention =
+            pattern.and_then(|p| self.backing.predicted_contention(job_id, size, p));
+        sample
     }
 
     /// Switches the scheduling policy at runtime and re-drains the queue
@@ -734,7 +892,7 @@ impl MachineEntry {
         wait: bool,
         walltime: Option<f64>,
     ) -> Result<AllocOutcome, ServiceError> {
-        self.allocate_traced(job_id, size, wait, walltime, &RequestCtx::inert())
+        self.allocate_traced(job_id, size, wait, walltime, None, &RequestCtx::inert())
     }
 
     /// [`MachineEntry::allocate`] with a tracing context. The enqueued
@@ -748,6 +906,7 @@ impl MachineEntry {
         size: usize,
         wait: bool,
         walltime: Option<f64>,
+        pattern: Option<CommPattern>,
         ctx: &RequestCtx<'_>,
     ) -> Result<AllocOutcome, ServiceError> {
         if self.allocations.contains_key(&job_id) || self.queue.contains(job_id) {
@@ -780,6 +939,7 @@ impl MachineEntry {
             job_id,
             size,
             walltime,
+            pattern,
             enqueued_at: self.now(),
             trace_request: ctx.request(),
             enqueued_micros: ctx.now_micros(),
@@ -841,6 +1001,7 @@ impl MachineEntry {
                     size,
                     walltime,
                     enqueued_at,
+                    pattern,
                 });
             }
             Ok(AllocOutcome::Queued(
@@ -974,7 +1135,10 @@ impl MachineEntry {
             // (an inert or unremembered binding keeps the caller's).
             let pctx = ctx.for_request(pending.trace_request);
             let probe_start = pctx.now_micros();
-            match self.backing.try_allocate(pending.job_id, pending.size) {
+            match self
+                .backing
+                .try_allocate(pending.job_id, pending.size, pending.pattern)
+            {
                 Some(nodes) => {
                     let from_queue = arriving != Some(pending.job_id);
                     let granted_at = pctx.now_micros();
@@ -1008,6 +1172,7 @@ impl MachineEntry {
                             nodes: nodes.clone(),
                             walltime: pending.walltime,
                             start: now,
+                            pattern: pending.pattern,
                         });
                     }
                     self.allocations.insert(pending.job_id, nodes.clone());
@@ -1016,6 +1181,7 @@ impl MachineEntry {
                         size: pending.size,
                         start: now,
                         walltime: pending.walltime,
+                        pattern: pending.pattern,
                     };
                     if kind.uses_running_snapshots() {
                         snapshots.push(RunningSnapshot {
@@ -1812,10 +1978,10 @@ mod tests {
         // must drag the clock past every stamp it folds in.
         let r = registry_with_m0();
         r.with_entry("m0", |m| {
-            m.restore_grant(1, vec![NodeId(0)], Some(10.0), 3600.0)
+            m.restore_grant(1, vec![NodeId(0)], Some(10.0), 3600.0, None)
                 .map_err(ServiceError::InvalidRequest)?;
             assert!(m.now() >= 3600.0, "clock not rebased past the grant");
-            m.restore_queue(2, 4, None, 3610.0)
+            m.restore_queue(2, 4, None, 3610.0, None)
                 .map_err(ServiceError::InvalidRequest)?;
             assert!(m.now() >= 3610.0, "clock not rebased past the enqueue");
             m.check_invariants().map_err(ServiceError::InvalidRequest)

@@ -26,6 +26,7 @@
 use crate::registry::AllocOutcome;
 use crate::service::AllocationService;
 use commalloc_mesh::NodeId;
+use commalloc_workload::CommPattern;
 use std::collections::HashMap;
 
 /// One job of a replayable trace.
@@ -41,6 +42,31 @@ pub struct ReplayJob {
     /// Runtime in seconds (the zero-contention duration, which doubles
     /// as the walltime estimate handed to EASY).
     pub duration: f64,
+    /// The communication pattern the job declares on arrival, if any —
+    /// scored by the allocator's candidate windows and by the comm-aware
+    /// routing policy.
+    pub pattern: Option<CommPattern>,
+}
+
+impl ReplayJob {
+    /// An unpatterned trace job.
+    pub fn new(id: u64, size: usize, arrival: f64, duration: f64) -> ReplayJob {
+        ReplayJob {
+            id,
+            size,
+            arrival,
+            duration,
+            pattern: None,
+        }
+    }
+
+    /// The same job declaring `pattern`.
+    pub fn with_pattern(self, pattern: CommPattern) -> ReplayJob {
+        ReplayJob {
+            pattern: Some(pattern),
+            ..self
+        }
+    }
 }
 
 /// One grant as the replay observed it.
@@ -142,7 +168,14 @@ pub fn replay(
             let job = jobs[next_arrival];
             next_arrival += 1;
             match service
-                .allocate(machine, job.id, job.size, true, Some(job.duration))
+                .allocate_patterned(
+                    machine,
+                    job.id,
+                    job.size,
+                    true,
+                    Some(job.duration),
+                    job.pattern,
+                )
                 .expect("well-formed replay request")
             {
                 AllocOutcome::Granted(nodes) => {
@@ -289,7 +322,14 @@ pub fn replay_cluster(
         if is_arrival {
             let job = jobs[next_arrival];
             next_arrival += 1;
-            match service.route(pool, job.id, job.size, true, Some(job.duration)) {
+            match service.route(
+                pool,
+                job.id,
+                job.size,
+                true,
+                Some(job.duration),
+                job.pattern,
+            ) {
                 Ok((machine, outcome)) => {
                     routes.push((job.id, Some(machine.clone())));
                     match outcome {
@@ -352,18 +392,8 @@ mod tests {
         let service = AllocationService::new();
         service.register("m", "4x4", None, None, None).unwrap();
         let jobs = [
-            ReplayJob {
-                id: 0,
-                size: 16,
-                arrival: 0.0,
-                duration: 10.0,
-            },
-            ReplayJob {
-                id: 1,
-                size: 4,
-                arrival: 1.0,
-                duration: 5.0,
-            },
+            ReplayJob::new(0, 16, 0.0, 10.0),
+            ReplayJob::new(1, 4, 1.0, 5.0),
         ];
         let log = replay(&service, "m", &jobs, None);
         assert_eq!(log.grants.len(), 2);
@@ -386,24 +416,9 @@ mod tests {
                 .unwrap();
         }
         let jobs = [
-            ReplayJob {
-                id: 0,
-                size: 16,
-                arrival: 0.0,
-                duration: 10.0,
-            },
-            ReplayJob {
-                id: 1,
-                size: 16,
-                arrival: 1.0,
-                duration: 5.0,
-            },
-            ReplayJob {
-                id: 2,
-                size: 99, // larger than every member: unroutable
-                arrival: 2.0,
-                duration: 5.0,
-            },
+            ReplayJob::new(0, 16, 0.0, 10.0),
+            ReplayJob::new(1, 16, 1.0, 5.0),
+            ReplayJob::new(2, 99, 2.0, 5.0), // larger than every member: unroutable,
         ];
         let log = replay_cluster(&service, "p", &jobs, None);
         assert_eq!(
@@ -429,18 +444,8 @@ mod tests {
         let service = AllocationService::new();
         service.register("m", "4x4", None, None, None).unwrap();
         let jobs = [
-            ReplayJob {
-                id: 0,
-                size: 16,
-                arrival: 0.0,
-                duration: 10.0,
-            },
-            ReplayJob {
-                id: 1,
-                size: 4,
-                arrival: 1.0,
-                duration: 5.0,
-            },
+            ReplayJob::new(0, 16, 0.0, 10.0),
+            ReplayJob::new(1, 4, 1.0, 5.0),
         ];
         let log = replay(&service, "m", &jobs, Some(9.5));
         assert_eq!(log.grants.len(), 1);

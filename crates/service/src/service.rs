@@ -16,6 +16,7 @@ use commalloc_alloc::curve_alloc::SelectionStrategy;
 use commalloc_alloc::AllocatorKind;
 use commalloc_mesh::curve3d::Curve3Kind;
 use commalloc_mesh::{Mesh2D, Mesh3D, NodeId};
+use commalloc_workload::CommPattern;
 use serde::{Map, Serialize, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -365,11 +366,43 @@ impl AllocationService {
         wait: bool,
         walltime: Option<f64>,
     ) -> Result<AllocOutcome, ServiceError> {
-        self.allocate_traced(machine, job, size, wait, walltime, &RequestCtx::inert())
+        self.allocate_traced(
+            machine,
+            job,
+            size,
+            wait,
+            walltime,
+            None,
+            &RequestCtx::inert(),
+        )
+    }
+
+    /// [`AllocationService::allocate`] for a job that declared a
+    /// communication pattern: the machine scores its candidate
+    /// placements by predicted contention and commits the best one.
+    pub fn allocate_patterned(
+        &self,
+        machine: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+        pattern: Option<CommPattern>,
+    ) -> Result<AllocOutcome, ServiceError> {
+        self.allocate_traced(
+            machine,
+            job,
+            size,
+            wait,
+            walltime,
+            pattern,
+            &RequestCtx::inert(),
+        )
     }
 
     /// [`AllocationService::allocate`] with a tracing context (the wire
     /// path; in-process callers use the untraced wrapper).
+    #[allow(clippy::too_many_arguments)]
     pub fn allocate_traced(
         &self,
         machine: &str,
@@ -377,11 +410,12 @@ impl AllocationService {
         size: usize,
         wait: bool,
         walltime: Option<f64>,
+        pattern: Option<CommPattern>,
         ctx: &RequestCtx<'_>,
     ) -> Result<AllocOutcome, ServiceError> {
         let ctx = ctx.with_machine(machine);
         self.registry.with_entry(machine, |entry| {
-            let outcome = entry.allocate_traced(job, size, wait, walltime, &ctx);
+            let outcome = entry.allocate_traced(job, size, wait, walltime, pattern, &ctx);
             self.flush_outbox(entry, &ctx);
             outcome
         })
@@ -393,6 +427,23 @@ impl AllocationService {
     pub fn sample(&self, machine: &str) -> Result<MachineSample, ServiceError> {
         self.registry
             .with_entry(machine, |entry| Ok(entry.sample()))
+    }
+
+    /// [`AllocationService::sample`] scored for one specific request:
+    /// when `pattern` is declared, the sample's `contention` field
+    /// carries the machine's best predicted contention for the job (see
+    /// [`MachineEntry::sample_for`]). The comm-aware routing policy and
+    /// the offline router both sample through this path, which is what
+    /// keeps their decisions identical.
+    pub fn sample_for(
+        &self,
+        machine: &str,
+        job: u64,
+        size: usize,
+        pattern: Option<CommPattern>,
+    ) -> Result<MachineSample, ServiceError> {
+        self.registry
+            .with_entry(machine, |entry| Ok(entry.sample_for(job, size, pattern)))
     }
 
     /// Routes an allocation across pool `pool` (no `@` sigil): samples
@@ -412,8 +463,17 @@ impl AllocationService {
         size: usize,
         wait: bool,
         walltime: Option<f64>,
+        pattern: Option<CommPattern>,
     ) -> Result<(String, AllocOutcome), ServiceError> {
-        self.route_traced(pool, job, size, wait, walltime, &RequestCtx::inert())
+        self.route_traced(
+            pool,
+            job,
+            size,
+            wait,
+            walltime,
+            pattern,
+            &RequestCtx::inert(),
+        )
     }
 
     /// [`AllocationService::route`] with a tracing context: the whole
@@ -428,6 +488,7 @@ impl AllocationService {
         size: usize,
         wait: bool,
         walltime: Option<f64>,
+        pattern: Option<CommPattern>,
         ctx: &RequestCtx<'_>,
     ) -> Result<(String, AllocOutcome), ServiceError> {
         let route_start = ctx.now_micros();
@@ -435,7 +496,7 @@ impl AllocationService {
             let view = self.router.view(pool)?;
             let mut eligible: Vec<MachineSample> = Vec::with_capacity(view.members.len());
             for name in &view.members {
-                let sample = self.sample(name)?;
+                let sample = self.sample_for(name, job, size, pattern)?;
                 if size <= sample.nodes {
                     eligible.push(sample);
                 }
@@ -462,7 +523,7 @@ impl AllocationService {
                     mctx.now_micros(),
                 );
                 let outcome = entry
-                    .allocate_traced(job, size, wait, walltime, &mctx)
+                    .allocate_traced(job, size, wait, walltime, pattern, &mctx)
                     .map(Some);
                 self.flush_outbox(entry, &mctx);
                 outcome
@@ -825,8 +886,9 @@ impl AllocationService {
                 nodes,
                 walltime,
                 start,
+                pattern,
             } => restore(machine, &mut |entry| {
-                entry.restore_grant(*job, nodes.clone(), *walltime, *start)
+                entry.restore_grant(*job, nodes.clone(), *walltime, *start, *pattern)
             }),
             JournalRecord::Queue {
                 machine,
@@ -834,8 +896,9 @@ impl AllocationService {
                 size,
                 walltime,
                 enqueued_at,
+                pattern,
             } => restore(machine, &mut |entry| {
-                entry.restore_queue(*job, *size, *walltime, *enqueued_at)
+                entry.restore_queue(*job, *size, *walltime, *enqueued_at, *pattern)
             }),
             JournalRecord::Release { machine, job } => {
                 restore(machine, &mut |entry| entry.restore_release(*job))
@@ -885,12 +948,12 @@ impl AllocationService {
                 entry.note_journal_seq(m.seq);
                 for r in &m.running {
                     entry
-                        .restore_grant(r.job, r.nodes.clone(), r.walltime, r.start)
+                        .restore_grant(r.job, r.nodes.clone(), r.walltime, r.start, r.pattern)
                         .map_err(ServiceError::InvalidRequest)?;
                 }
                 for q in &m.queue {
                     entry
-                        .restore_queue(q.job, q.size, q.walltime, q.enqueued_at)
+                        .restore_queue(q.job, q.size, q.walltime, q.enqueued_at, q.pattern)
                         .map_err(ServiceError::InvalidRequest)?;
                 }
                 Ok(())
@@ -995,9 +1058,10 @@ impl AllocationService {
                 size,
                 wait,
                 walltime,
+                pattern,
             } => match pool_of(machine) {
                 Some(pool) => self
-                    .route_traced(pool, *job, *size, *wait, *walltime, ctx)
+                    .route_traced(pool, *job, *size, *wait, *walltime, *pattern, ctx)
                     .map(|(target, outcome)| match outcome {
                         AllocOutcome::Granted(nodes) => Response::Granted {
                             job: *job,
@@ -1016,7 +1080,7 @@ impl AllocationService {
                         },
                     }),
                 None => self
-                    .allocate_traced(machine, *job, *size, *wait, *walltime, ctx)
+                    .allocate_traced(machine, *job, *size, *wait, *walltime, *pattern, ctx)
                     .map(|outcome| match outcome {
                         AllocOutcome::Granted(nodes) => Response::Granted {
                             job: *job,
@@ -1224,6 +1288,7 @@ mod tests {
                 size: 4,
                 wait: true,
                 walltime: Some(bad),
+                pattern: None,
             });
             assert!(
                 matches!(response, Response::Error { .. }),
@@ -1245,6 +1310,7 @@ mod tests {
                     size: 4,
                     walltime: Some(bad),
                     enqueued_at: 0.0,
+                    pattern: None,
                 })
                 .is_err());
         }
@@ -1265,6 +1331,7 @@ mod tests {
             size: 4,
             wait: false,
             walltime: None,
+            pattern: None,
         });
         let Response::Granted {
             machine: Some(target),
@@ -1276,20 +1343,20 @@ mod tests {
         };
         assert_eq!(target, "m0");
         assert_eq!(nodes.len(), 4);
-        let (target, outcome) = service.route("grid", 2, 4, false, None).unwrap();
+        let (target, outcome) = service.route("grid", 2, 4, false, None, None).unwrap();
         assert_eq!(target, "m1");
         assert!(matches!(outcome, AllocOutcome::Granted(_)));
         // A 40-processor job fits only m0 (64 nodes): eligibility filters
         // m1 (16 nodes) out before the pick.
-        let (target, _) = service.route("grid", 3, 40, false, None).unwrap();
+        let (target, _) = service.route("grid", 3, 40, false, None, None).unwrap();
         assert_eq!(target, "m0");
         // Nothing in the pool fits 100 processors.
         assert!(matches!(
-            service.route("grid", 4, 100, false, None),
+            service.route("grid", 4, 100, false, None, None),
             Err(ServiceError::InvalidRequest(_))
         ));
         assert!(matches!(
-            service.route("nope", 5, 1, false, None),
+            service.route("nope", 5, 1, false, None, None),
             Err(ServiceError::UnknownPool(_))
         ));
         // Policy switch over the protocol, with alias expansion.
@@ -1369,6 +1436,7 @@ mod tests {
                 size: 4,
                 wait: false,
                 walltime: None,
+                pattern: None,
             },
             Request::Release {
                 machine: "m0".into(),
@@ -1380,6 +1448,7 @@ mod tests {
                 size: 999,
                 wait: false,
                 walltime: None,
+                pattern: None,
             },
             Request::Batch(vec![Request::Ping]),
         ]));
@@ -1421,6 +1490,7 @@ mod tests {
             size: 16,
             wait: false,
             walltime: None,
+            pattern: None,
         });
         let Response::Granted {
             job: 1,
@@ -1439,6 +1509,7 @@ mod tests {
                 size: 1,
                 wait: false,
                 walltime: None,
+                pattern: None,
             }),
             Response::Rejected { job: 2, .. }
         ));
@@ -1449,6 +1520,7 @@ mod tests {
                 size: 2,
                 wait: true,
                 walltime: None,
+                pattern: None,
             }),
             Response::Queued {
                 job: 3,

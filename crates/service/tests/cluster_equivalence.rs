@@ -19,6 +19,7 @@ use commalloc_service::{
     replay, replay_cluster, route_offline, AllocationService, ClusterMember, ReplayJob,
     RoutingPolicy,
 };
+use commalloc_workload::CommPattern;
 use rand::prelude::*;
 
 /// The heterogeneous 4-machine pool: 256 + 128 + 64 + 32 processors.
@@ -55,6 +56,25 @@ fn workload(jobs: usize, seed: u64) -> Vec<ReplayJob> {
                 size,
                 arrival,
                 duration: rng.gen_range(30u64..=300) as f64,
+                pattern: None,
+            }
+        })
+        .collect()
+}
+
+/// The same stream with a communication pattern declared on most jobs
+/// (cycling through every declared pattern), so `CommAware` actually
+/// scores placements instead of falling back to shortest-queue.
+fn patterned_workload(jobs: usize, seed: u64) -> Vec<ReplayJob> {
+    let patterns = CommPattern::all();
+    workload(jobs, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| {
+            if i % 5 == 4 {
+                job // every fifth job stays unpatterned
+            } else {
+                job.with_pattern(patterns[i % patterns.len()])
             }
         })
         .collect()
@@ -170,6 +190,74 @@ fn online_cluster_routes_and_grants_match_offline_routing_plus_replay() {
             }
         }
     }
+}
+
+#[test]
+fn patterned_workload_equivalence_holds_for_every_policy() {
+    // Same discipline as above, but every job declares a communication
+    // pattern, so `CommAware` exercises its contention scoring (and the
+    // other policies must be indifferent to the new field). Grant logs
+    // must still be byte-identical to isolated per-member replays of the
+    // routed sub-traces, which pins the scored allocation path itself:
+    // the standalone replay re-runs the same deterministic candidate
+    // scoring and must pick the same processors.
+    let jobs = patterned_workload(120, 1917);
+    let members = members("fcfs");
+    for policy in RoutingPolicy::all() {
+        let offline_routes = route_offline(&members, policy, &jobs);
+        let service = pooled_service(&members, policy);
+        let log = replay_cluster(&service, "grid", &jobs, None);
+        assert_eq!(
+            log.routes, offline_routes,
+            "{policy}: routing decisions diverged on the patterned trace"
+        );
+        for m in &members {
+            let sub_trace: Vec<ReplayJob> = jobs
+                .iter()
+                .filter(|j| {
+                    offline_routes
+                        .iter()
+                        .any(|(id, r)| *id == j.id && r.as_deref() == Some(m.name.as_str()))
+                })
+                .copied()
+                .collect();
+            let standalone = AllocationService::new();
+            standalone
+                .register(
+                    &m.name,
+                    &m.mesh,
+                    m.allocator.as_deref(),
+                    None,
+                    m.scheduler.as_deref(),
+                )
+                .unwrap();
+            let expected = replay(&standalone, &m.name, &sub_trace, None);
+            let online_grants = &log.grants[&m.name];
+            assert_eq!(
+                online_grants.len(),
+                expected.grants.len(),
+                "{policy}/{}: grant counts differ",
+                m.name
+            );
+            for (online, offline) in online_grants.iter().zip(expected.grants.iter()) {
+                assert_eq!(online.job_id, offline.job_id, "{policy}/{}", m.name);
+                assert_eq!(online.time, offline.time, "{policy}/{}", m.name);
+                assert_eq!(
+                    online.nodes, offline.nodes,
+                    "{policy}/{}: job {} got different processors",
+                    m.name, offline.job_id
+                );
+            }
+            service.check_invariants(&m.name).unwrap();
+        }
+    }
+    // CommAware must actually diverge from ShortestQueue here, or the
+    // patterned coverage is vacuous (everything fell back).
+    assert_ne!(
+        route_offline(&members, RoutingPolicy::CommAware, &jobs),
+        route_offline(&members, RoutingPolicy::ShortestQueue, &jobs),
+        "comm-aware never used its contention scores on a patterned trace"
+    );
 }
 
 #[test]

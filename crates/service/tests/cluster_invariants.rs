@@ -120,8 +120,9 @@ fn concurrent_routed_traffic_with_router_switches_never_violates_invariants() {
                         let walltime = rng.gen_bool(0.7).then(|| rng.gen_range(1.0..500.0));
                         let job = next;
                         next += 1;
-                        let (machine, outcome) =
-                            service.route("grid", job, size, wait, walltime).unwrap();
+                        let (machine, outcome) = service
+                            .route("grid", job, size, wait, walltime, None)
+                            .unwrap();
                         assert!(
                             size <= sizes[machine.as_str()],
                             "job of {size} processors routed to {machine} \

@@ -10,6 +10,7 @@ use commalloc_service::journal::{
     SnapshotImage,
 };
 use commalloc_service::{open_journaled, JournalConfig, JournalRecord};
+use commalloc_workload::CommPattern;
 use proptest::prelude::*;
 use std::path::PathBuf;
 
@@ -56,18 +57,27 @@ fn nodes_strategy() -> BoxedStrategy<Vec<NodeId>> {
     prop::collection::vec((0u32..4096).prop_map(NodeId), 0..12).boxed()
 }
 
+/// `None` (pre-pattern wire form) plus every declared pattern.
+fn pattern_strategy() -> BoxedStrategy<Option<CommPattern>> {
+    let mut choices: Vec<Option<CommPattern>> = vec![None];
+    choices.extend(CommPattern::all().iter().copied().map(Some));
+    prop::sample::select(choices).boxed()
+}
+
 fn running_strategy() -> BoxedStrategy<RunningImage> {
     (
         any::<u64>(),
         nodes_strategy(),
         walltime_strategy(),
         stamp_strategy(),
+        pattern_strategy(),
     )
-        .prop_map(|(job, nodes, walltime, start)| RunningImage {
+        .prop_map(|(job, nodes, walltime, start, pattern)| RunningImage {
             job,
             nodes,
             walltime,
             start,
+            pattern,
         })
         .boxed()
 }
@@ -78,12 +88,14 @@ fn queued_strategy() -> BoxedStrategy<QueuedImage> {
         1usize..2048,
         walltime_strategy(),
         stamp_strategy(),
+        pattern_strategy(),
     )
-        .prop_map(|(job, size, walltime, enqueued_at)| QueuedImage {
+        .prop_map(|(job, size, walltime, enqueued_at, pattern)| QueuedImage {
             job,
             size,
             walltime,
             enqueued_at,
+            pattern,
         })
         .boxed()
 }
@@ -176,33 +188,37 @@ fn record_strategy() -> BoxedStrategy<JournalRecord> {
             any::<u64>(),
             nodes_strategy(),
             walltime_strategy(),
-            stamp_strategy()
+            stamp_strategy(),
+            pattern_strategy()
         )
-            .prop_map(
-                |(machine, job, nodes, walltime, start)| JournalRecord::Grant {
+            .prop_map(|(machine, job, nodes, walltime, start, pattern)| {
+                JournalRecord::Grant {
                     machine,
                     job,
                     nodes,
                     walltime,
                     start,
+                    pattern,
                 }
-            ),
+            }),
         (
             name_strategy(),
             any::<u64>(),
             1usize..2048,
             walltime_strategy(),
-            stamp_strategy()
+            stamp_strategy(),
+            pattern_strategy()
         )
-            .prop_map(
-                |(machine, job, size, walltime, enqueued_at)| JournalRecord::Queue {
+            .prop_map(|(machine, job, size, walltime, enqueued_at, pattern)| {
+                JournalRecord::Queue {
                     machine,
                     job,
                     size,
                     walltime,
                     enqueued_at,
+                    pattern,
                 }
-            ),
+            }),
         (name_strategy(), any::<u64>())
             .prop_map(|(machine, job)| JournalRecord::Release { machine, job }),
         (name_strategy(), any::<u64>())
@@ -351,6 +367,7 @@ fn explicit_sink_attachment_round_trips_state() {
             size: 4,
             wait: true,
             walltime: None,
+            pattern: Some(commalloc_workload::CommPattern::AllToAll),
         });
     }
     let (recovered, report) = open_journaled(&dir, JournalConfig::default()).unwrap();

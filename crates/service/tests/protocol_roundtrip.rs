@@ -5,6 +5,7 @@
 
 use commalloc_mesh::NodeId;
 use commalloc_service::{Request, Response};
+use commalloc_workload::CommPattern;
 use proptest::prelude::*;
 
 /// Machine names and reason strings with escaping hazards baked in.
@@ -32,6 +33,13 @@ fn walltime_strategy() -> BoxedStrategy<Option<f64>> {
         (1u64..1_000_000, 1u64..1000).prop_map(|(a, b)| Some(a as f64 + b as f64 / 997.0)),
     ]
     .boxed()
+}
+
+/// `None` (unpatterned) plus every declared communication pattern.
+fn pattern_strategy() -> BoxedStrategy<Option<CommPattern>> {
+    let mut choices: Vec<Option<CommPattern>> = vec![None];
+    choices.extend(CommPattern::all().iter().copied().map(Some));
+    prop::sample::select(choices).boxed()
 }
 
 fn nodes_strategy() -> BoxedStrategy<Vec<NodeId>> {
@@ -73,29 +81,37 @@ fn simple_request_strategy() -> BoxedStrategy<Request> {
             any::<u64>(),
             1usize..2048,
             any::<bool>(),
-            walltime_strategy()
+            walltime_strategy(),
+            pattern_strategy()
         )
-            .prop_map(|(machine, job, size, wait, walltime)| Request::Alloc {
-                machine,
-                job,
-                size,
-                wait,
-                walltime,
-            }),
+            .prop_map(
+                |(machine, job, size, wait, walltime, pattern)| Request::Alloc {
+                    machine,
+                    job,
+                    size,
+                    wait,
+                    walltime,
+                    pattern,
+                }
+            ),
         (
             name_strategy().prop_map(|p| format!("@{p}")),
             any::<u64>(),
             1usize..2048,
             any::<bool>(),
-            walltime_strategy()
+            walltime_strategy(),
+            pattern_strategy()
         )
-            .prop_map(|(machine, job, size, wait, walltime)| Request::Alloc {
-                machine,
-                job,
-                size,
-                wait,
-                walltime,
-            }),
+            .prop_map(
+                |(machine, job, size, wait, walltime, pattern)| Request::Alloc {
+                    machine,
+                    job,
+                    size,
+                    wait,
+                    walltime,
+                    pattern,
+                }
+            ),
         (name_strategy(), name_strategy())
             .prop_map(|(machine, scheduler)| Request::SetScheduler { machine, scheduler }),
         (name_strategy(), name_strategy())

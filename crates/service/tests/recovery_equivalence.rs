@@ -54,6 +54,7 @@ fn integer_trace(jobs: usize, seed: u64, compress: f64) -> Vec<ReplayJob> {
                 size: job.size,
                 arrival: job.arrival,
                 duration: job.message_quota() as f64,
+                pattern: None,
             }
         })
         .collect()

@@ -49,6 +49,7 @@ fn replay_jobs(trace: &Trace) -> Vec<ReplayJob> {
             size: j.size,
             arrival: j.arrival,
             duration: j.message_quota() as f64,
+            pattern: None,
         })
         .collect()
 }

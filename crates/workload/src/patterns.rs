@@ -35,7 +35,9 @@ pub enum CommPattern {
     AllToAll,
     /// The n-body pattern: `⌊p/2⌋` ring subphases (each processor to its ring
     /// successor) followed by one chordal subphase (each processor to the
-    /// processor halfway across the ring).
+    /// processor halfway across the ring). For even `p` the chordal pairing
+    /// is mutual — ranks `i` and `i + p/2` are each other's partner — so the
+    /// chordal subphase exchanges one message per pair, not one per rank.
     NBody,
     /// Each message goes between a uniformly random pair of the job's
     /// processors.
@@ -138,7 +140,10 @@ impl CommPattern {
         let p64 = p as u64;
         match self {
             CommPattern::AllToAll | CommPattern::AllPairsPingPong => p64 * (p64 - 1),
-            CommPattern::NBody => p64 * (p64 / 2) + p64,
+            // ⌊p/2⌋ ring subphases of p messages plus the chordal subphase
+            // (p messages for odd p, p/2 mutual-pair messages for even p):
+            // both cases collapse to p(p+1)/2.
+            CommPattern::NBody => p64 * (p64 + 1) / 2,
             CommPattern::Random => 1,
             CommPattern::Ring => p64,
             CommPattern::TestSuite => {
@@ -177,13 +182,16 @@ impl CommPattern {
                 msgs
             }
             CommPattern::NBody => {
-                let mut msgs = Vec::with_capacity(p * (p / 2) + p);
+                // For even p the chordal pairing is mutual (i ↔ i + p/2), so
+                // only ranks below p/2 initiate a chordal message.
+                let chord_senders = if p.is_multiple_of(2) { p / 2 } else { p };
+                let mut msgs = Vec::with_capacity((p / 2) * p + chord_senders);
                 for _phase in 0..p / 2 {
                     for i in 0..p {
                         msgs.push((i, (i + 1) % p));
                     }
                 }
-                for i in 0..p {
+                for i in 0..chord_senders {
                     msgs.push((i, (i + p / 2) % p));
                 }
                 msgs
@@ -250,35 +258,29 @@ impl CommPattern {
                 entries
             }
             CommPattern::NBody => {
-                let total = (p * (p / 2) + p) as f64;
+                let total = self.messages_per_iteration(p) as f64;
                 let ring_w = (p / 2) as f64 / total;
                 let chord_w = 1.0 / total;
+                let chord_senders = if p.is_multiple_of(2) { p / 2 } else { p };
                 let mut entries = Vec::new();
                 for i in 0..p {
-                    let succ = (i + 1) % p;
-                    let chord = (i + p / 2) % p;
-                    if succ == chord {
-                        // p == 2: the successor and the chordal partner
-                        // coincide; merge the weights on a single entry.
+                    entries.push(TrafficEntry {
+                        src: i,
+                        dst: (i + 1) % p,
+                        weight: ring_w,
+                    });
+                    if i < chord_senders {
+                        // For small p the chordal partner can coincide with
+                        // the ring successor (p ∈ {2, 3}); merge_entries sums
+                        // the duplicate pair below.
                         entries.push(TrafficEntry {
                             src: i,
-                            dst: succ,
-                            weight: ring_w + chord_w,
-                        });
-                    } else {
-                        entries.push(TrafficEntry {
-                            src: i,
-                            dst: succ,
-                            weight: ring_w,
-                        });
-                        entries.push(TrafficEntry {
-                            src: i,
-                            dst: chord,
+                            dst: (i + p / 2) % p,
                             weight: chord_w,
                         });
                     }
                 }
-                entries
+                merge_entries(entries)
             }
             CommPattern::Random => {
                 // Empirical multinomial over ordered pairs. Cap the number of
@@ -495,6 +497,38 @@ mod tests {
         // Chordal subphase: processor i to i + 7 (mod 15).
         for i in 0..15 {
             assert_eq!(msgs[7 * 15 + i], (i, (i + 7) % 15));
+        }
+    }
+
+    #[test]
+    fn nbody_even_p_exchanges_each_chordal_pair_once() {
+        // Regression: the closed form used to claim p·⌊p/2⌋ + p (12 for
+        // p = 4) while the mutual chordal pairing of even p only yields
+        // p(p+1)/2 distinct messages (10 for p = 4).
+        let msgs = CommPattern::NBody.iteration_messages(4, &mut rng());
+        assert_eq!(msgs.len(), 10);
+        assert_eq!(CommPattern::NBody.messages_per_iteration(4), 10);
+        // Chordal subphase: only ranks below p/2 initiate; their partners
+        // answered in the mutual pairing already.
+        assert_eq!(&msgs[8..], &[(0, 2), (1, 3)]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(512))]
+
+        fn messages_per_iteration_matches_iteration_messages(
+            p in 1usize..=257,
+            idx in 0usize..9,
+        ) {
+            let pattern = CommPattern::all()[idx];
+            let msgs = pattern.iteration_messages(p, &mut rng());
+            proptest::prop_assert_eq!(
+                pattern.messages_per_iteration(p),
+                msgs.len() as u64,
+                "{} disagrees at p = {}",
+                pattern,
+                p
+            );
         }
     }
 

@@ -95,6 +95,7 @@ fn loadgen_round_trips_thousands_of_requests_without_violations() {
         max_size: 24,
         max_walltime: Some(300.0),
         router: None,
+        pattern: None,
         seed: 7,
         no_drain: false,
         claims_out: None,
@@ -140,6 +141,7 @@ fn routed_loadgen_across_a_heterogeneous_pool_has_no_violations() {
         max_size: 48, // above m3's 32 nodes: exercises eligibility
         max_walltime: Some(300.0),
         router: Some("least-loaded".to_string()),
+        pattern: Some(commalloc_workload::CommPattern::AllToAll),
         seed: 11,
         no_drain: false,
         claims_out: None,
@@ -170,6 +172,7 @@ fn batched_ops_round_trip_over_tcp() {
                 size: 10,
                 wait: false,
                 walltime: None,
+                pattern: None,
             },
             commalloc_service::Request::Release {
                 machine: "b0".to_string(),
