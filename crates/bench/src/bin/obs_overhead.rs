@@ -17,15 +17,28 @@
 //! summed per mode) so thermal / scheduling drift lands on all three
 //! roughly equally instead of biasing whichever ran in the bad moment.
 //!
+//! Two more modes price the placement calibration plane on a
+//! pattern-declared workload (pattern-scored allocation is much
+//! slower than pattern-oblivious allocation regardless of
+//! observability, so it needs its own baseline): **patterned** drives
+//! pattern-declared allocations through the untraced entry point, and
+//! **calibration** drives the same workload with the recorder and the
+//! calibration store both on — each grant files a placement record,
+//! each release joins it. The calibration ratio is calibration ÷
+//! patterned: the full observability stack's overhead with the
+//! allocator cost held constant.
+//!
 //! Doubles as the CI regression gate: `--min-disabled R` / `--min-enabled R`
-//! exit non-zero when the respective mode's throughput falls below
-//! `R ×` the untraced baseline (tracing must stay free when off and
-//! cheap when on).
+//! / `--min-calibration R` exit non-zero when the respective mode's
+//! throughput falls below `R ×` the untraced baseline (tracing must
+//! stay free when off and cheap when on).
 //!
 //! Usage: `obs_overhead [--ops N] [--seed S] [--rounds N]
-//!         [--occupancy F] [--min-disabled R] [--min-enabled R]`
+//!         [--occupancy F] [--min-disabled R] [--min-enabled R]
+//!         [--min-calibration R]`
 
 use commalloc_service::{AllocationService, Request, Response, Stage};
+use commalloc_workload::CommPattern;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Map, Serialize, Value};
@@ -43,6 +56,13 @@ enum Mode {
     Disabled,
     /// `handle_traced` with the recorder capturing.
     Enabled,
+    /// The untraced entry point driving pattern-declared allocations:
+    /// the calibration mode's baseline.
+    Patterned,
+    /// Recorder and calibration store both on, every allocation
+    /// pattern-declared: grants file placement records, releases join
+    /// them into the calibration cells.
+    Calibration,
 }
 
 impl Mode {
@@ -51,6 +71,16 @@ impl Mode {
             Mode::Baseline => "baseline",
             Mode::Disabled => "disabled",
             Mode::Enabled => "enabled",
+            Mode::Patterned => "patterned",
+            Mode::Calibration => "calibration",
+        }
+    }
+
+    /// The pattern declared on this mode's allocations.
+    fn pattern(self) -> Option<CommPattern> {
+        match self {
+            Mode::Patterned | Mode::Calibration => Some(CommPattern::AllToAll),
+            _ => None,
         }
     }
 }
@@ -65,14 +95,14 @@ struct Churn {
     next_job: u64,
 }
 
-fn alloc_line(job: u64, size: usize) -> String {
+fn alloc_line(job: u64, size: usize, pattern: Option<CommPattern>) -> String {
     Request::Alloc {
         machine: "bench".to_string(),
         job,
         size,
         wait: false,
-        walltime: None,
-        pattern: None,
+        walltime: pattern.map(|_| 3600.0),
+        pattern,
     }
     .to_line()
 }
@@ -80,7 +110,10 @@ fn alloc_line(job: u64, size: usize) -> String {
 impl Churn {
     fn new(mode: Mode, occupancy: f64, seed: u64) -> Churn {
         let service = AllocationService::new();
-        service.recorder().set_enabled(mode == Mode::Enabled);
+        service
+            .recorder()
+            .set_enabled(matches!(mode, Mode::Enabled | Mode::Calibration));
+        service.calibration().set_enabled(mode == Mode::Calibration);
         service
             .register("bench", "16x16", Some("Hilbert w/BF"), None, None)
             .expect("fresh service accepts registration");
@@ -95,7 +128,7 @@ impl Churn {
         let mut busy = 0usize;
         while busy < target {
             let size = churn.rng.gen_range(1usize..=8);
-            match churn.dispatch(&alloc_line(churn.next_job, size)) {
+            match churn.dispatch(&alloc_line(churn.next_job, size, mode.pattern())) {
                 Response::Granted { nodes, .. } => {
                     busy += nodes.len();
                     churn.live.push(churn.next_job);
@@ -114,13 +147,13 @@ impl Churn {
     /// single relaxed load the disabled gate prices.
     fn dispatch(&self, line: &str) -> Response {
         match self.mode {
-            Mode::Baseline => {
+            Mode::Baseline | Mode::Patterned => {
                 let request = Request::from_line(line).expect("bench lines are well-formed");
                 let response = self.service.handle(&request);
                 std::hint::black_box(response.to_line());
                 response
             }
-            Mode::Disabled | Mode::Enabled => {
+            Mode::Disabled | Mode::Enabled | Mode::Calibration => {
                 let ctx = self.service.recorder().begin();
                 let parse_start = ctx.now_micros();
                 let request = Request::from_line(line).expect("bench lines are well-formed");
@@ -152,7 +185,7 @@ impl Churn {
             performed += 1;
             while performed < ops {
                 let size = self.rng.gen_range(1usize..=8);
-                match self.dispatch(&alloc_line(self.next_job, size)) {
+                match self.dispatch(&alloc_line(self.next_job, size, self.mode.pattern())) {
                     Response::Granted { .. } => {
                         self.live.push(self.next_job);
                         self.next_job += 1;
@@ -177,6 +210,7 @@ fn main() {
     let mut occupancy = 0.9f64;
     let mut min_disabled: Option<f64> = None;
     let mut min_enabled: Option<f64> = None;
+    let mut min_calibration: Option<f64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -212,6 +246,10 @@ fn main() {
                 min_enabled = args.get(i + 1).and_then(|s| s.parse().ok());
                 i += 1;
             }
+            "--min-calibration" => {
+                min_calibration = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 1;
+            }
             other => eprintln!("ignoring unknown argument {other:?}"),
         }
         i += 1;
@@ -223,19 +261,21 @@ fn main() {
         Churn::new(Mode::Baseline, occupancy, seed),
         Churn::new(Mode::Disabled, occupancy, seed),
         Churn::new(Mode::Enabled, occupancy, seed),
+        Churn::new(Mode::Patterned, occupancy, seed),
+        Churn::new(Mode::Calibration, occupancy, seed),
     ];
     // A warm-up slice per mode (untimed) settles allocator state, lazy
     // init and branch predictors before the measured rotation.
     for churn in &mut churns {
         churn.run_slice(slice);
     }
-    let mut time = [0.0f64; 3];
-    let mut performed = [0usize; 3];
+    let mut time = [0.0f64; 5];
+    let mut performed = [0usize; 5];
     for round in 0..rounds {
         // Rotate the starting mode so no mode systematically runs first
         // (first-in-round is where a timer tick is likeliest to land).
-        for offset in 0..3 {
-            let slot = (round + offset) % 3;
+        for offset in 0..5 {
+            let slot = (round + offset) % 5;
             let (elapsed, done) = churns[slot].run_slice(slice);
             time[slot] += elapsed;
             performed[slot] += done;
@@ -243,8 +283,10 @@ fn main() {
     }
     let rate = |slot: usize| performed[slot] as f64 / time[slot].max(1e-9);
     let (baseline, disabled, enabled) = (rate(0), rate(1), rate(2));
+    let (patterned, calibration) = (rate(3), rate(4));
     let disabled_ratio = disabled / baseline.max(1e-9);
     let enabled_ratio = enabled / baseline.max(1e-9);
+    let calibration_ratio = calibration / patterned.max(1e-9);
     for (slot, churn) in churns.iter().enumerate() {
         println!(
             "{:>8}: {:>12.0} ops/s over {} ops in {} interleaved slices",
@@ -254,7 +296,10 @@ fn main() {
             rounds
         );
     }
-    println!("disabled/baseline {disabled_ratio:.3}x | enabled/baseline {enabled_ratio:.3}x");
+    println!(
+        "disabled/baseline {disabled_ratio:.3}x | enabled/baseline {enabled_ratio:.3}x | \
+         calibration/patterned {calibration_ratio:.3}x"
+    );
 
     let mut out = Map::new();
     out.insert("benchmark".into(), "obs_overhead".to_value());
@@ -266,8 +311,15 @@ fn main() {
     out.insert("baseline_ops_per_sec".into(), baseline.to_value());
     out.insert("disabled_ops_per_sec".into(), disabled.to_value());
     out.insert("enabled_ops_per_sec".into(), enabled.to_value());
+    out.insert("patterned_ops_per_sec".into(), patterned.to_value());
+    out.insert("calibration_ops_per_sec".into(), calibration.to_value());
     out.insert("disabled_ratio".into(), disabled_ratio.to_value());
     out.insert("enabled_ratio".into(), enabled_ratio.to_value());
+    out.insert("calibration_ratio".into(), calibration_ratio.to_value());
+    out.insert(
+        "calibration_joined".into(),
+        churns[4].service.calibration().joined_total().to_value(),
+    );
     let json = serde_json::to_string_pretty(&Value::Object(out)).expect("rendering is infallible");
     std::fs::write("BENCH_obs.json", &json).expect("can write BENCH_obs.json");
     println!("wrote BENCH_obs.json");
@@ -293,6 +345,17 @@ fn main() {
             failed = true;
         } else {
             println!("enabled gate passed: {enabled_ratio:.3}x >= {min:.2}x");
+        }
+    }
+    if let Some(min) = min_calibration {
+        if calibration_ratio < min {
+            eprintln!(
+                "FAIL: calibration (recorder and store on) runs at {calibration_ratio:.3}x \
+                 of the patterned untraced baseline, below the {min:.2}x gate"
+            );
+            failed = true;
+        } else {
+            println!("calibration gate passed: {calibration_ratio:.3}x >= {min:.2}x");
         }
     }
     if failed {

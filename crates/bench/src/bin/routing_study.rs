@@ -141,7 +141,7 @@ fn run_policy(policy: RoutingPolicy, jobs: &[ReplayJob]) -> PolicyRow {
             waits.push(grant.time - job.arrival);
             if let Some(pattern) = job.pattern {
                 contention_sum +=
-                    predicted_contention_2d(mesh, &grant.nodes, pattern, grant.job_id);
+                    predicted_contention_2d(mesh, &grant.nodes, pattern, grant.job_id).total();
                 scored += 1;
             }
         }

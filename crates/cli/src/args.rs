@@ -159,6 +159,11 @@ pub struct TraceOptions {
     /// Toggle the daemon's recorder (`--set on|off`) instead of
     /// draining.
     pub set: Option<bool>,
+    /// Keep polling and draining (NDJSON only) instead of a one-shot
+    /// drain; implies `--clear` per poll so events stream exactly once.
+    pub follow: bool,
+    /// Seconds between polls in `--follow` mode.
+    pub interval: f64,
 }
 
 impl Default for TraceOptions {
@@ -174,6 +179,8 @@ impl Default for TraceOptions {
             limit: None,
             clear: false,
             set: None,
+            follow: false,
+            interval: 1.0,
         }
     }
 }
@@ -212,6 +219,9 @@ pub struct ServeOptions {
     /// Start with the flight recorder capturing (it is off by default
     /// and can be toggled at runtime with `commalloc trace --set`).
     pub trace: bool,
+    /// Start with the placement calibration plane recording (off by
+    /// default; toggled at runtime via `set_trace`'s calibration rider).
+    pub calibration: bool,
 }
 
 impl Default for ServeOptions {
@@ -230,6 +240,7 @@ impl Default for ServeOptions {
             fsync: None,
             snapshot_every: None,
             trace: false,
+            calibration: false,
         }
     }
 }
@@ -298,6 +309,49 @@ impl Default for LoadgenOptions {
     }
 }
 
+/// Options of the `watch` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchOptions {
+    /// Address of the running daemon.
+    pub addr: String,
+    /// Seconds between dashboard refreshes.
+    pub interval: f64,
+    /// Trailing window the stage/pool histograms cover (`10s` or
+    /// `60s`).
+    pub window: String,
+    /// Stop after this many refreshes; `None` runs until interrupted.
+    pub count: Option<usize>,
+}
+
+impl Default for WatchOptions {
+    fn default() -> Self {
+        WatchOptions {
+            addr: "127.0.0.1:7411".to_string(),
+            interval: 2.0,
+            window: "10s".to_string(),
+            count: None,
+        }
+    }
+}
+
+/// Options of the `calibration` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalibrationOptions {
+    /// Address of the running daemon.
+    pub addr: String,
+    /// Emit the raw report instead of the human-readable table.
+    pub json: bool,
+}
+
+impl Default for CalibrationOptions {
+    fn default() -> Self {
+        CalibrationOptions {
+            addr: "127.0.0.1:7411".to_string(),
+            json: false,
+        }
+    }
+}
+
 /// Options of the `recovery-check` subcommand.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryCheckOptions {
@@ -336,6 +390,10 @@ pub enum Command {
     Loadgen(LoadgenOptions),
     /// Verify a recovered daemon against a loadgen claim table.
     RecoveryCheck(RecoveryCheckOptions),
+    /// Poll a running daemon and render a live text dashboard.
+    Watch(WatchOptions),
+    /// Print a running daemon's placement calibration report.
+    Calibration(CalibrationOptions),
     /// List the implemented allocators, patterns, curves and schedulers.
     List,
     /// Print usage.
@@ -416,7 +474,13 @@ fn flag_pairs(args: &[String]) -> Result<Vec<(String, Option<String>)>, ParseErr
         if !flag.starts_with("--") {
             return Err(ParseError::UnknownFlag(flag));
         }
-        if flag == "--json" || flag == "--no-drain" || flag == "--clear" || flag == "--trace" {
+        if flag == "--json"
+            || flag == "--no-drain"
+            || flag == "--clear"
+            || flag == "--trace"
+            || flag == "--follow"
+            || flag == "--calibration"
+        {
             pairs.push((flag, None));
             i += 1;
             continue;
@@ -592,14 +656,34 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                             _ => return Err(invalid(&flag, &value)),
                         })
                     }
+                    "--follow" => opts.follow = true,
+                    "--interval" => {
+                        opts.interval = value
+                            .parse()
+                            .ok()
+                            .filter(|&s: &f64| s.is_finite() && s > 0.0)
+                            .ok_or_else(|| invalid(&flag, &value))?
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
             }
             // The online-only flags have nothing to act on offline.
             if opts.addr.is_none()
-                && (opts.out.is_some() || opts.limit.is_some() || opts.clear || opts.set.is_some())
+                && (opts.out.is_some()
+                    || opts.limit.is_some()
+                    || opts.clear
+                    || opts.set.is_some()
+                    || opts.follow)
             {
                 return Err(ParseError::MissingValue("--addr".to_string()));
+            }
+            // Following streams NDJSON lines; the chrome format is a
+            // single JSON document and cannot be appended to.
+            if opts.follow && opts.format != "ndjson" {
+                return Err(ParseError::InvalidValue {
+                    flag: "--follow".to_string(),
+                    value: "requires --format ndjson".to_string(),
+                });
             }
             Ok(Command::Trace(opts))
         }
@@ -667,6 +751,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                         )
                     }
                     "--trace" => opts.trace = true,
+                    "--calibration" => opts.calibration = true,
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
             }
@@ -758,6 +843,51 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Loadgen(opts))
         }
+        "watch" => {
+            let mut opts = WatchOptions::default();
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--addr" => opts.addr = value,
+                    "--interval" => {
+                        opts.interval = value
+                            .parse()
+                            .ok()
+                            .filter(|&s: &f64| s.is_finite() && s > 0.0)
+                            .ok_or_else(|| invalid(&flag, &value))?
+                    }
+                    "--window" => {
+                        if !matches!(value.as_str(), "10s" | "60s") {
+                            return Err(invalid(&flag, &value));
+                        }
+                        opts.window = value;
+                    }
+                    "--count" => {
+                        opts.count = Some(
+                            value
+                                .parse()
+                                .ok()
+                                .filter(|&n: &usize| n > 0)
+                                .ok_or_else(|| invalid(&flag, &value))?,
+                        )
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Watch(opts))
+        }
+        "calibration" => {
+            let mut opts = CalibrationOptions::default();
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--addr" => opts.addr = value,
+                    "--json" => opts.json = true,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Calibration(opts))
+        }
         "recovery-check" => {
             let mut opts = RecoveryCheckOptions::default();
             for (flag, value) in flag_pairs(rest)? {
@@ -802,13 +932,14 @@ SUBCOMMANDS:
               online: drain a running daemon's flight recorder
               --addr HOST:PORT [--format ndjson|chrome] [--out FILE]
               [--limit N] [--clear] [--set on|off]
+              [--follow [--interval SECS]]
   serve       run the online allocation daemon (NDJSON over TCP)
               [--addr HOST:PORT] [--workers N] [--machine NAME]
               [--mesh WxH|WxHxD] [--machines N0=M0,N1=M1,...]
               [--allocator A] [--scheduler fcfs|backfill|easy|conservative]
               [--pool POOL] [--router rr|ll|sq|p2c|comm-aware]
               [--journal DIR] [--fsync every|never|N] [--snapshot-every N]
-              [--trace]
+              [--trace] [--calibration]
   loadgen     drive a running daemon with allocate/release traffic
               [--addr HOST:PORT] [--machine NAME|@POOL] [--mesh WxH]
               [--scheduler P] [--requests N] [--connections C]
@@ -817,6 +948,11 @@ SUBCOMMANDS:
               [--seed S] [--no-drain] [--claims-out FILE] [--json]
   recovery-check  assert a recovered daemon matches a saved claim table
               [--addr HOST:PORT] --claims FILE [--json]
+  watch       poll a running daemon and render a live text dashboard
+              [--addr HOST:PORT] [--interval SECS] [--window 10s|60s]
+              [--count N]
+  calibration print a running daemon's placement calibration report
+              [--addr HOST:PORT] [--json]
   allocators  list allocators, patterns, curves and schedulers
   help        print this message
 ";
@@ -975,6 +1111,99 @@ mod tests {
     }
 
     #[test]
+    fn trace_follow_flags_round_trip() {
+        let cmd = parse_command(&args(&[
+            "trace",
+            "--addr",
+            "h:1",
+            "--follow",
+            "--interval",
+            "0.25",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Trace(opts) => {
+                assert!(opts.follow);
+                assert_eq!(opts.interval, 0.25);
+            }
+            other => panic!("expected Trace, got {other:?}"),
+        }
+        // --follow is online-only and streams NDJSON; bad intervals are
+        // rejected.
+        assert_eq!(
+            parse_command(&args(&["trace", "--follow"])),
+            Err(ParseError::MissingValue("--addr".into()))
+        );
+        assert!(parse_command(&args(&[
+            "trace", "--addr", "h:1", "--follow", "--format", "chrome"
+        ]))
+        .is_err());
+        assert!(parse_command(&args(&[
+            "trace",
+            "--addr",
+            "h:1",
+            "--follow",
+            "--interval",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn watch_and_calibration_parse() {
+        let cmd = parse_command(&args(&[
+            "watch",
+            "--addr",
+            "h:1",
+            "--interval",
+            "0.5",
+            "--window",
+            "60s",
+            "--count",
+            "3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Watch(opts) => {
+                assert_eq!(opts.addr, "h:1");
+                assert_eq!(opts.interval, 0.5);
+                assert_eq!(opts.window, "60s");
+                assert_eq!(opts.count, Some(3));
+            }
+            other => panic!("expected Watch, got {other:?}"),
+        }
+        assert_eq!(
+            parse_command(&args(&["watch"])),
+            Ok(Command::Watch(WatchOptions::default()))
+        );
+        assert!(parse_command(&args(&["watch", "--window", "5m"])).is_err());
+        assert!(parse_command(&args(&["watch", "--count", "0"])).is_err());
+        assert!(parse_command(&args(&["watch", "--interval", "nan"])).is_err());
+
+        let cmd = parse_command(&args(&["calibration", "--addr", "h:1", "--json"])).unwrap();
+        match cmd {
+            Command::Calibration(opts) => {
+                assert_eq!(opts.addr, "h:1");
+                assert!(opts.json);
+            }
+            other => panic!("expected Calibration, got {other:?}"),
+        }
+        assert!(parse_command(&args(&["calibration", "--window", "10s"])).is_err());
+    }
+
+    #[test]
+    fn serve_calibration_flag_parses() {
+        match parse_command(&args(&["serve", "--calibration"])).unwrap() {
+            Command::Serve(opts) => assert!(opts.calibration),
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        match parse_command(&args(&["serve"])).unwrap() {
+            Command::Serve(opts) => assert!(!opts.calibration),
+            other => panic!("expected Serve, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn serve_trace_flag_parses() {
         let cmd = parse_command(&args(&["serve", "--trace"])).unwrap();
         match cmd {
@@ -1007,6 +1236,9 @@ mod tests {
             "trace",
             "serve",
             "loadgen",
+            "recovery-check",
+            "watch",
+            "calibration",
             "allocators",
             "help",
         ] {

@@ -4,8 +4,8 @@
 //! the binary simply prints it.
 
 use crate::args::{
-    Command, CurvesOptions, LoadgenOptions, RecoveryCheckOptions, ServeOptions, SimulateOptions,
-    SweepOptions, TraceOptions, USAGE,
+    CalibrationOptions, Command, CurvesOptions, LoadgenOptions, RecoveryCheckOptions, ServeOptions,
+    SimulateOptions, SweepOptions, TraceOptions, WatchOptions, USAGE,
 };
 use crate::loadgen::{self, LoadgenConfig};
 use commalloc::experiment::LoadSweep;
@@ -62,6 +62,8 @@ impl Command {
             Command::Serve(opts) => run_serve(opts),
             Command::Loadgen(opts) => run_loadgen(opts),
             Command::RecoveryCheck(opts) => run_recovery_check(opts),
+            Command::Watch(opts) => run_watch(opts),
+            Command::Calibration(opts) => run_calibration(opts),
         }
     }
 }
@@ -157,6 +159,9 @@ fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
     if opts.trace {
         service.recorder().set_enabled(true);
     }
+    if opts.calibration {
+        service.calibration().set_enabled(true);
+    }
     let server = Server::bind(opts.addr.as_str(), service, opts.workers)
         .map_err(|e| RunError::Serve(format!("bind {}: {e}", opts.addr)))?;
     let addr = server
@@ -164,12 +169,17 @@ fn run_serve(opts: &ServeOptions) -> Result<String, RunError> {
         .map_err(|e| RunError::Serve(e.to_string()))?;
     let names: Vec<&str> = machines.iter().map(|(n, _)| n.as_str()).collect();
     eprintln!(
-        "commalloc-service listening on {addr} ({} workers); machines [{}] ({}){}{}",
+        "commalloc-service listening on {addr} ({} workers); machines [{}] ({}){}{}{}",
         opts.workers,
         names.join(", "),
         opts.scheduler.as_deref().unwrap_or("fcfs"),
         pool_banner,
         if opts.trace { "; tracing on" } else { "" },
+        if opts.calibration {
+            "; calibration on"
+        } else {
+            ""
+        },
     );
     server.run().map_err(|e| RunError::Serve(e.to_string()))?;
     Ok(String::new())
@@ -400,33 +410,71 @@ fn run_trace_online(addr: &str, opts: &TraceOptions) -> Result<String, RunError>
             if state { "enabled" } else { "disabled" }
         ));
     }
+    if opts.follow {
+        return run_trace_follow(&mut client, opts);
+    }
     let dump = client
         .trace_events(opts.limit, opts.clear)
         .map_err(|e| RunError::Trace(e.to_string()))?;
     let rendered = match opts.format.as_str() {
         "chrome" => chrome_trace_json(&dump.events),
-        _ => {
-            let mut out = String::new();
-            for event in &dump.events {
-                let line =
-                    serde_json::to_string(event).map_err(|e| RunError::Json(e.to_string()))?;
-                let _ = writeln!(out, "{line}");
-            }
-            out
-        }
+        _ => ndjson_lines(dump.events.iter().chain(&dump.decisions))?,
     };
     match &opts.out {
         Some(path) => {
             std::fs::write(path, rendered)
                 .map_err(|e| RunError::Trace(format!("write {path}: {e}")))?;
             Ok(format!(
-                "wrote {} events to {path} ({} dropped; tracing {})\n",
+                "wrote {} events and {} decisions to {path} ({} dropped; tracing {})\n",
                 dump.events.len(),
+                dump.decisions.len(),
                 dump.dropped,
                 if dump.enabled { "on" } else { "off" }
             ))
         }
         None => Ok(rendered),
+    }
+}
+
+/// Renders wire values as NDJSON, one per line.
+fn ndjson_lines<'a>(values: impl Iterator<Item = &'a Value>) -> Result<String, RunError> {
+    let mut out = String::new();
+    for value in values {
+        let line = serde_json::to_string(value).map_err(|e| RunError::Json(e.to_string()))?;
+        let _ = writeln!(out, "{line}");
+    }
+    Ok(out)
+}
+
+/// `trace --follow`: polls the daemon at `--interval`, draining with
+/// `clear` so each span event and decision record streams exactly once,
+/// as NDJSON on stdout (or appended to `--out`). Runs until interrupted
+/// or the daemon goes away.
+fn run_trace_follow(client: &mut ServiceClient, opts: &TraceOptions) -> Result<String, RunError> {
+    use std::io::Write as _;
+    let interval = std::time::Duration::from_secs_f64(opts.interval);
+    let mut sink: Box<dyn std::io::Write> = match &opts.out {
+        Some(path) => Box::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| RunError::Trace(format!("open {path}: {e}")))?,
+        ),
+        None => Box::new(std::io::stdout()),
+    };
+    loop {
+        let dump = client
+            .trace_events(opts.limit, true)
+            .map_err(|e| RunError::Trace(e.to_string()))?;
+        if !dump.events.is_empty() || !dump.decisions.is_empty() {
+            let chunk = ndjson_lines(dump.events.iter().chain(&dump.decisions))?;
+            sink.write_all(chunk.as_bytes())
+                .map_err(|e| RunError::Trace(format!("write: {e}")))?;
+            sink.flush()
+                .map_err(|e| RunError::Trace(format!("flush: {e}")))?;
+        }
+        std::thread::sleep(interval);
     }
 }
 
@@ -515,6 +563,219 @@ fn run_trace(opts: &TraceOptions) -> Result<String, RunError> {
     Ok(out)
 }
 
+/// Summary scalars of a wire-serialized [`LogLinearHistogram`]:
+/// `(count, mean, p99, max)`. The p99 is the nearest-rank estimate over
+/// the sparse `[lower, upper, count]` bucket triples (midpoint of the
+/// selected bucket), matching the server-side quantile definition.
+fn hist_stats(value: &Value) -> (u64, f64, f64, f64) {
+    let count = value.get("count").and_then(Value::as_u64).unwrap_or(0);
+    if count == 0 {
+        return (0, 0.0, 0.0, 0.0);
+    }
+    let sum = value.get("sum").and_then(Value::as_f64).unwrap_or(0.0);
+    let max = value.get("max").and_then(Value::as_f64).unwrap_or(0.0);
+    let mut p99 = max;
+    if let Some(buckets) = value.get("buckets").and_then(Value::as_array) {
+        let rank = ((0.99 * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for bucket in buckets {
+            let Some(triple) = bucket.as_array() else {
+                continue;
+            };
+            let lo = triple.first().and_then(Value::as_f64).unwrap_or(0.0);
+            let hi = triple.get(1).and_then(Value::as_f64);
+            let c = triple.get(2).and_then(Value::as_u64).unwrap_or(0);
+            seen += c;
+            if seen >= rank {
+                p99 = match hi {
+                    Some(hi) => (lo + hi) / 2.0,
+                    None => lo,
+                };
+                break;
+            }
+        }
+    }
+    (count, sum / count as f64, p99, max)
+}
+
+/// Renders one `watch` dashboard frame from a windowed JSON metrics
+/// snapshot. Pure so the layout is unit-testable.
+fn render_watch_frame(metrics: &Value, addr: &str, window: &str, frame: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "commalloc watch  {addr}  window {window}  frame {frame}"
+    );
+    if let Some(server) = metrics.get("server") {
+        let counter = |name: &str| server.get(name).and_then(Value::as_u64).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  server   requests {}  errors {}  protocol_errors {}  connections {}  \
+             comm_fallbacks {}",
+            counter("requests"),
+            counter("errors"),
+            counter("protocol_errors"),
+            counter("connections"),
+            counter("route_comm_fallbacks"),
+        );
+    }
+    if let Some(tracing) = metrics.get("tracing") {
+        let flag = |name: &str| {
+            if tracing.get(name).and_then(Value::as_bool).unwrap_or(false) {
+                "on"
+            } else {
+                "off"
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  tracing  {}  calibration {}  dropped_spans_total {}",
+            flag("enabled"),
+            flag("calibration"),
+            tracing
+                .get("dropped_spans_total")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+        );
+    }
+    if let Some(Value::Object(stages)) = metrics.get("stages") {
+        let _ = writeln!(out, "  stages (latency, micros):");
+        for (stage, histogram) in stages.iter() {
+            let (count, mean, p99, max) = hist_stats(histogram);
+            let _ = writeln!(
+                out,
+                "    {stage:<12} count {count:>8}  mean {mean:>10.1}  p99 {p99:>10.1}  \
+                 max {max:>10.1}"
+            );
+        }
+    }
+    if let Some(Value::Object(pools)) = metrics.get("pools") {
+        if !pools.is_empty() {
+            let _ = writeln!(out, "  pools (route latency, micros):");
+            for (pool, entry) in pools.iter() {
+                let policy = entry
+                    .get("policy")
+                    .and_then(Value::as_str)
+                    .unwrap_or("round-robin");
+                let (count, mean, p99, max) =
+                    hist_stats(entry.get("route_latency_micros").unwrap_or(&Value::Null));
+                let _ = writeln!(
+                    out,
+                    "    {pool:<12} policy {policy:<14} routed {count:>8}  mean {mean:>10.1}  \
+                     p99 {p99:>10.1}  max {max:>10.1}"
+                );
+            }
+        }
+    }
+    out
+}
+
+/// `watch`: polls a running daemon's windowed metrics and renders a
+/// live text dashboard, one frame per `--interval`.
+fn run_watch(opts: &WatchOptions) -> Result<String, RunError> {
+    use std::io::Write as _;
+    let mut client = ServiceClient::connect(&opts.addr)
+        .map_err(|e| RunError::Trace(format!("connect {}: {e}", opts.addr)))?;
+    let interval = std::time::Duration::from_secs_f64(opts.interval);
+    let mut frame = 0usize;
+    loop {
+        let metrics = client
+            .metrics_windowed("json", Some(&opts.window))
+            .map_err(|e| RunError::Trace(e.to_string()))?;
+        frame += 1;
+        let rendered = render_watch_frame(&metrics, &opts.addr, &opts.window, frame);
+        if opts.count == Some(frame) {
+            // The final frame flows through the normal print path, so
+            // bounded runs (tests, smoke checks) capture it cleanly.
+            return Ok(rendered);
+        }
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(stdout, "{rendered}");
+        let _ = stdout.flush();
+        std::thread::sleep(interval);
+    }
+}
+
+/// Renders the calibration report as a human-readable table. Pure so
+/// the layout is unit-testable.
+fn render_calibration_report(report: &Value) -> String {
+    let mut out = String::new();
+    let enabled = report
+        .get("enabled")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let joined = report.get("joined").and_then(Value::as_u64).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "placement calibration: {} ({} joined records)",
+        if enabled { "recording" } else { "paused" },
+        joined
+    );
+    let Some(cells) = report.get("cells").and_then(Value::as_array) else {
+        return out;
+    };
+    if cells.is_empty() {
+        let _ = writeln!(
+            out,
+            "  no cells yet (drive patterned allocations with calibration enabled)"
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  {:<12} {:<14} {:>7} {:>6} {:>9} {:>12} {:>12} {:>11}",
+        "pattern", "policy", "joined", "cand", "rank-corr", "pred-mean", "held-mean", "disp-mean"
+    );
+    for cell in cells {
+        let field = |name: &str| cell.get(name).and_then(Value::as_str).unwrap_or("?");
+        let Some(c) = cell.get("calibration") else {
+            continue;
+        };
+        let rho = match c.get("rank_correlation").and_then(Value::as_f64) {
+            Some(rho) => format!("{rho:>9.3}"),
+            None => format!("{:>9}", "-"),
+        };
+        let mean_of = |name: &str| {
+            let (count, mean, _, _) = hist_stats(c.get(name).unwrap_or(&Value::Null));
+            if count == 0 {
+                "-".to_string()
+            } else {
+                format!("{mean:.2}")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  {:<12} {:<14} {:>7} {:>6.1} {} {:>12} {:>12} {:>11}",
+            field("pattern"),
+            field("policy"),
+            c.get("joined").and_then(Value::as_u64).unwrap_or(0),
+            c.get("candidates_mean")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            rho,
+            mean_of("predicted"),
+            mean_of("realized_held"),
+            mean_of("realized_dispersal"),
+        );
+    }
+    out
+}
+
+/// `calibration`: prints a running daemon's placement calibration
+/// report (predicted-vs-realized histograms and rank correlations).
+fn run_calibration(opts: &CalibrationOptions) -> Result<String, RunError> {
+    let mut client = ServiceClient::connect(&opts.addr)
+        .map_err(|e| RunError::Trace(format!("connect {}: {e}", opts.addr)))?;
+    let report = client
+        .calibration()
+        .map_err(|e| RunError::Trace(e.to_string()))?;
+    if opts.json {
+        serde_json::to_string_pretty(&report).map_err(|e| RunError::Json(e.to_string()))
+    } else {
+        Ok(render_calibration_report(&report))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,6 +846,86 @@ mod tests {
         let out = cmd.run().unwrap();
         assert!(out.contains("trace: 500 jobs"));
         assert!(out.contains("power-of-two size spectrum"));
+    }
+
+    #[test]
+    fn watch_frame_renders_counters_stages_and_pools() {
+        let metrics: Value = serde_json::from_str(
+            r#"{
+                "server": {"requests": 12, "errors": 0, "protocol_errors": 0,
+                           "connections": 2, "route_comm_fallbacks": 3},
+                "tracing": {"enabled": true, "calibration": true,
+                            "dropped_spans_total": 7},
+                "window": "10s",
+                "stages": {"parse": {"count": 4, "sum": 8.0, "min": 1.0,
+                                     "max": 3.0, "scale": 1000.0,
+                                     "buckets": [[1.0, 3.0, 4]]}},
+                "pools": {"grid": {"policy": "comm-aware",
+                                   "route_latency_micros": {"count": 2, "sum": 10.0,
+                                       "min": 4.0, "max": 6.0, "scale": 1.0,
+                                       "buckets": [[4.0, 6.0, 2]]}}}
+            }"#,
+        )
+        .unwrap();
+        let frame = render_watch_frame(&metrics, "h:1", "10s", 3);
+        assert!(frame.contains("window 10s  frame 3"));
+        assert!(frame.contains("requests 12"));
+        assert!(frame.contains("comm_fallbacks 3"));
+        assert!(frame.contains("dropped_spans_total 7"));
+        assert!(frame.contains("calibration on"));
+        assert!(frame.contains("parse"));
+        assert!(frame.contains("policy comm-aware"));
+        // Histogram summary math: mean 5.0, p99 = bucket midpoint.
+        let (count, mean, p99, max) = hist_stats(
+            metrics
+                .get("pools")
+                .and_then(|p| p.get("grid"))
+                .and_then(|g| g.get("route_latency_micros"))
+                .unwrap(),
+        );
+        assert_eq!(count, 2);
+        assert_eq!(mean, 5.0);
+        assert_eq!(p99, 5.0);
+        assert_eq!(max, 6.0);
+        assert_eq!(hist_stats(&Value::Null), (0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn calibration_report_renders_cells_and_handles_null_correlation() {
+        let report: Value = serde_json::from_str(
+            r#"{
+                "enabled": true, "joined": 5,
+                "cells": [{
+                    "pattern": "ring", "policy": "comm-aware",
+                    "calibration": {
+                        "joined": 5, "candidates_mean": 2.4,
+                        "rank_correlation": 0.75, "correlation_pairs": 5,
+                        "predicted": {"count": 5, "sum": 10.0, "min": 1.0,
+                                      "max": 3.0, "scale": 1000.0, "buckets": []},
+                        "realized_held": {"count": 5, "sum": 50.0, "min": 5.0,
+                                          "max": 15.0, "scale": 1000.0, "buckets": []},
+                        "held_ratio": {"count": 0, "sum": 0.0, "min": 0.0,
+                                       "max": 0.0, "scale": 1000.0, "buckets": []},
+                        "queue_wait": {"count": 5, "sum": 0.0, "min": 0.0,
+                                       "max": 0.0, "scale": 1000.0, "buckets": []},
+                        "realized_dispersal": {"count": 5, "sum": 20.0, "min": 2.0,
+                                               "max": 6.0, "scale": 1000.0, "buckets": []}
+                    }
+                }]
+            }"#,
+        )
+        .unwrap();
+        let rendered = render_calibration_report(&report);
+        assert!(rendered.contains("recording (5 joined records)"));
+        assert!(rendered.contains("ring"));
+        assert!(rendered.contains("comm-aware"));
+        assert!(rendered.contains("0.750"));
+
+        let empty: Value =
+            serde_json::from_str(r#"{"enabled": false, "joined": 0, "cells": []}"#).unwrap();
+        let rendered = render_calibration_report(&empty);
+        assert!(rendered.contains("paused (0 joined records)"));
+        assert!(rendered.contains("no cells yet"));
     }
 
     #[test]

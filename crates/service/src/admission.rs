@@ -60,6 +60,11 @@ pub struct PendingRequest {
     /// Recorder-epoch timestamp (µs) of the enqueue, closing the `queue`
     /// span when the job is granted (0 when untraced).
     pub enqueued_micros: u64,
+    /// Placement provenance for the calibration plane: the routing
+    /// policy that sent the request to this machine, or `"direct"` for
+    /// unrouted requests (and recovered queue records, whose placing
+    /// path was not journaled).
+    pub placed_by: &'static str,
 }
 
 impl PendingRequest {
@@ -198,6 +203,7 @@ mod tests {
             enqueued_at: 0.0,
             trace_request: 0,
             enqueued_micros: 0,
+            placed_by: "direct",
         }
     }
 
@@ -210,6 +216,7 @@ mod tests {
             enqueued_at: 0.0,
             trace_request: 0,
             enqueued_micros: 0,
+            placed_by: "direct",
         }
     }
 

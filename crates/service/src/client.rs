@@ -80,6 +80,8 @@ pub struct TraceDump {
     pub dropped: u64,
     /// Whether the recorder was capturing at drain time.
     pub enabled: bool,
+    /// Routing-decision records, oldest first, as raw wire values.
+    pub decisions: Vec<Value>,
 }
 
 /// A blocking connection to the daemon.
@@ -391,7 +393,21 @@ impl ServiceClient {
     /// Turns the daemon's flight recorder on or off; returns the new
     /// state as the server confirmed it.
     pub fn set_trace(&mut self, enabled: bool) -> Result<bool, ClientError> {
-        self.expect(&Request::SetTrace { enabled }, |r| match r {
+        self.set_trace_with_calibration(enabled, None)
+    }
+
+    /// [`ServiceClient::set_trace`] that also flips the placement
+    /// calibration plane (`Some(state)`; `None` leaves it unchanged).
+    pub fn set_trace_with_calibration(
+        &mut self,
+        enabled: bool,
+        calibration: Option<bool>,
+    ) -> Result<bool, ClientError> {
+        let request = Request::SetTrace {
+            enabled,
+            calibration,
+        };
+        self.expect(&request, |r| match r {
             Response::TraceSet { enabled } => Ok(enabled),
             other => Err(other),
         })
@@ -410,10 +426,12 @@ impl ServiceClient {
                 events,
                 dropped,
                 enabled,
+                decisions,
             } => Ok(TraceDump {
                 events,
                 dropped,
                 enabled,
+                decisions,
             }),
             other => Err(other),
         })
@@ -423,11 +441,32 @@ impl ServiceClient {
     /// [`Value`]) or `"prometheus"` (the exposition text as a
     /// `Value::Str`).
     pub fn metrics(&mut self, format: &str) -> Result<Value, ClientError> {
+        self.metrics_windowed(format, None)
+    }
+
+    /// [`ServiceClient::metrics`] with the stage and pool histograms
+    /// restricted to a trailing window (`"10s"` or `"60s"`).
+    pub fn metrics_windowed(
+        &mut self,
+        format: &str,
+        window: Option<&str>,
+    ) -> Result<Value, ClientError> {
         let request = Request::Metrics {
             format: format.to_string(),
+            window: window.map(str::to_string),
         };
         self.expect(&request, |r| match r {
             Response::Metrics { metrics, .. } => Ok(metrics),
+            other => Err(other),
+        })
+    }
+
+    /// The daemon's placement calibration report (raw wire value: per-
+    /// pattern × per-policy predicted-vs-realized histograms and rank
+    /// correlations).
+    pub fn calibration(&mut self) -> Result<Value, ClientError> {
+        self.expect(&Request::Calibration, |r| match r {
+            Response::Calibration(v) => Ok(v),
             other => Err(other),
         })
     }

@@ -109,6 +109,7 @@
 //! ```
 
 pub mod admission;
+pub mod calibration;
 pub mod client;
 pub mod cluster;
 pub mod journal;
@@ -121,6 +122,7 @@ pub mod server;
 pub mod service;
 pub mod trace;
 
+pub use calibration::{CalibrationSample, CalibrationStore, PlacementRecord};
 pub use client::{ClientAllocOutcome, ClientError, ServiceClient, TraceDump};
 pub use cluster::{route_offline, ClusterMember, MachineSample, PlacementRouter, RoutingPolicy};
 pub use journal::{
@@ -128,12 +130,13 @@ pub use journal::{
     JournalRecord, JournalSink, NoopJournal, RecoveryReport, SnapshotImage,
 };
 pub use metrics::{
-    LogLinearHistogram, MachineMetrics, ServiceMetrics, SlowdownReservoir, WaitStats,
-    LOG_LINEAR_SLOTS, SLOWDOWN_RESERVOIR_CAPACITY, SLOWDOWN_TAU_SECONDS,
+    LogLinearHistogram, MachineMetrics, ServiceMetrics, SlowdownReservoir, WaitStats, WindowRing,
+    LOG_LINEAR_SLOTS, SLOWDOWN_RESERVOIR_CAPACITY, SLOWDOWN_TAU_SECONDS, WINDOW_SLOTS,
 };
 pub use protocol::{Request, Response};
 pub use registry::{MachineSnapshot, Registry, ServiceError};
 pub use replay::{replay, replay_cluster, ClusterReplayLog, ReplayGrant, ReplayJob, ReplayLog};
+pub use score::ScoreBreakdown;
 pub use server::{Server, ServerHandle};
 pub use service::{AllocOutcome, AllocationService, JobStatus};
 pub use trace::{FlightRecorder, RequestCtx, SpanEvent, Stage};

@@ -289,6 +289,72 @@ impl Serialize for LogLinearHistogram {
     }
 }
 
+/// Number of one-second slots in a [`WindowRing`]: one minute of
+/// history, mergeable into any trailing view up to 60 s.
+pub const WINDOW_SLOTS: usize = 60;
+
+/// A ring of per-second [`LogLinearHistogram`] windows: the "now" view
+/// the since-boot histograms cannot give. Each slot aggregates one
+/// epoch second and is lazily reset when its second comes around again,
+/// so recording stays O(1) with no background sweeper; reads merge the
+/// trailing `span` seconds into one histogram. Stamps are plain epoch
+/// seconds supplied by the caller — under a virtual clock (the replay
+/// harness) the output is fully deterministic.
+#[derive(Debug, Clone)]
+pub struct WindowRing {
+    /// `(second, histogram)` per slot; the stamp disambiguates the
+    /// minute the slot belongs to (`u64::MAX` = never written).
+    slots: Vec<(u64, LogLinearHistogram)>,
+    scale: f64,
+}
+
+impl Default for WindowRing {
+    fn default() -> Self {
+        WindowRing::with_scale(1000.0)
+    }
+}
+
+impl WindowRing {
+    /// An empty ring whose histograms bucket at `scale` ticks per unit.
+    pub fn with_scale(scale: f64) -> Self {
+        WindowRing {
+            slots: (0..WINDOW_SLOTS)
+                .map(|_| (u64::MAX, LogLinearHistogram::with_scale(scale)))
+                .collect(),
+            scale,
+        }
+    }
+
+    /// Records `value` into the slot for epoch second `now_sec`,
+    /// resetting a slot left over from an earlier minute first.
+    pub fn record(&mut self, now_sec: u64, value: f64) {
+        let slot = &mut self.slots[(now_sec as usize) % WINDOW_SLOTS];
+        if slot.0 != now_sec {
+            slot.1 = LogLinearHistogram::with_scale(self.scale);
+            slot.0 = now_sec;
+        }
+        slot.1.record(value);
+    }
+
+    /// The trailing `span_secs` seconds ending at `now_sec` (inclusive),
+    /// merged into one histogram. Spans are clamped to the ring's one
+    /// minute of history; slots from other minutes are skipped.
+    pub fn merged(&self, now_sec: u64, span_secs: u64) -> LogLinearHistogram {
+        let mut out = LogLinearHistogram::with_scale(self.scale);
+        let span = span_secs.min(WINDOW_SLOTS as u64).max(1);
+        for back in 0..span {
+            let Some(sec) = now_sec.checked_sub(back) else {
+                break;
+            };
+            let slot = &self.slots[(sec as usize) % WINDOW_SLOTS];
+            if slot.0 == sec {
+                out.merge(&slot.1);
+            }
+        }
+        out
+    }
+}
+
 /// Wait-time statistics of one admission queue: how long requests sat in
 /// the queue between enqueue and grant, in machine-clock seconds.
 /// Cancelled and rejected requests are not counted — these are *grant*
@@ -525,6 +591,10 @@ pub struct ServiceMetrics {
     pub errors: AtomicU64,
     /// Lines that failed to parse as a request.
     pub protocol_errors: AtomicU64,
+    /// Pool routes where the comm-aware policy had no scored member and
+    /// fell back to shortest-queue (the decision-telemetry counter; zero
+    /// under every other policy).
+    pub route_comm_fallbacks: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -551,6 +621,10 @@ impl ServiceMetrics {
         m.insert(
             "protocol_errors".into(),
             self.protocol_errors.load(Ordering::Relaxed).to_value(),
+        );
+        m.insert(
+            "route_comm_fallbacks".into(),
+            self.route_comm_fallbacks.load(Ordering::Relaxed).to_value(),
         );
         Value::Object(m)
     }
@@ -819,6 +893,39 @@ mod tests {
         }
         assert_eq!(again.wait_histogram, w.wait_histogram);
         assert_eq!(again.slowdown_histogram, w.slowdown_histogram);
+    }
+
+    #[test]
+    fn window_ring_merges_trailing_seconds_and_expires_old_minutes() {
+        let mut ring = WindowRing::with_scale(1000.0);
+        // Seconds 100..110, one value of `sec` seconds each.
+        for sec in 100u64..110 {
+            ring.record(sec, sec as f64);
+        }
+        let last_10 = ring.merged(109, 10);
+        assert_eq!(last_10.count(), 10);
+        assert_eq!(last_10.min(), 100.0);
+        assert_eq!(last_10.max(), 109.0);
+        let last_3 = ring.merged(109, 3);
+        assert_eq!(last_3.count(), 3);
+        assert_eq!(last_3.min(), 107.0);
+        // A view anchored before the data sees nothing.
+        assert!(ring.merged(99, 10).is_empty());
+        // One minute later the slots are reused: the stale stamps keep
+        // old-minute data out of the merge, and a write resets its slot.
+        assert!(ring.merged(169, 10).is_empty());
+        ring.record(160, 1.0); // same slot as second 100
+        assert_eq!(ring.merged(169, 10).count(), 1);
+        // A trailing minute anchored at 160 spans seconds 101..=160:
+        // second 100's slot was reused by 160 so its value is gone,
+        // while 101..=109 still sit inside the window.
+        let whole_minute = ring.merged(160, 60);
+        assert_eq!(whole_minute.count(), 10, "second 100's value must be gone");
+        assert_eq!(whole_minute.min(), 1.0);
+        assert_eq!(whole_minute.max(), 109.0);
+        // Span 0 clamps to 1 second; oversized spans clamp to the ring.
+        assert_eq!(ring.merged(160, 0).count(), 1);
+        assert_eq!(ring.merged(160, 10_000).count(), 10);
     }
 
     #[test]

@@ -105,14 +105,19 @@ pub enum Request {
     /// appended records, segments, fsync policy); answers
     /// `{"enabled": false}` on a daemon running without `--journal`.
     JournalStats,
-    /// Toggle the flight recorder at runtime. While off, request
-    /// handling pays one relaxed atomic load and emits nothing.
+    /// Toggle the flight recorder (and optionally the placement
+    /// calibration plane) at runtime. While off, request handling pays
+    /// one relaxed atomic load per plane and emits nothing.
     SetTrace {
         /// Desired recorder state.
         enabled: bool,
+        /// Desired calibration-plane state; `None` leaves it unchanged
+        /// (the planes toggle independently).
+        calibration: Option<bool>,
     },
     /// Drain the flight recorder: recent span events across all ring
-    /// shards, merged in start-time order.
+    /// shards, merged in start-time order, plus buffered routing
+    /// decisions.
     Trace {
         /// Keep only the most recent `limit` events; `None` = all.
         limit: Option<usize>,
@@ -125,7 +130,15 @@ pub enum Request {
     Metrics {
         /// `"json"` or `"prometheus"` (validated at parse time).
         format: String,
+        /// Restrict stage and pool histograms to a trailing time
+        /// window: `"10s"` or `"60s"` (validated at parse time);
+        /// `None` = cumulative since boot.
+        window: Option<String>,
     },
+    /// The placement calibration report: per-pattern × per-policy
+    /// predicted-vs-realized histograms and rank correlations, joined
+    /// at release time.
+    Calibration,
     /// Names of all registered machines.
     List,
     /// Liveness check.
@@ -252,7 +265,12 @@ pub enum Response {
         dropped: u64,
         /// Whether the recorder is currently enabled.
         enabled: bool,
+        /// Buffered routing-decision records, oldest first (drained and
+        /// cleared together with the span rings).
+        decisions: Vec<Value>,
     },
+    /// The placement calibration report.
+    Calibration(Value),
     /// Metrics export: `metrics` is a JSON object for `format: "json"`,
     /// a string holding the text exposition for `format: "prometheus"`.
     Metrics {
@@ -482,10 +500,19 @@ impl Request {
                 ("machine", str_value(machine)),
             ]),
             Request::JournalStats => obj(vec![("op", str_value("journal_stats"))]),
-            Request::SetTrace { enabled } => obj(vec![
-                ("op", str_value("set_trace")),
-                ("enabled", Value::Bool(*enabled)),
-            ]),
+            Request::SetTrace {
+                enabled,
+                calibration,
+            } => {
+                let mut entries = vec![
+                    ("op", str_value("set_trace")),
+                    ("enabled", Value::Bool(*enabled)),
+                ];
+                if let Some(c) = calibration {
+                    entries.push(("calibration", Value::Bool(*c)));
+                }
+                obj(entries)
+            }
             Request::Trace { limit, clear } => {
                 let mut entries = vec![("op", str_value("trace"))];
                 if let Some(limit) = limit {
@@ -496,10 +523,14 @@ impl Request {
                 }
                 obj(entries)
             }
-            Request::Metrics { format } => obj(vec![
-                ("op", str_value("metrics")),
-                ("format", str_value(format)),
-            ]),
+            Request::Metrics { format, window } => {
+                let mut entries = vec![("op", str_value("metrics")), ("format", str_value(format))];
+                if let Some(w) = window {
+                    entries.push(("window", str_value(w)));
+                }
+                obj(entries)
+            }
+            Request::Calibration => obj(vec![("op", str_value("calibration"))]),
             Request::List => obj(vec![("op", str_value("list"))]),
             Request::Ping => obj(vec![("op", str_value("ping"))]),
             Request::Batch(requests) => obj(vec![
@@ -579,6 +610,14 @@ impl Request {
                     .get("enabled")
                     .and_then(Value::as_bool)
                     .ok_or_else(|| Error::msg("missing or non-boolean field \"enabled\""))?,
+                calibration: match v.get("calibration") {
+                    None | Some(Value::Null) => None,
+                    Some(value) => Some(
+                        value
+                            .as_bool()
+                            .ok_or_else(|| Error::msg("non-boolean field \"calibration\""))?,
+                    ),
+                },
             }),
             "trace" => Ok(Request::Trace {
                 limit: match v.get("limit") {
@@ -604,8 +643,17 @@ impl Request {
                         "unknown metrics format {format:?} (expected \"json\" or \"prometheus\")"
                     )));
                 }
-                Ok(Request::Metrics { format })
+                let window = get_str_opt(v, "window")?;
+                if let Some(w) = &window {
+                    if w != "10s" && w != "60s" {
+                        return Err(Error::msg(format!(
+                            "unknown metrics window {w:?} (expected \"10s\" or \"60s\")"
+                        )));
+                    }
+                }
+                Ok(Request::Metrics { format, window })
             }
+            "calibration" => Ok(Request::Calibration),
             "list" => Ok(Request::List),
             "ping" => Ok(Request::Ping),
             other => Err(Error::msg(format!("unknown op {other:?}"))),
@@ -772,12 +820,19 @@ impl Response {
                 events,
                 dropped,
                 enabled,
+                decisions,
             } => obj(vec![
                 ("ok", Value::Bool(true)),
                 ("op", str_value("trace")),
                 ("enabled", Value::Bool(*enabled)),
                 ("dropped", Value::UInt(*dropped)),
                 ("events", Value::Array(events.clone())),
+                ("decisions", Value::Array(decisions.clone())),
+            ]),
+            Response::Calibration(report) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("calibration")),
+                ("calibration", report.clone()),
             ]),
             Response::Metrics { format, metrics } => obj(vec![
                 ("ok", Value::Bool(true)),
@@ -903,7 +958,21 @@ impl Response {
                     .get("enabled")
                     .and_then(Value::as_bool)
                     .ok_or_else(|| Error::msg("missing or non-boolean field \"enabled\""))?,
+                // Absent on lines from pre-calibration daemons: decode
+                // as an empty drain rather than a parse error.
+                decisions: match v.get("decisions") {
+                    None | Some(Value::Null) => Vec::new(),
+                    Some(value) => value
+                        .as_array()
+                        .ok_or_else(|| Error::msg("non-array field \"decisions\""))?
+                        .to_vec(),
+                },
             }),
+            "calibration" => Ok(Response::Calibration(
+                v.get("calibration")
+                    .cloned()
+                    .ok_or_else(|| Error::msg("missing \"calibration\""))?,
+            )),
             "metrics" => Ok(Response::Metrics {
                 format: get_str(v, "format")?,
                 metrics: v
@@ -1025,8 +1094,18 @@ mod tests {
                 machine: "m0".into(),
             },
             Request::JournalStats,
-            Request::SetTrace { enabled: true },
-            Request::SetTrace { enabled: false },
+            Request::SetTrace {
+                enabled: true,
+                calibration: None,
+            },
+            Request::SetTrace {
+                enabled: false,
+                calibration: Some(true),
+            },
+            Request::SetTrace {
+                enabled: true,
+                calibration: Some(false),
+            },
             Request::Trace {
                 limit: None,
                 clear: false,
@@ -1037,10 +1116,17 @@ mod tests {
             },
             Request::Metrics {
                 format: "json".into(),
+                window: None,
             },
             Request::Metrics {
                 format: "prometheus".into(),
+                window: Some("10s".into()),
             },
+            Request::Metrics {
+                format: "json".into(),
+                window: Some("60s".into()),
+            },
+            Request::Calibration,
             Request::List,
             Request::Ping,
         ];
@@ -1134,7 +1220,19 @@ mod tests {
                 ])],
                 dropped: 2,
                 enabled: true,
+                decisions: vec![obj(vec![
+                    ("pool", str_value("grid")),
+                    ("policy", str_value("comm-aware")),
+                    ("winner", str_value("m1")),
+                ])],
             },
+            Response::Calibration(obj(vec![
+                ("enabled", Value::Bool(true)),
+                // `Int`, not `UInt`: the parser normalises i64-ranged
+                // integers to `Int`, and the fixture must round-trip.
+                ("joined", Value::Int(12)),
+                ("cells", Value::Array(vec![])),
+            ])),
             Response::Metrics {
                 format: "json".into(),
                 metrics: obj(vec![("stages", Value::Object(Map::new()))]),
@@ -1275,14 +1373,51 @@ mod tests {
         );
         assert!(Request::from_line(r#"{"op":"trace","limit":"many"}"#).is_err());
         assert!(Request::from_line(r#"{"op":"trace","clear":1}"#).is_err());
+        // set_trace's calibration rider is optional but typed.
+        assert_eq!(
+            Request::from_line(r#"{"op":"set_trace","enabled":true}"#).unwrap(),
+            Request::SetTrace {
+                enabled: true,
+                calibration: None,
+            }
+        );
+        assert!(
+            Request::from_line(r#"{"op":"set_trace","enabled":true,"calibration":1}"#).is_err()
+        );
         // metrics defaults to JSON and refuses unknown formats.
         assert_eq!(
             Request::from_line(r#"{"op":"metrics"}"#).unwrap(),
             Request::Metrics {
                 format: "json".into(),
+                window: None,
             }
         );
         assert!(Request::from_line(r#"{"op":"metrics","format":"xml"}"#).is_err());
+        // Windows are validated at the boundary: only the two canonical
+        // trailing spans exist.
+        assert_eq!(
+            Request::from_line(r#"{"op":"metrics","window":"10s"}"#).unwrap(),
+            Request::Metrics {
+                format: "json".into(),
+                window: Some("10s".into()),
+            }
+        );
+        assert!(Request::from_line(r#"{"op":"metrics","window":"5m"}"#).is_err());
+        assert!(Request::from_line(r#"{"op":"metrics","window":10}"#).is_err());
+        // A trace line without "decisions" (a pre-calibration daemon)
+        // still parses, as an empty decision drain.
+        assert_eq!(
+            Response::from_line(
+                r#"{"ok":true,"op":"trace","enabled":false,"dropped":0,"events":[]}"#
+            )
+            .unwrap(),
+            Response::Trace {
+                events: vec![],
+                dropped: 0,
+                enabled: false,
+                decisions: vec![],
+            }
+        );
         // An infinite reserved start never travels: the rendering drops
         // it rather than emitting invalid JSON.
         let waiting = Response::Waiting {

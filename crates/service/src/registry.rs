@@ -8,8 +8,10 @@
 //! allocate/release on the same machine).
 
 use crate::admission::{AdmissionQueue, PendingRequest};
+use crate::calibration::{CalibrationSample, CalibrationStore, PlacementRecord, PLACEMENT_CAP};
 use crate::journal::{JournalRecord, MachineImage, QueuedImage, RunningImage};
 use crate::metrics::MachineMetrics;
+use crate::score::ScoreBreakdown;
 use crate::trace::{RequestCtx, Stage};
 use commalloc::scheduler::{BlockReason, QueuedJob, RunningSnapshot, SchedulerKind};
 use commalloc_alloc::curve_alloc::SelectionStrategy;
@@ -23,8 +25,14 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A raw allocation outcome: the granted nodes, plus — when the grant
+/// was pattern-scored — the winner's score breakdown and the number of
+/// candidate windows weighed (the grant-time half of the calibration
+/// join).
+type ScoredGrant = (Vec<NodeId>, Option<(ScoreBreakdown, usize)>);
 
 /// Errors surfaced by the service to callers (mapped onto protocol error
 /// responses by the server).
@@ -225,14 +233,20 @@ impl Backing {
     /// `MachineState::generation` protocol). When no contiguous
     /// candidate fits (a fragmented machine), the pattern is ignored and
     /// the configured allocator decides as for an unpatterned job.
+    ///
+    /// For a scored (patterned) grant the winner's [`ScoreBreakdown`]
+    /// and the number of candidates weighed ride along — the grant-time
+    /// half of the calibration join.
     fn try_allocate(
         &mut self,
         job_id: u64,
         size: usize,
         pattern: Option<CommPattern>,
-    ) -> Option<Vec<NodeId>> {
+    ) -> Option<ScoredGrant> {
         if let Some(pattern) = pattern {
-            if let Some(best) = self.best_scored_candidate(job_id, size, pattern) {
+            if let Some((best, breakdown, considered)) =
+                self.best_scored_candidate(job_id, size, pattern)
+            {
                 match self {
                     Backing::TwoD { machine, .. } => machine.occupy(&best),
                     Backing::ThreeD { curve, index, .. } => {
@@ -241,7 +255,7 @@ impl Backing {
                         debug_assert!(applied, "scored candidate held a busy rank");
                     }
                 }
-                return Some(best);
+                return Some((best, Some((breakdown, considered))));
             }
         }
         match self {
@@ -250,7 +264,7 @@ impl Backing {
             } => {
                 let allocation = allocator.allocate(&AllocRequest::new(job_id, size), machine)?;
                 machine.occupy(&allocation.nodes);
-                Some(allocation.nodes)
+                Some((allocation.nodes, None))
             }
             Backing::ThreeD {
                 curve,
@@ -270,7 +284,7 @@ impl Backing {
                 };
                 let applied = index.occupy_ranks(&ranks);
                 debug_assert!(applied, "3-D index granted a busy rank");
-                Some(ranks.iter().map(|&r| curve.node_at(r)).collect())
+                Some((ranks.iter().map(|&r| curve.node_at(r)).collect(), None))
             }
         }
     }
@@ -327,10 +341,15 @@ impl Backing {
     /// fragmented machine must not make one grant arbitrarily slow.
     const CANDIDATE_CAP: usize = 8;
 
-    /// Scores a candidate against the declared pattern (lower is
+    /// Scores a candidate against the declared pattern (lower total is
     /// better). Deterministic in `(backing mesh, nodes, pattern,
     /// job_id)` — see [`crate::score`].
-    fn score_candidate(&self, nodes: &[NodeId], pattern: CommPattern, job_id: u64) -> f64 {
+    fn score_candidate(
+        &self,
+        nodes: &[NodeId],
+        pattern: CommPattern,
+        job_id: u64,
+    ) -> ScoreBreakdown {
         match self {
             Backing::TwoD { mesh, .. } => {
                 crate::score::predicted_contention_2d(*mesh, nodes, pattern, job_id)
@@ -343,21 +362,25 @@ impl Backing {
 
     /// The fitting candidate with the lowest predicted contention (ties
     /// break towards the earlier curve position), or `None` when no
-    /// contiguous window fits.
+    /// contiguous window fits. Returns the winner's breakdown and how
+    /// many candidates were weighed (the calibration plane's grant-time
+    /// inputs).
     fn best_scored_candidate(
         &self,
         job_id: u64,
         size: usize,
         pattern: CommPattern,
-    ) -> Option<Vec<NodeId>> {
-        self.scored_candidates(size)
+    ) -> Option<(Vec<NodeId>, ScoreBreakdown, usize)> {
+        let candidates = self.scored_candidates(size);
+        let considered = candidates.len();
+        candidates
             .into_iter()
             .map(|nodes| {
                 let score = self.score_candidate(&nodes, pattern, job_id);
                 (nodes, score)
             })
-            .min_by(|(_, a), (_, b)| a.total_cmp(b))
-            .map(|(nodes, _)| nodes)
+            .min_by(|(_, a), (_, b)| a.total().total_cmp(&b.total()))
+            .map(|(nodes, score)| (nodes, score, considered))
     }
 
     /// The lowest predicted contention this machine could offer a
@@ -367,8 +390,24 @@ impl Backing {
     fn predicted_contention(&self, job_id: u64, size: usize, pattern: CommPattern) -> Option<f64> {
         self.scored_candidates(size)
             .into_iter()
-            .map(|nodes| self.score_candidate(&nodes, pattern, job_id))
+            .map(|nodes| self.score_candidate(&nodes, pattern, job_id).total())
             .min_by(f64::total_cmp)
+    }
+
+    /// The realized dispersal of an allocation, in the same unit as the
+    /// predicted dispersal term: one mesh diameter per connected
+    /// component beyond the first.
+    fn dispersal_of(&self, nodes: &[NodeId]) -> f64 {
+        match self {
+            Backing::TwoD { mesh, .. } => {
+                let diameter = (mesh.width() + mesh.height()) as f64;
+                mesh.components(nodes).saturating_sub(1) as f64 * diameter
+            }
+            Backing::ThreeD { mesh, .. } => {
+                let diameter = (mesh.width() + mesh.height() + mesh.depth()) as f64;
+                mesh.components(nodes).saturating_sub(1) as f64 * diameter
+            }
+        }
     }
 
     /// Re-occupies exactly `nodes` — the journal-recovery path, which
@@ -497,6 +536,14 @@ pub struct MachineEntry {
     /// Sequence number of this machine's last appended journal record —
     /// its snapshot watermark (see `crate::journal`'s module docs).
     journal_seq: u64,
+    /// Grant-time calibration records of live pattern-scored jobs,
+    /// keyed by job id and joined with the realized outcome at release.
+    /// Bounded by [`PLACEMENT_CAP`]; only populated while the owning
+    /// registry's calibration store is enabled.
+    placements: HashMap<u64, PlacementRecord>,
+    /// The registry-wide calibration store (shared by every entry; the
+    /// disabled path costs one relaxed load per grant/release).
+    calibration: Arc<CalibrationStore>,
     /// Operation counters (public so the service layer can read them out).
     pub metrics: MachineMetrics,
 }
@@ -517,8 +564,16 @@ impl MachineEntry {
             journaled: false,
             outbox: Vec::new(),
             journal_seq: 0,
+            placements: HashMap::new(),
+            calibration: Arc::new(CalibrationStore::new()),
             metrics: MachineMetrics::default(),
         }
+    }
+
+    /// Points this entry at the registry-wide calibration store (set at
+    /// registration, before any request can reach the machine).
+    fn attach_calibration(&mut self, store: Arc<CalibrationStore>) {
+        self.calibration = store;
     }
 
     pub(crate) fn new_2d(
@@ -731,9 +786,11 @@ impl MachineEntry {
             pattern,
             enqueued_at,
             // Recovery re-creates state, not requests: there is no wire
-            // request to attach trace events to.
+            // request to attach trace events to, and the placing path
+            // was not journaled.
             trace_request: 0,
             enqueued_micros: 0,
+            placed_by: "direct",
         });
         self.generation += 1;
         Ok(())
@@ -909,6 +966,23 @@ impl MachineEntry {
         pattern: Option<CommPattern>,
         ctx: &RequestCtx<'_>,
     ) -> Result<AllocOutcome, ServiceError> {
+        self.allocate_placed(job_id, size, wait, walltime, pattern, "direct", ctx)
+    }
+
+    /// [`MachineEntry::allocate_traced`] with the placement provenance
+    /// label the calibration plane files under: the routing-policy name
+    /// for pool-routed requests, `"direct"` otherwise.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn allocate_placed(
+        &mut self,
+        job_id: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+        pattern: Option<CommPattern>,
+        placed_by: &'static str,
+        ctx: &RequestCtx<'_>,
+    ) -> Result<AllocOutcome, ServiceError> {
         if self.allocations.contains_key(&job_id) || self.queue.contains(job_id) {
             return Err(ServiceError::DuplicateJob {
                 machine: self.name.clone(),
@@ -943,6 +1017,7 @@ impl MachineEntry {
             enqueued_at: self.now(),
             trace_request: ctx.request(),
             enqueued_micros: ctx.now_micros(),
+            placed_by,
         });
         let granted = self.drain_queue(Some(job_id), ctx);
         // An arrival frees nothing, so under the current policies the
@@ -1040,6 +1115,20 @@ impl MachineEntry {
                 // swap_remove, not remove: keeps the running-order
                 // evolution identical to the offline engine's.
                 self.running.swap_remove(at);
+            }
+            // Join the grant-time calibration record with the realized
+            // outcome. The record is removed unconditionally (a toggle
+            // mid-flight must not leak it); it is folded into the store
+            // only while calibration is on.
+            if let Some(record) = self.placements.remove(&job_id) {
+                if self.calibration.enabled() {
+                    let held = (self.now() - record.granted_at).max(0.0);
+                    self.calibration.record(&CalibrationSample {
+                        record,
+                        held,
+                        realized_dispersal: self.backing.dispersal_of(&nodes),
+                    });
+                }
             }
             self.metrics.released += 1;
             if self.journaled {
@@ -1139,10 +1228,35 @@ impl MachineEntry {
                 .backing
                 .try_allocate(pending.job_id, pending.size, pending.pattern)
             {
-                Some(nodes) => {
+                Some((nodes, scored)) => {
                     let from_queue = arriving != Some(pending.job_id);
                     let granted_at = pctx.now_micros();
                     pctx.span(Stage::Allocator, pending.job_id, 0, probe_start, granted_at);
+                    // File the grant-time half of the calibration join
+                    // for pattern-scored placements (one relaxed load
+                    // while calibration is off; bounded side-table).
+                    if let (Some((predicted, candidates)), Some(pattern)) =
+                        (scored, pending.pattern)
+                    {
+                        if self.calibration.enabled() && self.placements.len() < PLACEMENT_CAP {
+                            self.placements.insert(
+                                pending.job_id,
+                                PlacementRecord {
+                                    pattern: pattern.name(),
+                                    policy: pending.placed_by,
+                                    predicted,
+                                    candidates,
+                                    queue_wait: if from_queue {
+                                        (now - pending.enqueued_at).max(0.0)
+                                    } else {
+                                        0.0
+                                    },
+                                    granted_at: now,
+                                    walltime: pending.walltime,
+                                },
+                            );
+                        }
+                    }
                     if from_queue && pending.enqueued_micros != 0 {
                         pctx.span(
                             Stage::Queue,
@@ -1425,6 +1539,9 @@ impl MachineEntry {
 /// Named machines behind sharded locks.
 pub struct Registry {
     shards: Vec<Mutex<HashMap<String, MachineEntry>>>,
+    /// The placement calibration store every entry feeds (see
+    /// [`crate::calibration`]); disabled by default.
+    calibration: Arc<CalibrationStore>,
 }
 
 impl Default for Registry {
@@ -1440,7 +1557,13 @@ impl Registry {
             shards: (0..shards.max(1))
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            calibration: Arc::new(CalibrationStore::new()),
         }
+    }
+
+    /// The registry-wide placement calibration store.
+    pub fn calibration(&self) -> &Arc<CalibrationStore> {
+        &self.calibration
     }
 
     fn shard_of(&self, name: &str) -> &Mutex<HashMap<String, MachineEntry>> {
@@ -1465,6 +1588,7 @@ impl Registry {
             return Err(ServiceError::MachineExists(name.to_string()));
         }
         let entry = shard.entry(name.to_string()).or_insert(entry);
+        entry.attach_calibration(Arc::clone(&self.calibration));
         after(entry);
         Ok(())
     }

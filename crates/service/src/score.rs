@@ -44,24 +44,49 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// The locality terms shared by both meshes: average pairwise distance
-/// plus one mesh diameter per connected component beyond the first (a
-/// split placement pays for the traffic that must cross foreign regions
-/// even before queueing is modelled).
-fn locality_terms(avg_pairwise: f64, components: usize, diameter: f64) -> f64 {
-    avg_pairwise + components.saturating_sub(1) as f64 * diameter
+/// A predicted-contention score, broken into the components that the
+/// calibration plane records at grant time. The components live on one
+/// comparable axis (lower is better) and [`ScoreBreakdown::total`] is
+/// the scalar the allocator and router order candidates by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreBreakdown {
+    /// Network-simulation term: mean simulated message latency of one
+    /// pattern iteration (2-D), or the traffic-matrix-weighted pairwise
+    /// distance sum (3-D fluid proxy).
+    pub network: f64,
+    /// Locality term: average pairwise distance of the placement.
+    pub locality: f64,
+    /// Dispersal term: one mesh diameter per connected component beyond
+    /// the first (a split placement pays for the traffic that must cross
+    /// foreign regions even before queueing is modelled).
+    pub dispersal: f64,
+}
+
+impl ScoreBreakdown {
+    /// The scalar score: the sum of the components, associated exactly
+    /// as the pre-breakdown scalar was (`network + (locality +
+    /// dispersal)`), so the score ordering is bit-for-bit unchanged.
+    pub fn total(&self) -> f64 {
+        self.network + (self.locality + self.dispersal)
+    }
+}
+
+/// The locality and dispersal terms shared by both meshes.
+fn locality_and_dispersal(avg_pairwise: f64, components: usize, diameter: f64) -> (f64, f64) {
+    (avg_pairwise, components.saturating_sub(1) as f64 * diameter)
 }
 
 /// Predicted contention of placing a `pattern`-declared job on exactly
 /// `nodes` (rank `i` on `nodes[i]`) of a 2-D `mesh`: the mean message
-/// latency of one simulated pattern iteration plus the locality terms.
-/// Deterministic in `(mesh, nodes, pattern, job_id)`.
+/// latency of one simulated pattern iteration plus the locality terms,
+/// returned per component. Deterministic in `(mesh, nodes, pattern,
+/// job_id)`.
 pub fn predicted_contention_2d(
     mesh: Mesh2D,
     nodes: &[NodeId],
     pattern: CommPattern,
     job_id: u64,
-) -> f64 {
+) -> ScoreBreakdown {
     let p = nodes.len();
     let mut rng = StdRng::seed_from_u64(splitmix64(job_id));
     let pairs = pattern.iteration_messages(p, &mut rng);
@@ -82,24 +107,29 @@ pub fn predicted_contention_2d(
         .simulate(&messages)
         .mean_latency();
     let diameter = (mesh.width() + mesh.height()) as f64;
-    mean + locality_terms(
+    let (locality, dispersal) = locality_and_dispersal(
         mesh.avg_pairwise_distance(nodes),
         mesh.components(nodes),
         diameter,
-    )
+    );
+    ScoreBreakdown {
+        network: mean,
+        locality,
+        dispersal,
+    }
 }
 
 /// Predicted contention of placing a `pattern`-declared job on exactly
 /// `nodes` of a 3-D `mesh`: the traffic-matrix-weighted mean pairwise
 /// distance (the fluid proxy — the message-level simulator is 2-D only)
-/// plus the locality terms. Deterministic in `(mesh, nodes, pattern,
-/// job_id)`.
+/// plus the locality terms, returned per component. Deterministic in
+/// `(mesh, nodes, pattern, job_id)`.
 pub fn predicted_contention_3d(
     mesh: Mesh3D,
     nodes: &[NodeId],
     pattern: CommPattern,
     job_id: u64,
-) -> f64 {
+) -> ScoreBreakdown {
     let p = nodes.len();
     let mut rng = StdRng::seed_from_u64(splitmix64(job_id));
     let quota = pattern.messages_per_iteration(p).max(1);
@@ -109,12 +139,16 @@ pub fn predicted_contention_3d(
         .map(|e| e.weight * mesh.distance(nodes[e.src], nodes[e.dst]) as f64)
         .sum();
     let diameter = (mesh.width() + mesh.height() + mesh.depth()) as f64;
-    weighted
-        + locality_terms(
-            mesh.avg_pairwise_distance(nodes),
-            mesh.components(nodes),
-            diameter,
-        )
+    let (locality, dispersal) = locality_and_dispersal(
+        mesh.avg_pairwise_distance(nodes),
+        mesh.components(nodes),
+        diameter,
+    );
+    ScoreBreakdown {
+        network: weighted,
+        locality,
+        dispersal,
+    }
 }
 
 #[cfg(test)]
@@ -136,8 +170,42 @@ mod tests {
             let a = predicted_contention_2d(mesh, &nodes, pattern, 42);
             let b = predicted_contention_2d(mesh, &nodes, pattern, 42);
             assert_eq!(a, b, "{pattern} not deterministic");
-            assert!(a.is_finite() && a >= 0.0);
+            assert!(a.total().is_finite() && a.total() >= 0.0);
         }
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_the_scalar_score() {
+        // The breakdown must be a decomposition, not a reformulation:
+        // `network + (locality + dispersal)` — associated exactly as the
+        // pre-breakdown scalar computed it — is the total, bit for bit.
+        let mesh2 = Mesh2D::new(8, 8);
+        let nodes2 = row(mesh2, 1, 6);
+        let mesh3 = Mesh3D::new(4, 4, 4);
+        let nodes3: Vec<NodeId> = (0..6).map(|i| NodeId(i * 5)).collect();
+        for pattern in CommPattern::all() {
+            let b2 = predicted_contention_2d(mesh2, &nodes2, pattern, 9);
+            assert_eq!(
+                b2.total(),
+                b2.network + (b2.locality + b2.dispersal),
+                "{pattern} 2-D breakdown must sum to the scalar"
+            );
+            let b3 = predicted_contention_3d(mesh3, &nodes3, pattern, 9);
+            assert_eq!(
+                b3.total(),
+                b3.network + (b3.locality + b3.dispersal),
+                "{pattern} 3-D breakdown must sum to the scalar"
+            );
+            assert!(b2.dispersal >= 0.0 && b3.dispersal >= 0.0);
+        }
+        // A split placement surfaces its penalty in the dispersal
+        // component specifically, not smeared over the others.
+        let split: Vec<NodeId> = [(0, 0), (1, 0), (6, 7), (7, 7)]
+            .iter()
+            .map(|&(x, y)| mesh2.id_of(Coord::new(x, y)))
+            .collect();
+        let b = predicted_contention_2d(mesh2, &split, CommPattern::Ring, 9);
+        assert_eq!(b.dispersal, (mesh2.width() + mesh2.height()) as f64);
     }
 
     #[test]
@@ -152,8 +220,8 @@ mod tests {
             .iter()
             .map(|&(x, y)| mesh.id_of(Coord::new(x, y)))
             .collect();
-        let c = predicted_contention_2d(mesh, &compact, CommPattern::AllToAll, 1);
-        let s = predicted_contention_2d(mesh, &corners, CommPattern::AllToAll, 1);
+        let c = predicted_contention_2d(mesh, &compact, CommPattern::AllToAll, 1).total();
+        let s = predicted_contention_2d(mesh, &corners, CommPattern::AllToAll, 1).total();
         assert!(c < s, "compact {c} should beat corners {s}");
     }
 
@@ -165,8 +233,8 @@ mod tests {
             .iter()
             .map(|&(x, y)| mesh.id_of(Coord::new(x, y)))
             .collect();
-        let a = predicted_contention_2d(mesh, &contiguous, CommPattern::Ring, 3);
-        let b = predicted_contention_2d(mesh, &split, CommPattern::Ring, 3);
+        let a = predicted_contention_2d(mesh, &contiguous, CommPattern::Ring, 3).total();
+        let b = predicted_contention_2d(mesh, &split, CommPattern::Ring, 3).total();
         assert!(
             b > a + 8.0,
             "two components must cost a diameter: {a} vs {b}"
@@ -178,8 +246,8 @@ mod tests {
         let mesh = Mesh3D::new(4, 4, 4);
         let compact: Vec<NodeId> = (0..8).map(NodeId).collect();
         let spread: Vec<NodeId> = (0..8).map(|i| NodeId(i * 8)).collect();
-        let c = predicted_contention_3d(mesh, &compact, CommPattern::AllToAll, 1);
-        let s = predicted_contention_3d(mesh, &spread, CommPattern::AllToAll, 1);
+        let c = predicted_contention_3d(mesh, &compact, CommPattern::AllToAll, 1).total();
+        let s = predicted_contention_3d(mesh, &spread, CommPattern::AllToAll, 1).total();
         assert!(c < s, "compact {c} should beat spread {s}");
     }
 
@@ -187,14 +255,14 @@ mod tests {
     fn random_pattern_scores_differ_across_jobs_but_not_within() {
         let mesh = Mesh2D::new(8, 8);
         let nodes = row(mesh, 2, 6);
-        let a1 = predicted_contention_2d(mesh, &nodes, CommPattern::Random, 1);
-        let a2 = predicted_contention_2d(mesh, &nodes, CommPattern::Random, 1);
+        let a1 = predicted_contention_2d(mesh, &nodes, CommPattern::Random, 1).total();
+        let a2 = predicted_contention_2d(mesh, &nodes, CommPattern::Random, 1).total();
         assert_eq!(a1, a2);
         // Different jobs draw different pairs; scores need not be equal
         // for every pair of ids, but across a few ids at least one must
         // differ (the seed actually feeds the draw).
         let distinct = (1..8u64)
-            .map(|id| predicted_contention_2d(mesh, &nodes, CommPattern::Random, id))
+            .map(|id| predicted_contention_2d(mesh, &nodes, CommPattern::Random, id).total())
             .any(|s| s != a1);
         assert!(distinct, "job id must seed the random pattern's draws");
     }

@@ -5,9 +5,10 @@
 //! any thread; the TCP [`crate::server::Server`] is a thin transport over
 //! [`AllocationService::handle`].
 
+use crate::calibration::CalibrationStore;
 use crate::cluster::{pool_of, MachineSample, PlacementRouter, RoutingPolicy};
 use crate::journal::{JournalRecord, JournalSink, NoopJournal, PoolImage, SnapshotImage};
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{LogLinearHistogram, ServiceMetrics, WindowRing};
 use crate::protocol::{Request, Response};
 use crate::registry::{MachineEntry, MachineSnapshot, Registry, ServiceError};
 use crate::trace::{FlightRecorder, RequestCtx, Stage};
@@ -18,6 +19,7 @@ use commalloc_mesh::curve3d::Curve3Kind;
 use commalloc_mesh::{Mesh2D, Mesh3D, NodeId};
 use commalloc_workload::CommPattern;
 use serde::{Map, Serialize, Value};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -44,6 +46,32 @@ pub struct AllocationService {
     /// ops. Always present; recording is off until toggled, and the
     /// disabled path costs one relaxed atomic load per wire request.
     recorder: Arc<FlightRecorder>,
+    /// Per-pool route-latency aggregation (cumulative + trailing
+    /// 60-second window, labeled with the pool's routing policy), fed
+    /// by traced routed allocs. BTreeMap: exports iterate in pool-name
+    /// order, so the exposition is deterministic.
+    pool_windows: Arc<Mutex<BTreeMap<String, PoolWindow>>>,
+}
+
+/// One pool's route-latency aggregation: the since-boot histogram, the
+/// 60×1 s window ring, and the routing policy of its most recent route
+/// (the label the Prometheus exposition carries).
+#[derive(Debug)]
+struct PoolWindow {
+    policy: &'static str,
+    cumulative: LogLinearHistogram,
+    window: WindowRing,
+}
+
+impl PoolWindow {
+    fn new() -> PoolWindow {
+        PoolWindow {
+            policy: "round-robin",
+            // Micros arrive pre-integral: scale 1 keeps bucketing exact.
+            cumulative: LogLinearHistogram::with_scale(1.0),
+            window: WindowRing::with_scale(1.0),
+        }
+    }
 }
 
 impl Default for AllocationService {
@@ -56,6 +84,7 @@ impl Default for AllocationService {
             snapshotting: Arc::new(AtomicBool::new(false)),
             router_flips: Arc::new(Mutex::new(())),
             recorder: Arc::new(FlightRecorder::new()),
+            pool_windows: Arc::new(Mutex::new(BTreeMap::new())),
         }
     }
 }
@@ -133,6 +162,53 @@ fn parse_curve3(spec: &str) -> Result<Curve3Kind, ServiceError> {
         })
 }
 
+/// Renders one committed routing decision as its wire object: the pool
+/// and policy, every eligible member's load figures (and predicted
+/// contention, when the member scored the job), the winner, and whether
+/// the comm-aware policy fell back to its shortest-queue path.
+#[allow(clippy::too_many_arguments)]
+fn decision_record(
+    pool: &str,
+    policy: RoutingPolicy,
+    job: u64,
+    eligible: &[MachineSample],
+    winner: &str,
+    attempt: usize,
+    fallback: bool,
+    start_micros: u64,
+    end_micros: u64,
+) -> Value {
+    let mut m = Map::new();
+    m.insert("pool".into(), pool.to_value());
+    m.insert("policy".into(), policy.name().to_value());
+    m.insert("job".into(), job.to_value());
+    m.insert("ts_micros".into(), start_micros.to_value());
+    m.insert(
+        "dur_micros".into(),
+        end_micros.saturating_sub(start_micros).to_value(),
+    );
+    m.insert("stale_retries".into(), (attempt as u64).to_value());
+    m.insert("winner".into(), winner.to_value());
+    if fallback {
+        m.insert("comm_fallback".into(), true.to_value());
+    }
+    let members: Vec<Value> = eligible
+        .iter()
+        .map(|s| {
+            let mut e = Map::new();
+            e.insert("machine".into(), s.name.to_value());
+            e.insert("free".into(), s.free.to_value());
+            e.insert("queue_len".into(), s.queue_len.to_value());
+            if let Some(c) = s.contention {
+                e.insert("score".into(), c.to_value());
+            }
+            Value::Object(e)
+        })
+        .collect();
+    m.insert("members".into(), Value::Array(members));
+    Value::Object(m)
+}
+
 impl AllocationService {
     /// A fresh service with the default shard count and no machines.
     pub fn new() -> Self {
@@ -174,6 +250,13 @@ impl AllocationService {
     /// it; the CLI toggles it via `serve --trace`).
     pub fn recorder(&self) -> &Arc<FlightRecorder> {
         &self.recorder
+    }
+
+    /// The placement calibration store (shared by every machine entry;
+    /// toggled by `set_trace`'s `calibration` rider or `serve
+    /// --calibration`, queried live by the `calibration` op).
+    pub fn calibration(&self) -> &Arc<CalibrationStore> {
+        self.registry.calibration()
     }
 
     /// Appends the outbox of `entry` to the journal — called while the
@@ -494,6 +577,7 @@ impl AllocationService {
         let route_start = ctx.now_micros();
         for attempt in 0..=ROUTE_STALE_RETRIES {
             let view = self.router.view(pool)?;
+            let policy = view.policy;
             let mut eligible: Vec<MachineSample> = Vec::with_capacity(view.members.len());
             for name in &view.members {
                 let sample = self.sample_for(name, job, size, pattern)?;
@@ -507,7 +591,12 @@ impl AllocationService {
                 )));
             }
             let seq = view.seq.fetch_add(1, Ordering::Relaxed);
-            let chosen = &eligible[view.policy.pick(&eligible, seq)];
+            let chosen = &eligible[policy.pick(&eligible, seq)];
+            // Comm-aware falls back to shortest-queue when no sample
+            // scored; detect that from the samples alone so `pick` stays
+            // byte-identical to the offline router.
+            let fallback = policy == RoutingPolicy::CommAware
+                && eligible.iter().all(|s| s.contention.is_none());
             let expected_generation = chosen.generation;
             let target = chosen.name.clone();
             let mctx = ctx.with_machine(&target);
@@ -523,16 +612,48 @@ impl AllocationService {
                     mctx.now_micros(),
                 );
                 let outcome = entry
-                    .allocate_traced(job, size, wait, walltime, pattern, &mctx)
+                    .allocate_placed(job, size, wait, walltime, pattern, policy.name(), &mctx)
                     .map(Some);
                 self.flush_outbox(entry, &mctx);
                 outcome
             })?;
             if let Some(outcome) = committed {
+                if fallback {
+                    ServiceMetrics::bump(&self.metrics.route_comm_fallbacks);
+                }
+                if mctx.active() {
+                    let route_end = mctx.now_micros();
+                    self.note_routed(pool, policy, route_start, route_end);
+                    self.recorder.record_decision(decision_record(
+                        pool,
+                        policy,
+                        job,
+                        &eligible,
+                        &target,
+                        attempt,
+                        fallback,
+                        route_start,
+                        route_end,
+                    ));
+                }
                 return Ok((target, outcome));
             }
         }
         unreachable!("the final routing attempt commits unconditionally")
+    }
+
+    /// Files one committed route's latency into the pool's cumulative
+    /// histogram and trailing window (traced requests only — untraced
+    /// routes pay nothing here).
+    fn note_routed(&self, pool: &str, policy: RoutingPolicy, start_micros: u64, end_micros: u64) {
+        let mut pools = self.pool_windows.lock().expect("pool windows poisoned");
+        let slot = pools
+            .entry(pool.to_string())
+            .or_insert_with(PoolWindow::new);
+        slot.policy = policy.name();
+        let dur = end_micros.saturating_sub(start_micros) as f64;
+        slot.cumulative.record(dur);
+        slot.window.record(end_micros / 1_000_000, dur);
     }
 
     /// Switches the routing policy of pool `pool` at runtime, returning
@@ -727,10 +848,37 @@ impl AllocationService {
         Ok(Value::Object(m))
     }
 
+    /// Decodes a validated wire window spec (`"10s"` / `"60s"`) into its
+    /// span in seconds; `None` = cumulative.
+    fn window_secs(window: Option<&str>) -> Option<u64> {
+        match window {
+            Some("10s") => Some(10),
+            Some("60s") => Some(60),
+            _ => None,
+        }
+    }
+
+    /// The per-stage latency histograms — cumulative, or restricted to
+    /// the trailing `span` seconds — indexed by stage discriminant.
+    fn stage_histograms_for(&self, span: Option<u64>) -> [LogLinearHistogram; Stage::HISTOGRAMMED] {
+        match span {
+            None => self.recorder.stage_histograms(),
+            Some(span) => self
+                .recorder
+                .stage_windows(self.recorder.now_micros() / 1_000_000, span),
+        }
+    }
+
     /// The per-stage latency histograms as a JSON object keyed by stage
     /// name (shared by `stats` and `metrics`).
     fn stage_histograms_value(&self) -> Value {
-        let histograms = self.recorder.stage_histograms();
+        self.stage_histograms_value_for(None)
+    }
+
+    /// [`AllocationService::stage_histograms_value`] over a trailing
+    /// window.
+    fn stage_histograms_value_for(&self, span: Option<u64>) -> Value {
+        let histograms = self.stage_histograms_for(span);
         let mut stages = Map::new();
         for (stage, histogram) in Stage::histogrammed().iter().zip(&histograms) {
             stages.insert(stage.name().into(), histogram.to_value());
@@ -738,24 +886,74 @@ impl AllocationService {
         Value::Object(stages)
     }
 
+    /// The per-pool route-latency section: one entry per pool (name
+    /// order) carrying the policy label and the cumulative or windowed
+    /// histogram.
+    fn pools_value(&self, span: Option<u64>) -> Value {
+        let now_sec = self.recorder.now_micros() / 1_000_000;
+        let pools = self.pool_windows.lock().expect("pool windows poisoned");
+        let mut out = Map::new();
+        for (pool, slot) in pools.iter() {
+            let mut e = Map::new();
+            e.insert("policy".into(), slot.policy.to_value());
+            let histogram = match span {
+                None => slot.cumulative.clone(),
+                Some(span) => slot.window.merged(now_sec, span),
+            };
+            e.insert("route_latency_micros".into(), histogram.to_value());
+            out.insert(pool.clone(), Value::Object(e));
+        }
+        Value::Object(out)
+    }
+
     /// The `metrics` op's JSON body: process-wide counters, recorder
-    /// state, and the stage-latency histograms.
+    /// state, the stage-latency histograms and the per-pool routing
+    /// section (cumulative by default).
     pub fn metrics_value(&self) -> Value {
+        self.metrics_value_windowed(None)
+    }
+
+    /// [`AllocationService::metrics_value`] restricted to a trailing
+    /// window (`"10s"` / `"60s"`; `None` = since boot).
+    pub fn metrics_value_windowed(&self, window: Option<&str>) -> Value {
+        let span = Self::window_secs(window);
         let mut m = Map::new();
         m.insert("server".into(), self.metrics.snapshot());
         let mut tracing = Map::new();
         tracing.insert("enabled".into(), Value::Bool(self.recorder.enabled()));
+        tracing.insert(
+            "dropped_spans_total".into(),
+            self.recorder.dropped_total().to_value(),
+        );
+        tracing.insert(
+            "calibration".into(),
+            Value::Bool(self.registry.calibration().enabled()),
+        );
         m.insert("tracing".into(), Value::Object(tracing));
-        m.insert("stages".into(), self.stage_histograms_value());
+        if let Some(window) = window {
+            m.insert("window".into(), window.to_value());
+        }
+        m.insert("stages".into(), self.stage_histograms_value_for(span));
+        m.insert("pools".into(), self.pools_value(span));
         Value::Object(m)
     }
 
     /// The `metrics` op's Prometheus text exposition: the process
-    /// counters as `commalloc_*` counters, the recorder toggle as a
-    /// gauge, and one `commalloc_stage_latency_micros` histogram per
-    /// pipeline stage.
+    /// counters as `commalloc_*` counters, the recorder toggle and
+    /// journal recovery epoch as gauges, the lifetime span-drop total,
+    /// one `commalloc_stage_latency_micros` histogram per pipeline
+    /// stage, and one pool/policy-labeled
+    /// `commalloc_pool_route_latency_micros` histogram per pool.
     pub fn prometheus_text(&self) -> String {
+        self.prometheus_text_windowed(None)
+    }
+
+    /// [`AllocationService::prometheus_text`] with the stage and pool
+    /// histograms restricted to a trailing window (counters and gauges
+    /// stay cumulative — Prometheus rates them itself).
+    pub fn prometheus_text_windowed(&self, window: Option<&str>) -> String {
         use std::fmt::Write;
+        let span = Self::window_secs(window);
         let mut out = String::new();
         if let Value::Object(counters) = self.metrics.snapshot() {
             for (key, value) in counters.iter() {
@@ -765,20 +963,50 @@ impl AllocationService {
                 }
             }
         }
+        let _ = writeln!(out, "# TYPE commalloc_dropped_spans_total counter");
+        let _ = writeln!(
+            out,
+            "commalloc_dropped_spans_total {}",
+            self.recorder.dropped_total()
+        );
+        let _ = writeln!(out, "# TYPE commalloc_recovery_epoch gauge");
+        let _ = writeln!(out, "commalloc_recovery_epoch {}", self.journal.epoch());
         let _ = writeln!(out, "# TYPE commalloc_trace_enabled gauge");
         let _ = writeln!(
             out,
             "commalloc_trace_enabled {}",
             u8::from(self.recorder.enabled())
         );
+        let _ = writeln!(out, "# TYPE commalloc_calibration_enabled gauge");
+        let _ = writeln!(
+            out,
+            "commalloc_calibration_enabled {}",
+            u8::from(self.registry.calibration().enabled())
+        );
         let _ = writeln!(out, "# TYPE commalloc_stage_latency_micros histogram");
-        let histograms = self.recorder.stage_histograms();
+        let histograms = self.stage_histograms_for(span);
         for (stage, histogram) in Stage::histogrammed().iter().zip(&histograms) {
             histogram.prometheus_into(
                 "commalloc_stage_latency_micros",
                 &format!("stage=\"{}\"", stage.name()),
                 &mut out,
             );
+        }
+        let now_sec = self.recorder.now_micros() / 1_000_000;
+        let pools = self.pool_windows.lock().expect("pool windows poisoned");
+        if !pools.is_empty() {
+            let _ = writeln!(out, "# TYPE commalloc_pool_route_latency_micros histogram");
+            for (pool, slot) in pools.iter() {
+                let histogram = match span {
+                    None => slot.cumulative.clone(),
+                    Some(span) => slot.window.merged(now_sec, span),
+                };
+                histogram.prometheus_into(
+                    "commalloc_pool_route_latency_micros",
+                    &format!("pool=\"{pool}\",policy=\"{}\"", slot.policy),
+                    &mut out,
+                );
+            }
         }
         out
     }
@@ -1143,8 +1371,14 @@ impl AllocationService {
             },
             Request::Stats { machine } => self.stats(machine).map(Response::Stats),
             Request::JournalStats => Ok(Response::JournalStats(self.journal_stats())),
-            Request::SetTrace { enabled } => {
+            Request::SetTrace {
+                enabled,
+                calibration,
+            } => {
                 self.recorder.set_enabled(*enabled);
+                if let Some(calibration) = calibration {
+                    self.registry.calibration().set_enabled(*calibration);
+                }
                 Ok(Response::TraceSet { enabled: *enabled })
             }
             Request::Trace { limit, clear } => {
@@ -1156,16 +1390,20 @@ impl AllocationService {
                         .collect(),
                     dropped,
                     enabled: self.recorder.enabled(),
+                    decisions: self.recorder.decisions(*limit, *clear),
                 })
             }
-            Request::Metrics { format } => Ok(Response::Metrics {
+            Request::Metrics { format, window } => Ok(Response::Metrics {
                 format: format.clone(),
                 metrics: if format == "prometheus" {
-                    Value::Str(self.prometheus_text())
+                    Value::Str(self.prometheus_text_windowed(window.as_deref()))
                 } else {
-                    self.metrics_value()
+                    self.metrics_value_windowed(window.as_deref())
                 },
             }),
+            Request::Calibration => Ok(Response::Calibration(
+                self.registry.calibration().to_value(),
+            )),
             Request::List => Ok(Response::Machines(self.list())),
             Request::Ping => Ok(Response::Pong),
         };

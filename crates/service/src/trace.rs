@@ -22,12 +22,22 @@
 //! Draining (the `trace` op) merges the shards into one stream sorted
 //! by start time; the CLI renders it as NDJSON or Chrome trace-event
 //! JSON. Stage latency distributions are exported independently through
-//! the `metrics` op as [`LogLinearHistogram`]s.
+//! the `metrics` op as [`LogLinearHistogram`]s — both cumulative and as
+//! trailing time windows (each shard keeps a [`WindowRing`] per stage,
+//! so `metrics` can answer "last 10 s" as well as "since boot").
+//!
+//! The recorder also carries the **routing decision ring**: one bounded
+//! buffer of pre-rendered decision records (policy, members sampled,
+//! per-member score and queue depth, the winner) appended by the routed
+//! alloc path and drained alongside the span stream. Decisions are
+//! rendered to wire values at record time — they are off the zero-alloc
+//! span path and orders of magnitude rarer than spans.
 
-use crate::metrics::LogLinearHistogram;
+use crate::metrics::{LogLinearHistogram, WindowRing};
 use commalloc::scheduler::BlockReason;
 use serde::{Serialize, Value};
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 use std::time::Instant;
@@ -181,6 +191,9 @@ struct RingShard {
     /// Latency distributions of the histogrammed stages, in
     /// microseconds (scale 1: ticks are already integral micros).
     histograms: [LogLinearHistogram; Stage::HISTOGRAMMED],
+    /// Trailing per-second latency windows of the same stages, stamped
+    /// by the event's recorder-epoch second.
+    windows: [WindowRing; Stage::HISTOGRAMMED],
 }
 
 impl RingShard {
@@ -191,21 +204,28 @@ impl RingShard {
             capacity,
             dropped: 0,
             histograms: std::array::from_fn(|_| LogLinearHistogram::with_scale(1.0)),
+            windows: std::array::from_fn(|_| WindowRing::with_scale(1.0)),
         }
     }
 
-    fn push(&mut self, event: SpanEvent) {
+    /// Buffers one event; returns `true` when it overwrote an undrained
+    /// entry (the caller bumps the recorder's cumulative drop counter).
+    fn push(&mut self, event: SpanEvent) -> bool {
         if (event.stage as usize) < Stage::HISTOGRAMMED {
             self.histograms[event.stage as usize].record(event.dur_micros as f64);
+            self.windows[event.stage as usize]
+                .record(event.start_micros / 1_000_000, event.dur_micros as f64);
         }
         if self.events.len() < self.capacity {
             self.events.push(event);
+            false
         } else {
             // Full: overwrite the oldest entry (the ring is written in
             // slot order, so `next` always holds the oldest).
             self.events[self.next] = event;
             self.next = (self.next + 1) % self.capacity;
             self.dropped += 1;
+            true
         }
     }
 
@@ -232,6 +252,10 @@ pub const DEFAULT_TRACE_SHARDS: usize = 8;
 /// a couple of thousand requests of look-back at ~4 spans each.
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
+/// Capacity of the routing-decision ring: decisions arrive at most once
+/// per routed alloc, so 1024 covers minutes of look-back.
+pub const DECISION_CAPACITY: usize = 1024;
+
 /// The flight recorder: request-ID mint, enable flag, machine-name
 /// intern table and the ring shards. One per [`AllocationService`],
 /// shared by every connection worker.
@@ -245,6 +269,14 @@ pub struct FlightRecorder {
     epoch: Instant,
     next_request: AtomicU64,
     shards: Vec<Mutex<RingShard>>,
+    /// Lifetime count of span events overwritten before being drained,
+    /// across every shard. Unlike the per-shard `dropped` counters this
+    /// is **not** reset by a clearing drain — it backs the monotonic
+    /// `commalloc_dropped_spans_total` Prometheus counter.
+    dropped_total: AtomicU64,
+    /// The routing-decision ring: pre-rendered wire objects, oldest
+    /// evicted under pressure.
+    decisions: Mutex<VecDeque<Value>>,
     /// Machine-name intern table; `names[0]` is the empty "no machine"
     /// slot. Read-mostly: each name is interned once, then every lookup
     /// is a shared-lock scan of a handful of entries.
@@ -275,6 +307,8 @@ impl FlightRecorder {
             shards: (0..shards)
                 .map(|_| Mutex::new(RingShard::new(capacity)))
                 .collect(),
+            dropped_total: AtomicU64::new(0),
+            decisions: Mutex::new(VecDeque::new()),
             names: RwLock::new(vec![String::new()]),
         }
     }
@@ -354,10 +388,48 @@ impl FlightRecorder {
     /// Records one event into the calling thread's shard. Callers go
     /// through [`RequestCtx`], which already checked `enabled`.
     pub fn record(&self, event: SpanEvent) {
-        let mut shard = self.shards[self.shard_index()]
-            .lock()
-            .expect("trace shard poisoned");
-        shard.push(event);
+        let overwrote = {
+            let mut shard = self.shards[self.shard_index()]
+                .lock()
+                .expect("trace shard poisoned");
+            shard.push(event)
+        };
+        if overwrote {
+            self.dropped_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Lifetime count of span events lost to ring overwrites. Monotonic:
+    /// a clearing drain resets the per-drain `dropped` figure but never
+    /// this counter.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total.load(Ordering::Relaxed)
+    }
+
+    /// Appends one pre-rendered routing-decision record, evicting the
+    /// oldest past [`DECISION_CAPACITY`]. Callers gate on
+    /// [`RequestCtx::active`], so an untraced route never renders one.
+    pub fn record_decision(&self, decision: Value) {
+        let mut ring = self.decisions.lock().expect("decision ring poisoned");
+        if ring.len() >= DECISION_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(decision);
+    }
+
+    /// The buffered routing decisions, oldest first. `limit` keeps only
+    /// the most recent records; `clear` empties the ring after reading.
+    pub fn decisions(&self, limit: Option<usize>, clear: bool) -> Vec<Value> {
+        let mut ring = self.decisions.lock().expect("decision ring poisoned");
+        let skip = match limit {
+            Some(limit) => ring.len().saturating_sub(limit),
+            None => 0,
+        };
+        let out: Vec<Value> = ring.iter().skip(skip).cloned().collect();
+        if clear {
+            ring.clear();
+        }
+        out
     }
 
     /// Drains the recorder: every buffered event merged across shards
@@ -393,6 +465,25 @@ impl FlightRecorder {
             let shard = shard.lock().expect("trace shard poisoned");
             for (into, from) in merged.iter_mut().zip(&shard.histograms) {
                 into.merge(from);
+            }
+        }
+        merged
+    }
+
+    /// The per-stage latency histograms restricted to the trailing
+    /// `span_secs` seconds ending at `now_sec` (recorder-epoch seconds;
+    /// span clamped to the 60-slot window), merged across shards.
+    pub fn stage_windows(
+        &self,
+        now_sec: u64,
+        span_secs: u64,
+    ) -> [LogLinearHistogram; Stage::HISTOGRAMMED] {
+        let mut merged: [LogLinearHistogram; Stage::HISTOGRAMMED] =
+            std::array::from_fn(|_| LogLinearHistogram::with_scale(1.0));
+        for shard in &self.shards {
+            let shard = shard.lock().expect("trace shard poisoned");
+            for (into, ring) in merged.iter_mut().zip(&shard.windows) {
+                into.merge(&ring.merged(now_sec, span_secs));
             }
         }
         merged
@@ -643,11 +734,88 @@ mod tests {
             limited.iter().map(|e| e.job).collect::<Vec<_>>(),
             vec![6, 7]
         );
-        // Clearing resets both the ring and the drop counter.
+        // Clearing resets both the ring and the drop counter...
         let (_, _) = recorder.drain(None, true);
         let (after, dropped_after) = recorder.drain(None, false);
         assert!(after.is_empty());
         assert_eq!(dropped_after, 0);
+        // ...but the lifetime counter is monotonic across clears.
+        assert_eq!(recorder.dropped_total(), 3);
+        ctx.span(Stage::Parse, 8, 0, 0, 1);
+        assert_eq!(recorder.dropped_total(), 3, "non-overwriting push");
+    }
+
+    #[test]
+    fn decision_ring_is_bounded_and_drains_oldest_first() {
+        let recorder = FlightRecorder::new();
+        for i in 0..(DECISION_CAPACITY as u64 + 5) {
+            recorder.record_decision(i.to_value());
+        }
+        let all = recorder.decisions(None, false);
+        assert_eq!(all.len(), DECISION_CAPACITY, "ring caps at capacity");
+        assert_eq!(all[0].as_u64(), Some(5), "oldest five were evicted");
+        let limited = recorder.decisions(Some(2), false);
+        assert_eq!(
+            limited.iter().map(Value::as_u64).collect::<Vec<_>>(),
+            vec![
+                Some(DECISION_CAPACITY as u64 + 3),
+                Some(DECISION_CAPACITY as u64 + 4)
+            ],
+            "limit keeps the most recent records"
+        );
+        let drained = recorder.decisions(None, true);
+        assert_eq!(drained.len(), DECISION_CAPACITY);
+        assert!(recorder.decisions(None, false).is_empty());
+    }
+
+    #[test]
+    fn stage_windows_cover_only_the_trailing_span() {
+        let recorder = FlightRecorder::with_capacity(1, 64);
+        recorder.set_enabled(true);
+        let ctx = recorder.begin();
+        // One parse span per second for seconds 0..5, each 3µs long.
+        for sec in 0..5u64 {
+            let at = sec * 1_000_000;
+            ctx.span(Stage::Parse, 0, 0, at, at + 3);
+        }
+        let parse = Stage::Parse as usize;
+        assert_eq!(recorder.stage_windows(4, 60)[parse].count(), 5);
+        assert_eq!(recorder.stage_windows(4, 2)[parse].count(), 2);
+        assert_eq!(recorder.stage_windows(4, 1)[parse].count(), 1);
+        // The cumulative histogram is unaffected by windowing.
+        assert_eq!(recorder.stage_histograms()[parse].count(), 5);
+        // A minute later the windows have aged out entirely.
+        assert_eq!(recorder.stage_windows(70, 60)[parse].count(), 0);
+    }
+
+    #[test]
+    fn reason_codes_round_trip_for_every_block_reason() {
+        let reasons = [
+            BlockReason::InsufficientFree { free: 3, needed: 9 },
+            BlockReason::HeadOfLine { blocking_job: 11 },
+            BlockReason::WouldDelayShadow {
+                blocking_job: 12,
+                shadow_time: 250.0,
+            },
+            BlockReason::WouldDelayReservation {
+                blocking_job: 13,
+                reserved_start: 300.0,
+            },
+        ];
+        for reason in &reasons {
+            let code = reason_code(reason);
+            assert!((1..=4).contains(&code), "codes stay in the wire range");
+            assert_eq!(
+                reason_code_name(code),
+                Some(reason.code()),
+                "reason_code_name inverts reason_code onto the stable tag"
+            );
+        }
+        // The codes are distinct, and 0/unknown decode to nothing.
+        let codes: std::collections::BTreeSet<u32> = reasons.iter().map(reason_code).collect();
+        assert_eq!(codes.len(), reasons.len());
+        assert_eq!(reason_code_name(0), None);
+        assert_eq!(reason_code_name(5), None);
     }
 
     #[test]

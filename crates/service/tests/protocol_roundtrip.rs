@@ -54,6 +54,21 @@ fn opt_name() -> BoxedStrategy<Option<String>> {
     prop_oneof![Just(None), name_strategy().prop_map(Some)].boxed()
 }
 
+/// Opaque wire records (span events, routing decisions, calibration
+/// payloads): small objects of the normal-form scalar shapes the
+/// parser reproduces exactly (`Str`, `Int`-ranged integers, `Bool`).
+fn record_strategy() -> BoxedStrategy<serde::Value> {
+    (name_strategy(), 0i64..1_000_000, any::<bool>())
+        .prop_map(|(pool, ts, flag)| {
+            let mut m = serde::Map::new();
+            m.insert("pool".into(), serde::Value::Str(pool));
+            m.insert("ts_micros".into(), serde::Value::Int(ts));
+            m.insert("comm_fallback".into(), serde::Value::Bool(flag));
+            serde::Value::Object(m)
+        })
+        .boxed()
+}
+
 /// Every non-batch request shape (batches are generated on top of this,
 /// since they do not nest).
 fn simple_request_strategy() -> BoxedStrategy<Request> {
@@ -121,6 +136,28 @@ fn simple_request_strategy() -> BoxedStrategy<Request> {
         (name_strategy(), any::<u64>()).prop_map(|(machine, job)| Request::Poll { machine, job }),
         name_strategy().prop_map(|machine| Request::Query { machine }),
         name_strategy().prop_map(|machine| Request::Stats { machine }),
+        (
+            any::<bool>(),
+            prop_oneof![Just(None), any::<bool>().prop_map(Some)]
+        )
+            .prop_map(|(enabled, calibration)| Request::SetTrace {
+                enabled,
+                calibration,
+            }),
+        (
+            prop_oneof![Just(None), (1usize..10_000).prop_map(Some)],
+            any::<bool>()
+        )
+            .prop_map(|(limit, clear)| Request::Trace { limit, clear }),
+        (
+            prop::sample::select(vec!["json", "prometheus"]),
+            prop::sample::select(vec![None, Some("10s"), Some("60s")])
+        )
+            .prop_map(|(format, window)| Request::Metrics {
+                format: format.to_string(),
+                window: window.map(str::to_string),
+            }),
+        Just(Request::Calibration),
         Just(Request::List),
         Just(Request::Ping),
     ]
@@ -192,6 +229,30 @@ fn simple_response_strategy() -> BoxedStrategy<Response> {
         ),
         any::<u64>().prop_map(|job| Response::Unknown { job }),
         prop::collection::vec(name_strategy(), 0..5).prop_map(Response::Machines),
+        any::<bool>().prop_map(|enabled| Response::TraceSet { enabled }),
+        (
+            prop::collection::vec(record_strategy(), 0..4),
+            any::<u64>(),
+            any::<bool>(),
+            prop::collection::vec(record_strategy(), 0..4)
+        )
+            .prop_map(|(events, dropped, enabled, decisions)| Response::Trace {
+                events,
+                dropped,
+                enabled,
+                decisions,
+            }),
+        record_strategy().prop_map(Response::Calibration),
+        prop_oneof![
+            record_strategy().prop_map(|metrics| Response::Metrics {
+                format: "json".to_string(),
+                metrics,
+            }),
+            name_strategy().prop_map(|text| Response::Metrics {
+                format: "prometheus".to_string(),
+                metrics: serde::Value::Str(text),
+            }),
+        ],
         Just(Response::Pong),
     ]
     .boxed()

@@ -377,6 +377,252 @@ fn ring_overflow_surfaces_a_drop_counter_over_the_wire() {
     handle.shutdown().unwrap();
 }
 
+/// The calibration plane end-to-end: a comm-aware pool under patterned
+/// traffic files a placement record per grant and joins it at release —
+/// the report's joined count equals the released jobs, cells are keyed
+/// (pattern, policy), and every routed alloc leaves a decision record
+/// drained through the trace op.
+#[test]
+fn calibration_joins_every_released_job_and_decisions_drain() {
+    let service = commalloc_service::AllocationService::new();
+    for name in ["m0", "m1"] {
+        service
+            .register_in_pool(name, "8x8", None, None, Some("easy"), Some("grid"))
+            .unwrap();
+    }
+    service.set_router("grid", "comm-aware").unwrap();
+    let handle = Server::bind("127.0.0.1:0", service, 2)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    assert!(client.set_trace_with_calibration(true, Some(true)).unwrap());
+
+    // Patterned, walltimed allocations routed through the pool.
+    let jobs = 6u64;
+    let mut placed: Vec<(u64, String)> = Vec::new();
+    for job in 1..=jobs {
+        let response = client
+            .roundtrip(&Request::Alloc {
+                machine: "@grid".into(),
+                job,
+                size: 8,
+                wait: false,
+                walltime: Some(120.0),
+                pattern: Some(commalloc_workload::CommPattern::AllToAll),
+            })
+            .unwrap();
+        let Response::Granted { job, machine, .. } = response else {
+            panic!("routed patterned alloc must grant, got {response:?}");
+        };
+        placed.push((job, machine.expect("routed grants name their machine")));
+    }
+    for (job, machine) in &placed {
+        client.release(machine, *job).unwrap();
+    }
+
+    // The report: every released job joined, in one comm-aware cell.
+    let report = client.calibration().unwrap();
+    assert_eq!(report.get("enabled").and_then(Value::as_bool), Some(true));
+    assert_eq!(report.get("joined").and_then(Value::as_u64), Some(jobs));
+    let cells = report
+        .get("cells")
+        .and_then(Value::as_array)
+        .expect("cells array");
+    assert!(!cells.is_empty());
+    let mut cell_joined = 0;
+    for cell in cells {
+        assert_eq!(
+            cell.get("pattern").and_then(Value::as_str),
+            Some("all-to-all")
+        );
+        assert_eq!(
+            cell.get("policy").and_then(Value::as_str),
+            Some("comm-aware")
+        );
+        let c = cell.get("calibration").expect("cell payload");
+        cell_joined += c.get("joined").and_then(Value::as_u64).unwrap();
+        for key in [
+            "rank_correlation",
+            "predicted",
+            "realized_held",
+            "held_ratio",
+            "queue_wait",
+            "realized_dispersal",
+        ] {
+            assert!(c.get(key).is_some(), "cell must carry {key}");
+        }
+        assert_eq!(
+            c.get("predicted")
+                .and_then(|h| h.get("count"))
+                .and_then(Value::as_u64),
+            c.get("realized_held")
+                .and_then(|h| h.get("count"))
+                .and_then(Value::as_u64),
+            "predicted and realized histograms join pairwise"
+        );
+    }
+    assert_eq!(cell_joined, jobs, "cells partition the joined records");
+
+    // Decision telemetry: one record per routed alloc, drained through
+    // the trace op, carrying the winner and the per-member samples.
+    let dump = client.trace_events(None, true).unwrap();
+    assert_eq!(dump.decisions.len(), jobs as usize);
+    for decision in &dump.decisions {
+        assert_eq!(decision.get("pool").and_then(Value::as_str), Some("grid"));
+        assert_eq!(
+            decision.get("policy").and_then(Value::as_str),
+            Some("comm-aware")
+        );
+        let winner = decision
+            .get("winner")
+            .and_then(Value::as_str)
+            .expect("decision names its winner");
+        let members = decision
+            .get("members")
+            .and_then(Value::as_array)
+            .expect("decision carries member samples");
+        assert!(members
+            .iter()
+            .any(|m| m.get("machine").and_then(Value::as_str) == Some(winner)));
+        for member in members {
+            assert!(member.get("queue_len").and_then(Value::as_u64).is_some());
+            assert!(
+                member.get("score").and_then(Value::as_f64).is_some(),
+                "patterned comm-aware sampling scores every member"
+            );
+        }
+        assert!(
+            decision.get("comm_fallback").is_none(),
+            "scored routing is not a fallback"
+        );
+    }
+    // Drained means drained: a second clearing read is empty.
+    assert!(client
+        .trace_events(None, true)
+        .unwrap()
+        .decisions
+        .is_empty());
+
+    drop(client);
+    handle.shutdown().unwrap();
+}
+
+/// Windowed per-pool metrics: the trailing-window export carries the
+/// pool's routing-policy label, agrees with the cumulative histogram
+/// while all traffic is recent, and the Prometheus exposition labels
+/// the per-pool series and the new totals.
+#[test]
+fn windowed_pool_metrics_and_prometheus_labels() {
+    let service = commalloc_service::AllocationService::new();
+    for name in ["m0", "m1"] {
+        service
+            .register_in_pool(name, "8x8", None, None, None, Some("grid"))
+            .unwrap();
+    }
+    service.set_router("grid", "comm-aware").unwrap();
+    let handle = Server::bind("127.0.0.1:0", service, 2)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    assert!(client.set_trace_with_calibration(true, Some(true)).unwrap());
+
+    // Unpatterned traffic through a comm-aware pool: the router falls
+    // back to shortest-queue and the fallback counter says so.
+    for job in 1..=4u64 {
+        let Response::Granted { .. } = client
+            .roundtrip(&Request::Alloc {
+                machine: "@grid".into(),
+                job,
+                size: 4,
+                wait: false,
+                walltime: None,
+                pattern: None,
+            })
+            .unwrap()
+        else {
+            panic!("routed alloc must grant");
+        };
+    }
+
+    let windowed = client.metrics_windowed("json", Some("60s")).unwrap();
+    assert_eq!(windowed.get("window").and_then(Value::as_str), Some("60s"));
+    let pool = windowed
+        .get("pools")
+        .and_then(|p| p.get("grid"))
+        .expect("windowed metrics carry the pool");
+    assert_eq!(
+        pool.get("policy").and_then(Value::as_str),
+        Some("comm-aware")
+    );
+    let windowed_count = pool
+        .get("route_latency_micros")
+        .and_then(|h| h.get("count"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert_eq!(windowed_count, 4, "all routes landed inside the window");
+
+    // The cumulative export agrees while everything is recent, and the
+    // fallback counter reports the unscored comm-aware routes.
+    let cumulative = client.metrics("json").unwrap();
+    assert!(cumulative.get("window").is_none());
+    assert_eq!(
+        cumulative
+            .get("pools")
+            .and_then(|p| p.get("grid"))
+            .and_then(|g| g.get("route_latency_micros"))
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_u64),
+        Some(4)
+    );
+    assert_eq!(
+        cumulative
+            .get("server")
+            .and_then(|s| s.get("route_comm_fallbacks"))
+            .and_then(Value::as_u64),
+        Some(4)
+    );
+    assert_eq!(
+        cumulative
+            .get("tracing")
+            .and_then(|t| t.get("calibration"))
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+    assert!(cumulative
+        .get("tracing")
+        .and_then(|t| t.get("dropped_spans_total"))
+        .and_then(Value::as_u64)
+        .is_some());
+
+    // The fallback also marks each decision record.
+    let dump = client.trace_events(None, true).unwrap();
+    assert_eq!(dump.decisions.len(), 4);
+    for decision in &dump.decisions {
+        assert_eq!(
+            decision.get("comm_fallback").and_then(Value::as_bool),
+            Some(true)
+        );
+    }
+
+    // Prometheus: per-pool series with pool/policy labels, plus the
+    // drop total, recovery epoch and calibration gauges.
+    let Value::Str(text) = client.metrics_windowed("prometheus", Some("10s")).unwrap() else {
+        panic!("prometheus metrics render as exposition text");
+    };
+    assert!(text.contains(
+        "commalloc_pool_route_latency_micros_bucket{pool=\"grid\",policy=\"comm-aware\""
+    ));
+    assert!(text.contains("commalloc_dropped_spans_total"));
+    assert!(text.contains("commalloc_recovery_epoch"));
+    assert!(text.contains("commalloc_calibration_enabled 1"));
+    assert!(text.contains("commalloc_route_comm_fallbacks 4"));
+
+    drop(client);
+    handle.shutdown().unwrap();
+}
+
 /// Satellite: stage-latency histograms reach both wire surfaces — the
 /// extended `stats` and the `metrics` op in JSON and Prometheus text.
 #[test]
