@@ -1,0 +1,314 @@
+//! Wire-throughput benchmark: pipelined requests per second through the
+//! TCP front end, comparing the blocking thread-per-connection server
+//! against the thread-per-core readiness loop (NDJSON and binary
+//! framings), all measured in the same run on the same hardware. Emits
+//! `BENCH_wire.json`.
+//!
+//! Method: each configuration spawns a fresh server on an ephemeral
+//! port, then `--connections` client threads connect, meet at a barrier
+//! (connection setup excluded from the clock) and drive a window of
+//! `--window` pipelined `ping` requests each until `--requests` total
+//! responses arrive. Clients count responses by newline (NDJSON) or by
+//! frame-header stepping (binary) so the client side stays far cheaper
+//! than the server side being measured; one full protocol round trip per
+//! configuration sanity-checks that real responses flow.
+//!
+//! The CI gate is hardware-relative: `--min-ratio R` fails the run if
+//! the readiness-loop server (binary framing) is below `R`× the blocking
+//! baseline measured moments earlier in the same process.
+//!
+//! Usage: `wire_throughput [--requests N] [--connections C] [--window W]
+//! [--min-ratio R]`
+
+use commalloc_service::framing::{self, Framing, MAGIC};
+use commalloc_service::{AllocationService, BlockingServer, Request, Server, ServiceClient};
+use serde::{Map, Serialize, Value};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Barrier;
+use std::time::Instant;
+
+const DEFAULT_REQUESTS: usize = 100_000;
+const DEFAULT_CONNECTIONS: usize = 4;
+const DEFAULT_WINDOW: usize = 64;
+
+#[derive(Clone, Copy, PartialEq)]
+enum ServerKind {
+    Blocking,
+    Readiness,
+}
+
+impl ServerKind {
+    fn name(self) -> &'static str {
+        match self {
+            ServerKind::Blocking => "blocking",
+            ServerKind::Readiness => "readiness",
+        }
+    }
+}
+
+/// Counts complete binary frames in a byte stream without decoding
+/// payloads: accumulate the 5-byte header, then skip the declared body.
+#[derive(Default)]
+struct FrameCounter {
+    header: Vec<u8>,
+    remaining: usize,
+    count: usize,
+}
+
+impl FrameCounter {
+    fn feed(&mut self, mut chunk: &[u8]) {
+        while !chunk.is_empty() {
+            if self.remaining > 0 {
+                let take = self.remaining.min(chunk.len());
+                self.remaining -= take;
+                chunk = &chunk[take..];
+                if self.remaining == 0 {
+                    self.count += 1;
+                }
+                continue;
+            }
+            let need = 5 - self.header.len();
+            let take = need.min(chunk.len());
+            self.header.extend_from_slice(&chunk[..take]);
+            chunk = &chunk[take..];
+            if self.header.len() == 5 {
+                assert_eq!(self.header[0], MAGIC, "stream desynced from frame headers");
+                self.remaining = u32::from_le_bytes([
+                    self.header[1],
+                    self.header[2],
+                    self.header[3],
+                    self.header[4],
+                ]) as usize;
+                self.header.clear();
+                if self.remaining == 0 {
+                    self.count += 1;
+                }
+            }
+        }
+    }
+}
+
+/// One client connection's pipelined ping loop; returns responses seen.
+fn drive(
+    addr: std::net::SocketAddr,
+    framing: Framing,
+    budget: usize,
+    window: usize,
+    barrier: &Barrier,
+) -> Result<usize, String> {
+    let connected = TcpStream::connect(addr);
+    let request: Vec<u8> = match framing {
+        Framing::Ndjson => {
+            let mut line = Request::Ping.to_line().into_bytes();
+            line.push(b'\n');
+            line
+        }
+        Framing::Binary => {
+            framing::encode_frame(&Request::Ping.to_value()).expect("a ping frame always encodes")
+        }
+    };
+    // A window's worth of back-to-back requests, written in one syscall.
+    let burst: Vec<u8> = request
+        .iter()
+        .cycle()
+        .take(request.len() * window)
+        .copied()
+        .collect();
+    barrier.wait();
+    let mut stream = connected.map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| format!("nodelay: {e}"))?;
+
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    let mut counter = FrameCounter::default();
+    let mut chunk = vec![0u8; 64 * 1024];
+    while received < budget {
+        let outstanding = sent - received;
+        if outstanding < window && sent < budget {
+            let fresh = (window - outstanding).min(budget - sent);
+            stream
+                .write_all(&burst[..fresh * request.len()])
+                .map_err(|e| format!("write: {e}"))?;
+            sent += fresh;
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err(format!("server closed after {received} responses"));
+        }
+        match framing {
+            Framing::Ndjson => {
+                received += chunk[..n].iter().filter(|&&b| b == b'\n').count();
+            }
+            Framing::Binary => {
+                counter.feed(&chunk[..n]);
+                received = counter.count;
+            }
+        }
+    }
+    Ok(received)
+}
+
+/// Spawns one server configuration, drives it, and returns req/s.
+fn bench_config(
+    kind: ServerKind,
+    framing: Framing,
+    requests: usize,
+    connections: usize,
+    window: usize,
+) -> Result<(f64, f64), String> {
+    let service = AllocationService::new();
+    // Workers = connections for both servers, so the comparison is a
+    // fair same-thread-budget one (the blocking server needs a thread
+    // per live connection anyway).
+    let handle = match kind {
+        ServerKind::Blocking => BlockingServer::bind("127.0.0.1:0", service, connections)
+            .map_err(|e| format!("bind: {e}"))?
+            .spawn()
+            .map_err(|e| format!("spawn: {e}"))?,
+        ServerKind::Readiness => Server::bind("127.0.0.1:0", service, connections)
+            .map_err(|e| format!("bind: {e}"))?
+            .spawn()
+            .map_err(|e| format!("spawn: {e}"))?,
+    };
+    let addr = handle.addr();
+
+    // Sanity: a real typed round trip in this framing before the firehose.
+    {
+        let mut probe = ServiceClient::connect_with_framing(addr, framing)
+            .map_err(|e| format!("probe connect: {e}"))?;
+        probe.ping().map_err(|e| format!("probe ping: {e}"))?;
+    }
+
+    let per_connection = requests.div_ceil(connections);
+    let barrier = Barrier::new(connections + 1);
+    let mut total = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    let mut elapsed = 0.0f64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                let barrier = &barrier;
+                scope.spawn(move || drive(addr, framing, per_connection, window, barrier))
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(received)) => total += received,
+                Ok(Err(e)) => failures.push(e),
+                Err(_) => failures.push("client thread panicked".to_string()),
+            }
+        }
+        elapsed = start.elapsed().as_secs_f64();
+    });
+    handle.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    if let Some(failure) = failures.into_iter().next() {
+        return Err(format!("{} {framing}: {failure}", kind.name()));
+    }
+    Ok((total as f64 / elapsed.max(1e-9), elapsed))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut requests = DEFAULT_REQUESTS;
+    let mut connections = DEFAULT_CONNECTIONS;
+    let mut window = DEFAULT_WINDOW;
+    let mut min_ratio = 0.0f64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--requests" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    requests = v;
+                }
+                i += 1;
+            }
+            "--connections" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    connections = v;
+                }
+                i += 1;
+            }
+            "--window" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    window = v;
+                }
+                i += 1;
+            }
+            "--min-ratio" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    min_ratio = v;
+                }
+                i += 1;
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    let connections = connections.max(1);
+    let window = window.max(1);
+
+    let configs = [
+        (ServerKind::Blocking, Framing::Ndjson),
+        (ServerKind::Readiness, Framing::Ndjson),
+        (ServerKind::Readiness, Framing::Binary),
+    ];
+    let mut results: Vec<Value> = Vec::new();
+    let mut throughputs = Vec::new();
+    for &(kind, framing) in &configs {
+        let (throughput, elapsed) = match bench_config(kind, framing, requests, connections, window)
+        {
+            Ok(measured) => measured,
+            Err(e) => {
+                eprintln!("wire_throughput: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "{:>9} server, {:>6} framing: {:>12.0} req/s ({:.2} s)",
+            kind.name(),
+            framing.as_str(),
+            throughput,
+            elapsed
+        );
+        let mut row = Map::new();
+        row.insert("server".into(), kind.name().to_value());
+        row.insert("framing".into(), framing.as_str().to_value());
+        row.insert("throughput".into(), throughput.to_value());
+        row.insert("elapsed_seconds".into(), elapsed.to_value());
+        results.push(Value::Object(row));
+        throughputs.push(throughput);
+    }
+    let blocking = throughputs[0];
+    let ratio_ndjson = throughputs[1] / blocking.max(1e-9);
+    let ratio_binary = throughputs[2] / blocking.max(1e-9);
+
+    let mut out = Map::new();
+    out.insert("benchmark".into(), "wire_throughput".to_value());
+    out.insert("requests".into(), requests.to_value());
+    out.insert("connections".into(), connections.to_value());
+    out.insert("window".into(), window.to_value());
+    out.insert("results".into(), Value::Array(results));
+    out.insert("ratio_ndjson".into(), ratio_ndjson.to_value());
+    out.insert("ratio_binary".into(), ratio_binary.to_value());
+    out.insert("min_ratio".into(), min_ratio.to_value());
+    let json = serde_json::to_string_pretty(&Value::Object(out)).expect("rendering is infallible");
+    std::fs::write("BENCH_wire.json", &json).expect("can write BENCH_wire.json");
+    println!(
+        "wrote BENCH_wire.json (readiness/blocking: {ratio_ndjson:.2}x ndjson, {ratio_binary:.2}x binary)"
+    );
+
+    // The hardware-relative regression gate: both servers were measured
+    // seconds apart in this same process, so the ratio cancels the host.
+    if min_ratio > 0.0 && ratio_binary < min_ratio {
+        eprintln!(
+            "wire_throughput: readiness-loop server at {ratio_binary:.2}x the blocking \
+             baseline, below the {min_ratio:.2}x floor"
+        );
+        std::process::exit(1);
+    }
+}

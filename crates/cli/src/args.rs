@@ -274,6 +274,9 @@ pub struct LoadgenOptions {
     /// Communication pattern declared on every allocation (canonical
     /// pattern name); `None` sends unpatterned allocations.
     pub pattern: Option<String>,
+    /// Wire framing the driving connections speak: `"ndjson"` (default)
+    /// or `"binary"` (length-prefixed frames, no JSON cost).
+    pub framing: String,
     /// RNG seed.
     pub seed: u64,
     /// Skip the final drain, leaving the granted jobs live on the
@@ -301,6 +304,7 @@ impl Default for LoadgenOptions {
             max_walltime: None,
             router: None,
             pattern: None,
+            framing: "ndjson".to_string(),
             seed: 1996,
             no_drain: false,
             claims_out: None,
@@ -821,6 +825,11 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                             .ok_or_else(|| invalid(&flag, &value))?;
                         opts.pattern = Some(value);
                     }
+                    "--framing" => {
+                        commalloc_service::Framing::parse(&value)
+                            .ok_or_else(|| invalid(&flag, &value))?;
+                        opts.framing = value;
+                    }
                     "--seed" => {
                         opts.seed = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
                     }
@@ -933,7 +942,8 @@ SUBCOMMANDS:
               --addr HOST:PORT [--format ndjson|chrome] [--out FILE]
               [--limit N] [--clear] [--set on|off]
               [--follow [--interval SECS]]
-  serve       run the online allocation daemon (NDJSON over TCP)
+  serve       run the online allocation daemon (NDJSON + binary frames
+              over TCP)
               [--addr HOST:PORT] [--workers N] [--machine NAME]
               [--mesh WxH|WxHxD] [--machines N0=M0,N1=M1,...]
               [--allocator A] [--scheduler fcfs|backfill|easy|conservative]
@@ -945,7 +955,8 @@ SUBCOMMANDS:
               [--scheduler P] [--requests N] [--connections C]
               [--occupancy F] [--max-size K] [--max-walltime W]
               [--router rr|ll|sq|p2c|comm-aware] [--pattern P]
-              [--seed S] [--no-drain] [--claims-out FILE] [--json]
+              [--framing ndjson|binary] [--seed S] [--no-drain]
+              [--claims-out FILE] [--json]
   recovery-check  assert a recovered daemon matches a saved claim table
               [--addr HOST:PORT] --claims FILE [--json]
   watch       poll a running daemon and render a live text dashboard
@@ -1379,5 +1390,23 @@ mod tests {
         }
         assert!(parse_command(&args(&["loadgen", "--occupancy", "1.5"])).is_err());
         assert!(parse_command(&args(&["loadgen", "--requests", "0"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_framing_is_validated() {
+        let defaulted = parse_command(&args(&["loadgen"])).unwrap();
+        match defaulted {
+            Command::Loadgen(opts) => assert_eq!(opts.framing, "ndjson"),
+            other => panic!("expected Loadgen, got {other:?}"),
+        }
+        for framing in ["ndjson", "binary"] {
+            let cmd = parse_command(&args(&["loadgen", "--framing", framing])).unwrap();
+            match cmd {
+                Command::Loadgen(opts) => assert_eq!(opts.framing, framing),
+                other => panic!("expected Loadgen, got {other:?}"),
+            }
+        }
+        assert!(parse_command(&args(&["loadgen", "--framing", "msgpack"])).is_err());
+        assert!(parse_command(&args(&["loadgen", "--framing"])).is_err());
     }
 }

@@ -202,6 +202,8 @@ fn run_loadgen(opts: &LoadgenOptions) -> Result<String, RunError> {
             .pattern
             .as_deref()
             .and_then(commalloc_workload::CommPattern::parse),
+        framing: commalloc_service::Framing::parse(&opts.framing)
+            .unwrap_or(commalloc_service::Framing::Ndjson),
         seed: opts.seed,
         no_drain: opts.no_drain,
         claims_out: opts.claims_out.clone(),

@@ -31,13 +31,13 @@
 //! machine empty) still bounds such escapes.
 
 use commalloc_service::client::{ClientAllocOutcome, ServiceClient};
-use commalloc_service::{ClientError, Request, Response};
+use commalloc_service::{ClientError, Framing, Request, Response};
 use commalloc_workload::CommPattern;
 use rand::prelude::*;
 use serde::{Map, Serialize, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 /// How many releases ride in one wire line during the final drain.
@@ -74,6 +74,9 @@ pub struct LoadgenConfig {
     /// Communication pattern every allocation declares (`None` sends
     /// unpatterned allocations, the pre-pattern wire form).
     pub pattern: Option<CommPattern>,
+    /// Wire framing the driving connections speak (`ndjson` or
+    /// `binary`; discovery and final reconciliation always use NDJSON).
+    pub framing: Framing,
     /// RNG seed.
     pub seed: u64,
     /// Skip the final drain: granted jobs stay live on the daemon. The
@@ -99,9 +102,14 @@ pub struct LoadgenReport {
     /// Occupancy-invariant violations detected client-side (cluster
     /// mode adds misrouting violations: unknown or undersized members).
     pub violations: u64,
-    /// Wall-clock seconds for the whole run.
+    /// Wall-clock seconds of the steady-state window: every connection
+    /// established and past the start barrier before the clock starts,
+    /// so connect storms at high connection counts don't skew req/s.
     pub elapsed_seconds: f64,
-    /// Requests per second.
+    /// Seconds spent establishing connections before the steady-state
+    /// window opened (the excluded ramp).
+    pub setup_seconds: f64,
+    /// Requests per second over the steady-state window.
     pub throughput: f64,
     /// Final busy count reported by the daemon after draining (summed
     /// over pool members in cluster mode).
@@ -115,7 +123,8 @@ impl LoadgenReport {
     /// Human-readable multi-line summary.
     pub fn render(&self) -> String {
         format!(
-            "loadgen: {} requests in {:.2} s ({:.0} req/s) across {} machine(s)\n\
+            "loadgen: {} requests in {:.2} s steady state ({:.0} req/s, \
+             +{:.2} s ramp) across {} machine(s)\n\
              \x20 granted   {:>8}\n\
              \x20 rejected  {:>8}\n\
              \x20 released  {:>8}\n\
@@ -124,6 +133,7 @@ impl LoadgenReport {
             self.requests,
             self.elapsed_seconds,
             self.throughput,
+            self.setup_seconds,
             self.machines,
             self.granted,
             self.rejected,
@@ -142,6 +152,7 @@ impl LoadgenReport {
         m.insert("released".into(), self.released.to_value());
         m.insert("violations".into(), self.violations.to_value());
         m.insert("elapsed_seconds".into(), self.elapsed_seconds.to_value());
+        m.insert("setup_seconds".into(), self.setup_seconds.to_value());
         m.insert("throughput".into(), self.throughput.to_value());
         m.insert("final_busy".into(), self.final_busy.to_value());
         m.insert("machines".into(), self.machines.to_value());
@@ -320,16 +331,30 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
 
     let connections = config.connections.max(1);
     let per_connection = config.requests.div_ceil(connections);
-    let start = Instant::now();
+    // Steady-state window: every connection connects first, then all of
+    // them (plus the timing thread here) meet at a barrier before the
+    // first request moves. The reported throughput excludes the connect
+    // ramp — at high connection counts the accept storm is setup cost,
+    // not serving capacity.
+    let start_barrier = Barrier::new(connections + 1);
+    let setup_start = Instant::now();
     let mut failures: Vec<String> = Vec::new();
+    let mut setup = 0.0f64;
+    let mut elapsed = 0.0f64;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let config = config.clone();
-                scope.spawn(move || drive_connection(&config, i, per_connection, &shared))
+                let start_barrier = &start_barrier;
+                scope.spawn(move || {
+                    drive_connection(&config, i, per_connection, &shared, start_barrier)
+                })
             })
             .collect();
+        start_barrier.wait();
+        setup = setup_start.elapsed().as_secs_f64();
+        let steady_start = Instant::now();
         for handle in handles {
             match handle.join() {
                 Ok(Ok(())) => {}
@@ -337,11 +362,11 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 Err(_) => failures.push("connection thread panicked".to_string()),
             }
         }
+        elapsed = steady_start.elapsed().as_secs_f64();
     });
     if let Some(failure) = failures.into_iter().next() {
         return Err(failure);
     }
-    let elapsed = start.elapsed().as_secs_f64();
 
     // After draining, the daemon must agree every machine is empty.
     let mut client = ServiceClient::connect(&config.addr)
@@ -387,6 +412,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         released: shared.released.load(Ordering::SeqCst),
         violations: shared.violations.load(Ordering::SeqCst),
         elapsed_seconds: elapsed,
+        setup_seconds: setup,
         throughput: requests as f64 / elapsed.max(1e-9),
         final_busy,
         machines: machines.len() as u64,
@@ -399,9 +425,14 @@ fn drive_connection(
     index: usize,
     budget: usize,
     shared: &Shared,
+    start_barrier: &Barrier,
 ) -> Result<(), String> {
-    let mut client =
-        ServiceClient::connect(&config.addr).map_err(|e| format!("connection {index}: {e}"))?;
+    // Connect before the barrier so the steady-state clock never counts
+    // connection setup — and hit the barrier exactly once even on a
+    // failed connect, or the timing thread would deadlock waiting.
+    let connected = ServiceClient::connect_with_framing(&config.addr, config.framing);
+    start_barrier.wait();
+    let mut client = connected.map_err(|e| format!("connection {index}: {e}"))?;
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(index as u64));
     // Job ids are partitioned per connection so they never collide.
     let mut next_job = (index as u64) << 40;

@@ -1,5 +1,6 @@
 //! A blocking TCP client for the service protocol.
 
+use crate::framing::{self, FrameBuffer, Framing};
 use crate::protocol::{Request, Response};
 use crate::registry::JobStatus;
 use commalloc_mesh::NodeId;
@@ -88,31 +89,97 @@ pub struct TraceDump {
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    framing: Framing,
+    frames: FrameBuffer,
 }
 
 impl ServiceClient {
-    /// Connects to a running server.
+    /// Connects to a running server speaking NDJSON (the default).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServiceClient> {
+        ServiceClient::connect_with_framing(addr, Framing::Ndjson)
+    }
+
+    /// Connects to a running server speaking the given framing. The
+    /// server discriminates per frame, so no handshake is needed — the
+    /// first request's leading byte is the negotiation.
+    pub fn connect_with_framing(
+        addr: impl ToSocketAddrs,
+        framing: Framing,
+    ) -> io::Result<ServiceClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(ServiceClient {
             reader: BufReader::new(stream),
             writer,
+            framing,
+            frames: FrameBuffer::new(),
         })
     }
 
-    /// Sends one request and reads its response line.
+    /// The framing this client sends requests in.
+    pub fn framing(&self) -> Framing {
+        self.framing
+    }
+
+    /// Sends one request and reads its response frame.
     pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        writeln!(self.writer, "{}", request.to_line())?;
-        self.writer.flush()?;
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(ClientError::Protocol(
-                "server closed the connection".to_string(),
-            ));
+        match self.framing {
+            Framing::Ndjson => {
+                writeln!(self.writer, "{}", request.to_line())?;
+                self.writer.flush()?;
+                let mut line = String::new();
+                if self.reader.read_line(&mut line)? == 0 {
+                    return Err(ClientError::Protocol(
+                        "server closed the connection".to_string(),
+                    ));
+                }
+                Response::from_line(&line).map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+            Framing::Binary => {
+                let bytes = framing::encode_frame(&request.to_value())
+                    .map_err(|e| ClientError::InvalidRequest(format!("unencodable: {e}")))?;
+                self.writer.write_all(&bytes)?;
+                self.writer.flush()?;
+                self.read_response_frame()
+            }
         }
-        Response::from_line(&line).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Reads one complete frame (of either framing — the server answers
+    /// in the request's, but decoding stays general) into a `Response`.
+    fn read_response_frame(&mut self) -> Result<Response, ClientError> {
+        loop {
+            if let Some(frame) = self
+                .frames
+                .next_frame()
+                .map_err(|e| ClientError::Protocol(e.to_string()))?
+            {
+                return match frame.framing {
+                    Framing::Ndjson => std::str::from_utf8(&frame.payload)
+                        .map_err(|e| ClientError::Protocol(e.to_string()))
+                        .and_then(|line| {
+                            Response::from_line(line)
+                                .map_err(|e| ClientError::Protocol(e.to_string()))
+                        }),
+                    Framing::Binary => framing::decode_value(&frame.payload)
+                        .map_err(|e| ClientError::Protocol(e.to_string()))
+                        .and_then(|value| {
+                            Response::from_value(&value)
+                                .map_err(|e| ClientError::Protocol(e.to_string()))
+                        }),
+                };
+            }
+            let chunk = self.reader.fill_buf()?;
+            if chunk.is_empty() {
+                return Err(ClientError::Protocol(
+                    "server closed the connection".to_string(),
+                ));
+            }
+            let consumed = chunk.len();
+            self.frames.extend(chunk);
+            self.reader.consume(consumed);
+        }
     }
 
     fn expect<T>(
@@ -542,6 +609,46 @@ mod tests {
                 .and_then(Value::as_u64),
             Some(1)
         );
+        drop(client);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn binary_framed_client_round_trips_against_a_live_server() {
+        let service = AllocationService::new();
+        let handle = Server::bind("127.0.0.1:0", service, 2)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut client =
+            ServiceClient::connect_with_framing(handle.addr(), Framing::Binary).unwrap();
+        assert_eq!(client.framing(), Framing::Binary);
+
+        client.ping().unwrap();
+        client.register("b0", "8x8", None, None, None).unwrap();
+        assert_eq!(client.list().unwrap(), vec!["b0".to_string()]);
+        let ClientAllocOutcome::Granted(nodes) = client
+            .alloc_with_walltime("b0", 1, 10, false, Some(60.0))
+            .unwrap()
+        else {
+            panic!("grant expected");
+        };
+        assert_eq!(nodes.len(), 10);
+        let snapshot = client.query("b0").unwrap();
+        assert_eq!(snapshot.get("busy").and_then(Value::as_u64), Some(10));
+        assert!(client.release("b0", 1).unwrap().is_empty());
+
+        // Batches (nested values) survive the binary codec too.
+        let responses = client.batch(vec![Request::Ping, Request::List]).unwrap();
+        assert_eq!(
+            responses,
+            vec![Response::Pong, Response::Machines(vec!["b0".into()])]
+        );
+
+        // Service-level failures still decode as typed errors.
+        let err = client.alloc("nope", 1, 1, false).unwrap_err();
+        assert!(matches!(err, ClientError::Service(_)), "got {err:?}");
+
         drop(client);
         handle.shutdown().unwrap();
     }

@@ -89,10 +89,21 @@
 //! staying machine-parseable; it needs nothing beyond the standard library
 //! plus the workspace's JSON layer.
 //!
+//! Alongside NDJSON the same port speaks a compact **length-prefixed
+//! binary framing** ([`framing`]), discriminated per frame by its first
+//! byte: `0xB1` opens a binary frame, anything else is a JSON line. Both
+//! framings decode to identical [`protocol::Request`] /
+//! [`protocol::Response`] values; responses return in the framing the
+//! request arrived in, so a single connection may mix both.
+//!
 //! The TCP server is std-only: a listener thread accepts connections and
-//! hands them to a **bounded worker pool** (thread-per-connection, at most
-//! `workers` concurrent connections; excess connections wait in the
-//! accept queue rather than spawning unbounded threads).
+//! pins each one to a **thread-per-core readiness loop** worker
+//! ([`server::Server`]; nonblocking sockets driven by the `polling`
+//! compat shim's epoll/poll surface). Each worker drains every complete
+//! frame per readiness wakeup (pipelining) and writes responses through
+//! a per-connection outbox with backpressure. The original blocking
+//! thread-per-connection pool survives as [`server::BlockingServer`] —
+//! the `wire_throughput` bench's baseline.
 //!
 //! ## Example
 //!
@@ -112,6 +123,7 @@ pub mod admission;
 pub mod calibration;
 pub mod client;
 pub mod cluster;
+pub mod framing;
 pub mod journal;
 pub mod metrics;
 pub mod protocol;
@@ -125,6 +137,7 @@ pub mod trace;
 pub use calibration::{CalibrationSample, CalibrationStore, PlacementRecord};
 pub use client::{ClientAllocOutcome, ClientError, ServiceClient, TraceDump};
 pub use cluster::{route_offline, ClusterMember, MachineSample, PlacementRouter, RoutingPolicy};
+pub use framing::{Frame, FrameBuffer, FrameError, Framing};
 pub use journal::{
     open_journaled, read_journal_dir, FileJournal, FsyncPolicy, JournalConfig, JournalError,
     JournalRecord, JournalSink, NoopJournal, RecoveryReport, SnapshotImage,
@@ -137,6 +150,6 @@ pub use protocol::{Request, Response};
 pub use registry::{MachineSnapshot, Registry, ServiceError};
 pub use replay::{replay, replay_cluster, ClusterReplayLog, ReplayGrant, ReplayJob, ReplayLog};
 pub use score::ScoreBreakdown;
-pub use server::{Server, ServerHandle};
+pub use server::{BlockingServer, Server, ServerHandle};
 pub use service::{AllocOutcome, AllocationService, JobStatus};
 pub use trace::{FlightRecorder, RequestCtx, SpanEvent, Stage};

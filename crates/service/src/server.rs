@@ -1,22 +1,53 @@
-//! The TCP transport: newline-delimited JSON over a bounded worker pool.
+//! The TCP transport: a thread-per-core readiness loop speaking NDJSON
+//! and length-prefixed binary frames on the same port.
 //!
-//! An accept thread hands connections to a fixed set of worker threads
-//! through a channel (thread-per-connection with bounded concurrency:
-//! at most `workers` connections are served at once; further accepted
-//! connections wait in the channel). Everything is `std`-only.
+//! [`Server`] is the wire front end: an accept thread pins each incoming
+//! connection to one of `workers` event-loop threads (round-robin at
+//! accept, shared-nothing thereafter — a connection's frames are only
+//! ever touched by its worker). Each worker drives its connections with
+//! the `polling` compat shim (epoll on Linux, `poll(2)` elsewhere):
+//! nonblocking reads drain every complete frame per readiness wakeup
+//! (pipelining), responses accumulate in a per-connection outbox and go
+//! out in one write, and an outbox above the high-water mark pauses read
+//! interest until the peer drains it (backpressure).
+//!
+//! Framing is discriminated per frame by the first byte (see
+//! [`crate::framing`]); responses return in the framing the request
+//! arrived in, so `nc` keeps working while binary clients skip JSON
+//! entirely.
+//!
+//! The original blocking thread-per-connection pool survives as
+//! [`BlockingServer`] — it is the measured baseline for the
+//! `wire_throughput` bench, not a fallback the service selects at
+//! runtime. Everything is `std`-only.
 
+use crate::framing::{self, Frame, FrameBuffer, Framing};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{Request, Response};
 use crate::service::AllocationService;
 use crate::trace::Stage;
-use std::io::{self, BufRead, BufReader, Write};
+use polling::{Event, Poller, Waker};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// A bound, not-yet-running server.
+/// Outbox size above which a connection's read interest is paused until
+/// the peer drains responses (per-connection backpressure).
+const OUTBOX_HIGH_WATER: usize = 1 << 20;
+
+/// Poller key reserved for each worker's cross-thread waker.
+const WAKER_KEY: usize = usize::MAX;
+
+/// Per-wakeup cap on read passes for one connection, so a firehose peer
+/// cannot starve its worker's other connections (level-triggered
+/// readiness re-reports whatever is left on the next wait).
+const MAX_READS_PER_WAKEUP: usize = 16;
+
+/// A bound, not-yet-running readiness-loop server.
 pub struct Server {
     listener: TcpListener,
     service: AllocationService,
@@ -25,7 +56,7 @@ pub struct Server {
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) serving
-    /// `service` with a pool of `workers` connection handlers.
+    /// `service` with `workers` event-loop threads.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: AllocationService,
@@ -74,9 +105,439 @@ impl Server {
         })
     }
 
-    /// The accept loop proper: spawns the worker pool, accepts until
-    /// `shutdown` is set, then closes the channel so workers drain and
-    /// exit. Returns the accept result plus the worker handles to join.
+    /// The accept loop proper: spins up the event-loop workers, pins each
+    /// accepted connection to one (round-robin), and on exit wakes every
+    /// worker so they drop their connections and join. Returns the accept
+    /// result plus the worker handles.
+    fn serve(self, shutdown: Arc<AtomicBool>) -> (io::Result<()>, Vec<JoinHandle<()>>) {
+        let mut loops = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            match EventLoop::new() {
+                Ok(event_loop) => loops.push(Arc::new(event_loop)),
+                Err(e) => return (Err(e), Vec::new()),
+            }
+        }
+        let handles: Vec<JoinHandle<()>> = loops
+            .iter()
+            .map(|event_loop| {
+                let event_loop = Arc::clone(event_loop);
+                let service = self.service.clone();
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || event_loop.run(&service, &shutdown))
+            })
+            .collect();
+        let mut next = 0usize;
+        let result = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break Ok(());
+                    }
+                    ServiceMetrics::bump(&self.service.metrics().connections);
+                    let target = &loops[next % loops.len()];
+                    next = next.wrapping_add(1);
+                    target
+                        .inject
+                        .lock()
+                        .expect("inject queue poisoned")
+                        .push(stream);
+                    target.waker.wake();
+                }
+                Err(e) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break Ok(());
+                    }
+                    break Err(e);
+                }
+            }
+        };
+        // Whatever ended the accept loop ends the workers too.
+        shutdown.store(true, Ordering::SeqCst);
+        for event_loop in &loops {
+            event_loop.waker.wake();
+        }
+        (result, handles)
+    }
+}
+
+/// One worker's shared face: the poller it sleeps on, the waker the
+/// accept thread pokes, and the queue of freshly accepted connections.
+struct EventLoop {
+    poller: Poller,
+    waker: Waker,
+    inject: Mutex<Vec<TcpStream>>,
+}
+
+impl EventLoop {
+    fn new() -> io::Result<EventLoop> {
+        let poller = Poller::new()?;
+        let waker = Waker::new(&poller, WAKER_KEY)?;
+        Ok(EventLoop {
+            poller,
+            waker,
+            inject: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The worker thread body: sleep on readiness, serve every ready
+    /// connection, pick up injected connections, exit on shutdown.
+    fn run(&self, service: &AllocationService, shutdown: &AtomicBool) {
+        let mut conns: HashMap<usize, Conn> = HashMap::new();
+        let mut events: Vec<Event> = Vec::new();
+        let mut scratch = vec![0u8; 16 * 1024];
+        loop {
+            events.clear();
+            if self.poller.wait(&mut events, None).is_err() {
+                return;
+            }
+            if events.iter().any(|e| e.key == WAKER_KEY) {
+                self.waker.drain();
+                if shutdown.load(Ordering::SeqCst) {
+                    // Dropping the map closes every connection.
+                    return;
+                }
+                let fresh: Vec<TcpStream> = self
+                    .inject
+                    .lock()
+                    .expect("inject queue poisoned")
+                    .drain(..)
+                    .collect();
+                for stream in fresh {
+                    self.adopt(&mut conns, stream, service, &mut scratch);
+                }
+            }
+            for event in &events {
+                if event.key == WAKER_KEY {
+                    continue;
+                }
+                self.service_conn(&mut conns, event.key, service, &mut scratch);
+            }
+        }
+    }
+
+    /// Registers a fresh connection and eagerly serves any bytes the
+    /// client sent before registration (level-triggered readiness would
+    /// also report them, but serving now saves a wakeup of latency).
+    fn adopt(
+        &self,
+        conns: &mut HashMap<usize, Conn>,
+        stream: TcpStream,
+        service: &AllocationService,
+        scratch: &mut [u8],
+    ) {
+        // Responses are batched per wakeup but still small; without
+        // TCP_NODELAY the request/response cycle stalls on Nagle +
+        // delayed ACK (~40 ms/op).
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let key = stream.as_raw_fd() as usize;
+        let interest = Event::readable(key);
+        if self.poller.add(stream.as_raw_fd(), interest).is_err() {
+            return;
+        }
+        conns.insert(key, Conn::new(stream, interest));
+        self.service_conn(conns, key, service, scratch);
+    }
+
+    /// Serves one ready connection: drain reads, dispatch frames, flush
+    /// the outbox, retune interest. Removes the connection on close or
+    /// on a handler panic (a panic drops one connection, never a worker).
+    fn service_conn(
+        &self,
+        conns: &mut HashMap<usize, Conn>,
+        key: usize,
+        service: &AllocationService,
+        scratch: &mut [u8],
+    ) {
+        let Some(conn) = conns.get_mut(&key) else {
+            return;
+        };
+        let keep = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            conn.serve(service, scratch)
+        }))
+        .unwrap_or_else(|_| {
+            eprintln!("commalloc-service: connection handler panicked; worker continuing");
+            false
+        });
+        if !keep {
+            let conn = conns.remove(&key).expect("connection vanished mid-serve");
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            return; // dropping the stream closes it
+        }
+        let conn = conns.get_mut(&key).expect("connection vanished mid-serve");
+        let desired = conn.desired_interest(key);
+        if desired != conn.interest && self.poller.modify(conn.stream.as_raw_fd(), desired).is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+}
+
+/// One pinned connection's state: the incremental frame splitter and the
+/// response outbox.
+struct Conn {
+    stream: TcpStream,
+    buffer: FrameBuffer,
+    outbox: Vec<u8>,
+    outpos: usize,
+    interest: Event,
+    /// Reads are done (EOF or fatal framing error); the connection stays
+    /// only until the outbox flushes.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, interest: Event) -> Conn {
+        Conn {
+            stream,
+            buffer: FrameBuffer::new(),
+            outbox: Vec::new(),
+            outpos: 0,
+            interest,
+            closing: false,
+        }
+    }
+
+    fn pending_out(&self) -> usize {
+        self.outbox.len() - self.outpos
+    }
+
+    fn desired_interest(&self, key: usize) -> Event {
+        Event {
+            key,
+            // Backpressure: stop reading while the peer lags on responses.
+            readable: !self.closing && self.pending_out() <= OUTBOX_HIGH_WATER,
+            writable: self.pending_out() > 0,
+        }
+    }
+
+    /// One readiness wakeup's worth of work. Returns false when the
+    /// connection should be dropped.
+    fn serve(&mut self, service: &AllocationService, scratch: &mut [u8]) -> bool {
+        if !self.closing && self.pending_out() <= OUTBOX_HIGH_WATER {
+            let mut reads = 0;
+            while reads < MAX_READS_PER_WAKEUP {
+                reads += 1;
+                match self.stream.read(scratch) {
+                    Ok(0) => {
+                        // EOF. A partial frame left in the buffer is a torn
+                        // final frame: reject it (there is nobody left to
+                        // answer, but the books must balance).
+                        if self.buffer.finish().is_err() {
+                            ServiceMetrics::bump(&service.metrics().protocol_errors);
+                        }
+                        self.closing = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.buffer.extend(&scratch[..n]);
+                        if !self.drain_frames(service) {
+                            self.closing = true;
+                            break;
+                        }
+                        if self.pending_out() > OUTBOX_HIGH_WATER {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+        }
+        if self.flush_outbox().is_err() {
+            return false;
+        }
+        // Closing and nothing left to say: drop.
+        !(self.closing && self.pending_out() == 0)
+    }
+
+    /// Dispatches every complete frame currently buffered (pipelining).
+    /// Returns false on a fatal framing error (stream desync): an error
+    /// response is queued and the connection closes once it flushes.
+    fn drain_frames(&mut self, service: &AllocationService) -> bool {
+        loop {
+            match self.buffer.next_frame() {
+                Ok(Some(frame)) => dispatch_frame(service, frame, &mut self.outbox),
+                Ok(None) => return true,
+                Err(e) => {
+                    ServiceMetrics::bump(&service.metrics().protocol_errors);
+                    let response = Response::Error {
+                        message: format!("bad frame: {e}"),
+                    };
+                    append_response(&mut self.outbox, Framing::Binary, &response);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Writes as much of the outbox as the socket accepts right now.
+    fn flush_outbox(&mut self) -> io::Result<()> {
+        while self.outpos < self.outbox.len() {
+            match self.stream.write(&self.outbox[self.outpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.outpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.outpos == self.outbox.len() {
+            self.outbox.clear();
+            self.outpos = 0;
+        } else if self.outpos >= 64 * 1024 {
+            // Reclaim the flushed prefix of a slow-draining outbox.
+            self.outbox.drain(..self.outpos);
+            self.outpos = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Parses one frame into a `Request`, dispatches it, and queues the
+/// response in the framing the request arrived in. Blank NDJSON lines
+/// are ignored (so interactive `nc` sessions can hit return freely).
+fn dispatch_frame(service: &AllocationService, frame: Frame, outbox: &mut Vec<u8>) {
+    if frame.framing == Framing::Ndjson && frame.payload.iter().all(u8::is_ascii_whitespace) {
+        return;
+    }
+    // Mint the request id before parsing so the parse itself is on the
+    // timeline; a disabled recorder makes this ctx inert.
+    let ctx = service.recorder().begin();
+    let parse_start = ctx.now_micros();
+    let response = match parse_frame(&frame) {
+        Ok(request) => {
+            ctx.span(Stage::Parse, 0, 0, parse_start, ctx.now_micros());
+            service.handle_traced(&request, &ctx)
+        }
+        Err(message) => {
+            ctx.span(Stage::Parse, 0, 1, parse_start, ctx.now_micros());
+            ServiceMetrics::bump(&service.metrics().protocol_errors);
+            Response::Error { message }
+        }
+    };
+    append_response(outbox, frame.framing, &response);
+}
+
+fn parse_frame(frame: &Frame) -> Result<Request, String> {
+    match frame.framing {
+        Framing::Ndjson => {
+            let line = std::str::from_utf8(&frame.payload)
+                .map_err(|_| "bad request: line is not UTF-8".to_string())?;
+            Request::from_line(line).map_err(|e| format!("bad request: {e}"))
+        }
+        Framing::Binary => {
+            let value =
+                framing::decode_value(&frame.payload).map_err(|e| format!("bad request: {e}"))?;
+            Request::from_value(&value).map_err(|e| format!("bad request: {e}"))
+        }
+    }
+}
+
+/// Appends `response` to the outbox in the given framing.
+fn append_response(outbox: &mut Vec<u8>, framing: Framing, response: &Response) {
+    match framing {
+        Framing::Ndjson => {
+            outbox.extend_from_slice(response.to_line().as_bytes());
+            outbox.push(b'\n');
+        }
+        Framing::Binary => {
+            if let Err(e) = framing::encode_frame_into(&response.to_value(), outbox) {
+                let fallback = Response::Error {
+                    message: format!("response unencodable: {e}"),
+                };
+                framing::encode_frame_into(&fallback.to_value(), outbox)
+                    .expect("a small error response always encodes");
+            }
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drops every live connection and joins all
+    /// threads. Clients should disconnect before calling this.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.accept_thread
+            .join()
+            .map_err(|_| io::Error::other("server accept thread panicked"))?
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The blocking baseline.
+// ---------------------------------------------------------------------------
+
+/// The original transport: newline-delimited JSON over a bounded
+/// thread-per-connection worker pool (at most `workers` connections are
+/// served at once; further accepted connections wait in the channel).
+///
+/// Kept as the measured baseline for the `wire_throughput` bench — the
+/// readiness-loop [`Server`] is what `serve` runs.
+pub struct BlockingServer {
+    listener: TcpListener,
+    service: AllocationService,
+    workers: usize,
+}
+
+impl BlockingServer {
+    /// Binds to `addr` serving `service` with a pool of `workers`
+    /// connection handlers.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: AllocationService,
+        workers: usize,
+    ) -> io::Result<BlockingServer> {
+        Ok(BlockingServer {
+            listener: TcpListener::bind(addr)?,
+            service,
+            workers: workers.max(1),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the server on background threads, returning a handle that can
+    /// stop it.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_for_accept = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            let (result, workers) = self.serve(shutdown_for_accept);
+            for worker in workers {
+                let _ = worker.join();
+            }
+            result
+        });
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            accept_thread,
+        })
+    }
+
     fn serve(self, shutdown: Arc<AtomicBool>) -> (io::Result<()>, Vec<JoinHandle<()>>) {
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
@@ -89,12 +550,9 @@ impl Server {
                     let next = rx.lock().expect("worker queue poisoned").recv();
                     match next {
                         Ok(stream) => {
-                            // A panic in one connection must not shrink the
-                            // pool: catch it, drop the connection, keep
-                            // serving.
                             let outcome =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    handle_connection(stream, &service)
+                                    handle_blocking_connection(stream, &service)
                                 }));
                             if outcome.is_err() {
                                 eprintln!(
@@ -132,12 +590,9 @@ impl Server {
     }
 }
 
-/// Serves one connection: one JSON request per line, one JSON response
-/// per line. Unparseable lines get an error response and the connection
-/// stays open; I/O errors close it.
-fn handle_connection(stream: TcpStream, service: &AllocationService) {
-    // Responses are one small line each; without TCP_NODELAY the
-    // request/response cycle stalls on Nagle + delayed ACK (~40 ms/op).
+/// Serves one blocking connection: one JSON request per line, one JSON
+/// response per line, flushed per response.
+fn handle_blocking_connection(stream: TcpStream, service: &AllocationService) {
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -151,8 +606,6 @@ fn handle_connection(stream: TcpStream, service: &AllocationService) {
         if line.trim().is_empty() {
             continue;
         }
-        // Mint the request id before parsing so the parse itself is on
-        // the timeline; a disabled recorder makes this ctx inert.
         let ctx = service.recorder().begin();
         let parse_start = ctx.now_micros();
         let response = match Request::from_line(&line) {
@@ -177,42 +630,50 @@ fn handle_connection(stream: TcpStream, service: &AllocationService) {
     }
 }
 
-/// A running server; dropping the handle does **not** stop it — call
-/// [`ServerHandle::shutdown`].
-pub struct ServerHandle {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: JoinHandle<io::Result<()>>,
-}
-
-impl ServerHandle {
-    /// The address the server listens on.
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Stops accepting, drains the worker pool and joins all threads.
-    /// Connections already being served finish their current line first;
-    /// clients should disconnect before calling this.
-    pub fn shutdown(self) -> io::Result<()> {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        self.accept_thread
-            .join()
-            .map_err(|_| io::Error::other("server accept thread panicked"))?
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::Shutdown;
 
-    #[test]
-    fn spawn_serve_shutdown_round_trip() {
+    fn spawn_server() -> (AllocationService, ServerHandle) {
         let service = AllocationService::new();
         let server = Server::bind("127.0.0.1:0", service.clone(), 2).unwrap();
         let handle = server.spawn().unwrap();
+        (service, handle)
+    }
+
+    /// Reads frames off `stream` until `want` have arrived or EOF.
+    fn read_frames(stream: &mut TcpStream, want: usize) -> Vec<Frame> {
+        let mut buffer = FrameBuffer::new();
+        let mut frames = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while frames.len() < want {
+            let n = stream.read(&mut chunk).unwrap();
+            if n == 0 {
+                break;
+            }
+            buffer.extend(&chunk[..n]);
+            while let Some(frame) = buffer.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        frames
+    }
+
+    fn decode_response(frame: &Frame) -> Response {
+        match frame.framing {
+            Framing::Ndjson => {
+                Response::from_line(std::str::from_utf8(&frame.payload).unwrap()).unwrap()
+            }
+            Framing::Binary => {
+                Response::from_value(&framing::decode_value(&frame.payload).unwrap()).unwrap()
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_serve_shutdown_round_trip() {
+        let (service, handle) = spawn_server();
         let addr = handle.addr();
 
         {
@@ -257,6 +718,125 @@ mod tests {
         // The machine registered over TCP is visible in-process.
         assert_eq!(service.list(), vec!["m0".to_string()]);
         assert_eq!(service.metrics().protocol_errors.load(Ordering::Relaxed), 1);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn binary_and_ndjson_frames_interleave_on_one_connection() {
+        let (_service, handle) = spawn_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+
+        // One write carrying three pipelined requests in mixed framings.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&framing::encode_frame(&Request::Ping.to_value()).unwrap());
+        wire.extend_from_slice(
+            Request::Register {
+                machine: "mixed".into(),
+                mesh: "8x8".into(),
+                allocator: None,
+                strategy: None,
+                scheduler: None,
+                pool: None,
+            }
+            .to_line()
+            .as_bytes(),
+        );
+        wire.push(b'\n');
+        wire.extend_from_slice(&framing::encode_frame(&Request::List.to_value()).unwrap());
+        stream.write_all(&wire).unwrap();
+        stream.flush().unwrap();
+
+        let frames = read_frames(&mut stream, 3);
+        assert_eq!(frames.len(), 3);
+        // Responses come back in order, each in its request's framing.
+        assert_eq!(frames[0].framing, Framing::Binary);
+        assert_eq!(decode_response(&frames[0]), Response::Pong);
+        assert_eq!(frames[1].framing, Framing::Ndjson);
+        assert_eq!(
+            decode_response(&frames[1]),
+            Response::Registered {
+                machine: "mixed".into()
+            }
+        );
+        assert_eq!(frames[2].framing, Framing::Binary);
+        assert_eq!(
+            decode_response(&frames[2]),
+            Response::Machines(vec!["mixed".into()])
+        );
+
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pipelined_binary_requests_drain_in_order() {
+        let (_service, handle) = spawn_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let n = 500;
+        let mut wire = Vec::new();
+        for _ in 0..n {
+            wire.extend_from_slice(&framing::encode_frame(&Request::Ping.to_value()).unwrap());
+        }
+        stream.write_all(&wire).unwrap();
+        let frames = read_frames(&mut stream, n);
+        assert_eq!(frames.len(), n);
+        for frame in &frames {
+            assert_eq!(decode_response(frame), Response::Pong);
+        }
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn torn_final_binary_frame_is_rejected() {
+        let (service, handle) = spawn_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let full = framing::encode_frame(&Request::Ping.to_value()).unwrap();
+        stream.write_all(&full[..full.len() - 2]).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        // Server closes without answering the torn frame…
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "unexpected bytes {rest:?}");
+        // …and books it as a protocol error.
+        assert_eq!(service.metrics().protocol_errors.load(Ordering::Relaxed), 1);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_length_closes_with_an_error() {
+        let (service, handle) = spawn_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut wire = vec![framing::MAGIC];
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        stream.write_all(&wire).unwrap();
+        let frames = read_frames(&mut stream, 1);
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(
+            decode_response(&frames[0]),
+            Response::Error { .. }
+        ));
+        // The connection is closed after the error.
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(service.metrics().protocol_errors.load(Ordering::Relaxed), 1);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn blocking_baseline_still_serves_ndjson() {
+        let service = AllocationService::new();
+        let server = BlockingServer::bind("127.0.0.1:0", service.clone(), 2).unwrap();
+        let handle = server.spawn().unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        writeln!(stream, "{}", Request::Ping.to_line()).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::from_line(&line).unwrap(), Response::Pong);
+        drop(reader);
         handle.shutdown().unwrap();
     }
 }

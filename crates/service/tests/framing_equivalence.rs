@@ -1,0 +1,78 @@
+//! Property test: the binary framing is semantically identical to the
+//! NDJSON framing. Every generated `Request` / `Response` shape is
+//! encoded both ways; the binary frame (pushed through the real
+//! `FrameBuffer` splitter, not just the codec) must decode to a `Value`
+//! equal to the one parsed from its NDJSON twin — and re-rendering both
+//! values to JSON must produce byte-identical text. Both decoded values
+//! must also convert back to the original typed message.
+
+mod strategies;
+
+use commalloc_service::framing::{self, FrameBuffer, Framing};
+use commalloc_service::{Request, Response};
+use proptest::prelude::*;
+use serde::Value;
+use strategies::{request_strategy, response_strategy};
+
+/// Encodes `value` as a binary frame, runs it through the incremental
+/// splitter, and decodes the payload back to a `Value`.
+fn binary_round_trip(value: &Value) -> Result<Value, TestCaseError> {
+    let frame = framing::encode_frame(value)
+        .map_err(|e| TestCaseError::fail(format!("encode_frame: {e}")))?;
+    let mut buffer = FrameBuffer::new();
+    buffer.extend(&frame);
+    let split = buffer
+        .next_frame()
+        .map_err(|e| TestCaseError::fail(format!("next_frame: {e}")))?
+        .ok_or_else(|| TestCaseError::fail("splitter saw no complete frame".to_string()))?;
+    prop_assert_eq!(split.framing, Framing::Binary);
+    buffer
+        .finish()
+        .map_err(|e| TestCaseError::fail(format!("trailing bytes after the frame: {e}")))?;
+    framing::decode_value(&split.payload)
+        .map_err(|e| TestCaseError::fail(format!("decode_value: {e}")))
+}
+
+/// Asserts the two decoded values are equal and render to identical
+/// JSON bytes (the "byte-identical twin" guarantee).
+fn assert_twins(from_binary: &Value, from_ndjson: &Value) -> Result<(), TestCaseError> {
+    prop_assert_eq!(from_binary, from_ndjson, "decoded values diverged");
+    let binary_text = serde_json::to_string(from_binary)
+        .map_err(|e| TestCaseError::fail(format!("render binary twin: {e}")))?;
+    let ndjson_text = serde_json::to_string(from_ndjson)
+        .map_err(|e| TestCaseError::fail(format!("render ndjson twin: {e}")))?;
+    prop_assert_eq!(
+        binary_text.as_bytes(),
+        ndjson_text.as_bytes(),
+        "rendered JSON diverged"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn requests_decode_byte_identical_across_framings(request in request_strategy()) {
+        let line = request.to_line();
+        let from_ndjson: Value = serde_json::from_str(&line)
+            .map_err(|e| TestCaseError::fail(format!("{e} on {line}")))?;
+        let from_binary = binary_round_trip(&request.to_value())?;
+        assert_twins(&from_binary, &from_ndjson)?;
+        let decoded = Request::from_value(&from_binary)
+            .map_err(|e| TestCaseError::fail(format!("from_value: {e}")))?;
+        prop_assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn responses_decode_byte_identical_across_framings(response in response_strategy()) {
+        let line = response.to_line();
+        let from_ndjson: Value = serde_json::from_str(&line)
+            .map_err(|e| TestCaseError::fail(format!("{e} on {line}")))?;
+        let from_binary = binary_round_trip(&response.to_value())?;
+        assert_twins(&from_binary, &from_ndjson)?;
+        let decoded = Response::from_value(&from_binary)
+            .map_err(|e| TestCaseError::fail(format!("from_value: {e}")))?;
+        prop_assert_eq!(decoded, response);
+    }
+}

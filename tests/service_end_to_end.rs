@@ -96,6 +96,7 @@ fn loadgen_round_trips_thousands_of_requests_without_violations() {
         max_walltime: Some(300.0),
         router: None,
         pattern: None,
+        framing: commalloc_service::Framing::Binary,
         seed: 7,
         no_drain: false,
         claims_out: None,
@@ -142,6 +143,7 @@ fn routed_loadgen_across_a_heterogeneous_pool_has_no_violations() {
         max_walltime: Some(300.0),
         router: Some("least-loaded".to_string()),
         pattern: Some(commalloc_workload::CommPattern::AllToAll),
+        framing: commalloc_service::Framing::Ndjson,
         seed: 11,
         no_drain: false,
         claims_out: None,
