@@ -103,6 +103,7 @@ fn alloc_line(job: u64, size: usize, pattern: Option<CommPattern>) -> String {
         wait: false,
         walltime: pattern.map(|_| 3600.0),
         pattern,
+        tenant: None,
     }
     .to_line()
 }
@@ -174,8 +175,8 @@ impl Churn {
             let len = self.live.len();
             let victim = self.live.swap_remove(self.rng.gen_range(0..len));
             let release = Request::Release {
-                machine: "bench".to_string(),
-                job: victim,
+                machine: Some("bench".to_string()),
+                job: commalloc_service::JobRef::Bare(victim),
             }
             .to_line();
             assert!(

@@ -279,6 +279,9 @@ pub struct LoadgenOptions {
     pub framing: String,
     /// RNG seed.
     pub seed: u64,
+    /// Tenant every driving connection binds itself to with `hello`
+    /// (allocations inherit it); `None` drives untenanted.
+    pub tenant: Option<String>,
     /// Skip the final drain, leaving the granted jobs live on the
     /// daemon (the crash-recovery harness kills the daemon with this
     /// state and asserts it is recovered intact).
@@ -306,8 +309,86 @@ impl Default for LoadgenOptions {
             pattern: None,
             framing: "ndjson".to_string(),
             seed: 1996,
+            tenant: None,
             no_drain: false,
             claims_out: None,
+            json: false,
+        }
+    }
+}
+
+/// Options of the `tenant` subcommand: with `--name` (and any of the
+/// setting flags) it configures a tenant; bare, it lists the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantOptions {
+    /// Address of the running daemon.
+    pub addr: String,
+    /// Tenant to configure; `None` lists every tenant.
+    pub name: Option<String>,
+    /// Fair-share weight to set.
+    pub weight: Option<f64>,
+    /// Node-second quota to set (`0` clears it).
+    pub quota: Option<f64>,
+    /// Wire in-flight cap to set (`0` clears it).
+    pub max_in_flight: Option<u64>,
+    /// Emit JSON.
+    pub json: bool,
+}
+
+impl Default for TenantOptions {
+    fn default() -> Self {
+        TenantOptions {
+            addr: "127.0.0.1:7411".to_string(),
+            name: None,
+            weight: None,
+            quota: None,
+            max_in_flight: None,
+            json: false,
+        }
+    }
+}
+
+/// Options of the `fair-share` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FairShareOptions {
+    /// Address of the running daemon.
+    pub addr: String,
+    /// Machine to flip.
+    pub machine: String,
+    /// New state.
+    pub enabled: bool,
+}
+
+impl Default for FairShareOptions {
+    fn default() -> Self {
+        FairShareOptions {
+            addr: "127.0.0.1:7411".to_string(),
+            machine: "default".to_string(),
+            enabled: true,
+        }
+    }
+}
+
+/// Options of the one-shot `release` / `poll` subcommands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOptions {
+    /// Address of the running daemon.
+    pub addr: String,
+    /// Machine or `@pool` address; `None` when the job reference is
+    /// itself qualified (`m0/7`, `grid/m0/7`).
+    pub machine: Option<String>,
+    /// Job reference: `7`, `m0/7`, or `grid/m0/7`.
+    pub job: String,
+    /// Emit JSON.
+    pub json: bool,
+}
+
+impl Default for JobOptions {
+    fn default() -> Self {
+        JobOptions {
+            addr: "127.0.0.1:7411".to_string(),
+            machine: None,
+            job: String::new(),
             json: false,
         }
     }
@@ -394,6 +475,14 @@ pub enum Command {
     Loadgen(LoadgenOptions),
     /// Verify a recovered daemon against a loadgen claim table.
     RecoveryCheck(RecoveryCheckOptions),
+    /// Configure a tenant or list the tenant table of a running daemon.
+    Tenant(TenantOptions),
+    /// Flip weighted fair-share admission on a machine.
+    FairShare(FairShareOptions),
+    /// Release one job on a running daemon (pool-scoped refs accepted).
+    Release(JobOptions),
+    /// Poll one job on a running daemon (pool-scoped refs accepted).
+    Poll(JobOptions),
     /// Poll a running daemon and render a live text dashboard.
     Watch(WatchOptions),
     /// Print a running daemon's placement calibration report.
@@ -466,6 +555,12 @@ fn parse_machines(value: &str) -> Option<Vec<(String, String)>> {
 /// the CLI and the wire protocol accept exactly the same spellings).
 fn parse_router(value: &str) -> Option<commalloc_service::RoutingPolicy> {
     commalloc_service::RoutingPolicy::parse(value)
+}
+
+/// Shape check of a tenant name, mirrored from the service boundary:
+/// non-empty, no `@` sigil, no `/` (reserved by job references).
+fn tenant_name_ok(value: &str) -> bool {
+    !value.is_empty() && !value.starts_with('@') && !value.contains('/')
 }
 
 /// Splits the argument list into `(flag, value)` pairs, treating `--json`
@@ -833,6 +928,12 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
                     "--seed" => {
                         opts.seed = value.parse().ok().ok_or_else(|| invalid(&flag, &value))?
                     }
+                    "--tenant" => {
+                        if !tenant_name_ok(&value) {
+                            return Err(invalid(&flag, &value));
+                        }
+                        opts.tenant = Some(value);
+                    }
                     "--no-drain" => opts.no_drain = true,
                     "--claims-out" => {
                         if value.is_empty() {
@@ -897,6 +998,100 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Calibration(opts))
         }
+        "tenant" => {
+            let mut opts = TenantOptions::default();
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--addr" => opts.addr = value,
+                    "--name" => {
+                        if !tenant_name_ok(&value) {
+                            return Err(invalid(&flag, &value));
+                        }
+                        opts.name = Some(value);
+                    }
+                    "--weight" => {
+                        opts.weight = value
+                            .parse()
+                            .ok()
+                            .filter(|&w: &f64| w.is_finite() && w > 0.0)
+                            .ok_or_else(|| invalid(&flag, &value))?
+                            .into()
+                    }
+                    "--quota" => {
+                        opts.quota = value
+                            .parse()
+                            .ok()
+                            .filter(|&q: &f64| q.is_finite() && q >= 0.0)
+                            .ok_or_else(|| invalid(&flag, &value))?
+                            .into()
+                    }
+                    "--max-in-flight" => {
+                        opts.max_in_flight =
+                            Some(value.parse().ok().ok_or_else(|| invalid(&flag, &value))?)
+                    }
+                    "--json" => opts.json = true,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            // The setting flags act on a named tenant.
+            if opts.name.is_none()
+                && (opts.weight.is_some() || opts.quota.is_some() || opts.max_in_flight.is_some())
+            {
+                return Err(ParseError::MissingValue("--name".to_string()));
+            }
+            Ok(Command::Tenant(opts))
+        }
+        "fair-share" => {
+            let mut opts = FairShareOptions::default();
+            let mut set_seen = false;
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--addr" => opts.addr = value,
+                    "--machine" => opts.machine = value,
+                    "--set" => {
+                        opts.enabled = match value.as_str() {
+                            "on" | "true" | "1" => true,
+                            "off" | "false" | "0" => false,
+                            _ => return Err(invalid(&flag, &value)),
+                        };
+                        set_seen = true;
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            if !set_seen {
+                return Err(ParseError::MissingValue("--set".to_string()));
+            }
+            Ok(Command::FairShare(opts))
+        }
+        "release" | "poll" => {
+            let mut opts = JobOptions::default();
+            for (flag, value) in flag_pairs(rest)? {
+                let value = value.unwrap_or_default();
+                match flag.as_str() {
+                    "--addr" => opts.addr = value,
+                    "--machine" => opts.machine = Some(value),
+                    "--job" => {
+                        if value.is_empty() {
+                            return Err(invalid(&flag, &value));
+                        }
+                        opts.job = value;
+                    }
+                    "--json" => opts.json = true,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            if opts.job.is_empty() {
+                return Err(ParseError::MissingValue("--job".to_string()));
+            }
+            Ok(if subcommand == "release" {
+                Command::Release(opts)
+            } else {
+                Command::Poll(opts)
+            })
+        }
         "recovery-check" => {
             let mut opts = RecoveryCheckOptions::default();
             for (flag, value) in flag_pairs(rest)? {
@@ -955,10 +1150,20 @@ SUBCOMMANDS:
               [--scheduler P] [--requests N] [--connections C]
               [--occupancy F] [--max-size K] [--max-walltime W]
               [--router rr|ll|sq|p2c|comm-aware] [--pattern P]
-              [--framing ndjson|binary] [--seed S] [--no-drain]
-              [--claims-out FILE] [--json]
+              [--framing ndjson|binary] [--seed S] [--tenant NAME]
+              [--no-drain] [--claims-out FILE] [--json]
   recovery-check  assert a recovered daemon matches a saved claim table
               [--addr HOST:PORT] --claims FILE [--json]
+  tenant      configure a tenant or list the daemon's tenant table
+              [--addr HOST:PORT] [--name NAME [--weight W] [--quota Q]
+              [--max-in-flight N]] [--json]
+  fair-share  flip weighted fair-share admission on a machine
+              [--addr HOST:PORT] [--machine NAME] --set on|off
+  release     release one job; accepts pool-scoped references
+              [--addr HOST:PORT] [--machine NAME|@POOL] --job REF [--json]
+  poll        poll one job; accepts pool-scoped references
+              (REF is a bare id, MACHINE/ID, or POOL/MACHINE/ID)
+              [--addr HOST:PORT] [--machine NAME|@POOL] --job REF [--json]
   watch       poll a running daemon and render a live text dashboard
               [--addr HOST:PORT] [--interval SECS] [--window 10s|60s]
               [--count N]
@@ -1248,6 +1453,10 @@ mod tests {
             "serve",
             "loadgen",
             "recovery-check",
+            "tenant",
+            "fair-share",
+            "release",
+            "poll",
             "watch",
             "calibration",
             "allocators",
@@ -1390,6 +1599,115 @@ mod tests {
         }
         assert!(parse_command(&args(&["loadgen", "--occupancy", "1.5"])).is_err());
         assert!(parse_command(&args(&["loadgen", "--requests", "0"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_tenant_is_validated() {
+        match parse_command(&args(&["loadgen", "--tenant", "acme"])).unwrap() {
+            Command::Loadgen(opts) => assert_eq!(opts.tenant.as_deref(), Some("acme")),
+            other => panic!("expected Loadgen, got {other:?}"),
+        }
+        for bad in ["", "@pool", "a/b"] {
+            assert!(
+                parse_command(&args(&["loadgen", "--tenant", bad])).is_err(),
+                "tenant {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_flags_round_trip() {
+        let cmd = parse_command(&args(&[
+            "tenant",
+            "--addr",
+            "h:1",
+            "--name",
+            "acme",
+            "--weight",
+            "3.0",
+            "--quota",
+            "5000",
+            "--max-in-flight",
+            "8",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Tenant(opts) => {
+                assert_eq!(opts.addr, "h:1");
+                assert_eq!(opts.name.as_deref(), Some("acme"));
+                assert_eq!(opts.weight, Some(3.0));
+                assert_eq!(opts.quota, Some(5000.0));
+                assert_eq!(opts.max_in_flight, Some(8));
+            }
+            other => panic!("expected Tenant, got {other:?}"),
+        }
+        // Bare `tenant` lists the table.
+        match parse_command(&args(&["tenant"])).unwrap() {
+            Command::Tenant(opts) => assert!(opts.name.is_none()),
+            other => panic!("expected Tenant, got {other:?}"),
+        }
+        // Setting flags without a name have nothing to act on.
+        assert_eq!(
+            parse_command(&args(&["tenant", "--weight", "2.0"])),
+            Err(ParseError::MissingValue("--name".into()))
+        );
+        assert!(parse_command(&args(&["tenant", "--name", "a", "--weight", "0"])).is_err());
+        assert!(parse_command(&args(&["tenant", "--name", "a", "--quota", "-1"])).is_err());
+        assert!(parse_command(&args(&["tenant", "--name", "@a"])).is_err());
+    }
+
+    #[test]
+    fn fair_share_requires_an_explicit_state() {
+        let cmd = parse_command(&args(&["fair-share", "--machine", "m0", "--set", "on"])).unwrap();
+        match cmd {
+            Command::FairShare(opts) => {
+                assert_eq!(opts.machine, "m0");
+                assert!(opts.enabled);
+            }
+            other => panic!("expected FairShare, got {other:?}"),
+        }
+        assert_eq!(
+            parse_command(&args(&["fair-share", "--machine", "m0"])),
+            Err(ParseError::MissingValue("--set".into()))
+        );
+        assert!(parse_command(&args(&["fair-share", "--set", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn release_and_poll_take_job_references() {
+        let cmd = parse_command(&args(&[
+            "release",
+            "--addr",
+            "h:1",
+            "--machine",
+            "@grid",
+            "--job",
+            "7",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Release(opts) => {
+                assert_eq!(opts.machine.as_deref(), Some("@grid"));
+                assert_eq!(opts.job, "7");
+            }
+            other => panic!("expected Release, got {other:?}"),
+        }
+        let cmd = parse_command(&args(&["poll", "--job", "grid/m0/7"])).unwrap();
+        match cmd {
+            Command::Poll(opts) => {
+                assert!(opts.machine.is_none());
+                assert_eq!(opts.job, "grid/m0/7");
+            }
+            other => panic!("expected Poll, got {other:?}"),
+        }
+        assert_eq!(
+            parse_command(&args(&["release"])),
+            Err(ParseError::MissingValue("--job".into()))
+        );
+        assert_eq!(
+            parse_command(&args(&["poll"])),
+            Err(ParseError::MissingValue("--job".into()))
+        );
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! the binary simply prints it.
 
 use crate::args::{
-    CalibrationOptions, Command, CurvesOptions, LoadgenOptions, RecoveryCheckOptions, ServeOptions,
-    SimulateOptions, SweepOptions, TraceOptions, WatchOptions, USAGE,
+    CalibrationOptions, Command, CurvesOptions, FairShareOptions, JobOptions, LoadgenOptions,
+    RecoveryCheckOptions, ServeOptions, SimulateOptions, SweepOptions, TenantOptions, TraceOptions,
+    WatchOptions, USAGE,
 };
 use crate::loadgen::{self, LoadgenConfig};
 use commalloc::experiment::LoadSweep;
@@ -62,6 +63,10 @@ impl Command {
             Command::Serve(opts) => run_serve(opts),
             Command::Loadgen(opts) => run_loadgen(opts),
             Command::RecoveryCheck(opts) => run_recovery_check(opts),
+            Command::Tenant(opts) => run_tenant(opts),
+            Command::FairShare(opts) => run_fair_share(opts),
+            Command::Release(opts) => run_job_op(opts, true),
+            Command::Poll(opts) => run_job_op(opts, false),
             Command::Watch(opts) => run_watch(opts),
             Command::Calibration(opts) => run_calibration(opts),
         }
@@ -205,6 +210,7 @@ fn run_loadgen(opts: &LoadgenOptions) -> Result<String, RunError> {
         framing: commalloc_service::Framing::parse(&opts.framing)
             .unwrap_or(commalloc_service::Framing::Ndjson),
         seed: opts.seed,
+        tenant: opts.tenant.clone(),
         no_drain: opts.no_drain,
         claims_out: opts.claims_out.clone(),
     };
@@ -219,6 +225,124 @@ fn run_loadgen(opts: &LoadgenOptions) -> Result<String, RunError> {
         serde_json::to_string_pretty(&report.to_json()).map_err(|e| RunError::Json(e.to_string()))
     } else {
         Ok(report.render())
+    }
+}
+
+/// Renders the daemon's tenant table as rows (pure for testability).
+fn render_tenant_table(tenants: &Value) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7} {:>12} {:>10} {:>9} {:>7} {:>7} {:>9} {:>12}",
+        "tenant",
+        "weight",
+        "quota",
+        "used",
+        "admitted",
+        "denied",
+        "queued",
+        "in-flight",
+        "outstanding"
+    );
+    let Value::Object(entries) = tenants else {
+        return out;
+    };
+    for (name, entry) in entries.iter() {
+        let num = |key: &str| entry.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+        let count = |key: &str| entry.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let quota = match entry.get("quota_node_seconds").and_then(Value::as_f64) {
+            Some(q) => format!("{q:.0}"),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7.2} {:>12} {:>10.0} {:>9} {:>7} {:>7} {:>9} {:>12.0}",
+            name,
+            num("weight"),
+            quota,
+            num("consumed_node_seconds"),
+            count("admitted"),
+            count("denied"),
+            count("queued"),
+            count("in_flight"),
+            num("outstanding_node_seconds"),
+        );
+    }
+    out
+}
+
+/// `tenant`: configures a tenant (with `--name`) or prints the table.
+fn run_tenant(opts: &TenantOptions) -> Result<String, RunError> {
+    let mut client = ServiceClient::connect(&opts.addr)
+        .map_err(|e| RunError::Trace(format!("connect {}: {e}", opts.addr)))?;
+    if let Some(name) = &opts.name {
+        let (weight, quota, cap) = client
+            .set_tenant(name, opts.weight, opts.quota, opts.max_in_flight)
+            .map_err(|e| RunError::Trace(e.to_string()))?;
+        return Ok(format!(
+            "tenant {name}: weight {weight}, quota {}, max in-flight {}\n",
+            quota.map_or_else(|| "none".to_string(), |q| format!("{q}")),
+            cap.map_or_else(|| "none".to_string(), |c| format!("{c}")),
+        ));
+    }
+    let tenants = client
+        .tenants()
+        .map_err(|e| RunError::Trace(e.to_string()))?;
+    if opts.json {
+        serde_json::to_string_pretty(&tenants).map_err(|e| RunError::Json(e.to_string()))
+    } else {
+        Ok(render_tenant_table(&tenants))
+    }
+}
+
+/// `fair-share`: flips weighted fair-share admission on a machine and
+/// reports the jobs the re-drain admitted.
+fn run_fair_share(opts: &FairShareOptions) -> Result<String, RunError> {
+    let mut client = ServiceClient::connect(&opts.addr)
+        .map_err(|e| RunError::Trace(format!("connect {}: {e}", opts.addr)))?;
+    let granted = client
+        .set_fair_share(&opts.machine, opts.enabled)
+        .map_err(|e| RunError::Trace(e.to_string()))?;
+    Ok(format!(
+        "fair-share {} on {} ({} job(s) admitted by the re-drain)\n",
+        if opts.enabled { "enabled" } else { "disabled" },
+        opts.machine,
+        granted.len(),
+    ))
+}
+
+/// One-shot `release` / `poll` of a job reference (`7`, `m0/7`,
+/// `grid/m0/7`) against a machine or `@pool` address.
+fn run_job_op(opts: &JobOptions, release: bool) -> Result<String, RunError> {
+    let job = commalloc_service::JobRef::parse_str(&opts.job)
+        .map_err(|e| RunError::Trace(format!("bad job reference {:?}: {e}", opts.job)))?;
+    let mut client = ServiceClient::connect(&opts.addr)
+        .map_err(|e| RunError::Trace(format!("connect {}: {e}", opts.addr)))?;
+    if release {
+        let (machine, granted) = client
+            .release_ref(opts.machine.as_deref(), &job)
+            .map_err(|e| RunError::Trace(e.to_string()))?;
+        let at = machine.map_or_else(String::new, |m| format!(" on {m}"));
+        Ok(format!(
+            "released job {}{at} ({} job(s) admitted from the queue)\n",
+            job.id(),
+            granted.len(),
+        ))
+    } else {
+        let (machine, status) = client
+            .poll_ref(opts.machine.as_deref(), &job)
+            .map_err(|e| RunError::Trace(e.to_string()))?;
+        let at = machine.map_or_else(String::new, |m| format!(" on {m}"));
+        use commalloc_service::registry::JobStatus;
+        Ok(match status {
+            JobStatus::Running(nodes) => {
+                format!("job {}{at}: running on {} node(s)\n", job.id(), nodes.len())
+            }
+            JobStatus::Queued(position) => {
+                format!("job {}{at}: queued at position {position}\n", job.id())
+            }
+            JobStatus::Unknown => format!("job {}: unknown\n", job.id()),
+        })
     }
 }
 
@@ -649,6 +773,32 @@ fn render_watch_frame(metrics: &Value, addr: &str, window: &str, frame: usize) -
                 "    {stage:<12} count {count:>8}  mean {mean:>10.1}  p99 {p99:>10.1}  \
                  max {max:>10.1}"
             );
+        }
+    }
+    if let Some(Value::Object(tenants)) = metrics.get("tenants") {
+        if !tenants.is_empty() {
+            let _ = writeln!(out, "  tenants:");
+            for (tenant, entry) in tenants.iter() {
+                let count = |name: &str| entry.get(name).and_then(Value::as_u64).unwrap_or(0);
+                let quota = match entry.get("quota_node_seconds").and_then(Value::as_f64) {
+                    Some(q) => format!("{q:.0}"),
+                    None => "-".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "    {tenant:<12} weight {:<6.2} quota {quota:<10} admitted {:>7}  \
+                     denied {:>5}  queued {:>5}  in-flight {:>4}  outstanding {:>10.0}",
+                    entry.get("weight").and_then(Value::as_f64).unwrap_or(1.0),
+                    count("admitted"),
+                    count("denied"),
+                    count("queued"),
+                    count("in_flight"),
+                    entry
+                        .get("outstanding_node_seconds")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0),
+                );
+            }
         }
     }
     if let Some(Value::Object(pools)) = metrics.get("pools") {

@@ -31,7 +31,7 @@
 //! machine empty) still bounds such escapes.
 
 use commalloc_service::client::{ClientAllocOutcome, ServiceClient};
-use commalloc_service::{ClientError, Framing, Request, Response};
+use commalloc_service::{ClientError, Framing, JobRef, Request, Response};
 use commalloc_workload::CommPattern;
 use rand::prelude::*;
 use serde::{Map, Serialize, Value};
@@ -79,6 +79,10 @@ pub struct LoadgenConfig {
     pub framing: Framing,
     /// RNG seed.
     pub seed: u64,
+    /// Tenant every driving connection binds itself to with `hello`;
+    /// allocations then inherit the binding server-side. `None` drives
+    /// untenanted (the default-tenant books).
+    pub tenant: Option<String>,
     /// Skip the final drain: granted jobs stay live on the daemon. The
     /// crash-recovery harness then kills the daemon and asserts the
     /// recovered occupancy matches the claim table exactly.
@@ -398,7 +402,12 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
 
     if let Some(path) = &config.claims_out {
         let survivors = shared.surviving.lock().expect("surviving table poisoned");
-        let claims = claims_value(&config.machine, &machines, &survivors);
+        let claims = claims_value(
+            &config.machine,
+            config.tenant.as_deref(),
+            &machines,
+            &survivors,
+        );
         let json = serde_json::to_string_pretty(&claims)
             .map_err(|e| format!("cannot render claim table: {e}"))?;
         std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -433,6 +442,11 @@ fn drive_connection(
     let connected = ServiceClient::connect_with_framing(&config.addr, config.framing);
     start_barrier.wait();
     let mut client = connected.map_err(|e| format!("connection {index}: {e}"))?;
+    if let Some(tenant) = &config.tenant {
+        client
+            .hello(tenant)
+            .map_err(|e| format!("connection {index}: hello {tenant}: {e}"))?;
+    }
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(index as u64));
     // Job ids are partitioned per connection so they never collide.
     let mut next_job = (index as u64) << 40;
@@ -518,8 +532,8 @@ fn drive_connection(
         for (machine, job, nodes) in chunk {
             shared.unclaim(machine, nodes);
             batch.push(Request::Release {
-                machine: machine.clone(),
-                job: *job,
+                machine: Some(machine.clone()),
+                job: JobRef::Bare(*job),
             });
         }
         let responses = client.batch(batch).map_err(fail)?;
@@ -553,9 +567,17 @@ fn pick_victim(live: &mut Vec<LiveJob>, rng: &mut StdRng) -> Option<LiveJob> {
 /// Renders the claim table: the machines driven and every job left live
 /// with its exact nodes — the ground truth `recovery-check` holds a
 /// recovered daemon to.
-fn claims_value(machine_arg: &str, machines: &[(String, usize)], live: &[LiveJob]) -> Value {
+fn claims_value(
+    machine_arg: &str,
+    tenant: Option<&str>,
+    machines: &[(String, usize)],
+    live: &[LiveJob],
+) -> Value {
     let mut m = Map::new();
     m.insert("machine_arg".into(), machine_arg.to_value());
+    if let Some(tenant) = tenant {
+        m.insert("tenant".into(), tenant.to_value());
+    }
     m.insert(
         "machines".into(),
         Value::Array(
@@ -602,9 +624,14 @@ pub struct RecoveryCheckReport {
     /// Processors the recovered daemon reports busy.
     pub recovered_busy: u64,
     /// Divergences: lost grants (claimed job not running, or running on
-    /// different nodes) plus resurrected state (busy count above the
-    /// claims, queue entries that should not exist).
+    /// different nodes), resurrected state (busy count above the
+    /// claims, queue entries that should not exist), pool-index
+    /// misresolutions, and tenant-table losses.
     pub violations: u64,
+    /// Extra checks performed: pool-index resolutions of live jobs (in
+    /// cluster mode) plus tenant-table verifications (when the claims
+    /// were driven under a tenant).
+    pub extra_checks: u64,
 }
 
 impl RecoveryCheckReport {
@@ -614,8 +641,14 @@ impl RecoveryCheckReport {
             "recovery-check: {} machines, {} live jobs\n\
              \x20 claimed nodes  {:>8}\n\
              \x20 recovered busy {:>8}\n\
+             \x20 extra checks   {:>8}\n\
              \x20 violations     {:>8}\n",
-            self.machines, self.jobs, self.claimed_nodes, self.recovered_busy, self.violations,
+            self.machines,
+            self.jobs,
+            self.claimed_nodes,
+            self.recovered_busy,
+            self.extra_checks,
+            self.violations,
         )
     }
 }
@@ -644,7 +677,16 @@ pub fn recovery_check(addr: &str, claims_path: &str) -> Result<RecoveryCheckRepo
     let mut client =
         ServiceClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let mut violations = 0u64;
+    let mut extra_checks = 0u64;
     let mut claimed_per_machine: HashMap<String, u64> = HashMap::new();
+    // In cluster mode the claims were driven through "@pool": the
+    // recovered pool job index must resolve every live bare id back to
+    // the member the router placed it on.
+    let pool_address = claims
+        .get("machine_arg")
+        .and_then(Value::as_str)
+        .filter(|arg| arg.starts_with('@'))
+        .map(str::to_string);
 
     // Every claimed job must have survived with its exact processors.
     for entry in live {
@@ -660,10 +702,29 @@ pub fn recovery_check(addr: &str, claims_path: &str) -> Result<RecoveryCheckRepo
             .map(|nodes| nodes.iter().filter_map(Value::as_u64).collect());
         let want = want.ok_or_else(|| "claim table has a malformed node list".to_string())?;
         *claimed_per_machine.entry(machine.to_string()).or_default() += want.len() as u64;
-        match client
-            .poll(machine, job)
-            .map_err(|e| format!("poll of job {job} on {machine} failed: {e}"))?
-        {
+        let (resolved, status) = match &pool_address {
+            // Poll through the pool address: the recovered index does
+            // the bare-id → member resolution.
+            Some(pool) => client
+                .poll_ref(Some(pool), &JobRef::Bare(job))
+                .map_err(|e| format!("poll of job {job} via {pool} failed: {e}"))?,
+            None => {
+                let status = client
+                    .poll(machine, job)
+                    .map_err(|e| format!("poll of job {job} on {machine} failed: {e}"))?;
+                (None, status)
+            }
+        };
+        if let Some(pool) = &pool_address {
+            extra_checks += 1;
+            if resolved.as_deref() != Some(machine) {
+                eprintln!(
+                    "recovery-check: {pool} resolved job {job} to {resolved:?}, claimed {machine}"
+                );
+                violations += 1;
+            }
+        }
+        match status {
             JobStatus::Running(nodes) => {
                 let got: Vec<u64> = nodes.iter().map(|n| n.0 as u64).collect();
                 if got != want {
@@ -711,11 +772,42 @@ pub fn recovery_check(addr: &str, claims_path: &str) -> Result<RecoveryCheckRepo
         }
     }
 
+    // When the claims were driven under a tenant, the recovered tenant
+    // table must carry that tenant with outstanding node-seconds that
+    // match the survival of its jobs.
+    if let Some(tenant) = claims.get("tenant").and_then(Value::as_str) {
+        extra_checks += 1;
+        let claimed_nodes: u64 = claimed_per_machine.values().sum();
+        let tenants = client
+            .tenants()
+            .map_err(|e| format!("tenant table fetch failed: {e}"))?;
+        match tenants.get(tenant) {
+            None => {
+                eprintln!("recovery-check: tenant {tenant} missing from the recovered table");
+                violations += 1;
+            }
+            Some(row) => {
+                let outstanding = row
+                    .get("outstanding_node_seconds")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(-1.0);
+                if (claimed_nodes > 0) != (outstanding > 0.0) {
+                    eprintln!(
+                        "recovery-check: tenant {tenant} shows {outstanding} outstanding \
+                         node-seconds against {claimed_nodes} claimed nodes"
+                    );
+                    violations += 1;
+                }
+            }
+        }
+    }
+
     Ok(RecoveryCheckReport {
         machines: machines.len() as u64,
         jobs: live.len() as u64,
         claimed_nodes: claimed_per_machine.values().sum(),
         recovered_busy,
         violations,
+        extra_checks,
     })
 }

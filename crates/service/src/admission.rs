@@ -65,6 +65,16 @@ pub struct PendingRequest {
     /// unrouted requests (and recovered queue records, whose placing
     /// path was not journaled).
     pub placed_by: &'static str,
+    /// Tenant the job is attributed to (`None` = the default tenant).
+    /// Feeds the weighted fair-share drain order and the per-tenant
+    /// quota settlement when the job is cancelled.
+    pub tenant: Option<String>,
+    /// Queue-local arrival sequence, assigned at enqueue. The
+    /// tie-breaker of the fair-share reorder: requests with equal
+    /// fair-share keys (in particular, *all* requests of a single
+    /// tenant) stay in strict arrival order, which is what reduces
+    /// fair-share to plain FCFS order for untenanted traffic.
+    pub arrival_seq: u64,
 }
 
 impl PendingRequest {
@@ -93,6 +103,9 @@ impl PendingRequest {
 pub struct AdmissionQueue {
     kind: SchedulerKind,
     queue: VecDeque<PendingRequest>,
+    /// Monotonic enqueue counter; stamps every request's
+    /// `arrival_seq`.
+    arrivals: u64,
 }
 
 impl Default for AdmissionQueue {
@@ -107,6 +120,7 @@ impl AdmissionQueue {
         AdmissionQueue {
             kind,
             queue: VecDeque::new(),
+            arrivals: 0,
         }
     }
 
@@ -137,10 +151,53 @@ impl AdmissionQueue {
         self.queue.iter().any(|p| p.job_id == job_id)
     }
 
-    /// Appends a request and returns its 1-based queue position.
-    pub fn enqueue(&mut self, request: PendingRequest) -> usize {
+    /// Appends a request (stamping its arrival sequence) and returns
+    /// its 1-based queue position.
+    pub fn enqueue(&mut self, mut request: PendingRequest) -> usize {
+        request.arrival_seq = self.arrivals;
+        self.arrivals += 1;
         self.queue.push_back(request);
         self.queue.len()
+    }
+
+    /// Re-orders the pending queue by weighted fair-share key: a
+    /// stable sort on `(key(tenant), arrival_seq)`, where the key is
+    /// the tenant's outstanding node-seconds divided by its weight
+    /// (see [`crate::tenant::TenantTable::fair_key`]). Tenants holding
+    /// less of the machine — or weighted more heavily — move toward
+    /// the head; within a tenant (and in the degenerate single-tenant
+    /// case, across the whole queue) strict arrival order is
+    /// preserved, so untenanted traffic drains exactly as before.
+    ///
+    /// Called by the registry's drain loop when the machine's
+    /// fair-share layer is enabled, *before* the scheduler policy
+    /// looks at the queue: the policy still sees an ordinary ordered
+    /// queue and keeps its own guarantees (conservative backfilling
+    /// still hands every queued job a reservation — the no-starvation
+    /// property — just in fair-share order).
+    pub fn resequence(&mut self, key: impl Fn(Option<&str>) -> f64) {
+        if self.queue.len() < 2 {
+            return;
+        }
+        let mut pending: Vec<PendingRequest> = self.queue.drain(..).collect();
+        // Keys are computed once per request up front so the sort sees
+        // a consistent ledger snapshot.
+        let mut keyed: Vec<(f64, u64)> = Vec::with_capacity(pending.len());
+        for request in &pending {
+            keyed.push((key(request.tenant.as_deref()), request.arrival_seq));
+        }
+        let mut order: Vec<usize> = (0..pending.len()).collect();
+        order.sort_by(|&a, &b| {
+            keyed[a]
+                .0
+                .total_cmp(&keyed[b].0)
+                .then(keyed[a].1.cmp(&keyed[b].1))
+        });
+        let mut slots: Vec<Option<PendingRequest>> = pending.drain(..).map(Some).collect();
+        for index in order {
+            self.queue
+                .push_back(slots[index].take().expect("each slot moves once"));
+        }
     }
 
     /// The request at the head, if any.
@@ -204,6 +261,8 @@ mod tests {
             trace_request: 0,
             enqueued_micros: 0,
             placed_by: "direct",
+            tenant: None,
+            arrival_seq: 0,
         }
     }
 
@@ -217,6 +276,15 @@ mod tests {
             trace_request: 0,
             enqueued_micros: 0,
             placed_by: "direct",
+            tenant: None,
+            arrival_seq: 0,
+        }
+    }
+
+    fn tenant_req(job_id: u64, tenant: &str) -> PendingRequest {
+        PendingRequest {
+            tenant: Some(tenant.to_string()),
+            ..req(job_id, 1)
         }
     }
 
@@ -284,6 +352,32 @@ mod tests {
         q.put_back(1, taken);
         let order: Vec<u64> = q.iter().map(|p| p.job_id).collect();
         assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn resequence_orders_by_key_then_arrival() {
+        let mut q = AdmissionQueue::default();
+        q.enqueue(tenant_req(1, "hog"));
+        q.enqueue(tenant_req(2, "hog"));
+        q.enqueue(tenant_req(3, "light"));
+        q.enqueue(tenant_req(4, "light"));
+        q.resequence(|tenant| match tenant {
+            Some("hog") => 100.0,
+            _ => 1.0,
+        });
+        let order: Vec<u64> = q.iter().map(|p| p.job_id).collect();
+        assert_eq!(order, vec![3, 4, 1, 2], "light ahead, arrival kept");
+    }
+
+    #[test]
+    fn resequence_with_uniform_keys_is_the_identity() {
+        let mut q = AdmissionQueue::default();
+        for id in 1..=5 {
+            q.enqueue(req(id, 1));
+        }
+        q.resequence(|_| 0.0);
+        let order: Vec<u64> = q.iter().map(|p| p.job_id).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A blocking TCP client for the service protocol.
 
 use crate::framing::{self, FrameBuffer, Framing};
-use crate::protocol::{Request, Response};
+use crate::protocol::{JobRef, Request, Response};
 use crate::registry::JobStatus;
 use commalloc_mesh::NodeId;
 use commalloc_workload::CommPattern;
@@ -24,6 +24,26 @@ pub enum ClientError {
     /// (e.g. a non-finite or non-positive walltime estimate, which the
     /// server would reject anyway and which NDJSON cannot even spell).
     InvalidRequest(String),
+    /// The tenant's node-second quota would be exceeded (typed decode
+    /// of the server's `quota_exceeded` error).
+    QuotaExceeded {
+        /// The tenant whose quota blocked admission.
+        tenant: String,
+        /// Node-seconds already committed or consumed against the quota.
+        usage: f64,
+        /// The quota itself.
+        limit: f64,
+    },
+    /// A bare job id addressed through `@pool` matched jobs on several
+    /// members (typed decode of the server's `ambiguous_job` error).
+    AmbiguousJob {
+        /// The pool that was addressed.
+        pool: String,
+        /// The colliding job id.
+        job: u64,
+        /// Every member holding that id, sorted.
+        machines: Vec<String>,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -33,7 +53,74 @@ impl fmt::Display for ClientError {
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Service(e) => write!(f, "service error: {e}"),
             ClientError::InvalidRequest(e) => write!(f, "invalid request: {e}"),
+            ClientError::QuotaExceeded {
+                tenant,
+                usage,
+                limit,
+            } => write!(
+                f,
+                "quota exceeded for tenant {tenant}: {usage} of {limit} node-seconds"
+            ),
+            ClientError::AmbiguousJob {
+                pool,
+                job,
+                machines,
+            } => write!(
+                f,
+                "job {job} is ambiguous in @{pool}: held by {}",
+                machines.join(", ")
+            ),
         }
+    }
+}
+
+/// Decodes a wire error into the richest client error its `code` and
+/// `detail` admit; anything unrecognised stays a plain `Service` error.
+fn decode_service_error(
+    message: String,
+    code: Option<String>,
+    detail: Option<Value>,
+) -> ClientError {
+    let detail = detail.unwrap_or(Value::Null);
+    match code.as_deref() {
+        Some("quota_exceeded") => {
+            if let (Some(tenant), Some(usage), Some(limit)) = (
+                detail.get("tenant").and_then(Value::as_str),
+                detail.get("usage").and_then(Value::as_f64),
+                detail.get("limit").and_then(Value::as_f64),
+            ) {
+                return ClientError::QuotaExceeded {
+                    tenant: tenant.to_string(),
+                    usage,
+                    limit,
+                };
+            }
+            ClientError::Service(message)
+        }
+        Some("ambiguous_job") => {
+            let machines = detail
+                .get("machines")
+                .and_then(Value::as_array)
+                .map(|ms| {
+                    ms.iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_string)
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default();
+            if let (Some(pool), Some(job)) = (
+                detail.get("pool").and_then(Value::as_str),
+                detail.get("job").and_then(Value::as_u64),
+            ) {
+                return ClientError::AmbiguousJob {
+                    pool: pool.to_string(),
+                    job,
+                    machines,
+                };
+            }
+            ClientError::Service(message)
+        }
+        _ => ClientError::Service(message),
     }
 }
 
@@ -84,6 +171,9 @@ pub struct TraceDump {
     /// Routing-decision records, oldest first, as raw wire values.
     pub decisions: Vec<Value>,
 }
+
+/// Jobs granted from the queue by a release, in grant order.
+pub type GrantedJobs = Vec<(u64, Vec<NodeId>)>;
 
 /// A blocking connection to the daemon.
 pub struct ServiceClient {
@@ -188,7 +278,11 @@ impl ServiceClient {
         decode: impl FnOnce(Response) -> Result<T, Response>,
     ) -> Result<T, ClientError> {
         match self.roundtrip(request)? {
-            Response::Error { message } => Err(ClientError::Service(message)),
+            Response::Error {
+                message,
+                code,
+                detail,
+            } => Err(decode_service_error(message, code, detail)),
             other => decode(other).map_err(|unexpected| {
                 ClientError::Protocol(format!("unexpected response {unexpected:?}"))
             }),
@@ -279,6 +373,23 @@ impl ServiceClient {
         walltime: Option<f64>,
         pattern: Option<CommPattern>,
     ) -> Result<ClientAllocOutcome, ClientError> {
+        self.alloc_as(machine, job, size, wait, walltime, pattern, None)
+    }
+
+    /// [`ServiceClient::alloc_patterned`] on behalf of a tenant. `None`
+    /// falls back to the connection's `hello` binding (or the default
+    /// tenant).
+    #[allow(clippy::too_many_arguments)]
+    pub fn alloc_as(
+        &mut self,
+        machine: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+        pattern: Option<CommPattern>,
+        tenant: Option<&str>,
+    ) -> Result<ClientAllocOutcome, ClientError> {
         validate_walltime(walltime)?;
         let request = Request::Alloc {
             machine: machine.to_string(),
@@ -287,6 +398,7 @@ impl ServiceClient {
             wait,
             walltime,
             pattern,
+            tenant: tenant.map(str::to_string),
         };
         self.expect(&request, |r| match r {
             Response::Granted { nodes, .. } => Ok(ClientAllocOutcome::Granted(nodes)),
@@ -310,6 +422,21 @@ impl ServiceClient {
         walltime: Option<f64>,
         pattern: Option<CommPattern>,
     ) -> Result<(String, ClientAllocOutcome), ClientError> {
+        self.alloc_routed_as(target, job, size, wait, walltime, pattern, None)
+    }
+
+    /// [`ServiceClient::alloc_routed`] on behalf of a tenant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn alloc_routed_as(
+        &mut self,
+        target: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+        pattern: Option<CommPattern>,
+        tenant: Option<&str>,
+    ) -> Result<(String, ClientAllocOutcome), ClientError> {
         validate_walltime(walltime)?;
         let request = Request::Alloc {
             machine: target.to_string(),
@@ -318,6 +445,7 @@ impl ServiceClient {
             wait,
             walltime,
             pattern,
+            tenant: tenant.map(str::to_string),
         };
         let routed = target.starts_with('@');
         let resolve = move |machine: Option<String>| -> Result<String, ClientError> {
@@ -330,7 +458,11 @@ impl ServiceClient {
             }
         };
         match self.roundtrip(&request)? {
-            Response::Error { message } => Err(ClientError::Service(message)),
+            Response::Error {
+                message,
+                code,
+                detail,
+            } => Err(decode_service_error(message, code, detail)),
             Response::Granted { nodes, machine, .. } => {
                 Ok((resolve(machine)?, ClientAllocOutcome::Granted(nodes)))
             }
@@ -366,7 +498,11 @@ impl ServiceClient {
     pub fn batch(&mut self, requests: Vec<Request>) -> Result<Vec<Response>, ClientError> {
         let expected = requests.len();
         match self.roundtrip(&Request::Batch(requests))? {
-            Response::Error { message } => Err(ClientError::Service(message)),
+            Response::Error {
+                message,
+                code,
+                detail,
+            } => Err(decode_service_error(message, code, detail)),
             Response::Batch(responses) if responses.len() == expected => Ok(responses),
             Response::Batch(responses) => Err(ClientError::Protocol(format!(
                 "batch of {expected} answered with {} responses",
@@ -402,26 +538,124 @@ impl ServiceClient {
         machine: &str,
         job: u64,
     ) -> Result<Vec<(u64, Vec<NodeId>)>, ClientError> {
+        self.release_ref(Some(machine), &JobRef::Bare(job))
+            .map(|(_, granted)| granted)
+    }
+
+    /// Releases a job by reference. `machine` may be a member name, a
+    /// `"@pool"` address (the pool's job index resolves a bare id to
+    /// its owning member), or `None` when the reference itself is
+    /// qualified (`"m0/7"`, `"grid/m0/7"`). Returns the member that
+    /// held the job (when the server names it) and the jobs granted
+    /// from the queue by this release.
+    pub fn release_ref(
+        &mut self,
+        machine: Option<&str>,
+        job: &JobRef,
+    ) -> Result<(Option<String>, GrantedJobs), ClientError> {
         let request = Request::Release {
-            machine: machine.to_string(),
-            job,
+            machine: machine.map(str::to_string),
+            job: job.clone(),
         };
         self.expect(&request, |r| match r {
-            Response::Released { granted, .. } => Ok(granted),
+            Response::Released {
+                granted, machine, ..
+            } => Ok((machine, granted)),
             other => Err(other),
         })
     }
 
     /// Where `job` stands.
     pub fn poll(&mut self, machine: &str, job: u64) -> Result<JobStatus, ClientError> {
+        self.poll_ref(Some(machine), &JobRef::Bare(job))
+            .map(|(_, status)| status)
+    }
+
+    /// [`ServiceClient::poll`] by job reference, with the same
+    /// addressing forms as [`ServiceClient::release_ref`]. Returns the
+    /// resolved member (when the server names it) and the status.
+    pub fn poll_ref(
+        &mut self,
+        machine: Option<&str>,
+        job: &JobRef,
+    ) -> Result<(Option<String>, JobStatus), ClientError> {
         let request = Request::Poll {
-            machine: machine.to_string(),
-            job,
+            machine: machine.map(str::to_string),
+            job: job.clone(),
         };
         self.expect(&request, |r| match r {
-            Response::Running { nodes, .. } => Ok(JobStatus::Running(nodes)),
-            Response::Waiting { position, .. } => Ok(JobStatus::Queued(position)),
-            Response::Unknown { .. } => Ok(JobStatus::Unknown),
+            Response::Running { nodes, machine, .. } => Ok((machine, JobStatus::Running(nodes))),
+            Response::Waiting {
+                position, machine, ..
+            } => Ok((machine, JobStatus::Queued(position))),
+            Response::Unknown { .. } => Ok((None, JobStatus::Unknown)),
+            other => Err(other),
+        })
+    }
+
+    /// Binds this connection to `tenant`: subsequent requests without
+    /// an explicit tenant are billed to it. Returns the bound tenant as
+    /// the server confirmed it.
+    pub fn hello(&mut self, tenant: &str) -> Result<String, ClientError> {
+        let request = Request::Hello {
+            tenant: tenant.to_string(),
+        };
+        self.expect(&request, |r| match r {
+            Response::Hello { tenant } => Ok(tenant),
+            other => Err(other),
+        })
+    }
+
+    /// Creates or reconfigures a tenant: fair-share `weight`,
+    /// node-second `quota`, and wire in-flight cap. `None` leaves a
+    /// field unchanged; `Some(0.0)` / `Some(0)` clears quota or cap.
+    /// Returns the tenant's effective `(weight, quota, max_in_flight)`.
+    pub fn set_tenant(
+        &mut self,
+        tenant: &str,
+        weight: Option<f64>,
+        quota: Option<f64>,
+        max_in_flight: Option<u64>,
+    ) -> Result<(f64, Option<f64>, Option<u64>), ClientError> {
+        let request = Request::SetTenant {
+            tenant: tenant.to_string(),
+            weight,
+            quota,
+            max_in_flight,
+        };
+        self.expect(&request, |r| match r {
+            Response::TenantSet {
+                weight,
+                quota,
+                max_in_flight,
+                ..
+            } => Ok((weight, quota, max_in_flight)),
+            other => Err(other),
+        })
+    }
+
+    /// Per-tenant accounting snapshot (raw wire value: one object per
+    /// tenant keyed by name).
+    pub fn tenants(&mut self) -> Result<Value, ClientError> {
+        self.expect(&Request::Tenants, |r| match r {
+            Response::Tenants(v) => Ok(v),
+            other => Err(other),
+        })
+    }
+
+    /// Turns weighted fair-share admission on or off for `machine`;
+    /// returns the jobs the re-drain admitted from the queue.
+    pub fn set_fair_share(
+        &mut self,
+        machine: &str,
+        enabled: bool,
+    ) -> Result<Vec<(u64, Vec<NodeId>)>, ClientError> {
+        let request = Request::SetFairShare {
+            machine: machine.to_string(),
+            enabled,
+        };
+        self.expect(&request, |r| match r {
+            Response::FairShareSet { granted, .. } => Ok(granted),
             other => Err(other),
         })
     }

@@ -119,6 +119,10 @@ pub enum JournalRecord {
         /// wire the field is present only when declared (absent = none),
         /// carrying the pattern's canonical name.
         pattern: Option<CommPattern>,
+        /// Tenant the job is attributed to, if any. Present on the wire
+        /// only when tagged, so untenanted grant logs keep their
+        /// pre-tenant bytes.
+        tenant: Option<String>,
     },
     /// A request entered the admission queue.
     Queue {
@@ -135,6 +139,9 @@ pub enum JournalRecord {
         /// The communication pattern the job declared, if any (present
         /// on the wire only when declared).
         pattern: Option<CommPattern>,
+        /// Tenant the job is attributed to, if any (present on the wire
+        /// only when tagged).
+        tenant: Option<String>,
     },
     /// A running job released its processors.
     Release {
@@ -164,6 +171,26 @@ pub enum JournalRecord {
         /// Canonical name of the now-active routing policy.
         policy: String,
     },
+    /// A tenant was configured (created or reconfigured). Carries the
+    /// *resulting* absolute configuration, so replay is last-writer-wins
+    /// regardless of which fields the original request spelled out.
+    SetTenant {
+        /// Tenant name.
+        tenant: String,
+        /// Fair-share weight (finite, positive).
+        weight: f64,
+        /// Node-second quota; `None` = unlimited.
+        quota: Option<f64>,
+        /// In-flight wire request cap; `None` = uncapped.
+        max_in_flight: Option<u64>,
+    },
+    /// The machine's fair-share admission layer was toggled.
+    SetFairShare {
+        /// Machine name.
+        machine: String,
+        /// Whether the layer is now on.
+        enabled: bool,
+    },
     /// A full state image; the log before it is redundant.
     Snapshot(SnapshotImage),
 }
@@ -182,6 +209,12 @@ pub struct SnapshotImage {
     pub machines: Vec<MachineImage>,
     /// Every pool: members and active routing policy.
     pub pools: Vec<PoolImage>,
+    /// Every configured tenant: configuration plus cumulative
+    /// consumption. Rendered only when non-empty, so tenant-free
+    /// snapshots keep their pre-tenant bytes. Outstanding commitments
+    /// are *not* captured — recovery recomputes them exactly from the
+    /// restored running and queued jobs.
+    pub tenants: Vec<TenantImage>,
 }
 
 /// One machine's image inside a [`SnapshotImage`].
@@ -205,6 +238,9 @@ pub struct MachineImage {
     /// The virtual clock, when the machine runs in virtual time (replay
     /// harnesses); `None` for wall-clock machines, whose clock restarts.
     pub clock: Option<f64>,
+    /// Whether the fair-share admission layer is on (rendered only when
+    /// true, keeping pre-tenant snapshot bytes).
+    pub fair_share: bool,
     /// Running jobs in **grant order** (the order the running vector
     /// evolved in — EASY's tie-breaking state, so it must survive).
     pub running: Vec<RunningImage>,
@@ -225,6 +261,9 @@ pub struct RunningImage {
     pub start: f64,
     /// The communication pattern the job declared, if any.
     pub pattern: Option<CommPattern>,
+    /// Tenant the job is attributed to, if any (present on the wire
+    /// only when tagged).
+    pub tenant: Option<String>,
 }
 
 /// One queued request inside a [`MachineImage`].
@@ -240,6 +279,24 @@ pub struct QueuedImage {
     pub enqueued_at: f64,
     /// The communication pattern the job declared, if any.
     pub pattern: Option<CommPattern>,
+    /// Tenant the job is attributed to, if any (present on the wire
+    /// only when tagged).
+    pub tenant: Option<String>,
+}
+
+/// One configured tenant inside a [`SnapshotImage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantImage {
+    /// Tenant name.
+    pub tenant: String,
+    /// Fair-share weight.
+    pub weight: f64,
+    /// Node-second quota; `None` = unlimited.
+    pub quota: Option<f64>,
+    /// In-flight wire request cap; `None` = uncapped.
+    pub max_in_flight: Option<u64>,
+    /// Cumulative node-seconds of finished holds.
+    pub consumed: f64,
 }
 
 /// One pool inside a [`SnapshotImage`].
@@ -343,9 +400,26 @@ fn push_pattern_entry(entries: &mut Vec<(&'static str, Value)>, pattern: &Option
     }
 }
 
+/// Appends the optional `"tenant"` entry — present only when tagged, so
+/// untenanted records keep their pre-tenant wire form byte-for-byte.
+fn push_tenant_entry(entries: &mut Vec<(&'static str, Value)>, tenant: &Option<String>) {
+    if let Some(t) = tenant {
+        entries.push(("tenant", str_value(t)));
+    }
+}
+
+/// Appends the optional hand-written `"tenant"` suffix to a fast-path
+/// line (must emit exactly what [`push_tenant_entry`] renders).
+fn write_tenant_suffix(out: &mut String, tenant: &Option<String>) {
+    if let Some(t) = tenant {
+        out.push_str(",\"tenant\":");
+        write_json_str(out, t);
+    }
+}
+
 impl MachineImage {
     fn to_value(&self) -> Value {
-        obj(vec![
+        let mut entries = vec![
             ("machine", str_value(&self.machine)),
             ("mesh", str_value(&self.mesh)),
             ("allocator", str_value(&self.allocator)),
@@ -353,43 +427,50 @@ impl MachineImage {
             ("scheduler", str_value(&self.scheduler)),
             ("seq", Value::UInt(self.seq)),
             ("clock", opt_f64_value(&self.clock)),
-            (
-                "running",
-                Value::Array(
-                    self.running
-                        .iter()
-                        .map(|r| {
-                            let mut entries = vec![
-                                ("job", Value::UInt(r.job)),
-                                ("nodes", nodes_value(&r.nodes)),
-                                ("walltime", opt_f64_value(&r.walltime)),
-                                ("start", Value::Float(r.start)),
-                            ];
-                            push_pattern_entry(&mut entries, &r.pattern);
-                            obj(entries)
-                        })
-                        .collect(),
-                ),
+        ];
+        // Present only when on: pre-tenant images keep their bytes.
+        if self.fair_share {
+            entries.push(("fair_share", Value::Bool(true)));
+        }
+        entries.push((
+            "running",
+            Value::Array(
+                self.running
+                    .iter()
+                    .map(|r| {
+                        let mut entries = vec![
+                            ("job", Value::UInt(r.job)),
+                            ("nodes", nodes_value(&r.nodes)),
+                            ("walltime", opt_f64_value(&r.walltime)),
+                            ("start", Value::Float(r.start)),
+                        ];
+                        push_pattern_entry(&mut entries, &r.pattern);
+                        push_tenant_entry(&mut entries, &r.tenant);
+                        obj(entries)
+                    })
+                    .collect(),
             ),
-            (
-                "queue",
-                Value::Array(
-                    self.queue
-                        .iter()
-                        .map(|q| {
-                            let mut entries = vec![
-                                ("job", Value::UInt(q.job)),
-                                ("size", Value::UInt(q.size as u64)),
-                                ("walltime", opt_f64_value(&q.walltime)),
-                                ("enqueued_at", Value::Float(q.enqueued_at)),
-                            ];
-                            push_pattern_entry(&mut entries, &q.pattern);
-                            obj(entries)
-                        })
-                        .collect(),
-                ),
+        ));
+        entries.push((
+            "queue",
+            Value::Array(
+                self.queue
+                    .iter()
+                    .map(|q| {
+                        let mut entries = vec![
+                            ("job", Value::UInt(q.job)),
+                            ("size", Value::UInt(q.size as u64)),
+                            ("walltime", opt_f64_value(&q.walltime)),
+                            ("enqueued_at", Value::Float(q.enqueued_at)),
+                        ];
+                        push_pattern_entry(&mut entries, &q.pattern);
+                        push_tenant_entry(&mut entries, &q.tenant);
+                        obj(entries)
+                    })
+                    .collect(),
             ),
-        ])
+        ));
+        obj(entries)
     }
 
     fn from_value(v: &Value) -> Result<MachineImage, Error> {
@@ -405,6 +486,7 @@ impl MachineImage {
                     walltime: get_f64_opt(r, "walltime")?,
                     start: get_f64(r, "start")?,
                     pattern: get_pattern_opt(r)?,
+                    tenant: get_str_opt(r, "tenant")?,
                 })
             })
             .collect::<Result<Vec<_>, Error>>()?;
@@ -420,6 +502,7 @@ impl MachineImage {
                     walltime: get_f64_opt(q, "walltime")?,
                     enqueued_at: get_f64(q, "enqueued_at")?,
                     pattern: get_pattern_opt(q)?,
+                    tenant: get_str_opt(q, "tenant")?,
                 })
             })
             .collect::<Result<Vec<_>, Error>>()?;
@@ -431,6 +514,10 @@ impl MachineImage {
             scheduler: get_str(v, "scheduler")?,
             seq: get_u64(v, "seq")?,
             clock: get_f64_opt(v, "clock")?,
+            fair_share: v
+                .get("fair_share")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
             running,
             queue,
         })
@@ -439,7 +526,7 @@ impl MachineImage {
 
 impl SnapshotImage {
     fn to_value(&self) -> Value {
-        obj(vec![
+        let mut entries = vec![
             ("epoch", Value::UInt(self.epoch)),
             ("covers", Value::UInt(self.covers)),
             (
@@ -464,7 +551,34 @@ impl SnapshotImage {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        // Present only when a tenant is configured: tenant-free
+        // snapshots keep their pre-tenant bytes.
+        if !self.tenants.is_empty() {
+            entries.push((
+                "tenants",
+                Value::Array(
+                    self.tenants
+                        .iter()
+                        .map(|t| {
+                            let mut entries = vec![
+                                ("tenant", str_value(&t.tenant)),
+                                ("weight", Value::Float(t.weight)),
+                            ];
+                            if let Some(q) = t.quota {
+                                entries.push(("quota", Value::Float(q)));
+                            }
+                            if let Some(cap) = t.max_in_flight {
+                                entries.push(("max_in_flight", Value::UInt(cap)));
+                            }
+                            entries.push(("consumed", Value::Float(t.consumed)));
+                            obj(entries)
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        obj(entries)
     }
 
     fn from_value(v: &Value) -> Result<SnapshotImage, Error> {
@@ -499,11 +613,33 @@ impl SnapshotImage {
                 })
             })
             .collect::<Result<Vec<_>, Error>>()?;
+        let tenants = match v.get("tenants").and_then(Value::as_array) {
+            None => Vec::new(),
+            Some(rows) => rows
+                .iter()
+                .map(|t| {
+                    Ok(TenantImage {
+                        tenant: get_str(t, "tenant")?,
+                        weight: get_f64(t, "weight")?,
+                        quota: get_f64_opt(t, "quota")?,
+                        max_in_flight: match t.get("max_in_flight") {
+                            None | Some(Value::Null) => None,
+                            Some(cap) => Some(
+                                cap.as_u64()
+                                    .ok_or_else(|| Error::msg("non-integer \"max_in_flight\""))?,
+                            ),
+                        },
+                        consumed: get_f64(t, "consumed")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, Error>>()?,
+        };
         Ok(SnapshotImage {
             epoch: get_u64(v, "epoch")?,
             covers: get_u64(v, "covers")?,
             machines,
             pools,
+            tenants,
         })
     }
 }
@@ -537,6 +673,7 @@ impl JournalRecord {
                 walltime,
                 start,
                 pattern,
+                tenant,
             } => {
                 entries.push(("rec", str_value("grant")));
                 entries.push(("machine", str_value(machine)));
@@ -545,6 +682,7 @@ impl JournalRecord {
                 entries.push(("walltime", opt_f64_value(walltime)));
                 entries.push(("start", Value::Float(*start)));
                 push_pattern_entry(&mut entries, pattern);
+                push_tenant_entry(&mut entries, tenant);
             }
             JournalRecord::Queue {
                 machine,
@@ -553,6 +691,7 @@ impl JournalRecord {
                 walltime,
                 enqueued_at,
                 pattern,
+                tenant,
             } => {
                 entries.push(("rec", str_value("queue")));
                 entries.push(("machine", str_value(machine)));
@@ -561,6 +700,7 @@ impl JournalRecord {
                 entries.push(("walltime", opt_f64_value(walltime)));
                 entries.push(("enqueued_at", Value::Float(*enqueued_at)));
                 push_pattern_entry(&mut entries, pattern);
+                push_tenant_entry(&mut entries, tenant);
             }
             JournalRecord::Release { machine, job } => {
                 entries.push(("rec", str_value("release")));
@@ -581,6 +721,27 @@ impl JournalRecord {
                 entries.push(("rec", str_value("set_router")));
                 entries.push(("pool", str_value(pool)));
                 entries.push(("policy", str_value(policy)));
+            }
+            JournalRecord::SetTenant {
+                tenant,
+                weight,
+                quota,
+                max_in_flight,
+            } => {
+                entries.push(("rec", str_value("set_tenant")));
+                entries.push(("tenant", str_value(tenant)));
+                entries.push(("weight", Value::Float(*weight)));
+                if let Some(q) = quota {
+                    entries.push(("quota", Value::Float(*q)));
+                }
+                if let Some(cap) = max_in_flight {
+                    entries.push(("max_in_flight", Value::UInt(*cap)));
+                }
+            }
+            JournalRecord::SetFairShare { machine, enabled } => {
+                entries.push(("rec", str_value("set_fair_share")));
+                entries.push(("machine", str_value(machine)));
+                entries.push(("enabled", Value::Bool(*enabled)));
             }
             JournalRecord::Snapshot(image) => {
                 entries.push(("rec", str_value("snapshot")));
@@ -620,6 +781,7 @@ impl JournalRecord {
                 walltime: get_f64_opt(v, "walltime")?,
                 start: get_f64(v, "start")?,
                 pattern: get_pattern_opt(v)?,
+                tenant: get_str_opt(v, "tenant")?,
             },
             "queue" => JournalRecord::Queue {
                 machine: get_str(v, "machine")?,
@@ -628,6 +790,7 @@ impl JournalRecord {
                 walltime: get_f64_opt(v, "walltime")?,
                 enqueued_at: get_f64(v, "enqueued_at")?,
                 pattern: get_pattern_opt(v)?,
+                tenant: get_str_opt(v, "tenant")?,
             },
             "release" => JournalRecord::Release {
                 machine: get_str(v, "machine")?,
@@ -644,6 +807,25 @@ impl JournalRecord {
             "set_router" => JournalRecord::SetRouter {
                 pool: get_str(v, "pool")?,
                 policy: get_str(v, "policy")?,
+            },
+            "set_tenant" => JournalRecord::SetTenant {
+                tenant: get_str(v, "tenant")?,
+                weight: get_f64(v, "weight")?,
+                quota: get_f64_opt(v, "quota")?,
+                max_in_flight: match v.get("max_in_flight") {
+                    None | Some(Value::Null) => None,
+                    Some(cap) => Some(
+                        cap.as_u64()
+                            .ok_or_else(|| Error::msg("non-integer \"max_in_flight\""))?,
+                    ),
+                },
+            },
+            "set_fair_share" => JournalRecord::SetFairShare {
+                machine: get_str(v, "machine")?,
+                enabled: v
+                    .get("enabled")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| Error::msg("missing or non-boolean field \"enabled\""))?,
             },
             "snapshot" => JournalRecord::Snapshot(SnapshotImage::from_value(v)?),
             other => return Err(Error::msg(format!("unknown record kind {other:?}"))),
@@ -699,6 +881,7 @@ impl JournalRecord {
                 walltime,
                 start,
                 pattern,
+                tenant,
             } => {
                 out.push_str("\"rec\":\"grant\",\"machine\":");
                 write_json_str(out, machine);
@@ -717,6 +900,7 @@ impl JournalRecord {
                     out.push_str(",\"pattern\":");
                     write_json_str(out, p.name());
                 }
+                write_tenant_suffix(out, tenant);
                 out.push('}');
             }
             JournalRecord::Queue {
@@ -726,6 +910,7 @@ impl JournalRecord {
                 walltime,
                 enqueued_at,
                 pattern,
+                tenant,
             } => {
                 out.push_str("\"rec\":\"queue\",\"machine\":");
                 write_json_str(out, machine);
@@ -737,6 +922,7 @@ impl JournalRecord {
                     out.push_str(",\"pattern\":");
                     write_json_str(out, p.name());
                 }
+                write_tenant_suffix(out, tenant);
                 out.push('}');
             }
             JournalRecord::Release { machine, job } => {
@@ -762,6 +948,30 @@ impl JournalRecord {
                 out.push_str(",\"policy\":");
                 write_json_str(out, policy);
                 out.push('}');
+            }
+            JournalRecord::SetTenant {
+                tenant,
+                weight,
+                quota,
+                max_in_flight,
+            } => {
+                out.push_str("\"rec\":\"set_tenant\",\"tenant\":");
+                write_json_str(out, tenant);
+                out.push_str(",\"weight\":");
+                write_json_f64(out, *weight);
+                if let Some(q) = quota {
+                    out.push_str(",\"quota\":");
+                    write_json_f64(out, *q);
+                }
+                if let Some(cap) = max_in_flight {
+                    let _ = write!(out, ",\"max_in_flight\":{cap}");
+                }
+                out.push('}');
+            }
+            JournalRecord::SetFairShare { machine, enabled } => {
+                out.push_str("\"rec\":\"set_fair_share\",\"machine\":");
+                write_json_str(out, machine);
+                let _ = write!(out, ",\"enabled\":{enabled}}}");
             }
             JournalRecord::Snapshot(_) => {
                 // Cold path: rebuild through the tree for the whole
@@ -790,8 +1000,11 @@ impl JournalRecord {
             | JournalRecord::Queue { machine, .. }
             | JournalRecord::Release { machine, .. }
             | JournalRecord::Cancel { machine, .. }
-            | JournalRecord::SetScheduler { machine, .. } => Some(machine),
-            JournalRecord::SetRouter { .. } | JournalRecord::Snapshot(_) => None,
+            | JournalRecord::SetScheduler { machine, .. }
+            | JournalRecord::SetFairShare { machine, .. } => Some(machine),
+            JournalRecord::SetRouter { .. }
+            | JournalRecord::SetTenant { .. }
+            | JournalRecord::Snapshot(_) => None,
         }
     }
 }
@@ -1462,6 +1675,10 @@ pub fn open_journaled(
         service.apply_journal_record(record)?;
         report.applied += 1;
     }
+    // Configs and consumed totals restored from records; the live
+    // tenant gauges (outstanding commitments, queued counts) are
+    // derived state, recomputed exactly from the restored jobs.
+    service.rebuild_tenant_gauges();
     report.machines = service.list().len();
 
     let sink = FileJournal::create(
@@ -1530,6 +1747,7 @@ mod tests {
                 walltime: Some(60.5),
                 start: 3.25,
                 pattern: Some(CommPattern::AllToAll),
+                tenant: Some("acme".into()),
             },
             JournalRecord::Grant {
                 machine: "m0".into(),
@@ -1538,6 +1756,7 @@ mod tests {
                 walltime: None,
                 start: 3.5,
                 pattern: None,
+                tenant: None,
             },
             JournalRecord::Queue {
                 machine: "m0".into(),
@@ -1546,6 +1765,7 @@ mod tests {
                 walltime: None,
                 enqueued_at: 4.0,
                 pattern: Some(CommPattern::Ring),
+                tenant: Some("acme".into()),
             },
             JournalRecord::Release {
                 machine: "m0".into(),
@@ -1563,6 +1783,22 @@ mod tests {
                 pool: "grid".into(),
                 policy: "least-loaded".into(),
             },
+            JournalRecord::SetTenant {
+                tenant: "acme".into(),
+                weight: 2.5,
+                quota: Some(1e6),
+                max_in_flight: Some(32),
+            },
+            JournalRecord::SetTenant {
+                tenant: "solo".into(),
+                weight: 1.0,
+                quota: None,
+                max_in_flight: None,
+            },
+            JournalRecord::SetFairShare {
+                machine: "m0".into(),
+                enabled: true,
+            },
             JournalRecord::Snapshot(SnapshotImage {
                 epoch: 2,
                 covers: 3,
@@ -1574,12 +1810,14 @@ mod tests {
                     scheduler: "FCFS".into(),
                     seq: 17,
                     clock: Some(9.5),
+                    fair_share: true,
                     running: vec![RunningImage {
                         job: 4,
                         nodes: vec![NodeId(3)],
                         walltime: None,
                         start: 1.0,
                         pattern: Some(CommPattern::AllToAll),
+                        tenant: Some("acme".into()),
                     }],
                     queue: vec![QueuedImage {
                         job: 5,
@@ -1587,6 +1825,7 @@ mod tests {
                         walltime: Some(7.0),
                         enqueued_at: 2.0,
                         pattern: None,
+                        tenant: None,
                     }],
                 }],
                 pools: vec![PoolImage {
@@ -1594,8 +1833,50 @@ mod tests {
                     members: vec!["m0".into()],
                     policy: "power-of-two".into(),
                 }],
+                tenants: vec![TenantImage {
+                    tenant: "acme".into(),
+                    weight: 2.5,
+                    quota: Some(1e6),
+                    max_in_flight: None,
+                    consumed: 123.5,
+                }],
             }),
         ]
+    }
+
+    #[test]
+    fn untenanted_records_keep_their_pre_tenant_bytes() {
+        // The refactor's byte-equivalence contract at the journal layer:
+        // a grant/queue record with no tenant renders exactly as it did
+        // before the tenant field existed.
+        let grant = JournalRecord::Grant {
+            machine: "m0".into(),
+            job: 7,
+            nodes: vec![NodeId(1), NodeId(2)],
+            walltime: Some(30.0),
+            start: 1.5,
+            pattern: None,
+            tenant: None,
+        };
+        assert_eq!(
+            grant.to_line(9),
+            "{\"seq\":9,\"rec\":\"grant\",\"machine\":\"m0\",\"job\":7,\
+             \"nodes\":[1,2],\"walltime\":30,\"start\":1.5}"
+        );
+        let queue = JournalRecord::Queue {
+            machine: "m0".into(),
+            job: 8,
+            size: 4,
+            walltime: None,
+            enqueued_at: 2.0,
+            pattern: None,
+            tenant: None,
+        };
+        assert_eq!(
+            queue.to_line(10),
+            "{\"seq\":10,\"rec\":\"queue\",\"machine\":\"m0\",\"job\":8,\
+             \"size\":4,\"walltime\":null,\"enqueued_at\":2}"
+        );
     }
 
     #[test]
@@ -1808,6 +2089,7 @@ mod tests {
                     scheduler: "FCFS".into(),
                     seq: 42,
                     clock: None,
+                    fair_share: false,
                     running: Vec::new(),
                     queue: Vec::new(),
                 },
@@ -1819,11 +2101,13 @@ mod tests {
                     scheduler: "FCFS".into(),
                     seq: 17,
                     clock: None,
+                    fair_share: false,
                     running: Vec::new(),
                     queue: Vec::new(),
                 },
             ],
             pools: Vec::new(),
+            tenants: Vec::new(),
         };
         journal
             .install_snapshot(&JournalRecord::Snapshot(image))

@@ -132,6 +132,7 @@ pub mod replay;
 pub mod score;
 pub mod server;
 pub mod service;
+pub mod tenant;
 pub mod trace;
 
 pub use calibration::{CalibrationSample, CalibrationStore, PlacementRecord};
@@ -146,10 +147,11 @@ pub use metrics::{
     LogLinearHistogram, MachineMetrics, ServiceMetrics, SlowdownReservoir, WaitStats, WindowRing,
     LOG_LINEAR_SLOTS, SLOWDOWN_RESERVOIR_CAPACITY, SLOWDOWN_TAU_SECONDS, WINDOW_SLOTS,
 };
-pub use protocol::{Request, Response};
+pub use protocol::{JobRef, Request, Response};
 pub use registry::{MachineSnapshot, Registry, ServiceError};
 pub use replay::{replay, replay_cluster, ClusterReplayLog, ReplayGrant, ReplayJob, ReplayLog};
 pub use score::ScoreBreakdown;
 pub use server::{BlockingServer, Server, ServerHandle};
 pub use service::{AllocOutcome, AllocationService, JobStatus};
+pub use tenant::{job_cost, tenant_or_default, TenantConfig, TenantExport, TenantTable};
 pub use trace::{FlightRecorder, RequestCtx, SpanEvent, Stage};

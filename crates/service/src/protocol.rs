@@ -13,6 +13,144 @@
 use commalloc_mesh::NodeId;
 use commalloc_workload::CommPattern;
 use serde::{Error, Map, Value};
+use std::fmt;
+
+/// A pool-scoped job reference: the cluster-wide spelling of "which
+/// job".
+///
+/// Three forms travel on the wire:
+///
+/// - **Bare** — a plain integer, the per-machine compatibility form
+///   (`"job": 7`). Meaningful only together with a machine address.
+/// - **Member** — `"machine/id"` (`"job": "m0/7"`): names the owning
+///   member explicitly, so no address field is needed.
+/// - **Pooled** — `"pool/member/id"` (`"job": "grid/m0/7"`): the
+///   fully qualified cluster-wide identity, as minted by pool-routed
+///   `alloc` responses.
+///
+/// A bare ref renders as the integer it always was, so pre-refactor
+/// wire lines are byte-identical; the string forms are strictly
+/// additive.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JobRef {
+    /// Per-machine compatibility form: just the id.
+    Bare(u64),
+    /// `machine/id`.
+    Member {
+        /// Owning machine.
+        machine: String,
+        /// Job identifier on that machine.
+        id: u64,
+    },
+    /// `pool/machine/id`.
+    Pooled {
+        /// Pool the machine belongs to.
+        pool: String,
+        /// Owning machine.
+        machine: String,
+        /// Job identifier on that machine.
+        id: u64,
+    },
+}
+
+impl JobRef {
+    /// The job identifier common to every form.
+    pub fn id(&self) -> u64 {
+        match self {
+            JobRef::Bare(id) => *id,
+            JobRef::Member { id, .. } => *id,
+            JobRef::Pooled { id, .. } => *id,
+        }
+    }
+
+    /// The machine component, when the form names one.
+    pub fn machine(&self) -> Option<&str> {
+        match self {
+            JobRef::Bare(_) => None,
+            JobRef::Member { machine, .. } => Some(machine),
+            JobRef::Pooled { machine, .. } => Some(machine),
+        }
+    }
+
+    /// The pool component, when the form names one.
+    pub fn pool(&self) -> Option<&str> {
+        match self {
+            JobRef::Pooled { pool, .. } => Some(pool),
+            _ => None,
+        }
+    }
+
+    /// Renders the wire value: bare refs stay plain integers,
+    /// qualified refs become `/`-joined strings.
+    pub fn to_wire(&self) -> Value {
+        match self {
+            JobRef::Bare(id) => Value::UInt(*id),
+            _ => Value::Str(self.to_string()),
+        }
+    }
+
+    /// Parses the textual spelling: `"7"`, `"m0/7"` or `"grid/m0/7"`.
+    /// Segments must be non-empty and the id must be an integer; more
+    /// than three segments is an error (machine and pool names cannot
+    /// contain `/`).
+    pub fn parse_str(s: &str) -> Result<JobRef, Error> {
+        let parts: Vec<&str> = s.split('/').collect();
+        let bad = || {
+            Error::msg(format!(
+                "malformed job ref {s:?} (want \"id\", \"machine/id\" or \"pool/machine/id\")"
+            ))
+        };
+        if parts.iter().any(|p| p.is_empty()) {
+            return Err(bad());
+        }
+        let id = parts
+            .last()
+            .and_then(|p| p.parse::<u64>().ok())
+            .ok_or_else(bad)?;
+        match parts.len() {
+            1 => Ok(JobRef::Bare(id)),
+            2 => Ok(JobRef::Member {
+                machine: parts[0].to_string(),
+                id,
+            }),
+            3 => Ok(JobRef::Pooled {
+                pool: parts[0].to_string(),
+                machine: parts[1].to_string(),
+                id,
+            }),
+            _ => Err(bad()),
+        }
+    }
+
+    /// Parses the wire value: an integer is a bare ref, a string is
+    /// parsed per [`JobRef::parse_str`].
+    pub fn from_wire(v: &Value) -> Result<JobRef, Error> {
+        match v {
+            Value::Str(s) => JobRef::parse_str(s),
+            _ => v.as_u64().map(JobRef::Bare).ok_or_else(|| {
+                Error::msg("job ref must be an integer id or a \"pool/machine/id\" string")
+            }),
+        }
+    }
+}
+
+impl fmt::Display for JobRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobRef::Bare(id) => write!(f, "{id}"),
+            JobRef::Member { machine, id } => write!(f, "{machine}/{id}"),
+            JobRef::Pooled { pool, machine, id } => write!(f, "{pool}/{machine}/{id}"),
+        }
+    }
+}
+
+/// Parses the `job` field of `release`/`poll` as a [`JobRef`].
+pub(crate) fn get_job_ref(v: &Value) -> Result<JobRef, Error> {
+    let field = v
+        .get("job")
+        .ok_or_else(|| Error::msg("missing field \"job\""))?;
+    JobRef::from_wire(field)
+}
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +199,9 @@ pub enum Request {
         /// communication-aware routing policy and the allocator's
         /// contention-scored placement; `None` = pattern-oblivious.
         pattern: Option<CommPattern>,
+        /// Tenant the job is attributed to. `None` inherits the
+        /// connection's `hello` binding (or the default tenant).
+        tenant: Option<String>,
     },
     /// Switch the scheduling policy of a machine at runtime.
     SetScheduler {
@@ -78,18 +219,57 @@ pub enum Request {
         policy: String,
     },
     /// Release the processors of `job` (or cancel it while queued).
+    /// `machine` may be a member name or `"@pool"` (the pool job
+    /// index resolves a bare id to its owning member); it may be
+    /// omitted entirely when the [`JobRef`] is qualified.
     Release {
-        /// Machine name.
-        machine: String,
-        /// Job identifier.
-        job: u64,
+        /// Machine name or `"@pool"`; `None` iff `job` names its
+        /// machine itself.
+        machine: Option<String>,
+        /// The job, in any [`JobRef`] form.
+        job: JobRef,
     },
-    /// Ask where `job` currently stands.
+    /// Ask where `job` currently stands. Addressing rules match
+    /// [`Request::Release`].
     Poll {
+        /// Machine name or `"@pool"`; `None` iff `job` names its
+        /// machine itself.
+        machine: Option<String>,
+        /// The job, in any [`JobRef`] form.
+        job: JobRef,
+    },
+    /// Bind this connection to a tenant: subsequent requests without
+    /// an explicit `tenant` field are attributed to it. Creates the
+    /// tenant (with default weight, no quota) when unknown.
+    Hello {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Create or reconfigure a tenant: fair-share weight, node-second
+    /// quota, in-flight wire cap. Omitted fields keep their current
+    /// values (or the defaults for a new tenant); the resulting
+    /// configuration is journaled absolutely.
+    SetTenant {
+        /// Tenant name.
+        tenant: String,
+        /// Fair-share weight (finite, positive).
+        weight: Option<f64>,
+        /// Node-second quota; `0` clears it back to unlimited.
+        quota: Option<f64>,
+        /// In-flight wire request cap; `0` clears it.
+        max_in_flight: Option<u64>,
+    },
+    /// The tenant table: configuration plus live usage per tenant.
+    Tenants,
+    /// Toggle the weighted fair-share admission layer of a machine:
+    /// while enabled, each queue drain first re-orders the pending
+    /// queue by tenant fair-share key (outstanding node-seconds over
+    /// weight, ties by arrival). Orthogonal to the scheduling policy.
+    SetFairShare {
         /// Machine name.
         machine: String,
-        /// Job identifier.
-        job: u64,
+        /// Desired fair-share state.
+        enabled: bool,
     },
     /// Occupancy snapshot of a machine.
     Query {
@@ -157,6 +337,13 @@ pub enum Response {
     Error {
         /// Human-readable reason.
         message: String,
+        /// Machine-readable error class for errors clients are
+        /// expected to branch on (`"quota_exceeded"`,
+        /// `"ambiguous_job"`); absent for garden-variety failures.
+        code: Option<String>,
+        /// Structured detail for coded errors (e.g. `usage`/`limit`
+        /// for quota denials, the owning `machines` for collisions).
+        detail: Option<Value>,
     },
     /// Registration succeeded.
     Registered {
@@ -197,6 +384,9 @@ pub enum Response {
         job: u64,
         /// Jobs granted from the queue by this release, in grant order.
         granted: Vec<(u64, Vec<NodeId>)>,
+        /// The machine the job was resolved to — present exactly when
+        /// the request addressed a pool or a qualified [`JobRef`].
+        machine: Option<String>,
     },
     /// The scheduling policy was switched; `granted` lists jobs the
     /// re-drain admitted from the queue.
@@ -221,6 +411,9 @@ pub enum Response {
         job: u64,
         /// The processors the job holds.
         nodes: Vec<NodeId>,
+        /// The machine the job was resolved to (pool-addressed and
+        /// qualified-ref polls only).
+        machine: Option<String>,
     },
     /// Poll result: the job waits at this 1-based position.
     Waiting {
@@ -239,11 +432,43 @@ pub enum Response {
         /// `until` — the rendering of a scheduler
         /// [`commalloc::scheduler::BlockReason`]).
         explain: Option<Value>,
+        /// The machine the job was resolved to (pool-addressed and
+        /// qualified-ref polls only).
+        machine: Option<String>,
     },
     /// Poll result: the job is not present.
     Unknown {
         /// Job identifier.
         job: u64,
+    },
+    /// The connection is now bound to a tenant.
+    Hello {
+        /// The bound tenant.
+        tenant: String,
+    },
+    /// A tenant was created or reconfigured.
+    TenantSet {
+        /// Tenant name.
+        tenant: String,
+        /// The now-active fair-share weight.
+        weight: f64,
+        /// The now-active node-second quota, if any.
+        quota: Option<f64>,
+        /// The now-active in-flight cap, if any.
+        max_in_flight: Option<u64>,
+    },
+    /// The tenant table (configuration plus live usage, rendered as
+    /// one object per tenant, sorted by name).
+    Tenants(Value),
+    /// The fair-share admission layer of a machine was toggled;
+    /// `granted` lists jobs the re-drain admitted from the queue.
+    FairShareSet {
+        /// Machine name.
+        machine: String,
+        /// The fair-share state after the toggle.
+        enabled: bool,
+        /// Jobs granted by the toggle's re-drain, in grant order.
+        granted: Vec<(u64, Vec<NodeId>)>,
     },
     /// Occupancy snapshot (the `MachineSnapshot` serialised fields).
     Snapshot(Value),
@@ -455,6 +680,7 @@ impl Request {
                 wait,
                 walltime,
                 pattern,
+                tenant,
             } => {
                 let mut entries = vec![
                     ("op", str_value("alloc")),
@@ -469,6 +695,9 @@ impl Request {
                 if let Some(p) = pattern {
                     entries.push(("pattern", str_value(p.name())));
                 }
+                if let Some(t) = tenant {
+                    entries.push(("tenant", str_value(t)));
+                }
                 obj(entries)
             }
             Request::SetScheduler { machine, scheduler } => obj(vec![
@@ -481,15 +710,52 @@ impl Request {
                 ("pool", str_value(pool)),
                 ("policy", str_value(policy)),
             ]),
-            Request::Release { machine, job } => obj(vec![
-                ("op", str_value("release")),
-                ("machine", str_value(machine)),
-                ("job", Value::UInt(*job)),
+            Request::Release { machine, job } => {
+                let mut entries = vec![("op", str_value("release"))];
+                if let Some(m) = machine {
+                    entries.push(("machine", str_value(m)));
+                }
+                entries.push(("job", job.to_wire()));
+                obj(entries)
+            }
+            Request::Poll { machine, job } => {
+                let mut entries = vec![("op", str_value("poll"))];
+                if let Some(m) = machine {
+                    entries.push(("machine", str_value(m)));
+                }
+                entries.push(("job", job.to_wire()));
+                obj(entries)
+            }
+            Request::Hello { tenant } => obj(vec![
+                ("op", str_value("hello")),
+                ("tenant", str_value(tenant)),
             ]),
-            Request::Poll { machine, job } => obj(vec![
-                ("op", str_value("poll")),
+            Request::SetTenant {
+                tenant,
+                weight,
+                quota,
+                max_in_flight,
+            } => {
+                let mut entries = vec![
+                    ("op", str_value("set_tenant")),
+                    ("tenant", str_value(tenant)),
+                ];
+                if let Some(w) = weight {
+                    entries.push(("weight", Value::Float(*w)));
+                }
+                if let Some(q) = quota {
+                    entries.push(("quota", Value::Float(*q)));
+                }
+                if let Some(c) = max_in_flight {
+                    entries.push(("max_in_flight", Value::UInt(*c)));
+                }
+                obj(entries)
+            }
+            Request::Tenants => obj(vec![("op", str_value("tenants"))]),
+            Request::SetFairShare { machine, enabled } => obj(vec![
+                ("op", str_value("set_fair_share")),
                 ("machine", str_value(machine)),
-                ("job", Value::UInt(*job)),
+                ("enabled", Value::Bool(*enabled)),
             ]),
             Request::Query { machine } => obj(vec![
                 ("op", str_value("query")),
@@ -567,6 +833,7 @@ impl Request {
                 },
                 walltime: get_walltime(v)?,
                 pattern: get_pattern(v)?,
+                tenant: get_str_opt(v, "tenant")?,
             }),
             "set_scheduler" => Ok(Request::SetScheduler {
                 machine: get_str(v, "machine")?,
@@ -590,13 +857,68 @@ impl Request {
                 }
                 Ok(Request::Batch(requests))
             }
-            "release" => Ok(Request::Release {
-                machine: get_str(v, "machine")?,
-                job: get_u64(v, "job")?,
+            "release" => {
+                let machine = get_str_opt(v, "machine")?;
+                let job = get_job_ref(v)?;
+                if machine.is_none() && job.machine().is_none() {
+                    return Err(Error::msg(
+                        "release needs a \"machine\" or a qualified job ref",
+                    ));
+                }
+                Ok(Request::Release { machine, job })
+            }
+            "poll" => {
+                let machine = get_str_opt(v, "machine")?;
+                let job = get_job_ref(v)?;
+                if machine.is_none() && job.machine().is_none() {
+                    return Err(Error::msg(
+                        "poll needs a \"machine\" or a qualified job ref",
+                    ));
+                }
+                Ok(Request::Poll { machine, job })
+            }
+            "hello" => Ok(Request::Hello {
+                tenant: get_str(v, "tenant")?,
             }),
-            "poll" => Ok(Request::Poll {
+            "set_tenant" => {
+                let weight = get_f64_opt(v, "weight")?;
+                if let Some(w) = weight {
+                    if !(w.is_finite() && w > 0.0) {
+                        return Err(Error::msg(format!(
+                            "field \"weight\" must be a finite, positive number, got {w}"
+                        )));
+                    }
+                }
+                let quota = get_f64_opt(v, "quota")?;
+                if let Some(q) = quota {
+                    if !(q.is_finite() && q >= 0.0) {
+                        return Err(Error::msg(format!(
+                            "field \"quota\" must be a finite, non-negative number of node-seconds, got {q}"
+                        )));
+                    }
+                }
+                let max_in_flight = match v.get("max_in_flight") {
+                    None | Some(Value::Null) => None,
+                    Some(value) => Some(
+                        value
+                            .as_u64()
+                            .ok_or_else(|| Error::msg("non-integer field \"max_in_flight\""))?,
+                    ),
+                };
+                Ok(Request::SetTenant {
+                    tenant: get_str(v, "tenant")?,
+                    weight,
+                    quota,
+                    max_in_flight,
+                })
+            }
+            "tenants" => Ok(Request::Tenants),
+            "set_fair_share" => Ok(Request::SetFairShare {
                 machine: get_str(v, "machine")?,
-                job: get_u64(v, "job")?,
+                enabled: v
+                    .get("enabled")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| Error::msg("missing or non-boolean field \"enabled\""))?,
             }),
             "query" => Ok(Request::Query {
                 machine: get_str(v, "machine")?,
@@ -676,10 +998,20 @@ impl Response {
     /// Renders the response as its wire value.
     pub fn to_value(&self) -> Value {
         match self {
-            Response::Error { message } => obj(vec![
-                ("ok", Value::Bool(false)),
-                ("error", str_value(message)),
-            ]),
+            Response::Error {
+                message,
+                code,
+                detail,
+            } => {
+                let mut entries = vec![("ok", Value::Bool(false)), ("error", str_value(message))];
+                if let Some(c) = code {
+                    entries.push(("code", str_value(c)));
+                }
+                if let Some(d) = detail {
+                    entries.push(("detail", d.clone()));
+                }
+                obj(entries)
+            }
             Response::Registered { machine } => obj(vec![
                 ("ok", Value::Bool(true)),
                 ("op", str_value("register")),
@@ -736,12 +1068,22 @@ impl Response {
                 }
                 obj(entries)
             }
-            Response::Released { job, granted } => obj(vec![
-                ("ok", Value::Bool(true)),
-                ("op", str_value("release")),
-                ("job", Value::UInt(*job)),
-                ("granted", granted_value(granted)),
-            ]),
+            Response::Released {
+                job,
+                granted,
+                machine,
+            } => {
+                let mut entries = vec![
+                    ("ok", Value::Bool(true)),
+                    ("op", str_value("release")),
+                    ("job", Value::UInt(*job)),
+                    ("granted", granted_value(granted)),
+                ];
+                if let Some(m) = machine {
+                    entries.push(("machine", str_value(m)));
+                }
+                obj(entries)
+            }
             Response::SchedulerSet {
                 machine,
                 scheduler,
@@ -759,18 +1101,29 @@ impl Response {
                 ("pool", str_value(pool)),
                 ("policy", str_value(policy)),
             ]),
-            Response::Running { job, nodes } => obj(vec![
-                ("ok", Value::Bool(true)),
-                ("op", str_value("poll")),
-                ("state", str_value("running")),
-                ("job", Value::UInt(*job)),
-                ("nodes", nodes_value(nodes)),
-            ]),
+            Response::Running {
+                job,
+                nodes,
+                machine,
+            } => {
+                let mut entries = vec![
+                    ("ok", Value::Bool(true)),
+                    ("op", str_value("poll")),
+                    ("state", str_value("running")),
+                    ("job", Value::UInt(*job)),
+                    ("nodes", nodes_value(nodes)),
+                ];
+                if let Some(m) = machine {
+                    entries.push(("machine", str_value(m)));
+                }
+                obj(entries)
+            }
             Response::Waiting {
                 job,
                 position,
                 reserved_start,
                 explain,
+                machine,
             } => {
                 let mut entries = vec![
                     ("ok", Value::Bool(true)),
@@ -788,6 +1141,9 @@ impl Response {
                 if let Some(explain) = explain {
                     entries.push(("explain", explain.clone()));
                 }
+                if let Some(m) = machine {
+                    entries.push(("machine", str_value(m)));
+                }
                 obj(entries)
             }
             Response::Unknown { job } => obj(vec![
@@ -795,6 +1151,47 @@ impl Response {
                 ("op", str_value("poll")),
                 ("state", str_value("unknown")),
                 ("job", Value::UInt(*job)),
+            ]),
+            Response::Hello { tenant } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("hello")),
+                ("tenant", str_value(tenant)),
+            ]),
+            Response::TenantSet {
+                tenant,
+                weight,
+                quota,
+                max_in_flight,
+            } => {
+                let mut entries = vec![
+                    ("ok", Value::Bool(true)),
+                    ("op", str_value("set_tenant")),
+                    ("tenant", str_value(tenant)),
+                    ("weight", Value::Float(*weight)),
+                ];
+                if let Some(q) = quota {
+                    entries.push(("quota", Value::Float(*q)));
+                }
+                if let Some(c) = max_in_flight {
+                    entries.push(("max_in_flight", Value::UInt(*c)));
+                }
+                obj(entries)
+            }
+            Response::Tenants(table) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("tenants")),
+                ("tenants", table.clone()),
+            ]),
+            Response::FairShareSet {
+                machine,
+                enabled,
+                granted,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", str_value("set_fair_share")),
+                ("machine", str_value(machine)),
+                ("enabled", Value::Bool(*enabled)),
+                ("granted", granted_value(granted)),
             ]),
             Response::Snapshot(snapshot) => obj(vec![
                 ("ok", Value::Bool(true)),
@@ -869,6 +1266,11 @@ impl Response {
         if !ok {
             return Ok(Response::Error {
                 message: get_str(v, "error")?,
+                code: get_str_opt(v, "code")?,
+                detail: match v.get("detail") {
+                    None | Some(Value::Null) => None,
+                    Some(value) => Some(value.clone()),
+                },
             });
         }
         let op = get_str(v, "op")?;
@@ -897,6 +1299,7 @@ impl Response {
             "release" => Ok(Response::Released {
                 job: get_u64(v, "job")?,
                 granted: get_granted(v)?,
+                machine: get_str_opt(v, "machine")?,
             }),
             "set_scheduler" => Ok(Response::SchedulerSet {
                 machine: get_str(v, "machine")?,
@@ -907,10 +1310,43 @@ impl Response {
                 pool: get_str(v, "pool")?,
                 policy: get_str(v, "policy")?,
             }),
+            "hello" => Ok(Response::Hello {
+                tenant: get_str(v, "tenant")?,
+            }),
+            "set_tenant" => Ok(Response::TenantSet {
+                tenant: get_str(v, "tenant")?,
+                weight: v
+                    .get("weight")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| Error::msg("missing or non-numeric field \"weight\""))?,
+                quota: get_f64_opt(v, "quota")?,
+                max_in_flight: match v.get("max_in_flight") {
+                    None | Some(Value::Null) => None,
+                    Some(value) => Some(
+                        value
+                            .as_u64()
+                            .ok_or_else(|| Error::msg("non-integer field \"max_in_flight\""))?,
+                    ),
+                },
+            }),
+            "tenants" => Ok(Response::Tenants(
+                v.get("tenants")
+                    .cloned()
+                    .ok_or_else(|| Error::msg("missing \"tenants\""))?,
+            )),
+            "set_fair_share" => Ok(Response::FairShareSet {
+                machine: get_str(v, "machine")?,
+                enabled: v
+                    .get("enabled")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| Error::msg("missing or non-boolean field \"enabled\""))?,
+                granted: get_granted(v)?,
+            }),
             "poll" => match get_str(v, "state")?.as_str() {
                 "running" => Ok(Response::Running {
                     job: get_u64(v, "job")?,
                     nodes: get_nodes(v, "nodes")?,
+                    machine: get_str_opt(v, "machine")?,
                 }),
                 "queued" => Ok(Response::Waiting {
                     job: get_u64(v, "job")?,
@@ -920,6 +1356,7 @@ impl Response {
                         None | Some(Value::Null) => None,
                         Some(value) => Some(value.clone()),
                     },
+                    machine: get_str_opt(v, "machine")?,
                 }),
                 "unknown" => Ok(Response::Unknown {
                     job: get_u64(v, "job")?,
@@ -1043,6 +1480,7 @@ mod tests {
                 wait: true,
                 walltime: Some(120.5),
                 pattern: None,
+                tenant: None,
             },
             Request::Alloc {
                 machine: "m0".into(),
@@ -1051,6 +1489,7 @@ mod tests {
                 wait: false,
                 walltime: None,
                 pattern: Some(CommPattern::AllToAll),
+                tenant: Some("acme".into()),
             },
             Request::Alloc {
                 machine: "m0".into(),
@@ -1059,6 +1498,7 @@ mod tests {
                 wait: true,
                 walltime: Some(60.0),
                 pattern: Some(CommPattern::NBody),
+                tenant: None,
             },
             Request::SetScheduler {
                 machine: "m0".into(),
@@ -1077,15 +1517,62 @@ mod tests {
                     wait: true,
                     walltime: None,
                     pattern: Some(CommPattern::Stencil2D),
+                    tenant: None,
                 },
             ]),
             Request::Release {
-                machine: "m0".into(),
-                job: 7,
+                machine: Some("m0".into()),
+                job: JobRef::Bare(7),
+            },
+            Request::Release {
+                machine: Some("@grid".into()),
+                job: JobRef::Bare(7),
+            },
+            Request::Release {
+                machine: None,
+                job: JobRef::Member {
+                    machine: "m0".into(),
+                    id: 7,
+                },
+            },
+            Request::Release {
+                machine: None,
+                job: JobRef::Pooled {
+                    pool: "grid".into(),
+                    machine: "m0".into(),
+                    id: 7,
+                },
             },
             Request::Poll {
+                machine: Some("m0".into()),
+                job: JobRef::Bare(8),
+            },
+            Request::Poll {
+                machine: Some("@grid".into()),
+                job: JobRef::Member {
+                    machine: "m1".into(),
+                    id: 8,
+                },
+            },
+            Request::Hello {
+                tenant: "acme".into(),
+            },
+            Request::SetTenant {
+                tenant: "acme".into(),
+                weight: Some(2.5),
+                quota: Some(1000.5),
+                max_in_flight: Some(64),
+            },
+            Request::SetTenant {
+                tenant: "basic".into(),
+                weight: None,
+                quota: None,
+                max_in_flight: None,
+            },
+            Request::Tenants,
+            Request::SetFairShare {
                 machine: "m0".into(),
-                job: 8,
+                enabled: true,
             },
             Request::Query {
                 machine: "m0".into(),
@@ -1143,6 +1630,20 @@ mod tests {
         let responses = vec![
             Response::Error {
                 message: "unknown machine \"x\"".into(),
+                code: None,
+                detail: None,
+            },
+            Response::Error {
+                message: "tenant \"acme\" over quota".into(),
+                code: Some("quota_exceeded".into()),
+                detail: Some(obj(vec![
+                    ("tenant", str_value("acme")),
+                    ("usage", Value::Float(90.5)),
+                    // Fractional: an integral float would parse back as
+                    // an `Int`, which is fine on the wire but not for
+                    // this exact-equality fixture.
+                    ("limit", Value::Float(100.5)),
+                ])),
             },
             Response::Registered {
                 machine: "m0".into(),
@@ -1170,6 +1671,12 @@ mod tests {
             Response::Released {
                 job: 1,
                 granted: vec![(2, vec![NodeId(9)]), (4, vec![])],
+                machine: None,
+            },
+            Response::Released {
+                job: 1,
+                granted: vec![],
+                machine: Some("m1".into()),
             },
             Response::SchedulerSet {
                 machine: "m0".into(),
@@ -1179,12 +1686,19 @@ mod tests {
             Response::Running {
                 job: 2,
                 nodes: vec![NodeId(9)],
+                machine: None,
+            },
+            Response::Running {
+                job: 2,
+                nodes: vec![NodeId(9)],
+                machine: Some("m0".into()),
             },
             Response::Waiting {
                 job: 5,
                 position: 1,
                 reserved_start: None,
                 explain: None,
+                machine: Some("m1".into()),
             },
             Response::Waiting {
                 job: 5,
@@ -1199,6 +1713,32 @@ mod tests {
                         str_value("would delay job 3's reservation at t=120.5"),
                     ),
                 ])),
+                machine: None,
+            },
+            Response::Hello {
+                tenant: "acme".into(),
+            },
+            Response::TenantSet {
+                tenant: "acme".into(),
+                weight: 2.5,
+                quota: Some(1000.5),
+                max_in_flight: Some(64),
+            },
+            Response::TenantSet {
+                tenant: "basic".into(),
+                weight: 1.5,
+                quota: None,
+                max_in_flight: None,
+            },
+            Response::Tenants(Value::Array(vec![obj(vec![
+                ("tenant", str_value("acme")),
+                ("weight", Value::Float(2.5)),
+                ("admitted", Value::Int(3)),
+            ])])),
+            Response::FairShareSet {
+                machine: "m0".into(),
+                enabled: true,
+                granted: vec![(7, vec![NodeId(1)])],
             },
             Response::Unknown { job: 6 },
             Response::RouterSet {
@@ -1247,6 +1787,8 @@ mod tests {
                 Response::Pong,
                 Response::Error {
                     message: "unknown pool \"x\"".into(),
+                    code: None,
+                    detail: None,
                 },
             ]),
         ];
@@ -1270,6 +1812,7 @@ mod tests {
                 wait: false,
                 walltime: None,
                 pattern: None,
+                tenant: None,
             }
         );
         // An integer walltime is accepted (JSON does not distinguish).
@@ -1286,6 +1829,7 @@ mod tests {
                 wait: true,
                 walltime: Some(30.0),
                 pattern: None,
+                tenant: None,
             }
         );
         // Pattern names are validated at the boundary: an unknown name is
@@ -1345,6 +1889,88 @@ mod tests {
             r#"{"op":"alloc","machine":"m0","job":1,"size":4,"wait":"true"}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn job_refs_cover_bare_member_and_pooled_forms() {
+        // The bare compatibility form renders exactly the pre-refactor
+        // wire bytes.
+        let release = Request::Release {
+            machine: Some("m0".into()),
+            job: JobRef::Bare(7),
+        };
+        assert_eq!(
+            release.to_line(),
+            r#"{"op":"release","machine":"m0","job":7}"#
+        );
+        // Qualified refs parse from their string spellings.
+        assert_eq!(JobRef::parse_str("7").unwrap(), JobRef::Bare(7),);
+        assert_eq!(
+            JobRef::parse_str("m0/7").unwrap(),
+            JobRef::Member {
+                machine: "m0".into(),
+                id: 7,
+            }
+        );
+        assert_eq!(
+            JobRef::parse_str("grid/m0/7").unwrap(),
+            JobRef::Pooled {
+                pool: "grid".into(),
+                machine: "m0".into(),
+                id: 7,
+            }
+        );
+        // Display round-trips every form.
+        for s in ["7", "m0/7", "grid/m0/7"] {
+            assert_eq!(JobRef::parse_str(s).unwrap().to_string(), s);
+        }
+        // Malformed spellings are parse errors.
+        for bad in ["", "/", "m0/", "/7", "a/b/c/7", "m0/seven", "grid/m0/"] {
+            assert!(JobRef::parse_str(bad).is_err(), "ref {bad:?} must fail");
+        }
+        // A machine-less release parses only with a qualified ref.
+        assert!(Request::from_line(r#"{"op":"release","job":"m0/7"}"#).is_ok());
+        assert!(Request::from_line(r#"{"op":"release","job":7}"#).is_err());
+        assert!(Request::from_line(r#"{"op":"poll","job":"grid/m0/7"}"#).is_ok());
+        assert!(Request::from_line(r#"{"op":"poll","job":9}"#).is_err());
+        // Non-integer, non-string refs are refused.
+        assert!(Request::from_line(r#"{"op":"release","machine":"m0","job":[7]}"#).is_err());
+    }
+
+    #[test]
+    fn tenant_ops_validate_their_fields() {
+        // hello requires the tenant name.
+        assert!(Request::from_line(r#"{"op":"hello"}"#).is_err());
+        // set_tenant bounds: weight finite positive, quota finite
+        // non-negative.
+        for bad in [
+            r#"{"op":"set_tenant","tenant":"t","weight":0}"#,
+            r#"{"op":"set_tenant","tenant":"t","weight":-2}"#,
+            r#"{"op":"set_tenant","tenant":"t","weight":1e999}"#,
+            r#"{"op":"set_tenant","tenant":"t","quota":-1}"#,
+            r#"{"op":"set_tenant","tenant":"t","quota":1e999}"#,
+            r#"{"op":"set_tenant","tenant":"t","max_in_flight":"many"}"#,
+            r#"{"op":"set_tenant","weight":1.0}"#,
+        ] {
+            assert!(Request::from_line(bad).is_err(), "line {bad} must fail");
+        }
+        // A mistyped alloc tenant is a parse error, not a silent
+        // default-tenant attribution.
+        assert!(
+            Request::from_line(r#"{"op":"alloc","machine":"m0","job":1,"size":4,"tenant":7}"#)
+                .is_err()
+        );
+        assert!(Request::from_line(r#"{"op":"set_fair_share","machine":"m0"}"#).is_err());
+        // Coded errors round-trip their detail payloads.
+        let line = r#"{"ok":false,"error":"over quota","code":"quota_exceeded","detail":{"usage":90.5,"limit":100.5}}"#;
+        match Response::from_line(line).unwrap() {
+            Response::Error { code, detail, .. } => {
+                assert_eq!(code.as_deref(), Some("quota_exceeded"));
+                let d = detail.unwrap();
+                assert_eq!(d.get("usage").and_then(Value::as_f64), Some(90.5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -1425,6 +2051,7 @@ mod tests {
             position: 1,
             reserved_start: Some(f64::INFINITY),
             explain: None,
+            machine: None,
         };
         let line = waiting.to_line();
         assert!(!line.contains("reserved_start"), "line was {line}");
@@ -1435,6 +2062,7 @@ mod tests {
                 position: 1,
                 reserved_start: None,
                 explain: None,
+                machine: None,
             }
         );
     }

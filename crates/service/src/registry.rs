@@ -12,6 +12,7 @@ use crate::calibration::{CalibrationSample, CalibrationStore, PlacementRecord, P
 use crate::journal::{JournalRecord, MachineImage, QueuedImage, RunningImage};
 use crate::metrics::MachineMetrics;
 use crate::score::ScoreBreakdown;
+use crate::tenant::{job_cost, TenantTable};
 use crate::trace::{RequestCtx, Stage};
 use commalloc::scheduler::{BlockReason, QueuedJob, RunningSnapshot, SchedulerKind};
 use commalloc_alloc::curve_alloc::SelectionStrategy;
@@ -36,7 +37,7 @@ type ScoredGrant = (Vec<NodeId>, Option<(ScoreBreakdown, usize)>);
 
 /// Errors surfaced by the service to callers (mapped onto protocol error
 /// responses by the server).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
     /// The named machine is not registered.
     UnknownMachine(String),
@@ -50,6 +51,20 @@ pub enum ServiceError {
     UnknownJob { machine: String, job_id: u64 },
     /// The job already runs or waits on the machine.
     DuplicateJob { machine: String, job_id: u64 },
+    /// A bare job id addressed at a pool resolves to more than one
+    /// member — the caller must use a qualified `pool/member/id` ref.
+    AmbiguousJob {
+        pool: String,
+        job_id: u64,
+        machines: Vec<String>,
+    },
+    /// Admitting the request would push the tenant's outstanding
+    /// node-second commitment past its quota.
+    QuotaExceeded {
+        tenant: String,
+        usage: f64,
+        limit: f64,
+    },
     /// The request itself is malformed (zero size, larger than the whole
     /// machine, ...).
     InvalidRequest(String),
@@ -69,6 +84,30 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::DuplicateJob { machine, job_id } => {
                 write!(f, "job {job_id} already exists on machine {machine:?}")
+            }
+            ServiceError::AmbiguousJob {
+                pool,
+                job_id,
+                machines,
+            } => {
+                write!(
+                    f,
+                    "job id {job_id} is ambiguous in pool {pool:?}: it exists on machines {}; \
+                     address it with a qualified ref like {}/{}/{job_id}",
+                    machines.join(", "),
+                    pool,
+                    machines.first().map(String::as_str).unwrap_or("<member>"),
+                )
+            }
+            ServiceError::QuotaExceeded {
+                tenant,
+                usage,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant:?} quota exceeded: {usage} of {limit} node-seconds committed"
+                )
             }
             ServiceError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
         }
@@ -487,7 +526,7 @@ enum Clock {
 /// `swap_remove`-on-release — deliberately the same evolution the offline
 /// engine's running vector undergoes, so EASY's (stable) completion sort
 /// breaks ties identically online and offline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct RunningMeta {
     job_id: u64,
     size: usize,
@@ -496,6 +535,9 @@ struct RunningMeta {
     /// The communication pattern the job declared, if any (journaled so
     /// a recovered daemon keeps it).
     pattern: Option<CommPattern>,
+    /// Tenant the job is attributed to (`None` = the default tenant;
+    /// journaled so a recovered daemon settles the right ledger).
+    tenant: Option<String>,
 }
 
 impl RunningMeta {
@@ -544,6 +586,15 @@ pub struct MachineEntry {
     /// The registry-wide calibration store (shared by every entry; the
     /// disabled path costs one relaxed load per grant/release).
     calibration: Arc<CalibrationStore>,
+    /// The registry-wide tenant ledger (shared by every entry), when
+    /// the owning service runs one: quota settlement at release and
+    /// the fair-share drain key both read it. `None` keeps the whole
+    /// tenant plane at zero cost.
+    tenants: Option<Arc<TenantTable>>,
+    /// Whether the weighted fair-share admission layer re-orders this
+    /// machine's queue before each drain. Orthogonal to the scheduler
+    /// policy (which still decides *eligibility*); journaled.
+    fair_share: bool,
     /// Operation counters (public so the service layer can read them out).
     pub metrics: MachineMetrics,
 }
@@ -566,6 +617,8 @@ impl MachineEntry {
             journal_seq: 0,
             placements: HashMap::new(),
             calibration: Arc::new(CalibrationStore::new()),
+            tenants: None,
+            fair_share: false,
             metrics: MachineMetrics::default(),
         }
     }
@@ -574,6 +627,51 @@ impl MachineEntry {
     /// registration, before any request can reach the machine).
     fn attach_calibration(&mut self, store: Arc<CalibrationStore>) {
         self.calibration = store;
+    }
+
+    /// Points this entry at the registry-wide tenant ledger (set at
+    /// registration, before any request can reach the machine).
+    fn attach_tenants(&mut self, table: Arc<TenantTable>) {
+        self.tenants = Some(table);
+    }
+
+    /// Whether the fair-share admission layer is enabled here.
+    pub fn fair_share(&self) -> bool {
+        self.fair_share
+    }
+
+    /// Toggles the fair-share admission layer and re-drains the queue
+    /// (disabling it may admit a request the re-ordering was holding
+    /// behind a heavier tenant, and vice versa). Returns the newly
+    /// granted jobs in grant order.
+    pub fn set_fair_share(&mut self, enabled: bool) -> Vec<(u64, Vec<NodeId>)> {
+        self.set_fair_share_traced(enabled, &RequestCtx::inert())
+    }
+
+    /// [`MachineEntry::set_fair_share`] with a tracing context (the
+    /// wire path; in-process callers use the untraced wrapper).
+    pub fn set_fair_share_traced(
+        &mut self,
+        enabled: bool,
+        ctx: &RequestCtx<'_>,
+    ) -> Vec<(u64, Vec<NodeId>)> {
+        self.generation += 1;
+        self.fair_share = enabled;
+        if self.journaled {
+            self.outbox.push(JournalRecord::SetFairShare {
+                machine: self.name.clone(),
+                enabled,
+            });
+        }
+        self.drain_queue(None, ctx)
+    }
+
+    /// Recovery: re-applies a journaled fair-share toggle without
+    /// draining (the grants the live toggle admitted replay as their
+    /// own records).
+    pub fn restore_fair_share(&mut self, enabled: bool) {
+        self.fair_share = enabled;
+        self.generation += 1;
     }
 
     pub(crate) fn new_2d(
@@ -703,6 +801,7 @@ impl MachineEntry {
                 Clock::Virtual(t) => Some(t),
                 Clock::Wall { .. } => None,
             },
+            fair_share: self.fair_share,
             running: self
                 .running
                 .iter()
@@ -712,6 +811,7 @@ impl MachineEntry {
                     walltime: meta.walltime,
                     start: meta.start,
                     pattern: meta.pattern,
+                    tenant: meta.tenant.clone(),
                 })
                 .collect(),
             queue: self
@@ -723,6 +823,7 @@ impl MachineEntry {
                     walltime: p.walltime,
                     enqueued_at: p.enqueued_at,
                     pattern: p.pattern,
+                    tenant: p.tenant.clone(),
                 })
                 .collect(),
         }
@@ -740,6 +841,7 @@ impl MachineEntry {
         walltime: Option<f64>,
         start: f64,
         pattern: Option<CommPattern>,
+        tenant: Option<String>,
     ) -> Result<(), String> {
         if self.allocations.contains_key(&job_id) {
             return Err(format!("grant for job {job_id} which already runs"));
@@ -754,6 +856,7 @@ impl MachineEntry {
             start,
             walltime,
             pattern,
+            tenant,
         });
         self.allocations.insert(job_id, nodes);
         self.generation += 1;
@@ -768,6 +871,7 @@ impl MachineEntry {
         walltime: Option<f64>,
         enqueued_at: f64,
         pattern: Option<CommPattern>,
+        tenant: Option<String>,
     ) -> Result<(), String> {
         if self.allocations.contains_key(&job_id) || self.queue.contains(job_id) {
             return Err(format!(
@@ -791,6 +895,8 @@ impl MachineEntry {
             trace_request: 0,
             enqueued_micros: 0,
             placed_by: "direct",
+            tenant,
+            arrival_seq: 0,
         });
         self.generation += 1;
         Ok(())
@@ -966,12 +1072,16 @@ impl MachineEntry {
         pattern: Option<CommPattern>,
         ctx: &RequestCtx<'_>,
     ) -> Result<AllocOutcome, ServiceError> {
-        self.allocate_placed(job_id, size, wait, walltime, pattern, "direct", ctx)
+        self.allocate_placed(job_id, size, wait, walltime, pattern, "direct", None, ctx)
     }
 
     /// [`MachineEntry::allocate_traced`] with the placement provenance
-    /// label the calibration plane files under: the routing-policy name
-    /// for pool-routed requests, `"direct"` otherwise.
+    /// label the calibration plane files under (the routing-policy name
+    /// for pool-routed requests, `"direct"` otherwise) and the tenant
+    /// the job is attributed to (`None` = the default tenant). Quota
+    /// admission happens at the service layer *before* this call; here
+    /// the tenant only rides the request into the queue, the journal
+    /// and the running metadata.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn allocate_placed(
         &mut self,
@@ -981,6 +1091,7 @@ impl MachineEntry {
         walltime: Option<f64>,
         pattern: Option<CommPattern>,
         placed_by: &'static str,
+        tenant: Option<String>,
         ctx: &RequestCtx<'_>,
     ) -> Result<AllocOutcome, ServiceError> {
         if self.allocations.contains_key(&job_id) || self.queue.contains(job_id) {
@@ -1018,6 +1129,8 @@ impl MachineEntry {
             trace_request: ctx.request(),
             enqueued_micros: ctx.now_micros(),
             placed_by,
+            tenant: tenant.clone(),
+            arrival_seq: 0,
         });
         let granted = self.drain_queue(Some(job_id), ctx);
         // An arrival frees nothing, so under the current policies the
@@ -1077,7 +1190,11 @@ impl MachineEntry {
                     walltime,
                     enqueued_at,
                     pattern,
+                    tenant: tenant.clone(),
                 });
+            }
+            if let Some(table) = &self.tenants {
+                table.note_enqueued(tenant.as_deref());
             }
             Ok(AllocOutcome::Queued(
                 self.queue.position(job_id).expect("job is queued"),
@@ -1114,7 +1231,17 @@ impl MachineEntry {
             if let Some(at) = self.running.iter().position(|r| r.job_id == job_id) {
                 // swap_remove, not remove: keeps the running-order
                 // evolution identical to the offline engine's.
-                self.running.swap_remove(at);
+                let meta = self.running.swap_remove(at);
+                // Settle the tenant ledger: return the committed
+                // node-seconds, accrue the realized hold.
+                if let Some(table) = &self.tenants {
+                    let held = (self.now() - meta.start).max(0.0);
+                    table.settle(
+                        meta.tenant.as_deref(),
+                        job_cost(meta.size, meta.walltime),
+                        meta.size as f64 * held,
+                    );
+                }
             }
             // Join the grant-time calibration record with the realized
             // outcome. The record is removed unconditionally (a toggle
@@ -1137,9 +1264,19 @@ impl MachineEntry {
                     job: job_id,
                 });
             }
-        } else if self.queue.remove(job_id).is_some() {
+        } else if let Some(pending) = self.queue.remove(job_id) {
             // Cancelling a queued request frees no processors, but may
             // unblock the queue if the cancelled job was the head.
+            // The tenant's commitment is returned with zero realized
+            // consumption — the job never held a processor.
+            if let Some(table) = &self.tenants {
+                table.settle(
+                    pending.tenant.as_deref(),
+                    job_cost(pending.size, pending.walltime),
+                    0.0,
+                );
+                table.note_dequeued(pending.tenant.as_deref());
+            }
             if self.journaled {
                 self.outbox.push(JournalRecord::Cancel {
                     machine: self.name.clone(),
@@ -1178,6 +1315,16 @@ impl MachineEntry {
     ) -> Vec<(u64, Vec<NodeId>)> {
         let now = self.now();
         let kind = self.queue.kind();
+        // The fair-share admission layer re-orders the queue *before*
+        // the scheduler policy looks at it: a stable sort on the
+        // tenants' fair-share keys with arrival order as tie-breaker,
+        // so single-tenant (and untenanted) queues come out unchanged
+        // and the policy below sees an ordinary ordered queue.
+        if self.fair_share {
+            if let Some(table) = self.tenants.clone() {
+                self.queue.resequence(|tenant| table.fair_key(tenant));
+            }
+        }
         let mut granted = Vec::new();
         // Both policy inputs are built once and maintained incrementally
         // across iterations (each grant appends one running snapshot and
@@ -1278,6 +1425,10 @@ impl MachineEntry {
                         self.metrics
                             .wait
                             .record(now - pending.enqueued_at, pending.walltime);
+                        if let Some(table) = &self.tenants {
+                            table.note_dequeued(pending.tenant.as_deref());
+                            table.note_wait(pending.tenant.as_deref(), now - pending.enqueued_at);
+                        }
                     }
                     if self.journaled {
                         self.outbox.push(JournalRecord::Grant {
@@ -1287,6 +1438,7 @@ impl MachineEntry {
                             walltime: pending.walltime,
                             start: now,
                             pattern: pending.pattern,
+                            tenant: pending.tenant.clone(),
                         });
                     }
                     self.allocations.insert(pending.job_id, nodes.clone());
@@ -1296,6 +1448,7 @@ impl MachineEntry {
                         start: now,
                         walltime: pending.walltime,
                         pattern: pending.pattern,
+                        tenant: pending.tenant.clone(),
                     };
                     if kind.uses_running_snapshots() {
                         snapshots.push(RunningSnapshot {
@@ -1317,11 +1470,25 @@ impl MachineEntry {
                     pctx.span(Stage::Allocator, pending.job_id, 0, probe_start, refused_at);
                     pctx.deny(pending.job_id, None, refused_at);
                     self.metrics.rejected += 1;
-                    if self.journaled && arriving != Some(pending.job_id) {
-                        self.outbox.push(JournalRecord::Cancel {
-                            machine: self.name.clone(),
-                            job: pending.job_id,
-                        });
+                    if arriving != Some(pending.job_id) {
+                        // A dropped *queued* request settles its tenant
+                        // commitment here; the arriving request's
+                        // admission is unwound by the service when it
+                        // sees the Rejected outcome.
+                        if let Some(table) = &self.tenants {
+                            table.settle(
+                                pending.tenant.as_deref(),
+                                job_cost(pending.size, pending.walltime),
+                                0.0,
+                            );
+                            table.note_dequeued(pending.tenant.as_deref());
+                        }
+                        if self.journaled {
+                            self.outbox.push(JournalRecord::Cancel {
+                                machine: self.name.clone(),
+                                job: pending.job_id,
+                            });
+                        }
                     }
                     continue;
                 }
@@ -1542,6 +1709,9 @@ pub struct Registry {
     /// The placement calibration store every entry feeds (see
     /// [`crate::calibration`]); disabled by default.
     calibration: Arc<CalibrationStore>,
+    /// The tenant ledger every entry settles against (see
+    /// [`crate::tenant`]); empty until a tenant is configured.
+    tenants: Arc<TenantTable>,
 }
 
 impl Default for Registry {
@@ -1558,12 +1728,18 @@ impl Registry {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             calibration: Arc::new(CalibrationStore::new()),
+            tenants: Arc::new(TenantTable::new()),
         }
     }
 
     /// The registry-wide placement calibration store.
     pub fn calibration(&self) -> &Arc<CalibrationStore> {
         &self.calibration
+    }
+
+    /// The registry-wide tenant ledger.
+    pub fn tenants(&self) -> &Arc<TenantTable> {
+        &self.tenants
     }
 
     fn shard_of(&self, name: &str) -> &Mutex<HashMap<String, MachineEntry>> {
@@ -1589,6 +1765,7 @@ impl Registry {
         }
         let entry = shard.entry(name.to_string()).or_insert(entry);
         entry.attach_calibration(Arc::clone(&self.calibration));
+        entry.attach_tenants(Arc::clone(&self.tenants));
         after(entry);
         Ok(())
     }
@@ -2059,6 +2236,93 @@ mod tests {
     }
 
     #[test]
+    fn fair_share_reorders_tenants_without_breaking_arrival_order() {
+        // Tenant "hog" commits far more node-seconds than "mouse"; with
+        // fair-share on, mouse's queued jobs drain first even though hog
+        // arrived earlier — while each tenant's own jobs keep arrival
+        // order.
+        let r = registry_with_m0();
+        let tenants = Arc::clone(r.tenants());
+        tenants.admit(Some("hog"), 1_000_000.0).unwrap();
+        tenants.admit(Some("mouse"), 10.0).unwrap();
+        let submit = |m: &mut MachineEntry, id: u64, tenant: &str| {
+            m.allocate_placed(
+                id,
+                200,
+                true,
+                None,
+                None,
+                "direct",
+                Some(tenant.to_string()),
+                &RequestCtx::inert(),
+            )
+        };
+        r.with_entry("m0", |m| {
+            m.allocate(1, 250, false, None)?;
+            submit(m, 2, "hog")?;
+            submit(m, 3, "hog")?;
+            submit(m, 4, "mouse")?;
+            assert!(!m.fair_share());
+            Ok(())
+        })
+        .unwrap();
+        let granted = r
+            .with_entry("m0", |m| {
+                m.set_fair_share(true);
+                assert!(m.fair_share());
+                m.release(1)
+            })
+            .unwrap();
+        let ids: Vec<u64> = granted.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![4], "mouse's job jumps the hog's earlier ones");
+        r.with_entry("m0", |m| {
+            assert_eq!(m.poll(2), JobStatus::Queued(1), "hog keeps arrival order");
+            assert_eq!(m.poll(3), JobStatus::Queued(2));
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn release_settles_the_tenant_ledger() {
+        let r = registry_with_m0();
+        let tenants = Arc::clone(r.tenants());
+        tenants
+            .admit(Some("acme"), job_cost(30, Some(100.0)))
+            .unwrap();
+        r.with_entry("m0", |m| {
+            m.set_time(0.0);
+            m.allocate_placed(
+                1,
+                30,
+                false,
+                Some(100.0),
+                None,
+                "direct",
+                Some("acme".to_string()),
+                &RequestCtx::inert(),
+            )
+        })
+        .unwrap();
+        r.with_entry("m0", |m| {
+            m.set_time(40.0);
+            m.release(1)
+        })
+        .unwrap();
+        let row = tenants
+            .export()
+            .into_iter()
+            .find(|row| row.tenant == "acme")
+            .expect("acme row");
+        assert_eq!(row.outstanding_node_seconds, 0.0);
+        assert!(
+            (row.consumed_node_seconds - 30.0 * 40.0).abs() < 1e-6,
+            "30 nodes held 40 s, got {}",
+            row.consumed_node_seconds
+        );
+    }
+
+    #[test]
     fn virtual_time_is_monotonic_and_drives_wait_metrics() {
         let r = registry_with_m0();
         r.with_entry("m0", |m| {
@@ -2102,10 +2366,10 @@ mod tests {
         // must drag the clock past every stamp it folds in.
         let r = registry_with_m0();
         r.with_entry("m0", |m| {
-            m.restore_grant(1, vec![NodeId(0)], Some(10.0), 3600.0, None)
+            m.restore_grant(1, vec![NodeId(0)], Some(10.0), 3600.0, None, None)
                 .map_err(ServiceError::InvalidRequest)?;
             assert!(m.now() >= 3600.0, "clock not rebased past the grant");
-            m.restore_queue(2, 4, None, 3610.0, None)
+            m.restore_queue(2, 4, None, 3610.0, None, None)
                 .map_err(ServiceError::InvalidRequest)?;
             assert!(m.now() >= 3610.0, "clock not rebased past the enqueue");
             m.check_invariants().map_err(ServiceError::InvalidRequest)

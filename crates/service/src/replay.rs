@@ -23,6 +23,7 @@
 //! integers) keep every event time exact in `f64`, making tie-breaking
 //! reproducible rather than rounding-dependent.
 
+use crate::protocol::JobRef;
 use crate::registry::AllocOutcome;
 use crate::service::AllocationService;
 use commalloc_mesh::NodeId;
@@ -357,9 +358,17 @@ pub fn replay_cluster(
             let (_, machine_at, idx) = completion.expect("completion event requires a running job");
             let machine = members[machine_at].clone();
             let (done, _) = running[machine_at].swap_remove(idx);
-            let granted = service
-                .release(&machine, done)
+            // Release through the pool address: the pool's job index
+            // resolves the bare id to its owning member, so every
+            // cluster replay also proves the index agrees with the
+            // router's bookkeeping.
+            let (resolved, granted) = service
+                .release_ref(Some(&pool_address), &JobRef::Bare(done))
                 .expect("running job releases cleanly");
+            assert_eq!(
+                resolved, machine,
+                "pool job index must resolve to the member the router placed the job on"
+            );
             for (job_id, nodes) in granted {
                 let duration = durations[&job_id];
                 running[machine_at].push((job_id, now + duration));

@@ -264,10 +264,22 @@ impl EventLoop {
         if !keep {
             let conn = conns.remove(&key).expect("connection vanished mid-serve");
             let _ = self.poller.delete(conn.stream.as_raw_fd());
+            // Release the tenant's in-flight slots held by responses the
+            // peer will never read.
+            if conn.unflushed > 0 {
+                service
+                    .tenants()
+                    .wire_dec(conn.inflight_tenant.as_deref(), conn.unflushed);
+            }
             return; // dropping the stream closes it
         }
         let conn = conns.get_mut(&key).expect("connection vanished mid-serve");
-        let desired = conn.desired_interest(key);
+        let desired = conn.desired_interest(key, service);
+        if conn.interest.readable && !desired.readable && !conn.closing {
+            service
+                .tenants()
+                .note_backpressure_pause(conn.inflight_tenant.as_deref());
+        }
         if desired != conn.interest && self.poller.modify(conn.stream.as_raw_fd(), desired).is_ok()
         {
             conn.interest = desired;
@@ -286,6 +298,16 @@ struct Conn {
     /// Reads are done (EOF or fatal framing error); the connection stays
     /// only until the outbox flushes.
     closing: bool,
+    /// The tenant this connection is bound to (`hello`); requests
+    /// without their own `tenant` field inherit it.
+    tenant: Option<String>,
+    /// Responses queued but not yet fully flushed — the figure the
+    /// per-tenant in-flight cap rides on.
+    unflushed: u64,
+    /// The tenant the unflushed responses were billed to (snapshotted
+    /// at the first inc so a mid-stream `hello` cannot unbalance the
+    /// ledger).
+    inflight_tenant: Option<String>,
 }
 
 impl Conn {
@@ -297,6 +319,9 @@ impl Conn {
             outpos: 0,
             interest,
             closing: false,
+            tenant: None,
+            unflushed: 0,
+            inflight_tenant: None,
         }
     }
 
@@ -304,11 +329,25 @@ impl Conn {
         self.outbox.len() - self.outpos
     }
 
-    fn desired_interest(&self, key: usize) -> Event {
+    /// True while this connection's tenant sits at or above its
+    /// in-flight cap *and* this connection contributes to it — the
+    /// second condition guarantees a writable event is pending, so the
+    /// pause always has a wakeup that ends it.
+    fn over_tenant_cap(&self, service: &AllocationService) -> bool {
+        self.unflushed > 0
+            && service
+                .tenants()
+                .over_in_flight_cap(self.inflight_tenant.as_deref())
+    }
+
+    fn desired_interest(&self, key: usize, service: &AllocationService) -> Event {
         Event {
             key,
-            // Backpressure: stop reading while the peer lags on responses.
-            readable: !self.closing && self.pending_out() <= OUTBOX_HIGH_WATER,
+            // Backpressure: stop reading while the peer lags on responses
+            // or the tenant sits at its in-flight cap.
+            readable: !self.closing
+                && self.pending_out() <= OUTBOX_HIGH_WATER
+                && !self.over_tenant_cap(service),
             writable: self.pending_out() > 0,
         }
     }
@@ -316,7 +355,16 @@ impl Conn {
     /// One readiness wakeup's worth of work. Returns false when the
     /// connection should be dropped.
     fn serve(&mut self, service: &AllocationService, scratch: &mut [u8]) -> bool {
-        if !self.closing && self.pending_out() <= OUTBOX_HIGH_WATER {
+        // Frames can outlive the read that delivered them (a tenant-cap
+        // pause leaves them buffered): dispatch leftovers before
+        // reading more.
+        if !self.closing && !self.drain_frames(service) {
+            self.closing = true;
+        }
+        if !self.closing
+            && self.pending_out() <= OUTBOX_HIGH_WATER
+            && !self.over_tenant_cap(service)
+        {
             let mut reads = 0;
             while reads < MAX_READS_PER_WAKEUP {
                 reads += 1;
@@ -337,7 +385,7 @@ impl Conn {
                             self.closing = true;
                             break;
                         }
-                        if self.pending_out() > OUTBOX_HIGH_WATER {
+                        if self.pending_out() > OUTBOX_HIGH_WATER || self.over_tenant_cap(service) {
                             break;
                         }
                     }
@@ -350,22 +398,44 @@ impl Conn {
         if self.flush_outbox().is_err() {
             return false;
         }
+        if self.pending_out() == 0 && self.unflushed > 0 {
+            service
+                .tenants()
+                .wire_dec(self.inflight_tenant.as_deref(), self.unflushed);
+            self.unflushed = 0;
+        }
         // Closing and nothing left to say: drop.
         !(self.closing && self.pending_out() == 0)
     }
 
-    /// Dispatches every complete frame currently buffered (pipelining).
-    /// Returns false on a fatal framing error (stream desync): an error
-    /// response is queued and the connection closes once it flushes.
+    /// Dispatches every complete frame currently buffered (pipelining),
+    /// pausing while the connection's tenant is at its in-flight cap
+    /// (the rest dispatch after the outbox flushes). Returns false on a
+    /// fatal framing error (stream desync): an error response is queued
+    /// and the connection closes once it flushes.
     fn drain_frames(&mut self, service: &AllocationService) -> bool {
         loop {
+            if self.over_tenant_cap(service) {
+                return true;
+            }
             match self.buffer.next_frame() {
-                Ok(Some(frame)) => dispatch_frame(service, frame, &mut self.outbox),
+                Ok(Some(frame)) => {
+                    dispatch_frame(service, frame, &mut self.outbox, &mut self.tenant);
+                    if self.unflushed == 0 {
+                        self.inflight_tenant = self.tenant.clone();
+                    }
+                    self.unflushed += 1;
+                    service
+                        .tenants()
+                        .wire_inc(self.inflight_tenant.as_deref(), 1);
+                }
                 Ok(None) => return true,
                 Err(e) => {
                     ServiceMetrics::bump(&service.metrics().protocol_errors);
                     let response = Response::Error {
                         message: format!("bad frame: {e}"),
+                        code: None,
+                        detail: None,
                     };
                     append_response(&mut self.outbox, Framing::Binary, &response);
                     return false;
@@ -400,7 +470,15 @@ impl Conn {
 /// Parses one frame into a `Request`, dispatches it, and queues the
 /// response in the framing the request arrived in. Blank NDJSON lines
 /// are ignored (so interactive `nc` sessions can hit return freely).
-fn dispatch_frame(service: &AllocationService, frame: Frame, outbox: &mut Vec<u8>) {
+/// `conn_tenant` is the connection's `hello` binding: it is injected
+/// into requests that carry no tenant of their own, and a successful
+/// `hello` rebinds it.
+fn dispatch_frame(
+    service: &AllocationService,
+    frame: Frame,
+    outbox: &mut Vec<u8>,
+    conn_tenant: &mut Option<String>,
+) {
     if frame.framing == Framing::Ndjson && frame.payload.iter().all(u8::is_ascii_whitespace) {
         return;
     }
@@ -409,17 +487,45 @@ fn dispatch_frame(service: &AllocationService, frame: Frame, outbox: &mut Vec<u8
     let ctx = service.recorder().begin();
     let parse_start = ctx.now_micros();
     let response = match parse_frame(&frame) {
-        Ok(request) => {
+        Ok(mut request) => {
             ctx.span(Stage::Parse, 0, 0, parse_start, ctx.now_micros());
-            service.handle_traced(&request, &ctx)
+            bind_tenant(&mut request, conn_tenant);
+            let response = service.handle_traced(&request, &ctx);
+            if let (Request::Hello { tenant }, Response::Hello { .. }) = (&request, &response) {
+                *conn_tenant = Some(tenant.clone());
+            }
+            response
         }
         Err(message) => {
             ctx.span(Stage::Parse, 0, 1, parse_start, ctx.now_micros());
             ServiceMetrics::bump(&service.metrics().protocol_errors);
-            Response::Error { message }
+            Response::Error {
+                message,
+                code: None,
+                detail: None,
+            }
         }
     };
     append_response(outbox, frame.framing, &response);
+}
+
+/// Injects the connection's bound tenant into requests that carry no
+/// explicit tenant (recursing into batches). Explicit per-request
+/// tenants always win.
+fn bind_tenant(request: &mut Request, conn_tenant: &Option<String>) {
+    let Some(bound) = conn_tenant else { return };
+    match request {
+        Request::Alloc {
+            tenant: tenant @ None,
+            ..
+        } => *tenant = Some(bound.clone()),
+        Request::Batch(requests) => {
+            for member in requests {
+                bind_tenant(member, conn_tenant);
+            }
+        }
+        _ => {}
+    }
 }
 
 fn parse_frame(frame: &Frame) -> Result<Request, String> {
@@ -448,6 +554,8 @@ fn append_response(outbox: &mut Vec<u8>, framing: Framing, response: &Response) 
             if let Err(e) = framing::encode_frame_into(&response.to_value(), outbox) {
                 let fallback = Response::Error {
                     message: format!("response unencodable: {e}"),
+                    code: None,
+                    detail: None,
                 };
                 framing::encode_frame_into(&fallback.to_value(), outbox)
                     .expect("a small error response always encodes");
@@ -599,6 +707,7 @@ fn handle_blocking_connection(stream: TcpStream, service: &AllocationService) {
     };
     let mut writer = write_half;
     let reader = BufReader::new(stream);
+    let mut conn_tenant: Option<String> = None;
     for line in reader.lines() {
         let Ok(line) = line else {
             return;
@@ -609,15 +718,22 @@ fn handle_blocking_connection(stream: TcpStream, service: &AllocationService) {
         let ctx = service.recorder().begin();
         let parse_start = ctx.now_micros();
         let response = match Request::from_line(&line) {
-            Ok(request) => {
+            Ok(mut request) => {
                 ctx.span(Stage::Parse, 0, 0, parse_start, ctx.now_micros());
-                service.handle_traced(&request, &ctx)
+                bind_tenant(&mut request, &conn_tenant);
+                let response = service.handle_traced(&request, &ctx);
+                if let (Request::Hello { tenant }, Response::Hello { .. }) = (&request, &response) {
+                    conn_tenant = Some(tenant.clone());
+                }
+                response
             }
             Err(e) => {
                 ctx.span(Stage::Parse, 0, 1, parse_start, ctx.now_micros());
                 ServiceMetrics::bump(&service.metrics().protocol_errors);
                 Response::Error {
                     message: format!("bad request: {e}"),
+                    code: None,
+                    detail: None,
                 }
             }
         };

@@ -6,11 +6,14 @@
 //! [`AllocationService::handle`].
 
 use crate::calibration::CalibrationStore;
-use crate::cluster::{pool_of, MachineSample, PlacementRouter, RoutingPolicy};
-use crate::journal::{JournalRecord, JournalSink, NoopJournal, PoolImage, SnapshotImage};
+use crate::cluster::{pool_of, MachineSample, PlacementRouter, PoolJobIndex, RoutingPolicy};
+use crate::journal::{
+    JournalRecord, JournalSink, NoopJournal, PoolImage, SnapshotImage, TenantImage,
+};
 use crate::metrics::{LogLinearHistogram, ServiceMetrics, WindowRing};
-use crate::protocol::{Request, Response};
+use crate::protocol::{JobRef, Request, Response};
 use crate::registry::{MachineEntry, MachineSnapshot, Registry, ServiceError};
+use crate::tenant::{job_cost, tenant_or_default, TenantConfig, TenantTable};
 use crate::trace::{FlightRecorder, RequestCtx, Stage};
 use commalloc::scheduler::SchedulerKind;
 use commalloc_alloc::curve_alloc::SelectionStrategy;
@@ -51,6 +54,11 @@ pub struct AllocationService {
     /// by traced routed allocs. BTreeMap: exports iterate in pool-name
     /// order, so the exposition is deterministic.
     pool_windows: Arc<Mutex<BTreeMap<String, PoolWindow>>>,
+    /// The pool-scoped job index: `(pool, job id) -> owning members`,
+    /// maintained on every grant/queue/release of a pool member so
+    /// `@pool`-addressed release/poll resolve a bare id to its owner
+    /// without touching any per-machine lock.
+    job_index: Arc<PoolJobIndex>,
 }
 
 /// One pool's route-latency aggregation: the since-boot histogram, the
@@ -85,6 +93,7 @@ impl Default for AllocationService {
             router_flips: Arc::new(Mutex::new(())),
             recorder: Arc::new(FlightRecorder::new()),
             pool_windows: Arc::new(Mutex::new(BTreeMap::new())),
+            job_index: Arc::new(PoolJobIndex::default()),
         }
     }
 }
@@ -147,6 +156,18 @@ fn parse_scheduler(spec: &str) -> Result<SchedulerKind, ServiceError> {
             "scheduler {spec:?} (expected one of: fcfs, backfill, easy, conservative)"
         ))
     })
+}
+
+/// Validates a tenant name: non-empty, no pool sigil, no `/` (tenant
+/// names travel inside job refs' flat namespace-free fields never, but
+/// a `/` would still read ambiguously in logs and CLI output).
+fn validate_tenant_name(tenant: &str) -> Result<(), ServiceError> {
+    if tenant.is_empty() || tenant.starts_with('@') || tenant.contains('/') {
+        return Err(ServiceError::InvalidSpec(format!(
+            "tenant name {tenant:?} (must be non-empty, carry no '@' sigil and no '/')"
+        )));
+    }
+    Ok(())
 }
 
 /// Parses a 3-D curve spec (`"Hilbert-3d"`, `"snake-3d"`, ...).
@@ -286,6 +307,17 @@ impl AllocationService {
     /// The process-wide counters (shared with the TCP server).
     pub fn metrics(&self) -> &ServiceMetrics {
         &self.metrics
+    }
+
+    /// The tenant table: configuration, quota ledger and fair-share
+    /// keys (shared with every machine entry and the TCP server).
+    pub fn tenants(&self) -> &Arc<TenantTable> {
+        self.registry.tenants()
+    }
+
+    /// The pool-scoped job index (`@pool` bare-id resolution).
+    pub fn job_index(&self) -> &Arc<PoolJobIndex> {
+        &self.job_index
     }
 
     /// Registers a machine from string specs. Two dimensions select the
@@ -456,6 +488,7 @@ impl AllocationService {
             wait,
             walltime,
             None,
+            None,
             &RequestCtx::inert(),
         )
     }
@@ -479,12 +512,54 @@ impl AllocationService {
             wait,
             walltime,
             pattern,
+            None,
             &RequestCtx::inert(),
         )
     }
 
-    /// [`AllocationService::allocate`] with a tracing context (the wire
-    /// path; in-process callers use the untraced wrapper).
+    /// Maps a quota check onto the typed admission error. The
+    /// commitment is taken here, *before* the machine lock; the
+    /// caller settles it against the outcome (refund on reject/error,
+    /// keep on grant/queue — released when the job settles).
+    fn admit_quota(&self, tenant: Option<&str>, cost: f64) -> Result<(), ServiceError> {
+        self.registry
+            .tenants()
+            .admit(tenant, cost)
+            .map_err(|denied| ServiceError::QuotaExceeded {
+                tenant: tenant_or_default(tenant).to_string(),
+                usage: denied.usage,
+                limit: denied.limit,
+            })
+    }
+
+    /// Settles one alloc attempt's admission commitment against its
+    /// outcome and maintains the pool job index: grants and queued
+    /// jobs of pool members become resolvable by bare id; rejected or
+    /// failed attempts refund their commitment.
+    fn finish_admission(
+        &self,
+        machine: &str,
+        job: u64,
+        tenant: Option<&str>,
+        cost: f64,
+        result: Result<AllocOutcome, ServiceError>,
+    ) -> Result<AllocOutcome, ServiceError> {
+        match &result {
+            Ok(AllocOutcome::Granted(_)) | Ok(AllocOutcome::Queued(_)) => {
+                if let Some(pool) = self.router.pool_of_member(machine) {
+                    self.job_index.insert(&pool, job, machine);
+                }
+            }
+            Ok(AllocOutcome::Rejected(_)) | Err(_) => {
+                self.registry.tenants().refund(tenant, cost);
+            }
+        }
+        result
+    }
+
+    /// [`AllocationService::allocate`] with a tenant attribution and a
+    /// tracing context (the wire path; in-process callers use the
+    /// untraced wrappers, which bill the default tenant).
     #[allow(clippy::too_many_arguments)]
     pub fn allocate_traced(
         &self,
@@ -494,14 +569,27 @@ impl AllocationService {
         wait: bool,
         walltime: Option<f64>,
         pattern: Option<CommPattern>,
+        tenant: Option<&str>,
         ctx: &RequestCtx<'_>,
     ) -> Result<AllocOutcome, ServiceError> {
         let ctx = ctx.with_machine(machine);
-        self.registry.with_entry(machine, |entry| {
-            let outcome = entry.allocate_traced(job, size, wait, walltime, pattern, &ctx);
+        let cost = job_cost(size, walltime);
+        self.admit_quota(tenant, cost)?;
+        let result = self.registry.with_entry(machine, |entry| {
+            let outcome = entry.allocate_placed(
+                job,
+                size,
+                wait,
+                walltime,
+                pattern,
+                "direct",
+                tenant.map(str::to_string),
+                &ctx,
+            );
             self.flush_outbox(entry, &ctx);
             outcome
-        })
+        });
+        self.finish_admission(machine, job, tenant, cost, result)
     }
 
     /// The routing-relevant sample of `machine`, captured under its
@@ -555,14 +643,17 @@ impl AllocationService {
             wait,
             walltime,
             pattern,
+            None,
             &RequestCtx::inert(),
         )
     }
 
-    /// [`AllocationService::route`] with a tracing context: the whole
-    /// sample-pick-commit loop is timed as one `route` span (its `code`
-    /// counts the stale-sample retries), bound to the member that took
-    /// the job.
+    /// [`AllocationService::route`] with a tenant attribution and a
+    /// tracing context: the whole sample-pick-commit loop is timed as
+    /// one `route` span (its `code` counts the stale-sample retries),
+    /// bound to the member that took the job. A routed id already live
+    /// anywhere in the pool is refused up front as the typed duplicate
+    /// it would otherwise become in the pool index.
     #[allow(clippy::too_many_arguments)]
     pub fn route_traced(
         &self,
@@ -572,6 +663,40 @@ impl AllocationService {
         wait: bool,
         walltime: Option<f64>,
         pattern: Option<CommPattern>,
+        tenant: Option<&str>,
+        ctx: &RequestCtx<'_>,
+    ) -> Result<(String, AllocOutcome), ServiceError> {
+        if let Some(owner) = self.job_index.owners(pool, job).first() {
+            return Err(ServiceError::DuplicateJob {
+                machine: owner.clone(),
+                job_id: job,
+            });
+        }
+        let cost = job_cost(size, walltime);
+        self.admit_quota(tenant, cost)?;
+        let result = self.route_inner(pool, job, size, wait, walltime, pattern, tenant, ctx);
+        match &result {
+            Ok((target, AllocOutcome::Granted(_))) | Ok((target, AllocOutcome::Queued(_))) => {
+                self.job_index.insert(pool, job, target);
+            }
+            Ok((_, AllocOutcome::Rejected(_))) | Err(_) => {
+                self.registry.tenants().refund(tenant, cost);
+            }
+        }
+        result
+    }
+
+    /// The routing loop body (sample, pick, generation-checked commit).
+    #[allow(clippy::too_many_arguments)]
+    fn route_inner(
+        &self,
+        pool: &str,
+        job: u64,
+        size: usize,
+        wait: bool,
+        walltime: Option<f64>,
+        pattern: Option<CommPattern>,
+        tenant: Option<&str>,
         ctx: &RequestCtx<'_>,
     ) -> Result<(String, AllocOutcome), ServiceError> {
         let route_start = ctx.now_micros();
@@ -612,7 +737,16 @@ impl AllocationService {
                     mctx.now_micros(),
                 );
                 let outcome = entry
-                    .allocate_placed(job, size, wait, walltime, pattern, policy.name(), &mctx)
+                    .allocate_placed(
+                        job,
+                        size,
+                        wait,
+                        walltime,
+                        pattern,
+                        policy.name(),
+                        tenant.map(str::to_string),
+                        &mctx,
+                    )
                     .map(Some);
                 self.flush_outbox(entry, &mctx);
                 outcome
@@ -746,6 +880,135 @@ impl AllocationService {
         })
     }
 
+    /// Binds a tenant name into existence (the `hello` op's state
+    /// effect; the per-connection binding itself lives in the server).
+    pub fn hello(&self, tenant: &str) -> Result<(), ServiceError> {
+        validate_tenant_name(tenant)?;
+        self.registry.tenants().touch(tenant);
+        Ok(())
+    }
+
+    /// Creates or reconfigures a tenant. Omitted fields keep their
+    /// current values (the defaults for a new tenant); a quota or cap
+    /// of `0` clears it back to unlimited. The *resulting* absolute
+    /// configuration is journaled, so replay is last-writer-wins
+    /// without needing the merge inputs.
+    pub fn set_tenant(
+        &self,
+        tenant: &str,
+        weight: Option<f64>,
+        quota: Option<f64>,
+        max_in_flight: Option<u64>,
+    ) -> Result<TenantConfig, ServiceError> {
+        validate_tenant_name(tenant)?;
+        if let Some(w) = weight {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(ServiceError::InvalidSpec(format!(
+                    "tenant weight {w} (must be finite and positive)"
+                )));
+            }
+        }
+        if let Some(q) = quota {
+            if !q.is_finite() || q < 0.0 {
+                return Err(ServiceError::InvalidSpec(format!(
+                    "tenant quota {q} (must be finite and non-negative; 0 clears it)"
+                )));
+            }
+        }
+        let table = self.registry.tenants();
+        let current = table.config_of(Some(tenant));
+        let config = TenantConfig {
+            weight: weight.unwrap_or(current.weight),
+            quota_node_seconds: match quota {
+                None => current.quota_node_seconds,
+                Some(0.0) => None,
+                Some(q) => Some(q),
+            },
+            max_in_flight: match max_in_flight {
+                None => current.max_in_flight,
+                Some(0) => None,
+                Some(cap) => Some(cap),
+            },
+        };
+        table.configure(tenant, config.clone());
+        if self.journal.durable() {
+            self.journal.append(&JournalRecord::SetTenant {
+                tenant: tenant.to_string(),
+                weight: config.weight,
+                quota: config.quota_node_seconds,
+                max_in_flight: config.max_in_flight,
+            });
+        }
+        Ok(config)
+    }
+
+    /// Toggles the weighted fair-share admission layer of `machine`,
+    /// returning jobs the re-drain granted.
+    #[allow(clippy::type_complexity)]
+    pub fn set_fair_share(
+        &self,
+        machine: &str,
+        enabled: bool,
+    ) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
+        self.set_fair_share_traced(machine, enabled, &RequestCtx::inert())
+    }
+
+    /// [`AllocationService::set_fair_share`] with a tracing context.
+    #[allow(clippy::type_complexity)]
+    pub fn set_fair_share_traced(
+        &self,
+        machine: &str,
+        enabled: bool,
+        ctx: &RequestCtx<'_>,
+    ) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
+        let ctx = ctx.with_machine(machine);
+        self.registry.with_entry(machine, |entry| {
+            let granted = entry.set_fair_share_traced(enabled, &ctx);
+            self.flush_outbox(entry, &ctx);
+            Ok(granted)
+        })
+    }
+
+    /// The `tenants` op's body: one object per tenant (sorted by
+    /// name) carrying the configuration and the live ledger figures.
+    pub fn tenants_value(&self) -> Value {
+        let mut out = Map::new();
+        for row in self.registry.tenants().export() {
+            let mut e = Map::new();
+            e.insert("weight".into(), Value::Float(row.config.weight));
+            if let Some(q) = row.config.quota_node_seconds {
+                e.insert("quota_node_seconds".into(), Value::Float(q));
+            }
+            if let Some(cap) = row.config.max_in_flight {
+                e.insert("max_in_flight".into(), Value::UInt(cap));
+            }
+            e.insert(
+                "outstanding_node_seconds".into(),
+                Value::Float(row.outstanding_node_seconds),
+            );
+            e.insert(
+                "consumed_node_seconds".into(),
+                Value::Float(row.consumed_node_seconds),
+            );
+            e.insert("admitted".into(), Value::UInt(row.admitted));
+            e.insert("denied".into(), Value::UInt(row.denied));
+            e.insert("queued".into(), Value::UInt(row.queued));
+            e.insert("in_flight".into(), Value::UInt(row.in_flight));
+            e.insert(
+                "backpressure_pauses".into(),
+                Value::UInt(row.backpressure_pauses),
+            );
+            if row.waits > 0 {
+                e.insert(
+                    "mean_weighted_wait".into(),
+                    Value::Float(row.weighted_wait_sum / row.waits as f64),
+                );
+            }
+            out.insert(row.tenant, Value::Object(e));
+        }
+        Value::Object(out)
+    }
+
     /// Switches `machine` to virtual time and sets its clock to `t`
     /// seconds (deterministic replay and test harnesses; live daemons
     /// stay on wall time). Monotonic: earlier stamps are clamped.
@@ -782,11 +1045,110 @@ impl AllocationService {
         ctx: &RequestCtx<'_>,
     ) -> Result<Vec<(u64, Vec<NodeId>)>, ServiceError> {
         let ctx = ctx.with_machine(machine);
-        self.registry.with_entry(machine, |entry| {
+        let granted = self.registry.with_entry(machine, |entry| {
             let granted = entry.release_traced(job, &ctx);
             self.flush_outbox(entry, &ctx);
             granted
-        })
+        })?;
+        if let Some(pool) = self.router.pool_of_member(machine) {
+            self.job_index.remove(&pool, job, machine);
+        }
+        Ok(granted)
+    }
+
+    /// Resolves a `(machine address, job ref)` pair to the owning
+    /// member. The rules, by address form:
+    ///
+    /// * `Some("name")` + bare ref → the named machine, directly.
+    /// * `Some("name")` + qualified ref → the ref's machine must match
+    ///   the address (a mismatch is a typed [`ServiceError::InvalidRequest`]).
+    /// * `Some("@pool")` + bare ref → the pool job index resolves the
+    ///   id; zero owners is [`ServiceError::UnknownJob`], two or more
+    ///   the typed [`ServiceError::AmbiguousJob`] collision.
+    /// * `Some("@pool")` + qualified ref → the ref's machine must be a
+    ///   member of the pool (and a pooled ref must name that pool).
+    /// * `None` → the ref must be qualified; a pooled ref additionally
+    ///   verifies the machine's pool membership.
+    pub fn resolve_job(&self, machine: Option<&str>, job: &JobRef) -> Result<String, ServiceError> {
+        let member_of = |pool: &str, member: &str| match self.router.pool_of_member(member) {
+            Some(p) if p == pool => Ok(()),
+            _ => Err(ServiceError::InvalidRequest(format!(
+                "machine {member:?} is not a member of pool {pool:?}"
+            ))),
+        };
+        match machine {
+            Some(addr) => match pool_of(addr) {
+                Some(pool) => match job {
+                    JobRef::Bare(id) => self.job_index.resolve(pool, *id),
+                    JobRef::Member { machine, .. } => {
+                        member_of(pool, machine)?;
+                        Ok(machine.clone())
+                    }
+                    JobRef::Pooled {
+                        pool: ref_pool,
+                        machine,
+                        ..
+                    } => {
+                        if ref_pool != pool {
+                            return Err(ServiceError::InvalidRequest(format!(
+                                "job ref names pool {ref_pool:?} but the request addresses {pool:?}"
+                            )));
+                        }
+                        member_of(pool, machine)?;
+                        Ok(machine.clone())
+                    }
+                },
+                None => match job.machine() {
+                    None => Ok(addr.to_string()),
+                    Some(named) if named == addr => {
+                        if let Some(ref_pool) = job.pool() {
+                            member_of(ref_pool, named)?;
+                        }
+                        Ok(addr.to_string())
+                    }
+                    Some(named) => Err(ServiceError::InvalidRequest(format!(
+                        "job ref names machine {named:?} but the request addresses {addr:?}"
+                    ))),
+                },
+            },
+            None => match job {
+                JobRef::Bare(id) => Err(ServiceError::InvalidRequest(format!(
+                    "bare job id {id} needs a machine or \"@pool\" address \
+                     (or use a qualified \"machine/id\" ref)"
+                ))),
+                JobRef::Member { machine, .. } => Ok(machine.clone()),
+                JobRef::Pooled { pool, machine, .. } => {
+                    member_of(pool, machine)?;
+                    Ok(machine.clone())
+                }
+            },
+        }
+    }
+
+    /// Releases a job by [`JobRef`], resolving `@pool` addresses and
+    /// qualified refs through [`AllocationService::resolve_job`].
+    /// Returns the member the job resolved to alongside the grants.
+    #[allow(clippy::type_complexity)]
+    pub fn release_ref(
+        &self,
+        machine: Option<&str>,
+        job: &JobRef,
+    ) -> Result<(String, Vec<(u64, Vec<NodeId>)>), ServiceError> {
+        let target = self.resolve_job(machine, job)?;
+        let granted = self.release_traced(&target, job.id(), &RequestCtx::inert())?;
+        Ok((target, granted))
+    }
+
+    /// Polls a job by [`JobRef`]; addressing matches
+    /// [`AllocationService::release_ref`].
+    pub fn poll_ref(
+        &self,
+        machine: Option<&str>,
+        job: &JobRef,
+    ) -> Result<(String, JobStatus), ServiceError> {
+        let target = self.resolve_job(machine, job)?;
+        let status = self.poll(&target, job.id())?;
+        Ok((target, status))
     }
 
     /// Where `job` currently stands on `machine`.
@@ -935,6 +1297,7 @@ impl AllocationService {
         }
         m.insert("stages".into(), self.stage_histograms_value_for(span));
         m.insert("pools".into(), self.pools_value(span));
+        m.insert("tenants".into(), self.tenants_value());
         Value::Object(m)
     }
 
@@ -1008,6 +1371,38 @@ impl AllocationService {
                 );
             }
         }
+        let rows = self.registry.tenants().export();
+        if !rows.is_empty() {
+            type TenantSeries = (&'static str, fn(&crate::tenant::TenantExport) -> String);
+            let counters: [TenantSeries; 7] = [
+                ("commalloc_tenant_admitted_total", |r| {
+                    r.admitted.to_string()
+                }),
+                ("commalloc_tenant_denied_total", |r| r.denied.to_string()),
+                ("commalloc_tenant_queued", |r| r.queued.to_string()),
+                ("commalloc_tenant_in_flight", |r| r.in_flight.to_string()),
+                ("commalloc_tenant_backpressure_pauses_total", |r| {
+                    r.backpressure_pauses.to_string()
+                }),
+                ("commalloc_tenant_outstanding_node_seconds", |r| {
+                    format!("{}", r.outstanding_node_seconds)
+                }),
+                ("commalloc_tenant_consumed_node_seconds_total", |r| {
+                    format!("{}", r.consumed_node_seconds)
+                }),
+            ];
+            for (name, figure) in counters {
+                let kind = if name.ends_with("_total") {
+                    "counter"
+                } else {
+                    "gauge"
+                };
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                for row in &rows {
+                    let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", row.tenant, figure(row));
+                }
+            }
+        }
         out
     }
 
@@ -1051,11 +1446,25 @@ impl AllocationService {
                 });
             }
         }
+        let tenants = self
+            .registry
+            .tenants()
+            .export()
+            .into_iter()
+            .map(|row| TenantImage {
+                tenant: row.tenant,
+                weight: row.config.weight,
+                quota: row.config.quota_node_seconds,
+                max_in_flight: row.config.max_in_flight,
+                consumed: row.consumed_node_seconds,
+            })
+            .collect();
         JournalRecord::Snapshot(SnapshotImage {
             epoch: self.journal.epoch(),
             covers,
             machines,
             pools,
+            tenants,
         })
     }
 
@@ -1115,9 +1524,21 @@ impl AllocationService {
                 walltime,
                 start,
                 pattern,
-            } => restore(machine, &mut |entry| {
-                entry.restore_grant(*job, nodes.clone(), *walltime, *start, *pattern)
-            }),
+                tenant,
+            } => {
+                restore(machine, &mut |entry| {
+                    entry.restore_grant(
+                        *job,
+                        nodes.clone(),
+                        *walltime,
+                        *start,
+                        *pattern,
+                        tenant.clone(),
+                    )
+                })?;
+                self.index_restored(machine, *job);
+                Ok(())
+            }
             JournalRecord::Queue {
                 machine,
                 job,
@@ -1125,15 +1546,51 @@ impl AllocationService {
                 walltime,
                 enqueued_at,
                 pattern,
-            } => restore(machine, &mut |entry| {
-                entry.restore_queue(*job, *size, *walltime, *enqueued_at, *pattern)
-            }),
+                tenant,
+            } => {
+                restore(machine, &mut |entry| {
+                    entry.restore_queue(
+                        *job,
+                        *size,
+                        *walltime,
+                        *enqueued_at,
+                        *pattern,
+                        tenant.clone(),
+                    )
+                })?;
+                self.index_restored(machine, *job);
+                Ok(())
+            }
             JournalRecord::Release { machine, job } => {
-                restore(machine, &mut |entry| entry.restore_release(*job))
+                restore(machine, &mut |entry| entry.restore_release(*job))?;
+                self.unindex_restored(machine, *job);
+                Ok(())
             }
             JournalRecord::Cancel { machine, job } => {
-                restore(machine, &mut |entry| entry.restore_cancel(*job))
+                restore(machine, &mut |entry| entry.restore_cancel(*job))?;
+                self.unindex_restored(machine, *job);
+                Ok(())
             }
+            JournalRecord::SetTenant {
+                tenant,
+                weight,
+                quota,
+                max_in_flight,
+            } => {
+                self.registry.tenants().configure(
+                    tenant,
+                    TenantConfig {
+                        weight: *weight,
+                        quota_node_seconds: *quota,
+                        max_in_flight: *max_in_flight,
+                    },
+                );
+                Ok(())
+            }
+            JournalRecord::SetFairShare { machine, enabled } => restore(machine, &mut |entry| {
+                entry.restore_fair_share(*enabled);
+                Ok(())
+            }),
             JournalRecord::SetScheduler { machine, scheduler } => {
                 let kind = parse_scheduler(scheduler)?;
                 restore(machine, &mut |entry| {
@@ -1151,6 +1608,53 @@ impl AllocationService {
                 "snapshot records live in the snapshot file, not the WAL tail".to_string(),
             )),
         }
+    }
+
+    /// Recovery: a replayed grant/queue of a pool member re-enters the
+    /// pool job index (pool membership replays first — Register records
+    /// precede grants of their machine in the journal).
+    fn index_restored(&self, machine: &str, job: u64) {
+        if let Some(pool) = self.router.pool_of_member(machine) {
+            self.job_index.insert(&pool, job, machine);
+        }
+    }
+
+    /// Recovery: a replayed release/cancel leaves the pool job index.
+    fn unindex_restored(&self, machine: &str, job: u64) {
+        if let Some(pool) = self.router.pool_of_member(machine) {
+            self.job_index.remove(&pool, job, machine);
+        }
+    }
+
+    /// Recovery: recomputes the tenant ledger's live gauges
+    /// (outstanding node-second commitments, queued counts) exactly
+    /// from the restored machines — the final recovery step, after the
+    /// snapshot and the journal tail have both folded in. Configs and
+    /// consumed totals restore from records; the live gauges are
+    /// derived state and are rebuilt rather than replayed.
+    pub fn rebuild_tenant_gauges(&self) {
+        let mut outstanding: std::collections::HashMap<String, f64> = Default::default();
+        let mut queued: std::collections::HashMap<String, u64> = Default::default();
+        for name in self.list() {
+            let Ok(image) = self
+                .registry
+                .with_entry(&name, |entry| Ok(entry.capture_image()))
+            else {
+                continue;
+            };
+            for r in &image.running {
+                let tenant = tenant_or_default(r.tenant.as_deref()).to_string();
+                *outstanding.entry(tenant).or_default() += job_cost(r.nodes.len(), r.walltime);
+            }
+            for q in &image.queue {
+                let tenant = tenant_or_default(q.tenant.as_deref()).to_string();
+                *outstanding.entry(tenant.clone()).or_default() += job_cost(q.size, q.walltime);
+                *queued.entry(tenant).or_default() += 1;
+            }
+        }
+        let table = self.registry.tenants();
+        table.reset_outstanding(&outstanding);
+        table.reset_queued(&queued);
     }
 
     /// Recovery: rebuilds the registry and pool table from a snapshot
@@ -1174,19 +1678,45 @@ impl AllocationService {
             self.registry.with_entry(&m.machine, |entry| {
                 entry.restore_clock(m.clock);
                 entry.note_journal_seq(m.seq);
+                entry.restore_fair_share(m.fair_share);
                 for r in &m.running {
                     entry
-                        .restore_grant(r.job, r.nodes.clone(), r.walltime, r.start, r.pattern)
+                        .restore_grant(
+                            r.job,
+                            r.nodes.clone(),
+                            r.walltime,
+                            r.start,
+                            r.pattern,
+                            r.tenant.clone(),
+                        )
                         .map_err(ServiceError::InvalidRequest)?;
                 }
                 for q in &m.queue {
                     entry
-                        .restore_queue(q.job, q.size, q.walltime, q.enqueued_at, q.pattern)
+                        .restore_queue(
+                            q.job,
+                            q.size,
+                            q.walltime,
+                            q.enqueued_at,
+                            q.pattern,
+                            q.tenant.clone(),
+                        )
                         .map_err(ServiceError::InvalidRequest)?;
                 }
                 Ok(())
             })?;
             watermarks.insert(m.machine.clone(), m.seq);
+        }
+        for t in &image.tenants {
+            self.registry.tenants().restore(
+                &t.tenant,
+                TenantConfig {
+                    weight: t.weight,
+                    quota_node_seconds: t.quota,
+                    max_in_flight: t.max_in_flight,
+                },
+                t.consumed,
+            );
         }
         for p in &image.pools {
             // The machine list and the pool table are photographed under
@@ -1211,6 +1741,19 @@ impl AllocationService {
             }
             // No surviving member: the pool replays entirely from tail
             // records (or was lost with its only registration).
+        }
+        // Pool membership is in place now: index every restored job of
+        // a pool member so `@pool` bare-id resolution survives the
+        // restart (tail records maintain the index incrementally).
+        for m in &image.machines {
+            if let Some(pool) = self.router.pool_of_member(&m.machine) {
+                for r in &m.running {
+                    self.job_index.insert(&pool, r.job, &m.machine);
+                }
+                for q in &m.queue {
+                    self.job_index.insert(&pool, q.job, &m.machine);
+                }
+            }
         }
         Ok(watermarks)
     }
@@ -1253,6 +1796,8 @@ impl AllocationService {
                     .map(|member| match member {
                         Request::Batch(_) => Response::Error {
                             message: "batches do not nest".to_string(),
+                            code: None,
+                            detail: None,
                         },
                         other => self.handle_traced(other, ctx),
                     })
@@ -1287,9 +1832,19 @@ impl AllocationService {
                 wait,
                 walltime,
                 pattern,
+                tenant,
             } => match pool_of(machine) {
                 Some(pool) => self
-                    .route_traced(pool, *job, *size, *wait, *walltime, *pattern, ctx)
+                    .route_traced(
+                        pool,
+                        *job,
+                        *size,
+                        *wait,
+                        *walltime,
+                        *pattern,
+                        tenant.as_deref(),
+                        ctx,
+                    )
                     .map(|(target, outcome)| match outcome {
                         AllocOutcome::Granted(nodes) => Response::Granted {
                             job: *job,
@@ -1308,7 +1863,16 @@ impl AllocationService {
                         },
                     }),
                 None => self
-                    .allocate_traced(machine, *job, *size, *wait, *walltime, *pattern, ctx)
+                    .allocate_traced(
+                        machine,
+                        *job,
+                        *size,
+                        *wait,
+                        *walltime,
+                        *pattern,
+                        tenant.as_deref(),
+                        ctx,
+                    )
                     .map(|outcome| match outcome {
                         AllocOutcome::Granted(nodes) => Response::Granted {
                             job: *job,
@@ -1341,28 +1905,81 @@ impl AllocationService {
                     scheduler: kind.name().to_string(),
                     granted,
                 }),
-            Request::Release { machine, job } => self
-                .release_traced(machine, *job, ctx)
-                .map(|granted| Response::Released { job: *job, granted }),
-            Request::Poll { machine, job } => self.registry.with_entry(machine, |entry| {
-                Ok(match entry.poll(*job) {
-                    JobStatus::Running(nodes) => Response::Running { job: *job, nodes },
-                    JobStatus::Queued(position) => {
-                        // Same lock hold as the poll itself, so the
-                        // outlook describes the position just reported.
-                        let outlook = entry.queue_outlook(*job);
-                        Response::Waiting {
-                            job: *job,
-                            position,
-                            reserved_start: outlook.as_ref().and_then(|o| o.reserved_start),
-                            explain: outlook
-                                .and_then(|o| o.explain)
-                                .map(|reason| crate::trace::reason_to_value(&reason)),
-                        }
-                    }
-                    JobStatus::Unknown => Response::Unknown { job: *job },
-                })
+            Request::Release { machine, job } => {
+                // The resolved member travels back exactly when the
+                // request used the new addressing (a pool address or a
+                // qualified ref) — plain `machine + bare id` answers
+                // keep their pre-refactor bytes.
+                let qualified = machine.as_deref().is_none_or(|m| m.starts_with('@'))
+                    || job.machine().is_some();
+                self.resolve_job(machine.as_deref(), job)
+                    .and_then(|target| {
+                        let granted = self.release_traced(&target, job.id(), ctx)?;
+                        Ok(Response::Released {
+                            job: job.id(),
+                            granted,
+                            machine: qualified.then_some(target),
+                        })
+                    })
+            }
+            Request::Poll { machine, job } => {
+                let qualified = machine.as_deref().is_none_or(|m| m.starts_with('@'))
+                    || job.machine().is_some();
+                self.resolve_job(machine.as_deref(), job)
+                    .and_then(|target| {
+                        let job = job.id();
+                        self.registry.with_entry(&target, |entry| {
+                            Ok(match entry.poll(job) {
+                                JobStatus::Running(nodes) => Response::Running {
+                                    job,
+                                    nodes,
+                                    machine: qualified.then(|| target.clone()),
+                                },
+                                JobStatus::Queued(position) => {
+                                    // Same lock hold as the poll itself, so the
+                                    // outlook describes the position just reported.
+                                    let outlook = entry.queue_outlook(job);
+                                    Response::Waiting {
+                                        job,
+                                        position,
+                                        reserved_start: outlook
+                                            .as_ref()
+                                            .and_then(|o| o.reserved_start),
+                                        explain: outlook
+                                            .and_then(|o| o.explain)
+                                            .map(|reason| crate::trace::reason_to_value(&reason)),
+                                        machine: qualified.then(|| target.clone()),
+                                    }
+                                }
+                                JobStatus::Unknown => Response::Unknown { job },
+                            })
+                        })
+                    })
+            }
+            Request::Hello { tenant } => self.hello(tenant).map(|()| Response::Hello {
+                tenant: tenant.clone(),
             }),
+            Request::SetTenant {
+                tenant,
+                weight,
+                quota,
+                max_in_flight,
+            } => self
+                .set_tenant(tenant, *weight, *quota, *max_in_flight)
+                .map(|config| Response::TenantSet {
+                    tenant: tenant.clone(),
+                    weight: config.weight,
+                    quota: config.quota_node_seconds,
+                    max_in_flight: config.max_in_flight,
+                }),
+            Request::Tenants => Ok(Response::Tenants(self.tenants_value())),
+            Request::SetFairShare { machine, enabled } => self
+                .set_fair_share_traced(machine, *enabled, ctx)
+                .map(|granted| Response::FairShareSet {
+                    machine: machine.clone(),
+                    enabled: *enabled,
+                    granted,
+                }),
             Request::Query { machine } => match pool_of(machine) {
                 Some(pool) => self.pool_snapshot(pool).map(Response::Snapshot),
                 None => self
@@ -1418,10 +2035,48 @@ impl AllocationService {
         }
         result.unwrap_or_else(|err| {
             ServiceMetrics::bump(&self.metrics.errors);
-            Response::Error {
-                message: err.to_string(),
-            }
+            error_response(&err)
         })
+    }
+}
+
+/// Renders a service error as its wire shape. Every error carries a
+/// message; the errors clients are expected to branch on (quota
+/// denials, pool-index collisions) additionally carry a
+/// machine-readable `code` and a structured `detail`.
+pub fn error_response(err: &ServiceError) -> Response {
+    let (code, detail) = match err {
+        ServiceError::QuotaExceeded {
+            tenant,
+            usage,
+            limit,
+        } => {
+            let mut d = Map::new();
+            d.insert("tenant".into(), tenant.to_value());
+            d.insert("usage".into(), Value::Float(*usage));
+            d.insert("limit".into(), Value::Float(*limit));
+            (Some("quota_exceeded".to_string()), Some(Value::Object(d)))
+        }
+        ServiceError::AmbiguousJob {
+            pool,
+            job_id,
+            machines,
+        } => {
+            let mut d = Map::new();
+            d.insert("pool".into(), pool.to_value());
+            d.insert("job".into(), Value::UInt(*job_id));
+            d.insert(
+                "machines".into(),
+                Value::Array(machines.iter().map(|m| m.to_value()).collect()),
+            );
+            (Some("ambiguous_job".to_string()), Some(Value::Object(d)))
+        }
+        _ => (None, None),
+    };
+    Response::Error {
+        message: err.to_string(),
+        code,
+        detail,
     }
 }
 
@@ -1527,6 +2182,7 @@ mod tests {
                 wait: true,
                 walltime: Some(bad),
                 pattern: None,
+                tenant: None,
             });
             assert!(
                 matches!(response, Response::Error { .. }),
@@ -1549,6 +2205,7 @@ mod tests {
                     walltime: Some(bad),
                     enqueued_at: 0.0,
                     pattern: None,
+                    tenant: None,
                 })
                 .is_err());
         }
@@ -1570,6 +2227,7 @@ mod tests {
             wait: false,
             walltime: None,
             pattern: None,
+            tenant: None,
         });
         let Response::Granted {
             machine: Some(target),
@@ -1675,10 +2333,11 @@ mod tests {
                 wait: false,
                 walltime: None,
                 pattern: None,
+                tenant: None,
             },
             Request::Release {
-                machine: "m0".into(),
-                job: 1,
+                machine: Some("m0".into()),
+                job: JobRef::Bare(1),
             },
             Request::Alloc {
                 machine: "m0".into(),
@@ -1687,6 +2346,7 @@ mod tests {
                 wait: false,
                 walltime: None,
                 pattern: None,
+                tenant: None,
             },
             Request::Batch(vec![Request::Ping]),
         ]));
@@ -1729,6 +2389,7 @@ mod tests {
             wait: false,
             walltime: None,
             pattern: None,
+            tenant: None,
         });
         let Response::Granted {
             job: 1,
@@ -1748,6 +2409,7 @@ mod tests {
                 wait: false,
                 walltime: None,
                 pattern: None,
+                tenant: None,
             }),
             Response::Rejected { job: 2, .. }
         ));
@@ -1759,6 +2421,7 @@ mod tests {
                 wait: true,
                 walltime: None,
                 pattern: None,
+                tenant: None,
             }),
             Response::Queued {
                 job: 3,
@@ -1767,14 +2430,15 @@ mod tests {
             }
         );
         let waiting = service.handle(&Request::Poll {
-            machine: "m0".into(),
-            job: 3,
+            machine: Some("m0".into()),
+            job: JobRef::Bare(3),
         });
         let Response::Waiting {
             job: 3,
             position: 1,
             reserved_start: None, // FCFS promises no start times
             explain: Some(explain),
+            machine: None,
         } = waiting
         else {
             panic!("expected waiting with an explanation, got {waiting:?}");
@@ -1787,10 +2451,15 @@ mod tests {
         assert_eq!(explain.get("needed").and_then(Value::as_u64), Some(2));
         // Releasing the full job admits the queued one.
         let released = service.handle(&Request::Release {
-            machine: "m0".into(),
-            job: 1,
+            machine: Some("m0".into()),
+            job: JobRef::Bare(1),
         });
-        let Response::Released { job: 1, granted } = released else {
+        let Response::Released {
+            job: 1,
+            granted,
+            machine: None,
+        } = released
+        else {
             panic!("expected release, got {released:?}");
         };
         assert_eq!(granted.len(), 1);

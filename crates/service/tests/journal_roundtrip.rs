@@ -7,7 +7,7 @@
 use commalloc_mesh::NodeId;
 use commalloc_service::journal::{
     read_journal_dir, FileJournal, MachineImage, PoolImage, QueuedImage, RunningImage,
-    SnapshotImage,
+    SnapshotImage, TenantImage,
 };
 use commalloc_service::{open_journaled, JournalConfig, JournalRecord};
 use commalloc_workload::CommPattern;
@@ -53,6 +53,17 @@ fn stamp_strategy() -> BoxedStrategy<f64> {
         .boxed()
 }
 
+/// Optional tenant tags: absent (the pre-tenant wire form) plus names
+/// with the same escaping hazards as machine names.
+fn tenant_strategy() -> BoxedStrategy<Option<String>> {
+    prop_oneof![
+        Just(None),
+        prop::sample::select(vec!["default", "acme", "tenant \"q\"", "团队"])
+            .prop_map(|t| Some(t.to_string())),
+    ]
+    .boxed()
+}
+
 fn nodes_strategy() -> BoxedStrategy<Vec<NodeId>> {
     prop::collection::vec((0u32..4096).prop_map(NodeId), 0..12).boxed()
 }
@@ -71,14 +82,18 @@ fn running_strategy() -> BoxedStrategy<RunningImage> {
         walltime_strategy(),
         stamp_strategy(),
         pattern_strategy(),
+        tenant_strategy(),
     )
-        .prop_map(|(job, nodes, walltime, start, pattern)| RunningImage {
-            job,
-            nodes,
-            walltime,
-            start,
-            pattern,
-        })
+        .prop_map(
+            |(job, nodes, walltime, start, pattern, tenant)| RunningImage {
+                job,
+                nodes,
+                walltime,
+                start,
+                pattern,
+                tenant,
+            },
+        )
         .boxed()
 }
 
@@ -96,6 +111,13 @@ fn queued_strategy() -> BoxedStrategy<QueuedImage> {
             walltime,
             enqueued_at,
             pattern,
+            tenant: None,
+        })
+        .prop_flat_map(|image| {
+            tenant_strategy().prop_map(move |tenant| QueuedImage {
+                tenant,
+                ..image.clone()
+            })
         })
         .boxed()
 }
@@ -112,18 +134,22 @@ fn machine_image_strategy() -> BoxedStrategy<MachineImage> {
         prop_oneof![Just(None), stamp_strategy().prop_map(Some)],
         prop::collection::vec(running_strategy(), 0..4),
         prop::collection::vec(queued_strategy(), 0..4),
+        any::<bool>(),
     )
         .prop_map(
-            |((machine, mesh, strategy, scheduler), seq, clock, running, queue)| MachineImage {
-                machine,
-                mesh,
-                allocator: "Hilbert w/BF".to_string(),
-                strategy,
-                scheduler,
-                seq,
-                clock,
-                running,
-                queue,
+            |((machine, mesh, strategy, scheduler), seq, clock, running, queue, fair_share)| {
+                MachineImage {
+                    machine,
+                    mesh,
+                    allocator: "Hilbert w/BF".to_string(),
+                    strategy,
+                    scheduler,
+                    seq,
+                    clock,
+                    running,
+                    queue,
+                    fair_share,
+                }
             },
         )
         .boxed()
@@ -152,13 +178,35 @@ fn snapshot_strategy() -> BoxedStrategy<SnapshotImage> {
                 }),
             0..3,
         ),
+        prop::collection::vec(tenant_image_strategy(), 0..3),
     )
-        .prop_map(|(epoch, covers, machines, pools)| SnapshotImage {
+        .prop_map(|(epoch, covers, machines, pools, tenants)| SnapshotImage {
             epoch,
             covers,
             machines,
             pools,
+            tenants,
         })
+        .boxed()
+}
+
+fn tenant_image_strategy() -> BoxedStrategy<TenantImage> {
+    (
+        prop::sample::select(vec!["default", "acme", "t \"x\""]),
+        1u64..100,
+        prop_oneof![Just(None), (1u64..1_000_000).prop_map(|q| Some(q as f64))],
+        prop_oneof![Just(None), (1u64..4096).prop_map(Some)],
+        stamp_strategy(),
+    )
+        .prop_map(
+            |(tenant, weight, quota, max_in_flight, consumed)| TenantImage {
+                tenant: tenant.to_string(),
+                weight: weight as f64,
+                quota,
+                max_in_flight,
+                consumed,
+            },
+        )
         .boxed()
 }
 
@@ -191,15 +239,16 @@ fn record_strategy() -> BoxedStrategy<JournalRecord> {
             stamp_strategy(),
             pattern_strategy()
         )
-            .prop_map(|(machine, job, nodes, walltime, start, pattern)| {
-                JournalRecord::Grant {
-                    machine,
+            .prop_flat_map(|(machine, job, nodes, walltime, start, pattern)| {
+                tenant_strategy().prop_map(move |tenant| JournalRecord::Grant {
+                    machine: machine.clone(),
                     job,
-                    nodes,
+                    nodes: nodes.clone(),
                     walltime,
                     start,
                     pattern,
-                }
+                    tenant,
+                })
             }),
         (
             name_strategy(),
@@ -209,15 +258,16 @@ fn record_strategy() -> BoxedStrategy<JournalRecord> {
             stamp_strategy(),
             pattern_strategy()
         )
-            .prop_map(|(machine, job, size, walltime, enqueued_at, pattern)| {
-                JournalRecord::Queue {
-                    machine,
+            .prop_flat_map(|(machine, job, size, walltime, enqueued_at, pattern)| {
+                tenant_strategy().prop_map(move |tenant| JournalRecord::Queue {
+                    machine: machine.clone(),
                     job,
                     size,
                     walltime,
                     enqueued_at,
                     pattern,
-                }
+                    tenant,
+                })
             }),
         (name_strategy(), any::<u64>())
             .prop_map(|(machine, job)| JournalRecord::Release { machine, job }),
@@ -228,6 +278,14 @@ fn record_strategy() -> BoxedStrategy<JournalRecord> {
         }),
         (name_strategy(), name_strategy())
             .prop_map(|(pool, policy)| JournalRecord::SetRouter { pool, policy }),
+        tenant_image_strategy().prop_map(|image| JournalRecord::SetTenant {
+            tenant: image.tenant,
+            weight: image.weight,
+            quota: image.quota,
+            max_in_flight: image.max_in_flight,
+        }),
+        (name_strategy(), any::<bool>())
+            .prop_map(|(machine, enabled)| JournalRecord::SetFairShare { machine, enabled }),
         snapshot_strategy().prop_map(JournalRecord::Snapshot),
     ]
     .boxed()
@@ -368,6 +426,7 @@ fn explicit_sink_attachment_round_trips_state() {
             wait: true,
             walltime: None,
             pattern: Some(commalloc_workload::CommPattern::AllToAll),
+            tenant: None,
         });
     }
     let (recovered, report) = open_journaled(&dir, JournalConfig::default()).unwrap();

@@ -4,7 +4,7 @@
 //! round-trip suite and the binary-framing equivalence suite.
 
 use commalloc_mesh::NodeId;
-use commalloc_service::{Request, Response};
+use commalloc_service::{JobRef, Request, Response};
 use commalloc_workload::CommPattern;
 use proptest::prelude::*;
 
@@ -54,6 +54,78 @@ pub fn opt_name() -> BoxedStrategy<Option<String>> {
     prop_oneof![Just(None), name_strategy().prop_map(Some)].boxed()
 }
 
+/// Optional tenant tags: absent (the untenanted wire form, which must
+/// keep its pre-tenant bytes) plus escaping-hazard names.
+pub fn tenant_strategy() -> BoxedStrategy<Option<String>> {
+    prop_oneof![
+        Just(None),
+        prop::sample::select(vec!["default", "acme", "tenant \"q\"", "团队-β"])
+            .prop_map(|t| Some(t.to_string())),
+    ]
+    .boxed()
+}
+
+/// Every [`JobRef`] form: bare integer ids (the pre-refactor wire
+/// shape), `machine/id` and `pool/machine/id` strings. Segment names
+/// reuse the adversarial name pool (slash-free by construction).
+pub fn job_ref_strategy() -> BoxedStrategy<JobRef> {
+    prop_oneof![
+        any::<u64>().prop_map(JobRef::Bare),
+        (name_strategy(), any::<u64>()).prop_map(|(machine, id)| JobRef::Member { machine, id }),
+        (name_strategy(), name_strategy(), any::<u64>())
+            .prop_map(|(pool, machine, id)| JobRef::Pooled { pool, machine, id }),
+    ]
+    .boxed()
+}
+
+/// Qualified [`JobRef`] forms only (`machine/id`, `pool/machine/id`):
+/// the shapes that carry their own address and so are legal without a
+/// `machine` field.
+pub fn qualified_job_ref_strategy() -> BoxedStrategy<JobRef> {
+    prop_oneof![
+        (name_strategy(), any::<u64>()).prop_map(|(machine, id)| JobRef::Member { machine, id }),
+        (name_strategy(), name_strategy(), any::<u64>())
+            .prop_map(|(pool, machine, id)| JobRef::Pooled { pool, machine, id }),
+    ]
+    .boxed()
+}
+
+/// `(machine, job)` pairs for `release`/`poll`: a member name or
+/// `@pool` address with any ref form, or no machine with a qualified
+/// ref (a bare ref without a machine is a wire error).
+pub fn job_op_target_strategy() -> BoxedStrategy<(Option<String>, JobRef)> {
+    prop_oneof![
+        (
+            prop_oneof![
+                name_strategy(),
+                name_strategy().prop_map(|p| format!("@{p}")),
+            ],
+            job_ref_strategy(),
+        )
+            .prop_map(|(machine, job)| (Some(machine), job)),
+        qualified_job_ref_strategy().prop_map(|job| (None, job)),
+    ]
+    .boxed()
+}
+
+/// Finite positive fair-share weights with awkward fractional parts
+/// (integral floats would render as JSON integers and so cannot be
+/// used in byte-identity fixtures).
+pub fn weight_strategy() -> BoxedStrategy<f64> {
+    (1u64..100, 1u64..1000)
+        .prop_map(|(a, b)| a as f64 + b as f64 / 997.0)
+        .boxed()
+}
+
+/// Optional node-second quotas, fractional for the same reason.
+pub fn quota_strategy() -> BoxedStrategy<Option<f64>> {
+    prop_oneof![
+        Just(None),
+        (1u64..1_000_000, 1u64..1000).prop_map(|(a, b)| Some(a as f64 + b as f64 / 997.0)),
+    ]
+    .boxed()
+}
+
 /// Opaque wire records (span events, routing decisions, calibration
 /// payloads): small objects of the normal-form scalar shapes the
 /// parser reproduces exactly (`Str`, `Int`-ranged integers, `Bool`).
@@ -99,16 +171,17 @@ pub fn simple_request_strategy() -> BoxedStrategy<Request> {
             walltime_strategy(),
             pattern_strategy()
         )
-            .prop_map(
-                |(machine, job, size, wait, walltime, pattern)| Request::Alloc {
-                    machine,
+            .prop_flat_map(|(machine, job, size, wait, walltime, pattern)| {
+                tenant_strategy().prop_map(move |tenant| Request::Alloc {
+                    machine: machine.clone(),
                     job,
                     size,
                     wait,
                     walltime,
                     pattern,
-                }
-            ),
+                    tenant,
+                })
+            }),
         (
             name_strategy().prop_map(|p| format!("@{p}")),
             any::<u64>(),
@@ -117,23 +190,41 @@ pub fn simple_request_strategy() -> BoxedStrategy<Request> {
             walltime_strategy(),
             pattern_strategy()
         )
-            .prop_map(
-                |(machine, job, size, wait, walltime, pattern)| Request::Alloc {
-                    machine,
+            .prop_flat_map(|(machine, job, size, wait, walltime, pattern)| {
+                tenant_strategy().prop_map(move |tenant| Request::Alloc {
+                    machine: machine.clone(),
                     job,
                     size,
                     wait,
                     walltime,
                     pattern,
-                }
-            ),
+                    tenant,
+                })
+            }),
         (name_strategy(), name_strategy())
             .prop_map(|(machine, scheduler)| Request::SetScheduler { machine, scheduler }),
         (name_strategy(), name_strategy())
             .prop_map(|(pool, policy)| Request::SetRouter { pool, policy }),
-        (name_strategy(), any::<u64>())
-            .prop_map(|(machine, job)| Request::Release { machine, job }),
-        (name_strategy(), any::<u64>()).prop_map(|(machine, job)| Request::Poll { machine, job }),
+        job_op_target_strategy().prop_map(|(machine, job)| Request::Release { machine, job }),
+        job_op_target_strategy().prop_map(|(machine, job)| Request::Poll { machine, job }),
+        name_strategy().prop_map(|tenant| Request::Hello { tenant }),
+        (
+            name_strategy(),
+            prop_oneof![Just(None), weight_strategy().prop_map(Some)],
+            quota_strategy(),
+            prop_oneof![Just(None), (1u64..4096).prop_map(Some)],
+        )
+            .prop_map(
+                |(tenant, weight, quota, max_in_flight)| Request::SetTenant {
+                    tenant,
+                    weight,
+                    quota,
+                    max_in_flight,
+                }
+            ),
+        Just(Request::Tenants),
+        (name_strategy(), any::<bool>())
+            .prop_map(|(machine, enabled)| Request::SetFairShare { machine, enabled }),
         name_strategy().prop_map(|machine| Request::Query { machine }),
         name_strategy().prop_map(|machine| Request::Stats { machine }),
         (
@@ -174,7 +265,18 @@ pub fn request_strategy() -> BoxedStrategy<Request> {
 
 pub fn simple_response_strategy() -> BoxedStrategy<Response> {
     prop_oneof![
-        name_strategy().prop_map(|message| Response::Error { message }),
+        // Plain errors plus the typed forms (code + structured detail).
+        (name_strategy(), 0u32..3, record_strategy()).prop_map(|(message, shape, detail)| {
+            Response::Error {
+                message,
+                code: match shape {
+                    0 => None,
+                    1 => Some("quota_exceeded".to_string()),
+                    _ => Some("ambiguous_job".to_string()),
+                },
+                detail: (shape == 1).then_some(detail),
+            }
+        }),
         name_strategy().prop_map(|machine| Response::Registered { machine }),
         (any::<u64>(), nodes_strategy(), opt_name()).prop_map(|(job, nodes, machine)| {
             Response::Granted {
@@ -197,8 +299,13 @@ pub fn simple_response_strategy() -> BoxedStrategy<Response> {
                 machine,
             }
         }),
-        (any::<u64>(), granted_strategy())
-            .prop_map(|(job, granted)| Response::Released { job, granted }),
+        (any::<u64>(), granted_strategy(), opt_name()).prop_map(|(job, granted, machine)| {
+            Response::Released {
+                job,
+                granted,
+                machine,
+            }
+        }),
         (name_strategy(), name_strategy(), granted_strategy()).prop_map(
             |(machine, scheduler, granted)| Response::SchedulerSet {
                 machine,
@@ -208,25 +315,39 @@ pub fn simple_response_strategy() -> BoxedStrategy<Response> {
         ),
         (name_strategy(), name_strategy())
             .prop_map(|(pool, policy)| Response::RouterSet { pool, policy }),
-        (any::<u64>(), nodes_strategy()).prop_map(|(job, nodes)| Response::Running { job, nodes }),
-        (any::<u64>(), 1usize..64, 0u32..3, walltime_strategy()).prop_map(
-            |(job, position, shape, reserved_start)| Response::Waiting {
+        (any::<u64>(), nodes_strategy(), opt_name()).prop_map(|(job, nodes, machine)| {
+            Response::Running {
                 job,
-                position,
-                // Finite-positive like a real promised start; `shape`
-                // also covers the no-reservation / no-explain corners.
-                reserved_start: if shape == 0 { None } else { reserved_start },
-                explain: (shape == 2).then(|| {
-                    let mut m = serde::Map::new();
-                    m.insert(
-                        "reason".into(),
-                        serde::Value::Str("head_of_line".to_string()),
-                    );
-                    m.insert("blocking_job".into(), serde::Value::Int(7));
-                    serde::Value::Object(m)
-                }),
+                nodes,
+                machine,
             }
-        ),
+        }),
+        (
+            any::<u64>(),
+            1usize..64,
+            0u32..3,
+            walltime_strategy(),
+            opt_name()
+        )
+            .prop_map(|(job, position, shape, reserved_start, machine)| {
+                Response::Waiting {
+                    job,
+                    position,
+                    // Finite-positive like a real promised start; `shape`
+                    // also covers the no-reservation / no-explain corners.
+                    reserved_start: if shape == 0 { None } else { reserved_start },
+                    explain: (shape == 2).then(|| {
+                        let mut m = serde::Map::new();
+                        m.insert(
+                            "reason".into(),
+                            serde::Value::Str("head_of_line".to_string()),
+                        );
+                        m.insert("blocking_job".into(), serde::Value::Int(7));
+                        serde::Value::Object(m)
+                    }),
+                    machine,
+                }
+            }),
         any::<u64>().prop_map(|job| Response::Unknown { job }),
         prop::collection::vec(name_strategy(), 0..5).prop_map(Response::Machines),
         any::<bool>().prop_map(|enabled| Response::TraceSet { enabled }),
@@ -243,6 +364,30 @@ pub fn simple_response_strategy() -> BoxedStrategy<Response> {
                 decisions,
             }),
         record_strategy().prop_map(Response::Calibration),
+        name_strategy().prop_map(|tenant| Response::Hello { tenant }),
+        (
+            name_strategy(),
+            weight_strategy(),
+            quota_strategy(),
+            prop_oneof![Just(None), (1u64..4096).prop_map(Some)],
+        )
+            .prop_map(
+                |(tenant, weight, quota, max_in_flight)| Response::TenantSet {
+                    tenant,
+                    weight,
+                    quota,
+                    max_in_flight,
+                }
+            ),
+        prop::collection::vec(record_strategy(), 0..4)
+            .prop_map(|rows| Response::Tenants(serde::Value::Array(rows))),
+        (name_strategy(), any::<bool>(), granted_strategy()).prop_map(
+            |(machine, enabled, granted)| Response::FairShareSet {
+                machine,
+                enabled,
+                granted,
+            }
+        ),
         prop_oneof![
             record_strategy().prop_map(|metrics| Response::Metrics {
                 format: "json".to_string(),

@@ -227,10 +227,11 @@ fn poll_and_query_expose_reservations_and_explains() {
         position: 1,
         reserved_start: Some(start),
         explain: Some(explain),
+        ..
     } = client
         .roundtrip(&Request::Poll {
-            machine: "m0".into(),
-            job: 2,
+            machine: Some("m0".into()),
+            job: commalloc_service::JobRef::Bare(2),
         })
         .unwrap()
     else {
@@ -251,8 +252,8 @@ fn poll_and_query_expose_reservations_and_explains() {
         ..
     } = client
         .roundtrip(&Request::Poll {
-            machine: "m0".into(),
-            job: 3,
+            machine: Some("m0".into()),
+            job: commalloc_service::JobRef::Bare(3),
         })
         .unwrap()
     else {
@@ -410,6 +411,7 @@ fn calibration_joins_every_released_job_and_decisions_drain() {
                 wait: false,
                 walltime: Some(120.0),
                 pattern: Some(commalloc_workload::CommPattern::AllToAll),
+                tenant: None,
             })
             .unwrap();
         let Response::Granted { job, machine, .. } = response else {
@@ -539,6 +541,7 @@ fn windowed_pool_metrics_and_prometheus_labels() {
                 wait: false,
                 walltime: None,
                 pattern: None,
+                tenant: None,
             })
             .unwrap()
         else {

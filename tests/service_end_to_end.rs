@@ -100,6 +100,7 @@ fn loadgen_round_trips_thousands_of_requests_without_violations() {
         seed: 7,
         no_drain: false,
         claims_out: None,
+        tenant: None,
     };
     let report = loadgen::run(&config).expect("loadgen completes");
     assert!(report.requests >= 4_000, "got {}", report.requests);
@@ -147,6 +148,7 @@ fn routed_loadgen_across_a_heterogeneous_pool_has_no_violations() {
         seed: 11,
         no_drain: false,
         claims_out: None,
+        tenant: None,
     };
     let report = loadgen::run(&config).expect("routed loadgen completes");
     assert!(report.requests >= 4_000, "got {}", report.requests);
@@ -175,14 +177,15 @@ fn batched_ops_round_trip_over_tcp() {
                 wait: false,
                 walltime: None,
                 pattern: None,
+                tenant: None,
             },
             commalloc_service::Request::Release {
-                machine: "b0".to_string(),
-                job: 1,
+                machine: Some("b0".to_string()),
+                job: commalloc_service::JobRef::Bare(1),
             },
             commalloc_service::Request::Release {
-                machine: "b0".to_string(),
-                job: 99, // unknown: answers its slot with an error
+                machine: Some("b0".to_string()),
+                job: commalloc_service::JobRef::Bare(99), // unknown: answers its slot with an error
             },
         ])
         .unwrap();
